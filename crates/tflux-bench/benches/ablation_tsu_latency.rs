@@ -1,0 +1,37 @@
+//! §4.1 ablation bench: MMULT on the hardware-TSU machine with the TSU's
+//! per-command processing time at its 1 and 128-cycle extremes. The two
+//! groups should measure within ~1% of each other — the paper's claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tflux_sim::{Machine, MachineConfig, TsuCosts};
+use tflux_workloads::common::Params;
+use tflux_workloads::setup::{sim_setup, with_default_unroll};
+use tflux_workloads::sizes::SizeClass;
+use tflux_workloads::Bench;
+
+fn tsu_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_tsu_latency");
+    g.sample_size(10);
+    let p = with_default_unroll(Bench::Mmult, Params::hard(8, 0, SizeClass::Small));
+    for op in [1u64, 128] {
+        let cfg = MachineConfig::bagle(8).with_tsu(TsuCosts {
+            op,
+            ..TsuCosts::hard()
+        });
+        // report simulated cycles (the actual claim) alongside host time
+        let (prog, src) = sim_setup(Bench::Mmult, &p);
+        let cycles = Machine::new(cfg).run(&prog, src.as_ref()).cycles;
+        eprintln!("tsu op={op}: {cycles} simulated cycles");
+        g.bench_with_input(BenchmarkId::new("op_cycles", op), &cfg, |b, cfg| {
+            b.iter(|| {
+                let (prog, src) = sim_setup(Bench::Mmult, &p);
+                black_box(Machine::new(*cfg).run(&prog, src.as_ref()).cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, tsu_latency);
+criterion_main!(benches);

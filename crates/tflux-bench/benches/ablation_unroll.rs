@@ -1,0 +1,45 @@
+//! §5 unroll ablation bench: element-granular MMULT at unroll 1 vs 64 on
+//! the hardware and software TSU cost models. Prints the reproduced
+//! speedups (hard is grain-insensitive; soft collapses at fine grain).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tflux_sim::{Machine, MachineConfig};
+use tflux_workloads::common::Params;
+use tflux_workloads::mmult::elem_setup;
+use tflux_workloads::sizes::SizeClass;
+
+fn unroll(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_unroll");
+    g.sample_size(10);
+    for (label, machine) in [
+        ("hard", Machine::new(MachineConfig::bagle(8))),
+        ("soft", Machine::new(MachineConfig::xeon_x3650(6))),
+    ] {
+        for u in [1u32, 64] {
+            let kernels = machine.config().cores;
+            let p = Params::hard(kernels, u, SizeClass::Small);
+            let (prog, src) = elem_setup(&p);
+            let seq = machine.run_sequential(&prog, &src);
+            let par = machine.run(&prog, &src);
+            eprintln!(
+                "unroll {label}/u={u}: speedup {:.2}x",
+                par.speedup_over(&seq)
+            );
+            g.bench_with_input(
+                BenchmarkId::new(label, u),
+                &(machine, p),
+                |b, (machine, p)| {
+                    b.iter(|| {
+                        let (prog, src) = elem_setup(p);
+                        black_box(machine.run(&prog, &src).cycles)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, unroll);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 5 bench: time one TFluxHard simulation per benchmark (Small, 8
+//! kernels) and report the measured speedup as Criterion throughput
+//! metadata. The full sweep lives in `cargo run --release --bin figures --
+//! fig5`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tflux_sim::{Machine, MachineConfig};
+use tflux_workloads::common::Params;
+use tflux_workloads::setup::{sim_baseline, sim_setup, with_default_unroll};
+use tflux_workloads::sizes::SizeClass;
+use tflux_workloads::Bench;
+
+fn fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_tfluxhard");
+    g.sample_size(10);
+    for bench in Bench::ALL {
+        let p = with_default_unroll(bench, Params::hard(8, 0, SizeClass::Small));
+        // report the reproduced speedup once per benchmark
+        let (prog, src) = sim_setup(bench, &p);
+        let (sprog, ssrc) = sim_baseline(bench, &p);
+        let m = Machine::new(MachineConfig::bagle(8));
+        let seq = m.run_sequential(&sprog, ssrc.as_ref());
+        let par = m.run(&prog, src.as_ref());
+        eprintln!(
+            "fig5 {} @8 kernels Small: speedup {:.2}x",
+            bench.name(),
+            par.speedup_over(&seq)
+        );
+        g.bench_with_input(BenchmarkId::new("simulate", bench.name()), &p, |b, p| {
+            b.iter(|| {
+                let (prog, src) = sim_setup(bench, p);
+                let m = Machine::new(MachineConfig::bagle(8));
+                black_box(m.run(&prog, src.as_ref()).cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

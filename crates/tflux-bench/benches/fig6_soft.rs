@@ -1,0 +1,40 @@
+//! Figure 6 bench: one TFluxSoft-model simulation per benchmark (Small, 6
+//! kernels). Full sweep: `cargo run --release --bin figures -- fig6`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tflux_sim::{Machine, MachineConfig};
+use tflux_workloads::common::Params;
+use tflux_workloads::setup::{default_unroll, sim_setup};
+use tflux_workloads::sizes::{Platform, SizeClass};
+use tflux_workloads::Bench;
+
+fn fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_tfluxsoft");
+    g.sample_size(10);
+    for bench in Bench::ALL {
+        // MMULT at the simulated sizes (see EXPERIMENTS.md)
+        let platform = if bench == Bench::Mmult {
+            Platform::Simulated
+        } else {
+            Platform::Native
+        };
+        let p = Params {
+            kernels: 6,
+            unroll: default_unroll(bench, Platform::Native),
+            size: SizeClass::Small,
+            platform,
+        };
+        g.bench_with_input(BenchmarkId::new("simulate", bench.name()), &p, |b, p| {
+            b.iter(|| {
+                let (prog, src) = sim_setup(bench, p);
+                let m = Machine::new(MachineConfig::xeon_x3650(6));
+                black_box(m.run(&prog, src.as_ref()).cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 7 bench: one TFluxCell simulation per Cell benchmark (Small, 6
+//! SPEs). Full sweep: `cargo run --release --bin figures -- fig7`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tflux_cell::{CellConfig, CellMachine};
+use tflux_workloads::common::Params;
+use tflux_workloads::setup::{cell_setup, with_default_unroll};
+use tflux_workloads::sizes::SizeClass;
+use tflux_workloads::Bench;
+
+fn fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_tfluxcell");
+    g.sample_size(10);
+    for bench in Bench::CELL {
+        let p = with_default_unroll(bench, Params::cell(6, 0, SizeClass::Small));
+        g.bench_with_input(BenchmarkId::new("simulate", bench.name()), &p, |b, p| {
+            b.iter(|| {
+                let (prog, src) = cell_setup(bench, p);
+                let m = CellMachine::new(CellConfig::ps3());
+                black_box(m.run(&prog, src.as_ref()).expect("cell run").cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Component microbenches: the TSU state machine's scheduling throughput
+//! (fetch/complete round trips) and the threaded runtime's per-DThread
+//! overhead — the quantities the platform cost models abstract.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tflux_core::prelude::*;
+use tflux_core::tsu::drain_sequential;
+use tflux_runtime::{BodyTable, Runtime, RuntimeConfig};
+
+fn fork_join(arity: u32) -> DdmProgram {
+    let mut b = ProgramBuilder::new();
+    let blk = b.block();
+    let work = b.thread(blk, ThreadSpec::new("work", arity));
+    let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+    b.arc(work, sink, ArcMapping::Reduction).unwrap();
+    b.build().unwrap()
+}
+
+fn tsu_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tsu_state_machine");
+    for arity in [256u32, 4096] {
+        let program = fork_join(arity);
+        g.throughput(Throughput::Elements(program.total_instances() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("drain", arity),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    let mut tsu = TsuState::new(program, 8, TsuConfig::default());
+                    black_box(drain_sequential(&mut tsu).len())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn runtime_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_per_dthread_overhead");
+    g.sample_size(10);
+    for kernels in [1u32, 2, 4] {
+        let program = fork_join(1024);
+        g.throughput(Throughput::Elements(program.total_instances() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("noop_dthreads", kernels),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    let bodies = BodyTable::new(program);
+                    let report = Runtime::new(RuntimeConfig::with_kernels(kernels))
+                        .run(program, &bodies)
+                        .unwrap();
+                    black_box(report.total_executed())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn program_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("program_construction");
+    g.bench_function("build_1k_threads", |b| {
+        b.iter(|| {
+            let mut builder = ProgramBuilder::new();
+            let blk = builder.block();
+            let mut prev: Option<ThreadId> = None;
+            for i in 0..1000 {
+                let t = builder.thread(blk, ThreadSpec::new(format!("t{i}"), 4));
+                if let Some(p) = prev {
+                    builder.arc(p, t, ArcMapping::OneToOne).unwrap();
+                }
+                prev = Some(t);
+            }
+            black_box(builder.build().unwrap().total_instances())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, tsu_throughput, runtime_overhead, program_build);
+criterion_main!(benches);

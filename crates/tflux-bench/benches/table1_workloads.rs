@@ -1,0 +1,47 @@
+//! Table 1 bench: the *real* sequential reference computations of the five
+//! workloads at their Small sizes — native wall-clock numbers for the
+//! workload suite itself (as opposed to the simulated-cycle figures).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tflux_workloads::sizes::{
+    fft_n, mmult_n, qsort_n, susan_dims, trapez_intervals, Platform, SizeClass,
+};
+use tflux_workloads::{fft, mmult, qsort, susan, trapez};
+
+fn table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_sequential_references");
+    g.sample_size(10);
+
+    g.bench_function("TRAPEZ/small", |b| {
+        // 2^19 points is ~5 ms of real quadrature; use 2^16 for bench turns
+        let n = trapez_intervals(SizeClass::Small) >> 3;
+        b.iter(|| black_box(trapez::seq(black_box(n))))
+    });
+
+    g.bench_function("MMULT/small", |b| {
+        let n = mmult_n(SizeClass::Small, Platform::Simulated);
+        let (ma, mb) = mmult::inputs(n);
+        b.iter(|| black_box(mmult::seq(&ma, &mb, n)))
+    });
+
+    g.bench_function("QSORT/small", |b| {
+        let n = qsort_n(SizeClass::Small, Platform::Native);
+        b.iter(|| black_box(qsort::seq(black_box(n))))
+    });
+
+    g.bench_function("SUSAN/small", |b| {
+        let (w, h) = susan_dims(SizeClass::Small);
+        b.iter(|| black_box(susan::seq(black_box(w), black_box(h))))
+    });
+
+    g.bench_function("FFT/small", |b| {
+        let n = fft_n(SizeClass::Small);
+        b.iter(|| black_box(fft::seq(black_box(n))))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! §4.2 ablation bench: Thread-to-Update-Buffer contention. Real threads
+//! hammer the TUB while a drainer empties it, with 1 vs 8 segments — the
+//! segmented try-lock design is the paper's answer to completion-path
+//! serialization, and this measures exactly that effect on host hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use tflux_core::ids::{Context, Instance, ThreadId};
+use tflux_runtime::tub::Tub;
+
+const PUSHES_PER_THREAD: u32 = 2_000;
+const PUSHERS: u32 = 4;
+
+fn contended_run(segments: usize) -> u64 {
+    let tub = Arc::new(Tub::new(segments));
+    let stop = Arc::new(AtomicBool::new(false));
+    let drainer = {
+        let tub = Arc::clone(&tub);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut sink = Vec::new();
+            while !stop.load(Ordering::Acquire) {
+                tub.drain_into(&mut sink);
+                std::thread::yield_now();
+            }
+            tub.drain_into(&mut sink);
+            sink.len() as u64
+        })
+    };
+    std::thread::scope(|s| {
+        for t in 0..PUSHERS {
+            let tub = &tub;
+            s.spawn(move || {
+                for c in 0..PUSHES_PER_THREAD {
+                    tub.push(Instance::new(ThreadId(t), Context(c)));
+                }
+            });
+        }
+    });
+    stop.store(true, Ordering::Release);
+    let drained = drainer.join().unwrap();
+    assert_eq!(drained, (PUSHERS * PUSHES_PER_THREAD) as u64);
+    tub.stats().snapshot().busy_hits
+}
+
+fn tub_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tub_contention");
+    g.sample_size(10);
+    for segments in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("segments", segments),
+            &segments,
+            |b, &segments| b.iter(|| contended_run(segments)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, tub_bench);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Plain-text rendering of figure rows: grouped per benchmark, one line
+//! per kernel count, one column per size class — the same arrangement as
+//! the paper's bar charts.
+
+use crate::figures::FigRow;
+use std::fmt::Write as _;
+
+/// Render rows as the paper's figure layout.
+pub fn render_figure(title: &str, rows: &[FigRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== {title} ==");
+    let _ = writeln!(
+        s,
+        "{:<8} {:>7} {:>10} {:>10} {:>10}   {:>9} {:>6}",
+        "Bench", "Kernels", "Small", "Medium", "Large", "coh-miss%", "util%"
+    );
+    let benches: Vec<&str> = {
+        let mut v = Vec::new();
+        for r in rows {
+            if !v.contains(&r.bench) {
+                v.push(r.bench);
+            }
+        }
+        v
+    };
+    for bench in benches {
+        let mut kernels: Vec<u32> = rows
+            .iter()
+            .filter(|r| r.bench == bench)
+            .map(|r| r.kernels)
+            .collect();
+        kernels.sort_unstable();
+        kernels.dedup();
+        for k in kernels {
+            let cell = |size: &str| -> Option<&FigRow> {
+                rows.iter()
+                    .find(|r| r.bench == bench && r.kernels == k && r.size == size)
+            };
+            let fmt = |r: Option<&FigRow>| match r {
+                Some(r) => format!("{:.1}", r.speedup),
+                None => "-".to_string(),
+            };
+            // annotate with the largest-size point's diagnostics
+            let diag = cell("Large").or(cell("Medium")).or(cell("Small"));
+            let _ = writeln!(
+                s,
+                "{:<8} {:>7} {:>10} {:>10} {:>10}   {:>9} {:>6}",
+                bench,
+                k,
+                fmt(cell("Small")),
+                fmt(cell("Medium")),
+                fmt(cell("Large")),
+                diag.map(|r| format!("{:.1}", r.coherency_ratio * 100.0))
+                    .unwrap_or_default(),
+                diag.map(|r| format!("{:.0}", r.utilization * 100.0))
+                    .unwrap_or_default(),
+            );
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+/// Average speedup of the largest kernel configuration (the paper's
+/// headline numbers: 21x at 27 nodes hard, 4.4x at 6 nodes soft/cell).
+pub fn headline(rows: &[FigRow], kernels: u32, size: &str) -> f64 {
+    let pts: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.kernels == kernels && r.size == size)
+        .map(|r| r.speedup)
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    pts.iter().sum::<f64>() / pts.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(bench: &'static str, size: &'static str, kernels: u32, speedup: f64) -> FigRow {
+        FigRow {
+            bench,
+            size,
+            kernels,
+            speedup,
+            coherency_ratio: 0.01,
+            utilization: 0.9,
+        }
+    }
+
+    #[test]
+    fn renders_grid() {
+        let rows = vec![
+            row("TRAPEZ", "Small", 2, 2.0),
+            row("TRAPEZ", "Large", 2, 2.0),
+            row("TRAPEZ", "Small", 4, 3.9),
+        ];
+        let s = render_figure("Figure X", &rows);
+        assert!(s.contains("Figure X"));
+        assert!(s.contains("TRAPEZ"));
+        assert!(s.contains("3.9"));
+        assert!(s.contains('-'), "missing sizes render as dashes");
+    }
+
+    #[test]
+    fn headline_averages_selected_points() {
+        let rows = vec![
+            row("A", "Large", 27, 20.0),
+            row("B", "Large", 27, 22.0),
+            row("A", "Large", 2, 2.0),
+        ];
+        assert_eq!(headline(&rows, 27, "Large"), 21.0);
+        assert_eq!(headline(&rows, 16, "Large"), 0.0);
+    }
+}

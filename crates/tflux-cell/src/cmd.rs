@@ -1,0 +1,180 @@
+//! The CommandBuffer wire format.
+//!
+//! §4.3: each TSU owns a 128-byte CommandBuffer in main memory "which holds
+//! the commands sent by the kernels executing on the corresponding SPE",
+//! and "the addresses of these two buffers are the only information that a
+//! Kernel needs, in order to communicate with its TSU". This module gives
+//! that buffer a concrete encoding: fixed 16-byte records in a 128-byte
+//! ring, so a buffer holds at most 8 in-flight commands — which is also the
+//! back-pressure limit the machine model enforces.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tflux_core::ids::{Context, Instance, ThreadId};
+
+/// Size of one CommandBuffer in bytes (fixed by the paper).
+pub const COMMAND_BUFFER_BYTES: usize = 128;
+/// Size of one encoded command record.
+pub const COMMAND_BYTES: usize = 16;
+/// Maximum commands resident in one buffer.
+pub const COMMAND_CAPACITY: usize = COMMAND_BUFFER_BYTES / COMMAND_BYTES;
+
+/// A command a kernel sends to its TSU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// The given instance finished executing.
+    Complete(Instance),
+    /// The kernel is idle and asks for work (used at startup).
+    RequestWork,
+    /// The kernel is shutting down (last block's outlet seen).
+    Shutdown,
+}
+
+impl Command {
+    /// Encode into exactly [`COMMAND_BYTES`] bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(COMMAND_BYTES);
+        match self {
+            Command::Complete(i) => {
+                b.put_u32(1);
+                b.put_u32(i.thread.0);
+                b.put_u32(i.context.0);
+                b.put_u32(0); // pad
+            }
+            Command::RequestWork => {
+                b.put_u32(2);
+                b.put_bytes(0, 12);
+            }
+            Command::Shutdown => {
+                b.put_u32(3);
+                b.put_bytes(0, 12);
+            }
+        }
+        debug_assert_eq!(b.len(), COMMAND_BYTES);
+        b.freeze()
+    }
+
+    /// Decode from a [`COMMAND_BYTES`]-sized record.
+    pub fn decode(mut bytes: Bytes) -> Option<Command> {
+        if bytes.len() < COMMAND_BYTES {
+            return None;
+        }
+        let tag = bytes.get_u32();
+        match tag {
+            1 => {
+                let t = bytes.get_u32();
+                let c = bytes.get_u32();
+                Some(Command::Complete(Instance::new(ThreadId(t), Context(c))))
+            }
+            2 => Some(Command::RequestWork),
+            3 => Some(Command::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// A 128-byte command ring, as allocated (one per TSU) in main memory.
+#[derive(Debug, Default)]
+pub struct CommandBuffer {
+    records: Vec<Command>,
+}
+
+impl CommandBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        CommandBuffer {
+            records: Vec::with_capacity(COMMAND_CAPACITY),
+        }
+    }
+
+    /// Try to append a command; fails (back-pressure) when the 128-byte
+    /// ring is full — the kernel must stall until the emulator drains.
+    pub fn push(&mut self, cmd: Command) -> Result<(), Command> {
+        if self.records.len() >= COMMAND_CAPACITY {
+            return Err(cmd);
+        }
+        self.records.push(cmd);
+        Ok(())
+    }
+
+    /// Drain all commands in arrival order.
+    pub fn drain(&mut self) -> Vec<Command> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Commands currently buffered.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Whether the buffer is at its 128-byte capacity.
+    pub fn is_full(&self) -> bool {
+        self.records.len() >= COMMAND_CAPACITY
+    }
+
+    /// Serialize the whole buffer as it would sit in main memory.
+    pub fn as_memory(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(COMMAND_BUFFER_BYTES);
+        for r in &self.records {
+            b.extend_from_slice(&r.encode());
+        }
+        b.put_bytes(0, COMMAND_BUFFER_BYTES - b.len());
+        b.freeze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let cmds = [
+            Command::Complete(Instance::new(ThreadId(7), Context(123))),
+            Command::RequestWork,
+            Command::Shutdown,
+        ];
+        for c in cmds {
+            assert_eq!(Command::decode(c.encode()), Some(c));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Command::decode(Bytes::from_static(&[0u8; 16])), None);
+        assert_eq!(Command::decode(Bytes::from_static(&[1u8; 3])), None);
+    }
+
+    #[test]
+    fn buffer_capacity_is_eight() {
+        let mut b = CommandBuffer::new();
+        for i in 0..8 {
+            b.push(Command::Complete(Instance::new(ThreadId(i), Context(0))))
+                .unwrap();
+        }
+        assert!(b.is_full());
+        assert!(b.push(Command::RequestWork).is_err());
+        assert_eq!(b.drain().len(), 8);
+        assert!(b.is_empty());
+        b.push(Command::RequestWork).unwrap();
+    }
+
+    #[test]
+    fn memory_image_is_exactly_128_bytes() {
+        let mut b = CommandBuffer::new();
+        b.push(Command::RequestWork).unwrap();
+        let img = b.as_memory();
+        assert_eq!(img.len(), COMMAND_BUFFER_BYTES);
+        // first record decodes back
+        assert_eq!(
+            Command::decode(img.slice(0..COMMAND_BYTES)),
+            Some(Command::RequestWork)
+        );
+        // rest is zero padding
+        assert!(img[COMMAND_BYTES..].iter().all(|&x| x == 0));
+    }
+}

@@ -1,0 +1,511 @@
+//! The TFluxCell machine model: PPE-resident TSU Emulator + SPE kernels.
+//!
+//! The execution protocol follows §4.3 exactly:
+//!
+//! 1. a kernel (SPE) *waits on its mailbox* for the id of the next DThread;
+//! 2. before the DThread starts, its input data is *imported* from the
+//!    SharedVariableBuffer in main memory into the Local Store by DMA;
+//! 3. the DThread executes out of the LS;
+//! 4. produced data is *exported* back to the SharedVariableBuffer by DMA;
+//! 5. the kernel *places a command into its CommandBuffer*; the TSU
+//!    Emulator on the PPE, which loops over all CommandBuffers, picks it
+//!    up, runs the post-processing phase, and answers ready DThreads
+//!    through the mailboxes.
+//!
+//! DMA transfers arbitrate for the element-interconnect bus; the PPE
+//! emulator is a serialized resource. Everything is deterministic.
+
+use crate::config::CellConfig;
+use crate::report::CellReport;
+use crate::work::{CellWork, CellWorkSource};
+use std::collections::VecDeque;
+use tflux_core::ids::Instance;
+use tflux_core::program::DdmProgram;
+use tflux_core::tsu::{drain_sequential, TsuConfig, TsuState};
+use tflux_sim::event::EventQueue;
+
+/// Errors of a TFluxCell run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellError {
+    /// An instance needs more Local Store than the SPE has. This is the
+    /// §6.3 QSORT limitation: "larger problem sizes ... would not fit in
+    /// each SPE Local Store".
+    LocalStoreOverflow {
+        /// The offending instance.
+        inst: Instance,
+        /// Bytes the instance needs resident.
+        need: u64,
+        /// Local Store capacity.
+        have: u64,
+    },
+    /// A TSU protocol error.
+    Protocol(tflux_core::error::CoreError),
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellError::LocalStoreOverflow { inst, need, have } => write!(
+                f,
+                "instance {inst} needs {need} B of Local Store but SPEs have {have} B; \
+                 stage the algorithm or shrink the problem size"
+            ),
+            CellError::Protocol(e) => write!(f, "TSU protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CellError {}
+
+/// The simulated Cell/BE machine.
+#[derive(Clone, Copy, Debug)]
+pub struct CellMachine {
+    cfg: CellConfig,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A mailbox message delivering an instance to an SPE.
+    Mail(u32, Instance),
+    /// The SPE's import DMA finished; compute starts.
+    Imported(u32),
+    /// Compute finished; the export DMA starts.
+    Export(u32),
+    /// An SPE finished executing and its command reaches the PPE.
+    Cmd(u32, Instance),
+    /// A shutdown mail: the SPE exits.
+    Bye(u32),
+}
+
+struct Spe {
+    waiting_since: Option<u64>,
+    /// A mailbox message is in flight; do not dispatch again.
+    dispatched: bool,
+    /// The instance and work currently executing on this SPE.
+    cur: Option<(Instance, CellWork)>,
+    /// Compute cycles of the previously executed instance (double-buffer
+    /// overlap budget).
+    prev_compute: u64,
+    pending: VecDeque<Instance>,
+    busy: u64,
+    dma: u64,
+    idle: u64,
+    finish: u64,
+    done: bool,
+}
+
+impl CellMachine {
+    /// A machine with the given configuration.
+    pub fn new(cfg: CellConfig) -> Self {
+        CellMachine { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CellConfig {
+        &self.cfg
+    }
+
+    fn check_ls(&self, inst: Instance, w: &CellWork) -> Result<(), CellError> {
+        if w.ls_bytes > self.cfg.ls_bytes {
+            return Err(CellError::LocalStoreOverflow {
+                inst,
+                need: w.ls_bytes,
+                have: self.cfg.ls_bytes,
+            });
+        }
+        Ok(())
+    }
+
+    /// Run `program` on the simulated Cell.
+    pub fn run(
+        &self,
+        program: &DdmProgram,
+        source: &dyn CellWorkSource,
+    ) -> Result<CellReport, CellError> {
+        let spes = self.cfg.spes.max(1);
+        let mut tsu = TsuState::new(program, spes, TsuConfig::default());
+        let mut spelist: Vec<Spe> = (0..spes)
+            .map(|_| Spe {
+                waiting_since: Some(0),
+                dispatched: false,
+                cur: None,
+                prev_compute: 0,
+                pending: VecDeque::new(),
+                busy: 0,
+                dma: 0,
+                idle: 0,
+                finish: 0,
+                done: false,
+            })
+            .collect();
+        let mut events: EventQueue<Ev> = EventQueue::new();
+        let mut bus_free = 0u64;
+        let mut ppe_free = 0u64;
+        let mut ppe_busy = 0u64;
+        let mut commands = 0u64;
+        let mut instances = 0usize;
+        let mut peak_ls = 0u64;
+        let mut ready_buf: Vec<Instance> = Vec::new();
+
+        // Arm: the first block's inlet goes out over kernel 0's mailbox.
+        tsu.drain_ready(&mut ready_buf);
+        for inst in ready_buf.drain(..) {
+            let k = program.kernel_of(inst, spes);
+            events.push(self.cfg.mailbox_lat, Ev::Mail(k.0, inst));
+            spelist[k.idx()].dispatched = true;
+        }
+
+        while let Some((t, ev)) = events.pop() {
+            match ev {
+                Ev::Mail(spe, inst) => {
+                    let s = &mut spelist[spe as usize];
+                    s.dispatched = false;
+                    if let Some(since) = s.waiting_since.take() {
+                        s.idle += t.saturating_sub(since);
+                    }
+                    let w = source.work(inst);
+                    // double-buffering needs a second import buffer resident
+                    let footprint = if self.cfg.double_buffer {
+                        CellWork {
+                            ls_bytes: w.ls_bytes + w.import_bytes,
+                            ..w
+                        }
+                    } else {
+                        w
+                    };
+                    self.check_ls(inst, &footprint)?;
+                    peak_ls = peak_ls.max(footprint.ls_bytes);
+                    s.cur = Some((inst, w));
+                    // import DMA (bus arbitration at the current time)
+                    if w.import_bytes > 0 {
+                        let cost = self.cfg.dma_cycles(w.import_bytes);
+                        let start = bus_free.max(t);
+                        bus_free = start + cost;
+                        // with double-buffering the transfer overlapped the
+                        // previous instance's compute; only the residue
+                        // stalls the SPE (the bus still carried the full
+                        // transfer, charged above)
+                        let visible = if self.cfg.double_buffer {
+                            ((start - t) + cost).saturating_sub(s.prev_compute)
+                        } else {
+                            (start - t) + cost
+                        };
+                        s.dma += visible;
+                        events.push(t + visible, Ev::Imported(spe));
+                    } else {
+                        events.push(t, Ev::Imported(spe));
+                    }
+                }
+                Ev::Imported(spe) => {
+                    let s = &mut spelist[spe as usize];
+                    let (_, w) = s.cur.expect("Imported without current work");
+                    let c = self.cfg.scale_compute(w.compute);
+                    s.busy += c;
+                    s.prev_compute = c;
+                    events.push(t + c, Ev::Export(spe));
+                }
+                Ev::Export(spe) => {
+                    let s = &mut spelist[spe as usize];
+                    let (inst, w) = s.cur.take().expect("Export without current work");
+                    let mut now = t;
+                    if w.export_bytes > 0 {
+                        let cost = self.cfg.dma_cycles(w.export_bytes);
+                        let start = bus_free.max(now);
+                        bus_free = start + cost;
+                        s.dma += (start - now) + cost;
+                        now = start + cost;
+                    }
+                    instances += 1;
+                    events.push(now + self.cfg.cmd_lat, Ev::Cmd(spe, inst));
+                }
+                Ev::Cmd(spe, inst) => {
+                    // PPE picks the command out of the CommandBuffer
+                    let start = ppe_free.max(t);
+                    let done = start + self.cfg.poll_scan + self.cfg.ppe_op;
+                    ppe_free = done;
+                    ppe_busy += self.cfg.poll_scan + self.cfg.ppe_op;
+                    commands += 1;
+
+                    ready_buf.clear();
+                    tsu.complete_into(inst, &mut ready_buf)
+                        .map_err(CellError::Protocol)?;
+                    for &r in ready_buf.iter() {
+                        tsu.dispatch(r);
+                        let k = program.kernel_of(r, spes).0;
+                        spelist[k as usize].pending.push_back(r);
+                    }
+
+                    // this SPE is now waiting on its mailbox
+                    spelist[spe as usize].waiting_since = Some(t);
+
+                    if tsu.finished() {
+                        for (k, s) in spelist.iter().enumerate() {
+                            if s.waiting_since.is_some() && !s.done && !s.dispatched {
+                                events.push(done + self.cfg.mailbox_lat, Ev::Bye(k as u32));
+                            }
+                        }
+                    } else {
+                        // serve every waiting SPE: own queue first, then
+                        // steal from the longest other queue
+                        for k in 0..spes as usize {
+                            if spelist[k].waiting_since.is_none()
+                                || spelist[k].done
+                                || spelist[k].dispatched
+                            {
+                                continue;
+                            }
+                            let next = if let Some(i) = spelist[k].pending.pop_front() {
+                                Some(i)
+                            } else {
+                                let victim = (0..spes as usize)
+                                    .filter(|&v| v != k && !spelist[v].pending.is_empty())
+                                    .max_by_key(|&v| spelist[v].pending.len());
+                                victim.and_then(|v| spelist[v].pending.pop_front())
+                            };
+                            if let Some(i) = next {
+                                events.push(done + self.cfg.mailbox_lat, Ev::Mail(k as u32, i));
+                                spelist[k].dispatched = true;
+                            }
+                        }
+                    }
+                }
+                Ev::Bye(spe) => {
+                    let s = &mut spelist[spe as usize];
+                    if s.done {
+                        continue;
+                    }
+                    if let Some(since) = s.waiting_since.take() {
+                        s.idle += t.saturating_sub(since);
+                    }
+                    s.finish = t;
+                    s.done = true;
+                }
+            }
+        }
+
+        assert!(
+            tsu.finished() && spelist.iter().all(|s| s.done),
+            "TFluxCell simulation deadlocked"
+        );
+
+        Ok(CellReport {
+            cycles: spelist.iter().map(|s| s.finish).max().unwrap_or(0),
+            spe_busy: spelist.iter().map(|s| s.busy).collect(),
+            spe_dma: spelist.iter().map(|s| s.dma).collect(),
+            spe_idle: spelist.iter().map(|s| s.idle).collect(),
+            ppe_busy,
+            tsu: *tsu.stats(),
+            commands,
+            cmd_stalls: 0,
+            instances,
+            peak_ls,
+        })
+    }
+
+    /// Sequential baseline: one SPE executes every instance in dependency
+    /// order with DMA staging but no TSU, mailbox, or CommandBuffer costs.
+    pub fn run_sequential(
+        &self,
+        program: &DdmProgram,
+        source: &dyn CellWorkSource,
+    ) -> Result<CellReport, CellError> {
+        let mut tsu = TsuState::new(program, 1, TsuConfig::default());
+        let order = drain_sequential(&mut tsu);
+        let mut now = 0u64;
+        let mut busy = 0u64;
+        let mut dma = 0u64;
+        let mut peak_ls = 0u64;
+        let mut instances = 0usize;
+        for inst in order {
+            let w = source.work(inst);
+            self.check_ls(inst, &w)?;
+            peak_ls = peak_ls.max(w.ls_bytes);
+            let d = self.cfg.dma_cycles(w.import_bytes) + self.cfg.dma_cycles(w.export_bytes);
+            let c = self.cfg.scale_compute(w.compute);
+            dma += d;
+            busy += c;
+            now += d + c;
+            instances += 1;
+        }
+        Ok(CellReport {
+            cycles: now,
+            spe_busy: vec![busy],
+            spe_dma: vec![dma],
+            spe_idle: vec![0],
+            ppe_busy: 0,
+            tsu: *tsu.stats(),
+            commands: 0,
+            cmd_stalls: 0,
+            instances,
+            peak_ls,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::{FnCellWork, UniformCellWork};
+    use tflux_core::prelude::*;
+
+    fn fork_join(arity: u32) -> DdmProgram {
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let work = b.thread(blk, ThreadSpec::new("work", arity));
+        let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+        b.arc(work, sink, ArcMapping::Reduction).unwrap();
+        b.build().unwrap()
+    }
+
+    fn app_work(compute: u64, import: u64, export: u64) -> impl CellWorkSource {
+        FnCellWork(move |inst: Instance| {
+            if inst.thread == ThreadId(0) {
+                CellWork {
+                    compute,
+                    import_bytes: import,
+                    export_bytes: export,
+                    ls_bytes: 16 * 1024 + import,
+                }
+            } else {
+                CellWork::default()
+            }
+        })
+    }
+
+    #[test]
+    fn parallel_speedup_with_coarse_threads() {
+        let p = fork_join(96);
+        let src = app_work(400_000, 8192, 4096);
+        let m6 = CellMachine::new(CellConfig::ps3());
+        let seq = m6.run_sequential(&p, &src).unwrap();
+        let par = m6.run(&p, &src).unwrap();
+        let s = par.speedup_over(&seq);
+        assert!(s > 4.5 && s <= 6.01, "speedup {s}");
+    }
+
+    #[test]
+    fn fine_grain_threads_are_throttled_by_overheads() {
+        let p = fork_join(96);
+        let src = app_work(2_000, 8192, 4096); // tiny compute, big transfers
+        let m6 = CellMachine::new(CellConfig::ps3());
+        let seq = m6.run_sequential(&p, &src).unwrap();
+        let par = m6.run(&p, &src).unwrap();
+        let s = par.speedup_over(&seq);
+        assert!(s < 4.0, "fine grain cannot reach near-linear: {s}");
+        assert!(par.dma_fraction() > 0.1);
+    }
+
+    #[test]
+    fn ls_overflow_is_reported() {
+        let p = fork_join(4);
+        let src = UniformCellWork {
+            work: CellWork::compute(100, 512 * 1024),
+        };
+        let err = CellMachine::new(CellConfig::ps3()).run(&p, &src).unwrap_err();
+        assert!(matches!(err, CellError::LocalStoreOverflow { .. }));
+        let err2 = CellMachine::new(CellConfig::ps3())
+            .run_sequential(&p, &src)
+            .unwrap_err();
+        assert!(matches!(err2, CellError::LocalStoreOverflow { .. }));
+    }
+
+    #[test]
+    fn all_instances_execute_exactly_once() {
+        let p = fork_join(20);
+        let src = app_work(1_000, 0, 0);
+        let r = CellMachine::new(CellConfig::ps3()).run(&p, &src).unwrap();
+        assert_eq!(r.instances, p.total_instances());
+        assert_eq!(r.tsu.completions as usize, p.total_instances());
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let p = fork_join(32);
+        let src = app_work(10_000, 2048, 1024);
+        let m = CellMachine::new(CellConfig::ps3());
+        let a = m.run(&p, &src).unwrap();
+        let b = m.run(&p, &src).unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.commands, b.commands);
+    }
+
+    #[test]
+    fn fewer_spes_less_speedup() {
+        let p = fork_join(96);
+        let src = app_work(300_000, 4096, 2048);
+        let seq = CellMachine::new(CellConfig::ps3())
+            .run_sequential(&p, &src)
+            .unwrap();
+        let mut prev = 0.0;
+        for spes in [2u32, 4, 6] {
+            let r = CellMachine::new(CellConfig::ps3().with_spes(spes))
+                .run(&p, &src)
+                .unwrap();
+            let s = r.speedup_over(&seq);
+            assert!(s > prev, "speedup must grow with SPEs: {s} after {prev}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn dma_fraction_grows_with_transfer_size() {
+        let p = fork_join(48);
+        let small = app_work(100_000, 1024, 512);
+        let big = app_work(100_000, 65_536, 32_768);
+        let m = CellMachine::new(CellConfig::ps3());
+        let rs = m.run(&p, &small).unwrap();
+        let rb = m.run(&p, &big).unwrap();
+        assert!(rb.dma_fraction() > rs.dma_fraction());
+        assert!(rb.cycles > rs.cycles);
+    }
+
+    #[test]
+    fn double_buffering_hides_import_latency() {
+        // import sized so the XDR bus is NOT saturated (aggregate DMA
+        // demand stays under the wall time); the per-instance import
+        // stall (~4.4k cycles against 40k compute) is then hideable
+        let p = fork_join(96);
+        let src = app_work(40_000, 32_768, 1_024);
+        let base = CellMachine::new(CellConfig::ps3());
+        let db = CellMachine::new(CellConfig::ps3().with_double_buffer(true));
+        let r0 = base.run(&p, &src).unwrap();
+        let r1 = db.run(&p, &src).unwrap();
+        assert!(
+            r1.cycles < r0.cycles * 95 / 100,
+            "double buffering must hide import latency: {} vs {}",
+            r1.cycles,
+            r0.cycles
+        );
+        assert!(r1.dma_fraction() < r0.dma_fraction());
+    }
+
+    #[test]
+    fn double_buffering_requires_spare_local_store() {
+        let p = fork_join(4);
+        // footprint + second import buffer exceeds 256K only when doubled
+        let src = app_work(1_000, 150 * 1024, 0);
+        let base = CellMachine::new(CellConfig::ps3());
+        assert!(base.run(&p, &src).is_ok());
+        let db = CellMachine::new(CellConfig::ps3().with_double_buffer(true));
+        assert!(matches!(
+            db.run(&p, &src),
+            Err(CellError::LocalStoreOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_block_cell_program_completes() {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..3 {
+            let blk = b.block();
+            b.thread(blk, ThreadSpec::new("w", 12));
+        }
+        let p = b.build().unwrap();
+        let src = UniformCellWork {
+            work: CellWork::compute(5_000, 1024),
+        };
+        let r = CellMachine::new(CellConfig::ps3()).run(&p, &src).unwrap();
+        assert_eq!(r.instances, p.total_instances());
+        assert_eq!(r.tsu.blocks_loaded, 3);
+    }
+}

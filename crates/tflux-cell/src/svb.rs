@@ -1,0 +1,144 @@
+//! The SharedVariableBuffer (SVB).
+//!
+//! §4.3: "one shared buffer (SharedVariableBuffer) is used by all kernels
+//! for transferring the values of the shared variables between DThreads.
+//! ... the data produced is exported to the sharedVariableBuffer in the TSU
+//! Emulator address space in main memory. Later, and before a new DThread
+//! that consumes this data starts executing, this data is imported from the
+//! sharedVariableBuffer into the SPE Local Store."
+//!
+//! This module is the allocator and layout of that buffer: every
+//! (producer-instance, variable) pair gets a stable, DMA-aligned offset so
+//! producers export and consumers import without coordination. The machine
+//! model charges the *timing* of the transfers; this is the functional
+//! contract the DDMCPP cell back-end's generated code addresses.
+
+use std::collections::HashMap;
+use tflux_core::ids::Instance;
+
+/// DMA transfers on the Cell must be 16-byte aligned (and are fastest at
+/// 128-byte alignment, which we use).
+pub const DMA_ALIGN: u64 = 128;
+
+/// One allocated slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SvbSlot {
+    /// Byte offset inside the SVB.
+    pub offset: u64,
+    /// Allocated bytes (padded to [`DMA_ALIGN`]).
+    pub len: u64,
+}
+
+/// The SharedVariableBuffer layout: an append-only allocator of aligned
+/// slots keyed by (producer instance, variable name).
+#[derive(Debug, Default)]
+pub struct SharedVariableBuffer {
+    slots: HashMap<(Instance, String), SvbSlot>,
+    top: u64,
+}
+
+impl SharedVariableBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate (or return the existing) slot for `var` produced by `inst`.
+    ///
+    /// Idempotent: a second allocation for the same key returns the same
+    /// slot, so producers and consumers can both resolve it independently.
+    pub fn slot(&mut self, inst: Instance, var: &str, bytes: u64) -> SvbSlot {
+        if let Some(s) = self.slots.get(&(inst, var.to_string())) {
+            return *s;
+        }
+        let len = bytes.div_ceil(DMA_ALIGN).max(1) * DMA_ALIGN;
+        let slot = SvbSlot {
+            offset: self.top,
+            len,
+        };
+        self.top += len;
+        self.slots.insert((inst, var.to_string()), slot);
+        slot
+    }
+
+    /// Look up a slot without allocating.
+    pub fn find(&self, inst: Instance, var: &str) -> Option<SvbSlot> {
+        self.slots.get(&(inst, var.to_string())).copied()
+    }
+
+    /// Total bytes the buffer occupies in main memory.
+    pub fn size(&self) -> u64 {
+        self.top
+    }
+
+    /// Number of allocated slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tflux_core::ids::{Context, ThreadId};
+
+    fn inst(t: u32, c: u32) -> Instance {
+        Instance::new(ThreadId(t), Context(c))
+    }
+
+    #[test]
+    fn slots_are_aligned_and_disjoint() {
+        let mut svb = SharedVariableBuffer::new();
+        let a = svb.slot(inst(1, 0), "x", 100);
+        let b = svb.slot(inst(1, 1), "x", 100);
+        let c = svb.slot(inst(2, 0), "y", 1);
+        for s in [a, b, c] {
+            assert_eq!(s.offset % DMA_ALIGN, 0);
+            assert_eq!(s.len % DMA_ALIGN, 0);
+            assert!(s.len >= DMA_ALIGN);
+        }
+        // disjoint ranges
+        // allocation order is ascending, so each slot must end before the
+        // next begins
+        let ranges = [(a.offset, a.len), (b.offset, b.len), (c.offset, c.len)];
+        for w in ranges.windows(2) {
+            assert!(w[0].0 + w[0].1 <= w[1].0, "overlap: {ranges:?}");
+        }
+        assert_eq!(svb.size(), a.len + b.len + c.len);
+    }
+
+    #[test]
+    fn allocation_is_idempotent() {
+        let mut svb = SharedVariableBuffer::new();
+        let first = svb.slot(inst(3, 4), "partial", 64);
+        let again = svb.slot(inst(3, 4), "partial", 64);
+        assert_eq!(first, again);
+        assert_eq!(svb.len(), 1);
+        assert_eq!(svb.find(inst(3, 4), "partial"), Some(first));
+        assert_eq!(svb.find(inst(3, 4), "other"), None);
+    }
+
+    #[test]
+    fn sizes_round_up_to_dma_granularity() {
+        let mut svb = SharedVariableBuffer::new();
+        assert_eq!(svb.slot(inst(0, 0), "a", 1).len, DMA_ALIGN);
+        assert_eq!(svb.slot(inst(0, 1), "a", 128).len, 128);
+        assert_eq!(svb.slot(inst(0, 2), "a", 129).len, 256);
+        assert_eq!(svb.slot(inst(0, 3), "a", 0).len, DMA_ALIGN);
+    }
+
+    #[test]
+    fn producer_consumer_rendezvous() {
+        // the producer allocates; the consumer resolves the same slot from
+        // the same key — no other coordination
+        let mut svb = SharedVariableBuffer::new();
+        let producer_view = svb.slot(inst(7, 2), "rows", 4096);
+        let consumer_view = svb.find(inst(7, 2), "rows").expect("slot exists");
+        assert_eq!(producer_view, consumer_view);
+    }
+}

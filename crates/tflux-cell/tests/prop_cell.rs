@@ -1,0 +1,121 @@
+//! Property tests of the Cell machine: arbitrary layered programs with
+//! arbitrary (LS-feasible) costs always complete, deterministically, with
+//! consistent accounting.
+
+use proptest::prelude::*;
+use tflux_cell::work::{CellWork, FnCellWork};
+use tflux_cell::{CellConfig, CellMachine};
+use tflux_core::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Desc {
+    layers: Vec<u32>,
+    blocks: u32,
+    spes: u32,
+    compute: u64,
+    import: u64,
+    export: u64,
+    double_buffer: bool,
+}
+
+fn desc() -> impl Strategy<Value = Desc> {
+    (
+        prop::collection::vec(1u32..8, 1..4),
+        1u32..3,
+        1u32..7,
+        10u64..100_000,
+        0u64..32_768,
+        0u64..16_384,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(layers, blocks, spes, compute, import, export, double_buffer)| Desc {
+                layers,
+                blocks,
+                spes,
+                compute,
+                import,
+                export,
+                double_buffer,
+            },
+        )
+}
+
+fn build(d: &Desc) -> DdmProgram {
+    let mut b = ProgramBuilder::new();
+    for _ in 0..d.blocks {
+        let blk = b.block();
+        let mut prev: Option<ThreadId> = None;
+        for (li, &arity) in d.layers.iter().enumerate() {
+            let t = b.thread(blk, ThreadSpec::new(format!("l{li}"), arity));
+            if let Some(p) = prev {
+                b.arc(p, t, ArcMapping::All).unwrap();
+            }
+            prev = Some(t);
+        }
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn cell_machine_completes_and_accounts(d in desc()) {
+        let p = build(&d);
+        let w = CellWork {
+            compute: d.compute,
+            import_bytes: d.import,
+            export_bytes: d.export,
+            ls_bytes: 32 * 1024 + d.import + d.export,
+        };
+        let src = FnCellWork(move |_: Instance| w);
+        let m = CellMachine::new(
+            CellConfig::ps3()
+                .with_spes(d.spes)
+                .with_double_buffer(d.double_buffer),
+        );
+        let r = m.run(&p, &src).expect("feasible run");
+        prop_assert_eq!(r.instances, p.total_instances());
+        prop_assert_eq!(r.tsu.completions as usize, p.total_instances());
+        prop_assert_eq!(r.commands as usize, p.total_instances());
+        // busy time accounting: every instance contributed its compute
+        let busy: u64 = r.spe_busy.iter().sum();
+        prop_assert_eq!(busy, d.compute * p.total_instances() as u64);
+        // and the wall clock cannot beat perfect parallelism of compute
+        prop_assert!(r.cycles * d.spes as u64 >= busy);
+
+        // deterministic
+        let r2 = m.run(&p, &src).expect("second run");
+        prop_assert_eq!(r.cycles, r2.cycles);
+    }
+
+    #[test]
+    fn double_buffering_never_slows_a_run(
+        arity in 4u32..32,
+        compute in 1_000u64..100_000,
+        import in 0u64..32_768,
+    ) {
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        b.thread(blk, ThreadSpec::new("w", arity));
+        let p = b.build().unwrap();
+        let w = CellWork {
+            compute,
+            import_bytes: import,
+            export_bytes: 512,
+            ls_bytes: 48 * 1024 + import,
+        };
+        let src = FnCellWork(move |_: Instance| w);
+        let plain = CellMachine::new(CellConfig::ps3()).run(&p, &src).unwrap();
+        let db = CellMachine::new(CellConfig::ps3().with_double_buffer(true))
+            .run(&p, &src)
+            .unwrap();
+        prop_assert!(
+            db.cycles <= plain.cycles,
+            "double buffering slowed {} -> {}",
+            plain.cycles,
+            db.cycles
+        );
+    }
+}

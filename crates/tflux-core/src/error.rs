@@ -1,0 +1,120 @@
+//! Error types for program construction and TSU operation.
+
+use crate::ids::{BlockId, Instance, ThreadId};
+use std::fmt;
+
+/// Errors raised while building or executing a DDM program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An arc referenced a thread id that was never declared.
+    UnknownThread(ThreadId),
+    /// An arc connected threads living in different DDM blocks.
+    ///
+    /// Cross-block dependencies are expressed by block ordering (the paper's
+    /// Inlet/Outlet chaining), not by explicit arcs.
+    CrossBlockArc {
+        /// The producer side of the offending arc.
+        producer: ThreadId,
+        /// The consumer side of the offending arc.
+        consumer: ThreadId,
+    },
+    /// An arc mapping is incompatible with the producer/consumer arities.
+    ArityMismatch {
+        /// The producer side of the offending arc.
+        producer: ThreadId,
+        /// The consumer side of the offending arc.
+        consumer: ThreadId,
+        /// Human-readable description of the incompatibility.
+        detail: String,
+    },
+    /// A thread was declared with arity zero.
+    ZeroArity(ThreadId),
+    /// The synchronization graph of a block contains a dependency cycle.
+    CyclicBlock(BlockId),
+    /// A block holds more instances than the TSU capacity allows.
+    BlockTooLarge {
+        /// The offending block.
+        block: BlockId,
+        /// Number of instances the block needs loaded at once.
+        instances: usize,
+        /// The TSU capacity that was exceeded.
+        capacity: usize,
+    },
+    /// The program has no blocks.
+    EmptyProgram,
+    /// A block has no application threads.
+    EmptyBlock(BlockId),
+    /// `complete` was called for an instance that is not currently running.
+    NotRunning(Instance),
+    /// A duplicate arc was inserted between the same pair of threads.
+    DuplicateArc {
+        /// The producer side of the offending arc.
+        producer: ThreadId,
+        /// The consumer side of the offending arc.
+        consumer: ThreadId,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownThread(t) => write!(f, "unknown thread {t}"),
+            CoreError::CrossBlockArc { producer, consumer } => write!(
+                f,
+                "arc {producer} -> {consumer} crosses DDM block boundaries; \
+                 order the blocks instead"
+            ),
+            CoreError::ArityMismatch {
+                producer,
+                consumer,
+                detail,
+            } => write!(f, "arc {producer} -> {consumer}: {detail}"),
+            CoreError::ZeroArity(t) => write!(f, "thread {t} declared with arity 0"),
+            CoreError::CyclicBlock(b) => {
+                write!(f, "block {b:?} contains a dependency cycle")
+            }
+            CoreError::BlockTooLarge {
+                block,
+                instances,
+                capacity,
+            } => write!(
+                f,
+                "block {block:?} needs {instances} TSU entries but capacity is {capacity}; \
+                 split it into more blocks"
+            ),
+            CoreError::EmptyProgram => write!(f, "program has no DDM blocks"),
+            CoreError::EmptyBlock(b) => write!(f, "block {b:?} has no application threads"),
+            CoreError::NotRunning(i) => {
+                write!(f, "instance {i} completed but was never fetched")
+            }
+            CoreError::DuplicateArc { producer, consumer } => {
+                write!(f, "duplicate arc {producer} -> {consumer}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::BlockTooLarge {
+            block: BlockId(1),
+            instances: 100,
+            capacity: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100"));
+        assert!(s.contains("64"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&CoreError::EmptyProgram);
+    }
+}

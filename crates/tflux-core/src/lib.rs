@@ -1,0 +1,84 @@
+//! # tflux-core — the Data-Driven Multithreading model
+//!
+//! This crate implements the target-independent heart of the TFlux platform
+//! (Stavrou et al., *TFlux: A Portable Platform for Data-Driven
+//! Multithreading on Commodity Multicore Systems*, ICPP 2008):
+//!
+//! * **DThreads** — non-overlapping sections of code scheduled in a
+//!   data-driven manner, identified by a [`ThreadId`] and, for loop threads,
+//!   a [`Context`] instance index.
+//! * **Synchronization graphs** — producer/consumer arcs between DThreads
+//!   with instance [`mapping::ArcMapping`]s (one-to-one, broadcast,
+//!   reduction, merge trees, …).
+//! * **DDM blocks** — subsets of the program small enough to fit in the TSU,
+//!   chained by implicit *Inlet* and *Outlet* DThreads.
+//! * **The TSU state machine** ([`tsu::TsuState`]) — ready counts, consumer
+//!   lists, post-processing, and ready-thread selection. Both the software
+//!   TSU emulator (`tflux-runtime`) and the simulated hardware TSU group
+//!   (`tflux-sim`) wrap this single state machine, which is what makes the
+//!   platform implementations directly comparable.
+//!
+//! The crate is deliberately free of threads, I/O and unsafe code: it is the
+//! model, not a platform. Platforms live in `tflux-runtime`, `tflux-sim`
+//! and `tflux-cell`.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use tflux_core::prelude::*;
+//!
+//! // A two-block program: block 0 forks 4 workers off a source thread and
+//! // reduces them into a sink; block 1 holds a final scalar thread.
+//! let mut b = ProgramBuilder::new();
+//! let blk0 = b.block();
+//! let src = b.thread(blk0, ThreadSpec::scalar("src"));
+//! let work = b.thread(blk0, ThreadSpec::new("work", 4));
+//! let sink = b.thread(blk0, ThreadSpec::scalar("sink"));
+//! b.arc(src, work, ArcMapping::Broadcast).unwrap();
+//! b.arc(work, sink, ArcMapping::Reduction).unwrap();
+//! let blk1 = b.block();
+//! b.thread(blk1, ThreadSpec::scalar("done"));
+//! let program = b.build().unwrap();
+//!
+//! // Drive the TSU state machine to completion on 2 virtual kernels.
+//! let mut tsu = TsuState::new(&program, 2, TsuConfig::default());
+//! let order = tflux_core::tsu::drain_sequential(&mut tsu);
+//! assert_eq!(order.len(), program.total_instances());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod ctx2d;
+pub mod error;
+pub mod graph;
+pub mod ids;
+pub mod mapping;
+pub mod policy;
+pub mod program;
+pub mod split;
+pub mod thread;
+pub mod tsu;
+pub mod unroll;
+
+pub use block::DdmBlock;
+pub use error::CoreError;
+pub use ids::{BlockId, Context, Instance, KernelId, ThreadId};
+pub use mapping::ArcMapping;
+pub use policy::SchedulingPolicy;
+pub use program::{DdmProgram, ProgramBuilder};
+pub use thread::{Affinity, ThreadKind, ThreadSpec};
+pub use tsu::{FetchResult, TsuConfig, TsuState};
+
+/// Convenient glob import for users of the model.
+pub mod prelude {
+    pub use crate::block::DdmBlock;
+    pub use crate::error::CoreError;
+    pub use crate::ids::{BlockId, Context, Instance, KernelId, ThreadId};
+    pub use crate::mapping::ArcMapping;
+    pub use crate::policy::SchedulingPolicy;
+    pub use crate::program::{DdmProgram, ProgramBuilder};
+    pub use crate::thread::{Affinity, ThreadKind, ThreadSpec};
+    pub use crate::tsu::{FetchResult, TsuConfig, TsuState};
+}

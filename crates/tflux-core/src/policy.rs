@@ -1,0 +1,45 @@
+//! Ready-thread selection policies.
+//!
+//! §3.1 of the paper: *"If more than one ready DThreads exist the TSU
+//! returns the one which, based on its internal policy, is most likely to
+//! maximize the spatial locality."* TFlux achieves this by assigning
+//! instances to kernels statically (the [`crate::thread::Affinity`] /
+//! Thread-to-Kernel Table) and serving each kernel from its own ready queue
+//! first. The policy here decides what happens beyond that.
+
+use serde::{Deserialize, Serialize};
+
+/// Policy used by the TSU when a kernel asks for its next DThread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulingPolicy {
+    /// Serve the kernel's own ready queue first (spatial locality); if it is
+    /// empty and `steal` is set, take the oldest entry from the most loaded
+    /// other queue.
+    LocalityFirst {
+        /// Whether an idle kernel may take work owned by another kernel.
+        steal: bool,
+    },
+    /// A single FIFO shared by all kernels — no locality preference.
+    ///
+    /// Used as a baseline in the scheduling ablation.
+    GlobalFifo,
+}
+
+impl Default for SchedulingPolicy {
+    fn default() -> Self {
+        SchedulingPolicy::LocalityFirst { steal: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_locality_with_steal() {
+        assert_eq!(
+            SchedulingPolicy::default(),
+            SchedulingPolicy::LocalityFirst { steal: true }
+        );
+    }
+}

@@ -1,0 +1,606 @@
+//! The Thread Synchronization Unit state machine.
+//!
+//! [`TsuState`] implements the target-independent TSU semantics of §2/§3.3
+//! of the paper: per-instance *Ready Counts* held in Synchronization Memory,
+//! consumer lists, the *Post-Processing Phase* run when a DThread completes,
+//! DDM-block loading/unloading through Inlet/Outlet threads, and ready
+//! DThread selection.
+//!
+//! Both platform TSUs wrap this one state machine:
+//!
+//! * the **software TSU Emulator** of `tflux-runtime` owns a `TsuState` on
+//!   its emulator thread and routes newly-ready instances to per-kernel
+//!   concurrent ready queues (use [`TsuState::complete_into`]);
+//! * the **hardware TSU Group** of `tflux-sim` wraps a `TsuState` behind a
+//!   memory-mapped device model and charges cycle costs per operation (use
+//!   the queue-mode API [`TsuState::fetch_ready`] / [`TsuState::complete`]).
+
+use crate::error::CoreError;
+use crate::ids::{BlockId, Context, Instance, KernelId};
+use crate::policy::SchedulingPolicy;
+use crate::program::DdmProgram;
+use crate::thread::ThreadKind;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Configuration of a TSU instance.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct TsuConfig {
+    /// Maximum instances resident at once (`0` = unlimited). A block whose
+    /// residency exceeds this fails at load, mirroring the paper's rule that
+    /// the block size is bounded by the TSU size.
+    pub capacity: usize,
+    /// Ready-thread selection policy.
+    pub policy: SchedulingPolicy,
+}
+
+
+/// Result of a kernel's request for its next DThread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FetchResult {
+    /// Run this instance next.
+    Thread(Instance),
+    /// No ready DThread right now; the kernel must wait and retry.
+    Wait,
+    /// The program has finished; the kernel exits.
+    Exit,
+}
+
+/// Counters the TSU keeps about its own operation.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct TsuStats {
+    /// Successful fetches (a DThread was handed to a kernel).
+    pub fetches: u64,
+    /// Fetch attempts that found no ready DThread.
+    pub waits: u64,
+    /// DThread completions processed.
+    pub completions: u64,
+    /// Ready-count decrements performed during post-processing.
+    pub rc_updates: u64,
+    /// Fetches satisfied from another kernel's queue.
+    pub steals: u64,
+    /// DDM blocks loaded.
+    pub blocks_loaded: u64,
+    /// Peak number of resident instances.
+    pub max_resident: usize,
+}
+
+/// The TSU state machine for one program execution.
+///
+/// Single-owner and lock-free by construction (see module docs for how the
+/// concurrent platforms wrap it).
+pub struct TsuState<'p> {
+    program: &'p DdmProgram,
+    kernels: u32,
+    config: TsuConfig,
+    /// Synchronization Memory: ready counts of the loaded block, indexed by
+    /// thread id then context. Entries of non-resident threads are empty.
+    rc: Vec<Vec<u32>>,
+    /// Instances fetched but not yet completed (for protocol checking).
+    running: Vec<Vec<bool>>,
+    /// Per-kernel ready queues (one queue total under `GlobalFifo`).
+    ready: Vec<VecDeque<Instance>>,
+    loaded: Option<BlockId>,
+    resident: usize,
+    finished: bool,
+    stats: TsuStats,
+}
+
+impl<'p> TsuState<'p> {
+    /// Create a TSU for `program` serving `kernels` kernels and arm it: the
+    /// inlet of the first block is made ready.
+    pub fn new(program: &'p DdmProgram, kernels: u32, config: TsuConfig) -> Self {
+        assert!(kernels > 0, "need at least one kernel");
+        let n = program.threads().len();
+        let nqueues = match config.policy {
+            SchedulingPolicy::GlobalFifo => 1,
+            _ => kernels as usize,
+        };
+        let mut s = TsuState {
+            program,
+            kernels,
+            config,
+            rc: vec![Vec::new(); n],
+            running: vec![Vec::new(); n],
+            ready: vec![VecDeque::new(); nqueues],
+            loaded: None,
+            resident: 0,
+            finished: false,
+            stats: TsuStats::default(),
+        };
+        let first_inlet = Instance::scalar(program.blocks()[0].inlet);
+        s.mark_resident(first_inlet.thread);
+        s.push_ready(first_inlet);
+        s
+    }
+
+    /// The program this TSU executes.
+    pub fn program(&self) -> &'p DdmProgram {
+        self.program
+    }
+
+    /// Number of kernels served.
+    pub fn kernels(&self) -> u32 {
+        self.kernels
+    }
+
+    /// Whether the last block's outlet has completed.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &TsuStats {
+        &self.stats
+    }
+
+    /// The currently loaded block, if any.
+    pub fn loaded_block(&self) -> Option<BlockId> {
+        self.loaded
+    }
+
+    /// Total ready instances across all queues.
+    pub fn ready_len(&self) -> usize {
+        self.ready.iter().map(|q| q.len()).sum()
+    }
+
+    fn queue_of(&self, i: Instance) -> usize {
+        match self.config.policy {
+            SchedulingPolicy::GlobalFifo => 0,
+            _ => self.program.kernel_of(i, self.kernels).idx(),
+        }
+    }
+
+    fn push_ready(&mut self, i: Instance) {
+        let q = self.queue_of(i);
+        self.ready[q].push_back(i);
+    }
+
+    fn mark_resident(&mut self, t: crate::ids::ThreadId) {
+        let arity = self.program.thread(t).arity as usize;
+        self.rc[t.idx()] = self.program.initial_rcs(t).to_vec();
+        self.running[t.idx()] = vec![false; arity];
+        self.resident += arity;
+        self.stats.max_resident = self.stats.max_resident.max(self.resident);
+    }
+
+    /// Queue-mode: ask for the next DThread on behalf of `kernel`.
+    pub fn fetch_ready(&mut self, kernel: KernelId) -> FetchResult {
+        if self.finished {
+            return FetchResult::Exit;
+        }
+        let own = match self.config.policy {
+            SchedulingPolicy::GlobalFifo => 0,
+            _ => (kernel.idx()).min(self.ready.len() - 1),
+        };
+        if let Some(i) = self.ready[own].pop_front() {
+            self.stats.fetches += 1;
+            self.running[i.thread.idx()][i.context.idx()] = true;
+            return FetchResult::Thread(i);
+        }
+        if let SchedulingPolicy::LocalityFirst { steal: true } = self.config.policy {
+            // steal from the most loaded queue
+            if let Some(victim) = (0..self.ready.len())
+                .filter(|&q| q != own && !self.ready[q].is_empty())
+                .max_by_key(|&q| self.ready[q].len())
+            {
+                let i = self.ready[victim].pop_front().expect("non-empty victim");
+                self.stats.fetches += 1;
+                self.stats.steals += 1;
+                self.running[i.thread.idx()][i.context.idx()] = true;
+                return FetchResult::Thread(i);
+            }
+        }
+        self.stats.waits += 1;
+        FetchResult::Wait
+    }
+
+    /// Notification-mode: drain the internal ready queues (e.g. right after
+    /// construction, to obtain the first block's inlet) into `out`, marking
+    /// each instance as dispatched.
+    pub fn drain_ready(&mut self, out: &mut Vec<Instance>) {
+        for q in 0..self.ready.len() {
+            while let Some(i) = self.ready[q].pop_front() {
+                self.stats.fetches += 1;
+                self.running[i.thread.idx()][i.context.idx()] = true;
+                out.push(i);
+            }
+        }
+    }
+
+    /// Notification-mode: mark `inst` — previously returned by
+    /// [`complete_into`](Self::complete_into) — as dispatched to a kernel
+    /// chosen by the caller. Pairs with a later `complete_into(inst, ..)`.
+    pub fn dispatch(&mut self, inst: Instance) {
+        self.stats.fetches += 1;
+        self.running[inst.thread.idx()][inst.context.idx()] = true;
+    }
+
+    /// The Post-Processing Phase: record completion of `inst`, decrement its
+    /// consumers' ready counts, and append newly-ready instances to `out`.
+    ///
+    /// Inlet completions load their block (appending every initially-ready
+    /// application instance); outlet completions unload the block and append
+    /// the next block's inlet, or mark the program finished.
+    pub fn complete_into(
+        &mut self,
+        inst: Instance,
+        out: &mut Vec<Instance>,
+    ) -> Result<(), CoreError> {
+        let t = inst.thread;
+        let ti = t.idx();
+        let ci = inst.context.idx();
+        if self
+            .running
+            .get(ti)
+            .and_then(|v| v.get(ci))
+            .copied()
+            .unwrap_or(false)
+        {
+            self.running[ti][ci] = false;
+        } else {
+            return Err(CoreError::NotRunning(inst));
+        }
+        self.stats.completions += 1;
+
+        match self.program.thread(t).kind {
+            ThreadKind::Inlet => {
+                self.unload_thread(t);
+                self.load_block(self.program.block_of(t), out)?;
+            }
+            ThreadKind::Outlet => {
+                // "the purpose of the [Outlet] is to clear the allocated
+                // resources": free the whole block's SM entries
+                let block = self.program.block_of(t);
+                let app_threads: Vec<_> = self.program.blocks()[block.idx()].threads.clone();
+                for at in app_threads {
+                    self.unload_thread(at);
+                }
+                self.unload_thread(t);
+                self.loaded = None;
+                let next = BlockId(self.program.block_of(t).0 + 1);
+                if (next.idx()) < self.program.blocks().len() {
+                    let inlet = Instance::scalar(self.program.blocks()[next.idx()].inlet);
+                    self.mark_resident(inlet.thread);
+                    out.push(inlet);
+                } else {
+                    self.finished = true;
+                }
+            }
+            ThreadKind::App => {
+                self.post_process(inst, out);
+            }
+        }
+        Ok(())
+    }
+
+    /// Queue-mode completion: like [`complete_into`](Self::complete_into)
+    /// but newly-ready instances go straight onto the internal ready queues.
+    pub fn complete(&mut self, inst: Instance) -> Result<(), CoreError> {
+        let mut out = Vec::new();
+        self.complete_queued(inst, &mut out)
+    }
+
+    /// Queue-mode completion that also reports the newly-ready instances in
+    /// `out` (they are *additionally* enqueued internally). Lets device
+    /// models inspect who became ready — e.g. to charge cross-TSU-shard
+    /// update messages only when a consumer lives on another shard.
+    pub fn complete_queued(
+        &mut self,
+        inst: Instance,
+        out: &mut Vec<Instance>,
+    ) -> Result<(), CoreError> {
+        out.clear();
+        self.complete_into(inst, out)?;
+        for &i in out.iter() {
+            self.push_ready(i);
+        }
+        Ok(())
+    }
+
+    fn post_process(&mut self, inst: Instance, out: &mut Vec<Instance>) {
+        let t = inst.thread;
+        let pa = self.program.thread(t).arity;
+        // Consumer lists live in the program (the TSU's Graph Memory).
+        for arc in self.program.consumers(t) {
+            let ca = self.program.thread(arc.consumer).arity;
+            let cons_rc = &mut self.rc[arc.consumer.idx()];
+            debug_assert!(
+                !cons_rc.is_empty(),
+                "consumer {:?} not resident",
+                arc.consumer
+            );
+            for c in arc.mapping.consumers(inst.context, pa, ca) {
+                self.stats.rc_updates += 1;
+                let rc = &mut cons_rc[c.idx()];
+                debug_assert!(*rc > 0, "ready count underflow at {:?}.{c:?}", arc.consumer);
+                *rc -= 1;
+                if *rc == 0 {
+                    out.push(Instance::new(arc.consumer, c));
+                }
+            }
+        }
+    }
+
+    fn unload_thread(&mut self, t: crate::ids::ThreadId) {
+        let arity = self.program.thread(t).arity as usize;
+        self.rc[t.idx()].clear();
+        self.running[t.idx()].clear();
+        self.resident -= arity;
+    }
+
+    fn load_block(&mut self, b: BlockId, out: &mut Vec<Instance>) -> Result<(), CoreError> {
+        let instances = self.program.block_instances(b);
+        if self.config.capacity != 0 && self.resident + instances > self.config.capacity {
+            return Err(CoreError::BlockTooLarge {
+                block: b,
+                instances,
+                capacity: self.config.capacity,
+            });
+        }
+        self.stats.blocks_loaded += 1;
+        let block = &self.program.blocks()[b.idx()];
+        let outlet = block.outlet;
+        let threads: Vec<_> = block.threads.clone();
+        for t in threads {
+            self.mark_resident(t);
+            // initially-ready instances (no in-block producers)
+            for (c, &rc) in self.program.initial_rcs(t).iter().enumerate() {
+                if rc == 0 {
+                    out.push(Instance::new(t, Context(c as u32)));
+                }
+            }
+        }
+        self.mark_resident(outlet);
+        self.loaded = Some(b);
+        Ok(())
+    }
+}
+
+/// Drive a TSU to completion single-threadedly, round-robining fetches over
+/// the kernels; returns the execution order. Panics on protocol errors.
+///
+/// This is the reference executor used by tests and by the graph-analysis
+/// tooling; platforms implement their own drivers.
+pub fn drain_sequential(tsu: &mut TsuState<'_>) -> Vec<Instance> {
+    let mut order = Vec::new();
+    let kernels = tsu.kernels();
+    let mut k = 0u32;
+    let mut idle_rounds = 0u32;
+    loop {
+        match tsu.fetch_ready(KernelId(k)) {
+            FetchResult::Thread(i) => {
+                idle_rounds = 0;
+                order.push(i);
+                tsu.complete(i).expect("protocol error");
+            }
+            FetchResult::Wait => {
+                idle_rounds += 1;
+                assert!(
+                    idle_rounds <= kernels,
+                    "deadlock: no kernel can make progress"
+                );
+            }
+            FetchResult::Exit => return order,
+        }
+        k = (k + 1) % kernels;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::ArcMapping;
+    use crate::program::ProgramBuilder;
+    use crate::thread::ThreadSpec;
+    use std::collections::HashSet;
+
+    fn fork_join(arity: u32, blocks: u32) -> DdmProgram {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..blocks {
+            let blk = b.block();
+            let src = b.thread(blk, ThreadSpec::scalar("src"));
+            let work = b.thread(blk, ThreadSpec::new("work", arity));
+            let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+            b.arc(src, work, ArcMapping::Broadcast).unwrap();
+            b.arc(work, sink, ArcMapping::Reduction).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn drains_every_instance_exactly_once() {
+        let p = fork_join(16, 3);
+        let mut tsu = TsuState::new(&p, 4, TsuConfig::default());
+        let order = drain_sequential(&mut tsu);
+        assert_eq!(order.len(), p.total_instances());
+        let set: HashSet<_> = order.iter().collect();
+        assert_eq!(set.len(), order.len(), "duplicate execution");
+        assert!(tsu.finished());
+    }
+
+    #[test]
+    fn respects_producer_consumer_order() {
+        let p = fork_join(8, 2);
+        let mut tsu = TsuState::new(&p, 3, TsuConfig::default());
+        let order = drain_sequential(&mut tsu);
+        let pos = |i: &Instance| order.iter().position(|x| x == i).unwrap();
+        for blk in p.blocks() {
+            let src = blk.threads[0];
+            let work = blk.threads[1];
+            let sink = blk.threads[2];
+            for c in 0..8 {
+                let w = Instance::new(work, Context(c));
+                assert!(pos(&Instance::scalar(src)) < pos(&w));
+                assert!(pos(&w) < pos(&Instance::scalar(sink)));
+            }
+            // inlet first in block, outlet last
+            let inlet = pos(&Instance::scalar(blk.inlet));
+            let outlet = pos(&Instance::scalar(blk.outlet));
+            for &t in &blk.threads {
+                for c in 0..p.thread(t).arity {
+                    let i = pos(&Instance::new(t, Context(c)));
+                    assert!(inlet < i && i < outlet);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_execute_in_order() {
+        let p = fork_join(4, 3);
+        let mut tsu = TsuState::new(&p, 2, TsuConfig::default());
+        let order = drain_sequential(&mut tsu);
+        let block_seq: Vec<u32> = order.iter().map(|i| p.block_of(i.thread).0).collect();
+        let mut sorted = block_seq.clone();
+        sorted.sort_unstable();
+        assert_eq!(block_seq, sorted, "block interleaving detected");
+    }
+
+    #[test]
+    fn capacity_enforced_at_block_load() {
+        let p = fork_join(32, 1); // block residency = 32 + 2 + 1 outlet
+        let mut tsu = TsuState::new(
+            &p,
+            2,
+            TsuConfig {
+                capacity: 8,
+                policy: SchedulingPolicy::default(),
+            },
+        );
+        // inlet fits; its completion tries to load the block and must fail
+        let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)) else {
+            panic!("inlet not ready");
+        };
+        let err = tsu.complete(inlet).unwrap_err();
+        assert!(matches!(err, CoreError::BlockTooLarge { .. }));
+    }
+
+    #[test]
+    fn double_completion_rejected() {
+        let p = fork_join(2, 1);
+        let mut tsu = TsuState::new(&p, 1, TsuConfig::default());
+        let FetchResult::Thread(i) = tsu.fetch_ready(KernelId(0)) else {
+            panic!()
+        };
+        tsu.complete(i).unwrap();
+        assert!(matches!(tsu.complete(i), Err(CoreError::NotRunning(_))));
+    }
+
+    #[test]
+    fn completion_without_fetch_rejected() {
+        let p = fork_join(2, 1);
+        let mut tsu = TsuState::new(&p, 1, TsuConfig::default());
+        let work = p.blocks()[0].threads[1];
+        assert!(matches!(
+            tsu.complete(Instance::new(work, Context(0))),
+            Err(CoreError::NotRunning(_))
+        ));
+    }
+
+    #[test]
+    fn steal_lets_idle_kernel_progress() {
+        // all work pinned to kernel 0; kernel 1 must steal
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        b.thread(
+            blk,
+            ThreadSpec::new("w", 8).with_affinity(crate::thread::Affinity::Fixed(KernelId(0))),
+        );
+        let p = b.build().unwrap();
+        let mut tsu = TsuState::new(&p, 2, TsuConfig::default());
+        // prime: run the inlet
+        let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)) else {
+            panic!()
+        };
+        tsu.complete(inlet).unwrap();
+        match tsu.fetch_ready(KernelId(1)) {
+            FetchResult::Thread(_) => {}
+            other => panic!("kernel 1 should have stolen, got {other:?}"),
+        }
+        assert_eq!(tsu.stats().steals, 1);
+    }
+
+    #[test]
+    fn no_steal_policy_makes_idle_kernel_wait() {
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        b.thread(
+            blk,
+            ThreadSpec::new("w", 8).with_affinity(crate::thread::Affinity::Fixed(KernelId(0))),
+        );
+        let p = b.build().unwrap();
+        let mut tsu = TsuState::new(
+            &p,
+            2,
+            TsuConfig {
+                capacity: 0,
+                policy: SchedulingPolicy::LocalityFirst { steal: false },
+            },
+        );
+        let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)) else {
+            panic!()
+        };
+        tsu.complete(inlet).unwrap();
+        assert_eq!(tsu.fetch_ready(KernelId(1)), FetchResult::Wait);
+        assert!(tsu.stats().waits >= 1);
+    }
+
+    #[test]
+    fn global_fifo_serves_everyone_from_one_queue() {
+        let p = fork_join(6, 1);
+        let mut tsu = TsuState::new(
+            &p,
+            3,
+            TsuConfig {
+                capacity: 0,
+                policy: SchedulingPolicy::GlobalFifo,
+            },
+        );
+        let order = drain_sequential(&mut tsu);
+        assert_eq!(order.len(), p.total_instances());
+        assert_eq!(tsu.stats().steals, 0);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let p = fork_join(4, 2);
+        let mut tsu = TsuState::new(&p, 2, TsuConfig::default());
+        drain_sequential(&mut tsu);
+        let s = tsu.stats();
+        assert_eq!(s.completions as usize, p.total_instances());
+        assert_eq!(s.fetches as usize, p.total_instances());
+        assert_eq!(s.blocks_loaded, 2);
+        assert!(s.rc_updates > 0);
+        assert!(s.max_resident >= p.max_block_instances());
+    }
+
+    #[test]
+    fn outlet_frees_block_resources() {
+        // regression: app-thread SM entries must be freed when the block's
+        // outlet completes, or multi-block programs exceed capacity
+        let p = fork_join(8, 3); // block residency: 8 + 2 scalars + outlet = 11
+        let mut tsu = TsuState::new(
+            &p,
+            2,
+            TsuConfig {
+                capacity: 12,
+                policy: SchedulingPolicy::default(),
+            },
+        );
+        let order = drain_sequential(&mut tsu);
+        assert_eq!(order.len(), p.total_instances());
+        assert!(tsu.stats().max_resident <= 12);
+    }
+
+    #[test]
+    fn exit_reported_to_all_kernels_after_finish() {
+        let p = fork_join(2, 1);
+        let mut tsu = TsuState::new(&p, 4, TsuConfig::default());
+        drain_sequential(&mut tsu);
+        for k in 0..4 {
+            assert_eq!(tsu.fetch_ready(KernelId(k)), FetchResult::Exit);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests: random DDM programs executed through the TSU state
+//! machine always run every instance exactly once, in dependency order, and
+//! never deadlock.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use tflux_core::prelude::*;
+use tflux_core::tsu::drain_sequential;
+
+/// A random, always-valid program description.
+#[derive(Debug, Clone)]
+struct ProgramDesc {
+    blocks: Vec<Vec<(u32, Affinity)>>, // per block: (arity, affinity) per thread
+    // arcs as (block, producer idx, consumer idx > producer idx, mapping sel)
+    arcs: Vec<(usize, usize, usize, u8, u8)>,
+    kernels: u32,
+    policy: SchedulingPolicy,
+}
+
+fn affinity_strategy() -> impl Strategy<Value = Affinity> {
+    prop_oneof![
+        Just(Affinity::Range),
+        Just(Affinity::RoundRobin),
+        (0u32..4).prop_map(|k| Affinity::Fixed(KernelId(k))),
+    ]
+}
+
+fn desc_strategy() -> impl Strategy<Value = ProgramDesc> {
+    let blocks = prop::collection::vec(
+        prop::collection::vec((1u32..9, affinity_strategy()), 1..6),
+        1..4,
+    );
+    (blocks, prop::collection::vec((0usize..6, 0usize..6, 0usize..6, 0u8..5, 1u8..5), 0..12))
+        .prop_flat_map(|(blocks, rawarcs)| {
+            let nb = blocks.len();
+            (
+                Just(blocks),
+                Just(rawarcs),
+                1u32..6,
+                prop_oneof![
+                    Just(SchedulingPolicy::LocalityFirst { steal: true }),
+                    Just(SchedulingPolicy::LocalityFirst { steal: false }),
+                    Just(SchedulingPolicy::GlobalFifo),
+                ],
+                Just(nb),
+            )
+        })
+        .prop_map(|(blocks, rawarcs, kernels, policy, nb)| {
+            let arcs = rawarcs
+                .into_iter()
+                .map(|(b, p, c, m, f)| (b % nb, p, c, m, f))
+                .collect();
+            ProgramDesc {
+                blocks,
+                arcs,
+                kernels,
+                policy,
+            }
+        })
+}
+
+/// Materialize a description into a validated program. Arcs that would be
+/// invalid (same thread, wrong arity for the mapping, out of range) are
+/// skipped — the generator over-produces and we keep what is legal, which
+/// still explores a wide space of DAG shapes.
+fn build(desc: &ProgramDesc) -> DdmProgram {
+    let mut b = ProgramBuilder::new();
+    let mut ids: Vec<Vec<ThreadId>> = Vec::new();
+    for block in &desc.blocks {
+        let blk = b.block();
+        let mut v = Vec::new();
+        for (i, (arity, aff)) in block.iter().enumerate() {
+            v.push(b.thread(
+                blk,
+                ThreadSpec::new(format!("t{i}"), *arity).with_affinity(*aff),
+            ));
+        }
+        ids.push(v);
+    }
+    for &(blk, p, c, m, f) in &desc.arcs {
+        let threads = &ids[blk];
+        if threads.len() < 2 {
+            continue;
+        }
+        let p = p % threads.len();
+        let c = c % threads.len();
+        if p >= c {
+            continue; // keep the template graph acyclic by index order
+        }
+        let (tp, tc) = (threads[p], threads[c]);
+        let mapping = match m {
+            0 => ArcMapping::All,
+            1 => ArcMapping::OneToOne,
+            2 => ArcMapping::Offset(f as i32 - 2),
+            3 => ArcMapping::Group { factor: f as u32 },
+            _ => ArcMapping::Expand { factor: f as u32 },
+        };
+        // arc() validates arity compatibility; skip incompatible ones
+        let _ = b.arc(tp, tc, mapping);
+    }
+    b.build().expect("generated program must validate")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_instance_runs_exactly_once(desc in desc_strategy()) {
+        let p = build(&desc);
+        let mut tsu = TsuState::new(&p, desc.kernels, TsuConfig {
+            capacity: 0,
+            policy: desc.policy,
+        });
+        let order = drain_sequential(&mut tsu);
+        prop_assert_eq!(order.len(), p.total_instances());
+        let mut seen = HashMap::new();
+        for i in &order {
+            *seen.entry(*i).or_insert(0u32) += 1;
+        }
+        prop_assert!(seen.values().all(|&v| v == 1));
+        prop_assert!(tsu.finished());
+    }
+
+    #[test]
+    fn producers_always_precede_consumers(desc in desc_strategy()) {
+        let p = build(&desc);
+        let mut tsu = TsuState::new(&p, desc.kernels, TsuConfig {
+            capacity: 0,
+            policy: desc.policy,
+        });
+        let order = drain_sequential(&mut tsu);
+        let pos: HashMap<Instance, usize> =
+            order.iter().enumerate().map(|(n, &i)| (i, n)).collect();
+        for t in 0..p.threads().len() {
+            let t = ThreadId(t as u32);
+            let pa = p.thread(t).arity;
+            for arc in p.consumers(t) {
+                let ca = p.thread(arc.consumer).arity;
+                for pc in 0..pa {
+                    let pi = Instance::new(t, Context(pc));
+                    for cc in arc.mapping.consumers(Context(pc), pa, ca) {
+                        let ci = Instance::new(arc.consumer, cc);
+                        prop_assert!(
+                            pos[&pi] < pos[&ci],
+                            "{pi} ran after its consumer {ci}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_never_interleave(desc in desc_strategy()) {
+        let p = build(&desc);
+        let mut tsu = TsuState::new(&p, desc.kernels, TsuConfig {
+            capacity: 0,
+            policy: desc.policy,
+        });
+        let order = drain_sequential(&mut tsu);
+        let blocks: Vec<u32> = order.iter().map(|i| p.block_of(i.thread).0).collect();
+        let mut sorted = blocks.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(blocks, sorted);
+    }
+
+    #[test]
+    fn work_span_bounds_hold(desc in desc_strategy()) {
+        let p = build(&desc);
+        let ws = tflux_core::graph::work_span(&p, |_, _| 1.0);
+        // span counts at least one instance per block (plus inlets), and
+        // work counts everything
+        prop_assert_eq!(ws.work, p.total_instances() as f64);
+        prop_assert!(ws.span >= 2.0 * p.blocks().len() as f64); // inlet + >=1
+        prop_assert!(ws.span <= ws.work);
+        prop_assert!(ws.ideal_speedup() >= 1.0 - 1e-12);
+    }
+}

@@ -1,0 +1,65 @@
+//! Serde round-trips: DDM programs and configuration types serialize and
+//! deserialize losslessly (the harness persists them as run manifests).
+
+use tflux_core::prelude::*;
+
+fn sample() -> DdmProgram {
+    let mut b = ProgramBuilder::new();
+    let b1 = b.block();
+    let src = b.thread(b1, ThreadSpec::scalar("src"));
+    let work = b.thread(
+        b1,
+        ThreadSpec::new("work", 12).with_affinity(Affinity::RoundRobin),
+    );
+    let merge = b.thread(b1, ThreadSpec::new("merge", 6));
+    b.arc(src, work, ArcMapping::Broadcast).unwrap();
+    b.arc(work, merge, ArcMapping::Group { factor: 2 }).unwrap();
+    let b2 = b.block();
+    b.thread(b2, ThreadSpec::new("post", 4).with_affinity(Affinity::Fixed(KernelId(1))));
+    b.build().unwrap()
+}
+
+#[test]
+fn program_json_roundtrip_preserves_semantics() {
+    let p = sample();
+    let json = serde_json::to_string(&p).unwrap();
+    let q: DdmProgram = serde_json::from_str(&json).unwrap();
+
+    assert_eq!(p.threads().len(), q.threads().len());
+    assert_eq!(p.blocks().len(), q.blocks().len());
+    assert_eq!(p.total_instances(), q.total_instances());
+    for t in 0..p.threads().len() {
+        let t = ThreadId(t as u32);
+        assert_eq!(p.thread(t).name, q.thread(t).name);
+        assert_eq!(p.thread(t).arity, q.thread(t).arity);
+        assert_eq!(p.thread(t).affinity, q.thread(t).affinity);
+        assert_eq!(p.thread(t).kind, q.thread(t).kind);
+        assert_eq!(p.initial_rcs(t), q.initial_rcs(t));
+        assert_eq!(p.consumers(t).len(), q.consumers(t).len());
+        assert_eq!(p.block_of(t), q.block_of(t));
+    }
+
+    // the deserialized program executes identically
+    let mut tp = TsuState::new(&p, 3, TsuConfig::default());
+    let mut tq = TsuState::new(&q, 3, TsuConfig::default());
+    let op = tflux_core::tsu::drain_sequential(&mut tp);
+    let oq = tflux_core::tsu::drain_sequential(&mut tq);
+    assert_eq!(op, oq);
+}
+
+#[test]
+fn config_types_roundtrip() {
+    let cfg = TsuConfig {
+        capacity: 99,
+        policy: SchedulingPolicy::LocalityFirst { steal: false },
+    };
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: TsuConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.capacity, 99);
+    assert_eq!(back.policy, cfg.policy);
+
+    let u = tflux_core::unroll::Unroll::new(1000, 16);
+    let back: tflux_core::unroll::Unroll =
+        serde_json::from_str(&serde_json::to_string(&u).unwrap()).unwrap();
+    assert_eq!(back, u);
+}

@@ -1,0 +1,94 @@
+//! Preprocessor errors, with source line numbers.
+
+use std::fmt;
+
+/// An error produced while preprocessing a DDM source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreprocessError {
+    /// 1-based source line the error was detected at (0 = whole file).
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ErrorKind,
+}
+
+/// The kinds of preprocessing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// A `#pragma ddm` line that does not parse.
+    BadDirective(String),
+    /// A directive that is illegal where it appears (nesting violations).
+    Misplaced(String),
+    /// A thread id declared twice.
+    DuplicateThread(u32),
+    /// A block id declared twice.
+    DuplicateBlock(u32),
+    /// `depends(..)` names a thread that is not declared in the same block.
+    UnknownDependency {
+        /// The thread with the bad dependency.
+        thread: u32,
+        /// The missing producer.
+        depends_on: u32,
+    },
+    /// A `def` constant referenced but never defined.
+    UnknownConstant(String),
+    /// The module has no `startprogram`.
+    NoProgram,
+    /// `endprogram` missing.
+    UnterminatedProgram,
+    /// The module failed core-model validation when lowered.
+    Lower(String),
+    /// A numeric field failed to parse.
+    BadNumber(String),
+}
+
+impl fmt::Display for PreprocessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: ", self.line)?;
+        }
+        match &self.kind {
+            ErrorKind::BadDirective(s) => write!(f, "cannot parse directive: {s}"),
+            ErrorKind::Misplaced(s) => write!(f, "directive not allowed here: {s}"),
+            ErrorKind::DuplicateThread(t) => write!(f, "thread {t} declared twice"),
+            ErrorKind::DuplicateBlock(b) => write!(f, "block {b} declared twice"),
+            ErrorKind::UnknownDependency { thread, depends_on } => write!(
+                f,
+                "thread {thread} depends on thread {depends_on}, which is not declared \
+                 in the same block"
+            ),
+            ErrorKind::UnknownConstant(c) => write!(f, "constant `{c}` is not defined"),
+            ErrorKind::NoProgram => write!(f, "no `#pragma ddm startprogram` found"),
+            ErrorKind::UnterminatedProgram => {
+                write!(f, "missing `#pragma ddm endprogram`")
+            }
+            ErrorKind::Lower(s) => write!(f, "invalid DDM program: {s}"),
+            ErrorKind::BadNumber(s) => write!(f, "bad number: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PreprocessError {}
+
+impl PreprocessError {
+    /// Construct an error at a line.
+    pub fn at(line: usize, kind: ErrorKind) -> Self {
+        PreprocessError { line, kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = PreprocessError::at(42, ErrorKind::DuplicateThread(3));
+        assert_eq!(e.to_string(), "line 42: thread 3 declared twice");
+    }
+
+    #[test]
+    fn file_level_errors_have_no_line_prefix() {
+        let e = PreprocessError::at(0, ErrorKind::NoProgram);
+        assert!(!e.to_string().starts_with("line"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Source-level lexing: split a C-like source file into DDM pragma lines
+//! and pass-through code segments.
+//!
+//! The lexer is comment- and string-aware so that a `#pragma ddm` inside a
+//! block comment or a string literal is *not* treated as a directive —
+//! exactly the behaviour a C preprocessor front-end must have.
+
+/// One element of the source file, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Piece {
+    /// A `#pragma ddm …` line: the directive text after `ddm`, trimmed.
+    Pragma {
+        /// 1-based source line.
+        line: usize,
+        /// Directive text (e.g. `thread 3 kernel 1`).
+        text: String,
+    },
+    /// Verbatim code (may span many lines, newlines preserved).
+    Code {
+        /// 1-based line the segment starts at.
+        line: usize,
+        /// The raw text.
+        text: String,
+    },
+}
+
+/// Split `source` into pragma directives and code segments.
+pub fn lex(source: &str) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    let mut code = String::new();
+    let mut code_start = 1usize;
+    let mut in_block_comment = false;
+
+    for (i, raw_line) in source.lines().enumerate() {
+        let lineno = i + 1;
+        let is_pragma = !in_block_comment && is_ddm_pragma(raw_line);
+        if is_pragma {
+            if !code.trim().is_empty() {
+                pieces.push(Piece::Code {
+                    line: code_start,
+                    text: std::mem::take(&mut code),
+                });
+            } else {
+                code.clear();
+            }
+            code_start = lineno + 1;
+            let after = raw_line.trim_start();
+            let after = after.strip_prefix("#pragma").unwrap().trim_start();
+            let after = after.strip_prefix("ddm").unwrap().trim();
+            pieces.push(Piece::Pragma {
+                line: lineno,
+                text: after.to_string(),
+            });
+        } else {
+            if code.is_empty() {
+                code_start = lineno;
+            }
+            code.push_str(raw_line);
+            code.push('\n');
+            in_block_comment = track_block_comment(raw_line, in_block_comment);
+        }
+    }
+    if !code.trim().is_empty() {
+        pieces.push(Piece::Code {
+            line: code_start,
+            text: code,
+        });
+    }
+    pieces
+}
+
+/// Whether a line is a `#pragma ddm` directive (outside comments/strings).
+fn is_ddm_pragma(line: &str) -> bool {
+    let t = line.trim_start();
+    if let Some(rest) = t.strip_prefix("#pragma") {
+        let rest = rest.trim_start();
+        rest == "ddm" || rest.starts_with("ddm ") || rest.starts_with("ddm\t")
+    } else {
+        false
+    }
+}
+
+/// Track whether we are inside a `/* … */` comment after this line,
+/// respecting line comments and string literals.
+fn track_block_comment(line: &str, mut inside: bool) -> bool {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    let mut in_str: Option<u8> = None;
+    while i < bytes.len() {
+        if inside {
+            if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                inside = false;
+                i += 2;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        match in_str {
+            Some(q) => {
+                if bytes[i] == b'\\' {
+                    i += 2;
+                    continue;
+                }
+                if bytes[i] == q {
+                    in_str = None;
+                }
+                i += 1;
+            }
+            None => match bytes[i] {
+                b'"' | b'\'' => {
+                    in_str = Some(bytes[i]);
+                    i += 1;
+                }
+                b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => return inside,
+                b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                    inside = true;
+                    i += 2;
+                }
+                _ => i += 1,
+            },
+        }
+    }
+    inside
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_pragmas_and_code() {
+        let src = "int x;\n#pragma ddm startprogram\ny += 1;\n#pragma ddm endprogram\n";
+        let p = lex(src);
+        assert_eq!(p.len(), 4);
+        assert_eq!(
+            p[1],
+            Piece::Pragma {
+                line: 2,
+                text: "startprogram".into()
+            }
+        );
+        match &p[2] {
+            Piece::Code { line, text } => {
+                assert_eq!(*line, 3);
+                assert_eq!(text, "y += 1;\n");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pragma_inside_block_comment_ignored() {
+        let src = "/*\n#pragma ddm thread 1\n*/\ncode();\n";
+        let p = lex(src);
+        assert!(p.iter().all(|x| matches!(x, Piece::Code { .. })));
+    }
+
+    #[test]
+    fn pragma_after_closed_comment_detected() {
+        let src = "/* c */\n#pragma ddm block 1\n";
+        let p = lex(src);
+        assert!(matches!(&p[1], Piece::Pragma { text, .. } if text == "block 1"));
+    }
+
+    #[test]
+    fn line_comment_does_not_open_block() {
+        let src = "// /*\n#pragma ddm block 1\n";
+        let p = lex(src);
+        assert!(p.iter().any(|x| matches!(x, Piece::Pragma { .. })));
+    }
+
+    #[test]
+    fn string_containing_comment_opener_is_ignored() {
+        let src = "char *s = \"/*\";\n#pragma ddm block 1\n";
+        let p = lex(src);
+        assert!(p.iter().any(|x| matches!(x, Piece::Pragma { .. })));
+    }
+
+    #[test]
+    fn non_ddm_pragma_is_code() {
+        let src = "#pragma once\n#pragma ddmx foo\n";
+        let p = lex(src);
+        assert!(p.iter().all(|x| matches!(x, Piece::Code { .. })));
+    }
+
+    #[test]
+    fn indented_pragma_detected() {
+        let src = "    #pragma ddm endthread\n";
+        let p = lex(src);
+        assert!(matches!(&p[0], Piece::Pragma { text, .. } if text == "endthread"));
+    }
+
+    #[test]
+    fn blank_code_segments_are_dropped() {
+        let src = "#pragma ddm startprogram\n\n\n#pragma ddm endprogram\n";
+        let p = lex(src);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let src = "char *s = \"a\\\"/*\";\n#pragma ddm block 2\n";
+        let p = lex(src);
+        assert!(p.iter().any(|x| matches!(x, Piece::Pragma { .. })));
+    }
+}

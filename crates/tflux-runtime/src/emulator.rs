@@ -1,0 +1,225 @@
+//! The TSU Emulator (§4.2 of the paper).
+//!
+//! "The code of the TSU Emulator is executed by an independent POSIX thread
+//! which runs on an available CPU." The emulator owns the global TSU state
+//! machine; its loop drains the TUB, runs the Post-Processing Phase for each
+//! completed DThread (decrementing consumers' ready counts in the
+//! Synchronization Memories), locates each consumer's owning kernel directly
+//! via the Thread-to-Kernel Table (*Thread Indexing* — `DdmProgram::
+//! kernel_of` is that table), and pushes newly-ready instances onto the
+//! owning kernel's ready queue.
+
+use crate::sm::ReadyQueue;
+use crate::tub::Tub;
+use std::time::{Duration, Instant};
+use tflux_core::error::CoreError;
+use tflux_core::ids::Instance;
+use tflux_core::program::DdmProgram;
+use tflux_core::tsu::{TsuConfig, TsuState, TsuStats};
+
+/// Why the emulator stopped.
+#[derive(Debug)]
+pub enum EmulatorExit {
+    /// The last block's outlet completed; the program is done.
+    Finished(TsuStats),
+    /// A TSU protocol error (e.g. a block larger than the TSU capacity).
+    Protocol(CoreError),
+    /// No completion arrived within the watchdog interval while DThreads
+    /// were outstanding — some kernel or body is stuck.
+    Stalled {
+        /// Counters at the moment the watchdog fired.
+        stats: TsuStats,
+        /// How long the emulator waited without progress.
+        idle: Duration,
+    },
+}
+
+/// Configuration for one emulator run.
+#[derive(Clone, Copy, Debug)]
+pub struct EmulatorConfig {
+    /// TSU capacity / scheduling policy.
+    pub tsu: TsuConfig,
+    /// Watchdog: abort if no completion arrives for this long while work is
+    /// outstanding. Guards tests and the figure harness against deadlocking
+    /// application bodies.
+    pub watchdog: Duration,
+}
+
+impl Default for EmulatorConfig {
+    fn default() -> Self {
+        EmulatorConfig {
+            tsu: TsuConfig::default(),
+            watchdog: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Run the TSU Emulator until the program finishes or fails.
+///
+/// On any exit path the kernels' queues are shut down, so kernel threads
+/// always terminate.
+pub fn run_emulator(
+    program: &DdmProgram,
+    queues: &[ReadyQueue],
+    tub: &Tub,
+    config: EmulatorConfig,
+) -> EmulatorExit {
+    let kernels = queues.len() as u32;
+    let mut tsu = TsuState::new(program, kernels, config.tsu);
+
+    let shutdown_all = |queues: &[ReadyQueue]| {
+        for q in queues {
+            q.shutdown();
+        }
+    };
+
+    let mut ready: Vec<Instance> = Vec::new();
+    let mut completions: Vec<Instance> = Vec::new();
+
+    // Arm the kernels with the first block's inlet. (With a GlobalFifo
+    // policy there is a single shared queue; the index clamp routes
+    // everything there.)
+    tsu.drain_ready(&mut ready);
+    for inst in ready.drain(..) {
+        let k = program.kernel_of(inst, kernels);
+        queues[k.idx().min(queues.len() - 1)].push(inst);
+    }
+
+    let mut last_progress = Instant::now();
+    loop {
+        completions.clear();
+        if tub.drain_into(&mut completions) == 0 {
+            if last_progress.elapsed() >= config.watchdog {
+                shutdown_all(queues);
+                return EmulatorExit::Stalled {
+                    stats: *tsu.stats(),
+                    idle: last_progress.elapsed(),
+                };
+            }
+            tub.wait(Duration::from_millis(1));
+            continue;
+        }
+        last_progress = Instant::now();
+
+        for &done in completions.iter() {
+            ready.clear();
+            if let Err(e) = tsu.complete_into(done, &mut ready) {
+                shutdown_all(queues);
+                return EmulatorExit::Protocol(e);
+            }
+            for &inst in ready.iter() {
+                tsu.dispatch(inst);
+                let k = program.kernel_of(inst, kernels);
+                queues[k.idx().min(queues.len() - 1)].push(inst);
+            }
+        }
+
+        if tsu.finished() {
+            shutdown_all(queues);
+            return EmulatorExit::Finished(*tsu.stats());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use tflux_core::prelude::*;
+
+    fn fork_join(arity: u32) -> DdmProgram {
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let src = b.thread(blk, ThreadSpec::scalar("src"));
+        let work = b.thread(blk, ThreadSpec::new("work", arity));
+        let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+        b.arc(src, work, ArcMapping::Broadcast).unwrap();
+        b.arc(work, sink, ArcMapping::Reduction).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Emulator + an inline "kernel" on the test thread.
+    #[test]
+    fn emulator_drives_single_inline_kernel() {
+        let p = fork_join(4);
+        let queues = vec![ReadyQueue::new()];
+        let tub = Tub::new(2);
+        let executed = AtomicU64::new(0);
+
+        std::thread::scope(|s| {
+            let qref = &queues;
+            let tubref = &tub;
+            let pref = &p;
+            let exec = &executed;
+            s.spawn(move || {
+                while let crate::sm::Fetched::Thread(i) = qref[0].pop() {
+                    exec.fetch_add(1, Ordering::Relaxed);
+                    tubref.push(i);
+                }
+            });
+            let exit = run_emulator(pref, qref, tubref, EmulatorConfig::default());
+            match exit {
+                EmulatorExit::Finished(stats) => {
+                    assert_eq!(stats.completions as usize, p.total_instances());
+                }
+                other => panic!("unexpected exit {other:?}"),
+            }
+        });
+        assert_eq!(executed.load(Ordering::Relaxed) as usize, p.total_instances());
+    }
+
+    #[test]
+    fn watchdog_fires_when_kernels_never_complete() {
+        let p = fork_join(2);
+        let queues = vec![ReadyQueue::new()];
+        let tub = Tub::new(1);
+        // no kernel is running: the inlet is dispatched but never completes
+        let exit = run_emulator(
+            &p,
+            &queues,
+            &tub,
+            EmulatorConfig {
+                tsu: TsuConfig::default(),
+                watchdog: Duration::from_millis(50),
+            },
+        );
+        assert!(matches!(exit, EmulatorExit::Stalled { .. }));
+        // queue was shut down: a kernel popping now would exit
+        assert!(matches!(
+            queues[0].try_pop(),
+            Some(crate::sm::Fetched::Thread(_)) | Some(crate::sm::Fetched::Exit)
+        ));
+    }
+
+    #[test]
+    fn protocol_error_reported_for_oversized_block() {
+        let p = fork_join(64);
+        let queues = vec![ReadyQueue::new()];
+        let tub = Tub::new(1);
+        std::thread::scope(|s| {
+            let qref = &queues;
+            let tubref = &tub;
+            s.spawn(move || {
+                while let crate::sm::Fetched::Thread(i) = qref[0].pop() {
+                    tubref.push(i);
+                }
+            });
+            let exit = run_emulator(
+                &p,
+                qref,
+                tubref,
+                EmulatorConfig {
+                    tsu: TsuConfig {
+                        capacity: 8,
+                        policy: Default::default(),
+                    },
+                    watchdog: Duration::from_secs(5),
+                },
+            );
+            assert!(matches!(
+                exit,
+                EmulatorExit::Protocol(CoreError::BlockTooLarge { .. })
+            ));
+        });
+    }
+}

@@ -1,0 +1,293 @@
+//! The Kernel loop (Fig. 2 of the paper).
+//!
+//! A kernel is "a simple user-level process" — here an OS thread — that
+//! alternates between the *FindReadyThread* loop and application DThread
+//! code. Fetching pops the kernel's own ready queue (its Local TSU);
+//! completion publishes the instance into the segmented TUB for the TSU
+//! Emulator's Post-Processing Phase.
+//!
+//! Ready-thread selection follows the runtime's
+//! [`SchedulingPolicy`](tflux_core::SchedulingPolicy): under
+//! `LocalityFirst { steal: true }` an idle kernel takes the oldest entry
+//! from the most loaded sibling queue before blocking — the software
+//! equivalent of the TSU handing a ready DThread to whichever CPU asks,
+//! locality permitting (§3.1).
+
+use crate::body::{BodyCtx, BodyTable};
+use crate::sm::{Fetched, ReadyQueue};
+use crate::stats::KernelStats;
+use crate::tub::Tub;
+use parking_lot::Mutex;
+use std::time::Duration;
+use tflux_core::ids::{Instance, KernelId};
+use tflux_core::program::DdmProgram;
+
+/// A panic captured from a DThread body. The kernel contains the panic,
+/// records it here, and still publishes the completion so the program
+/// drains instead of deadlocking; the runtime reports the failure after
+/// the run (see [`RuntimeError::BodyPanicked`](crate::RuntimeError)).
+#[derive(Debug, Clone)]
+pub struct BodyPanic {
+    /// The instance whose body panicked.
+    pub instance: Instance,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+/// Shared collector for body panics across kernels.
+pub type PanicSink = Mutex<Vec<BodyPanic>>;
+
+/// How long a stealing kernel blocks on its own queue between victim
+/// rescans.
+const STEAL_RESCAN: Duration = Duration::from_millis(1);
+
+/// Run one kernel to completion. Returns this kernel's counters.
+///
+/// `queues[own]` is this kernel's Local TSU; with `steal` set, the other
+/// queues are stealing victims. The loop mirrors Fig. 2: the first instance
+/// a kernel receives is (for kernel 0) the first block's Inlet; every
+/// completion jumps back to the FindReadyThread point; the Exit signal
+/// raised by the last block's Outlet "forces its Kernel to exit".
+#[allow(clippy::too_many_arguments)] // the kernel loop IS the meeting point
+                                     // of every runtime structure; a config
+                                     // struct would only rename the problem
+pub fn run_kernel(
+    kernel: KernelId,
+    _program: &DdmProgram,
+    bodies: &BodyTable<'_>,
+    queues: &[ReadyQueue],
+    own: usize,
+    steal: bool,
+    tub: &Tub,
+    panics: &PanicSink,
+) -> KernelStats {
+    let mut executed = 0u64;
+    let mut steals = 0u64;
+    let queue = &queues[own];
+
+    let run = |instance: Instance, executed: &mut u64| {
+        let ctx = BodyCtx {
+            instance,
+            context: instance.context,
+            kernel,
+        };
+        // Direct closure call: kernel→DThread transition without OS
+        // involvement, as in §3.2. A panicking body is contained: its
+        // completion is still published (the alternative is a deadlocked
+        // program) and the failure is reported after the run.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            (bodies.get(instance.thread))(&ctx)
+        }));
+        if let Err(payload) = result {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            panics.lock().push(BodyPanic { instance, message });
+        }
+        *executed += 1;
+        tub.push(instance);
+    };
+
+    'outer: loop {
+        // own queue first (spatial locality)
+        match if steal { queue.try_pop() } else { Some(queue.pop()) } {
+            Some(Fetched::Thread(i)) => {
+                run(i, &mut executed);
+                continue;
+            }
+            Some(Fetched::Exit) => break,
+            None => {}
+        }
+        // steal from the most loaded victim
+        debug_assert!(steal);
+        loop {
+            let victim = (0..queues.len())
+                .filter(|&q| q != own && !queues[q].is_empty())
+                .max_by_key(|&q| queues[q].len());
+            if let Some(v) = victim {
+                if let Some(Fetched::Thread(i)) = queues[v].try_pop() {
+                    steals += 1;
+                    run(i, &mut executed);
+                    continue 'outer;
+                }
+                // raced with the owner; rescan
+                continue;
+            }
+            // nothing stealable: block briefly on the own queue
+            match queue.pop_timeout(STEAL_RESCAN) {
+                Some(Fetched::Thread(i)) => {
+                    run(i, &mut executed);
+                    continue 'outer;
+                }
+                Some(Fetched::Exit) => break 'outer,
+                None => continue,
+            }
+        }
+    }
+    KernelStats {
+        executed,
+        wait_ns: queue.wait_nanos(),
+        blocked_pops: queue.blocked_pops(),
+        steals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::BodyTable;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use tflux_core::ids::Instance;
+    use tflux_core::prelude::*;
+
+    fn queues(n: usize) -> Vec<ReadyQueue> {
+        (0..n).map(|_| ReadyQueue::new()).collect()
+    }
+
+    static PANICS: PanicSink = PanicSink::new(Vec::new());
+
+    #[test]
+    fn panicking_body_is_contained_and_reported() {
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let w = b.thread(blk, ThreadSpec::new("w", 3));
+        let p = b.build().unwrap();
+        let mut bodies = BodyTable::new(&p);
+        bodies.set(w, |c| {
+            if c.context.0 == 1 {
+                panic!("boom at {:?}", c.context);
+            }
+        });
+        let qs = queues(1);
+        let tub = Tub::new(1);
+        for c in 0..3 {
+            qs[0].push(Instance::new(w, Context(c)));
+        }
+        qs[0].shutdown();
+        let sink = PanicSink::default();
+        let stats = run_kernel(KernelId(0), &p, &bodies, &qs, 0, false, &tub, &sink);
+        // all three ran; the panic did not kill the kernel
+        assert_eq!(stats.executed, 3);
+        let panics = sink.into_inner();
+        assert_eq!(panics.len(), 1);
+        assert_eq!(panics[0].instance, Instance::new(w, Context(1)));
+        assert!(panics[0].message.contains("boom"));
+        // all three completions reached the TUB
+        let mut out = Vec::new();
+        assert_eq!(tub.drain_into(&mut out), 3);
+    }
+
+    #[test]
+    fn kernel_executes_queued_instances_then_exits() {
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let w = b.thread(blk, ThreadSpec::new("w", 4));
+        let p = b.build().unwrap();
+
+        let hits = AtomicU64::new(0);
+        let mut bodies = BodyTable::new(&p);
+        bodies.set(w, |c| {
+            hits.fetch_add(1 + c.context.0 as u64, Ordering::Relaxed);
+        });
+
+        let qs = queues(1);
+        let tub = Tub::new(2);
+        for c in 0..4 {
+            qs[0].push(Instance::new(w, Context(c)));
+        }
+        qs[0].shutdown();
+
+        let stats = run_kernel(KernelId(0), &p, &bodies, &qs, 0, false, &tub, &PanicSink::default());
+        assert_eq!(stats.executed, 4);
+        assert_eq!(hits.load(Ordering::Relaxed), 4 + 1 + 2 + 3);
+        // every completion went to the TUB
+        let mut out = Vec::new();
+        assert_eq!(tub.drain_into(&mut out), 4);
+    }
+
+    #[test]
+    fn kernel_with_empty_queue_exits_cleanly() {
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        b.thread(blk, ThreadSpec::scalar("x"));
+        let p = b.build().unwrap();
+        let bodies = BodyTable::new(&p);
+        let qs = queues(1);
+        qs[0].shutdown();
+        let tub = Tub::new(1);
+        let stats = run_kernel(KernelId(1), &p, &bodies, &qs, 0, false, &tub, &PanicSink::default());
+        assert_eq!(stats.executed, 0);
+    }
+
+    #[test]
+    fn body_ctx_reports_kernel_and_context() {
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let w = b.thread(blk, ThreadSpec::new("w", 2));
+        let p = b.build().unwrap();
+        let seen = parking_lot::Mutex::new(Vec::new());
+        let mut bodies = BodyTable::new(&p);
+        bodies.set(w, |c| {
+            seen.lock().push((c.kernel, c.context));
+        });
+        let qs = queues(1);
+        let tub = Tub::new(1);
+        qs[0].push(Instance::new(w, Context(1)));
+        qs[0].shutdown();
+        run_kernel(KernelId(3), &p, &bodies, &qs, 0, false, &tub, &PanicSink::default());
+        assert_eq!(seen.lock().as_slice(), &[(KernelId(3), Context(1))]);
+    }
+
+    #[test]
+    fn stealing_kernel_takes_work_from_the_loaded_victim() {
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let w = b.thread(blk, ThreadSpec::new("w", 6));
+        let p = b.build().unwrap();
+        let count = AtomicU64::new(0);
+        let mut bodies = BodyTable::new(&p);
+        bodies.set(w, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        let qs = queues(2);
+        let tub = Tub::new(1);
+        // all work sits on queue 1; kernel 0 must steal it. Shut down only
+        // after the work is done (an early own-queue Exit legitimately
+        // beats stealing — the victim kernel would drain its own queue).
+        for c in 0..6 {
+            qs[1].push(Instance::new(w, Context(c)));
+        }
+        let stats = std::thread::scope(|s| {
+            let handle = s.spawn(|| run_kernel(KernelId(0), &p, &bodies, &qs, 0, true, &tub, &PANICS));
+            while count.load(Ordering::Relaxed) < 6 {
+                std::thread::yield_now();
+            }
+            qs[0].shutdown();
+            qs[1].shutdown();
+            handle.join().unwrap()
+        });
+        assert_eq!(stats.executed, 6);
+        assert_eq!(stats.steals, 6);
+        assert_eq!(count.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn non_stealing_kernel_ignores_other_queues() {
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let w = b.thread(blk, ThreadSpec::new("w", 3));
+        let p = b.build().unwrap();
+        let bodies = BodyTable::new(&p);
+        let qs = queues(2);
+        let tub = Tub::new(1);
+        for c in 0..3 {
+            qs[1].push(Instance::new(w, Context(c)));
+        }
+        qs[0].shutdown();
+        let stats = run_kernel(KernelId(0), &p, &bodies, &qs, 0, false, &tub, &PanicSink::default());
+        assert_eq!(stats.executed, 0);
+        assert_eq!(qs[1].len(), 3, "victim queue untouched");
+    }
+}

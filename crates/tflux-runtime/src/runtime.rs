@@ -1,0 +1,547 @@
+//! The TFluxSoft runtime: kernel threads + TSU Emulator thread.
+//!
+//! §3.1: "The runtime support starts its execution by launching n Kernels,
+//! where n is the maximum number of DThreads that can execute in parallel in
+//! the machine." In TFluxSoft one extra execution entity, the TSU Emulator,
+//! runs alongside them (Fig. 4 — on a real machine it occupies one core;
+//! here it is simply one more OS thread).
+
+use crate::body::BodyTable;
+use crate::emulator::{run_emulator, EmulatorConfig, EmulatorExit};
+use crate::kernel::run_kernel;
+use crate::sm::ReadyQueue;
+use crate::stats::{KernelStats, RunReport};
+use crate::tub::Tub;
+use std::time::{Duration, Instant};
+use tflux_core::error::CoreError;
+use tflux_core::ids::KernelId;
+use tflux_core::program::DdmProgram;
+use tflux_core::tsu::TsuConfig;
+
+/// Configuration of a TFluxSoft runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Number of kernel threads (execution nodes).
+    pub kernels: u32,
+    /// Number of TUB segments (§4.2; more segments, less contention).
+    pub tub_segments: usize,
+    /// TSU capacity and scheduling policy.
+    pub tsu: TsuConfig,
+    /// Abort the run if no DThread completes for this long.
+    pub watchdog: Duration,
+}
+
+impl RuntimeConfig {
+    /// Defaults with `kernels` kernel threads: 4 TUB segments, unlimited TSU
+    /// capacity, 30 s watchdog.
+    pub fn with_kernels(kernels: u32) -> Self {
+        RuntimeConfig {
+            kernels,
+            tub_segments: 4,
+            tsu: TsuConfig::default(),
+            watchdog: Duration::from_secs(30),
+        }
+    }
+
+    /// Override the number of TUB segments.
+    pub fn tub_segments(mut self, segments: usize) -> Self {
+        self.tub_segments = segments;
+        self
+    }
+
+    /// Override the TSU configuration.
+    pub fn tsu(mut self, tsu: TsuConfig) -> Self {
+        self.tsu = tsu;
+        self
+    }
+
+    /// Override the watchdog interval.
+    pub fn watchdog(mut self, watchdog: Duration) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig::with_kernels(
+            std::thread::available_parallelism()
+                .map(|n| n.get().saturating_sub(1).max(1) as u32)
+                .unwrap_or(1),
+        )
+    }
+}
+
+/// Errors a run can end with.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The body table does not match the program.
+    BodyTableMismatch {
+        /// Threads the program declares.
+        expected: usize,
+        /// Slots the body table holds.
+        got: usize,
+    },
+    /// A TSU protocol error surfaced during execution.
+    Protocol(CoreError),
+    /// The watchdog fired: some DThread never completed.
+    Stalled {
+        /// How long the emulator waited without any completion.
+        idle: Duration,
+    },
+    /// One or more DThread bodies panicked. The run still drained (the
+    /// kernels contain body panics and publish completions), but the
+    /// results must be considered invalid.
+    BodyPanicked {
+        /// The captured panics, in completion order.
+        panics: Vec<crate::kernel::BodyPanic>,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::BodyTableMismatch { expected, got } => write!(
+                f,
+                "body table has {got} slots but the program declares {expected} threads"
+            ),
+            RuntimeError::Protocol(e) => write!(f, "TSU protocol error: {e}"),
+            RuntimeError::Stalled { idle } => {
+                write!(f, "run stalled: no completion for {idle:?}")
+            }
+            RuntimeError::BodyPanicked { panics } => write!(
+                f,
+                "{} DThread bod{} panicked; first: {} at {}",
+                panics.len(),
+                if panics.len() == 1 { "y" } else { "ies" },
+                panics[0].message,
+                panics[0].instance
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// The TFluxSoft runtime. Create one with a [`RuntimeConfig`], then run DDM
+/// programs on it. `run` is synchronous: it launches the kernels and the
+/// emulator, executes the program to completion and joins everything.
+#[derive(Clone, Copy, Debug)]
+pub struct Runtime {
+    config: RuntimeConfig,
+}
+
+impl Runtime {
+    /// A runtime with the given configuration.
+    pub fn new(config: RuntimeConfig) -> Self {
+        Runtime { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Execute `program` with `bodies` to completion.
+    pub fn run(&self, program: &DdmProgram, bodies: &BodyTable<'_>) -> Result<RunReport, RuntimeError> {
+        if !bodies_match(bodies, program) {
+            return Err(RuntimeError::BodyTableMismatch {
+                expected: program.threads().len(),
+                got: bodies.len(),
+            });
+        }
+        let kernels = self.config.kernels.max(1);
+        // GlobalFifo: one shared queue all kernels pop. LocalityFirst: a
+        // queue per kernel, optionally with stealing.
+        let (nqueues, steal) = match self.config.tsu.policy {
+            tflux_core::SchedulingPolicy::GlobalFifo => (1usize, false),
+            tflux_core::SchedulingPolicy::LocalityFirst { steal } => {
+                (kernels as usize, steal && kernels > 1)
+            }
+        };
+        let queues: Vec<ReadyQueue> = (0..nqueues).map(|_| ReadyQueue::new()).collect();
+        let tub = Tub::new(self.config.tub_segments);
+        let emu_config = EmulatorConfig {
+            tsu: self.config.tsu,
+            watchdog: self.config.watchdog,
+        };
+
+        let panic_sink = crate::kernel::PanicSink::default();
+        let start = Instant::now();
+        let (exit, kernel_stats) = std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(kernels as usize);
+            for k in 0..kernels {
+                let queues = &queues;
+                let own = (k as usize).min(queues.len() - 1);
+                let tub = &tub;
+                let panic_sink = &panic_sink;
+                handles.push(s.spawn(move || {
+                    run_kernel(KernelId(k), program, bodies, queues, own, steal, tub, panic_sink)
+                }));
+            }
+            // The emulator runs on the caller's thread — the paper's "one
+            // CPU devoted to the TSU" (Fig. 4).
+            let exit = run_emulator(program, &queues, &tub, emu_config);
+            let stats: Vec<KernelStats> = handles
+                .into_iter()
+                .map(|h| h.join().expect("kernel thread panicked"))
+                .collect();
+            (exit, stats)
+        });
+        let wall = start.elapsed();
+
+        let panics = panic_sink.into_inner();
+        if !panics.is_empty() {
+            return Err(RuntimeError::BodyPanicked { panics });
+        }
+        match exit {
+            EmulatorExit::Finished(tsu) => Ok(RunReport {
+                wall,
+                tsu,
+                tub: tub.stats().snapshot(),
+                kernels: kernel_stats,
+            }),
+            EmulatorExit::Protocol(e) => Err(RuntimeError::Protocol(e)),
+            EmulatorExit::Stalled { idle, .. } => Err(RuntimeError::Stalled { idle }),
+        }
+    }
+}
+
+impl Runtime {
+    /// Like [`run`](Self::run), additionally recording a wall-clock span
+    /// (kernel, start, end) for every executed DThread body — the runtime
+    /// counterpart of the simulator's `Machine::run_traced` in `tflux-sim`.
+    pub fn run_traced(
+        &self,
+        program: &DdmProgram,
+        bodies: &BodyTable<'_>,
+    ) -> Result<(RunReport, Vec<crate::stats::RtSpan>), RuntimeError> {
+        use parking_lot::Mutex;
+        let epoch = std::time::Instant::now();
+        let spans: Mutex<Vec<crate::stats::RtSpan>> = Mutex::new(Vec::new());
+        let mut wrapped = BodyTable::new(program);
+        for t in 0..program.threads().len() {
+            let t = tflux_core::ThreadId(t as u32);
+            let spans = &spans;
+            wrapped.set(t, move |ctx| {
+                let start_ns = epoch.elapsed().as_nanos() as u64;
+                (bodies.get(ctx.instance.thread))(ctx);
+                let end_ns = epoch.elapsed().as_nanos() as u64;
+                spans.lock().push(crate::stats::RtSpan {
+                    kernel: ctx.kernel.0,
+                    instance: ctx.instance,
+                    start_ns,
+                    end_ns,
+                });
+            });
+        }
+        let report = self.run(program, &wrapped)?;
+        drop(wrapped);
+        Ok((report, spans.into_inner()))
+    }
+}
+
+fn bodies_match(bodies: &BodyTable<'_>, program: &DdmProgram) -> bool {
+    bodies.len() == program.threads().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shared::SharedVar;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use tflux_core::prelude::*;
+
+    fn fork_join(arity: u32, blocks: u32) -> (DdmProgram, Vec<ThreadId>) {
+        let mut b = ProgramBuilder::new();
+        let mut works = Vec::new();
+        for _ in 0..blocks {
+            let blk = b.block();
+            let src = b.thread(blk, ThreadSpec::scalar("src"));
+            let work = b.thread(blk, ThreadSpec::new("work", arity));
+            let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+            b.arc(src, work, ArcMapping::Broadcast).unwrap();
+            b.arc(work, sink, ArcMapping::Reduction).unwrap();
+            works.push(work);
+        }
+        (b.build().unwrap(), works)
+    }
+
+    #[test]
+    fn runs_fork_join_on_multiple_kernels() {
+        let (p, works) = fork_join(32, 1);
+        let counter = AtomicU64::new(0);
+        let mut bodies = BodyTable::new(&p);
+        bodies.set(works[0], |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        let report = Runtime::new(RuntimeConfig::with_kernels(4))
+            .run(&p, &bodies)
+            .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+        assert_eq!(report.tsu.completions as usize, p.total_instances());
+        assert_eq!(report.total_executed() as usize, p.total_instances());
+        assert_eq!(report.tub.pushes as usize, p.total_instances());
+    }
+
+    #[test]
+    fn multi_block_program_runs_blocks_in_order() {
+        let (p, works) = fork_join(8, 3);
+        let seq = AtomicUsize::new(0);
+        let order = parking_lot::Mutex::new(Vec::new());
+        let mut bodies = BodyTable::new(&p);
+        for (bi, &w) in works.iter().enumerate() {
+            let seq = &seq;
+            let order = &order;
+            bodies.set(w, move |_| {
+                let n = seq.fetch_add(1, Ordering::Relaxed);
+                order.lock().push((bi, n));
+            });
+        }
+        Runtime::new(RuntimeConfig::with_kernels(3))
+            .run(&p, &bodies)
+            .unwrap();
+        let order = order.lock();
+        assert_eq!(order.len(), 24);
+        // all block-0 work precedes block-1 work precedes block-2 work
+        let mut max_seen = 0usize;
+        let mut per_block_max = [0usize; 3];
+        for &(bi, n) in order.iter() {
+            per_block_max[bi] = per_block_max[bi].max(n);
+            max_seen = max_seen.max(n);
+        }
+        let mut per_block_min = [usize::MAX; 3];
+        for &(bi, n) in order.iter() {
+            per_block_min[bi] = per_block_min[bi].min(n);
+        }
+        assert!(per_block_max[0] < per_block_min[1]);
+        assert!(per_block_max[1] < per_block_min[2]);
+    }
+
+    #[test]
+    fn shared_var_pipeline_produces_correct_result() {
+        // work[c] = c^2; sink sums — classic reduction through SharedVar
+        let (p, works) = fork_join(16, 1);
+        let sink = ThreadId(works[0].0 + 1);
+        let partial = SharedVar::<u64>::new(16);
+        let total = AtomicU64::new(0);
+        let mut bodies = BodyTable::new(&p);
+        let partial_ref = &partial;
+        let total_ref = &total;
+        bodies.set(works[0], move |c| {
+            partial_ref.put(c.context, (c.context.0 as u64).pow(2));
+        });
+        bodies.set(sink, move |_| {
+            total_ref.store(partial_ref.iter().sum(), Ordering::Relaxed);
+        });
+        Runtime::new(RuntimeConfig::with_kernels(2))
+            .run(&p, &bodies)
+            .unwrap();
+        assert_eq!(
+            total.load(Ordering::Relaxed),
+            (0..16u64).map(|i| i * i).sum()
+        );
+    }
+
+    #[test]
+    fn panicking_body_reports_instead_of_hanging() {
+        let (p, works) = fork_join(8, 1);
+        let mut bodies = BodyTable::new(&p);
+        bodies.set(works[0], |c| {
+            if c.context.0 == 3 {
+                panic!("body exploded");
+            }
+        });
+        let err = Runtime::new(RuntimeConfig::with_kernels(2))
+            .run(&p, &bodies)
+            .unwrap_err();
+        match err {
+            RuntimeError::BodyPanicked { panics } => {
+                assert_eq!(panics.len(), 1);
+                assert!(panics[0].message.contains("exploded"));
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn stalled_body_trips_watchdog() {
+        let (p, works) = fork_join(2, 1);
+        let mut bodies = BodyTable::new(&p);
+        bodies.set(works[0], |c| {
+            if c.context.0 == 0 {
+                // a body that never finishes would hang; simulate with a
+                // long sleep well past the watchdog
+                std::thread::sleep(Duration::from_millis(500));
+            }
+        });
+        let err = Runtime::new(
+            RuntimeConfig::with_kernels(1).watchdog(Duration::from_millis(50)),
+        )
+        .run(&p, &bodies)
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::Stalled { .. }));
+    }
+
+    #[test]
+    fn oversized_block_is_a_protocol_error() {
+        let (p, _) = fork_join(64, 1);
+        let bodies = BodyTable::new(&p);
+        let err = Runtime::new(RuntimeConfig::with_kernels(2).tsu(TsuConfig {
+            capacity: 4,
+            policy: Default::default(),
+        }))
+        .run(&p, &bodies)
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::Protocol(CoreError::BlockTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn one_kernel_is_equivalent_to_sequential() {
+        let (p, works) = fork_join(10, 2);
+        let hits = AtomicU64::new(0);
+        let mut bodies = BodyTable::new(&p);
+        for &w in &works {
+            let hits = &hits;
+            bodies.set(w, move |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let report = Runtime::new(RuntimeConfig::with_kernels(1))
+            .run(&p, &bodies)
+            .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 20);
+        assert_eq!(report.kernels.len(), 1);
+        assert_eq!(report.kernels[0].executed as usize, p.total_instances());
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let (p, works) = fork_join(20, 1);
+        let mut bodies = BodyTable::new(&p);
+        bodies.set(works[0], |_| {});
+        let report = Runtime::new(RuntimeConfig::with_kernels(3))
+            .run(&p, &bodies)
+            .unwrap();
+        assert_eq!(report.tsu.fetches, report.tsu.completions);
+        assert_eq!(report.total_executed(), report.tub.pushes);
+        assert!(report.wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn global_fifo_policy_shares_one_queue() {
+        let (p, works) = fork_join(40, 1);
+        let count = AtomicU64::new(0);
+        let mut bodies = BodyTable::new(&p);
+        bodies.set(works[0], |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+            // slow enough that several kernels get to the shared queue
+            std::thread::sleep(Duration::from_micros(300));
+        });
+        let report = Runtime::new(RuntimeConfig::with_kernels(4).tsu(TsuConfig {
+            capacity: 0,
+            policy: tflux_core::SchedulingPolicy::GlobalFifo,
+        }))
+        .run(&p, &bodies)
+        .unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 40);
+        assert_eq!(report.total_executed() as usize, p.total_instances());
+        // multiple kernels served from the shared queue
+        let active = report.kernels.iter().filter(|k| k.executed > 0).count();
+        assert!(active >= 2, "only {active} kernels drew from the FIFO");
+    }
+
+    #[test]
+    fn work_stealing_rebalances_pinned_work() {
+        // all 24 instances pinned to kernel 0; with stealing enabled and a
+        // slow body, other kernels must take a share
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let w = b.thread(
+            blk,
+            ThreadSpec::new("w", 24)
+                .with_affinity(tflux_core::Affinity::Fixed(tflux_core::KernelId(0))),
+        );
+        let p = b.build().unwrap();
+        let mut bodies = BodyTable::new(&p);
+        bodies.set(w, |_| {
+            std::thread::sleep(Duration::from_micros(400));
+        });
+        let report = Runtime::new(RuntimeConfig::with_kernels(4))
+            .run(&p, &bodies)
+            .unwrap();
+        let total_steals: u64 = report.kernels.iter().map(|k| k.steals).sum();
+        assert!(total_steals > 0, "no steals despite pinned work");
+        let helpers = report
+            .kernels
+            .iter()
+            .skip(1)
+            .filter(|k| k.executed > 0)
+            .count();
+        assert!(helpers >= 1, "no helper kernels executed anything");
+    }
+
+    #[test]
+    fn no_steal_policy_keeps_pinned_work_on_owner() {
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let _w = b.thread(
+            blk,
+            ThreadSpec::new("w", 12)
+                .with_affinity(tflux_core::Affinity::Fixed(tflux_core::KernelId(0))),
+        );
+        let p = b.build().unwrap();
+        let bodies = BodyTable::new(&p);
+        let report = Runtime::new(RuntimeConfig::with_kernels(3).tsu(TsuConfig {
+            capacity: 0,
+            policy: tflux_core::SchedulingPolicy::LocalityFirst { steal: false },
+        }))
+        .run(&p, &bodies)
+        .unwrap();
+        assert_eq!(report.kernels[0].executed as usize, p.total_instances());
+        assert!(report.kernels[1..].iter().all(|k| k.executed == 0));
+    }
+
+    #[test]
+    fn run_traced_records_every_body() {
+        let (p, works) = fork_join(20, 1);
+        let mut bodies = BodyTable::new(&p);
+        bodies.set(works[0], |_| {
+            std::thread::sleep(Duration::from_micros(50));
+        });
+        let (report, spans) = Runtime::new(RuntimeConfig::with_kernels(3))
+            .run_traced(&p, &bodies)
+            .unwrap();
+        assert_eq!(spans.len(), p.total_instances());
+        assert_eq!(report.total_executed() as usize, spans.len());
+        for s in &spans {
+            assert!(s.end_ns >= s.start_ns);
+            assert!(s.kernel < 3);
+        }
+        // spans on one kernel never overlap (bodies run serially per kernel)
+        let mut by_kernel: std::collections::HashMap<u32, Vec<_>> = Default::default();
+        for s in &spans {
+            by_kernel.entry(s.kernel).or_default().push(*s);
+        }
+        for spans in by_kernel.values_mut() {
+            spans.sort_by_key(|s| s.start_ns);
+            for w in spans.windows(2) {
+                assert!(w[1].start_ns >= w[0].end_ns, "{w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn many_kernels_more_than_work_still_terminate() {
+        let (p, _) = fork_join(2, 1);
+        let bodies = BodyTable::new(&p);
+        let report = Runtime::new(RuntimeConfig::with_kernels(8))
+            .run(&p, &bodies)
+            .unwrap();
+        assert_eq!(report.kernels.len(), 8);
+        assert_eq!(report.total_executed() as usize, p.total_instances());
+    }
+}

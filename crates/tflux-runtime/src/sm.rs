@@ -1,0 +1,229 @@
+//! Per-kernel ready queues — the runtime face of the Synchronization Memory.
+//!
+//! Each kernel owns one [`ReadyQueue`] ("Local TSU" in Fig. 4 of the paper).
+//! The TSU Emulator pushes instances whose ready count reached zero; the
+//! kernel pops them, blocking when empty. Shutdown is broadcast by the
+//! emulator once the last block's outlet completes.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use tflux_core::ids::Instance;
+
+/// What a kernel gets back from its ready queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fetched {
+    /// Run this instance.
+    Thread(Instance),
+    /// The program finished; the kernel exits.
+    Exit,
+}
+
+struct Inner {
+    queue: VecDeque<Instance>,
+    exit: bool,
+}
+
+/// A blocking MPSC ready queue for one kernel.
+pub struct ReadyQueue {
+    inner: Mutex<Inner>,
+    available: Condvar,
+    /// Time the kernel spent blocked on an empty queue, in nanoseconds.
+    wait_ns: AtomicU64,
+    /// Number of pops that had to block.
+    blocked_pops: AtomicU64,
+}
+
+impl Default for ReadyQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReadyQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        ReadyQueue {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                exit: false,
+            }),
+            available: Condvar::new(),
+            wait_ns: AtomicU64::new(0),
+            blocked_pops: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueue a ready instance (emulator side).
+    pub fn push(&self, inst: Instance) {
+        let mut inner = self.inner.lock();
+        inner.queue.push_back(inst);
+        self.available.notify_one();
+    }
+
+    /// Tell the kernel to exit once the queue drains.
+    pub fn shutdown(&self) {
+        let mut inner = self.inner.lock();
+        inner.exit = true;
+        self.available.notify_all();
+    }
+
+    /// Dequeue the next instance, blocking while the queue is empty and the
+    /// program is still running. Exit is reported only after the queue is
+    /// empty, so no ready instance is ever abandoned.
+    pub fn pop(&self) -> Fetched {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(i) = inner.queue.pop_front() {
+                return Fetched::Thread(i);
+            }
+            if inner.exit {
+                return Fetched::Exit;
+            }
+            self.blocked_pops.fetch_add(1, Ordering::Relaxed);
+            let start = std::time::Instant::now();
+            // Timed wait so a lost notification can never hang a kernel.
+            self.available
+                .wait_for(&mut inner, Duration::from_millis(50));
+            self.wait_ns
+                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Pop with a bounded wait: returns `None` when `timeout` elapses with
+    /// the queue still empty and the program still running. Used by the
+    /// work-stealing kernel loop, which must periodically rescan victim
+    /// queues instead of blocking on its own queue forever.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<Fetched> {
+        let mut inner = self.inner.lock();
+        if let Some(i) = inner.queue.pop_front() {
+            return Some(Fetched::Thread(i));
+        }
+        if inner.exit {
+            return Some(Fetched::Exit);
+        }
+        self.blocked_pops.fetch_add(1, Ordering::Relaxed);
+        let start = std::time::Instant::now();
+        self.available.wait_for(&mut inner, timeout);
+        self.wait_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if let Some(i) = inner.queue.pop_front() {
+            Some(Fetched::Thread(i))
+        } else if inner.exit {
+            Some(Fetched::Exit)
+        } else {
+            None
+        }
+    }
+
+    /// Non-blocking pop (used by tests and by idle-probing).
+    pub fn try_pop(&self) -> Option<Fetched> {
+        let mut inner = self.inner.lock();
+        if let Some(i) = inner.queue.pop_front() {
+            Some(Fetched::Thread(i))
+        } else if inner.exit {
+            Some(Fetched::Exit)
+        } else {
+            None
+        }
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Nanoseconds this kernel spent blocked waiting for work.
+    pub fn wait_nanos(&self) -> u64 {
+        self.wait_ns.load(Ordering::Relaxed)
+    }
+
+    /// Number of pops that found the queue empty and blocked.
+    pub fn blocked_pops(&self) -> u64 {
+        self.blocked_pops.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tflux_core::ids::{Context, ThreadId};
+
+    fn inst(t: u32) -> Instance {
+        Instance::new(ThreadId(t), Context(0))
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = ReadyQueue::new();
+        q.push(inst(1));
+        q.push(inst(2));
+        assert_eq!(q.pop(), Fetched::Thread(inst(1)));
+        assert_eq!(q.pop(), Fetched::Thread(inst(2)));
+    }
+
+    #[test]
+    fn exit_reported_only_after_drain() {
+        let q = ReadyQueue::new();
+        q.push(inst(1));
+        q.shutdown();
+        assert_eq!(q.pop(), Fetched::Thread(inst(1)));
+        assert_eq!(q.pop(), Fetched::Exit);
+        assert_eq!(q.pop(), Fetched::Exit);
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        let q = Arc::new(ReadyQueue::new());
+        let handle = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(inst(7));
+        assert_eq!(handle.join().unwrap(), Fetched::Thread(inst(7)));
+        assert!(q.blocked_pops() >= 1);
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_shutdown() {
+        let q = Arc::new(ReadyQueue::new());
+        let handle = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        q.shutdown();
+        assert_eq!(handle.join().unwrap(), Fetched::Exit);
+    }
+
+    #[test]
+    fn pop_timeout_expires_and_delivers() {
+        let q = ReadyQueue::new();
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), None);
+        q.push(inst(4));
+        assert_eq!(
+            q.pop_timeout(Duration::from_millis(5)),
+            Some(Fetched::Thread(inst(4)))
+        );
+        q.shutdown();
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), Some(Fetched::Exit));
+    }
+
+    #[test]
+    fn try_pop_states() {
+        let q = ReadyQueue::new();
+        assert_eq!(q.try_pop(), None);
+        q.push(inst(3));
+        assert_eq!(q.try_pop(), Some(Fetched::Thread(inst(3))));
+        q.shutdown();
+        assert_eq!(q.try_pop(), Some(Fetched::Exit));
+    }
+}

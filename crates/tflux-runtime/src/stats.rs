@@ -1,0 +1,136 @@
+//! Execution reports for TFluxSoft runs.
+
+use crate::tub::TubSnapshot;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+use tflux_core::tsu::TsuStats;
+
+/// Per-kernel counters.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// DThread instances this kernel executed.
+    pub executed: u64,
+    /// Nanoseconds spent blocked on an empty ready queue.
+    pub wait_ns: u64,
+    /// Pops that found the queue empty and had to block.
+    pub blocked_pops: u64,
+    /// Instances taken from another kernel's queue.
+    pub steals: u64,
+}
+
+/// One executed instance in a wall-clock trace (see
+/// [`Runtime::run_traced`](crate::Runtime::run_traced)).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RtSpan {
+    /// Kernel that executed the body.
+    pub kernel: u32,
+    /// The instance.
+    pub instance: tflux_core::ids::Instance,
+    /// Nanoseconds from run start to body entry.
+    pub start_ns: u64,
+    /// Nanoseconds from run start to body exit.
+    pub end_ns: u64,
+}
+
+/// The result of one [`crate::Runtime::run`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Wall-clock duration of the whole run (kernel launch to last join).
+    pub wall: Duration,
+    /// TSU state-machine counters (completions, ready-count updates, …).
+    pub tsu: TsuStats,
+    /// TUB contention counters.
+    pub tub: TubSnapshot,
+    /// Per-kernel counters, indexed by kernel id.
+    pub kernels: Vec<KernelStats>,
+}
+
+impl RunReport {
+    /// Total DThread instances executed across kernels.
+    pub fn total_executed(&self) -> u64 {
+        self.kernels.iter().map(|k| k.executed).sum()
+    }
+
+    /// Coefficient of variation of per-kernel executed counts — a quick
+    /// load-balance indicator (0 = perfectly balanced).
+    pub fn load_imbalance(&self) -> f64 {
+        let n = self.kernels.len() as f64;
+        if n < 2.0 {
+            return 0.0;
+        }
+        let mean = self.total_executed() as f64 / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .kernels
+            .iter()
+            .map(|k| {
+                let d = k.executed as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_zero_when_balanced() {
+        let r = RunReport {
+            wall: Duration::from_millis(1),
+            tsu: TsuStats::default(),
+            tub: TubSnapshot::default(),
+            kernels: vec![
+                KernelStats {
+                    executed: 5,
+                    ..Default::default()
+                },
+                KernelStats {
+                    executed: 5,
+                    ..Default::default()
+                },
+            ],
+        };
+        assert_eq!(r.total_executed(), 10);
+        assert_eq!(r.load_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_positive_when_skewed() {
+        let r = RunReport {
+            wall: Duration::from_millis(1),
+            tsu: TsuStats::default(),
+            tub: TubSnapshot::default(),
+            kernels: vec![
+                KernelStats {
+                    executed: 10,
+                    ..Default::default()
+                },
+                KernelStats {
+                    executed: 0,
+                    ..Default::default()
+                },
+            ],
+        };
+        assert!(r.load_imbalance() > 0.9);
+    }
+
+    #[test]
+    fn single_kernel_has_no_imbalance() {
+        let r = RunReport {
+            wall: Duration::ZERO,
+            tsu: TsuStats::default(),
+            tub: TubSnapshot::default(),
+            kernels: vec![KernelStats {
+                executed: 3,
+                ..Default::default()
+            }],
+        };
+        assert_eq!(r.load_imbalance(), 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! A set-associative, LRU cache model (tags only).
+//!
+//! The simulator tracks *presence* of cache lines, not data — workload
+//! semantics run natively; the cache model only produces latencies and
+//! miss classifications, like Simics' `gcache` modules the paper used.
+
+use crate::config::CacheConfig;
+
+/// Tag store of one cache.
+#[derive(Debug)]
+pub struct Cache {
+    /// `tags[set * assoc + way]`; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU stamps, parallel to `tags`.
+    stamps: Vec<u64>,
+    sets: usize,
+    assoc: usize,
+    /// Line size of *this* cache in bytes (lines are addressed in bytes /
+    /// line further up; the cache re-derives its own tag granularity so an
+    /// L2 with 128-byte lines can back an L1 with 64-byte lines).
+    line_shift: u32,
+    tick: u64,
+    /// Hits since construction.
+    pub hits: u64,
+    /// Misses since construction.
+    pub misses: u64,
+}
+
+const INVALID: u64 = u64::MAX;
+
+impl Cache {
+    /// Build a cache from its configuration.
+    pub fn new(config: &CacheConfig) -> Self {
+        let sets = config.sets();
+        let assoc = config.assoc.max(1);
+        Cache {
+            tags: vec![INVALID; sets * assoc],
+            stamps: vec![0; sets * assoc],
+            sets,
+            assoc,
+            line_shift: config.line.trailing_zeros(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, line_addr: u64) -> usize {
+        (line_addr % self.sets as u64) as usize
+    }
+
+    /// Convert a byte address to this cache's line address.
+    #[inline]
+    pub fn line_of(&self, byte_addr: u64) -> u64 {
+        byte_addr >> self.line_shift
+    }
+
+    /// Log2 of this cache's line size.
+    #[inline]
+    pub fn line_shift(&self) -> u32 {
+        self.line_shift
+    }
+
+    /// Probe for a line (by this cache's line address); updates LRU and hit
+    /// counters on hit.
+    #[inline]
+    pub fn probe(&mut self, line_addr: u64) -> bool {
+        self.tick += 1;
+        let set = self.set_of(line_addr);
+        let base = set * self.assoc;
+        for way in 0..self.assoc {
+            if self.tags[base + way] == line_addr {
+                self.stamps[base + way] = self.tick;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Probe without touching LRU or counters.
+    pub fn contains(&self, line_addr: u64) -> bool {
+        let set = self.set_of(line_addr);
+        let base = set * self.assoc;
+        self.tags[base..base + self.assoc].contains(&line_addr)
+    }
+
+    /// Insert a line, evicting the LRU way if needed; returns the evicted
+    /// line address, if any.
+    pub fn insert(&mut self, line_addr: u64) -> Option<u64> {
+        self.tick += 1;
+        let set = self.set_of(line_addr);
+        let base = set * self.assoc;
+        // already present (refill race): refresh
+        for way in 0..self.assoc {
+            if self.tags[base + way] == line_addr {
+                self.stamps[base + way] = self.tick;
+                return None;
+            }
+        }
+        // free way?
+        for way in 0..self.assoc {
+            if self.tags[base + way] == INVALID {
+                self.tags[base + way] = line_addr;
+                self.stamps[base + way] = self.tick;
+                return None;
+            }
+        }
+        // evict LRU
+        let victim = (0..self.assoc)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("assoc >= 1");
+        let evicted = self.tags[base + victim];
+        self.tags[base + victim] = line_addr;
+        self.stamps[base + victim] = self.tick;
+        Some(evicted)
+    }
+
+    /// Drop a line if present; returns whether it was present.
+    pub fn invalidate(&mut self, line_addr: u64) -> bool {
+        let set = self.set_of(line_addr);
+        let base = set * self.assoc;
+        for way in 0..self.assoc {
+            if self.tags[base + way] == line_addr {
+                self.tags[base + way] = INVALID;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Miss ratio so far (0 when no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways, 64B lines
+        Cache::new(&CacheConfig {
+            size: 512,
+            line: 64,
+            assoc: 2,
+            read_lat: 1,
+            write_lat: 1,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.probe(7));
+        c.insert(7);
+        assert!(c.probe(7));
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // lines 0, 4, 8 all map to set 0 (4 sets)
+        c.insert(0);
+        c.insert(4);
+        c.probe(0); // 0 more recent than 4
+        let evicted = c.insert(8);
+        assert_eq!(evicted, Some(4));
+        assert!(c.contains(0));
+        assert!(c.contains(8));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny();
+        c.insert(3);
+        assert!(c.invalidate(3));
+        assert!(!c.contains(3));
+        assert!(!c.invalidate(3));
+    }
+
+    #[test]
+    fn reinsert_does_not_evict() {
+        let mut c = tiny();
+        c.insert(0);
+        c.insert(4);
+        assert_eq!(c.insert(0), None);
+        assert!(c.contains(4));
+    }
+
+    #[test]
+    fn line_of_uses_configured_line_size() {
+        let c = tiny();
+        assert_eq!(c.line_of(0), 0);
+        assert_eq!(c.line_of(63), 0);
+        assert_eq!(c.line_of(64), 1);
+        assert_eq!(c.line_of(130), 2);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut c = tiny();
+        for line in 0..4 {
+            c.insert(line);
+        }
+        for line in 0..4 {
+            assert!(c.contains(line), "line {line}");
+        }
+    }
+
+    #[test]
+    fn miss_ratio_tracks() {
+        let mut c = tiny();
+        c.probe(1); // miss
+        c.insert(1);
+        c.probe(1); // hit
+        assert!((c.miss_ratio() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,302 @@
+//! Machine configurations, with the paper's two evaluation machines as
+//! presets.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and latency of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total size in bytes.
+    pub size: usize,
+    /// Line size in bytes (power of two).
+    pub line: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Read-hit latency in cycles.
+    pub read_lat: u64,
+    /// Write-hit latency in cycles.
+    pub write_lat: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        (self.size / self.line / self.assoc).max(1)
+    }
+}
+
+/// Cycle costs of the kernel↔TSU interface.
+///
+/// `TFluxHard`: commands are memory stores/loads through the MMI
+/// (§4.1 — an access is "penalized with 4 additional cycles compared to a
+/// normal L1 cache access") and the TSU processes each in `op` cycles
+/// (the §4.1 sensitivity knob). `TFluxSoft`: commands cross shared memory
+/// plus locking (hundreds of cycles) and the TSU Emulator core spends
+/// `op` cycles of software per command (§6.2.2 — "the need to invoke a
+/// number of TSU Emulation functions when a DThread completes").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TsuCosts {
+    /// Cycles for a kernel to issue one command to the TSU (MMI access for
+    /// hardware, shared-memory + lock round trip for software).
+    pub access: u64,
+    /// Cycles the TSU unit needs to process one command (serialized inside
+    /// the TSU Group / Emulator).
+    pub op: u64,
+    /// Cycles of kernel-side software run per DThread transition (zero for
+    /// hardware, where the kernel just issues stores; the
+    /// FindReadyThread-loop and post-processing call overhead for soft).
+    pub kernel_overhead: u64,
+}
+
+impl TsuCosts {
+    /// Hardware TSU Group costs (§4.1/§6.1.1): MMI access = L1 read (2) + 4
+    /// penalty cycles; TSU processing time 4 cycles.
+    pub fn hard() -> Self {
+        TsuCosts {
+            access: 6,
+            op: 4,
+            kernel_overhead: 0,
+        }
+    }
+
+    /// Software TSU Emulator costs, calibrated so that per-DThread overhead
+    /// sits in the ~1–2 k-cycle range the paper implies (unroll ≥ 16 needed
+    /// to amortize, §6.2.2).
+    pub fn soft() -> Self {
+        TsuCosts {
+            access: 250,
+            op: 700,
+            kernel_overhead: 500,
+        }
+    }
+}
+
+/// Full machine description.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of cores executing kernels. (Cores reserved for the OS or the
+    /// TSU Emulator are excluded — they are modeled by the TSU device's
+    /// costs, not as simulated cores.)
+    pub cores: u32,
+    /// Per-core L1 data cache.
+    pub l1: CacheConfig,
+    /// Unified L2 cache, one per `l2_group` cores.
+    pub l2: CacheConfig,
+    /// How many cores share one L2 (1 = private L2 per core).
+    pub l2_group: u32,
+    /// Main-memory access latency in cycles (beyond L2).
+    pub mem_lat: u64,
+    /// Bus occupancy per line transfer in cycles (system network
+    /// serialization unit).
+    pub bus_transfer: u64,
+    /// Bus occupancy of a coherence control message (invalidate/upgrade).
+    pub bus_control: u64,
+    /// Cache-to-cache transfer latency (remote L2 supplies the line).
+    pub c2c_lat: u64,
+    /// Kernel↔TSU cost model.
+    pub tsu: TsuCosts,
+    /// Number of TSU Group shards (§3.3 names multi-group TSUs as work in
+    /// progress for large machines; 1 = the paper's single TSU Group).
+    /// Cores are partitioned round-robin-free: shard = core × groups /
+    /// cores. Cross-shard ready-count updates pay a bus crossing.
+    pub tsu_groups: u32,
+}
+
+impl MachineConfig {
+    /// The paper's simulated Sparc CMP "Bagle" (§6.1.1): 28 cores (27
+    /// usable as kernels, 1 reserved for the OS); 32 KB 4-way L1D with
+    /// 2-cycle reads; 2 MB 8-way per-core L2 with 20-cycle access; hardware
+    /// TSU Group.
+    pub fn bagle(kernels: u32) -> Self {
+        MachineConfig {
+            cores: kernels,
+            l1: CacheConfig {
+                size: 32 * 1024,
+                line: 64,
+                assoc: 4,
+                read_lat: 2,
+                write_lat: 0,
+            },
+            l2: CacheConfig {
+                size: 2 * 1024 * 1024,
+                line: 128,
+                assoc: 8,
+                read_lat: 20,
+                write_lat: 20,
+            },
+            l2_group: 1,
+            mem_lat: 180,
+            bus_transfer: 4,
+            bus_control: 2,
+            c2c_lat: 40,
+            tsu: TsuCosts::hard(),
+            tsu_groups: 1,
+        }
+    }
+
+    /// The paper's native TFluxSoft machine (§6.2.1): IBM x3650 with two
+    /// Xeon E5320 Core2 QuadCores. 32 KB 8-way L1 (3-cycle), 4 MB 16-way L2
+    /// shared per core *pair* (14-cycle) — the pair topology behind QSORT's
+    /// small-size anomaly — and the software TSU Emulator cost model.
+    pub fn xeon_x3650(kernels: u32) -> Self {
+        MachineConfig {
+            cores: kernels,
+            l1: CacheConfig {
+                size: 32 * 1024,
+                line: 64,
+                assoc: 8,
+                read_lat: 3,
+                write_lat: 1,
+            },
+            l2: CacheConfig {
+                size: 4 * 1024 * 1024,
+                line: 64,
+                assoc: 16,
+                read_lat: 14,
+                write_lat: 14,
+            },
+            l2_group: 2,
+            mem_lat: 220,
+            bus_transfer: 6,
+            bus_control: 3,
+            c2c_lat: 60,
+            tsu: TsuCosts::soft(),
+            tsu_groups: 1,
+        }
+    }
+
+    /// The 9-core x86 machine "similar to Bagle" the paper also simulated
+    /// (§6.1.2: "The same benchmarks have been executed on a simulated 9
+    /// cores X86 system similar to Bagle. The speedup values observed and
+    /// conclusions drawn are similar"). x86-typical L1/L2 latencies, one
+    /// core reserved for the OS — 8 kernels.
+    pub fn x86_9core(kernels: u32) -> Self {
+        MachineConfig {
+            cores: kernels.min(8),
+            l1: CacheConfig {
+                size: 32 * 1024,
+                line: 64,
+                assoc: 8,
+                read_lat: 3,
+                write_lat: 1,
+            },
+            l2: CacheConfig {
+                size: 2 * 1024 * 1024,
+                line: 64,
+                assoc: 8,
+                read_lat: 16,
+                write_lat: 16,
+            },
+            l2_group: 1,
+            mem_lat: 200,
+            bus_transfer: 4,
+            bus_control: 2,
+            c2c_lat: 44,
+            tsu: TsuCosts::hard(),
+            tsu_groups: 1,
+        }
+    }
+
+    /// Override the TSU cost model.
+    pub fn with_tsu(mut self, tsu: TsuCosts) -> Self {
+        self.tsu = tsu;
+        self
+    }
+
+    /// Override the core count.
+    pub fn with_cores(mut self, cores: u32) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Override the number of TSU Group shards.
+    pub fn with_tsu_groups(mut self, groups: u32) -> Self {
+        self.tsu_groups = groups.max(1);
+        self
+    }
+
+    /// The TSU shard serving a core.
+    pub fn tsu_shard_of(&self, core: u32) -> u32 {
+        let g = self.tsu_groups.max(1);
+        (core as u64 * g as u64 / self.cores.max(1) as u64) as u32
+    }
+
+    /// Number of L2 groups on this machine.
+    pub fn l2_groups(&self) -> u32 {
+        self.cores.div_ceil(self.l2_group.max(1))
+    }
+
+    /// The L2 group a core belongs to.
+    pub fn group_of(&self, core: u32) -> u32 {
+        core / self.l2_group.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bagle_matches_paper_geometry() {
+        let m = MachineConfig::bagle(27);
+        assert_eq!(m.l1.size, 32 * 1024);
+        assert_eq!(m.l1.assoc, 4);
+        assert_eq!(m.l1.read_lat, 2);
+        assert_eq!(m.l1.write_lat, 0);
+        assert_eq!(m.l2.size, 2 * 1024 * 1024);
+        assert_eq!(m.l2.line, 128);
+        assert_eq!(m.l2.read_lat, 20);
+        assert_eq!(m.l2_group, 1);
+        assert_eq!(m.tsu, TsuCosts::hard());
+        assert_eq!(m.tsu.access, 6); // L1 read (2) + 4-cycle MMI penalty
+    }
+
+    #[test]
+    fn xeon_pairs_cores_per_l2() {
+        let m = MachineConfig::xeon_x3650(6);
+        assert_eq!(m.l2_group, 2);
+        assert_eq!(m.l2_groups(), 3);
+        assert_eq!(m.group_of(0), 0);
+        assert_eq!(m.group_of(1), 0);
+        assert_eq!(m.group_of(2), 1);
+        assert_eq!(m.group_of(5), 2);
+    }
+
+    #[test]
+    fn cache_sets_computed() {
+        let c = CacheConfig {
+            size: 32 * 1024,
+            line: 64,
+            assoc: 4,
+            read_lat: 2,
+            write_lat: 0,
+        };
+        assert_eq!(c.sets(), 128);
+    }
+
+    #[test]
+    fn x86_9core_caps_kernels_at_eight() {
+        let m = MachineConfig::x86_9core(27);
+        assert_eq!(m.cores, 8);
+        assert_eq!(m.l1.read_lat, 3);
+        assert_eq!(m.tsu, TsuCosts::hard());
+    }
+
+    #[test]
+    fn tsu_shards_partition_cores() {
+        let m = MachineConfig::bagle(8).with_tsu_groups(2);
+        let shards: Vec<u32> = (0..8).map(|c| m.tsu_shard_of(c)).collect();
+        assert_eq!(shards, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        let single = MachineConfig::bagle(8);
+        assert!((0..8).all(|c| single.tsu_shard_of(c) == 0));
+    }
+
+    #[test]
+    fn soft_costs_dominate_hard_costs() {
+        let h = TsuCosts::hard();
+        let s = TsuCosts::soft();
+        assert!(s.access > 10 * h.access);
+        assert!(s.op > 10 * h.op);
+        assert!(s.kernel_overhead > 0 && h.kernel_overhead == 0);
+    }
+}

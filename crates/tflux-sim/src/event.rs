@@ -1,0 +1,122 @@
+//! The discrete-event queue.
+//!
+//! A deterministic priority queue of `(cycle, sequence)`-ordered events.
+//! Ties on the cycle are broken by insertion order, so simulation results
+//! are bit-reproducible across runs and platforms.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Deterministic event queue.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    slots: Vec<Option<E>>,
+    free: Vec<usize>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` at absolute cycle `at`.
+    pub fn push(&mut self, at: u64, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = if let Some(s) = self.free.pop() {
+            self.slots[s] = Some(event);
+            s
+        } else {
+            self.slots.push(Some(event));
+            self.slots.len() - 1
+        };
+        // the slot index rides in the low 20 bits of the tie-break key;
+        // sequence numbers stay strictly increasing above it, preserving
+        // insertion order for equal times
+        assert!(slot < 1 << 20, "more than 2^20 outstanding events");
+        self.heap.push(Reverse((at, (seq << 20) | slot as u64)));
+    }
+
+    /// Pop the earliest event; ties resolve in insertion order.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        let Reverse((at, key)) = self.heap.pop()?;
+        let slot = (key & 0xF_FFFF) as usize;
+        let event = self.slots[slot].take().expect("event slot empty");
+        self.free.push(slot);
+        Some((at, event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(5, 1);
+        q.push(5, 2);
+        q.push(5, 3);
+        assert_eq!(q.pop(), Some((5, 1)));
+        assert_eq!(q.pop(), Some((5, 2)));
+        assert_eq!(q.pop(), Some((5, 3)));
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..100u64 {
+            q.push(round, round);
+            assert_eq!(q.pop(), Some((round, round)));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(1, 'x');
+        q.push(9, 'z');
+        assert_eq!(q.pop(), Some((1, 'x')));
+        q.push(4, 'y');
+        assert_eq!(q.pop(), Some((4, 'y')));
+        assert_eq!(q.pop(), Some((9, 'z')));
+        assert_eq!(q.len(), 0);
+    }
+}

@@ -1,0 +1,578 @@
+//! The simulated machine: cores running the Fig. 2 kernel loop against the
+//! TSU device and the memory hierarchy, driven by a deterministic
+//! discrete-event loop.
+//!
+//! Cores execute DThread instances as chunks of memory accesses interleaved
+//! with compute cycles; every chunk boundary is an event, which keeps cores
+//! loosely synchronized so bus arbitration and coherence see a realistic
+//! interleaving without paying for an event per access.
+
+use crate::config::MachineConfig;
+use crate::event::EventQueue;
+use crate::memsys::MemorySystem;
+use crate::report::SimReport;
+use crate::trace::ExecTrace;
+use crate::tsu_dev::{DevFetch, TsuDevice};
+use crate::work::{InstanceWork, WorkSource};
+use tflux_core::ids::Instance;
+use tflux_core::program::DdmProgram;
+use tflux_core::tsu::{drain_sequential, TsuConfig, TsuState};
+
+/// Accesses per scheduling quantum. Chunking trades event-queue overhead
+/// against interleaving fidelity; 64 accesses ≈ a few hundred cycles, well
+/// under typical DThread lengths.
+const CHUNK: usize = 64;
+
+/// A simulated TFlux machine.
+#[derive(Clone, Copy, Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    tsu_cfg: TsuConfig,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// The core asks the TSU for its next DThread.
+    Fetch(u32),
+    /// The core executes its next chunk of the current instance.
+    Chunk(u32),
+}
+
+struct CoreState {
+    current: Option<Instance>,
+    /// Cycle the current instance's body started (for tracing).
+    started: u64,
+    work: InstanceWork,
+    cursor: usize,
+    compute_per_chunk: u64,
+    compute_rem: u64,
+    parked_since: u64,
+    busy: u64,
+    tsu_time: u64,
+    idle: u64,
+    finish: u64,
+    done: bool,
+}
+
+impl CoreState {
+    fn new() -> Self {
+        CoreState {
+            current: None,
+            started: 0,
+            work: InstanceWork::default(),
+            cursor: 0,
+            compute_per_chunk: 0,
+            compute_rem: 0,
+            parked_since: 0,
+            busy: 0,
+            tsu_time: 0,
+            idle: 0,
+            finish: 0,
+            done: false,
+        }
+    }
+}
+
+impl Machine {
+    /// A machine with default (unlimited-capacity) TSU configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        Machine {
+            cfg,
+            tsu_cfg: TsuConfig::default(),
+        }
+    }
+
+    /// Override the TSU state-machine configuration (capacity, policy).
+    pub fn with_tsu_config(mut self, tsu_cfg: TsuConfig) -> Self {
+        self.tsu_cfg = tsu_cfg;
+        self
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Simulate `program` with per-instance costs from `source`.
+    ///
+    /// # Panics
+    /// On TSU protocol errors (e.g. a block exceeding the configured TSU
+    /// capacity) or if the simulation deadlocks — both indicate an invalid
+    /// program/configuration pair, not a data-dependent condition.
+    pub fn run(&self, program: &DdmProgram, source: &dyn WorkSource) -> SimReport {
+        self.run_inner(program, source, None)
+    }
+
+    /// Like [`run`](Self::run), additionally recording a per-instance
+    /// execution trace (core, start, end) for Gantt rendering and
+    /// schedule analysis.
+    pub fn run_traced(
+        &self,
+        program: &DdmProgram,
+        source: &dyn WorkSource,
+    ) -> (SimReport, ExecTrace) {
+        let mut trace = ExecTrace::default();
+        let report = self.run_inner(program, source, Some(&mut trace));
+        (report, trace)
+    }
+
+    fn run_inner(
+        &self,
+        program: &DdmProgram,
+        source: &dyn WorkSource,
+        mut trace: Option<&mut ExecTrace>,
+    ) -> SimReport {
+        let cores = self.cfg.cores.max(1);
+        let tsu = TsuState::new(program, cores, self.tsu_cfg);
+        // cross-TSU-group updates ride the system network
+        let cross = if self.cfg.tsu_groups > 1 {
+            self.cfg.bus_transfer * 2
+        } else {
+            0
+        };
+        let mut dev = TsuDevice::sharded(tsu, self.cfg.tsu, cores, self.cfg.tsu_groups, cross);
+        let mut mem = MemorySystem::new(self.cfg);
+        let mut states: Vec<CoreState> = (0..cores).map(|_| CoreState::new()).collect();
+        let mut events: EventQueue<Ev> = EventQueue::new();
+        let mut instances = 0usize;
+
+        for c in 0..cores {
+            events.push(0, Ev::Fetch(c));
+        }
+
+        while let Some((t, ev)) = events.pop() {
+            match ev {
+                Ev::Fetch(c) => {
+                    Self::handle_fetch(c, t, &mut dev, source, &mut states, &mut events)
+                }
+                Ev::Chunk(c) => {
+                    let finished_at = {
+                        let s = &mut states[c as usize];
+                        let mut now = t;
+                        let total = s.work.accesses.len();
+                        let end = (s.cursor + CHUNK).min(total);
+                        for i in s.cursor..end {
+                            let a = s.work.accesses[i];
+                            let (lat, _) = mem.access(c, now, a.addr, a.write);
+                            now += lat;
+                        }
+                        s.cursor = end;
+                        now += s.compute_per_chunk;
+                        if s.cursor >= total {
+                            now += s.compute_rem;
+                            s.compute_rem = 0;
+                        }
+                        s.busy += now - t;
+                        if s.cursor < total {
+                            events.push(now, Ev::Chunk(c));
+                            None
+                        } else {
+                            Some(now)
+                        }
+                    };
+                    if let Some(now) = finished_at {
+                        instances += 1;
+                        if let Some(tr) = trace.as_deref_mut() {
+                            let st = &states[c as usize];
+                            if let Some(inst) = st.current {
+                                tr.record(c, inst, st.started, now);
+                            }
+                        }
+                        self.handle_completion(c, now, &mut dev, source, &mut states, &mut events);
+                    }
+                }
+            }
+        }
+
+        let all_done = states.iter().all(|s| s.done);
+        assert!(
+            all_done && dev.finished(),
+            "simulation deadlocked: {} cores stuck, finished={}",
+            states.iter().filter(|s| !s.done).count(),
+            dev.finished()
+        );
+
+        SimReport {
+            cycles: states.iter().map(|s| s.finish).max().unwrap_or(0),
+            core_busy: states.iter().map(|s| s.busy).collect(),
+            core_tsu: states.iter().map(|s| s.tsu_time).collect(),
+            core_idle: states.iter().map(|s| s.idle).collect(),
+            mem: mem.stats,
+            tsu: *dev.tsu().stats(),
+            dev: dev.stats,
+            instances,
+        }
+    }
+
+    /// Start executing `inst` on core `c` at cycle `start`.
+    fn begin_instance(
+        c: u32,
+        start: u64,
+        inst: Instance,
+        source: &dyn WorkSource,
+        states: &mut [CoreState],
+        events: &mut EventQueue<Ev>,
+    ) {
+        let s = &mut states[c as usize];
+        s.current = Some(inst);
+        s.started = start;
+        s.work.clear();
+        source.work(inst, &mut s.work);
+        s.cursor = 0;
+        let chunks = s.work.accesses.len().div_ceil(CHUNK).max(1) as u64;
+        s.compute_per_chunk = s.work.compute / chunks;
+        s.compute_rem = s.work.compute % chunks;
+        events.push(start, Ev::Chunk(c));
+    }
+
+    fn handle_fetch(
+        c: u32,
+        t: u64,
+        dev: &mut TsuDevice<'_>,
+        source: &dyn WorkSource,
+        states: &mut [CoreState],
+        events: &mut EventQueue<Ev>,
+    ) {
+        match dev.fetch(c, t) {
+            DevFetch::Thread(inst, at) => {
+                let start = at + dev.kernel_overhead();
+                states[c as usize].tsu_time += start - t;
+                Self::begin_instance(c, start, inst, source, states, events);
+            }
+            DevFetch::Parked => {
+                states[c as usize].parked_since = t;
+            }
+            DevFetch::Exit(at) => {
+                let s = &mut states[c as usize];
+                s.tsu_time += at - t;
+                s.finish = at;
+                s.done = true;
+            }
+        }
+    }
+
+    fn handle_completion(
+        &self,
+        c: u32,
+        now: u64,
+        dev: &mut TsuDevice<'_>,
+        source: &dyn WorkSource,
+        states: &mut [CoreState],
+        events: &mut EventQueue<Ev>,
+    ) {
+        let inst = states[c as usize]
+            .current
+            .take()
+            .expect("completion without a current instance");
+        let (core_free, ready_at) = dev
+            .complete(c, now, inst)
+            .unwrap_or_else(|e| panic!("TSU protocol error: {e}"));
+        let next_fetch = core_free + dev.kernel_overhead();
+        states[c as usize].tsu_time += next_fetch - now;
+        events.push(next_fetch, Ev::Fetch(c));
+
+        // Wake parked cores: after post-processing, ready DThreads (or the
+        // Exit condition) become visible at `ready_at`.
+        if dev.any_parked() {
+            let finished = dev.finished();
+            let avail = dev.tsu().ready_len();
+            if finished || avail > 0 {
+                let mut budget = if finished { usize::MAX } else { avail };
+                for p in dev.parked_cores() {
+                    if budget == 0 {
+                        break;
+                    }
+                    let parked_since = states[p as usize].parked_since;
+                    match dev.fetch(p, ready_at) {
+                        DevFetch::Thread(pi, at) => {
+                            let start = at + dev.kernel_overhead();
+                            states[p as usize].idle += ready_at.saturating_sub(parked_since);
+                            states[p as usize].tsu_time += start - ready_at;
+                            Self::begin_instance(p, start, pi, source, states, events);
+                            budget = budget.saturating_sub(1);
+                        }
+                        DevFetch::Parked => {}
+                        DevFetch::Exit(at) => {
+                            let s = &mut states[p as usize];
+                            s.idle += ready_at.saturating_sub(parked_since);
+                            s.tsu_time += at - ready_at;
+                            s.finish = at;
+                            s.done = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Simulate the *sequential baseline*: the original program's work
+    /// executed instance-by-instance on a single core, with **zero** TSU
+    /// and kernel costs — the paper's "original sequential \[program\],
+    /// i.e. without any TFlux overheads" (§5).
+    pub fn run_sequential(&self, program: &DdmProgram, source: &dyn WorkSource) -> SimReport {
+        let mut tsu = TsuState::new(program, 1, TsuConfig::default());
+        let order = drain_sequential(&mut tsu);
+        let mut mem = MemorySystem::new(self.cfg.with_cores(1));
+        let mut now = 0u64;
+        let mut work = InstanceWork::default();
+        let mut instances = 0usize;
+        for inst in order {
+            work.clear();
+            source.work(inst, &mut work);
+            for a in &work.accesses {
+                let (lat, _) = mem.access(0, now, a.addr, a.write);
+                now += lat;
+            }
+            now += work.compute;
+            instances += 1;
+        }
+        SimReport {
+            cycles: now,
+            core_busy: vec![now],
+            core_tsu: vec![0],
+            core_idle: vec![0],
+            mem: mem.stats,
+            tsu: *tsu.stats(),
+            dev: Default::default(),
+            instances,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TsuCosts;
+    use crate::work::{FnWork, StreamWork, UniformWork};
+    use tflux_core::prelude::*;
+
+    fn fork_join(arity: u32) -> DdmProgram {
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let work = b.thread(blk, ThreadSpec::new("work", arity));
+        let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+        b.arc(work, sink, ArcMapping::Reduction).unwrap();
+        b.build().unwrap()
+    }
+
+    fn chain(len: u32) -> DdmProgram {
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let mut prev = b.thread(blk, ThreadSpec::scalar("t0"));
+        for i in 1..len {
+            let t = b.thread(blk, ThreadSpec::scalar(format!("t{i}")));
+            b.arc(prev, t, ArcMapping::Scalar).unwrap();
+            prev = t;
+        }
+        b.build().unwrap()
+    }
+
+    /// Work only on the loop thread (T0); inlet/outlet/sinks are free.
+    fn app_work(cycles: u64) -> impl WorkSource {
+        FnWork(move |inst: Instance, out: &mut InstanceWork| {
+            if inst.thread == ThreadId(0) {
+                out.compute = cycles;
+            }
+        })
+    }
+
+    #[test]
+    fn embarrassingly_parallel_scales_nearly_linearly() {
+        let p = fork_join(64);
+        let src = app_work(50_000);
+        let seq = Machine::new(MachineConfig::bagle(1)).run_sequential(&p, &src);
+        let par4 = Machine::new(MachineConfig::bagle(4)).run(&p, &src);
+        let par8 = Machine::new(MachineConfig::bagle(8)).run(&p, &src);
+        let s4 = par4.speedup_over(&seq);
+        let s8 = par8.speedup_over(&seq);
+        assert!(s4 > 3.5 && s4 <= 4.01, "speedup(4)={s4}");
+        assert!(s8 > 7.0 && s8 <= 8.01, "speedup(8)={s8}");
+    }
+
+    #[test]
+    fn serial_chain_gets_no_speedup() {
+        let p = chain(32);
+        let src = UniformWork { cycles: 10_000 };
+        let seq = Machine::new(MachineConfig::bagle(1)).run_sequential(&p, &src);
+        let par = Machine::new(MachineConfig::bagle(8)).run(&p, &src);
+        let s = par.speedup_over(&seq);
+        assert!(s <= 1.0, "chain cannot speed up, got {s}");
+        assert!(s > 0.9, "overheads should stay small at this grain, got {s}");
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let p = fork_join(32);
+        let src = StreamWork {
+            bytes_per_instance: 4096,
+            stride: 64,
+            base: 0x10_0000,
+            writes: false,
+            cycles_per_access: 3,
+        };
+        let a = Machine::new(MachineConfig::bagle(8)).run(&p, &src);
+        let b = Machine::new(MachineConfig::bagle(8)).run(&p, &src);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.mem.accesses(), b.mem.accesses());
+        assert_eq!(a.dev.commands, b.dev.commands);
+    }
+
+    #[test]
+    fn all_instances_execute() {
+        let p = fork_join(20);
+        let src = UniformWork { cycles: 100 };
+        let r = Machine::new(MachineConfig::bagle(4)).run(&p, &src);
+        assert_eq!(r.instances, p.total_instances());
+        assert_eq!(r.tsu.completions as usize, p.total_instances());
+    }
+
+    #[test]
+    fn tsu_op_latency_barely_matters_at_coarse_grain() {
+        // §4.1: 1 -> 128 cycles of TSU processing changes performance <1%
+        let p = fork_join(128);
+        let src = app_work(200_000);
+        let base = MachineConfig::bagle(8);
+        let fast = Machine::new(base.with_tsu(TsuCosts {
+            op: 1,
+            ..TsuCosts::hard()
+        }))
+        .run(&p, &src);
+        let slow = Machine::new(base.with_tsu(TsuCosts {
+            op: 128,
+            ..TsuCosts::hard()
+        }))
+        .run(&p, &src);
+        let delta = (slow.cycles as f64 - fast.cycles as f64) / fast.cycles as f64;
+        assert!(delta < 0.01, "TSU latency impact {delta} >= 1%");
+    }
+
+    #[test]
+    fn tsu_op_latency_hurts_at_fine_grain() {
+        let p = fork_join(512);
+        let src = UniformWork { cycles: 60 }; // DThreads of ~60 cycles
+        let base = MachineConfig::bagle(8);
+        let fast = Machine::new(base.with_tsu(TsuCosts {
+            op: 1,
+            ..TsuCosts::hard()
+        }))
+        .run(&p, &src);
+        let slow = Machine::new(base.with_tsu(TsuCosts {
+            op: 128,
+            ..TsuCosts::hard()
+        }))
+        .run(&p, &src);
+        let delta = (slow.cycles as f64 - fast.cycles as f64) / fast.cycles as f64;
+        assert!(delta > 0.10, "fine grain must expose TSU latency, got {delta}");
+    }
+
+    #[test]
+    fn soft_tsu_needs_coarser_grain_than_hard() {
+        // the §6.2.2 effect: at fine grain the software TSU hurts much more
+        let p = fork_join(256);
+        let fine = UniformWork { cycles: 500 };
+        let hard = Machine::new(MachineConfig::bagle(4)).run(&p, &fine);
+        let soft =
+            Machine::new(MachineConfig::bagle(4).with_tsu(TsuCosts::soft())).run(&p, &fine);
+        assert!(
+            soft.cycles as f64 > hard.cycles as f64 * 1.5,
+            "soft {} vs hard {}",
+            soft.cycles,
+            hard.cycles
+        );
+    }
+
+    #[test]
+    fn sequential_baseline_has_no_tsu_cost() {
+        let p = fork_join(16);
+        let src = UniformWork { cycles: 1000 };
+        let seq = Machine::new(MachineConfig::bagle(1)).run_sequential(&p, &src);
+        assert_eq!(seq.cycles, p.total_instances() as u64 * 1000);
+        assert_eq!(seq.dev.commands, 0);
+    }
+
+    #[test]
+    fn idle_time_recorded_for_starved_cores() {
+        // 1 long thread then a barrier: other cores park
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let long = b.thread(blk, ThreadSpec::scalar("long"));
+        let fan = b.thread(blk, ThreadSpec::new("fan", 8));
+        b.arc(long, fan, ArcMapping::Broadcast).unwrap();
+        let p = b.build().unwrap();
+        let src = FnWork(|inst: Instance, out: &mut InstanceWork| {
+            out.compute = if inst.thread == ThreadId(0) { 100_000 } else { 1_000 };
+        });
+        let r = Machine::new(MachineConfig::bagle(4)).run(&p, &src);
+        let total_idle: u64 = r.core_idle.iter().sum();
+        assert!(total_idle > 100_000, "idle {total_idle}");
+        assert!(r.utilization() < 0.7);
+    }
+
+    #[test]
+    fn trace_covers_every_instance_without_overlap() {
+        let p = fork_join(32);
+        let src = UniformWork { cycles: 777 };
+        let m = Machine::new(MachineConfig::bagle(4));
+        let (report, trace) = m.run_traced(&p, &src);
+        assert_eq!(trace.len(), p.total_instances());
+        assert_eq!(report.instances, trace.len());
+        assert!(trace.find_overlap().is_none(), "{:?}", trace.find_overlap());
+        assert!(trace.end_cycle() <= report.cycles);
+        // busy accounting agrees with the report
+        assert_eq!(trace.core_busy(4), report.core_busy);
+        // gantt renders
+        let g = trace.gantt(&p, 4, 60);
+        assert!(g.contains("core  0"));
+    }
+
+    #[test]
+    fn traced_and_untraced_runs_are_identical() {
+        let p = fork_join(16);
+        let src = UniformWork { cycles: 1000 };
+        let m = Machine::new(MachineConfig::bagle(3));
+        let plain = m.run(&p, &src);
+        let (traced, _) = m.run_traced(&p, &src);
+        assert_eq!(plain.cycles, traced.cycles);
+    }
+
+    #[test]
+    fn multi_block_program_completes() {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..4 {
+            let blk = b.block();
+            b.thread(blk, ThreadSpec::new("w", 16));
+        }
+        let p = b.build().unwrap();
+        let r = Machine::new(MachineConfig::bagle(4)).run(&p, &UniformWork { cycles: 500 });
+        assert_eq!(r.instances, p.total_instances());
+        assert_eq!(r.tsu.blocks_loaded, 4);
+    }
+
+    #[test]
+    fn shared_write_traffic_limits_scaling() {
+        // all instances hammer the same lines: coherence should throttle
+        let p = fork_join(64);
+        let shared = StreamWork {
+            bytes_per_instance: 0, // overwritten below
+            stride: 64,
+            base: 0,
+            writes: true,
+            cycles_per_access: 1,
+        };
+        // every instance writes the same 64 lines
+        let src = FnWork(move |inst: Instance, out: &mut InstanceWork| {
+            let _ = inst;
+            let _ = shared;
+            for i in 0..64u64 {
+                out.accesses.push(crate::work::MemAccess::write(i * 64));
+            }
+            out.compute = 64;
+        });
+        let seq = Machine::new(MachineConfig::bagle(1)).run_sequential(&p, &src);
+        let par = Machine::new(MachineConfig::bagle(8)).run(&p, &src);
+        let s = par.speedup_over(&seq);
+        assert!(s < 4.0, "pure coherence traffic cannot scale: {s}");
+        assert!(par.mem.remote_hits > 0);
+        assert!(par.mem.invalidations > 0);
+    }
+}

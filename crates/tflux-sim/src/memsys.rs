@@ -1,0 +1,537 @@
+//! The simulated memory hierarchy: per-core L1s, per-group L2s, a MESI-style
+//! invalidation protocol, and an arbitrated system network (bus).
+//!
+//! The model tracks cache-line *presence* and coherence state, charging
+//! latencies per access — the same level of detail as the Simics `gcache`
+//! setup of §6.1.1, which the paper notes "allow Simics to simulate and take
+//! into account the overhead of the MESI protocol". Dirty lines have a
+//! unique owner core; writes invalidate all foreign copies over the bus;
+//! L2-to-L2 (cache-to-cache) supplies model coherency misses, which is what
+//! keeps MMULT below ideal speedup in Fig. 5.
+
+use crate::cache::Cache;
+use crate::config::MachineConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Classification of one memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessClass {
+    /// Served by the core's own L1.
+    L1Hit,
+    /// Served by the core's group L2.
+    L2Hit,
+    /// Write that only needed an ownership upgrade (data already local).
+    Upgrade,
+    /// Served by another group's L2 over the bus — a coherency miss.
+    RemoteHit,
+    /// Served by main memory.
+    MemMiss,
+}
+
+/// Aggregate counters of the memory system.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct MemStats {
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L2 hits (after L1 miss).
+    pub l2_hits: u64,
+    /// Ownership upgrades (write to a locally-shared line).
+    pub upgrades: u64,
+    /// Cache-to-cache transfers (coherency misses).
+    pub remote_hits: u64,
+    /// Main-memory fetches.
+    pub mem_misses: u64,
+    /// L1/L2 copies invalidated by remote writes.
+    pub invalidations: u64,
+    /// Dirty-line writebacks.
+    pub writebacks: u64,
+    /// Cycles any access spent waiting for the bus.
+    pub bus_wait: u64,
+    /// Cycles the bus was occupied.
+    pub bus_busy: u64,
+}
+
+impl MemStats {
+    /// Total accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.upgrades + self.remote_hits + self.mem_misses
+    }
+
+    /// Fraction of accesses that were coherency (remote) misses.
+    pub fn coherency_ratio(&self) -> f64 {
+        let t = self.accesses();
+        if t == 0 {
+            0.0
+        } else {
+            self.remote_hits as f64 / t as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Dir {
+    /// Cores holding the line in L1.
+    l1s: u64,
+    /// L2 groups holding the line.
+    l2s: u64,
+    /// Core holding the line modified (implies exclusivity).
+    owner: Option<u32>,
+}
+
+/// Bandwidth-window bus model.
+///
+/// Time is divided into fixed windows; each window can carry `window`
+/// cycles of transfer. A transaction books its cost into the window of its
+/// issue time, spilling into later windows when one fills up — the spill is
+/// the queueing delay. Unlike a single `busy_until` timestamp, this stays
+/// causal when cores simulate accesses in loosely-ordered chunks: a
+/// transaction issued at an earlier time books into an earlier window even
+/// if a later-time transaction was processed first.
+#[derive(Debug)]
+struct Bus {
+    window: u64,
+    /// Booked cycles per window, keyed by window index (sparse; old
+    /// windows are pruned).
+    used: HashMap<u64, u64>,
+    horizon: u64,
+}
+
+impl Bus {
+    fn new(window: u64) -> Self {
+        Bus {
+            window: window.max(1),
+            used: HashMap::new(),
+            horizon: 0,
+        }
+    }
+
+    /// Book `cost` cycles starting at `now`; returns the total delay
+    /// (queueing + transfer) experienced.
+    fn book(&mut self, now: u64, cost: u64) -> u64 {
+        let w = self.window;
+        let mut win = now / w;
+        let mut remaining = cost;
+        let mut end = now;
+        loop {
+            let used = self.used.entry(win).or_insert(0);
+            let free = w - *used;
+            if free >= remaining {
+                *used += remaining;
+                end = end.max(win * w + *used);
+                break;
+            }
+            remaining -= free;
+            *used = w;
+            win += 1;
+        }
+        // prune windows far behind the newest booking
+        if win > self.horizon + 64 {
+            let cutoff = win.saturating_sub(32);
+            self.used.retain(|&k, _| k >= cutoff);
+            self.horizon = win;
+        }
+        end.saturating_sub(now)
+    }
+}
+
+/// The simulated memory system.
+pub struct MemorySystem {
+    cfg: MachineConfig,
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    dir: HashMap<u64, Dir>,
+    bus: Bus,
+    /// Counters.
+    pub stats: MemStats,
+    /// L1 lines per L2 line.
+    ratio: u64,
+    l1_shift: u32,
+}
+
+impl MemorySystem {
+    /// Build the hierarchy for a machine.
+    pub fn new(cfg: MachineConfig) -> Self {
+        assert!(cfg.cores <= 64, "core bitmap limited to 64 cores");
+        let l1 = (0..cfg.cores).map(|_| Cache::new(&cfg.l1)).collect();
+        let l2 = (0..cfg.l2_groups()).map(|_| Cache::new(&cfg.l2)).collect();
+        let ratio = (cfg.l2.line / cfg.l1.line).max(1) as u64;
+        MemorySystem {
+            cfg,
+            l1,
+            l2,
+            dir: HashMap::new(),
+            // window sized so that ~256 line transfers fit per window: wide
+            // enough to absorb chunk-granular reordering, narrow enough to
+            // expose sustained saturation
+            bus: Bus::new(256 * cfg.bus_transfer.max(1)),
+            stats: MemStats::default(),
+            ratio,
+            l1_shift: cfg.l1.line.trailing_zeros(),
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Acquire the bus at `now` for `cost` cycles; returns the total delay
+    /// including queueing.
+    fn bus(&mut self, now: u64, cost: u64) -> u64 {
+        let total = self.bus.book(now, cost);
+        self.stats.bus_wait += total.saturating_sub(cost);
+        self.stats.bus_busy += cost;
+        total
+    }
+
+    #[inline]
+    fn l1_line(&self, byte_addr: u64) -> u64 {
+        byte_addr >> self.l1_shift
+    }
+
+    /// Evict bookkeeping for an L1 victim.
+    fn l1_evicted(&mut self, core: u32, line: u64) {
+        if let Some(d) = self.dir.get_mut(&line) {
+            d.l1s &= !(1 << core);
+            if d.owner == Some(core) {
+                // dirty victim: write back through L2 (stays dirty in L2
+                // conceptually; we clear the owner and charge a writeback
+                // when it leaves the group entirely). Keep owner so the
+                // group still supplies dirty data.
+            }
+        }
+    }
+
+    /// Evict bookkeeping for an L2 victim (an L2-granularity line).
+    fn l2_evicted(&mut self, group: u32, l2_victim: u64) {
+        for sub in (l2_victim * self.ratio)..((l2_victim + 1) * self.ratio) {
+            let mut drop_owner = false;
+            if let Some(d) = self.dir.get_mut(&sub) {
+                d.l2s &= !(1 << group);
+                if let Some(o) = d.owner {
+                    if self.cfg.group_of(o) == group {
+                        drop_owner = true;
+                    }
+                }
+                if drop_owner {
+                    d.owner = None;
+                }
+            }
+            if drop_owner {
+                self.stats.writebacks += 1;
+            }
+        }
+    }
+
+    /// Perform one access; returns `(latency_cycles, class)`.
+    ///
+    /// `now` is the core-local cycle at which the access issues; bus
+    /// arbitration is charged relative to it.
+    pub fn access(&mut self, core: u32, now: u64, byte_addr: u64, write: bool) -> (u64, AccessClass) {
+        if write {
+            self.write(core, now, byte_addr)
+        } else {
+            self.read(core, now, byte_addr)
+        }
+    }
+
+    fn read(&mut self, core: u32, now: u64, byte_addr: u64) -> (u64, AccessClass) {
+        let line = self.l1_line(byte_addr);
+        if self.l1[core as usize].probe(line) {
+            self.stats.l1_hits += 1;
+            return (self.cfg.l1.read_lat, AccessClass::L1Hit);
+        }
+        let g = self.cfg.group_of(core);
+        let mut lat = self.cfg.l1.read_lat + self.cfg.l2.read_lat;
+        let class;
+        let l2_shift = self.l2[g as usize].line_shift();
+        if self.l2[g as usize].probe(byte_addr >> l2_shift) {
+            self.stats.l2_hits += 1;
+            class = AccessClass::L2Hit;
+        } else {
+            // L2 miss: find a supplier over the bus
+            let d = self.dir.get(&line).copied().unwrap_or_default();
+            let foreign_owner = d
+                .owner
+                .filter(|&o| self.cfg.group_of(o) != g)
+                .is_some();
+            let foreign_l2 = d.l2s & !(1u64 << g) != 0;
+            if foreign_owner || foreign_l2 {
+                // cache-to-cache supply (coherency miss)
+                lat += self.cfg.c2c_lat;
+                lat += self.bus(now + lat, self.cfg.bus_transfer);
+                self.stats.remote_hits += 1;
+                class = AccessClass::RemoteHit;
+                if foreign_owner {
+                    // dirty supplier demotes to shared and writes back
+                    self.stats.writebacks += 1;
+                    if let Some(d) = self.dir.get_mut(&line) {
+                        d.owner = None;
+                    }
+                }
+            } else {
+                lat += self.cfg.mem_lat;
+                lat += self.bus(now + lat, self.cfg.bus_transfer);
+                self.stats.mem_misses += 1;
+                class = AccessClass::MemMiss;
+            }
+            // fill L2
+            let l2line = byte_addr >> self.l2[g as usize].line_shift();
+            if let Some(victim) = self.l2[g as usize].insert(l2line) {
+                self.l2_evicted(g, victim);
+            }
+            self.dir.entry(line).or_default().l2s |= 1 << g;
+        }
+        // a read by a non-owner demotes any same-group owner to shared too
+        if let Some(d) = self.dir.get_mut(&line) {
+            if let Some(o) = d.owner {
+                if o != core {
+                    d.owner = None;
+                }
+            }
+        }
+        // fill L1
+        if let Some(victim) = self.l1[core as usize].insert(line) {
+            self.l1_evicted(core, victim);
+        }
+        let e = self.dir.entry(line).or_default();
+        e.l1s |= 1 << core;
+        e.l2s |= 1 << g;
+        (lat, class)
+    }
+
+    fn write(&mut self, core: u32, now: u64, byte_addr: u64) -> (u64, AccessClass) {
+        let line = self.l1_line(byte_addr);
+        let g = self.cfg.group_of(core);
+        let d = self.dir.get(&line).copied().unwrap_or_default();
+
+        // exclusive-owner fast path
+        if d.owner == Some(core) && self.l1[core as usize].probe(line) {
+            self.stats.l1_hits += 1;
+            return (self.cfg.l1.write_lat, AccessClass::L1Hit);
+        }
+
+        let mut lat;
+        let class;
+
+        // invalidate foreign copies
+        let foreign_l1 = d.l1s & !(1u64 << core);
+        let foreign_l2 = d.l2s & !(1u64 << g);
+        let had_local_copy = d.l1s & (1 << core) != 0 && self.l1[core as usize].contains(line);
+        let mut invalidate_lat = 0;
+        if foreign_l1 != 0 || foreign_l2 != 0 {
+            // one control transaction invalidates all sharers (snooping
+            // bus); the writer waits for it to be ordered
+            invalidate_lat = self.bus(now, self.cfg.bus_control);
+            for c2 in 0..self.cfg.cores as u64 {
+                if foreign_l1 & (1 << c2) != 0 {
+                    self.l1[c2 as usize].invalidate(line);
+                    self.stats.invalidations += 1;
+                }
+            }
+            for g2 in 0..self.cfg.l2_groups() as u64 {
+                if foreign_l2 & (1 << g2) != 0 {
+                    let l2line = byte_addr >> self.l2[g2 as usize].line_shift();
+                    self.l2[g2 as usize].invalidate(l2line);
+                    self.stats.invalidations += 1;
+                }
+            }
+        }
+
+        let foreign_owner_dirty = d.owner.is_some_and(|o| o != core);
+        if had_local_copy && !foreign_owner_dirty {
+            // data already local: pure upgrade (write + invalidation)
+            lat = self.cfg.l1.write_lat + invalidate_lat;
+            self.stats.upgrades += 1;
+            class = AccessClass::Upgrade;
+        } else {
+            // need the data: own L2 / remote / memory (after the
+            // invalidation is ordered)
+            lat = self.cfg.l1.write_lat + self.cfg.l2.read_lat + invalidate_lat;
+            let l2line = byte_addr >> self.l2[g as usize].line_shift();
+            if !foreign_owner_dirty && self.l2[g as usize].probe(l2line) {
+                self.stats.l2_hits += 1;
+                class = AccessClass::L2Hit;
+            } else if foreign_owner_dirty || foreign_l2 != 0 {
+                lat += self.cfg.c2c_lat;
+                lat += self.bus(now + lat, self.cfg.bus_transfer);
+                self.stats.remote_hits += 1;
+                self.stats.writebacks += u64::from(foreign_owner_dirty);
+                class = AccessClass::RemoteHit;
+            } else {
+                lat += self.cfg.mem_lat;
+                lat += self.bus(now + lat, self.cfg.bus_transfer);
+                self.stats.mem_misses += 1;
+                class = AccessClass::MemMiss;
+            }
+            if let Some(victim) = self.l2[g as usize].insert(l2line) {
+                self.l2_evicted(g, victim);
+            }
+        }
+
+        // take ownership
+        if let Some(victim) = self.l1[core as usize].insert(line) {
+            self.l1_evicted(core, victim);
+        }
+        let e = self.dir.entry(line).or_default();
+        e.owner = Some(core);
+        e.l1s = 1 << core;
+        e.l2s = 1 << g;
+        (lat, class)
+    }
+
+    /// Total L1 miss ratio across cores.
+    pub fn l1_miss_ratio(&self) -> f64 {
+        let (h, m) = self
+            .l1
+            .iter()
+            .fold((0u64, 0u64), |(h, m), c| (h + c.hits, m + c.misses));
+        if h + m == 0 {
+            0.0
+        } else {
+            m as f64 / (h + m) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(cores: u32, group: u32) -> MemorySystem {
+        let mut cfg = MachineConfig::bagle(cores);
+        cfg.l2_group = group;
+        MemorySystem::new(cfg)
+    }
+
+    #[test]
+    fn cold_read_is_a_memory_miss_then_hits() {
+        let mut m = sys(2, 1);
+        let (lat, class) = m.access(0, 0, 0x1000, false);
+        assert_eq!(class, AccessClass::MemMiss);
+        assert!(lat >= m.config().mem_lat);
+        let (lat2, class2) = m.access(0, 10_000, 0x1000, false);
+        assert_eq!(class2, AccessClass::L1Hit);
+        assert_eq!(lat2, m.config().l1.read_lat);
+        assert!(lat2 < lat);
+    }
+
+    #[test]
+    fn read_after_remote_read_is_cache_to_cache() {
+        let mut m = sys(2, 1);
+        m.access(0, 0, 0x40, false);
+        let (_, class) = m.access(1, 1_000, 0x40, false);
+        assert_eq!(class, AccessClass::RemoteHit);
+        assert_eq!(m.stats.remote_hits, 1);
+    }
+
+    #[test]
+    fn same_group_cores_share_l2() {
+        let mut m = sys(2, 2); // both cores in one group
+        m.access(0, 0, 0x40, false);
+        let (_, class) = m.access(1, 1_000, 0x40, false);
+        assert_eq!(class, AccessClass::L2Hit);
+    }
+
+    #[test]
+    fn write_invalidates_remote_reader() {
+        let mut m = sys(2, 1);
+        m.access(0, 0, 0x80, false); // core 0 reads
+        m.access(1, 100, 0x80, true); // core 1 writes -> invalidate core 0
+        assert!(m.stats.invalidations >= 1);
+        // core 0 re-read is not an L1 hit
+        let (_, class) = m.access(0, 10_000, 0x80, false);
+        assert_ne!(class, AccessClass::L1Hit);
+        // and it is a coherency transfer from core 1's modified copy
+        assert_eq!(class, AccessClass::RemoteHit);
+    }
+
+    #[test]
+    fn dirty_read_demotes_owner() {
+        let mut m = sys(2, 1);
+        m.access(0, 0, 0xC0, true); // core 0 owns dirty
+        m.access(1, 100, 0xC0, false); // core 1 reads: c2c + writeback
+        assert!(m.stats.writebacks >= 1);
+        // core 0 rewriting needs an upgrade again (ownership was dropped)
+        let (_, class) = m.access(0, 10_000, 0xC0, true);
+        assert_eq!(class, AccessClass::Upgrade);
+    }
+
+    #[test]
+    fn repeated_owner_writes_are_l1_hits() {
+        let mut m = sys(2, 1);
+        m.access(0, 0, 0x100, true);
+        for t in 1..10 {
+            let (lat, class) = m.access(0, t * 10, 0x100, true);
+            assert_eq!(class, AccessClass::L1Hit);
+            assert_eq!(lat, m.config().l1.write_lat);
+        }
+    }
+
+    #[test]
+    fn write_to_local_shared_line_is_upgrade() {
+        let mut m = sys(2, 1);
+        m.access(0, 0, 0x140, false);
+        m.access(1, 100, 0x140, false);
+        let (_, class) = m.access(0, 1_000, 0x140, true);
+        assert_eq!(class, AccessClass::Upgrade);
+        assert!(m.stats.invalidations >= 1); // core 1's copies dropped
+    }
+
+    #[test]
+    fn bus_saturation_delays_misses() {
+        let mut m = sys(4, 1);
+        // Flood one bandwidth window: more transfer demand than one window
+        // (256 line transfers) can carry must spill into the next window,
+        // showing up as queueing delay.
+        let mut lats = Vec::new();
+        for i in 0..600u64 {
+            let core = (i % 4) as u32;
+            let (lat, _) = m.access(core, 0, 0x10000 + i * 4096, false);
+            lats.push(lat);
+        }
+        assert!(m.stats.bus_wait > 0, "overload must queue");
+        assert!(
+            lats.last().unwrap() > lats.first().unwrap(),
+            "later misses in a saturated window wait longer"
+        );
+        // while a single isolated miss far in the future pays no wait
+        let before = m.stats.bus_wait;
+        let (_, class) = m.access(0, 10_000_000, 0xFFFF_0000, false);
+        assert_eq!(class, AccessClass::MemMiss);
+        assert_eq!(m.stats.bus_wait, before);
+    }
+
+    #[test]
+    fn capacity_eviction_causes_re_miss() {
+        // tiny L1: walk far beyond capacity, then re-walk
+        let mut cfg = MachineConfig::bagle(1);
+        cfg.l1.size = 1024; // 16 lines, 4-way
+        let mut m = MemorySystem::new(cfg);
+        for i in 0..64u64 {
+            m.access(0, i * 1000, i * 64, false);
+        }
+        let (_, class) = m.access(0, 1_000_000, 0, false);
+        assert_ne!(class, AccessClass::L1Hit, "line 0 must have been evicted");
+    }
+
+    #[test]
+    fn stats_accesses_add_up() {
+        let mut m = sys(2, 1);
+        for i in 0..20u64 {
+            m.access((i % 2) as u32, i * 10, (i % 5) * 64, i % 3 == 0);
+        }
+        assert_eq!(m.stats.accesses(), 20);
+    }
+
+    #[test]
+    fn l2_line_larger_than_l1_line_works() {
+        // Bagle: L2 line 128B, L1 64B. Two adjacent L1 lines share an L2
+        // line: second read should be an L2 hit (spatial prefetch effect).
+        let mut m = sys(1, 1);
+        m.access(0, 0, 0x0, false); // fills L2 line 0 (bytes 0..128)
+        let (_, class) = m.access(0, 1_000, 0x40, false);
+        assert_eq!(class, AccessClass::L2Hit);
+    }
+}

@@ -1,0 +1,248 @@
+//! The Memory-Mapped Interface (MMI): the hardware TSU Group's concrete
+//! wire format.
+//!
+//! §4.1: "The TSU Group is attached to the system's network as a
+//! memory-mapped device. A special unit, the Memory Mapped Interface (MMI),
+//! is responsible for snooping the network and transferring to the TSU all
+//! memory requests directed to it. ... The CPU controls the TSU Group
+//! through specially encoded flags. At the TSU Group side these requests
+//! are decoded and trigger the appropriate TSU operation."
+//!
+//! This module pins down that encoding: the device's address window, the
+//! per-core command/response register layout, and the 64-bit command words
+//! a kernel stores to drive the TSU. The [`TsuDevice`](crate::tsu_dev)
+//! charges the *timing* of these transactions abstractly; this module is
+//! the functional contract a hardware implementation (or the DDMCPP `sim`
+//! back-end's generated kernel code) would follow — the hardware sibling of
+//! the Cell platform's `CommandBuffer` encoding in `tflux-cell`.
+
+use tflux_core::ids::{Context, Instance, KernelId, ThreadId};
+
+/// Default base address of the TSU Group's memory window (high, uncached).
+pub const TSU_BASE: u64 = 0xFFFF_0000_0000;
+/// Bytes of address space per core (one command + one response register).
+pub const PER_CORE_WINDOW: u64 = 16;
+
+/// A command a kernel issues to the TSU through its command register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MmiCommand {
+    /// Request the next ready DThread (the FindReadyThread query).
+    Fetch,
+    /// Notify completion of an instance (triggers post-processing).
+    Complete(Instance),
+    /// Load the metadata of a DDM block (issued by Inlet DThreads).
+    LoadBlock(u32),
+    /// Release the TSU entries of a block (issued by Outlet DThreads).
+    FreeBlock(u32),
+}
+
+/// A response the TSU writes into a core's response register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MmiResponse {
+    /// Run this instance.
+    Thread(Instance),
+    /// Nothing ready; retry / wait for the TSU's wake.
+    Wait,
+    /// Program finished; the kernel exits.
+    Exit,
+}
+
+const OP_FETCH: u64 = 0x01;
+const OP_COMPLETE: u64 = 0x02;
+const OP_LOAD: u64 = 0x03;
+const OP_FREE: u64 = 0x04;
+
+const RSP_THREAD: u64 = 0x01;
+const RSP_WAIT: u64 = 0x02;
+const RSP_EXIT: u64 = 0x03;
+
+/// The TSU Group's address map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MmiMap {
+    /// Base address of the device window.
+    pub base: u64,
+    /// Number of cores served (sizes the window).
+    pub cores: u32,
+}
+
+impl MmiMap {
+    /// The default map for a machine with `cores` cores.
+    pub fn new(cores: u32) -> Self {
+        MmiMap {
+            base: TSU_BASE,
+            cores,
+        }
+    }
+
+    /// Address of a core's command register (stores issue commands).
+    pub fn cmd_addr(&self, core: KernelId) -> u64 {
+        self.base + core.0 as u64 * PER_CORE_WINDOW
+    }
+
+    /// Address of a core's response register (loads read responses).
+    pub fn resp_addr(&self, core: KernelId) -> u64 {
+        self.cmd_addr(core) + 8
+    }
+
+    /// Total bytes the device occupies on the network.
+    pub fn window_bytes(&self) -> u64 {
+        self.cores as u64 * PER_CORE_WINDOW
+    }
+
+    /// Whether an address belongs to the TSU window (what the MMI snoops).
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.base + self.window_bytes()
+    }
+
+    /// Decode which core and register an in-window address refers to.
+    /// Returns `(core, is_response_register)`.
+    pub fn decode_addr(&self, addr: u64) -> Option<(KernelId, bool)> {
+        if !self.contains(addr) {
+            return None;
+        }
+        let off = addr - self.base;
+        Some((
+            KernelId((off / PER_CORE_WINDOW) as u32),
+            off % PER_CORE_WINDOW >= 8,
+        ))
+    }
+}
+
+impl MmiCommand {
+    /// Encode as the 64-bit word a kernel stores:
+    /// `[63:56] opcode | [55:32] thread id | [31:0] context`.
+    pub fn encode(&self) -> u64 {
+        match *self {
+            MmiCommand::Fetch => OP_FETCH << 56,
+            MmiCommand::Complete(i) => {
+                (OP_COMPLETE << 56) | ((i.thread.0 as u64 & 0xFF_FFFF) << 32) | i.context.0 as u64
+            }
+            MmiCommand::LoadBlock(b) => (OP_LOAD << 56) | b as u64,
+            MmiCommand::FreeBlock(b) => (OP_FREE << 56) | b as u64,
+        }
+    }
+
+    /// Decode a stored command word.
+    pub fn decode(word: u64) -> Option<MmiCommand> {
+        let op = word >> 56;
+        match op {
+            OP_FETCH => Some(MmiCommand::Fetch),
+            OP_COMPLETE => Some(MmiCommand::Complete(Instance::new(
+                ThreadId(((word >> 32) & 0xFF_FFFF) as u32),
+                Context((word & 0xFFFF_FFFF) as u32),
+            ))),
+            OP_LOAD => Some(MmiCommand::LoadBlock((word & 0xFFFF_FFFF) as u32)),
+            OP_FREE => Some(MmiCommand::FreeBlock((word & 0xFFFF_FFFF) as u32)),
+            _ => None,
+        }
+    }
+}
+
+impl MmiResponse {
+    /// Encode as the 64-bit word the TSU writes to a response register.
+    pub fn encode(&self) -> u64 {
+        match *self {
+            MmiResponse::Thread(i) => {
+                (RSP_THREAD << 56) | ((i.thread.0 as u64 & 0xFF_FFFF) << 32) | i.context.0 as u64
+            }
+            MmiResponse::Wait => RSP_WAIT << 56,
+            MmiResponse::Exit => RSP_EXIT << 56,
+        }
+    }
+
+    /// Decode a response word.
+    pub fn decode(word: u64) -> Option<MmiResponse> {
+        match word >> 56 {
+            RSP_THREAD => Some(MmiResponse::Thread(Instance::new(
+                ThreadId(((word >> 32) & 0xFF_FFFF) as u32),
+                Context((word & 0xFFFF_FFFF) as u32),
+            ))),
+            RSP_WAIT => Some(MmiResponse::Wait),
+            RSP_EXIT => Some(MmiResponse::Exit),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_words_roundtrip() {
+        let cmds = [
+            MmiCommand::Fetch,
+            MmiCommand::Complete(Instance::new(ThreadId(0xABCDE), Context(0x00DE_ADBE_u32))),
+            MmiCommand::LoadBlock(7),
+            MmiCommand::FreeBlock(0xFFFF),
+        ];
+        for c in cmds {
+            assert_eq!(MmiCommand::decode(c.encode()), Some(c), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn response_words_roundtrip() {
+        let rsps = [
+            MmiResponse::Thread(Instance::new(ThreadId(3), Context(9))),
+            MmiResponse::Wait,
+            MmiResponse::Exit,
+        ];
+        for r in rsps {
+            assert_eq!(MmiResponse::decode(r.encode()), Some(r), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn garbage_words_do_not_decode() {
+        assert_eq!(MmiCommand::decode(0), None);
+        assert_eq!(MmiCommand::decode(u64::MAX), None);
+        assert_eq!(MmiResponse::decode(0), None);
+        assert_eq!(MmiResponse::decode(0xF0 << 56), None);
+    }
+
+    #[test]
+    fn address_map_decodes_cores_and_registers() {
+        let map = MmiMap::new(27);
+        assert!(map.contains(map.cmd_addr(KernelId(0))));
+        assert!(map.contains(map.resp_addr(KernelId(26))));
+        assert!(!map.contains(map.base + map.window_bytes()));
+        assert!(!map.contains(0x1000));
+
+        assert_eq!(map.decode_addr(map.cmd_addr(KernelId(5))), Some((KernelId(5), false)));
+        assert_eq!(map.decode_addr(map.resp_addr(KernelId(5))), Some((KernelId(5), true)));
+        assert_eq!(map.decode_addr(0), None);
+    }
+
+    #[test]
+    fn windows_do_not_overlap_between_cores() {
+        let map = MmiMap::new(8);
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..8 {
+            for reg in [map.cmd_addr(KernelId(c)), map.resp_addr(KernelId(c))] {
+                assert!(seen.insert(reg), "address {reg:#x} reused");
+            }
+        }
+    }
+
+    #[test]
+    fn device_window_is_outside_workload_address_space() {
+        // workload trace generators use the low 4 GB; the device must not
+        // alias a cacheable line
+        let map = MmiMap::new(64);
+        assert!(map.base > 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn complete_encoding_masks_wide_ids() {
+        // thread ids wider than 24 bits are masked, not smeared into the
+        // opcode field
+        let i = Instance::new(ThreadId(u32::MAX), Context(1));
+        let word = MmiCommand::Complete(i).encode();
+        assert_eq!(word >> 56, 0x02);
+        match MmiCommand::decode(word) {
+            Some(MmiCommand::Complete(d)) => assert_eq!(d.thread.0, 0xFF_FFFF),
+            other => panic!("{other:?}"),
+        }
+    }
+}

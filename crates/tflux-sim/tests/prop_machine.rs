@@ -1,0 +1,107 @@
+//! Property tests of the full machine: random programs with random work
+//! models always complete every instance, produce physically consistent
+//! traces, and respect the work/span lower bound.
+
+use proptest::prelude::*;
+use tflux_core::prelude::*;
+use tflux_sim::work::{FnWork, InstanceWork};
+use tflux_sim::{Machine, MachineConfig};
+
+#[derive(Debug, Clone)]
+struct Desc {
+    layers: Vec<u32>,
+    blocks: u32,
+    cores: u32,
+    base_cost: u64,
+}
+
+fn desc() -> impl Strategy<Value = Desc> {
+    (
+        prop::collection::vec(1u32..10, 1..4),
+        1u32..3,
+        1u32..9,
+        10u64..5_000,
+    )
+        .prop_map(|(layers, blocks, cores, base_cost)| Desc {
+            layers,
+            blocks,
+            cores,
+            base_cost,
+        })
+}
+
+fn build(d: &Desc) -> DdmProgram {
+    let mut b = ProgramBuilder::new();
+    for _ in 0..d.blocks {
+        let blk = b.block();
+        let mut prev: Option<ThreadId> = None;
+        for (li, &arity) in d.layers.iter().enumerate() {
+            let t = b.thread(blk, ThreadSpec::new(format!("l{li}"), arity));
+            if let Some(p) = prev {
+                b.arc(p, t, ArcMapping::All).unwrap();
+            }
+            prev = Some(t);
+        }
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn machine_completes_arbitrary_programs(d in desc()) {
+        let p = build(&d);
+        let base = d.base_cost;
+        let src = FnWork(move |i: Instance, out: &mut InstanceWork| {
+            out.compute = base + i.context.0 as u64 * 7;
+            // touch a private line now and then
+            if i.context.0.is_multiple_of(3) {
+                out.accesses.push(tflux_sim::work::MemAccess::read(
+                    0x1000_0000 + i.context.0 as u64 * 64,
+                ));
+            }
+        });
+        let m = Machine::new(MachineConfig::bagle(d.cores));
+        let (report, trace) = m.run_traced(&p, &src);
+        prop_assert_eq!(report.instances, p.total_instances());
+        prop_assert_eq!(report.tsu.completions as usize, p.total_instances());
+        prop_assert!(trace.find_overlap().is_none());
+        prop_assert!(report.cycles >= trace.end_cycle());
+
+        // wall time can never beat the critical path (work/span bound with
+        // the same weights the source charges, ignoring memory time)
+        let ws = tflux_core::graph::work_span(&p, |t, c| {
+            if p.thread(t).kind == tflux_core::ThreadKind::App {
+                (base + c.0 as u64 * 7) as f64
+            } else {
+                0.0
+            }
+        });
+        prop_assert!(
+            (report.cycles as f64) >= ws.span,
+            "cycles {} < span {}",
+            report.cycles,
+            ws.span
+        );
+        // nor beat perfect parallelism over the cores
+        prop_assert!((report.cycles as f64) * (d.cores as f64) >= ws.work);
+    }
+
+    #[test]
+    fn more_cores_never_slow_down_compute_bound_programs(
+        arity in 4u32..40,
+        cost in 1_000u64..50_000,
+    ) {
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        b.thread(blk, ThreadSpec::new("w", arity));
+        let p = b.build().unwrap();
+        let src = FnWork(move |_: Instance, out: &mut InstanceWork| {
+            out.compute = cost;
+        });
+        let c2 = Machine::new(MachineConfig::bagle(2)).run(&p, &src).cycles;
+        let c8 = Machine::new(MachineConfig::bagle(8)).run(&p, &src).cycles;
+        prop_assert!(c8 <= c2, "8 cores ({c8}) slower than 2 ({c2})");
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests of the cache/coherence model: for arbitrary interleaved
+//! access streams the model must preserve its structural invariants —
+//! counters add up, latencies are bounded, dirty data has a unique owner
+//! (observable as: a reader after a foreign write never gets a stale L1
+//! hit), and the model is deterministic.
+
+use proptest::prelude::*;
+use tflux_sim::config::MachineConfig;
+use tflux_sim::memsys::{AccessClass, MemorySystem};
+
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    core: u32,
+    line: u64,
+    write: bool,
+}
+
+fn ops(cores: u32) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0..cores, 0u64..32, any::<bool>()).prop_map(|(core, line, write)| Op {
+            core,
+            line: line * 64, // distinct cache lines in a small working set
+            write,
+        }),
+        1..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn counters_add_up_and_latencies_are_bounded(stream in ops(4)) {
+        let cfg = MachineConfig::bagle(4);
+        let mut m = MemorySystem::new(cfg);
+        let worst = cfg.l1.read_lat
+            + cfg.l1.write_lat
+            + cfg.l2.read_lat
+            + cfg.mem_lat
+            + cfg.c2c_lat
+            + 10_000; // generous bus-queue allowance
+        let mut t = 0u64;
+        for op in &stream {
+            let (lat, _) = m.access(op.core, t, op.line, op.write);
+            prop_assert!(lat <= worst, "latency {lat} out of bounds");
+            t += lat;
+        }
+        prop_assert_eq!(m.stats.accesses(), stream.len() as u64);
+    }
+
+    #[test]
+    fn no_stale_read_after_foreign_write(stream in ops(4)) {
+        // Replay the stream; after any write by core W, the very next read
+        // of that line by a different core must NOT be an L1 hit (its copy
+        // was invalidated).
+        let mut m = MemorySystem::new(MachineConfig::bagle(4));
+        let mut last_writer: std::collections::HashMap<u64, u32> = Default::default();
+        let mut t = 0u64;
+        for op in &stream {
+            let (lat, class) = m.access(op.core, t, op.line, op.write);
+            t += lat;
+            if op.write {
+                last_writer.insert(op.line, op.core);
+            } else if let Some(&w) = last_writer.get(&op.line) {
+                if w != op.core {
+                    // the line was dirtied elsewhere since this core last
+                    // touched it; serving it from local L1 would be stale
+                    prop_assert_ne!(
+                        class,
+                        AccessClass::L1Hit,
+                        "core {} read stale line {:#x} (writer {})",
+                        op.core,
+                        op.line,
+                        w
+                    );
+                }
+                // this read makes the value shared/clean again for us
+                if !op.write {
+                    // subsequent same-core reads may hit; only track dirty
+                    if w != op.core {
+                        last_writer.remove(&op.line);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn model_is_deterministic(stream in ops(3)) {
+        let run = || {
+            let mut m = MemorySystem::new(MachineConfig::bagle(3));
+            let mut t = 0u64;
+            let mut lats = Vec::new();
+            for op in &stream {
+                let (lat, _) = m.access(op.core, t, op.line, op.write);
+                lats.push(lat);
+                t += lat;
+            }
+            (lats, m.stats.accesses(), m.stats.bus_busy)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn repeated_private_access_converges_to_l1_hits(core in 0u32..4, line in 0u64..64) {
+        let mut m = MemorySystem::new(MachineConfig::bagle(4));
+        let addr = line * 64;
+        let mut t = 0;
+        for i in 0..10 {
+            let (lat, class) = m.access(core, t, addr, false);
+            t += lat + 100;
+            if i > 0 {
+                prop_assert_eq!(class, AccessClass::L1Hit);
+            }
+        }
+    }
+}

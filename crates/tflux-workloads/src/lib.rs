@@ -1,0 +1,82 @@
+//! # tflux-workloads — the paper's benchmark suite
+//!
+//! The five benchmarks of Table 1, each implemented three ways:
+//!
+//! 1. a **sequential reference** (`seq_*` functions) — the real
+//!    computation, used as the correctness oracle and as the conceptual
+//!    baseline of the speedup figures;
+//! 2. a **DDM decomposition for the real runtime** (`run_ddm` functions) —
+//!    builds a [`DdmProgram`](tflux_core::DdmProgram) with actual Rust
+//!    bodies, runs it on `tflux-runtime`, and returns the computed result
+//!    so tests can check it bit-for-bit against the reference. Data moves
+//!    between DThreads through explicit
+//!    [`SharedVar`](tflux_runtime::SharedVar) slots — the same
+//!    produce/export → import/consume discipline TFluxCell uses;
+//! 3. **platform cost models** (`sim_*` / `cell_*` functions) — the same
+//!    decomposition expressed as cache-line-granular access traces for
+//!    `tflux-sim` and DMA/compute costs for `tflux-cell`, which is what the
+//!    figure harness sweeps. These model the paper's in-place C
+//!    decomposition (workers write results directly into shared arrays).
+//!
+//! | Benchmark | Source (paper) | Decomposition |
+//! |-----------|----------------|---------------|
+//! | TRAPEZ | custom kernel \[15\] | chunked quadrature + reduction; near-zero data transfer |
+//! | MMULT | custom kernel \[15\] | row-blocked matrix multiply; coherency-miss bound |
+//! | QSORT | MiBench | init → partition sorters → two-level merge tree |
+//! | SUSAN | MiBench | three independently-parallelized phases (init, smooth, write-out) as three DDM blocks |
+//! | FFT | NAS | 2-D FFT: row-FFT phase, column-FFT phase, checksum — phases synchronize through block boundaries |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod setup;
+pub mod fft;
+pub mod mmult;
+pub mod qsort;
+pub mod sizes;
+pub mod susan;
+pub mod trapez;
+
+pub use common::Params;
+pub use sizes::{Platform, SizeClass};
+
+/// The five benchmarks, as an enum for harness dispatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Bench {
+    /// Trapezoidal-rule integration.
+    Trapez,
+    /// Matrix multiply.
+    Mmult,
+    /// Array sorting (MiBench qsort).
+    Qsort,
+    /// Image smoothing (MiBench SUSAN).
+    Susan,
+    /// 2-D FFT on a complex matrix (NAS).
+    Fft,
+}
+
+impl Bench {
+    /// All benchmarks in the paper's presentation order.
+    pub const ALL: [Bench; 5] = [
+        Bench::Trapez,
+        Bench::Mmult,
+        Bench::Qsort,
+        Bench::Susan,
+        Bench::Fft,
+    ];
+
+    /// The benchmarks run on TFluxCell (Fig. 7 omits FFT).
+    pub const CELL: [Bench; 4] = [Bench::Trapez, Bench::Mmult, Bench::Qsort, Bench::Susan];
+
+    /// Display name as the paper prints it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Bench::Trapez => "TRAPEZ",
+            Bench::Mmult => "MMULT",
+            Bench::Qsort => "QSORT",
+            Bench::Susan => "SUSAN",
+            Bench::Fft => "FFT",
+        }
+    }
+}

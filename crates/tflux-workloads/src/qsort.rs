@@ -1,0 +1,635 @@
+//! QSORT: array sorting (MiBench).
+//!
+//! §6.1.2: "In QSORT each DThread sorts one part of the array. At the end,
+//! these sorted sub-arrays are merged to produce the final one. This last
+//! phase is the bottleneck ... The current application is written with a
+//! two-level tree to do the merging."
+//!
+//! Decomposition: a scalar **init** DThread fills the array (§6.2.2 — "one
+//! CPU initializes the array", whose cache-transfer cost produces the
+//! native QSORT anomaly); `P = 2 × kernels` **sorter** DThreads each sort
+//! one partition; a first merge level of `P/2` pair-mergers; and a scalar
+//! final merge — exactly two tree levels.
+
+use crate::common::{Params, Region};
+use crate::sizes::qsort_n;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tflux_cell::work::{CellWork, CellWorkSource};
+use tflux_core::prelude::*;
+use tflux_runtime::{BodyTable, Runtime, RuntimeConfig, SharedVar};
+use tflux_sim::work::{InstanceWork, WorkSource};
+
+/// Deterministic input array.
+pub fn input(n: usize) -> Vec<i32> {
+    let mut rng = SmallRng::seed_from_u64(0x5eed);
+    (0..n).map(|_| rng.gen_range(0..1_000_000)).collect()
+}
+
+/// Sequential reference: sort a copy of the input.
+pub fn seq(n: usize) -> Vec<i32> {
+    let mut v = input(n);
+    v.sort_unstable();
+    v
+}
+
+/// Number of sorter partitions for a kernel count (`P`, always even ≥ 4).
+pub fn partitions(kernels: u32) -> u32 {
+    (2 * kernels).max(4) & !1
+}
+
+/// Thread ids of the QSORT program.
+pub struct QsortIds {
+    /// Array initialization (scalar).
+    pub init: ThreadId,
+    /// Partition sorters (arity `P`).
+    pub sort: ThreadId,
+    /// First merge level (arity `P/2`).
+    pub merge1: ThreadId,
+    /// Final merge (scalar).
+    pub merge2: ThreadId,
+}
+
+/// Build the DDM program.
+pub fn program(p: &Params) -> (DdmProgram, QsortIds) {
+    let parts = partitions(p.kernels);
+    let mut b = ProgramBuilder::new();
+    let blk = b.block();
+    let init = b.thread(blk, ThreadSpec::scalar("qsort.init"));
+    let sort = b.thread(blk, ThreadSpec::new("qsort.sort", parts));
+    let merge1 = b.thread(blk, ThreadSpec::new("qsort.merge1", parts / 2));
+    let merge2 = b.thread(blk, ThreadSpec::scalar("qsort.merge2"));
+    b.arc(init, sort, ArcMapping::Broadcast).expect("arc");
+    b.arc(sort, merge1, ArcMapping::Group { factor: 2 }).expect("arc");
+    b.arc(merge1, merge2, ArcMapping::Reduction).expect("arc");
+    (
+        b.build().expect("qsort program"),
+        QsortIds {
+            init,
+            sort,
+            merge1,
+            merge2,
+        },
+    )
+}
+
+/// Partition bounds of sorter `ctx` over `n` elements in `parts` parts.
+fn part_bounds(n: usize, parts: u32, ctx: u32) -> (usize, usize) {
+    let per = n.div_ceil(parts as usize);
+    let lo = (ctx as usize * per).min(n);
+    let hi = (lo + per).min(n);
+    (lo, hi)
+}
+
+/// Merge two sorted runs.
+fn merge2way(a: &[i32], b: &[i32]) -> Vec<i32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Heap-based k-way merge of sorted runs (O(n log k) — the final DThread's
+/// algorithm, and the model the trace generator charges).
+fn merge_kway(runs: Vec<Vec<i32>>) -> Vec<i32> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let mut heap: BinaryHeap<Reverse<(i32, usize, usize)>> = runs
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| !r.is_empty())
+        .map(|(ri, r)| Reverse((r[0], ri, 0)))
+        .collect();
+    let mut out = Vec::with_capacity(total);
+    while let Some(Reverse((v, ri, i))) = heap.pop() {
+        out.push(v);
+        if i + 1 < runs[ri].len() {
+            heap.push(Reverse((runs[ri][i + 1], ri, i + 1)));
+        }
+    }
+    out
+}
+
+/// Run QSORT on the real runtime; returns the sorted array.
+pub fn run_ddm(p: &Params) -> Vec<i32> {
+    let n = qsort_n(p.size, p.platform);
+    let parts = partitions(p.kernels);
+    let (prog, ids) = program(p);
+
+    let data = SharedVar::<Vec<i32>>::scalar();
+    let sorted = SharedVar::<Vec<i32>>::new(parts);
+    let m1 = SharedVar::<Vec<i32>>::new(parts / 2);
+    let fin = SharedVar::<Vec<i32>>::scalar();
+
+    let mut bodies = BodyTable::new(&prog);
+    let (dref, sref, m1ref, fref) = (&data, &sorted, &m1, &fin);
+    bodies.set(ids.init, move |_| {
+        dref.put(Context(0), input(n));
+    });
+    bodies.set(ids.sort, move |ctx| {
+        let (lo, hi) = part_bounds(n, parts, ctx.context.0);
+        let mut v = dref.value()[lo..hi].to_vec();
+        v.sort_unstable();
+        sref.put(ctx.context, v);
+    });
+    bodies.set(ids.merge1, move |ctx| {
+        let g = ctx.context.0;
+        let a = sref.get(Context(2 * g));
+        let b = sref.get(Context(2 * g + 1));
+        m1ref.put(ctx.context, merge2way(a, b));
+    });
+    bodies.set(ids.merge2, move |_| {
+        let runs: Vec<Vec<i32>> = m1ref.iter().cloned().collect();
+        fref.put(Context(0), merge_kway(runs));
+    });
+
+    Runtime::new(RuntimeConfig::with_kernels(p.kernels))
+        .run(&prog, &bodies)
+        .expect("qsort run");
+    drop(bodies);
+    fin.into_values().remove(0).expect("final produced")
+}
+
+/// Comparison cost (cycles) per element per quicksort pass. MiBench's
+/// qsort benchmarks compare records through a callback (string / 3-D
+/// vector distance), so a comparison is tens of cycles, not one.
+const CYCLES_PER_CMP: u64 = 45;
+/// Cycles per element merged per heap level (adjust + copy; merging
+/// compares keys directly, without the record-compare callback).
+const CYCLES_PER_MERGE: u64 = 12;
+/// Cycles per element initialized (PRNG + store).
+const CYCLES_PER_INIT: u64 = 10;
+
+/// Simulator trace model. The array lives at 256 MB; merge scratch at
+/// 512 MB; final output at 768 MB.
+pub struct QsortModel {
+    n: usize,
+    parts: u32,
+    ids: QsortIds,
+    arr: Region,
+    scratch: Region,
+    fin: Region,
+}
+
+/// Build the simulator work source.
+pub fn sim_source(p: &Params, ids: QsortIds) -> QsortModel {
+    QsortModel {
+        n: qsort_n(p.size, p.platform),
+        parts: partitions(p.kernels),
+        ids,
+        arr: Region::new(0x1000_0000, 4),
+        scratch: Region::new(0x2000_0000, 4),
+        fin: Region::new(0x3000_0000, 4),
+    }
+}
+
+impl WorkSource for QsortModel {
+    fn work(&self, inst: Instance, out: &mut InstanceWork) {
+        let n = self.n as u64;
+        if inst.thread == self.ids.init {
+            // one core writes the whole array — the §6.2.2 communication
+            // trade-off source
+            self.arr.scan(out, 0, n, true);
+            out.compute = n * CYCLES_PER_INIT;
+        } else if inst.thread == self.ids.sort {
+            let (lo, hi) = part_bounds(self.n, self.parts, inst.context.0);
+            let m = (hi - lo) as u64;
+            let passes = (64 - m.leading_zeros() as u64).max(1);
+            for _ in 0..passes {
+                self.arr.scan(out, lo as u64, hi as u64, false);
+                self.arr.scan(out, lo as u64, hi as u64, true);
+            }
+            // ~1.4 n log n compare-swaps for randomized quicksort
+            out.compute = m * passes * CYCLES_PER_CMP * 7 / 5;
+        } else if inst.thread == self.ids.merge1 {
+            let g = inst.context.0;
+            let (lo, _) = part_bounds(self.n, self.parts, 2 * g);
+            let (_, hi) = part_bounds(self.n, self.parts, 2 * g + 1);
+            self.arr.scan(out, lo as u64, hi as u64, false);
+            self.scratch.scan(out, lo as u64, hi as u64, true);
+            out.compute = (hi - lo) as u64 * CYCLES_PER_MERGE;
+        } else if inst.thread == self.ids.merge2 {
+            self.scratch.scan(out, 0, n, false);
+            self.fin.scan(out, 0, n, true);
+            // heap-based k-way merge: log2(runs) heap levels per element
+            let runs = (self.parts as u64 / 2).max(2);
+            let log_runs = 64 - (runs - 1).leading_zeros() as u64;
+            out.compute = n * CYCLES_PER_MERGE * log_runs.max(1);
+        }
+    }
+}
+
+/// How much slower branchy, pointer-chasing scalar code runs on an SPE
+/// than on the PPE: the SPE has no branch predictor and no scalar
+/// load/store path, so quicksort-style code pays a heavy penalty (~2x). The
+/// sequential baseline runs on the PPE (the paper's baseline uses "the
+/// same processor", i.e. the Cell's general-purpose core), which is why
+/// the paper's Cell QSORT speedups stay at 1.3–2.1 even on 6 SPEs.
+const SPE_SCALAR_PENALTY: u64 = 2;
+
+/// Cell cost model. The final merge must hold the whole array (in + out)
+/// in the Local Store — the reason the paper caps Cell QSORT at 12 K
+/// elements.
+pub struct QsortCellModel {
+    n: usize,
+    parts: u32,
+    ids: QsortIds,
+}
+
+/// Build the Cell work source.
+pub fn cell_source(p: &Params, ids: QsortIds) -> QsortCellModel {
+    QsortCellModel {
+        n: qsort_n(p.size, p.platform),
+        parts: partitions(p.kernels),
+        ids,
+    }
+}
+
+impl CellWorkSource for QsortCellModel {
+    fn work(&self, inst: Instance) -> CellWork {
+        let n = self.n as u64;
+        if inst.thread == self.ids.init {
+            CellWork {
+                compute: n * CYCLES_PER_INIT * 2,
+                import_bytes: 0,
+                export_bytes: n * 4,
+                ls_bytes: 32 * 1024 + n * 4,
+            }
+        } else if inst.thread == self.ids.sort {
+            let (lo, hi) = part_bounds(self.n, self.parts, inst.context.0);
+            let m = (hi - lo) as u64;
+            let passes = (64 - m.leading_zeros() as u64).max(1);
+            CellWork {
+                compute: m * passes * CYCLES_PER_CMP * 7 / 5 * SPE_SCALAR_PENALTY,
+                import_bytes: m * 4,
+                export_bytes: m * 4,
+                ls_bytes: 32 * 1024 + m * 4,
+            }
+        } else if inst.thread == self.ids.merge1 {
+            let g = inst.context.0;
+            let (lo, _) = part_bounds(self.n, self.parts, 2 * g);
+            let (_, hi) = part_bounds(self.n, self.parts, 2 * g + 1);
+            let m = (hi - lo) as u64;
+            CellWork {
+                compute: m * CYCLES_PER_MERGE * SPE_SCALAR_PENALTY,
+                import_bytes: m * 4,
+                export_bytes: m * 4,
+                ls_bytes: 32 * 1024 + 2 * m * 4,
+            }
+        } else if inst.thread == self.ids.merge2 {
+            let runs = (self.parts as u64 / 2).max(2);
+            let log_runs = (64 - (runs - 1).leading_zeros() as u64).max(1);
+            CellWork {
+                compute: n * CYCLES_PER_MERGE * log_runs * SPE_SCALAR_PENALTY,
+                import_bytes: n * 4,
+                export_bytes: n * 4,
+                ls_bytes: 32 * 1024 + 2 * n * 4,
+            }
+        } else {
+            CellWork::default()
+        }
+    }
+}
+
+/// Build a QSORT program with a merge tree of configurable depth — the
+/// §6.1.2 exploration: "Trees of bigger depth would result in higher
+/// parallelism but may not be always beneficial as the number of steps
+/// would increase as well." Depth 2 is the paper's shipped configuration
+/// ([`program`]); this generalization lets the harness sweep it.
+///
+/// Level `l` has `P / 2^l` pair-mergers; the final level is a scalar
+/// merging the remaining runs. `depth` counts the pair-merge levels (0 =
+/// sort then one big k-way merge).
+pub fn program_with_depth(p: &Params, depth: u32) -> (DdmProgram, QsortTreeIds) {
+    let parts = partitions(p.kernels);
+    let mut b = ProgramBuilder::new();
+    let blk = b.block();
+    let init = b.thread(blk, ThreadSpec::scalar("qsort.init"));
+    let sort = b.thread(blk, ThreadSpec::new("qsort.sort", parts));
+    b.arc(init, sort, ArcMapping::Broadcast).expect("arc");
+    let mut levels = Vec::new();
+    let mut prev = sort;
+    let mut width = parts;
+    for l in 0..depth {
+        if width < 2 {
+            break;
+        }
+        let next_width = width.div_ceil(2);
+        let level = b.thread(blk, ThreadSpec::new(format!("qsort.merge.l{l}"), next_width));
+        b.arc(prev, level, ArcMapping::Group { factor: 2 }).expect("arc");
+        levels.push(level);
+        prev = level;
+        width = next_width;
+    }
+    let fin = b.thread(blk, ThreadSpec::scalar("qsort.final"));
+    if width > 1 {
+        b.arc(prev, fin, ArcMapping::Reduction).expect("arc");
+    } else {
+        b.arc(prev, fin, ArcMapping::OneToOne).expect("arc");
+    }
+    (
+        b.build().expect("qsort tree program"),
+        QsortTreeIds {
+            init,
+            sort,
+            levels,
+            fin,
+        },
+    )
+}
+
+/// Thread ids of a [`program_with_depth`] QSORT program.
+pub struct QsortTreeIds {
+    /// Array initialization.
+    pub init: ThreadId,
+    /// Partition sorters.
+    pub sort: ThreadId,
+    /// Pair-merge levels, outermost first.
+    pub levels: Vec<ThreadId>,
+    /// Final merge (scalar).
+    pub fin: ThreadId,
+}
+
+/// Simulator model for the depth-configurable tree.
+pub struct QsortTreeModel {
+    n: usize,
+    parts: u32,
+    ids: QsortTreeIds,
+    arr: Region,
+    scratch: Region,
+}
+
+/// Build the tree-model work source.
+pub fn tree_sim_source(p: &Params, ids: QsortTreeIds) -> QsortTreeModel {
+    QsortTreeModel {
+        n: qsort_n(p.size, p.platform),
+        parts: partitions(p.kernels),
+        ids,
+        arr: Region::new(0x1000_0000, 4),
+        scratch: Region::new(0x2000_0000, 4),
+    }
+}
+
+impl WorkSource for QsortTreeModel {
+    fn work(&self, inst: Instance, out: &mut InstanceWork) {
+        let n = self.n as u64;
+        if inst.thread == self.ids.init {
+            self.arr.scan(out, 0, n, true);
+            out.compute = n * CYCLES_PER_INIT;
+        } else if inst.thread == self.ids.sort {
+            let (lo, hi) = part_bounds(self.n, self.parts, inst.context.0);
+            let m = (hi - lo) as u64;
+            let passes = (64 - m.leading_zeros() as u64).max(1);
+            for _ in 0..passes {
+                self.arr.scan(out, lo as u64, hi as u64, false);
+                self.arr.scan(out, lo as u64, hi as u64, true);
+            }
+            out.compute = m * passes * CYCLES_PER_CMP * 7 / 5;
+        } else if let Some(level) = self.ids.levels.iter().position(|&l| l == inst.thread) {
+            // a level-l merger merges 2^(l+1) original partitions
+            let span = 1u64 << (level as u64 + 1);
+            let per = n.div_ceil(self.parts as u64);
+            let lo = inst.context.0 as u64 * span * per;
+            let hi = ((inst.context.0 as u64 + 1) * span * per).min(n);
+            let m = hi.saturating_sub(lo);
+            self.arr.scan(out, lo, hi, false);
+            self.scratch.scan(out, lo, hi, true);
+            out.compute = m * CYCLES_PER_MERGE;
+        } else if inst.thread == self.ids.fin {
+            let levels = self.ids.levels.len() as u32;
+            let mut runs = self.parts;
+            for _ in 0..levels {
+                runs = runs.div_ceil(2);
+            }
+            let runs = runs.max(1) as u64;
+            let log_runs = (64 - (runs.max(2) - 1).leading_zeros() as u64).max(1);
+            self.scratch.scan(out, 0, n, false);
+            self.arr.scan(out, 0, n, true);
+            out.compute = n * CYCLES_PER_MERGE * log_runs;
+        }
+    }
+}
+
+/// The *original sequential program* model (the paper's baseline, §5:
+/// "the baseline program is the original sequential one"): init plus one
+/// full-array quicksort — note this does strictly *less* total work than
+/// the DDM decomposition, which adds the merge phases.
+pub struct QsortSeqModel {
+    n: usize,
+    work: ThreadId,
+    arr: Region,
+}
+
+/// Build the sequential-baseline program (a single scalar thread) and its
+/// model.
+pub fn seq_sim_program(p: &Params) -> (DdmProgram, QsortSeqModel) {
+    let n = qsort_n(p.size, p.platform);
+    let mut b = ProgramBuilder::new();
+    let blk = b.block();
+    let work = b.thread(blk, ThreadSpec::scalar("qsort.seq"));
+    (
+        b.build().expect("qsort seq program"),
+        QsortSeqModel {
+            n,
+            work,
+            arr: Region::new(0x1000_0000, 4),
+        },
+    )
+}
+
+impl WorkSource for QsortSeqModel {
+    fn work(&self, inst: Instance, out: &mut InstanceWork) {
+        if inst.thread != self.work {
+            return;
+        }
+        let n = self.n as u64;
+        // init
+        self.arr.scan(out, 0, n, true);
+        // full-array quicksort: ~1.4 n log2 n record compares
+        let passes = (64 - n.leading_zeros() as u64).max(1);
+        for _ in 0..passes {
+            self.arr.scan(out, 0, n, false);
+            self.arr.scan(out, 0, n, true);
+        }
+        out.compute = n * CYCLES_PER_INIT + n * passes * CYCLES_PER_CMP * 7 / 5;
+    }
+}
+
+/// Cell-side sequential baseline: init + full quicksort on one SPE.
+pub struct QsortSeqCellModel {
+    n: usize,
+    work: ThreadId,
+}
+
+/// Build the Cell sequential-baseline program and model.
+pub fn seq_cell_program(p: &Params) -> (DdmProgram, QsortSeqCellModel) {
+    let n = qsort_n(p.size, p.platform);
+    let mut b = ProgramBuilder::new();
+    let blk = b.block();
+    let work = b.thread(blk, ThreadSpec::scalar("qsort.seq"));
+    (
+        b.build().expect("qsort seq cell program"),
+        QsortSeqCellModel { n, work },
+    )
+}
+
+impl CellWorkSource for QsortSeqCellModel {
+    fn work(&self, inst: Instance) -> CellWork {
+        if inst.thread != self.work {
+            return CellWork::default();
+        }
+        let n = self.n as u64;
+        let passes = (64 - n.leading_zeros() as u64).max(1);
+        CellWork {
+            compute: n * CYCLES_PER_INIT + n * passes * CYCLES_PER_CMP * 7 / 5,
+            import_bytes: 0,
+            export_bytes: n * 4,
+            ls_bytes: 32 * 1024 + n * 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sizes::{Platform, SizeClass};
+
+    #[test]
+    fn ddm_sorts_correctly() {
+        let p = Params::cell(3, 1, SizeClass::Small); // 3K elements: fast
+        let result = run_ddm(&p);
+        assert_eq!(result, seq(qsort_n(SizeClass::Small, Platform::Cell)));
+    }
+
+    #[test]
+    fn ddm_matches_for_every_kernel_count() {
+        for k in [1u32, 2, 5] {
+            let p = Params::cell(k, 1, SizeClass::Small);
+            assert_eq!(
+                run_ddm(&p),
+                seq(qsort_n(SizeClass::Small, Platform::Cell)),
+                "kernels={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_helpers_are_correct() {
+        assert_eq!(
+            merge2way(&[1, 4, 6], &[2, 3, 7]),
+            vec![1, 2, 3, 4, 6, 7]
+        );
+        assert_eq!(
+            merge_kway(vec![vec![5, 9], vec![1, 6], vec![2, 3]]),
+            vec![1, 2, 3, 5, 6, 9]
+        );
+        assert_eq!(merge2way(&[], &[1]), vec![1]);
+    }
+
+    #[test]
+    fn partitions_are_even() {
+        for k in 1..30 {
+            let p = partitions(k);
+            assert!(p >= 4 && p.is_multiple_of(2), "k={k} p={p}");
+        }
+    }
+
+    #[test]
+    fn part_bounds_cover_array() {
+        let n = 10_007;
+        let parts = 8;
+        let mut covered = 0;
+        for c in 0..parts {
+            let (lo, hi) = part_bounds(n, parts, c);
+            covered += hi - lo;
+        }
+        assert_eq!(covered, n);
+    }
+
+    #[test]
+    fn sim_model_init_writes_whole_array() {
+        let p = Params::hard(4, 1, SizeClass::Small);
+        let (_, ids) = program(&p);
+        let src = sim_source(&p, ids);
+        let mut w = InstanceWork::default();
+        src.work(Instance::scalar(src.ids.init), &mut w);
+        // 10K ints = 40KB = 625 lines
+        assert_eq!(w.accesses.len(), 625);
+        assert!(w.accesses.iter().all(|a| a.write));
+    }
+
+    #[test]
+    fn tree_depth_shapes_the_merge_levels() {
+        let p = Params::hard(8, 1, SizeClass::Small); // parts = 16
+        for depth in 0..5 {
+            let (prog, ids) = program_with_depth(&p, depth);
+            assert_eq!(ids.levels.len() as u32, depth.min(4));
+            // program drains
+            let mut tsu = tflux_core::TsuState::new(&prog, 4, tflux_core::TsuConfig::default());
+            let order = tflux_core::tsu::drain_sequential(&mut tsu);
+            assert_eq!(order.len(), prog.total_instances(), "depth {depth}");
+        }
+        // depth 2 matches the paper's shipped two-level shape
+        let (prog2, ids2) = program_with_depth(&p, 2);
+        assert_eq!(prog2.thread(ids2.levels[0]).arity, 8);
+        assert_eq!(prog2.thread(ids2.levels[1]).arity, 4);
+    }
+
+    #[test]
+    fn deeper_trees_move_more_memory_but_same_comparisons() {
+        // Total comparisons are ~n log P for any tree shape (the heap
+        // k-way merge and the pair-merge levels are both log-factor), but
+        // every extra level re-streams the whole array through memory —
+        // the "number of steps would increase" cost the paper names.
+        let p = Params::hard(8, 1, SizeClass::Small);
+        let mut accesses = Vec::new();
+        for depth in [0u32, 2, 4] {
+            let (prog, ids) = program_with_depth(&p, depth);
+            let src = tree_sim_source(&p, ids);
+            let mut acc = 0usize;
+            for t in 0..prog.threads().len() {
+                let t = ThreadId(t as u32);
+                for c in 0..prog.thread(t).arity {
+                    let mut w = InstanceWork::default();
+                    src.work(Instance::new(t, Context(c)), &mut w);
+                    acc += w.accesses.len();
+                }
+            }
+            accesses.push(acc);
+        }
+        assert!(accesses[1] > accesses[0], "{accesses:?}");
+        assert!(accesses[2] > accesses[1], "{accesses:?}");
+    }
+
+    #[test]
+    fn cell_large_native_size_overflows_local_store() {
+        // what the paper could NOT run: 50K elements through the Cell path
+        let p = Params {
+            kernels: 6,
+            unroll: 1,
+            size: SizeClass::Large,
+            platform: Platform::Native, // force native size through cell model
+        };
+        let (_, ids) = program(&p);
+        let src = cell_source(&p, ids);
+        let w = src.work(Instance::scalar(src.ids.merge2));
+        assert!(w.ls_bytes > 256 * 1024, "{}", w.ls_bytes);
+        // while the Cell-table sizes fit
+        let pc = Params::cell(6, 1, SizeClass::Large);
+        let (_, ids) = program(&pc);
+        let srcc = cell_source(&pc, ids);
+        let wc = srcc.work(Instance::scalar(srcc.ids.merge2));
+        assert!(wc.ls_bytes <= 256 * 1024, "{}", wc.ls_bytes);
+    }
+}

@@ -1,0 +1,379 @@
+//! SUSAN: image smoothing (MiBench, `susan -s`).
+//!
+//! §6.1.2: "SUSAN has three distinct phases which have been parallelized
+//! independently: the initialization phase, the processing phase and the
+//! one during which the results are written to a large output array."
+//!
+//! The three phases become three DDM blocks, each holding one loop DThread
+//! over row bands — the block chaining gives exactly the phase barriers the
+//! paper describes. Smoothing itself is the USAN-style brightness-weighted
+//! 5×5 mask: weight = spatial Gaussian × `exp(-(ΔI/t)²)` via a 512-entry
+//! lookup table, as in the MiBench original.
+
+use crate::common::{chunk, Params, Region};
+use crate::sizes::susan_dims;
+use tflux_cell::work::{CellWork, CellWorkSource};
+use tflux_core::prelude::*;
+use tflux_core::unroll::Unroll;
+use tflux_runtime::{BodyTable, Runtime, RuntimeConfig, SharedVar};
+use tflux_sim::work::{InstanceWork, WorkSource};
+
+/// Brightness threshold of the similarity function.
+pub const THRESHOLD: f64 = 27.0;
+/// Mask radius (5×5 mask).
+pub const RADIUS: usize = 2;
+
+/// The brightness LUT the MiBench code builds once: index |ΔI| ∈ 0..512.
+pub fn brightness_lut() -> Vec<f64> {
+    (0..512)
+        .map(|d| {
+            let x = d as f64 / THRESHOLD;
+            (-(x * x)).exp()
+        })
+        .collect()
+}
+
+/// Deterministic synthetic input: a gradient with an embedded pattern
+/// (generated in the *init phase*, so the benchmark is self-contained).
+pub fn gen_row(w: usize, _h: usize, y: usize) -> Vec<u8> {
+    (0..w)
+        .map(|x| {
+            let g = (x * 255 / w.max(1)) as u32;
+            let p = ((x * 31 + y * 17) % 97) as u32;
+            let edge = if (x / 32 + y / 32).is_multiple_of(2) { 40 } else { 0 };
+            ((g + p + edge) % 256) as u8
+        })
+        .collect()
+}
+
+/// Smooth one pixel with the 5×5 USAN mask.
+fn smooth_pixel(img: &dyn Fn(isize, isize) -> u8, x: usize, y: usize, lut: &[f64]) -> u8 {
+    let center = img(x as isize, y as isize) as i32;
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for dy in -(RADIUS as isize)..=(RADIUS as isize) {
+        for dx in -(RADIUS as isize)..=(RADIUS as isize) {
+            if dx == 0 && dy == 0 {
+                continue;
+            }
+            let v = img(x as isize + dx, y as isize + dy) as i32;
+            let spatial = (-((dx * dx + dy * dy) as f64) / 7.5).exp();
+            let w = spatial * lut[(v - center).unsigned_abs() as usize];
+            num += w * v as f64;
+            den += w;
+        }
+    }
+    if den > 1e-12 {
+        (num / den).round().clamp(0.0, 255.0) as u8
+    } else {
+        center as u8
+    }
+}
+
+/// Smooth rows `lo..hi` of `img` (w×h, row-major), returning the band.
+/// Border pixels (within `RADIUS` of the edge) pass through unchanged.
+pub fn smooth_band(img: &[u8], w: usize, h: usize, lo: usize, hi: usize, lut: &[f64]) -> Vec<u8> {
+    let at = |x: isize, y: isize| -> u8 {
+        let xc = x.clamp(0, w as isize - 1) as usize;
+        let yc = y.clamp(0, h as isize - 1) as usize;
+        img[yc * w + xc]
+    };
+    let mut out = Vec::with_capacity((hi - lo) * w);
+    for y in lo..hi {
+        for x in 0..w {
+            if x < RADIUS || x >= w - RADIUS || y < RADIUS || y >= h - RADIUS {
+                out.push(img[y * w + x]);
+            } else {
+                out.push(smooth_pixel(&at, x, y, lut));
+            }
+        }
+    }
+    out
+}
+
+/// Sequential reference: init → smooth → write-out.
+pub fn seq(w: usize, h: usize) -> Vec<u8> {
+    let lut = brightness_lut();
+    let mut img = Vec::with_capacity(w * h);
+    for y in 0..h {
+        img.extend_from_slice(&gen_row(w, h, y));
+    }
+    // the write-out phase's copy is the returned Vec itself
+    smooth_band(&img, w, h, 0, h, &lut)
+}
+
+/// Thread ids of the SUSAN program (one loop thread per phase/block).
+pub struct SusanIds {
+    /// Phase 1: image initialization.
+    pub init: ThreadId,
+    /// Phase 2: smoothing.
+    pub smooth: ThreadId,
+    /// Phase 3: write-out.
+    pub writeout: ThreadId,
+}
+
+/// Build the three-block DDM program.
+pub fn program(p: &Params) -> (DdmProgram, SusanIds) {
+    let (_, h) = susan_dims(p.size);
+    let arity = Unroll::new(h as u64, p.unroll).arity();
+    let mut b = ProgramBuilder::new();
+    let b1 = b.block();
+    let init = b.thread(b1, ThreadSpec::new("susan.init", arity));
+    let b2 = b.block();
+    let smooth = b.thread(b2, ThreadSpec::new("susan.smooth", arity));
+    let b3 = b.block();
+    let writeout = b.thread(b3, ThreadSpec::new("susan.writeout", arity));
+    (
+        b.build().expect("susan program"),
+        SusanIds {
+            init,
+            smooth,
+            writeout,
+        },
+    )
+}
+
+/// Run SUSAN on the real runtime; returns the smoothed image.
+pub fn run_ddm(p: &Params) -> Vec<u8> {
+    let (w, h) = susan_dims(p.size);
+    let (prog, ids) = program(p);
+    let arity = prog.thread(ids.init).arity;
+    let lut = brightness_lut();
+
+    let img_bands = SharedVar::<Vec<u8>>::new(arity);
+    let smooth_bands = SharedVar::<Vec<u8>>::new(arity);
+    let out_bands = SharedVar::<Vec<u8>>::new(arity);
+
+    let mut bodies = BodyTable::new(&prog);
+    let (iref, sref, oref, lref) = (&img_bands, &smooth_bands, &out_bands, &lut);
+    bodies.set(ids.init, move |ctx| {
+        let (lo, hi) = chunk(h as u64, p.unroll, ctx.context.0);
+        let mut band = Vec::with_capacity((hi - lo) as usize * w);
+        for y in lo..hi {
+            band.extend_from_slice(&gen_row(w, h, y as usize));
+        }
+        iref.put(ctx.context, band);
+    });
+    bodies.set(ids.smooth, move |ctx| {
+        // the block barrier guarantees every init band exists; rebuild the
+        // halo view from the producer slots
+        let (lo, hi) = chunk(h as u64, p.unroll, ctx.context.0);
+        let (lo, hi) = (lo as usize, hi as usize);
+        let halo_lo = lo.saturating_sub(RADIUS);
+        let halo_hi = (hi + RADIUS).min(h);
+        let mut halo = Vec::with_capacity((halo_hi - halo_lo) * w);
+        for y in halo_lo..halo_hi {
+            let band_idx = y as u64 / p.unroll.max(1) as u64;
+            let (blo, _) = chunk(h as u64, p.unroll, band_idx as u32);
+            let band = iref.get(Context(band_idx as u32));
+            let row = y - blo as usize;
+            halo.extend_from_slice(&band[row * w..(row + 1) * w]);
+        }
+        let band = smooth_band(&halo, w, halo_hi - halo_lo, lo - halo_lo, hi - halo_lo, lref);
+        sref.put(ctx.context, band);
+    });
+    bodies.set(ids.writeout, move |ctx| {
+        oref.put(ctx.context, sref.get(ctx.context).clone());
+    });
+
+    Runtime::new(RuntimeConfig::with_kernels(p.kernels))
+        .run(&prog, &bodies)
+        .expect("susan run");
+    drop(bodies);
+
+    let mut out = Vec::with_capacity(w * h);
+    for band in out_bands.iter() {
+        out.extend_from_slice(band);
+    }
+    out
+}
+
+/// Cycles per smoothed pixel (24 weighted taps).
+const CYCLES_PER_PIXEL: u64 = 180;
+/// Cycles per generated pixel.
+const CYCLES_PER_GEN: u64 = 8;
+
+/// Simulator trace model: image at 256 MB, smoothed at 512 MB, output
+/// array at 768 MB.
+pub struct SusanModel {
+    w: usize,
+    h: usize,
+    unroll: u32,
+    ids: SusanIds,
+    img: Region,
+    sm: Region,
+    out: Region,
+}
+
+/// Build the simulator work source.
+pub fn sim_source(p: &Params, ids: SusanIds) -> SusanModel {
+    let (w, h) = susan_dims(p.size);
+    SusanModel {
+        w,
+        h,
+        unroll: p.unroll,
+        ids,
+        img: Region::new(0x1000_0000, 1),
+        sm: Region::new(0x2000_0000, 1),
+        out: Region::new(0x3000_0000, 1),
+    }
+}
+
+impl WorkSource for SusanModel {
+    fn work(&self, inst: Instance, out: &mut InstanceWork) {
+        let w = self.w as u64;
+        let (lo, hi) = chunk(self.h as u64, self.unroll, inst.context.0);
+        let rows = hi - lo;
+        if inst.thread == self.ids.init {
+            self.img.scan(out, lo * w, hi * w, true);
+            out.compute = rows * w * CYCLES_PER_GEN;
+        } else if inst.thread == self.ids.smooth {
+            let halo_lo = lo.saturating_sub(RADIUS as u64);
+            let halo_hi = (hi + RADIUS as u64).min(self.h as u64);
+            self.img.scan(out, halo_lo * w, halo_hi * w, false);
+            self.sm.scan(out, lo * w, hi * w, true);
+            out.compute = rows * w * CYCLES_PER_PIXEL;
+        } else if inst.thread == self.ids.writeout {
+            self.sm.scan(out, lo * w, hi * w, false);
+            self.out.scan(out, lo * w, hi * w, true);
+            out.compute = rows * w;
+        }
+    }
+}
+
+/// Cell cost model: bands plus halos move by DMA; LS holds the halo band
+/// and the produced band.
+pub struct SusanCellModel {
+    w: usize,
+    h: usize,
+    unroll: u32,
+    ids: SusanIds,
+}
+
+/// Build the Cell work source.
+pub fn cell_source(p: &Params, ids: SusanIds) -> SusanCellModel {
+    let (w, h) = susan_dims(p.size);
+    SusanCellModel {
+        w,
+        h,
+        unroll: p.unroll,
+        ids,
+    }
+}
+
+impl CellWorkSource for SusanCellModel {
+    fn work(&self, inst: Instance) -> CellWork {
+        let w = self.w as u64;
+        let (lo, hi) = chunk(self.h as u64, self.unroll, inst.context.0);
+        let rows = hi - lo;
+        let band = rows * w;
+        if inst.thread == self.ids.init {
+            CellWork {
+                compute: band * CYCLES_PER_GEN,
+                import_bytes: 0,
+                export_bytes: band,
+                ls_bytes: 32 * 1024 + band,
+            }
+        } else if inst.thread == self.ids.smooth {
+            let halo = (rows + 2 * RADIUS as u64) * w;
+            CellWork {
+                compute: band * CYCLES_PER_PIXEL,
+                import_bytes: halo,
+                export_bytes: band,
+                ls_bytes: 32 * 1024 + halo + band,
+            }
+        } else if inst.thread == self.ids.writeout {
+            CellWork {
+                compute: band,
+                import_bytes: band,
+                export_bytes: band,
+                ls_bytes: 32 * 1024 + 2 * band,
+            }
+        } else {
+            CellWork::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sizes::SizeClass;
+
+    #[test]
+    fn lut_is_monotonic_decreasing() {
+        let lut = brightness_lut();
+        assert_eq!(lut.len(), 512);
+        assert!((lut[0] - 1.0).abs() < 1e-12);
+        assert!(lut.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn smoothing_preserves_constant_images() {
+        let w = 32;
+        let h = 16;
+        let img = vec![100u8; w * h];
+        let lut = brightness_lut();
+        let out = smooth_band(&img, w, h, 0, h, &lut);
+        assert_eq!(out, img);
+    }
+
+    #[test]
+    fn smoothing_reduces_noise_variance() {
+        let (w, h) = (64, 32);
+        let mut img = Vec::new();
+        for y in 0..h {
+            img.extend_from_slice(&gen_row(w, h, y));
+        }
+        let lut = brightness_lut();
+        let out = smooth_band(&img, w, h, 0, h, &lut);
+        let variance = |v: &[u8]| {
+            let m = v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+            v.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / v.len() as f64
+        };
+        // interior only (borders pass through)
+        let inner: Vec<u8> = (RADIUS..h - RADIUS)
+            .flat_map(|y| img[y * w + RADIUS..y * w + w - RADIUS].to_vec())
+            .collect();
+        let inner_out: Vec<u8> = (RADIUS..h - RADIUS)
+            .flat_map(|y| out[y * w + RADIUS..y * w + w - RADIUS].to_vec())
+            .collect();
+        assert!(variance(&inner_out) < variance(&inner));
+    }
+
+    #[test]
+    fn ddm_matches_sequential() {
+        // full Small image on the real runtime
+        let p = Params::soft(4, 32, SizeClass::Small);
+        let (w, h) = susan_dims(SizeClass::Small);
+        assert_eq!(run_ddm(&p), seq(w, h));
+    }
+
+    #[test]
+    fn ddm_matches_with_odd_band_size() {
+        let p = Params::soft(3, 7, SizeClass::Small); // 288 rows / 7 -> ragged
+        let (w, h) = susan_dims(SizeClass::Small);
+        assert_eq!(run_ddm(&p), seq(w, h));
+    }
+
+    #[test]
+    fn program_has_three_blocks() {
+        let p = Params::hard(4, 16, SizeClass::Small);
+        let (prog, _) = program(&p);
+        assert_eq!(prog.blocks().len(), 3);
+    }
+
+    #[test]
+    fn sim_model_smooth_reads_halo() {
+        let p = Params::hard(4, 16, SizeClass::Small);
+        let (_, ids) = program(&p);
+        let src = sim_source(&p, ids);
+        let mut w = InstanceWork::default();
+        src.work(Instance::new(src.ids.smooth, Context(1)), &mut w);
+        let width = 256u64;
+        // halo = (16 + 4) rows read + 16 rows written, at 1 byte/pixel
+        let read_lines = (20 * width).div_ceil(64);
+        let write_lines = (16 * width).div_ceil(64);
+        assert_eq!(w.accesses.len() as u64, read_lines + write_lines);
+    }
+}

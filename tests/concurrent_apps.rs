@@ -1,0 +1,86 @@
+//! §3 of the paper: the user-level runtime "allows for the system to
+//! execute DDM and non-DDM applications simultaneously by means of simple
+//! OS context switch operations". Two independent TFluxSoft runtimes plus a
+//! plain computation thread run concurrently in one process and all finish
+//! with correct results.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use tflux::core::prelude::*;
+use tflux::runtime::{BodyTable, Runtime, RuntimeConfig, SharedVar};
+
+fn fork_join(arity: u32) -> (DdmProgram, ThreadId, ThreadId) {
+    let mut b = ProgramBuilder::new();
+    let blk = b.block();
+    let work = b.thread(blk, ThreadSpec::new("work", arity));
+    let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+    b.arc(work, sink, ArcMapping::Reduction).unwrap();
+    (b.build().unwrap(), work, sink)
+}
+
+fn run_sum_of_squares(arity: u32, kernels: u32) -> u64 {
+    let (prog, work, sink) = fork_join(arity);
+    let partial = SharedVar::<u64>::new(arity);
+    let total = AtomicU64::new(0);
+    let mut bodies = BodyTable::new(&prog);
+    let pr = &partial;
+    let tr = &total;
+    bodies.set(work, move |ctx| {
+        pr.put(ctx.context, (ctx.context.0 as u64).pow(2));
+    });
+    bodies.set(sink, move |_| {
+        tr.store(pr.iter().sum(), Ordering::Relaxed);
+    });
+    Runtime::new(RuntimeConfig::with_kernels(kernels))
+        .run(&prog, &bodies)
+        .unwrap();
+    total.load(Ordering::Relaxed)
+}
+
+#[test]
+fn two_ddm_applications_and_a_plain_thread_coexist() {
+    let expected = |n: u64| (0..n).map(|i| i * i).sum::<u64>();
+    let (a, b, c) = std::thread::scope(|s| {
+        let app_a = s.spawn(|| run_sum_of_squares(100, 3));
+        let app_b = s.spawn(|| run_sum_of_squares(37, 2));
+        // the "non-DDM application": a plain computation on its own thread
+        let plain = s.spawn(|| (0..100u64).map(|i| i * i).sum::<u64>());
+        (
+            app_a.join().unwrap(),
+            app_b.join().unwrap(),
+            plain.join().unwrap(),
+        )
+    });
+    assert_eq!(a, expected(100));
+    assert_eq!(b, expected(37));
+    assert_eq!(c, expected(100));
+}
+
+#[test]
+fn repeated_sequential_runs_share_no_state() {
+    // a Runtime is stateless between runs; programs can be re-run and
+    // interleaved arbitrarily
+    for _ in 0..3 {
+        assert_eq!(run_sum_of_squares(10, 2), (0..10u64).map(|i| i * i).sum());
+        assert_eq!(run_sum_of_squares(11, 4), (0..11u64).map(|i| i * i).sum());
+    }
+}
+
+#[test]
+fn one_runtime_runs_two_programs_back_to_back() {
+    let rt = Runtime::new(RuntimeConfig::with_kernels(2));
+    let (p1, w1, _) = fork_join(8);
+    let (p2, w2, _) = fork_join(16);
+    let count = AtomicU64::new(0);
+    let cr = &count;
+    let mut b1 = BodyTable::new(&p1);
+    b1.set(w1, move |_| {
+        cr.fetch_add(1, Ordering::Relaxed);
+    });
+    let mut b2 = BodyTable::new(&p2);
+    b2.set(w2, move |_| {
+        cr.fetch_add(1, Ordering::Relaxed);
+    });
+    rt.run(&p1, &b1).unwrap();
+    rt.run(&p2, &b2).unwrap();
+    assert_eq!(count.load(Ordering::Relaxed), 24);
+}

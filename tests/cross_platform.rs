@@ -1,0 +1,159 @@
+//! The portability claim: one DDM program, three platforms. The same
+//! `DdmProgram` must execute completely — with identical instance counts
+//! and block sequencing — on the threaded runtime, the hardware-TSU
+//! simulator, and the Cell model; and a DDMCPP module must lower onto all
+//! of them.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tflux::cell::work::{CellWork, FnCellWork};
+use tflux::cell::{CellConfig, CellMachine};
+use tflux::core::prelude::*;
+use tflux::ddmcpp;
+use tflux::runtime::{BodyTable, Runtime, RuntimeConfig};
+use tflux::sim::work::{FnWork, InstanceWork};
+use tflux::sim::{Machine, MachineConfig};
+
+/// A program exercising every mapping kind across two blocks.
+fn rich_program() -> DdmProgram {
+    let mut b = ProgramBuilder::new();
+    let b1 = b.block();
+    let src = b.thread(b1, ThreadSpec::scalar("src"));
+    let stage = b.thread(b1, ThreadSpec::new("stage", 12));
+    let pair = b.thread(b1, ThreadSpec::new("pair", 12));
+    let merge = b.thread(b1, ThreadSpec::new("merge", 6));
+    let sink = b.thread(b1, ThreadSpec::scalar("sink"));
+    b.arc(src, stage, ArcMapping::Broadcast).unwrap();
+    b.arc(stage, pair, ArcMapping::OneToOne).unwrap();
+    b.arc(pair, merge, ArcMapping::Group { factor: 2 }).unwrap();
+    b.arc(merge, sink, ArcMapping::Reduction).unwrap();
+    let b2 = b.block();
+    let post = b.thread(b2, ThreadSpec::new("post", 8));
+    let fin = b.thread(b2, ThreadSpec::scalar("fin"));
+    b.arc(post, fin, ArcMapping::Reduction).unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn same_program_runs_on_all_three_platforms() {
+    let program = rich_program();
+    let expect = program.total_instances();
+
+    // 1. TFluxSoft: real threads
+    let count = AtomicUsize::new(0);
+    let mut bodies = BodyTable::new(&program);
+    for t in 0..program.threads().len() {
+        let count = &count;
+        bodies.set(ThreadId(t as u32), move |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    let soft = Runtime::new(RuntimeConfig::with_kernels(3))
+        .run(&program, &bodies)
+        .unwrap();
+    drop(bodies);
+    assert_eq!(count.load(Ordering::Relaxed), expect);
+    assert_eq!(soft.tsu.completions as usize, expect);
+
+    // 2. TFluxHard: simulated hardware TSU
+    let src = FnWork(|_: Instance, out: &mut InstanceWork| {
+        out.compute = 500;
+    });
+    let hard = Machine::new(MachineConfig::bagle(4)).run(&program, &src);
+    assert_eq!(hard.instances, expect);
+    assert_eq!(hard.tsu.blocks_loaded, 2);
+
+    // 3. TFluxCell: simulated PS3
+    let src = FnCellWork(|_: Instance| CellWork::compute(500, 4096));
+    let cell = CellMachine::new(CellConfig::ps3())
+        .run(&program, &src)
+        .unwrap();
+    assert_eq!(cell.instances, expect);
+    assert_eq!(cell.tsu.blocks_loaded, 2);
+
+    // identical scheduling bookkeeping everywhere
+    assert_eq!(soft.tsu.completions, hard.tsu.completions);
+    assert_eq!(hard.tsu.completions, cell.tsu.completions);
+    assert_eq!(soft.tsu.rc_updates, hard.tsu.rc_updates);
+    assert_eq!(hard.tsu.rc_updates, cell.tsu.rc_updates);
+}
+
+const DDM_SOURCE: &str = r#"
+#pragma ddm def N 48
+#pragma ddm startprogram kernels(3)
+#pragma ddm block 1
+#pragma ddm for thread 1 range(0, N) unroll(4) export(v) cost(700)
+#pragma ddm endfor
+#pragma ddm thread 2 import(v) cost(300)
+#pragma ddm endthread
+#pragma ddm endblock
+#pragma ddm block 2
+#pragma ddm thread 3 arity(6) cost(400)
+#pragma ddm endthread
+#pragma ddm endblock
+#pragma ddm endprogram
+"#;
+
+#[test]
+fn ddmcpp_module_lowers_and_runs_everywhere() {
+    let module = ddmcpp::parse(DDM_SOURCE).unwrap();
+    let program = ddmcpp::lower::to_program(&module).unwrap();
+    let expect = program.total_instances();
+
+    let bodies = BodyTable::new(&program); // no-op bodies: scheduling only
+    let soft = Runtime::new(RuntimeConfig::with_kernels(3))
+        .run(&program, &bodies)
+        .unwrap();
+    assert_eq!(soft.tsu.completions as usize, expect);
+
+    let src = FnWork(|_: Instance, out: &mut InstanceWork| out.compute = 100);
+    let hard = Machine::new(MachineConfig::bagle(3)).run(&program, &src);
+    assert_eq!(hard.instances, expect);
+
+    let csrc = FnCellWork(|_: Instance| CellWork::compute(100, 1024));
+    let cell = CellMachine::new(CellConfig::ps3().with_spes(3))
+        .run(&program, &csrc)
+        .unwrap();
+    assert_eq!(cell.instances, expect);
+}
+
+#[test]
+fn ddmcpp_generates_for_every_backend() {
+    for backend in [
+        ddmcpp::Backend::Soft,
+        ddmcpp::Backend::Sim,
+        ddmcpp::Backend::Cell,
+    ] {
+        let out = ddmcpp::preprocess(DDM_SOURCE, backend).unwrap();
+        assert!(out.contains("ProgramBuilder"), "{backend:?}");
+        assert!(out.contains("pub const N: i64 = 48;"), "{backend:?}");
+    }
+    // backend-specific API surface
+    let soft = ddmcpp::preprocess(DDM_SOURCE, ddmcpp::Backend::Soft).unwrap();
+    assert!(soft.contains("tflux_runtime"));
+    let sim = ddmcpp::preprocess(DDM_SOURCE, ddmcpp::Backend::Sim).unwrap();
+    assert!(sim.contains("MachineConfig::bagle"));
+    let cell = ddmcpp::preprocess(DDM_SOURCE, ddmcpp::Backend::Cell).unwrap();
+    assert!(cell.contains("CellConfig::ps3"));
+}
+
+#[test]
+fn deterministic_simulators_cross_check() {
+    // the two event-driven platforms are bit-deterministic across runs
+    let program = rich_program();
+    let src = FnWork(|i: Instance, out: &mut InstanceWork| {
+        out.compute = 100 + i.context.0 as u64 * 13;
+    });
+    let a = Machine::new(MachineConfig::bagle(5)).run(&program, &src);
+    let b = Machine::new(MachineConfig::bagle(5)).run(&program, &src);
+    assert_eq!(a.cycles, b.cycles);
+
+    let csrc = FnCellWork(|i: Instance| CellWork {
+        compute: 100 + i.context.0 as u64 * 13,
+        import_bytes: 256,
+        export_bytes: 128,
+        ls_bytes: 8192,
+    });
+    let ca = CellMachine::new(CellConfig::ps3()).run(&program, &csrc).unwrap();
+    let cb = CellMachine::new(CellConfig::ps3()).run(&program, &csrc).unwrap();
+    assert_eq!(ca.cycles, cb.cycles);
+}
