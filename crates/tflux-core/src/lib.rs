@@ -69,7 +69,7 @@ pub use mapping::ArcMapping;
 pub use policy::SchedulingPolicy;
 pub use program::{DdmProgram, ProgramBuilder};
 pub use thread::{Affinity, ThreadKind, ThreadSpec};
-pub use tsu::{FetchResult, TsuConfig, TsuState};
+pub use tsu::{FetchResult, TsuConfig, TsuState, WaitingInstance};
 
 /// Convenient glob import for users of the model.
 pub mod prelude {

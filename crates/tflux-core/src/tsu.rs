@@ -16,7 +16,7 @@
 //!   the queue-mode API [`TsuState::fetch_ready`] / [`TsuState::complete`]).
 
 use crate::error::CoreError;
-use crate::ids::{BlockId, Context, Instance, KernelId};
+use crate::ids::{BlockId, Context, Instance, KernelId, ThreadId};
 use crate::policy::SchedulingPolicy;
 use crate::program::DdmProgram;
 use crate::thread::ThreadKind;
@@ -24,8 +24,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Configuration of a TSU instance.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, Default)]
 pub struct TsuConfig {
     /// Maximum instances resident at once (`0` = unlimited). A block whose
     /// residency exceeds this fails at load, mirroring the paper's rule that
@@ -34,7 +33,6 @@ pub struct TsuConfig {
     /// Ready-thread selection policy.
     pub policy: SchedulingPolicy,
 }
-
 
 /// Result of a kernel's request for its next DThread.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -64,6 +62,19 @@ pub struct TsuStats {
     pub blocks_loaded: u64,
     /// Peak number of resident instances.
     pub max_resident: usize,
+}
+
+/// A resident instance still waiting on producer completions — one row of
+/// the stall-forensics view exposed by
+/// [`TsuState::waiting_instances`]. Platforms embed these in their stall
+/// reports so a watchdog abort names the stuck instances instead of
+/// discarding the Synchronization Memory contents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WaitingInstance {
+    /// The instance whose ready count has not reached zero.
+    pub instance: Instance,
+    /// Producer completions still needed before it becomes ready.
+    pub remaining: u32,
 }
 
 /// The TSU state machine for one program execution.
@@ -143,6 +154,39 @@ impl<'p> TsuState<'p> {
     /// Total ready instances across all queues.
     pub fn ready_len(&self) -> usize {
         self.ready.iter().map(|q| q.len()).sum()
+    }
+
+    /// Stall forensics: every resident instance whose ready count is still
+    /// above zero, i.e. instances blocked on producers that have not
+    /// completed. Ordered thread-major, context-minor.
+    pub fn waiting_instances(&self) -> Vec<WaitingInstance> {
+        let mut out = Vec::new();
+        for (ti, rcs) in self.rc.iter().enumerate() {
+            for (ci, &remaining) in rcs.iter().enumerate() {
+                if remaining > 0 {
+                    out.push(WaitingInstance {
+                        instance: Instance::new(ThreadId(ti as u32), Context(ci as u32)),
+                        remaining,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Stall forensics: every instance that was dispatched to a kernel
+    /// (fetched or [`dispatch`](Self::dispatch)ed) but has not completed.
+    /// Ordered thread-major, context-minor.
+    pub fn running_instances(&self) -> Vec<Instance> {
+        let mut out = Vec::new();
+        for (ti, row) in self.running.iter().enumerate() {
+            for (ci, &running) in row.iter().enumerate() {
+                if running {
+                    out.push(Instance::new(ThreadId(ti as u32), Context(ci as u32)));
+                }
+            }
+        }
+        out
     }
 
     fn queue_of(&self, i: Instance) -> usize {
@@ -592,6 +636,55 @@ mod tests {
         let order = drain_sequential(&mut tsu);
         assert_eq!(order.len(), p.total_instances());
         assert!(tsu.stats().max_resident <= 12);
+    }
+
+    #[test]
+    fn forensics_views_track_waiting_and_running() {
+        let p = fork_join(4, 1);
+        let mut tsu = TsuState::new(&p, 1, TsuConfig::default());
+        // before the inlet runs, nothing but the inlet is resident; it is
+        // ready (rc 0) so the waiting view is empty
+        assert!(tsu.waiting_instances().is_empty());
+        let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)) else {
+            panic!("inlet not ready");
+        };
+        // the inlet is dispatched but not completed
+        assert_eq!(tsu.running_instances(), vec![inlet]);
+        tsu.complete(inlet).unwrap();
+        // block loaded: src (rc 0) is ready; each work instance waits on the
+        // src broadcast, the sink on 4 work completions, the outlet on all
+        // 6 app instances
+        let waiting = tsu.waiting_instances();
+        let src = p.blocks()[0].threads[0];
+        let work = p.blocks()[0].threads[1];
+        let sink = p.blocks()[0].threads[2];
+        assert!(waiting.iter().all(|w| w.instance.thread != src));
+        for c in 0..4 {
+            assert!(waiting
+                .iter()
+                .any(|w| w.instance == Instance::new(work, Context(c)) && w.remaining == 1));
+        }
+        assert!(waiting
+            .iter()
+            .any(|w| w.instance == Instance::scalar(sink) && w.remaining == 4));
+        assert!(tsu.running_instances().is_empty());
+        // dispatch src: it shows as running until completed, and its
+        // completion unblocks the work instances
+        let FetchResult::Thread(first) = tsu.fetch_ready(KernelId(0)) else {
+            panic!("no ready instance");
+        };
+        assert_eq!(first, Instance::scalar(src));
+        assert_eq!(tsu.running_instances(), vec![first]);
+        tsu.complete(first).unwrap();
+        assert!(tsu.running_instances().is_empty());
+        assert!(tsu
+            .waiting_instances()
+            .iter()
+            .all(|w| w.instance.thread != work));
+        // draining the rest empties both views
+        drain_sequential(&mut tsu);
+        assert!(tsu.waiting_instances().is_empty());
+        assert!(tsu.running_instances().is_empty());
     }
 
     #[test]

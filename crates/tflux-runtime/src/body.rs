@@ -28,15 +28,17 @@ pub type ThreadBody<'a> = Box<dyn Fn(&BodyCtx) + Send + Sync + 'a>;
 /// synchronization threads; set real bodies with [`set`](Self::set).
 pub struct BodyTable<'a> {
     bodies: Vec<ThreadBody<'a>>,
+    idempotent: Vec<bool>,
 }
 
 impl<'a> BodyTable<'a> {
     /// A table of no-op bodies shaped for `program`.
     pub fn new(program: &DdmProgram) -> Self {
-        let bodies = (0..program.threads().len())
+        let bodies: Vec<_> = (0..program.threads().len())
             .map(|_| Box::new(|_: &BodyCtx| {}) as ThreadBody<'a>)
             .collect();
-        BodyTable { bodies }
+        let idempotent = vec![false; bodies.len()];
+        BodyTable { bodies, idempotent }
     }
 
     /// Install the body of one application thread.
@@ -63,6 +65,25 @@ impl<'a> BodyTable<'a> {
         self.bodies.is_empty()
     }
 
+    /// Declare a thread's body idempotent: re-running an instance after a
+    /// panic observes the same state as the first attempt, so the kernel
+    /// may re-dispatch it under [`crate::RetryPolicy`]. Bodies are
+    /// non-idempotent by default and are never retried.
+    pub fn mark_idempotent(&mut self, thread: ThreadId) {
+        self.idempotent[thread.idx()] = true;
+    }
+
+    /// [`set`](Self::set) + [`mark_idempotent`](Self::mark_idempotent) in one call.
+    pub fn set_idempotent(&mut self, thread: ThreadId, body: impl Fn(&BodyCtx) + Send + Sync + 'a) {
+        self.set(thread, body);
+        self.mark_idempotent(thread);
+    }
+
+    /// Whether `thread`'s body was declared idempotent.
+    #[inline]
+    pub fn idempotent(&self, thread: ThreadId) -> bool {
+        self.idempotent[thread.idx()]
+    }
 }
 
 /// Whether an instance's body should be invoked by a kernel.
@@ -114,6 +135,18 @@ mod tests {
         };
         (t.get(ThreadId(0)))(&ctx);
         assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn idempotence_defaults_off_and_sticks_when_set() {
+        let p = tiny();
+        let mut t = BodyTable::new(&p);
+        assert!(!t.idempotent(ThreadId(0)));
+        t.set_idempotent(ThreadId(0), |_| {});
+        assert!(t.idempotent(ThreadId(0)));
+        // re-installing the body does not clear the flag
+        t.set(ThreadId(0), |_| {});
+        assert!(t.idempotent(ThreadId(0)));
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! kernel_of` is that table), and pushes newly-ready instances onto the
 //! owning kernel's ready queue.
 
+use crate::faults::FaultInjector;
 use crate::sm::ReadyQueue;
+use crate::stats::{InFlightInstance, StallReport};
 use crate::tub::Tub;
 use std::time::{Duration, Instant};
 use tflux_core::error::CoreError;
@@ -25,12 +27,12 @@ pub enum EmulatorExit {
     /// A TSU protocol error (e.g. a block larger than the TSU capacity).
     Protocol(CoreError),
     /// No completion arrived within the watchdog interval while DThreads
-    /// were outstanding — some kernel or body is stuck.
+    /// were outstanding — some kernel or body is stuck. The report walks
+    /// the TSU state at the moment the watchdog fired; the runtime fills
+    /// in the per-kernel counters and recorded panics after joining.
     Stalled {
-        /// Counters at the moment the watchdog fired.
-        stats: TsuStats,
-        /// How long the emulator waited without progress.
-        idle: Duration,
+        /// Forensics gathered from the TSU Synchronization Memory.
+        report: Box<StallReport>,
     },
 }
 
@@ -57,12 +59,15 @@ impl Default for EmulatorConfig {
 /// Run the TSU Emulator until the program finishes or fails.
 ///
 /// On any exit path the kernels' queues are shut down, so kernel threads
-/// always terminate.
-pub fn run_emulator(
+/// always terminate. The `injector` can jitter the drain loop
+/// (`drain_jitter` site); pass [`NoFaults`](crate::faults::NoFaults) for a
+/// production run.
+pub fn run_emulator<F: FaultInjector>(
     program: &DdmProgram,
     queues: &[ReadyQueue],
     tub: &Tub,
     config: EmulatorConfig,
+    injector: &F,
 ) -> EmulatorExit {
     let kernels = queues.len() as u32;
     let mut tsu = TsuState::new(program, kernels, config.tsu);
@@ -86,14 +91,38 @@ pub fn run_emulator(
     }
 
     let mut last_progress = Instant::now();
+    let mut round = 0u64;
     loop {
+        round += 1;
+        if let Some(d) = injector.drain_jitter(round) {
+            std::thread::sleep(d);
+        }
         completions.clear();
         if tub.drain_into(&mut completions) == 0 {
             if last_progress.elapsed() >= config.watchdog {
+                // Watchdog forensics: walk the Synchronization Memory
+                // before tearing it down, so the abort names the stuck
+                // instances instead of discarding the evidence.
+                let report = StallReport {
+                    idle: last_progress.elapsed(),
+                    stats: *tsu.stats(),
+                    tub: tub.stats().snapshot(),
+                    waiting: tsu.waiting_instances(),
+                    in_flight: tsu
+                        .running_instances()
+                        .into_iter()
+                        .map(|i| InFlightInstance {
+                            instance: i,
+                            kernel: program.kernel_of(i, kernels),
+                        })
+                        .collect(),
+                    queue_depths: queues.iter().map(|q| q.len()).collect(),
+                    kernels: Vec::new(),
+                    panics: Vec::new(),
+                };
                 shutdown_all(queues);
                 return EmulatorExit::Stalled {
-                    stats: *tsu.stats(),
-                    idle: last_progress.elapsed(),
+                    report: Box::new(report),
                 };
             }
             tub.wait(Duration::from_millis(1));
@@ -124,6 +153,7 @@ pub fn run_emulator(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::NoFaults;
     use std::sync::atomic::{AtomicU64, Ordering};
     use tflux_core::prelude::*;
 
@@ -157,7 +187,7 @@ mod tests {
                     tubref.push(i);
                 }
             });
-            let exit = run_emulator(pref, qref, tubref, EmulatorConfig::default());
+            let exit = run_emulator(pref, qref, tubref, EmulatorConfig::default(), &NoFaults);
             match exit {
                 EmulatorExit::Finished(stats) => {
                     assert_eq!(stats.completions as usize, p.total_instances());
@@ -165,7 +195,10 @@ mod tests {
                 other => panic!("unexpected exit {other:?}"),
             }
         });
-        assert_eq!(executed.load(Ordering::Relaxed) as usize, p.total_instances());
+        assert_eq!(
+            executed.load(Ordering::Relaxed) as usize,
+            p.total_instances()
+        );
     }
 
     #[test]
@@ -182,8 +215,26 @@ mod tests {
                 tsu: TsuConfig::default(),
                 watchdog: Duration::from_millis(50),
             },
+            &NoFaults,
         );
-        assert!(matches!(exit, EmulatorExit::Stalled { .. }));
+        match exit {
+            EmulatorExit::Stalled { report } => {
+                assert!(report.idle >= Duration::from_millis(50));
+                // the inlet was dispatched and never completed
+                let inlet = p.blocks()[0].inlet;
+                assert!(
+                    report.in_flight.iter().any(|f| f.instance.thread == inlet),
+                    "inlet should be in flight: {:?}",
+                    report.in_flight
+                );
+                // the block never loaded (its inlet never completed), so
+                // nothing is waiting on producers yet — the in-flight inlet
+                // is the whole story
+                assert!(report.waiting.is_empty(), "{:?}", report.waiting);
+                assert_eq!(report.queue_depths.len(), 1);
+            }
+            other => panic!("unexpected exit {other:?}"),
+        }
         // queue was shut down: a kernel popping now would exit
         assert!(matches!(
             queues[0].try_pop(),
@@ -215,6 +266,7 @@ mod tests {
                     },
                     watchdog: Duration::from_secs(5),
                 },
+                &NoFaults,
             );
             assert!(matches!(
                 exit,

@@ -14,6 +14,8 @@
 //! locality permitting (§3.1).
 
 use crate::body::{BodyCtx, BodyTable};
+use crate::faults::{BodyFault, FaultInjector};
+use crate::runtime::RetryPolicy;
 use crate::sm::{Fetched, ReadyQueue};
 use crate::stats::KernelStats;
 use crate::tub::Tub;
@@ -23,15 +25,20 @@ use tflux_core::ids::{Instance, KernelId};
 use tflux_core::program::DdmProgram;
 
 /// A panic captured from a DThread body. The kernel contains the panic,
-/// records it here, and still publishes the completion so the program
-/// drains instead of deadlocking; the runtime reports the failure after
-/// the run (see [`RuntimeError::BodyPanicked`](crate::RuntimeError)).
+/// retries it if the body opted in as idempotent and the
+/// [`RetryPolicy`](crate::RetryPolicy) allows, records the final failure
+/// here, and (unless the policy poisons exhausted instances) still
+/// publishes the completion so the program drains instead of deadlocking;
+/// the runtime reports the failure after the run (see
+/// [`RuntimeError::BodyPanicked`](crate::RuntimeError)).
 #[derive(Debug, Clone)]
 pub struct BodyPanic {
     /// The instance whose body panicked.
     pub instance: Instance,
-    /// The panic payload, stringified.
+    /// The panic payload of the last attempt, stringified.
     pub message: String,
+    /// How many attempts were made (1 = no retries).
+    pub attempts: u32,
 }
 
 /// Shared collector for body panics across kernels.
@@ -51,7 +58,7 @@ const STEAL_RESCAN: Duration = Duration::from_millis(1);
 #[allow(clippy::too_many_arguments)] // the kernel loop IS the meeting point
                                      // of every runtime structure; a config
                                      // struct would only rename the problem
-pub fn run_kernel(
+pub fn run_kernel<F: FaultInjector>(
     kernel: KernelId,
     _program: &DdmProgram,
     bodies: &BodyTable<'_>,
@@ -60,41 +67,84 @@ pub fn run_kernel(
     steal: bool,
     tub: &Tub,
     panics: &PanicSink,
+    injector: &F,
+    retry: RetryPolicy,
 ) -> KernelStats {
     let mut executed = 0u64;
     let mut steals = 0u64;
+    let mut retries = 0u64;
+    let mut poisoned = 0u64;
+    let mut iterations = 0u64;
     let queue = &queues[own];
 
-    let run = |instance: Instance, executed: &mut u64| {
+    let run = |instance: Instance, executed: &mut u64, retries: &mut u64, poisoned: &mut u64| {
         let ctx = BodyCtx {
             instance,
             context: instance.context,
             kernel,
         };
         // Direct closure call: kernel→DThread transition without OS
-        // involvement, as in §3.2. A panicking body is contained: its
-        // completion is still published (the alternative is a deadlocked
-        // program) and the failure is reported after the run.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            (bodies.get(instance.thread))(&ctx)
-        }));
-        if let Err(payload) = result {
-            let message = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".into());
-            panics.lock().push(BodyPanic { instance, message });
-        }
+        // involvement, as in §3.2. A panicking body is contained: if the
+        // body is idempotent it is re-dispatched up to the retry budget;
+        // otherwise the completion is still published (the alternative is a
+        // deadlocked program, unless the policy poisons the instance on
+        // purpose) and the failure is reported after the run.
+        let mut attempt = 0u32;
+        let publish = loop {
+            attempt += 1;
+            let fault = injector.before_body(kernel, instance, attempt);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                match fault {
+                    BodyFault::Pass => {}
+                    BodyFault::Delay(d) => std::thread::sleep(d),
+                    BodyFault::Panic => std::panic::panic_any(format!(
+                        "injected fault: body panic at {instance} (attempt {attempt})"
+                    )),
+                }
+                (bodies.get(instance.thread))(&ctx)
+            }));
+            match result {
+                Ok(()) => break true,
+                Err(payload) => {
+                    if bodies.idempotent(instance.thread) && attempt < retry.max_attempts {
+                        *retries += 1;
+                        continue;
+                    }
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    panics.lock().push(BodyPanic {
+                        instance,
+                        message,
+                        attempts: attempt,
+                    });
+                    break !retry.poison_on_exhaust;
+                }
+            }
+        };
         *executed += 1;
-        tub.push(instance);
+        if publish {
+            tub.push_with(instance, injector);
+        } else {
+            *poisoned += 1;
+        }
     };
 
     'outer: loop {
+        iterations += 1;
+        if let Some(d) = injector.kernel_stall(kernel, iterations) {
+            std::thread::sleep(d);
+        }
         // own queue first (spatial locality)
-        match if steal { queue.try_pop() } else { Some(queue.pop()) } {
+        match if steal {
+            queue.try_pop()
+        } else {
+            Some(queue.pop())
+        } {
             Some(Fetched::Thread(i)) => {
-                run(i, &mut executed);
+                run(i, &mut executed, &mut retries, &mut poisoned);
                 continue;
             }
             Some(Fetched::Exit) => break,
@@ -109,7 +159,7 @@ pub fn run_kernel(
             if let Some(v) = victim {
                 if let Some(Fetched::Thread(i)) = queues[v].try_pop() {
                     steals += 1;
-                    run(i, &mut executed);
+                    run(i, &mut executed, &mut retries, &mut poisoned);
                     continue 'outer;
                 }
                 // raced with the owner; rescan
@@ -118,7 +168,7 @@ pub fn run_kernel(
             // nothing stealable: block briefly on the own queue
             match queue.pop_timeout(STEAL_RESCAN) {
                 Some(Fetched::Thread(i)) => {
-                    run(i, &mut executed);
+                    run(i, &mut executed, &mut retries, &mut poisoned);
                     continue 'outer;
                 }
                 Some(Fetched::Exit) => break 'outer,
@@ -131,6 +181,8 @@ pub fn run_kernel(
         wait_ns: queue.wait_nanos(),
         blocked_pops: queue.blocked_pops(),
         steals,
+        retries,
+        poisoned,
     }
 }
 
@@ -138,6 +190,7 @@ pub fn run_kernel(
 mod tests {
     use super::*;
     use crate::body::BodyTable;
+    use crate::faults::NoFaults;
     use std::sync::atomic::{AtomicU64, Ordering};
     use tflux_core::ids::Instance;
     use tflux_core::prelude::*;
@@ -167,7 +220,18 @@ mod tests {
         }
         qs[0].shutdown();
         let sink = PanicSink::default();
-        let stats = run_kernel(KernelId(0), &p, &bodies, &qs, 0, false, &tub, &sink);
+        let stats = run_kernel(
+            KernelId(0),
+            &p,
+            &bodies,
+            &qs,
+            0,
+            false,
+            &tub,
+            &sink,
+            &NoFaults,
+            RetryPolicy::default(),
+        );
         // all three ran; the panic did not kill the kernel
         assert_eq!(stats.executed, 3);
         let panics = sink.into_inner();
@@ -199,7 +263,18 @@ mod tests {
         }
         qs[0].shutdown();
 
-        let stats = run_kernel(KernelId(0), &p, &bodies, &qs, 0, false, &tub, &PanicSink::default());
+        let stats = run_kernel(
+            KernelId(0),
+            &p,
+            &bodies,
+            &qs,
+            0,
+            false,
+            &tub,
+            &PanicSink::default(),
+            &NoFaults,
+            RetryPolicy::default(),
+        );
         assert_eq!(stats.executed, 4);
         assert_eq!(hits.load(Ordering::Relaxed), 4 + 1 + 2 + 3);
         // every completion went to the TUB
@@ -217,7 +292,18 @@ mod tests {
         let qs = queues(1);
         qs[0].shutdown();
         let tub = Tub::new(1);
-        let stats = run_kernel(KernelId(1), &p, &bodies, &qs, 0, false, &tub, &PanicSink::default());
+        let stats = run_kernel(
+            KernelId(1),
+            &p,
+            &bodies,
+            &qs,
+            0,
+            false,
+            &tub,
+            &PanicSink::default(),
+            &NoFaults,
+            RetryPolicy::default(),
+        );
         assert_eq!(stats.executed, 0);
     }
 
@@ -236,7 +322,18 @@ mod tests {
         let tub = Tub::new(1);
         qs[0].push(Instance::new(w, Context(1)));
         qs[0].shutdown();
-        run_kernel(KernelId(3), &p, &bodies, &qs, 0, false, &tub, &PanicSink::default());
+        run_kernel(
+            KernelId(3),
+            &p,
+            &bodies,
+            &qs,
+            0,
+            false,
+            &tub,
+            &PanicSink::default(),
+            &NoFaults,
+            RetryPolicy::default(),
+        );
         assert_eq!(seen.lock().as_slice(), &[(KernelId(3), Context(1))]);
     }
 
@@ -260,7 +357,20 @@ mod tests {
             qs[1].push(Instance::new(w, Context(c)));
         }
         let stats = std::thread::scope(|s| {
-            let handle = s.spawn(|| run_kernel(KernelId(0), &p, &bodies, &qs, 0, true, &tub, &PANICS));
+            let handle = s.spawn(|| {
+                run_kernel(
+                    KernelId(0),
+                    &p,
+                    &bodies,
+                    &qs,
+                    0,
+                    true,
+                    &tub,
+                    &PANICS,
+                    &NoFaults,
+                    RetryPolicy::default(),
+                )
+            });
             while count.load(Ordering::Relaxed) < 6 {
                 std::thread::yield_now();
             }
@@ -286,7 +396,18 @@ mod tests {
             qs[1].push(Instance::new(w, Context(c)));
         }
         qs[0].shutdown();
-        let stats = run_kernel(KernelId(0), &p, &bodies, &qs, 0, false, &tub, &PanicSink::default());
+        let stats = run_kernel(
+            KernelId(0),
+            &p,
+            &bodies,
+            &qs,
+            0,
+            false,
+            &tub,
+            &PanicSink::default(),
+            &NoFaults,
+            RetryPolicy::default(),
+        );
         assert_eq!(stats.executed, 0);
         assert_eq!(qs[1].len(), 3, "victim queue untouched");
     }

@@ -64,6 +64,7 @@
 
 pub mod body;
 pub mod emulator;
+pub mod faults;
 pub mod kernel;
 pub mod runtime;
 pub mod shared;
@@ -72,6 +73,8 @@ pub mod stats;
 pub mod tub;
 
 pub use body::{BodyCtx, BodyTable};
-pub use runtime::{Runtime, RuntimeConfig, RuntimeError};
+pub use faults::{BodyFault, FaultCounts, FaultInjector, FaultPlan, NoFaults};
+pub use runtime::{RetryPolicy, Runtime, RuntimeConfig, RuntimeError};
 pub use shared::SharedVar;
-pub use stats::RunReport;
+pub use stats::{InFlightInstance, RunReport, StallReport};
+pub use tub::TubBackoff;

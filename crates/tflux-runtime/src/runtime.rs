@@ -8,15 +8,63 @@
 
 use crate::body::BodyTable;
 use crate::emulator::{run_emulator, EmulatorConfig, EmulatorExit};
+use crate::faults::{FaultInjector, NoFaults};
 use crate::kernel::run_kernel;
 use crate::sm::ReadyQueue;
-use crate::stats::{KernelStats, RunReport};
-use crate::tub::Tub;
+use crate::stats::{KernelStats, RunReport, StallReport};
+use crate::tub::{Tub, TubBackoff};
 use std::time::{Duration, Instant};
 use tflux_core::error::CoreError;
 use tflux_core::ids::KernelId;
 use tflux_core::program::DdmProgram;
 use tflux_core::tsu::TsuConfig;
+
+/// What a kernel does with a DThread body that panics.
+///
+/// A body that opted in as idempotent (see
+/// [`BodyTable::mark_idempotent`](crate::BodyTable::mark_idempotent)) is
+/// re-dispatched in place up to `max_attempts` total attempts. When the
+/// budget is exhausted (or the body never opted in), the panic is recorded
+/// and, by default, the completion is still published so the program drains
+/// and the run ends with
+/// [`RuntimeError::BodyPanicked`]. With `poison_on_exhaust`
+/// the completion is withheld instead: the failed instance's consumers
+/// never fire, the watchdog trips, and the run ends with a forensic
+/// [`StallReport`] naming the poisoned instance — the mode to use when a
+/// made-up completion would silently corrupt downstream results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per instance, counting the first (minimum 1).
+    pub max_attempts: u32,
+    /// Withhold the completion of an instance whose retries are exhausted
+    /// instead of publishing it anyway.
+    pub poison_on_exhaust: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            poison_on_exhaust: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_attempts` total attempts (clamped to ≥ 1).
+    pub fn attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Set whether exhausted instances are poisoned (completion withheld).
+    pub fn poison_on_exhaust(mut self, poison: bool) -> Self {
+        self.poison_on_exhaust = poison;
+        self
+    }
+}
 
 /// Configuration of a TFluxSoft runtime.
 #[derive(Clone, Copy, Debug)]
@@ -29,17 +77,23 @@ pub struct RuntimeConfig {
     pub tsu: TsuConfig,
     /// Abort the run if no DThread completes for this long.
     pub watchdog: Duration,
+    /// How pushing kernels degrade when every TUB segment stays busy.
+    pub tub_backoff: TubBackoff,
+    /// What kernels do with panicking bodies.
+    pub retry: RetryPolicy,
 }
 
 impl RuntimeConfig {
     /// Defaults with `kernels` kernel threads: 4 TUB segments, unlimited TSU
-    /// capacity, 30 s watchdog.
+    /// capacity, 30 s watchdog, no panic retry.
     pub fn with_kernels(kernels: u32) -> Self {
         RuntimeConfig {
             kernels,
             tub_segments: 4,
             tsu: TsuConfig::default(),
             watchdog: Duration::from_secs(30),
+            tub_backoff: TubBackoff::default(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -58,6 +112,18 @@ impl RuntimeConfig {
     /// Override the watchdog interval.
     pub fn watchdog(mut self, watchdog: Duration) -> Self {
         self.watchdog = watchdog;
+        self
+    }
+
+    /// Override the TUB full-segment backoff.
+    pub fn tub_backoff(mut self, backoff: TubBackoff) -> Self {
+        self.tub_backoff = backoff;
+        self
+    }
+
+    /// Override the panic retry policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -84,10 +150,11 @@ pub enum RuntimeError {
     },
     /// A TSU protocol error surfaced during execution.
     Protocol(CoreError),
-    /// The watchdog fired: some DThread never completed.
+    /// The watchdog fired: some DThread never completed. The report names
+    /// the stuck instances and their remaining ready counts.
     Stalled {
-        /// How long the emulator waited without any completion.
-        idle: Duration,
+        /// Forensics gathered from the TSU at the moment of the stall.
+        report: Box<StallReport>,
     },
     /// One or more DThread bodies panicked. The run still drained (the
     /// kernels contain body panics and publish completions), but the
@@ -95,6 +162,12 @@ pub enum RuntimeError {
     BodyPanicked {
         /// The captured panics, in completion order.
         panics: Vec<crate::kernel::BodyPanic>,
+    },
+    /// A kernel thread itself died — not a contained body panic but a bug
+    /// in the runtime machinery (the kernel loop never unwinds otherwise).
+    KernelDied {
+        /// The kernel whose thread could not be joined.
+        kernel: KernelId,
     },
 }
 
@@ -106,9 +179,7 @@ impl std::fmt::Display for RuntimeError {
                 "body table has {got} slots but the program declares {expected} threads"
             ),
             RuntimeError::Protocol(e) => write!(f, "TSU protocol error: {e}"),
-            RuntimeError::Stalled { idle } => {
-                write!(f, "run stalled: no completion for {idle:?}")
-            }
+            RuntimeError::Stalled { report } => write!(f, "{report}"),
             RuntimeError::BodyPanicked { panics } => write!(
                 f,
                 "{} DThread bod{} panicked; first: {} at {}",
@@ -116,6 +187,10 @@ impl std::fmt::Display for RuntimeError {
                 if panics.len() == 1 { "y" } else { "ies" },
                 panics[0].message,
                 panics[0].instance
+            ),
+            RuntimeError::KernelDied { kernel } => write!(
+                f,
+                "kernel thread {kernel} panicked outside a DThread body (runtime bug)"
             ),
         }
     }
@@ -142,8 +217,29 @@ impl Runtime {
         &self.config
     }
 
-    /// Execute `program` with `bodies` to completion.
-    pub fn run(&self, program: &DdmProgram, bodies: &BodyTable<'_>) -> Result<RunReport, RuntimeError> {
+    /// Execute `program` with `bodies` to completion, fault-free.
+    ///
+    /// Equivalent to [`run_with`](Self::run_with) with [`NoFaults`]; the
+    /// injector hooks compile down to nothing on this path.
+    pub fn run(
+        &self,
+        program: &DdmProgram,
+        bodies: &BodyTable<'_>,
+    ) -> Result<RunReport, RuntimeError> {
+        self.run_with(program, bodies, &NoFaults)
+    }
+
+    /// Execute `program` with `bodies` to completion, threading `injector`
+    /// through every fault site (body dispatch, kernel loop, TUB publish,
+    /// emulator drain). Pass a seeded
+    /// [`FaultPlan`](crate::faults::FaultPlan) to rehearse failures
+    /// deterministically.
+    pub fn run_with<F: FaultInjector>(
+        &self,
+        program: &DdmProgram,
+        bodies: &BodyTable<'_>,
+        injector: &F,
+    ) -> Result<RunReport, RuntimeError> {
         if !bodies_match(bodies, program) {
             return Err(RuntimeError::BodyTableMismatch {
                 expected: program.threads().len(),
@@ -160,15 +256,16 @@ impl Runtime {
             }
         };
         let queues: Vec<ReadyQueue> = (0..nqueues).map(|_| ReadyQueue::new()).collect();
-        let tub = Tub::new(self.config.tub_segments);
+        let tub = Tub::with_backoff(self.config.tub_segments, self.config.tub_backoff);
         let emu_config = EmulatorConfig {
             tsu: self.config.tsu,
             watchdog: self.config.watchdog,
         };
+        let retry = self.config.retry;
 
         let panic_sink = crate::kernel::PanicSink::default();
         let start = Instant::now();
-        let (exit, kernel_stats) = std::thread::scope(|s| {
+        let (exit, joined) = std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(kernels as usize);
             for k in 0..kernels {
                 let queues = &queues;
@@ -176,33 +273,67 @@ impl Runtime {
                 let tub = &tub;
                 let panic_sink = &panic_sink;
                 handles.push(s.spawn(move || {
-                    run_kernel(KernelId(k), program, bodies, queues, own, steal, tub, panic_sink)
+                    run_kernel(
+                        KernelId(k),
+                        program,
+                        bodies,
+                        queues,
+                        own,
+                        steal,
+                        tub,
+                        panic_sink,
+                        injector,
+                        retry,
+                    )
                 }));
             }
             // The emulator runs on the caller's thread — the paper's "one
             // CPU devoted to the TSU" (Fig. 4).
-            let exit = run_emulator(program, &queues, &tub, emu_config);
-            let stats: Vec<KernelStats> = handles
-                .into_iter()
-                .map(|h| h.join().expect("kernel thread panicked"))
-                .collect();
-            (exit, stats)
+            let exit = run_emulator(program, &queues, &tub, emu_config, injector);
+            let joined: Vec<std::thread::Result<KernelStats>> =
+                handles.into_iter().map(|h| h.join()).collect();
+            (exit, joined)
         });
         let wall = start.elapsed();
 
         let panics = panic_sink.into_inner();
-        if !panics.is_empty() {
-            return Err(RuntimeError::BodyPanicked { panics });
+        let mut kernel_stats = Vec::with_capacity(joined.len());
+        let mut dead: Option<KernelId> = None;
+        for (k, res) in joined.into_iter().enumerate() {
+            match res {
+                Ok(s) => kernel_stats.push(s),
+                Err(_) => {
+                    // body panics are contained in run_kernel; an unwinding
+                    // kernel thread means the machinery itself is broken
+                    dead.get_or_insert(KernelId(k as u32));
+                    kernel_stats.push(KernelStats::default());
+                }
+            }
+        }
+        if let Some(kernel) = dead {
+            return Err(RuntimeError::KernelDied { kernel });
         }
         match exit {
-            EmulatorExit::Finished(tsu) => Ok(RunReport {
-                wall,
-                tsu,
-                tub: tub.stats().snapshot(),
-                kernels: kernel_stats,
-            }),
+            EmulatorExit::Finished(tsu) => {
+                if !panics.is_empty() {
+                    return Err(RuntimeError::BodyPanicked { panics });
+                }
+                Ok(RunReport {
+                    wall,
+                    tsu,
+                    tub: tub.stats().snapshot(),
+                    kernels: kernel_stats,
+                })
+            }
             EmulatorExit::Protocol(e) => Err(RuntimeError::Protocol(e)),
-            EmulatorExit::Stalled { idle, .. } => Err(RuntimeError::Stalled { idle }),
+            EmulatorExit::Stalled { mut report } => {
+                // complete the forensics with what only the runtime knows:
+                // the joined kernel counters and the panics recorded before
+                // the stall (a poisoned producer is the usual culprit)
+                report.kernels = kernel_stats;
+                report.panics = panics;
+                Err(RuntimeError::Stalled { report })
+            }
         }
     }
 }
@@ -222,6 +353,9 @@ impl Runtime {
         let mut wrapped = BodyTable::new(program);
         for t in 0..program.threads().len() {
             let t = tflux_core::ThreadId(t as u32);
+            if bodies.idempotent(t) {
+                wrapped.mark_idempotent(t);
+            }
             let spans = &spans;
             wrapped.set(t, move |ctx| {
                 let start_ns = epoch.elapsed().as_nanos() as u64;
@@ -375,12 +509,25 @@ mod tests {
                 std::thread::sleep(Duration::from_millis(500));
             }
         });
-        let err = Runtime::new(
-            RuntimeConfig::with_kernels(1).watchdog(Duration::from_millis(50)),
-        )
-        .run(&p, &bodies)
-        .unwrap_err();
-        assert!(matches!(err, RuntimeError::Stalled { .. }));
+        let err = Runtime::new(RuntimeConfig::with_kernels(1).watchdog(Duration::from_millis(50)))
+            .run(&p, &bodies)
+            .unwrap_err();
+        match err {
+            RuntimeError::Stalled { report } => {
+                // the sleeping instance was dispatched and never completed
+                assert!(
+                    report
+                        .in_flight
+                        .iter()
+                        .any(|f| f.instance.thread == works[0]),
+                    "{report}"
+                );
+                // per-kernel counters were attached after the join
+                assert_eq!(report.kernels.len(), 1);
+                assert!(report.panics.is_empty());
+            }
+            other => panic!("{other}"),
+        }
     }
 
     #[test]
@@ -531,6 +678,111 @@ mod tests {
             for w in spans.windows(2) {
                 assert!(w[1].start_ns >= w[0].end_ns, "{w:?}");
             }
+        }
+    }
+
+    #[test]
+    fn multi_kernel_panics_drain_and_report_under_both_policies() {
+        // several panicking instances across 3 kernels: the run must drain
+        // fully (no stall) and report every panic, whichever scheduling
+        // policy routes the work
+        let policies = [
+            tflux_core::SchedulingPolicy::GlobalFifo,
+            tflux_core::SchedulingPolicy::LocalityFirst { steal: true },
+        ];
+        for policy in policies {
+            let (p, works) = fork_join(16, 1);
+            let mut bodies = BodyTable::new(&p);
+            bodies.set(works[0], |c| {
+                if c.context.0 % 4 == 0 {
+                    panic!("chaos at {:?}", c.context);
+                }
+            });
+            let err = Runtime::new(RuntimeConfig::with_kernels(3).tsu(TsuConfig {
+                capacity: 0,
+                policy,
+            }))
+            .run(&p, &bodies)
+            .unwrap_err();
+            match err {
+                RuntimeError::BodyPanicked { panics } => {
+                    let mut contexts: Vec<u32> = panics
+                        .iter()
+                        .map(|b| {
+                            assert_eq!(b.instance.thread, works[0]);
+                            assert_eq!(b.attempts, 1);
+                            b.instance.context.0
+                        })
+                        .collect();
+                    contexts.sort_unstable();
+                    assert_eq!(contexts, vec![0, 4, 8, 12], "policy {policy:?}");
+                }
+                other => panic!("policy {policy:?}: unexpected {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn idempotent_body_retry_recovers() {
+        let (p, works) = fork_join(8, 1);
+        let first_attempts = AtomicU64::new(0);
+        let mut bodies = BodyTable::new(&p);
+        let first_attempts_ref = &first_attempts;
+        bodies.set_idempotent(works[0], move |c| {
+            // context 2 fails exactly once, then succeeds on retry
+            if c.context.0 == 2 && first_attempts_ref.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("transient failure");
+            }
+        });
+        let report = Runtime::new(RuntimeConfig::with_kernels(2).retry(RetryPolicy::attempts(3)))
+            .run(&p, &bodies)
+            .unwrap();
+        assert_eq!(report.total_retries(), 1);
+        assert_eq!(report.total_poisoned(), 0);
+        assert_eq!(report.tsu.completions as usize, p.total_instances());
+        assert_eq!(first_attempts.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn non_idempotent_body_is_not_retried() {
+        let (p, works) = fork_join(8, 1);
+        let mut bodies = BodyTable::new(&p);
+        bodies.set(works[0], |c| {
+            if c.context.0 == 2 {
+                panic!("always fails");
+            }
+        });
+        // a generous retry budget must not apply without the idempotent flag
+        let err = Runtime::new(RuntimeConfig::with_kernels(2).retry(RetryPolicy::attempts(3)))
+            .run(&p, &bodies)
+            .unwrap_err();
+        match err {
+            RuntimeError::BodyPanicked { panics } => {
+                assert_eq!(panics.len(), 1);
+                assert_eq!(panics[0].attempts, 1);
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_surface_attempt_count() {
+        let (p, works) = fork_join(4, 1);
+        let mut bodies = BodyTable::new(&p);
+        bodies.set_idempotent(works[0], |c| {
+            if c.context.0 == 1 {
+                panic!("permanent failure");
+            }
+        });
+        let err = Runtime::new(RuntimeConfig::with_kernels(1).retry(RetryPolicy::attempts(3)))
+            .run(&p, &bodies)
+            .unwrap_err();
+        match err {
+            RuntimeError::BodyPanicked { panics } => {
+                assert_eq!(panics.len(), 1);
+                assert_eq!(panics[0].attempts, 3);
+            }
+            other => panic!("{other}"),
         }
     }
 

@@ -1,9 +1,13 @@
-//! Execution reports for TFluxSoft runs.
+//! Execution reports for TFluxSoft runs, and the stall forensics report
+//! assembled when the watchdog fires.
 
+use crate::kernel::BodyPanic;
 use crate::tub::TubSnapshot;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::time::Duration;
-use tflux_core::tsu::TsuStats;
+use tflux_core::ids::{Instance, KernelId};
+use tflux_core::tsu::{TsuStats, WaitingInstance};
 
 /// Per-kernel counters.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
@@ -16,6 +20,14 @@ pub struct KernelStats {
     pub blocked_pops: u64,
     /// Instances taken from another kernel's queue.
     pub steals: u64,
+    /// Panicked body attempts that were re-dispatched under the
+    /// [`RetryPolicy`](crate::RetryPolicy).
+    #[serde(default)]
+    pub retries: u64,
+    /// Instances whose completion was withheld after retry exhaustion
+    /// (`poison_on_exhaust`); their consumers never fire.
+    #[serde(default)]
+    pub poisoned: u64,
 }
 
 /// One executed instance in a wall-clock trace (see
@@ -51,6 +63,16 @@ impl RunReport {
         self.kernels.iter().map(|k| k.executed).sum()
     }
 
+    /// Total panicked attempts that were re-dispatched across kernels.
+    pub fn total_retries(&self) -> u64 {
+        self.kernels.iter().map(|k| k.retries).sum()
+    }
+
+    /// Total instances poisoned (completion withheld) across kernels.
+    pub fn total_poisoned(&self) -> u64 {
+        self.kernels.iter().map(|k| k.poisoned).sum()
+    }
+
     /// Coefficient of variation of per-kernel executed counts — a quick
     /// load-balance indicator (0 = perfectly balanced).
     pub fn load_imbalance(&self) -> f64 {
@@ -72,6 +94,135 @@ impl RunReport {
             .sum::<f64>()
             / n;
         var.sqrt() / mean
+    }
+}
+
+/// An instance that was dispatched to a kernel but never completed — the
+/// prime suspect in a stall (its body may be stuck, or its completion may
+/// have been poisoned after retry exhaustion).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InFlightInstance {
+    /// The dispatched-but-unfinished instance.
+    pub instance: Instance,
+    /// The kernel the TSU handed it to.
+    pub kernel: KernelId,
+}
+
+/// Forensic snapshot assembled when the watchdog declares a run stalled.
+///
+/// Instead of discarding the runtime state at abort, the emulator walks the
+/// TSU Synchronization Memory and reports *who* is stuck and *why*: every
+/// resident instance still waiting on producers (with its remaining ready
+/// count), every instance dispatched to a kernel that never published a
+/// completion, the ready-queue depths, and the TSU/TUB/kernel counters at
+/// the moment of the stall. Carried by
+/// [`RuntimeError::Stalled`](crate::RuntimeError) and pretty-printed by its
+/// [`Display`](fmt::Display) impl.
+#[derive(Clone, Debug)]
+pub struct StallReport {
+    /// How long the emulator saw no completion before giving up.
+    pub idle: Duration,
+    /// TSU counters at the moment of the stall.
+    pub stats: TsuStats,
+    /// TUB counters at the moment of the stall.
+    pub tub: TubSnapshot,
+    /// Resident instances still waiting on producer completions.
+    pub waiting: Vec<WaitingInstance>,
+    /// Instances dispatched to a kernel but never completed.
+    pub in_flight: Vec<InFlightInstance>,
+    /// Ready-queue depth per kernel at the moment of the stall.
+    pub queue_depths: Vec<usize>,
+    /// Per-kernel counters, filled in after the kernels are joined.
+    pub kernels: Vec<KernelStats>,
+    /// Body panics recorded before the stall (a poisoned producer is the
+    /// most common stall cause), filled in after the kernels are joined.
+    pub panics: Vec<BodyPanic>,
+}
+
+/// How many waiting / in-flight / panicked entries [`StallReport`]'s
+/// `Display` lists before truncating with an "… and N more" line.
+const STALL_DISPLAY_CAP: usize = 8;
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "run stalled: no completion for {:?} (watchdog fired)",
+            self.idle
+        )?;
+        writeln!(f, "  waiting instances: {}", self.waiting.len())?;
+        for w in self.waiting.iter().take(STALL_DISPLAY_CAP) {
+            writeln!(
+                f,
+                "    {} needs {} more completion{}",
+                w.instance,
+                w.remaining,
+                if w.remaining == 1 { "" } else { "s" }
+            )?;
+        }
+        if self.waiting.len() > STALL_DISPLAY_CAP {
+            writeln!(
+                f,
+                "    … and {} more",
+                self.waiting.len() - STALL_DISPLAY_CAP
+            )?;
+        }
+        writeln!(
+            f,
+            "  dispatched but never completed: {}",
+            self.in_flight.len()
+        )?;
+        for i in self.in_flight.iter().take(STALL_DISPLAY_CAP) {
+            writeln!(f, "    {} on {}", i.instance, i.kernel)?;
+        }
+        if self.in_flight.len() > STALL_DISPLAY_CAP {
+            writeln!(
+                f,
+                "    … and {} more",
+                self.in_flight.len() - STALL_DISPLAY_CAP
+            )?;
+        }
+        writeln!(f, "  ready-queue depths: {:?}", self.queue_depths)?;
+        writeln!(
+            f,
+            "  tsu: {} completions, {} fetches, {} rc updates, {} blocks loaded",
+            self.stats.completions,
+            self.stats.fetches,
+            self.stats.rc_updates,
+            self.stats.blocks_loaded
+        )?;
+        writeln!(
+            f,
+            "  tub: {} pushes, {} dropped bells",
+            self.tub.pushes, self.tub.dropped_bells
+        )?;
+        let poisoned: u64 = self.kernels.iter().map(|k| k.poisoned).sum();
+        writeln!(
+            f,
+            "  kernels: {} joined, {} poisoned instance{}",
+            self.kernels.len(),
+            poisoned,
+            if poisoned == 1 { "" } else { "s" }
+        )?;
+        writeln!(f, "  body panics before the stall: {}", self.panics.len())?;
+        for p in self.panics.iter().take(STALL_DISPLAY_CAP) {
+            writeln!(
+                f,
+                "    {} after {} attempt{}: {}",
+                p.instance,
+                p.attempts,
+                if p.attempts == 1 { "" } else { "s" },
+                p.message
+            )?;
+        }
+        if self.panics.len() > STALL_DISPLAY_CAP {
+            writeln!(
+                f,
+                "    … and {} more",
+                self.panics.len() - STALL_DISPLAY_CAP
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -118,6 +269,63 @@ mod tests {
             ],
         };
         assert!(r.load_imbalance() > 0.9);
+    }
+
+    #[test]
+    fn stall_report_display_names_the_stuck_instances() {
+        use tflux_core::ids::{Context, ThreadId};
+        let report = StallReport {
+            idle: Duration::from_millis(250),
+            stats: TsuStats::default(),
+            tub: TubSnapshot::default(),
+            waiting: vec![WaitingInstance {
+                instance: Instance::new(ThreadId(1), Context(0)),
+                remaining: 1,
+            }],
+            in_flight: vec![InFlightInstance {
+                instance: Instance::new(ThreadId(0), Context(0)),
+                kernel: KernelId(2),
+            }],
+            queue_depths: vec![0, 0, 1],
+            kernels: vec![KernelStats {
+                poisoned: 1,
+                ..Default::default()
+            }],
+            panics: vec![BodyPanic {
+                instance: Instance::new(ThreadId(0), Context(0)),
+                message: "boom".into(),
+                attempts: 2,
+            }],
+        };
+        let text = format!("{report}");
+        assert!(text.contains("run stalled"));
+        assert!(text.contains(&format!("{}", Instance::new(ThreadId(1), Context(0)))));
+        assert!(text.contains("needs 1 more completion"));
+        assert!(text.contains(&format!("on {}", KernelId(2))));
+        assert!(text.contains("1 poisoned instance"));
+        assert!(text.contains("after 2 attempts: boom"));
+    }
+
+    #[test]
+    fn retry_totals_sum_over_kernels() {
+        let r = RunReport {
+            wall: Duration::ZERO,
+            tsu: TsuStats::default(),
+            tub: TubSnapshot::default(),
+            kernels: vec![
+                KernelStats {
+                    retries: 2,
+                    poisoned: 1,
+                    ..Default::default()
+                },
+                KernelStats {
+                    retries: 3,
+                    ..Default::default()
+                },
+            ],
+        };
+        assert_eq!(r.total_retries(), 5);
+        assert_eq!(r.total_poisoned(), 1);
     }
 
     #[test]

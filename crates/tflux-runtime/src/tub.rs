@@ -8,8 +8,10 @@
 //! entity only if it is available" — so a kernel stalls only when *every*
 //! segment is busy.
 
+use crate::faults::{FaultInjector, NoFaults};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
 use tflux_core::ids::Instance;
 
 /// Contention counters for the TUB.
@@ -22,6 +24,11 @@ pub struct TubStats {
     /// Full passes over all segments that found every segment busy
     /// (the genuine stall case the segmentation is designed to avoid).
     pub full_spins: AtomicU64,
+    /// Times a pushing kernel gave up spinning and parked (see
+    /// [`TubBackoff`]).
+    pub parks: AtomicU64,
+    /// Emulator wakeup signals suppressed by a fault injector.
+    pub dropped_bells: AtomicU64,
 }
 
 impl TubStats {
@@ -31,6 +38,8 @@ impl TubStats {
             pushes: self.pushes.load(Ordering::Relaxed),
             busy_hits: self.busy_hits.load(Ordering::Relaxed),
             full_spins: self.full_spins.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            dropped_bells: self.dropped_bells.load(Ordering::Relaxed),
         }
     }
 }
@@ -44,6 +53,38 @@ pub struct TubSnapshot {
     pub busy_hits: u64,
     /// Passes that found all segments busy.
     pub full_spins: u64,
+    /// Pushes that fell back from spinning to parking.
+    #[serde(default)]
+    pub parks: u64,
+    /// Emulator wakeup signals suppressed by a fault injector.
+    #[serde(default)]
+    pub dropped_bells: u64,
+}
+
+/// How a pushing kernel degrades when *every* TUB segment stays busy.
+///
+/// The paper's `try_lock` scheme assumes some segment frees up quickly; an
+/// all-segments-busy livelock would otherwise burn a core on `yield_now`.
+/// After `full_spin_limit` full passes over the segments, the kernel parks
+/// for `park` per further pass instead of bare-yielding, so the livelock
+/// degrades into cheap bounded waiting. The `full_spins` counter keeps
+/// counting passes either way.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TubBackoff {
+    /// Full all-busy passes to spin (with `yield_now`) before parking.
+    /// `0` parks from the first all-busy pass.
+    pub full_spin_limit: u32,
+    /// How long to park per all-busy pass once the spin limit is reached.
+    pub park: Duration,
+}
+
+impl Default for TubBackoff {
+    fn default() -> Self {
+        TubBackoff {
+            full_spin_limit: 16,
+            park: Duration::from_micros(50),
+        }
+    }
 }
 
 /// The segmented Thread-to-Update Buffer.
@@ -54,18 +95,26 @@ pub struct Tub {
     /// Wakes the emulator when entries arrive.
     signal: Mutex<bool>,
     bell: Condvar,
+    backoff: TubBackoff,
     stats: TubStats,
 }
 
 impl Tub {
-    /// A TUB with `segments` independently lockable segments (min 1).
+    /// A TUB with `segments` independently lockable segments (min 1) and
+    /// the default all-busy [`TubBackoff`].
     pub fn new(segments: usize) -> Self {
+        Tub::with_backoff(segments, TubBackoff::default())
+    }
+
+    /// A TUB with an explicit all-busy backoff configuration.
+    pub fn with_backoff(segments: usize, backoff: TubBackoff) -> Self {
         let n = segments.max(1);
         Tub {
             segments: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
             next: AtomicUsize::new(0),
             signal: Mutex::new(false),
             bell: Condvar::new(),
+            backoff,
             stats: TubStats::default(),
         }
     }
@@ -81,12 +130,25 @@ impl Tub {
     }
 
     /// Publish a completed instance: lock the first available segment via
-    /// `try_lock`, spinning over segments until one is free.
+    /// `try_lock`, spinning over segments until one is free, then ring the
+    /// emulator's bell.
     pub fn push(&self, inst: Instance) {
+        self.push_with(inst, &NoFaults);
+    }
+
+    /// [`push`](Self::push) with a fault injector consulted at the *TUB
+    /// publish delay* and *dropped bell* sites. The runtime's kernels route
+    /// every completion through here; with [`NoFaults`] it is exactly
+    /// `push`.
+    pub fn push_with<F: FaultInjector>(&self, inst: Instance, injector: &F) {
+        if let Some(d) = injector.tub_publish_delay(inst) {
+            std::thread::sleep(d);
+        }
         self.stats.pushes.fetch_add(1, Ordering::Relaxed);
         let n = self.segments.len();
         let start = self.next.fetch_add(1, Ordering::Relaxed) % n;
         let mut offset = 0usize;
+        let mut all_busy_passes = 0u32;
         loop {
             let idx = (start + offset) % n;
             if let Some(mut seg) = self.segments[idx].try_lock() {
@@ -96,12 +158,23 @@ impl Tub {
             self.stats.busy_hits.fetch_add(1, Ordering::Relaxed);
             offset += 1;
             if offset.is_multiple_of(n) {
-                // every segment busy: yield before spinning again
+                // every segment busy: yield while under the spin limit,
+                // then degrade to a short park per pass (bounded livelock)
                 self.stats.full_spins.fetch_add(1, Ordering::Relaxed);
-                std::thread::yield_now();
+                all_busy_passes += 1;
+                if all_busy_passes > self.backoff.full_spin_limit {
+                    self.stats.parks.fetch_add(1, Ordering::Relaxed);
+                    std::thread::park_timeout(self.backoff.park);
+                } else {
+                    std::thread::yield_now();
+                }
             }
         }
-        // ring the emulator's bell
+        // ring the emulator's bell — unless the plan drops it (lost wakeup)
+        if injector.drop_bell(inst) {
+            self.stats.dropped_bells.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let mut s = self.signal.lock();
         *s = true;
         self.bell.notify_one();
@@ -231,6 +304,52 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(10));
         tub.kick();
         t.join().unwrap(); // must not take 10s; join succeeding is the test
+    }
+
+    #[test]
+    fn park_backoff_loses_nothing_under_contention() {
+        // a 1-segment TUB with an immediate-park backoff: pushes from 4
+        // threads must all land even though every all-busy pass parks
+        let tub = Arc::new(Tub::with_backoff(
+            1,
+            TubBackoff {
+                full_spin_limit: 0,
+                park: std::time::Duration::from_micros(20),
+            },
+        ));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let tub = Arc::clone(&tub);
+                s.spawn(move || {
+                    for c in 0..200 {
+                        tub.push(inst(t, c));
+                    }
+                });
+            }
+        });
+        let mut out = Vec::new();
+        assert_eq!(tub.drain_into(&mut out), 800);
+        let snap = tub.stats().snapshot();
+        assert_eq!(snap.pushes, 800);
+        // parking only ever follows a counted all-busy pass
+        assert!(snap.parks <= snap.full_spins);
+    }
+
+    #[test]
+    fn dropped_bell_suppresses_wakeup_but_not_data() {
+        use crate::faults::FaultPlan;
+        let tub = Tub::new(2);
+        let plan = FaultPlan::new(5).dropped_bell(1000);
+        let t0 = std::time::Instant::now();
+        tub.push_with(inst(1, 0), &plan);
+        // the bell was dropped: wait() must time out rather than return
+        // instantly on the signal flag
+        tub.wait(std::time::Duration::from_millis(5));
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(4));
+        // the entry itself is safe in its segment
+        let mut out = Vec::new();
+        assert_eq!(tub.drain_into(&mut out), 1);
+        assert_eq!(tub.stats().snapshot().dropped_bells, 1);
     }
 
     #[test]
