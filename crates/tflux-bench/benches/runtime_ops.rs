@@ -27,7 +27,7 @@ fn tsu_throughput(c: &mut Criterion) {
             &program,
             |b, program| {
                 b.iter(|| {
-                    let mut tsu = TsuState::new(program, 8, TsuConfig::default());
+                    let mut tsu = CoreTsu::new(program, 8, TsuConfig::default());
                     black_box(drain_sequential(&mut tsu).len())
                 })
             },

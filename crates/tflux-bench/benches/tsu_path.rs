@@ -1,0 +1,43 @@
+//! Criterion microbench of the TSU completion hot path: the serialized
+//! single-drainer model (the pre-split emulator performing every
+//! ready-count update) against the sharded direct-update path (kernel
+//! threads completing through per-kernel Synchronization Memory shards),
+//! at 1 vs N kernels. `cargo run -p tflux-bench --bin bench_tsu` runs the
+//! same scenario without criterion and writes `BENCH_tsu.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tflux_bench::tsu_path::{armed, complete_serialized, complete_sharded, pipeline};
+
+const ARITY: u32 = 4096;
+
+fn completion_path(c: &mut Criterion) {
+    let program = pipeline(ARITY);
+    let mut g = c.benchmark_group("tsu_completion_path");
+    g.throughput(Throughput::Elements(ARITY as u64));
+    g.sample_size(10);
+    for kernels in [1u32, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("serialized", kernels),
+            &kernels,
+            |b, &k| {
+                b.iter(|| {
+                    let (sm, work) = armed(&program, k);
+                    complete_serialized(&sm, &work);
+                    black_box(sm.completions())
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("sharded", kernels), &kernels, |b, &k| {
+            b.iter(|| {
+                let (sm, work) = armed(&program, k);
+                complete_sharded(&sm, &work, k);
+                black_box(sm.completions())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, completion_path);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Measure the TSU completion hot path and write `BENCH_tsu.json` at the
+//! workspace root: the serialized single-drainer baseline (the pre-split
+//! emulator model, one thread performing every ready-count update) vs the
+//! sharded direct-update path (one completing thread per kernel, updates
+//! landing on per-kernel Synchronization Memory shards).
+//!
+//! ```sh
+//! cargo run --release -p tflux-bench --bin bench_tsu
+//! ```
+
+use serde::Serialize;
+use tflux_bench::tsu_path::{measure, pipeline};
+
+const ARITY: u32 = 4096;
+const KERNELS: [u32; 4] = [1, 2, 4, 8];
+const WARMUP: usize = 2;
+const RUNS: usize = 7;
+
+#[derive(Serialize)]
+struct Row {
+    path: &'static str,
+    kernels: u32,
+    ns_total: u64,
+    ns_per_completion: f64,
+    completions_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct Speedup {
+    kernels: u32,
+    sharded_over_serialized: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    regenerate: &'static str,
+    host_threads: usize,
+    arity: u32,
+    rows: Vec<Row>,
+    speedups: Vec<Speedup>,
+}
+
+/// Best-of-`RUNS` after warmup: the completion path is short enough that
+/// the minimum is the least noisy central estimate.
+fn best(program: &tflux_core::DdmProgram, kernels: u32, sharded: bool) -> u64 {
+    for _ in 0..WARMUP {
+        measure(program, kernels, sharded);
+    }
+    (0..RUNS)
+        .map(|_| measure(program, kernels, sharded))
+        .min()
+        .unwrap()
+}
+
+fn row(path: &'static str, kernels: u32, ns_total: u64) -> Row {
+    let n = ARITY as f64;
+    Row {
+        path,
+        kernels,
+        ns_total,
+        ns_per_completion: ns_total as f64 / n,
+        completions_per_sec: n / (ns_total as f64 / 1e9),
+    }
+}
+
+fn main() {
+    let program = pipeline(ARITY);
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for &k in &KERNELS {
+        let serial = best(&program, k, false);
+        rows.push(row("serialized_single_drainer", k, serial));
+        if k > 1 {
+            let sharded = best(&program, k, true);
+            rows.push(row("sharded_direct_update", k, sharded));
+            speedups.push(Speedup {
+                kernels: k,
+                sharded_over_serialized: serial as f64 / sharded as f64,
+            });
+        }
+    }
+    let report = Report {
+        bench: "tsu_completion_path",
+        regenerate: "cargo run --release -p tflux-bench --bin bench_tsu",
+        host_threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        arity: ARITY,
+        rows,
+        speedups,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tsu.json");
+    std::fs::write(path, json + "\n").expect("write BENCH_tsu.json");
+    println!("wrote {path}");
+    for s in std::fs::read_to_string(path).unwrap().lines() {
+        println!("{s}");
+    }
+}

@@ -11,6 +11,7 @@
 
 pub mod figures;
 pub mod render;
+pub mod tsu_path;
 
 pub use figures::{
     calibrate_soft_overhead, fig5, fig5_x86, fig6, fig7, qsort_tree_depth, table1_text,

@@ -1,0 +1,124 @@
+//! The TSU fetch/complete hot path, isolated for measurement.
+//!
+//! Before the TSU decomposition, every App completion funneled through
+//! the single TSU-owner thread (the TFluxSoft emulator): kernels published
+//! instance ids and one thread performed all ready-count updates. After
+//! the split, kernels call [`SyncMemory::complete`] themselves and the
+//! updates land on per-kernel shards. This module builds the two paths on
+//! the *same* `SyncMemory` so the criterion bench (`benches/tsu_path.rs`)
+//! and the `bench_tsu` binary (which writes `BENCH_tsu.json`) compare
+//! exactly the completion work, with no body execution or queue noise.
+
+use std::time::Instant;
+use tflux_core::prelude::*;
+use tflux_core::tsu::SyncMemory;
+
+/// A two-stage `OneToOne` pipeline of `arity` instances per stage.
+///
+/// Every `produce[i]` completion decrements `consume[i]`'s ready count
+/// through the shard of `consume[i]`'s owning kernel, so with the range
+/// partition the update traffic of different kernels lands on different
+/// shards — the case the sharding is designed for. The final reduction
+/// into `sink` is *not* part of the measured set; it is the funnel case
+/// the per-shard `contended` counter diagnoses at run time.
+pub fn pipeline(arity: u32) -> DdmProgram {
+    let mut b = ProgramBuilder::new();
+    let blk = b.block();
+    let produce = b.thread(blk, ThreadSpec::new("produce", arity));
+    let consume = b.thread(blk, ThreadSpec::new("consume", arity));
+    let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+    b.arc(produce, consume, ArcMapping::OneToOne).unwrap();
+    b.arc(consume, sink, ArcMapping::Reduction).unwrap();
+    b.build().unwrap()
+}
+
+/// A Synchronization Memory with the block loaded and every first-stage
+/// instance dispatched; returns the instances whose completions are the
+/// measured work.
+pub fn armed(program: &DdmProgram, kernels: u32) -> (SyncMemory<'_>, Vec<Instance>) {
+    let sm = SyncMemory::new(program, kernels, 0);
+    let mut ready = Vec::new();
+    let inlet = sm.armed_inlet();
+    sm.dispatch(inlet);
+    sm.complete(inlet, &mut ready).expect("inlet completion");
+    // the block is loaded; `ready` holds the zero-ready-count first stage
+    let work = ready.clone();
+    for &i in &work {
+        sm.dispatch(i);
+    }
+    (sm, work)
+}
+
+/// Complete every instance from one thread — the pre-split model where a
+/// single TSU owner performs all ready-count updates.
+pub fn complete_serialized(sm: &SyncMemory<'_>, work: &[Instance]) {
+    let mut out = Vec::new();
+    for &i in work {
+        sm.complete(i, &mut out).expect("serialized completion");
+    }
+}
+
+/// Complete the instances from `kernels` threads, each completing the
+/// instances it owns — the sharded direct-update path of the threaded
+/// runtime.
+pub fn complete_sharded(sm: &SyncMemory<'_>, work: &[Instance], kernels: u32) {
+    let gm = sm.graph();
+    std::thread::scope(|s| {
+        for k in 0..kernels {
+            let mine: Vec<Instance> = work
+                .iter()
+                .copied()
+                .filter(|&i| gm.owner_of(i) == KernelId(k))
+                .collect();
+            s.spawn(move || {
+                let mut out = Vec::new();
+                for i in mine {
+                    sm.complete(i, &mut out).expect("sharded completion");
+                }
+            });
+        }
+    });
+}
+
+/// Nanoseconds to complete all first-stage instances of `program`, setup
+/// excluded. `sharded = false` runs the single-drainer baseline.
+pub fn measure(program: &DdmProgram, kernels: u32, sharded: bool) -> u64 {
+    let (sm, work) = armed(program, kernels);
+    let t = Instant::now();
+    if sharded {
+        complete_sharded(&sm, &work, kernels);
+    } else {
+        complete_serialized(&sm, &work);
+    }
+    let ns = t.elapsed().as_nanos() as u64;
+    assert_eq!(sm.completions() as usize, work.len() + 1, "lost completions");
+    ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_paths_complete_every_instance() {
+        let p = pipeline(64);
+        let (sm, work) = armed(&p, 4);
+        assert_eq!(work.len(), 64);
+        complete_serialized(&sm, &work);
+        assert_eq!(sm.completions(), 65); // inlet + 64
+
+        let (sm, work) = armed(&p, 4);
+        complete_sharded(&sm, &work, 4);
+        assert_eq!(sm.completions(), 65);
+        // every update went through a shard
+        let updates: u64 = sm.shard_stats().iter().map(|s| s.rc_updates).sum();
+        assert_eq!(updates, sm.stats().rc_updates);
+    }
+
+    #[test]
+    fn measure_reports_nonzero_time() {
+        let p = pipeline(128);
+        assert!(measure(&p, 1, false) > 0);
+        assert!(measure(&p, 2, true) > 0);
+    }
+}

@@ -18,10 +18,9 @@
 use crate::config::CellConfig;
 use crate::report::CellReport;
 use crate::work::{CellWork, CellWorkSource};
-use std::collections::VecDeque;
-use tflux_core::ids::Instance;
+use tflux_core::ids::{Instance, KernelId};
 use tflux_core::program::DdmProgram;
-use tflux_core::tsu::{drain_sequential, TsuConfig, TsuState};
+use tflux_core::tsu::{drain_sequential, CoreTsu, FetchResult, TsuConfig};
 use tflux_sim::event::EventQueue;
 
 /// Errors of a TFluxCell run.
@@ -86,7 +85,6 @@ struct Spe {
     /// Compute cycles of the previously executed instance (double-buffer
     /// overlap budget).
     prev_compute: u64,
-    pending: VecDeque<Instance>,
     busy: u64,
     dma: u64,
     idle: u64,
@@ -123,14 +121,13 @@ impl CellMachine {
         source: &dyn CellWorkSource,
     ) -> Result<CellReport, CellError> {
         let spes = self.cfg.spes.max(1);
-        let mut tsu = TsuState::new(program, spes, TsuConfig::default());
+        let mut tsu = CoreTsu::new(program, spes, TsuConfig::default());
         let mut spelist: Vec<Spe> = (0..spes)
             .map(|_| Spe {
                 waiting_since: Some(0),
                 dispatched: false,
                 cur: None,
                 prev_compute: 0,
-                pending: VecDeque::new(),
                 busy: 0,
                 dma: 0,
                 idle: 0,
@@ -147,12 +144,13 @@ impl CellMachine {
         let mut peak_ls = 0u64;
         let mut ready_buf: Vec<Instance> = Vec::new();
 
-        // Arm: the first block's inlet goes out over kernel 0's mailbox.
-        tsu.drain_ready(&mut ready_buf);
-        for inst in ready_buf.drain(..) {
-            let k = program.kernel_of(inst, spes);
-            events.push(self.cfg.mailbox_lat, Ev::Mail(k.0, inst));
-            spelist[k.idx()].dispatched = true;
+        // Arm: the first block's inlet, queued inside the TSU, goes out
+        // over the mailbox of the first SPE whose fetch reaches it.
+        for k in 0..spes {
+            if let FetchResult::Thread(inst) = tsu.fetch_ready(KernelId(k)) {
+                events.push(self.cfg.mailbox_lat, Ev::Mail(k, inst));
+                spelist[k as usize].dispatched = true;
+            }
         }
 
         while let Some((t, ev)) = events.pop() {
@@ -226,14 +224,8 @@ impl CellMachine {
                     ppe_busy += self.cfg.poll_scan + self.cfg.ppe_op;
                     commands += 1;
 
-                    ready_buf.clear();
-                    tsu.complete_into(inst, &mut ready_buf)
+                    tsu.complete_queued(inst, &mut ready_buf)
                         .map_err(CellError::Protocol)?;
-                    for &r in ready_buf.iter() {
-                        tsu.dispatch(r);
-                        let k = program.kernel_of(r, spes).0;
-                        spelist[k as usize].pending.push_back(r);
-                    }
 
                     // this SPE is now waiting on its mailbox
                     spelist[spe as usize].waiting_since = Some(t);
@@ -245,26 +237,17 @@ impl CellMachine {
                             }
                         }
                     } else {
-                        // serve every waiting SPE: own queue first, then
-                        // steal from the longest other queue
-                        for k in 0..spes as usize {
-                            if spelist[k].waiting_since.is_none()
-                                || spelist[k].done
-                                || spelist[k].dispatched
-                            {
+                        // serve every waiting SPE out of the TSU queue
+                        // units: its own queue first, then (LocalityFirst
+                        // policy) a steal from the longest other queue
+                        for k in 0..spes {
+                            let s = &spelist[k as usize];
+                            if s.waiting_since.is_none() || s.done || s.dispatched {
                                 continue;
                             }
-                            let next = if let Some(i) = spelist[k].pending.pop_front() {
-                                Some(i)
-                            } else {
-                                let victim = (0..spes as usize)
-                                    .filter(|&v| v != k && !spelist[v].pending.is_empty())
-                                    .max_by_key(|&v| spelist[v].pending.len());
-                                victim.and_then(|v| spelist[v].pending.pop_front())
-                            };
-                            if let Some(i) = next {
-                                events.push(done + self.cfg.mailbox_lat, Ev::Mail(k as u32, i));
-                                spelist[k].dispatched = true;
+                            if let FetchResult::Thread(i) = tsu.fetch_ready(KernelId(k)) {
+                                events.push(done + self.cfg.mailbox_lat, Ev::Mail(k, i));
+                                spelist[k as usize].dispatched = true;
                             }
                         }
                     }
@@ -294,7 +277,7 @@ impl CellMachine {
             spe_dma: spelist.iter().map(|s| s.dma).collect(),
             spe_idle: spelist.iter().map(|s| s.idle).collect(),
             ppe_busy,
-            tsu: *tsu.stats(),
+            tsu: tsu.stats(),
             commands,
             cmd_stalls: 0,
             instances,
@@ -309,7 +292,7 @@ impl CellMachine {
         program: &DdmProgram,
         source: &dyn CellWorkSource,
     ) -> Result<CellReport, CellError> {
-        let mut tsu = TsuState::new(program, 1, TsuConfig::default());
+        let mut tsu = CoreTsu::new(program, 1, TsuConfig::default());
         let order = drain_sequential(&mut tsu);
         let mut now = 0u64;
         let mut busy = 0u64;
@@ -333,7 +316,7 @@ impl CellMachine {
             spe_dma: vec![dma],
             spe_idle: vec![0],
             ppe_busy: 0,
-            tsu: *tsu.stats(),
+            tsu: tsu.stats(),
             commands: 0,
             cmd_stalls: 0,
             instances,

@@ -12,11 +12,15 @@
 //!   reduction, merge trees, …).
 //! * **DDM blocks** — subsets of the program small enough to fit in the TSU,
 //!   chained by implicit *Inlet* and *Outlet* DThreads.
-//! * **The TSU state machine** ([`tsu::TsuState`]) — ready counts, consumer
-//!   lists, post-processing, and ready-thread selection. Both the software
-//!   TSU emulator (`tflux-runtime`) and the simulated hardware TSU group
-//!   (`tflux-sim`) wrap this single state machine, which is what makes the
-//!   platform implementations directly comparable.
+//! * **The TSU units** ([`tsu`]) — the paper's §3.3 decomposition:
+//!   [`tsu::GraphMemory`] (immutable program view), [`tsu::SyncMemory`]
+//!   (sharded ready counts + post-processing) and per-kernel
+//!   [`tsu::QueueUnit`]s, composed into [`tsu::CoreTsu`] for single-owner
+//!   drivers. All three platforms (the software TSU of `tflux-runtime`,
+//!   the simulated hardware TSU of `tflux-sim`, the Cell model of
+//!   `tflux-cell`) drive the same units through the [`tsu::TsuBackend`]
+//!   trait, which is what makes the platform implementations directly
+//!   comparable.
 //!
 //! The crate is deliberately free of threads, I/O and unsafe code: it is the
 //! model, not a platform. Platforms live in `tflux-runtime`, `tflux-sim`
@@ -40,8 +44,8 @@
 //! b.thread(blk1, ThreadSpec::scalar("done"));
 //! let program = b.build().unwrap();
 //!
-//! // Drive the TSU state machine to completion on 2 virtual kernels.
-//! let mut tsu = TsuState::new(&program, 2, TsuConfig::default());
+//! // Drive the TSU units to completion on 2 virtual kernels.
+//! let mut tsu = CoreTsu::new(&program, 2, TsuConfig::default());
 //! let order = tflux_core::tsu::drain_sequential(&mut tsu);
 //! assert_eq!(order.len(), program.total_instances());
 //! ```
@@ -69,7 +73,10 @@ pub use mapping::ArcMapping;
 pub use policy::SchedulingPolicy;
 pub use program::{DdmProgram, ProgramBuilder};
 pub use thread::{Affinity, ThreadKind, ThreadSpec};
-pub use tsu::{FetchResult, TsuConfig, TsuState, WaitingInstance};
+pub use tsu::{
+    CoreTsu, FetchResult, GraphMemory, QueueUnit, ShardStats, SyncMemory, TsuBackend, TsuConfig,
+    TsuStats, WaitingInstance,
+};
 
 /// Convenient glob import for users of the model.
 pub mod prelude {
@@ -80,5 +87,5 @@ pub mod prelude {
     pub use crate::policy::SchedulingPolicy;
     pub use crate::program::{DdmProgram, ProgramBuilder};
     pub use crate::thread::{Affinity, ThreadKind, ThreadSpec};
-    pub use crate::tsu::{FetchResult, TsuConfig, TsuState};
+    pub use crate::tsu::{CoreTsu, FetchResult, TsuBackend, TsuConfig};
 }

@@ -216,7 +216,7 @@ mod tests {
     fn split_program_executes_under_the_small_tsu() {
         let p = layered(&[8, 8, 8]);
         // fails unsplit...
-        let mut tsu = TsuState::new(
+        let mut tsu = CoreTsu::new(
             &p,
             2,
             TsuConfig {
@@ -228,11 +228,11 @@ mod tests {
             FetchResult::Thread(i) => i,
             other => panic!("{other:?}"),
         };
-        assert!(tsu.complete(inlet).is_err());
+        assert!(tsu.complete_queued(inlet, &mut Vec::new()).is_err());
 
         // ...and drains completely after splitting
         let (q, _) = split_for_capacity(&p, 12).unwrap();
-        let mut tsu = TsuState::new(
+        let mut tsu = CoreTsu::new(
             &q,
             2,
             TsuConfig {
@@ -248,7 +248,7 @@ mod tests {
     fn execution_order_constraints_survive_the_split() {
         let p = layered(&[6, 6, 6]);
         let (q, idmap) = split_for_capacity(&p, 8).unwrap();
-        let mut tsu = TsuState::new(&q, 3, TsuConfig::default());
+        let mut tsu = CoreTsu::new(&q, 3, TsuConfig::default());
         let order = drain_sequential(&mut tsu);
         let pos = |i: &Instance| order.iter().position(|x| x == i).unwrap();
         // layer 0 before layer 1 before layer 2, instance-wise

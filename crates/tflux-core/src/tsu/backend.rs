@@ -1,0 +1,106 @@
+//! The backend contract every platform TSU implements, and the counter
+//! types they all report.
+//!
+//! The portability claim of the paper is that *one* TSU semantics backs
+//! three platforms. [`TsuBackend`] is that claim as a trait: the threaded
+//! runtime's shared TSU, the simulated hardware TSU device and the Cell
+//! machine all schedule through these five operations, so the
+//! cross-backend equivalence suite can drive any of them interchangeably.
+
+use crate::error::CoreError;
+use crate::ids::{BlockId, Instance, KernelId};
+use crate::policy::SchedulingPolicy;
+use serde::{Deserialize, Serialize};
+
+use super::queue::FetchResult;
+
+/// Configuration of a TSU instance.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, Default)]
+pub struct TsuConfig {
+    /// Maximum instances resident at once (`0` = unlimited). A block whose
+    /// residency exceeds this fails at load, mirroring the paper's rule that
+    /// the block size is bounded by the TSU size.
+    pub capacity: usize,
+    /// Ready-thread selection policy.
+    pub policy: SchedulingPolicy,
+}
+
+/// Counters a TSU keeps about its own operation.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct TsuStats {
+    /// Successful fetches (a DThread was handed to a kernel).
+    pub fetches: u64,
+    /// Fetch attempts that found no ready DThread.
+    pub waits: u64,
+    /// DThread completions processed.
+    pub completions: u64,
+    /// Ready-count decrements performed during post-processing.
+    pub rc_updates: u64,
+    /// Fetches satisfied from another kernel's queue.
+    pub steals: u64,
+    /// DDM blocks loaded.
+    pub blocks_loaded: u64,
+    /// Peak number of resident instances.
+    pub max_resident: usize,
+    /// Synchronization Memory shard-lock acquisitions that found the lock
+    /// held by another kernel (0 on the single-owner backends).
+    #[serde(default)]
+    pub sm_contended: u64,
+}
+
+/// Per-shard Synchronization Memory counters, reported so the effect of
+/// sharding is observable: evenly spread `rc_updates` with low `contended`
+/// means completions rarely collided on a lock.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Ready-count decrements applied to this shard.
+    pub rc_updates: u64,
+    /// Lock acquisitions on this shard that had to block behind another
+    /// kernel's update.
+    pub contended: u64,
+}
+
+/// A resident instance still waiting on producer completions — one row of
+/// the stall-forensics view exposed by [`TsuBackend::waiting_instances`].
+/// Platforms embed these in their stall reports so a watchdog abort names
+/// the stuck instances instead of discarding the Synchronization Memory
+/// contents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WaitingInstance {
+    /// The instance whose ready count has not reached zero.
+    pub instance: Instance,
+    /// Producer completions still needed before it becomes ready.
+    pub remaining: u32,
+}
+
+/// The operations every platform TSU supports.
+///
+/// The contract mirrors §3.3 of the paper: kernels *fetch* ready DThreads
+/// and report *completions*; completions run the Post-Processing Phase and
+/// surface newly-ready instances; Inlet/Outlet completions *load* and
+/// unload DDM blocks. `ready` buffers are cleared by the callee, so callers
+/// can reuse one scratch vector across calls.
+pub trait TsuBackend {
+    /// Load a DDM block: make its instances resident and append the
+    /// initially-ready ones (ready count 0) to `ready`. Fails with
+    /// [`CoreError::BlockTooLarge`] if the block exceeds the configured
+    /// capacity.
+    fn load_block(&mut self, block: BlockId, ready: &mut Vec<Instance>) -> Result<(), CoreError>;
+
+    /// Ask for the next DThread on behalf of `kernel`.
+    fn fetch(&mut self, kernel: KernelId) -> FetchResult;
+
+    /// Record completion of `inst`: run the Post-Processing Phase and
+    /// report the newly-ready instances in `ready` (cleared first). The
+    /// backend also schedules them onto its own queues; `ready` lets device
+    /// models inspect *who* became ready — e.g. to charge cross-shard
+    /// update messages.
+    fn complete(&mut self, inst: Instance, ready: &mut Vec<Instance>) -> Result<(), CoreError>;
+
+    /// Snapshot of the operation counters accumulated so far.
+    fn drain_stats(&mut self) -> TsuStats;
+
+    /// Stall forensics: every resident instance whose ready count is still
+    /// above zero, ordered thread-major, context-minor.
+    fn waiting_instances(&self) -> Vec<WaitingInstance>;
+}

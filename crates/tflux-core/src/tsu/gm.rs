@@ -1,0 +1,119 @@
+//! Graph Memory: the read-only program view inside the TSU.
+//!
+//! §3.3/Fig. 4 of the paper draw the TSU as separate units; the Graph
+//! Memory holds what never changes during a run — the DThread templates,
+//! their consumer lists, the DDM-block structure and the thread→kernel
+//! placement function. Because it is immutable it is freely shareable by
+//! `&` (and is `Copy`): every kernel thread can resolve consumer lists and
+//! instance ownership without any synchronization.
+
+use crate::ids::{BlockId, Instance, KernelId, ThreadId};
+use crate::program::{Arc, DdmProgram};
+use crate::thread::ThreadKind;
+
+/// The immutable program view shared by every TSU unit.
+///
+/// A `GraphMemory` is a cheap `Copy` handle: it borrows the program and
+/// carries the kernel count, which together determine the *owning kernel*
+/// of every instance ([`owner_of`](Self::owner_of)) — the key the
+/// Synchronization Memory shards by and the queue units index by.
+#[derive(Clone, Copy)]
+pub struct GraphMemory<'p> {
+    program: &'p DdmProgram,
+    kernels: u32,
+}
+
+impl<'p> GraphMemory<'p> {
+    /// View `program` as executed by `kernels` kernels.
+    pub fn new(program: &'p DdmProgram, kernels: u32) -> Self {
+        assert!(kernels > 0, "need at least one kernel");
+        GraphMemory { program, kernels }
+    }
+
+    /// The underlying program.
+    #[inline]
+    pub fn program(&self) -> &'p DdmProgram {
+        self.program
+    }
+
+    /// Number of kernels the placement function maps onto.
+    #[inline]
+    pub fn kernels(&self) -> u32 {
+        self.kernels
+    }
+
+    /// The kernel an instance is placed on (its affinity resolved against
+    /// the kernel count). This is both the locality hint for queueing and
+    /// the Synchronization Memory shard key.
+    #[inline]
+    pub fn owner_of(&self, i: Instance) -> KernelId {
+        self.program.kernel_of(i, self.kernels)
+    }
+
+    /// The kind (App / Inlet / Outlet) of a thread.
+    #[inline]
+    pub fn kind(&self, t: ThreadId) -> ThreadKind {
+        self.program.thread(t).kind
+    }
+
+    /// The consumer list of a thread — the Graph Memory rows walked during
+    /// the Post-Processing Phase.
+    #[inline]
+    pub fn consumers(&self, t: ThreadId) -> &'p [Arc] {
+        self.program.consumers(t)
+    }
+
+    /// The block a thread belongs to.
+    #[inline]
+    pub fn block_of(&self, t: ThreadId) -> BlockId {
+        self.program.block_of(t)
+    }
+
+    /// Residency cost of a block in Synchronization Memory entries.
+    #[inline]
+    pub fn block_instances(&self, b: BlockId) -> usize {
+        self.program.block_instances(b)
+    }
+
+    /// The inlet instance of the first block — what arms a fresh TSU.
+    #[inline]
+    pub fn first_inlet(&self) -> Instance {
+        Instance::scalar(self.program.blocks()[0].inlet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::ArcMapping;
+    use crate::program::ProgramBuilder;
+    use crate::thread::{Affinity, ThreadSpec};
+
+    #[test]
+    fn owner_respects_fixed_affinity() {
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let t = b.thread(
+            blk,
+            ThreadSpec::new("w", 4).with_affinity(Affinity::Fixed(KernelId(2))),
+        );
+        let p = b.build().unwrap();
+        let gm = GraphMemory::new(&p, 4);
+        for c in 0..4 {
+            assert_eq!(gm.owner_of(Instance::new(t, crate::ids::Context(c))), KernelId(2));
+        }
+    }
+
+    #[test]
+    fn first_inlet_is_block_zero_inlet() {
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let src = b.thread(blk, ThreadSpec::scalar("src"));
+        let snk = b.thread(blk, ThreadSpec::scalar("snk"));
+        b.arc(src, snk, ArcMapping::All).unwrap();
+        let p = b.build().unwrap();
+        let gm = GraphMemory::new(&p, 2);
+        assert_eq!(gm.first_inlet(), Instance::scalar(p.blocks()[0].inlet));
+        assert_eq!(gm.kind(gm.first_inlet().thread), ThreadKind::Inlet);
+    }
+}

@@ -1,0 +1,544 @@
+//! The Thread Synchronization Unit, decomposed into the paper's units.
+//!
+//! §3.3/Fig. 4 of the paper describe the TSU as distinct components, and
+//! this module mirrors that structure one type per unit:
+//!
+//! * [`GraphMemory`] — the immutable program view: DThread templates,
+//!   consumer lists, block structure, instance placement. Shareable by `&`.
+//! * [`SyncMemory`] — per-instance *Ready Counts* and the Post-Processing
+//!   Phase, sharded by the owning kernel of each consumer instance so
+//!   concurrent completions on different kernels never contend.
+//! * [`QueueUnit`] — one FIFO of ready instances per kernel, speaking the
+//!   shared [`FetchResult`] vocabulary.
+//!
+//! [`CoreTsu`] composes the three into the single-owner TSU used by the
+//! deterministic platforms and the reference executor
+//! ([`drain_sequential`]); the threaded runtime composes the same units
+//! with concurrent queues instead. Every platform drives its composition
+//! through the [`TsuBackend`] trait, which is what keeps TFluxSoft,
+//! TFluxHard and TFluxCell directly comparable.
+
+mod backend;
+mod gm;
+mod queue;
+mod sync;
+
+pub use backend::{ShardStats, TsuBackend, TsuConfig, TsuStats, WaitingInstance};
+pub use gm::GraphMemory;
+pub use queue::{FetchResult, QueueUnit};
+pub use sync::SyncMemory;
+
+use crate::error::CoreError;
+use crate::ids::{BlockId, Instance, KernelId};
+use crate::policy::SchedulingPolicy;
+use crate::program::DdmProgram;
+
+/// The single-owner TSU: Graph Memory + Synchronization Memory + one
+/// [`QueueUnit`] per kernel, driven by one caller.
+///
+/// This is the composition used by the simulated hardware TSU
+/// (`tflux-sim`), the Cell machine (`tflux-cell`) and the sequential
+/// reference executor. The threaded runtime builds its own composition of
+/// the same units around concurrent queues.
+pub struct CoreTsu<'p> {
+    gm: GraphMemory<'p>,
+    sm: SyncMemory<'p>,
+    queues: Vec<QueueUnit>,
+    policy: SchedulingPolicy,
+    waits: u64,
+    steals: u64,
+}
+
+impl<'p> CoreTsu<'p> {
+    /// Create a TSU for `program` serving `kernels` kernels and arm it:
+    /// the inlet of the first block is made ready.
+    pub fn new(program: &'p DdmProgram, kernels: u32, config: TsuConfig) -> Self {
+        let gm = GraphMemory::new(program, kernels);
+        let sm = SyncMemory::new(program, kernels, config.capacity);
+        let nqueues = match config.policy {
+            SchedulingPolicy::GlobalFifo => 1,
+            _ => kernels as usize,
+        };
+        let mut tsu = CoreTsu {
+            gm,
+            sm,
+            queues: (0..nqueues).map(|_| QueueUnit::new()).collect(),
+            policy: config.policy,
+            waits: 0,
+            steals: 0,
+        };
+        let inlet = tsu.sm.armed_inlet();
+        tsu.push_ready(inlet);
+        tsu
+    }
+
+    /// The program this TSU executes.
+    pub fn program(&self) -> &'p DdmProgram {
+        self.gm.program()
+    }
+
+    /// Number of kernels served.
+    pub fn kernels(&self) -> u32 {
+        self.gm.kernels()
+    }
+
+    /// Whether the last block's outlet has completed.
+    pub fn finished(&self) -> bool {
+        self.sm.finished()
+    }
+
+    /// The currently loaded block, if any.
+    pub fn loaded_block(&self) -> Option<BlockId> {
+        self.sm.loaded_block()
+    }
+
+    /// Total ready instances across all queue units.
+    pub fn ready_len(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Operation counters: the Synchronization Memory's, plus the waits
+    /// and steals observed by this scheduler.
+    pub fn stats(&self) -> TsuStats {
+        let mut s = self.sm.stats();
+        s.waits = self.waits;
+        s.steals = self.steals;
+        s
+    }
+
+    /// Stall forensics: resident instances still waiting on producers.
+    pub fn waiting_instances(&self) -> Vec<WaitingInstance> {
+        self.sm.waiting_instances()
+    }
+
+    /// Stall forensics: instances dispatched but not yet completed.
+    pub fn running_instances(&self) -> Vec<Instance> {
+        self.sm.running_instances()
+    }
+
+    fn queue_of(&self, i: Instance) -> usize {
+        match self.policy {
+            SchedulingPolicy::GlobalFifo => 0,
+            _ => self.gm.owner_of(i).idx(),
+        }
+    }
+
+    fn push_ready(&mut self, i: Instance) {
+        let q = self.queue_of(i);
+        self.queues[q].push(i);
+    }
+
+    /// Ask for the next DThread on behalf of `kernel`.
+    pub fn fetch_ready(&mut self, kernel: KernelId) -> FetchResult {
+        if self.sm.finished() {
+            return FetchResult::Exit;
+        }
+        let own = match self.policy {
+            SchedulingPolicy::GlobalFifo => 0,
+            _ => kernel.idx().min(self.queues.len() - 1),
+        };
+        if let Some(i) = self.queues[own].pop() {
+            self.sm.dispatch(i);
+            return FetchResult::Thread(i);
+        }
+        if let SchedulingPolicy::LocalityFirst { steal: true } = self.policy {
+            // steal from the most loaded queue unit
+            if let Some(victim) = (0..self.queues.len())
+                .filter(|&q| q != own && !self.queues[q].is_empty())
+                .max_by_key(|&q| self.queues[q].len())
+            {
+                let i = self.queues[victim].pop().expect("non-empty victim");
+                self.steals += 1;
+                self.sm.dispatch(i);
+                return FetchResult::Thread(i);
+            }
+        }
+        self.waits += 1;
+        FetchResult::Wait
+    }
+
+    /// Record completion of `inst`; newly-ready instances go onto the
+    /// internal queue units *and* are reported in `out` (cleared first),
+    /// so device models can inspect who became ready — e.g. to charge
+    /// cross-TSU-shard update messages.
+    pub fn complete_queued(
+        &mut self,
+        inst: Instance,
+        out: &mut Vec<Instance>,
+    ) -> Result<(), CoreError> {
+        self.sm.complete(inst, out)?;
+        for idx in 0..out.len() {
+            self.push_ready(out[idx]);
+        }
+        Ok(())
+    }
+}
+
+impl TsuBackend for CoreTsu<'_> {
+    fn load_block(&mut self, block: BlockId, ready: &mut Vec<Instance>) -> Result<(), CoreError> {
+        ready.clear();
+        self.sm.load_block(block, ready)?;
+        for idx in 0..ready.len() {
+            self.push_ready(ready[idx]);
+        }
+        Ok(())
+    }
+
+    fn fetch(&mut self, kernel: KernelId) -> FetchResult {
+        self.fetch_ready(kernel)
+    }
+
+    fn complete(&mut self, inst: Instance, ready: &mut Vec<Instance>) -> Result<(), CoreError> {
+        self.complete_queued(inst, ready)
+    }
+
+    fn drain_stats(&mut self) -> TsuStats {
+        self.stats()
+    }
+
+    fn waiting_instances(&self) -> Vec<WaitingInstance> {
+        self.sm.waiting_instances()
+    }
+}
+
+/// Drive a TSU to completion single-threadedly, round-robining fetches over
+/// the kernels; returns the execution order. Panics on protocol errors.
+///
+/// This is the reference executor used by tests and by the graph-analysis
+/// tooling; platforms implement their own drivers.
+pub fn drain_sequential(tsu: &mut CoreTsu<'_>) -> Vec<Instance> {
+    let mut order = Vec::new();
+    let mut scratch = Vec::new();
+    let kernels = tsu.kernels();
+    let mut k = 0u32;
+    let mut idle_rounds = 0u32;
+    loop {
+        match tsu.fetch_ready(KernelId(k)) {
+            FetchResult::Thread(i) => {
+                idle_rounds = 0;
+                order.push(i);
+                tsu.complete_queued(i, &mut scratch).expect("protocol error");
+            }
+            FetchResult::Wait => {
+                idle_rounds += 1;
+                assert!(
+                    idle_rounds <= kernels,
+                    "deadlock: no kernel can make progress"
+                );
+            }
+            FetchResult::Exit => return order,
+        }
+        k = (k + 1) % kernels;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Context;
+    use crate::mapping::ArcMapping;
+    use crate::program::ProgramBuilder;
+    use crate::thread::ThreadSpec;
+    use std::collections::HashSet;
+
+    fn fork_join(arity: u32, blocks: u32) -> DdmProgram {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..blocks {
+            let blk = b.block();
+            let src = b.thread(blk, ThreadSpec::scalar("src"));
+            let work = b.thread(blk, ThreadSpec::new("work", arity));
+            let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+            b.arc(src, work, ArcMapping::Broadcast).unwrap();
+            b.arc(work, sink, ArcMapping::Reduction).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn complete(tsu: &mut CoreTsu<'_>, i: Instance) -> Result<(), CoreError> {
+        let mut out = Vec::new();
+        tsu.complete_queued(i, &mut out)
+    }
+
+    #[test]
+    fn drains_every_instance_exactly_once() {
+        let p = fork_join(16, 3);
+        let mut tsu = CoreTsu::new(&p, 4, TsuConfig::default());
+        let order = drain_sequential(&mut tsu);
+        assert_eq!(order.len(), p.total_instances());
+        let set: HashSet<_> = order.iter().collect();
+        assert_eq!(set.len(), order.len(), "duplicate execution");
+        assert!(tsu.finished());
+    }
+
+    #[test]
+    fn respects_producer_consumer_order() {
+        let p = fork_join(8, 2);
+        let mut tsu = CoreTsu::new(&p, 3, TsuConfig::default());
+        let order = drain_sequential(&mut tsu);
+        let pos = |i: &Instance| order.iter().position(|x| x == i).unwrap();
+        for blk in p.blocks() {
+            let src = blk.threads[0];
+            let work = blk.threads[1];
+            let sink = blk.threads[2];
+            for c in 0..8 {
+                let w = Instance::new(work, Context(c));
+                assert!(pos(&Instance::scalar(src)) < pos(&w));
+                assert!(pos(&w) < pos(&Instance::scalar(sink)));
+            }
+            // inlet first in block, outlet last
+            let inlet = pos(&Instance::scalar(blk.inlet));
+            let outlet = pos(&Instance::scalar(blk.outlet));
+            for &t in &blk.threads {
+                for c in 0..p.thread(t).arity {
+                    let i = pos(&Instance::new(t, Context(c)));
+                    assert!(inlet < i && i < outlet);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_execute_in_order() {
+        let p = fork_join(4, 3);
+        let mut tsu = CoreTsu::new(&p, 2, TsuConfig::default());
+        let order = drain_sequential(&mut tsu);
+        let block_seq: Vec<u32> = order.iter().map(|i| p.block_of(i.thread).0).collect();
+        let mut sorted = block_seq.clone();
+        sorted.sort_unstable();
+        assert_eq!(block_seq, sorted, "block interleaving detected");
+    }
+
+    #[test]
+    fn capacity_enforced_at_block_load() {
+        let p = fork_join(32, 1); // block residency = 32 + 2 + 1 outlet
+        let mut tsu = CoreTsu::new(
+            &p,
+            2,
+            TsuConfig {
+                capacity: 8,
+                policy: SchedulingPolicy::default(),
+            },
+        );
+        // inlet fits; its completion tries to load the block and must fail
+        let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)) else {
+            panic!("inlet not ready");
+        };
+        let err = complete(&mut tsu, inlet).unwrap_err();
+        assert!(matches!(err, CoreError::BlockTooLarge { .. }));
+    }
+
+    #[test]
+    fn double_completion_rejected() {
+        let p = fork_join(2, 1);
+        let mut tsu = CoreTsu::new(&p, 1, TsuConfig::default());
+        let FetchResult::Thread(i) = tsu.fetch_ready(KernelId(0)) else {
+            panic!()
+        };
+        complete(&mut tsu, i).unwrap();
+        assert!(matches!(
+            complete(&mut tsu, i),
+            Err(CoreError::NotRunning(_))
+        ));
+    }
+
+    #[test]
+    fn completion_without_fetch_rejected() {
+        let p = fork_join(2, 1);
+        let mut tsu = CoreTsu::new(&p, 1, TsuConfig::default());
+        let work = p.blocks()[0].threads[1];
+        assert!(matches!(
+            complete(&mut tsu, Instance::new(work, Context(0))),
+            Err(CoreError::NotRunning(_))
+        ));
+    }
+
+    #[test]
+    fn steal_lets_idle_kernel_progress() {
+        // all work pinned to kernel 0; kernel 1 must steal
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        b.thread(
+            blk,
+            ThreadSpec::new("w", 8).with_affinity(crate::thread::Affinity::Fixed(KernelId(0))),
+        );
+        let p = b.build().unwrap();
+        let mut tsu = CoreTsu::new(&p, 2, TsuConfig::default());
+        // prime: run the inlet
+        let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)) else {
+            panic!()
+        };
+        complete(&mut tsu, inlet).unwrap();
+        match tsu.fetch_ready(KernelId(1)) {
+            FetchResult::Thread(_) => {}
+            other => panic!("kernel 1 should have stolen, got {other:?}"),
+        }
+        assert_eq!(tsu.stats().steals, 1);
+    }
+
+    #[test]
+    fn no_steal_policy_makes_idle_kernel_wait() {
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        b.thread(
+            blk,
+            ThreadSpec::new("w", 8).with_affinity(crate::thread::Affinity::Fixed(KernelId(0))),
+        );
+        let p = b.build().unwrap();
+        let mut tsu = CoreTsu::new(
+            &p,
+            2,
+            TsuConfig {
+                capacity: 0,
+                policy: SchedulingPolicy::LocalityFirst { steal: false },
+            },
+        );
+        let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)) else {
+            panic!()
+        };
+        complete(&mut tsu, inlet).unwrap();
+        assert_eq!(tsu.fetch_ready(KernelId(1)), FetchResult::Wait);
+        assert!(tsu.stats().waits >= 1);
+    }
+
+    #[test]
+    fn global_fifo_serves_everyone_from_one_queue() {
+        let p = fork_join(6, 1);
+        let mut tsu = CoreTsu::new(
+            &p,
+            3,
+            TsuConfig {
+                capacity: 0,
+                policy: SchedulingPolicy::GlobalFifo,
+            },
+        );
+        let order = drain_sequential(&mut tsu);
+        assert_eq!(order.len(), p.total_instances());
+        assert_eq!(tsu.stats().steals, 0);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let p = fork_join(4, 2);
+        let mut tsu = CoreTsu::new(&p, 2, TsuConfig::default());
+        drain_sequential(&mut tsu);
+        let s = tsu.stats();
+        assert_eq!(s.completions as usize, p.total_instances());
+        assert_eq!(s.fetches as usize, p.total_instances());
+        assert_eq!(s.blocks_loaded, 2);
+        assert!(s.rc_updates > 0);
+        assert!(s.max_resident >= p.max_block_instances());
+        // single-owner driver: every shard lock acquisition is uncontended
+        assert_eq!(s.sm_contended, 0);
+    }
+
+    #[test]
+    fn outlet_frees_block_resources() {
+        // regression: app-thread SM entries must be freed when the block's
+        // outlet completes, or multi-block programs exceed capacity
+        let p = fork_join(8, 3); // block residency: 8 + 2 scalars + outlet = 11
+        let mut tsu = CoreTsu::new(
+            &p,
+            2,
+            TsuConfig {
+                capacity: 12,
+                policy: SchedulingPolicy::default(),
+            },
+        );
+        let order = drain_sequential(&mut tsu);
+        assert_eq!(order.len(), p.total_instances());
+        assert!(tsu.stats().max_resident <= 12);
+    }
+
+    #[test]
+    fn forensics_views_track_waiting_and_running() {
+        let p = fork_join(4, 1);
+        let mut tsu = CoreTsu::new(&p, 1, TsuConfig::default());
+        // before the inlet runs, nothing but the inlet is resident; it is
+        // ready (rc 0) so the waiting view is empty
+        assert!(tsu.waiting_instances().is_empty());
+        let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)) else {
+            panic!("inlet not ready");
+        };
+        // the inlet is dispatched but not completed
+        assert_eq!(tsu.running_instances(), vec![inlet]);
+        complete(&mut tsu, inlet).unwrap();
+        // block loaded: src (rc 0) is ready; each work instance waits on the
+        // src broadcast, the sink on 4 work completions, the outlet on all
+        // 6 app instances
+        let waiting = tsu.waiting_instances();
+        let src = p.blocks()[0].threads[0];
+        let work = p.blocks()[0].threads[1];
+        let sink = p.blocks()[0].threads[2];
+        assert!(waiting.iter().all(|w| w.instance.thread != src));
+        for c in 0..4 {
+            assert!(waiting
+                .iter()
+                .any(|w| w.instance == Instance::new(work, Context(c)) && w.remaining == 1));
+        }
+        assert!(waiting
+            .iter()
+            .any(|w| w.instance == Instance::scalar(sink) && w.remaining == 4));
+        assert!(tsu.running_instances().is_empty());
+        // dispatch src: it shows as running until completed, and its
+        // completion unblocks the work instances
+        let FetchResult::Thread(first) = tsu.fetch_ready(KernelId(0)) else {
+            panic!("no ready instance");
+        };
+        assert_eq!(first, Instance::scalar(src));
+        assert_eq!(tsu.running_instances(), vec![first]);
+        complete(&mut tsu, first).unwrap();
+        assert!(tsu.running_instances().is_empty());
+        assert!(tsu
+            .waiting_instances()
+            .iter()
+            .all(|w| w.instance.thread != work));
+        // draining the rest empties both views
+        drain_sequential(&mut tsu);
+        assert!(tsu.waiting_instances().is_empty());
+        assert!(tsu.running_instances().is_empty());
+    }
+
+    #[test]
+    fn exit_reported_to_all_kernels_after_finish() {
+        let p = fork_join(2, 1);
+        let mut tsu = CoreTsu::new(&p, 4, TsuConfig::default());
+        drain_sequential(&mut tsu);
+        for k in 0..4 {
+            assert_eq!(tsu.fetch_ready(KernelId(k)), FetchResult::Exit);
+        }
+    }
+
+    #[test]
+    fn backend_trait_drives_a_full_program() {
+        // the same drain loop, written against the trait object surface
+        fn drain<B: TsuBackend>(tsu: &mut B, kernels: u32) -> Vec<Instance> {
+            let mut order = Vec::new();
+            let mut scratch = Vec::new();
+            let mut k = 0u32;
+            let mut idle = 0u32;
+            loop {
+                match tsu.fetch(KernelId(k)) {
+                    FetchResult::Thread(i) => {
+                        idle = 0;
+                        order.push(i);
+                        tsu.complete(i, &mut scratch).unwrap();
+                    }
+                    FetchResult::Wait => {
+                        idle += 1;
+                        assert!(idle <= kernels, "deadlock");
+                    }
+                    FetchResult::Exit => return order,
+                }
+                k = (k + 1) % kernels;
+            }
+        }
+        let p = fork_join(6, 2);
+        let mut tsu = CoreTsu::new(&p, 3, TsuConfig::default());
+        let order = drain(&mut tsu, 3);
+        assert_eq!(order.len(), p.total_instances());
+        let stats = tsu.drain_stats();
+        assert_eq!(stats.completions as usize, p.total_instances());
+        assert_eq!(stats.fetches, stats.completions);
+        assert!(TsuBackend::waiting_instances(&tsu).is_empty());
+    }
+}

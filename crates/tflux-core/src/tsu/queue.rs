@@ -1,0 +1,91 @@
+//! The per-kernel Queue Unit and the one fetch-result vocabulary.
+//!
+//! §3.3/Fig. 4: each processor gets its own queue of ready DThreads, fed by
+//! the Synchronization Memory and drained by the kernel. [`QueueUnit`] is
+//! that queue for the single-owner platforms (the simulated hardware TSU and
+//! the Cell model); the threaded runtime uses a concurrent queue with the
+//! same FIFO discipline (`tflux-runtime`'s `ReadyQueue`), and both speak the
+//! same [`FetchResult`] vocabulary — the enum that used to exist twice, as
+//! `tsu::FetchResult` in core and `Fetched` in the runtime.
+
+use crate::ids::Instance;
+use std::collections::VecDeque;
+
+/// Result of a kernel's request for its next DThread.
+///
+/// Every backend — and every queue, blocking or not — answers a fetch with
+/// one of these three words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FetchResult {
+    /// Run this instance next.
+    Thread(Instance),
+    /// No ready DThread right now; the kernel must wait and retry.
+    Wait,
+    /// The program has finished; the kernel exits.
+    Exit,
+}
+
+/// One kernel's FIFO queue of ready DThread instances.
+///
+/// Single-owner (no interior locking): the owning scheduler pushes newly
+/// ready instances and pops on fetch. Stealing is a scheduler policy, not a
+/// queue feature — the scheduler simply pops from another kernel's unit.
+#[derive(Clone, Debug, Default)]
+pub struct QueueUnit {
+    q: VecDeque<Instance>,
+}
+
+impl QueueUnit {
+    /// An empty queue unit.
+    pub fn new() -> Self {
+        QueueUnit::default()
+    }
+
+    /// Enqueue a ready instance.
+    #[inline]
+    pub fn push(&mut self, i: Instance) {
+        self.q.push_back(i);
+    }
+
+    /// Dequeue the oldest ready instance, if any.
+    #[inline]
+    pub fn pop(&mut self) -> Option<Instance> {
+        self.q.pop_front()
+    }
+
+    /// Number of queued instances.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether the queue is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Context, ThreadId};
+
+    fn inst(t: u32, c: u32) -> Instance {
+        Instance::new(ThreadId(t), Context(c))
+    }
+
+    #[test]
+    fn queue_unit_is_fifo() {
+        let mut q = QueueUnit::new();
+        q.push(inst(1, 0));
+        q.push(inst(1, 1));
+        q.push(inst(2, 0));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(inst(1, 0)));
+        assert_eq!(q.pop(), Some(inst(1, 1)));
+        assert_eq!(q.pop(), Some(inst(2, 0)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,462 @@
+//! Synchronization Memory: sharded ready counts and the Post-Processing
+//! Phase.
+//!
+//! §3.3/Fig. 4: the Synchronization Memory holds the per-instance *Ready
+//! Counts* of the loaded DDM block. Here it is sharded **by the owning
+//! kernel of the consumer instance** (the same placement function the
+//! queue units use), so two kernels completing producers whose consumers
+//! live on different kernels touch disjoint locks and never contend. This
+//! is what lets the TFluxSoft kernels run completions *directly*, instead
+//! of serializing every completion through one emulator thread.
+//!
+//! The crate still spawns no threads: `SyncMemory` only uses `std::sync`
+//! primitives so that the platforms that *do* have threads
+//! (`tflux-runtime`) can share it by `&`, while the single-owner platforms
+//! (`tflux-sim`, `tflux-cell`) pay nothing but an uncontended lock.
+
+use crate::error::CoreError;
+use crate::ids::{BlockId, Instance, ThreadId};
+use crate::program::DdmProgram;
+use crate::thread::ThreadKind;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError, TryLockError};
+
+use super::backend::{ShardStats, TsuStats, WaitingInstance};
+use super::gm::GraphMemory;
+
+/// Ready counts and in-flight markers owned by one shard.
+#[derive(Debug, Default)]
+struct ShardInner {
+    /// Ready counts of resident instances owned by this shard's kernel.
+    /// Entries stay present (at 0) until their thread is unloaded, so the
+    /// residency invariants of the monolithic TSU are preserved exactly.
+    rc: HashMap<Instance, u32>,
+    /// Instances dispatched to a kernel but not yet completed.
+    running: HashSet<Instance>,
+}
+
+/// One Synchronization Memory shard: the lock plus its observability
+/// counters (updated outside the lock, so reading stats never contends).
+#[derive(Debug, Default)]
+struct Shard {
+    inner: Mutex<ShardInner>,
+    rc_updates: AtomicU64,
+    contended: AtomicU64,
+}
+
+/// Block residency bookkeeping — serialized because Inlet/Outlet
+/// completions are serialized by the program structure anyway (a block
+/// loads only after the previous outlet completed).
+#[derive(Debug, Default)]
+struct BlockState {
+    loaded: Option<BlockId>,
+    resident: usize,
+    max_resident: usize,
+    blocks_loaded: u64,
+}
+
+/// The Synchronization Memory for one program execution, sharded by the
+/// owning kernel of each instance.
+///
+/// All operations take `&self`: kernels on different threads may call
+/// [`dispatch`](Self::dispatch) and [`complete`](Self::complete)
+/// concurrently. Lock order is block state before shard, one shard at a
+/// time, so the unit is deadlock-free by construction.
+pub struct SyncMemory<'p> {
+    gm: GraphMemory<'p>,
+    capacity: usize,
+    shards: Vec<Shard>,
+    fetches: AtomicU64,
+    completions: AtomicU64,
+    finished: AtomicBool,
+    block: Mutex<BlockState>,
+}
+
+impl<'p> SyncMemory<'p> {
+    /// Create the Synchronization Memory for `program` sharded over
+    /// `kernels` kernels, and arm it: the first block's inlet is made
+    /// resident (but not dispatched). `capacity` bounds resident instances
+    /// (`0` = unlimited).
+    pub fn new(program: &'p DdmProgram, kernels: u32, capacity: usize) -> Self {
+        let gm = GraphMemory::new(program, kernels);
+        let sm = SyncMemory {
+            gm,
+            capacity,
+            shards: (0..kernels).map(|_| Shard::default()).collect(),
+            fetches: AtomicU64::new(0),
+            completions: AtomicU64::new(0),
+            finished: AtomicBool::new(false),
+            block: Mutex::new(BlockState::default()),
+        };
+        let mut guard = sm.lock_block();
+        sm.mark_resident(gm.first_inlet().thread, &mut guard);
+        drop(guard);
+        sm
+    }
+
+    /// The Graph Memory view this SM was built against.
+    pub fn graph(&self) -> GraphMemory<'p> {
+        self.gm
+    }
+
+    /// The armed first-block inlet — resident and ready (ready count 0)
+    /// from construction, waiting to be dispatched by a scheduler.
+    pub fn armed_inlet(&self) -> Instance {
+        self.gm.first_inlet()
+    }
+
+    /// Whether the last block's outlet has completed.
+    pub fn finished(&self) -> bool {
+        self.finished.load(Ordering::Acquire)
+    }
+
+    /// The currently loaded block, if any.
+    pub fn loaded_block(&self) -> Option<BlockId> {
+        self.lock_block().loaded
+    }
+
+    /// Completions processed so far — the progress probe watchdogs poll.
+    pub fn completions(&self) -> u64 {
+        self.completions.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn shard_of(&self, i: Instance) -> &Shard {
+        &self.shards[self.gm.owner_of(i).idx()]
+    }
+
+    /// Lock a shard, counting acquisitions that found it already held.
+    fn lock_shard<'a>(&self, shard: &'a Shard) -> MutexGuard<'a, ShardInner> {
+        match shard.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::WouldBlock) => {
+                shard.contended.fetch_add(1, Ordering::Relaxed);
+                shard.inner.lock().unwrap_or_else(PoisonError::into_inner)
+            }
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        }
+    }
+
+    fn lock_block(&self) -> MutexGuard<'_, BlockState> {
+        self.block.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mark every instance of `t` resident with its initial ready counts.
+    /// Caller holds the block lock (passed as `guard`).
+    fn mark_resident(&self, t: ThreadId, guard: &mut MutexGuard<'_, BlockState>) {
+        let arity = self.gm.program().thread(t).arity;
+        let rcs = self.gm.program().initial_rcs(t);
+        for c in 0..arity {
+            let i = Instance::new(t, crate::ids::Context(c));
+            self.lock_shard(self.shard_of(i))
+                .rc
+                .insert(i, rcs[c as usize]);
+        }
+        guard.resident += arity as usize;
+        guard.max_resident = guard.max_resident.max(guard.resident);
+    }
+
+    /// Drop every instance of `t` from the SM ("the purpose of the
+    /// [Outlet] is to clear the allocated resources").
+    fn unload_thread(&self, t: ThreadId, guard: &mut MutexGuard<'_, BlockState>) {
+        let arity = self.gm.program().thread(t).arity;
+        for c in 0..arity {
+            let i = Instance::new(t, crate::ids::Context(c));
+            let mut inner = self.lock_shard(self.shard_of(i));
+            inner.rc.remove(&i);
+            inner.running.remove(&i);
+        }
+        guard.resident -= arity as usize;
+    }
+
+    /// Mark `inst` as dispatched to a kernel. Pairs with a later
+    /// [`complete`](Self::complete).
+    pub fn dispatch(&self, inst: Instance) {
+        self.fetches.fetch_add(1, Ordering::Relaxed);
+        self.lock_shard(self.shard_of(inst)).running.insert(inst);
+    }
+
+    /// Load a DDM block: make its instances resident and append the
+    /// initially-ready ones (ready count 0) to `out`.
+    pub fn load_block(&self, b: BlockId, out: &mut Vec<Instance>) -> Result<(), CoreError> {
+        let instances = self.gm.block_instances(b);
+        let mut guard = self.lock_block();
+        if self.capacity != 0 && guard.resident + instances > self.capacity {
+            return Err(CoreError::BlockTooLarge {
+                block: b,
+                instances,
+                capacity: self.capacity,
+            });
+        }
+        guard.blocks_loaded += 1;
+        let block = &self.gm.program().blocks()[b.idx()];
+        for &t in &block.threads {
+            self.mark_resident(t, &mut guard);
+            for (c, &rc) in self.gm.program().initial_rcs(t).iter().enumerate() {
+                if rc == 0 {
+                    out.push(Instance::new(t, crate::ids::Context(c as u32)));
+                }
+            }
+        }
+        self.mark_resident(block.outlet, &mut guard);
+        guard.loaded = Some(b);
+        Ok(())
+    }
+
+    /// The Post-Processing Phase: record completion of `inst`, decrement
+    /// its consumers' ready counts through their shards, and append
+    /// newly-ready instances to `out` (cleared first).
+    ///
+    /// Inlet completions load their block (appending every initially-ready
+    /// application instance); outlet completions unload the block and
+    /// append the next block's inlet, or mark the program finished.
+    pub fn complete(&self, inst: Instance, out: &mut Vec<Instance>) -> Result<(), CoreError> {
+        out.clear();
+        let t = inst.thread;
+        if !self.lock_shard(self.shard_of(inst)).running.remove(&inst) {
+            return Err(CoreError::NotRunning(inst));
+        }
+        self.completions.fetch_add(1, Ordering::Relaxed);
+
+        match self.gm.kind(t) {
+            ThreadKind::Inlet => {
+                let mut guard = self.lock_block();
+                self.unload_thread(t, &mut guard);
+                drop(guard);
+                self.load_block(self.gm.block_of(t), out)?;
+            }
+            ThreadKind::Outlet => {
+                let block = self.gm.block_of(t);
+                let mut guard = self.lock_block();
+                let app_threads = self.gm.program().blocks()[block.idx()].threads.clone();
+                for at in app_threads {
+                    self.unload_thread(at, &mut guard);
+                }
+                self.unload_thread(t, &mut guard);
+                guard.loaded = None;
+                let next = BlockId(block.0 + 1);
+                if next.idx() < self.gm.program().blocks().len() {
+                    let inlet = Instance::scalar(self.gm.program().blocks()[next.idx()].inlet);
+                    self.mark_resident(inlet.thread, &mut guard);
+                    out.push(inlet);
+                } else {
+                    self.finished.store(true, Ordering::Release);
+                }
+            }
+            ThreadKind::App => self.post_process(inst, out),
+        }
+        Ok(())
+    }
+
+    fn post_process(&self, inst: Instance, out: &mut Vec<Instance>) {
+        let t = inst.thread;
+        let pa = self.gm.program().thread(t).arity;
+        // Consumer lists live in Graph Memory; each decrement goes through
+        // the consumer instance's own shard.
+        for arc in self.gm.consumers(t) {
+            let ca = self.gm.program().thread(arc.consumer).arity;
+            for c in arc.mapping.consumers(inst.context, pa, ca) {
+                let ci = Instance::new(arc.consumer, c);
+                let shard = self.shard_of(ci);
+                shard.rc_updates.fetch_add(1, Ordering::Relaxed);
+                let mut inner = self.lock_shard(shard);
+                let rc = inner
+                    .rc
+                    .get_mut(&ci)
+                    .unwrap_or_else(|| panic!("consumer {ci:?} not resident"));
+                debug_assert!(*rc > 0, "ready count underflow at {ci:?}");
+                *rc -= 1;
+                if *rc == 0 {
+                    out.push(ci);
+                }
+            }
+        }
+    }
+
+    /// Stall forensics: every resident instance whose ready count is still
+    /// above zero. Ordered thread-major, context-minor.
+    pub fn waiting_instances(&self) -> Vec<WaitingInstance> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let inner = self.lock_shard(shard);
+            out.extend(inner.rc.iter().filter(|&(_, &rc)| rc > 0).map(
+                |(&instance, &remaining)| WaitingInstance {
+                    instance,
+                    remaining,
+                },
+            ));
+        }
+        out.sort_unstable_by_key(|w| w.instance);
+        out
+    }
+
+    /// Stall forensics: every instance dispatched to a kernel but not yet
+    /// completed. Ordered thread-major, context-minor.
+    pub fn running_instances(&self) -> Vec<Instance> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(self.lock_shard(shard).running.iter().copied());
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Aggregate operation counters. `waits` and `steals` are scheduler
+    /// concerns and are reported as 0 here; schedulers fold their own in.
+    pub fn stats(&self) -> TsuStats {
+        let guard = self.lock_block();
+        TsuStats {
+            fetches: self.fetches.load(Ordering::Relaxed),
+            waits: 0,
+            completions: self.completions.load(Ordering::Relaxed),
+            rc_updates: self
+                .shards
+                .iter()
+                .map(|s| s.rc_updates.load(Ordering::Relaxed))
+                .sum(),
+            steals: 0,
+            blocks_loaded: guard.blocks_loaded,
+            max_resident: guard.max_resident,
+            sm_contended: self
+                .shards
+                .iter()
+                .map(|s| s.contended.load(Ordering::Relaxed))
+                .sum(),
+        }
+    }
+
+    /// Per-shard counters, indexed by owning kernel.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| ShardStats {
+                rc_updates: s.rc_updates.load(Ordering::Relaxed),
+                contended: s.contended.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::ArcMapping;
+    use crate::program::ProgramBuilder;
+    use crate::thread::ThreadSpec;
+
+    fn fork_join() -> DdmProgram {
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let src = b.thread(blk, ThreadSpec::scalar("src"));
+        let work = b.thread(blk, ThreadSpec::new("work", 4));
+        let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+        b.arc(src, work, ArcMapping::Broadcast).unwrap();
+        b.arc(work, sink, ArcMapping::Reduction).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn shared_reference_drives_a_full_block() {
+        let p = fork_join();
+        let sm = SyncMemory::new(&p, 2, 0);
+        let sm = &sm; // everything below goes through &SyncMemory
+        let mut ready = Vec::new();
+        let mut queue = vec![sm.armed_inlet()];
+        let mut done = 0usize;
+        while let Some(i) = queue.pop() {
+            sm.dispatch(i);
+            sm.complete(i, &mut ready).unwrap();
+            done += 1;
+            queue.extend(ready.drain(..));
+        }
+        assert_eq!(done, p.total_instances());
+        assert!(sm.finished());
+        let s = sm.stats();
+        assert_eq!(s.completions as usize, p.total_instances());
+        assert_eq!(s.fetches, s.completions);
+        assert_eq!(s.blocks_loaded, 1);
+    }
+
+    #[test]
+    fn rc_updates_land_on_the_consumers_shard() {
+        // pin the whole program onto kernel 1 of 2: every decrement must be
+        // counted on shard 1, none on shard 0
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let src = b.thread(
+            blk,
+            ThreadSpec::scalar("src")
+                .with_affinity(crate::thread::Affinity::Fixed(crate::ids::KernelId(1))),
+        );
+        let work = b.thread(
+            blk,
+            ThreadSpec::new("w", 4)
+                .with_affinity(crate::thread::Affinity::Fixed(crate::ids::KernelId(1))),
+        );
+        b.arc(src, work, ArcMapping::Broadcast).unwrap();
+        let p = b.build().unwrap();
+        let sm = SyncMemory::new(&p, 2, 0);
+        let mut ready = Vec::new();
+        let mut queue = vec![sm.armed_inlet()];
+        while let Some(i) = queue.pop() {
+            sm.dispatch(i);
+            sm.complete(i, &mut ready).unwrap();
+            queue.extend(ready.drain(..));
+        }
+        let shards = sm.shard_stats();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].rc_updates + shards[1].rc_updates, sm.stats().rc_updates);
+        // the 4 broadcast decrements hit shard 1 (outlet updates go to the
+        // outlet's own shard, kernel 0, so shard 0 is not exactly zero)
+        assert!(shards[1].rc_updates >= 4, "{shards:?}");
+    }
+
+    #[test]
+    fn completion_without_dispatch_is_a_protocol_error() {
+        let p = fork_join();
+        let sm = SyncMemory::new(&p, 1, 0);
+        let mut ready = Vec::new();
+        let err = sm.complete(sm.armed_inlet(), &mut ready).unwrap_err();
+        assert!(matches!(err, CoreError::NotRunning(_)));
+    }
+
+    #[test]
+    fn concurrent_completions_from_many_threads_are_exact() {
+        // a wide fan-in: many producers all decrementing one consumer's
+        // ready count from different threads; the count must come out exact
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let work = b.thread(blk, ThreadSpec::new("w", 64));
+        let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+        b.arc(work, sink, ArcMapping::Reduction).unwrap();
+        let p = b.build().unwrap();
+
+        let sm = SyncMemory::new(&p, 4, 0);
+        let mut ready = Vec::new();
+        let inlet = sm.armed_inlet();
+        sm.dispatch(inlet);
+        sm.complete(inlet, &mut ready).unwrap();
+        assert_eq!(ready.len(), 64);
+
+        let newly: Mutex<Vec<Instance>> = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for chunk in ready.chunks(16) {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    for &i in chunk {
+                        sm.dispatch(i);
+                        sm.complete(i, &mut local).unwrap();
+                        newly.lock().unwrap().extend(local.drain(..));
+                    }
+                });
+            }
+        });
+        let newly = newly.into_inner().unwrap();
+        // exactly one instance (the sink) became ready, exactly once
+        assert_eq!(newly, vec![Instance::scalar(sink)]);
+        // 64 reduction decrements on the sink + 64 implicit All decrements
+        // on the outlet (the sink itself never completes in this test)
+        assert_eq!(sm.stats().rc_updates, 64 + 64);
+    }
+}

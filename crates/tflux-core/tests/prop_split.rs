@@ -82,7 +82,7 @@ proptest! {
         prop_assert_eq!(apps(&p), apps(&q));
 
         // executes under a TSU with exactly that capacity
-        let mut tsu = TsuState::new(&q, 3, TsuConfig {
+        let mut tsu = CoreTsu::new(&q, 3, TsuConfig {
             capacity: d.capacity,
             policy: SchedulingPolicy::default(),
         });

@@ -107,7 +107,7 @@ proptest! {
     #[test]
     fn every_instance_runs_exactly_once(desc in desc_strategy()) {
         let p = build(&desc);
-        let mut tsu = TsuState::new(&p, desc.kernels, TsuConfig {
+        let mut tsu = CoreTsu::new(&p, desc.kernels, TsuConfig {
             capacity: 0,
             policy: desc.policy,
         });
@@ -124,7 +124,7 @@ proptest! {
     #[test]
     fn producers_always_precede_consumers(desc in desc_strategy()) {
         let p = build(&desc);
-        let mut tsu = TsuState::new(&p, desc.kernels, TsuConfig {
+        let mut tsu = CoreTsu::new(&p, desc.kernels, TsuConfig {
             capacity: 0,
             policy: desc.policy,
         });
@@ -153,7 +153,7 @@ proptest! {
     #[test]
     fn blocks_never_interleave(desc in desc_strategy()) {
         let p = build(&desc);
-        let mut tsu = TsuState::new(&p, desc.kernels, TsuConfig {
+        let mut tsu = CoreTsu::new(&p, desc.kernels, TsuConfig {
             capacity: 0,
             policy: desc.policy,
         });

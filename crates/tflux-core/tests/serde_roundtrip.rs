@@ -40,8 +40,8 @@ fn program_json_roundtrip_preserves_semantics() {
     }
 
     // the deserialized program executes identically
-    let mut tp = TsuState::new(&p, 3, TsuConfig::default());
-    let mut tq = TsuState::new(&q, 3, TsuConfig::default());
+    let mut tp = CoreTsu::new(&p, 3, TsuConfig::default());
+    let mut tq = CoreTsu::new(&q, 3, TsuConfig::default());
     let op = tflux_core::tsu::drain_sequential(&mut tp);
     let oq = tflux_core::tsu::drain_sequential(&mut tq);
     assert_eq!(op, oq);

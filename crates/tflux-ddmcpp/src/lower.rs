@@ -235,7 +235,7 @@ mod tests {
 "#;
         let m = parse_module(src).unwrap();
         let p = to_program(&m).unwrap();
-        let mut tsu = TsuState::new(&p, 2, TsuConfig::default());
+        let mut tsu = CoreTsu::new(&p, 2, TsuConfig::default());
         let order = tflux_core::tsu::drain_sequential(&mut tsu);
         assert_eq!(order.len(), p.total_instances());
     }

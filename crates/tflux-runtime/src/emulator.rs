@@ -1,30 +1,39 @@
-//! The TSU Emulator (§4.2 of the paper).
+//! The TSU Emulator (§4.2 of the paper), after the direct-update split.
 //!
-//! "The code of the TSU Emulator is executed by an independent POSIX thread
-//! which runs on an available CPU." The emulator owns the global TSU state
-//! machine; its loop drains the TUB, runs the Post-Processing Phase for each
-//! completed DThread (decrementing consumers' ready counts in the
-//! Synchronization Memories), locates each consumer's owning kernel directly
-//! via the Thread-to-Kernel Table (*Thread Indexing* — `DdmProgram::
-//! kernel_of` is that table), and pushes newly-ready instances onto the
-//! owning kernel's ready queue.
+//! "The code of the TSU Emulator is executed by an independent POSIX
+//! thread." It used to own the whole TSU state machine; with the
+//! Synchronization Memory sharded and shared (see [`SoftTsu`]), kernels
+//! post-process *application* completions themselves, and the emulator's
+//! job shrinks to what genuinely needs one owner:
+//!
+//! * draining the [TUB](crate::tub::Tub) of Inlet/Outlet completions and
+//!   running the block transitions they trigger (loading the next DDM
+//!   block, unloading a finished one — serialized by program structure
+//!   anyway);
+//! * the watchdog: declaring the run stalled, with forensics, when no
+//!   completion happens for too long;
+//! * collecting TSU protocol errors raised on the kernels' direct path.
+//!
+//! For robustness the drain loop still accepts *any* completion kind from
+//! the TUB — an inline test kernel may publish everything through it.
 
 use crate::faults::FaultInjector;
-use crate::sm::ReadyQueue;
+use crate::soft::SoftTsu;
 use crate::stats::{InFlightInstance, StallReport};
 use crate::tub::Tub;
 use std::time::{Duration, Instant};
 use tflux_core::error::CoreError;
 use tflux_core::ids::Instance;
-use tflux_core::program::DdmProgram;
-use tflux_core::tsu::{TsuConfig, TsuState, TsuStats};
+use tflux_core::tsu::TsuStats;
 
 /// Why the emulator stopped.
 #[derive(Debug)]
 pub enum EmulatorExit {
     /// The last block's outlet completed; the program is done.
     Finished(TsuStats),
-    /// A TSU protocol error (e.g. a block larger than the TSU capacity).
+    /// A TSU protocol error (e.g. a block larger than the TSU capacity),
+    /// raised here on a block transition or latched by a kernel on the
+    /// direct-update path.
     Protocol(CoreError),
     /// No completion arrived within the watchdog interval while DThreads
     /// were outstanding — some kernel or body is stuck. The report walks
@@ -36,117 +45,81 @@ pub enum EmulatorExit {
     },
 }
 
-/// Configuration for one emulator run.
-#[derive(Clone, Copy, Debug)]
-pub struct EmulatorConfig {
-    /// TSU capacity / scheduling policy.
-    pub tsu: TsuConfig,
-    /// Watchdog: abort if no completion arrives for this long while work is
-    /// outstanding. Guards tests and the figure harness against deadlocking
-    /// application bodies.
-    pub watchdog: Duration,
-}
-
-impl Default for EmulatorConfig {
-    fn default() -> Self {
-        EmulatorConfig {
-            tsu: TsuConfig::default(),
-            watchdog: Duration::from_secs(30),
-        }
-    }
-}
-
 /// Run the TSU Emulator until the program finishes or fails.
 ///
 /// On any exit path the kernels' queues are shut down, so kernel threads
-/// always terminate. The `injector` can jitter the drain loop
-/// (`drain_jitter` site); pass [`NoFaults`](crate::faults::NoFaults) for a
-/// production run.
+/// always terminate. Progress, for the watchdog, is any completion — the
+/// direct-update counter covers the kernels' App completions, the TUB
+/// drain covers block transitions. The `injector` can jitter the drain
+/// loop (`drain_jitter` site); pass [`NoFaults`](crate::faults::NoFaults)
+/// for a production run.
 pub fn run_emulator<F: FaultInjector>(
-    program: &DdmProgram,
-    queues: &[ReadyQueue],
+    soft: &SoftTsu<'_>,
     tub: &Tub,
-    config: EmulatorConfig,
+    watchdog: Duration,
     injector: &F,
 ) -> EmulatorExit {
-    let kernels = queues.len() as u32;
-    let mut tsu = TsuState::new(program, kernels, config.tsu);
-
-    let shutdown_all = |queues: &[ReadyQueue]| {
-        for q in queues {
-            q.shutdown();
-        }
-    };
-
-    let mut ready: Vec<Instance> = Vec::new();
-    let mut completions: Vec<Instance> = Vec::new();
-
-    // Arm the kernels with the first block's inlet. (With a GlobalFifo
-    // policy there is a single shared queue; the index clamp routes
-    // everything there.)
-    tsu.drain_ready(&mut ready);
-    for inst in ready.drain(..) {
-        let k = program.kernel_of(inst, kernels);
-        queues[k.idx().min(queues.len() - 1)].push(inst);
-    }
-
+    let mut batch: Vec<Instance> = Vec::new();
+    let mut scratch: Vec<Instance> = Vec::new();
     let mut last_progress = Instant::now();
+    let mut seen_completions = soft.completions();
     let mut round = 0u64;
     loop {
         round += 1;
         if let Some(d) = injector.drain_jitter(round) {
             std::thread::sleep(d);
         }
-        completions.clear();
-        if tub.drain_into(&mut completions) == 0 {
-            if last_progress.elapsed() >= config.watchdog {
-                // Watchdog forensics: walk the Synchronization Memory
-                // before tearing it down, so the abort names the stuck
-                // instances instead of discarding the evidence.
-                let report = StallReport {
-                    idle: last_progress.elapsed(),
-                    stats: *tsu.stats(),
-                    tub: tub.stats().snapshot(),
-                    waiting: tsu.waiting_instances(),
-                    in_flight: tsu
-                        .running_instances()
-                        .into_iter()
-                        .map(|i| InFlightInstance {
-                            instance: i,
-                            kernel: program.kernel_of(i, kernels),
-                        })
-                        .collect(),
-                    queue_depths: queues.iter().map(|q| q.len()).collect(),
-                    kernels: Vec::new(),
-                    panics: Vec::new(),
-                };
-                shutdown_all(queues);
-                return EmulatorExit::Stalled {
-                    report: Box::new(report),
-                };
-            }
-            tub.wait(Duration::from_millis(1));
-            continue;
+        // a kernel hit a protocol error on the direct path and kicked us
+        if let Some(e) = soft.take_protocol_error() {
+            soft.shutdown();
+            return EmulatorExit::Protocol(e);
         }
-        last_progress = Instant::now();
-
-        for &done in completions.iter() {
-            ready.clear();
-            if let Err(e) = tsu.complete_into(done, &mut ready) {
-                shutdown_all(queues);
+        batch.clear();
+        let drained = tub.drain_into(&mut batch);
+        for &done in batch.iter() {
+            if let Err(e) = soft.handle_completion(done, &mut scratch) {
+                soft.shutdown();
                 return EmulatorExit::Protocol(e);
             }
-            for &inst in ready.iter() {
-                tsu.dispatch(inst);
-                let k = program.kernel_of(inst, kernels);
-                queues[k.idx().min(queues.len() - 1)].push(inst);
-            }
         }
-
-        if tsu.finished() {
-            shutdown_all(queues);
-            return EmulatorExit::Finished(*tsu.stats());
+        if soft.finished() {
+            soft.shutdown();
+            return EmulatorExit::Finished(soft.stats());
         }
+        let completions = soft.completions();
+        if drained > 0 || completions != seen_completions {
+            seen_completions = completions;
+            last_progress = Instant::now();
+            continue;
+        }
+        if last_progress.elapsed() >= watchdog {
+            // Watchdog forensics: walk the Synchronization Memory before
+            // tearing it down, so the abort names the stuck instances
+            // instead of discarding the evidence.
+            let gm = soft.graph();
+            let report = StallReport {
+                idle: last_progress.elapsed(),
+                stats: soft.stats(),
+                tub: tub.stats().snapshot(),
+                waiting: soft.waiting_instances(),
+                in_flight: soft
+                    .running_instances()
+                    .into_iter()
+                    .map(|i| InFlightInstance {
+                        instance: i,
+                        kernel: gm.owner_of(i),
+                    })
+                    .collect(),
+                queue_depths: soft.queue_depths(),
+                kernels: Vec::new(),
+                panics: Vec::new(),
+            };
+            soft.shutdown();
+            return EmulatorExit::Stalled {
+                report: Box::new(report),
+            };
+        }
+        tub.wait(Duration::from_millis(1));
     }
 }
 
@@ -156,6 +129,7 @@ mod tests {
     use crate::faults::NoFaults;
     use std::sync::atomic::{AtomicU64, Ordering};
     use tflux_core::prelude::*;
+    use tflux_core::tsu::{FetchResult, TsuConfig};
 
     fn fork_join(arity: u32) -> DdmProgram {
         let mut b = ProgramBuilder::new();
@@ -168,26 +142,27 @@ mod tests {
         b.build().unwrap()
     }
 
-    /// Emulator + an inline "kernel" on the test thread.
+    /// Emulator + an inline "kernel" on a test thread that publishes every
+    /// completion — App included — through the TUB: the drain loop must
+    /// accept all kinds, not just block transitions.
     #[test]
     fn emulator_drives_single_inline_kernel() {
         let p = fork_join(4);
-        let queues = vec![ReadyQueue::new()];
+        let soft = SoftTsu::new(&p, 1, TsuConfig::default());
         let tub = Tub::new(2);
         let executed = AtomicU64::new(0);
 
         std::thread::scope(|s| {
-            let qref = &queues;
+            let softref = &soft;
             let tubref = &tub;
-            let pref = &p;
             let exec = &executed;
             s.spawn(move || {
-                while let crate::sm::Fetched::Thread(i) = qref[0].pop() {
+                while let FetchResult::Thread(i) = softref.queue(0).pop() {
                     exec.fetch_add(1, Ordering::Relaxed);
                     tubref.push(i);
                 }
             });
-            let exit = run_emulator(pref, qref, tubref, EmulatorConfig::default(), &NoFaults);
+            let exit = run_emulator(softref, tubref, Duration::from_secs(30), &NoFaults);
             match exit {
                 EmulatorExit::Finished(stats) => {
                     assert_eq!(stats.completions as usize, p.total_instances());
@@ -204,23 +179,15 @@ mod tests {
     #[test]
     fn watchdog_fires_when_kernels_never_complete() {
         let p = fork_join(2);
-        let queues = vec![ReadyQueue::new()];
+        let soft = SoftTsu::new(&p, 1, TsuConfig::default());
         let tub = Tub::new(1);
         // no kernel is running: the inlet is dispatched but never completes
-        let exit = run_emulator(
-            &p,
-            &queues,
-            &tub,
-            EmulatorConfig {
-                tsu: TsuConfig::default(),
-                watchdog: Duration::from_millis(50),
-            },
-            &NoFaults,
-        );
+        let exit = run_emulator(&soft, &tub, Duration::from_millis(50), &NoFaults);
         match exit {
             EmulatorExit::Stalled { report } => {
                 assert!(report.idle >= Duration::from_millis(50));
-                // the inlet was dispatched and never completed
+                // the inlet was dispatched (armed at construction) and
+                // never completed
                 let inlet = p.blocks()[0].inlet;
                 assert!(
                     report.in_flight.iter().any(|f| f.instance.thread == inlet),
@@ -235,43 +202,53 @@ mod tests {
             }
             other => panic!("unexpected exit {other:?}"),
         }
-        // queue was shut down: a kernel popping now would exit
+        // queue was shut down: a kernel popping now drains then exits
         assert!(matches!(
-            queues[0].try_pop(),
-            Some(crate::sm::Fetched::Thread(_)) | Some(crate::sm::Fetched::Exit)
+            soft.queue(0).try_pop(),
+            FetchResult::Thread(_) | FetchResult::Exit
         ));
     }
 
     #[test]
     fn protocol_error_reported_for_oversized_block() {
         let p = fork_join(64);
-        let queues = vec![ReadyQueue::new()];
+        let soft = SoftTsu::new(
+            &p,
+            1,
+            TsuConfig {
+                capacity: 8,
+                policy: Default::default(),
+            },
+        );
         let tub = Tub::new(1);
         std::thread::scope(|s| {
-            let qref = &queues;
+            let softref = &soft;
             let tubref = &tub;
             s.spawn(move || {
-                while let crate::sm::Fetched::Thread(i) = qref[0].pop() {
+                while let FetchResult::Thread(i) = softref.queue(0).pop() {
                     tubref.push(i);
                 }
             });
-            let exit = run_emulator(
-                &p,
-                qref,
-                tubref,
-                EmulatorConfig {
-                    tsu: TsuConfig {
-                        capacity: 8,
-                        policy: Default::default(),
-                    },
-                    watchdog: Duration::from_secs(5),
-                },
-                &NoFaults,
-            );
+            let exit = run_emulator(softref, tubref, Duration::from_secs(5), &NoFaults);
             assert!(matches!(
                 exit,
                 EmulatorExit::Protocol(CoreError::BlockTooLarge { .. })
             ));
         });
+    }
+
+    #[test]
+    fn latched_kernel_protocol_error_aborts_the_run() {
+        let p = fork_join(2);
+        let soft = SoftTsu::new(&p, 1, TsuConfig::default());
+        let tub = Tub::new(1);
+        let bogus = Instance::new(ThreadId(1), Context(0));
+        soft.record_protocol(CoreError::NotRunning(bogus));
+        tub.kick();
+        let exit = run_emulator(&soft, &tub, Duration::from_secs(5), &NoFaults);
+        match exit {
+            EmulatorExit::Protocol(CoreError::NotRunning(i)) => assert_eq!(i, bogus),
+            other => panic!("unexpected exit {other:?}"),
+        }
     }
 }

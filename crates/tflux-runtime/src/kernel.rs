@@ -2,27 +2,29 @@
 //!
 //! A kernel is "a simple user-level process" — here an OS thread — that
 //! alternates between the *FindReadyThread* loop and application DThread
-//! code. Fetching pops the kernel's own ready queue (its Local TSU);
-//! completion publishes the instance into the segmented TUB for the TSU
-//! Emulator's Post-Processing Phase.
+//! code. Fetching goes through the shared [`SoftTsu`]'s [`TsuBackend`]
+//! impl: own ready queue first, then (policy permitting) stealing from the
+//! most loaded sibling.
 //!
-//! Ready-thread selection follows the runtime's
-//! [`SchedulingPolicy`](tflux_core::SchedulingPolicy): under
-//! `LocalityFirst { steal: true }` an idle kernel takes the oldest entry
-//! from the most loaded sibling queue before blocking — the software
-//! equivalent of the TSU handing a ready DThread to whichever CPU asks,
-//! locality permitting (§3.1).
+//! Completion is split by DThread kind. *Application* completions take the
+//! direct-update path: the kernel runs the Post-Processing Phase itself
+//! through the sharded Synchronization Memory and pushes newly-ready
+//! instances on their owners' queues — no TUB hop, no emulator round-trip.
+//! *Inlet*/*Outlet* completions (block loading and unloading) are published
+//! into the segmented [TUB](crate::tub::Tub) for the TSU Emulator, which
+//! serializes block transitions and keeps the watchdog.
 
 use crate::body::{BodyCtx, BodyTable};
 use crate::faults::{BodyFault, FaultInjector};
 use crate::runtime::RetryPolicy;
-use crate::sm::{Fetched, ReadyQueue};
+use crate::soft::SoftTsu;
 use crate::stats::KernelStats;
 use crate::tub::Tub;
 use parking_lot::Mutex;
 use std::time::Duration;
 use tflux_core::ids::{Instance, KernelId};
-use tflux_core::program::DdmProgram;
+use tflux_core::thread::ThreadKind;
+use tflux_core::tsu::{FetchResult, TsuBackend};
 
 /// A panic captured from a DThread body. The kernel contains the panic,
 /// retries it if the body opted in as idempotent and the
@@ -50,34 +52,52 @@ const STEAL_RESCAN: Duration = Duration::from_millis(1);
 
 /// Run one kernel to completion. Returns this kernel's counters.
 ///
-/// `queues[own]` is this kernel's Local TSU; with `steal` set, the other
-/// queues are stealing victims. The loop mirrors Fig. 2: the first instance
-/// a kernel receives is (for kernel 0) the first block's Inlet; every
-/// completion jumps back to the FindReadyThread point; the Exit signal
-/// raised by the last block's Outlet "forces its Kernel to exit".
-#[allow(clippy::too_many_arguments)] // the kernel loop IS the meeting point
-                                     // of every runtime structure; a config
-                                     // struct would only rename the problem
+/// The loop mirrors Fig. 2: the first instance a kernel receives is (for
+/// kernel 0) the first block's Inlet; every completion jumps back to the
+/// FindReadyThread point; the Exit signal raised after the last block's
+/// Outlet "forces its Kernel to exit".
 pub fn run_kernel<F: FaultInjector>(
     kernel: KernelId,
-    _program: &DdmProgram,
+    soft: &SoftTsu<'_>,
     bodies: &BodyTable<'_>,
-    queues: &[ReadyQueue],
-    own: usize,
-    steal: bool,
     tub: &Tub,
     panics: &PanicSink,
     injector: &F,
     retry: RetryPolicy,
 ) -> KernelStats {
     let mut executed = 0u64;
-    let mut steals = 0u64;
     let mut retries = 0u64;
     let mut poisoned = 0u64;
     let mut iterations = 0u64;
-    let queue = &queues[own];
+    let mut scratch: Vec<Instance> = Vec::new();
+    let mut backend = soft; // &SoftTsu is the TsuBackend
+    let queue = soft.queue(soft.queue_index(kernel));
+    let gm = soft.graph();
 
-    let run = |instance: Instance, executed: &mut u64, retries: &mut u64, poisoned: &mut u64| {
+    loop {
+        iterations += 1;
+        if let Some(d) = injector.kernel_stall(kernel, iterations) {
+            std::thread::sleep(d);
+        }
+        // non-blocking trait fetch (own queue, then steal); fall back to a
+        // blocking pop on the own queue when nothing is runnable anywhere —
+        // bounded for stealers, which must periodically rescan victims
+        let fetched = match backend.fetch(kernel) {
+            FetchResult::Wait => {
+                if soft.stealing() {
+                    queue.pop_timeout(STEAL_RESCAN)
+                } else {
+                    queue.pop()
+                }
+            }
+            r => r,
+        };
+        let instance = match fetched {
+            FetchResult::Thread(i) => i,
+            FetchResult::Exit => break,
+            FetchResult::Wait => continue,
+        };
+
         let ctx = BodyCtx {
             instance,
             context: instance.context,
@@ -107,7 +127,7 @@ pub fn run_kernel<F: FaultInjector>(
                 Ok(()) => break true,
                 Err(payload) => {
                     if bodies.idempotent(instance.thread) && attempt < retry.max_attempts {
-                        *retries += 1;
+                        retries += 1;
                         continue;
                     }
                     let message = payload
@@ -124,63 +144,28 @@ pub fn run_kernel<F: FaultInjector>(
                 }
             }
         };
-        *executed += 1;
-        if publish {
-            tub.push_with(instance, injector);
-        } else {
-            *poisoned += 1;
+        executed += 1;
+        if !publish {
+            poisoned += 1;
+            continue;
         }
-    };
-
-    'outer: loop {
-        iterations += 1;
-        if let Some(d) = injector.kernel_stall(kernel, iterations) {
-            std::thread::sleep(d);
-        }
-        // own queue first (spatial locality)
-        match if steal {
-            queue.try_pop()
-        } else {
-            Some(queue.pop())
-        } {
-            Some(Fetched::Thread(i)) => {
-                run(i, &mut executed, &mut retries, &mut poisoned);
-                continue;
-            }
-            Some(Fetched::Exit) => break,
-            None => {}
-        }
-        // steal from the most loaded victim
-        debug_assert!(steal);
-        loop {
-            let victim = (0..queues.len())
-                .filter(|&q| q != own && !queues[q].is_empty())
-                .max_by_key(|&q| queues[q].len());
-            if let Some(v) = victim {
-                if let Some(Fetched::Thread(i)) = queues[v].try_pop() {
-                    steals += 1;
-                    run(i, &mut executed, &mut retries, &mut poisoned);
-                    continue 'outer;
+        match gm.kind(instance.thread) {
+            // direct update: post-process on this kernel's thread
+            ThreadKind::App => {
+                if let Err(e) = backend.complete(instance, &mut scratch) {
+                    soft.record_protocol(e);
+                    tub.kick(); // wake the emulator to abort the run
                 }
-                // raced with the owner; rescan
-                continue;
             }
-            // nothing stealable: block briefly on the own queue
-            match queue.pop_timeout(STEAL_RESCAN) {
-                Some(Fetched::Thread(i)) => {
-                    run(i, &mut executed, &mut retries, &mut poisoned);
-                    continue 'outer;
-                }
-                Some(Fetched::Exit) => break 'outer,
-                None => continue,
-            }
+            // block transitions stay serialized through the emulator
+            ThreadKind::Inlet | ThreadKind::Outlet => tub.push_with(instance, injector),
         }
     }
     KernelStats {
         executed,
         wait_ns: queue.wait_nanos(),
         blocked_pops: queue.blocked_pops(),
-        steals,
+        steals: soft.steals_of(kernel),
         retries,
         poisoned,
     }
@@ -192,113 +177,124 @@ mod tests {
     use crate::body::BodyTable;
     use crate::faults::NoFaults;
     use std::sync::atomic::{AtomicU64, Ordering};
-    use tflux_core::ids::Instance;
     use tflux_core::prelude::*;
+    use tflux_core::tsu::TsuConfig;
 
-    fn queues(n: usize) -> Vec<ReadyQueue> {
-        (0..n).map(|_| ReadyQueue::new()).collect()
+    /// A minimal emulator stand-in: drain the TUB, post-process block
+    /// transitions, shut the queues down when the program finishes.
+    fn drive(soft: &SoftTsu<'_>, tub: &Tub) {
+        let mut batch = Vec::new();
+        let mut scratch = Vec::new();
+        while !soft.finished() {
+            if soft.take_protocol_error().is_some() {
+                break;
+            }
+            batch.clear();
+            if tub.drain_into(&mut batch) == 0 {
+                tub.wait(Duration::from_millis(1));
+                continue;
+            }
+            for &i in batch.iter() {
+                soft.handle_completion(i, &mut scratch).unwrap();
+            }
+        }
+        soft.shutdown();
     }
 
-    static PANICS: PanicSink = PanicSink::new(Vec::new());
+    fn work_program(arity: u32) -> (DdmProgram, ThreadId) {
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let w = b.thread(blk, ThreadSpec::new("w", arity));
+        (b.build().unwrap(), w)
+    }
+
+    #[test]
+    fn kernel_runs_a_program_end_to_end() {
+        let (p, w) = work_program(4);
+        let hits = AtomicU64::new(0);
+        let mut bodies = BodyTable::new(&p);
+        bodies.set(w, |c| {
+            hits.fetch_add(1 + c.context.0 as u64, Ordering::Relaxed);
+        });
+        let soft = SoftTsu::new(&p, 1, TsuConfig::default());
+        let tub = Tub::new(2);
+        let stats = std::thread::scope(|s| {
+            let h = s.spawn(|| {
+                run_kernel(
+                    KernelId(0),
+                    &soft,
+                    &bodies,
+                    &tub,
+                    &PanicSink::default(),
+                    &NoFaults,
+                    RetryPolicy::default(),
+                )
+            });
+            drive(&soft, &tub);
+            h.join().unwrap()
+        });
+        assert_eq!(stats.executed as usize, p.total_instances());
+        assert_eq!(hits.load(Ordering::Relaxed), 4 + 1 + 2 + 3);
+        assert!(soft.finished());
+        assert_eq!(soft.completions() as usize, p.total_instances());
+    }
 
     #[test]
     fn panicking_body_is_contained_and_reported() {
-        let mut b = ProgramBuilder::new();
-        let blk = b.block();
-        let w = b.thread(blk, ThreadSpec::new("w", 3));
-        let p = b.build().unwrap();
+        let (p, w) = work_program(3);
         let mut bodies = BodyTable::new(&p);
         bodies.set(w, |c| {
             if c.context.0 == 1 {
                 panic!("boom at {:?}", c.context);
             }
         });
-        let qs = queues(1);
+        let soft = SoftTsu::new(&p, 1, TsuConfig::default());
         let tub = Tub::new(1);
-        for c in 0..3 {
-            qs[0].push(Instance::new(w, Context(c)));
-        }
-        qs[0].shutdown();
         let sink = PanicSink::default();
-        let stats = run_kernel(
-            KernelId(0),
-            &p,
-            &bodies,
-            &qs,
-            0,
-            false,
-            &tub,
-            &sink,
-            &NoFaults,
-            RetryPolicy::default(),
-        );
-        // all three ran; the panic did not kill the kernel
-        assert_eq!(stats.executed, 3);
+        let stats = std::thread::scope(|s| {
+            let h = s.spawn(|| {
+                run_kernel(
+                    KernelId(0),
+                    &soft,
+                    &bodies,
+                    &tub,
+                    &sink,
+                    &NoFaults,
+                    RetryPolicy::default(),
+                )
+            });
+            drive(&soft, &tub);
+            h.join().unwrap()
+        });
+        // the panic did not kill the kernel, and the completion was still
+        // published so the whole program drained
+        assert_eq!(stats.executed as usize, p.total_instances());
+        assert!(soft.finished());
         let panics = sink.into_inner();
         assert_eq!(panics.len(), 1);
         assert_eq!(panics[0].instance, Instance::new(w, Context(1)));
         assert!(panics[0].message.contains("boom"));
-        // all three completions reached the TUB
-        let mut out = Vec::new();
-        assert_eq!(tub.drain_into(&mut out), 3);
     }
 
     #[test]
-    fn kernel_executes_queued_instances_then_exits() {
-        let mut b = ProgramBuilder::new();
-        let blk = b.block();
-        let w = b.thread(blk, ThreadSpec::new("w", 4));
-        let p = b.build().unwrap();
-
-        let hits = AtomicU64::new(0);
-        let mut bodies = BodyTable::new(&p);
-        bodies.set(w, |c| {
-            hits.fetch_add(1 + c.context.0 as u64, Ordering::Relaxed);
-        });
-
-        let qs = queues(1);
-        let tub = Tub::new(2);
-        for c in 0..4 {
-            qs[0].push(Instance::new(w, Context(c)));
-        }
-        qs[0].shutdown();
-
-        let stats = run_kernel(
-            KernelId(0),
-            &p,
-            &bodies,
-            &qs,
-            0,
-            false,
-            &tub,
-            &PanicSink::default(),
-            &NoFaults,
-            RetryPolicy::default(),
-        );
-        assert_eq!(stats.executed, 4);
-        assert_eq!(hits.load(Ordering::Relaxed), 4 + 1 + 2 + 3);
-        // every completion went to the TUB
-        let mut out = Vec::new();
-        assert_eq!(tub.drain_into(&mut out), 4);
-    }
-
-    #[test]
-    fn kernel_with_empty_queue_exits_cleanly() {
-        let mut b = ProgramBuilder::new();
-        let blk = b.block();
-        b.thread(blk, ThreadSpec::scalar("x"));
-        let p = b.build().unwrap();
+    fn kernel_with_shut_down_queue_exits_cleanly() {
+        let (p, _) = work_program(2);
         let bodies = BodyTable::new(&p);
-        let qs = queues(1);
-        qs[0].shutdown();
+        let soft = SoftTsu::new(
+            &p,
+            2,
+            TsuConfig {
+                capacity: 0,
+                policy: SchedulingPolicy::LocalityFirst { steal: false },
+            },
+        );
         let tub = Tub::new(1);
+        soft.shutdown();
+        // kernel 1's queue is empty (the armed inlet sits on kernel 0's)
         let stats = run_kernel(
             KernelId(1),
-            &p,
+            &soft,
             &bodies,
-            &qs,
-            0,
-            false,
             &tub,
             &PanicSink::default(),
             &NoFaults,
@@ -309,76 +305,79 @@ mod tests {
 
     #[test]
     fn body_ctx_reports_kernel_and_context() {
-        let mut b = ProgramBuilder::new();
-        let blk = b.block();
-        let w = b.thread(blk, ThreadSpec::new("w", 2));
-        let p = b.build().unwrap();
+        let (p, w) = work_program(2);
         let seen = parking_lot::Mutex::new(Vec::new());
         let mut bodies = BodyTable::new(&p);
         bodies.set(w, |c| {
             seen.lock().push((c.kernel, c.context));
         });
-        let qs = queues(1);
+        let soft = SoftTsu::new(&p, 1, TsuConfig::default());
         let tub = Tub::new(1);
-        qs[0].push(Instance::new(w, Context(1)));
-        qs[0].shutdown();
-        run_kernel(
-            KernelId(3),
-            &p,
-            &bodies,
-            &qs,
-            0,
-            false,
-            &tub,
-            &PanicSink::default(),
-            &NoFaults,
-            RetryPolicy::default(),
+        std::thread::scope(|s| {
+            // kernel id 3 on a 1-queue TSU: the clamp routes it to queue 0
+            let h = s.spawn(|| {
+                run_kernel(
+                    KernelId(3),
+                    &soft,
+                    &bodies,
+                    &tub,
+                    &PanicSink::default(),
+                    &NoFaults,
+                    RetryPolicy::default(),
+                )
+            });
+            drive(&soft, &tub);
+            h.join().unwrap()
+        });
+        let mut seen = seen.into_inner();
+        seen.sort_by_key(|&(_, c)| c);
+        assert_eq!(
+            seen,
+            vec![(KernelId(3), Context(0)), (KernelId(3), Context(1))]
         );
-        assert_eq!(seen.lock().as_slice(), &[(KernelId(3), Context(1))]);
     }
 
     #[test]
     fn stealing_kernel_takes_work_from_the_loaded_victim() {
+        // all app work pinned to kernel 1, but only kernel 0 runs: every
+        // work instance must arrive by stealing
         let mut b = ProgramBuilder::new();
         let blk = b.block();
-        let w = b.thread(blk, ThreadSpec::new("w", 6));
+        let w = b.thread(
+            blk,
+            ThreadSpec::new("w", 6).with_affinity(Affinity::Fixed(KernelId(1))),
+        );
         let p = b.build().unwrap();
         let count = AtomicU64::new(0);
         let mut bodies = BodyTable::new(&p);
         bodies.set(w, |_| {
             count.fetch_add(1, Ordering::Relaxed);
         });
-        let qs = queues(2);
+        let soft = SoftTsu::new(
+            &p,
+            2,
+            TsuConfig {
+                capacity: 0,
+                policy: SchedulingPolicy::LocalityFirst { steal: true },
+            },
+        );
         let tub = Tub::new(1);
-        // all work sits on queue 1; kernel 0 must steal it. Shut down only
-        // after the work is done (an early own-queue Exit legitimately
-        // beats stealing — the victim kernel would drain its own queue).
-        for c in 0..6 {
-            qs[1].push(Instance::new(w, Context(c)));
-        }
         let stats = std::thread::scope(|s| {
-            let handle = s.spawn(|| {
+            let h = s.spawn(|| {
                 run_kernel(
                     KernelId(0),
-                    &p,
+                    &soft,
                     &bodies,
-                    &qs,
-                    0,
-                    true,
                     &tub,
-                    &PANICS,
+                    &PanicSink::default(),
                     &NoFaults,
                     RetryPolicy::default(),
                 )
             });
-            while count.load(Ordering::Relaxed) < 6 {
-                std::thread::yield_now();
-            }
-            qs[0].shutdown();
-            qs[1].shutdown();
-            handle.join().unwrap()
+            drive(&soft, &tub);
+            h.join().unwrap()
         });
-        assert_eq!(stats.executed, 6);
+        assert_eq!(stats.executed as usize, p.total_instances());
         assert_eq!(stats.steals, 6);
         assert_eq!(count.load(Ordering::Relaxed), 6);
     }
@@ -387,28 +386,60 @@ mod tests {
     fn non_stealing_kernel_ignores_other_queues() {
         let mut b = ProgramBuilder::new();
         let blk = b.block();
-        let w = b.thread(blk, ThreadSpec::new("w", 3));
-        let p = b.build().unwrap();
-        let bodies = BodyTable::new(&p);
-        let qs = queues(2);
-        let tub = Tub::new(1);
-        for c in 0..3 {
-            qs[1].push(Instance::new(w, Context(c)));
-        }
-        qs[0].shutdown();
-        let stats = run_kernel(
-            KernelId(0),
-            &p,
-            &bodies,
-            &qs,
-            0,
-            false,
-            &tub,
-            &PanicSink::default(),
-            &NoFaults,
-            RetryPolicy::default(),
+        let w = b.thread(
+            blk,
+            ThreadSpec::new("w", 3).with_affinity(Affinity::Fixed(KernelId(1))),
         );
-        assert_eq!(stats.executed, 0);
-        assert_eq!(qs[1].len(), 3, "victim queue untouched");
+        let p = b.build().unwrap();
+        let executed_w = AtomicU64::new(0);
+        let mut bodies = BodyTable::new(&p);
+        bodies.set(w, |_| {
+            executed_w.fetch_add(1, Ordering::Relaxed);
+        });
+        let soft = SoftTsu::new(
+            &p,
+            2,
+            TsuConfig {
+                capacity: 0,
+                policy: SchedulingPolicy::LocalityFirst { steal: false },
+            },
+        );
+        let tub = Tub::new(1);
+        let stats = std::thread::scope(|s| {
+            let soft = &soft;
+            let tub = &tub;
+            let bodies = &bodies;
+            let h = s.spawn(move || {
+                run_kernel(
+                    KernelId(0),
+                    soft,
+                    bodies,
+                    tub,
+                    &PanicSink::default(),
+                    &NoFaults,
+                    RetryPolicy::default(),
+                )
+            });
+            // process the inlet's TUB entry so the block loads and the
+            // pinned work lands on kernel 1's (unserved) queue
+            let mut batch = Vec::new();
+            let mut scratch = Vec::new();
+            while soft.queue(1).len() < 3 {
+                batch.clear();
+                tub.drain_into(&mut batch);
+                for &i in batch.iter() {
+                    soft.handle_completion(i, &mut scratch).unwrap();
+                }
+                std::thread::yield_now();
+            }
+            // give the non-stealing kernel a moment to (not) take it
+            std::thread::sleep(Duration::from_millis(20));
+            soft.shutdown();
+            h.join().unwrap()
+        });
+        assert_eq!(stats.executed, 1, "only the inlet runs on kernel 0");
+        assert_eq!(stats.steals, 0);
+        assert_eq!(executed_w.load(Ordering::Relaxed), 0);
+        assert_eq!(soft.queue(1).len(), 3, "victim queue untouched");
     }
 }

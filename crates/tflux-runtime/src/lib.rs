@@ -5,28 +5,26 @@
 //!
 //! * `n` **Kernels**, each an OS thread, run the Kernel loop of Fig. 2:
 //!   fetch a ready DThread from the kernel's *Local TSU* (its ready queue),
-//!   jump into the DThread body, and on completion hand the instance to the
-//!   post-processing machinery. Body dispatch is a plain closure call —
-//!   the Rust analogue of the paper's "Kernel code and application DThread
-//!   code in the same function", i.e. no OS involvement per DThread.
-//! * One **TSU Emulator** thread owns the global
-//!   [`TsuState`](tflux_core::TsuState) and performs the Post-Processing
-//!   Phase: it drains the [TUB](tub::Tub), decrements consumers' ready
-//!   counts in the per-kernel Synchronization Memories and enqueues
-//!   newly-ready instances on the owning kernel's ready queue, located
-//!   directly via the Thread-to-Kernel Table (the program's
+//!   jump into the DThread body, and on completion run the Post-Processing
+//!   Phase. Body dispatch is a plain closure call — the Rust analogue of
+//!   the paper's "Kernel code and application DThread code in the same
+//!   function", i.e. no OS involvement per DThread.
+//! * The shared software TSU ([`SoftTsu`](soft::SoftTsu)) composes the
+//!   units of [`tflux_core::tsu`]: a read-only Graph Memory and a
+//!   **Synchronization Memory sharded by owning kernel**. *Application*
+//!   completions take the direct-update path — the completing kernel
+//!   decrements its consumers' ready counts through the consumers' shards
+//!   and enqueues newly-ready instances on the owning kernel's queue,
+//!   located directly via the Thread-to-Kernel Table (the program's
 //!   [`Affinity`](tflux_core::Affinity) assignment — *Thread Indexing*).
+//!   Kernels completing producers of consumers on different kernels touch
+//!   disjoint locks, so completions no longer serialize on one thread.
+//! * One **TSU Emulator** thread keeps the single-owner duties: it drains
+//!   the [TUB](tub::Tub) of *Inlet*/*Outlet* completions to load and
+//!   unload DDM blocks, runs the watchdog, and collects protocol errors.
 //! * The **TUB** (Thread-to-Update Buffer) is segmented; kernels publish
-//!   completions with `try_lock` over the segments so a kernel never blocks
-//!   behind another kernel's segment (§4.2).
-//!
-//! One deliberate simplification relative to the paper's prose: TUB entries
-//! carry the *completed* instance and the emulator expands its consumer
-//! list, rather than kernels pre-expanding consumer identifiers into the
-//! TUB. The observable synchronization behaviour is identical (the paper's
-//! split only redistributes CPU work, which the `tflux-sim` cost models do
-//! capture); doing the expansion in the emulator keeps the ready-count
-//! store single-owner.
+//!   block transitions with `try_lock` over the segments so a kernel never
+//!   blocks behind another kernel's segment (§4.2).
 //!
 //! ```
 //! use tflux_core::prelude::*;
@@ -69,6 +67,7 @@ pub mod kernel;
 pub mod runtime;
 pub mod shared;
 pub mod sm;
+pub mod soft;
 pub mod stats;
 pub mod tub;
 
@@ -76,5 +75,8 @@ pub use body::{BodyCtx, BodyTable};
 pub use faults::{BodyFault, FaultCounts, FaultInjector, FaultPlan, NoFaults};
 pub use runtime::{RetryPolicy, Runtime, RuntimeConfig, RuntimeError};
 pub use shared::SharedVar;
+pub use soft::SoftTsu;
 pub use stats::{InFlightInstance, RunReport, StallReport};
+// the one fetch vocabulary shared with the core TSU units
+pub use tflux_core::tsu::{FetchResult, ShardStats, TsuBackend};
 pub use tub::TubBackoff;

@@ -7,10 +7,10 @@
 //! here it is simply one more OS thread).
 
 use crate::body::BodyTable;
-use crate::emulator::{run_emulator, EmulatorConfig, EmulatorExit};
+use crate::emulator::{run_emulator, EmulatorExit};
 use crate::faults::{FaultInjector, NoFaults};
 use crate::kernel::run_kernel;
-use crate::sm::ReadyQueue;
+use crate::soft::SoftTsu;
 use crate::stats::{KernelStats, RunReport, StallReport};
 use crate::tub::{Tub, TubBackoff};
 use std::time::{Duration, Instant};
@@ -247,20 +247,12 @@ impl Runtime {
             });
         }
         let kernels = self.config.kernels.max(1);
-        // GlobalFifo: one shared queue all kernels pop. LocalityFirst: a
-        // queue per kernel, optionally with stealing.
-        let (nqueues, steal) = match self.config.tsu.policy {
-            tflux_core::SchedulingPolicy::GlobalFifo => (1usize, false),
-            tflux_core::SchedulingPolicy::LocalityFirst { steal } => {
-                (kernels as usize, steal && kernels > 1)
-            }
-        };
-        let queues: Vec<ReadyQueue> = (0..nqueues).map(|_| ReadyQueue::new()).collect();
+        // The shared software TSU: Graph Memory, sharded Synchronization
+        // Memory and the per-kernel ready queues, armed with the first
+        // block's inlet.
+        let soft = SoftTsu::new(program, kernels, self.config.tsu);
         let tub = Tub::with_backoff(self.config.tub_segments, self.config.tub_backoff);
-        let emu_config = EmulatorConfig {
-            tsu: self.config.tsu,
-            watchdog: self.config.watchdog,
-        };
+        let watchdog = self.config.watchdog;
         let retry = self.config.retry;
 
         let panic_sink = crate::kernel::PanicSink::default();
@@ -268,28 +260,16 @@ impl Runtime {
         let (exit, joined) = std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(kernels as usize);
             for k in 0..kernels {
-                let queues = &queues;
-                let own = (k as usize).min(queues.len() - 1);
+                let soft = &soft;
                 let tub = &tub;
                 let panic_sink = &panic_sink;
                 handles.push(s.spawn(move || {
-                    run_kernel(
-                        KernelId(k),
-                        program,
-                        bodies,
-                        queues,
-                        own,
-                        steal,
-                        tub,
-                        panic_sink,
-                        injector,
-                        retry,
-                    )
+                    run_kernel(KernelId(k), soft, bodies, tub, panic_sink, injector, retry)
                 }));
             }
             // The emulator runs on the caller's thread — the paper's "one
             // CPU devoted to the TSU" (Fig. 4).
-            let exit = run_emulator(program, &queues, &tub, emu_config, injector);
+            let exit = run_emulator(&soft, &tub, watchdog, injector);
             let joined: Vec<std::thread::Result<KernelStats>> =
                 handles.into_iter().map(|h| h.join()).collect();
             (exit, joined)
@@ -323,6 +303,7 @@ impl Runtime {
                     tsu,
                     tub: tub.stats().snapshot(),
                     kernels: kernel_stats,
+                    sm_shards: soft.shard_stats(),
                 })
             }
             EmulatorExit::Protocol(e) => Err(RuntimeError::Protocol(e)),
@@ -415,7 +396,9 @@ mod tests {
         assert_eq!(counter.load(Ordering::Relaxed), 32);
         assert_eq!(report.tsu.completions as usize, p.total_instances());
         assert_eq!(report.total_executed() as usize, p.total_instances());
-        assert_eq!(report.tub.pushes as usize, p.total_instances());
+        // only block transitions travel through the TUB now: one inlet and
+        // one outlet for the single block — App completions go direct
+        assert_eq!(report.tub.pushes, 2);
     }
 
     #[test]
@@ -574,7 +557,14 @@ mod tests {
             .run(&p, &bodies)
             .unwrap();
         assert_eq!(report.tsu.fetches, report.tsu.completions);
-        assert_eq!(report.total_executed(), report.tub.pushes);
+        assert_eq!(report.total_executed(), report.tsu.completions);
+        // the TUB carries exactly one inlet + one outlet per loaded block
+        assert_eq!(report.tub.pushes, 2 * report.tsu.blocks_loaded);
+        // the per-shard ledger sums to the aggregate rc-update counter
+        assert_eq!(
+            report.sm_shards.iter().map(|s| s.rc_updates).sum::<u64>(),
+            report.tsu.rc_updates
+        );
         assert!(report.wall > Duration::ZERO);
     }
 

@@ -1,24 +1,20 @@
-//! Per-kernel ready queues — the runtime face of the Synchronization Memory.
+//! Per-kernel ready queues — the runtime face of the TSU Queue Units.
 //!
-//! Each kernel owns one [`ReadyQueue`] ("Local TSU" in Fig. 4 of the paper).
-//! The TSU Emulator pushes instances whose ready count reached zero; the
-//! kernel pops them, blocking when empty. Shutdown is broadcast by the
-//! emulator once the last block's outlet completes.
+//! Each kernel owns one [`ReadyQueue`] ("Local TSU" in Fig. 4 of the paper):
+//! the concurrent counterpart of the single-owner
+//! [`QueueUnit`](tflux_core::tsu::QueueUnit). Completion handlers push
+//! instances whose ready count reached zero; the kernel pops them, blocking
+//! when empty. Shutdown is broadcast once the last block's outlet
+//! completes. All three answers speak the shared
+//! [`FetchResult`](tflux_core::tsu::FetchResult) vocabulary — the enum that
+//! used to exist twice, as core's `FetchResult` and the runtime's `Fetched`.
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use tflux_core::ids::Instance;
-
-/// What a kernel gets back from its ready queue.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Fetched {
-    /// Run this instance.
-    Thread(Instance),
-    /// The program finished; the kernel exits.
-    Exit,
-}
+use tflux_core::tsu::FetchResult;
 
 struct Inner {
     queue: VecDeque<Instance>,
@@ -55,7 +51,7 @@ impl ReadyQueue {
         }
     }
 
-    /// Enqueue a ready instance (emulator side).
+    /// Enqueue a ready instance (completion-handler side).
     pub fn push(&self, inst: Instance) {
         let mut inner = self.inner.lock();
         inner.queue.push_back(inst);
@@ -70,16 +66,17 @@ impl ReadyQueue {
     }
 
     /// Dequeue the next instance, blocking while the queue is empty and the
-    /// program is still running. Exit is reported only after the queue is
-    /// empty, so no ready instance is ever abandoned.
-    pub fn pop(&self) -> Fetched {
+    /// program is still running — never returns [`FetchResult::Wait`]. Exit
+    /// is reported only after the queue is empty, so no ready instance is
+    /// ever abandoned.
+    pub fn pop(&self) -> FetchResult {
         let mut inner = self.inner.lock();
         loop {
             if let Some(i) = inner.queue.pop_front() {
-                return Fetched::Thread(i);
+                return FetchResult::Thread(i);
             }
             if inner.exit {
-                return Fetched::Exit;
+                return FetchResult::Exit;
             }
             self.blocked_pops.fetch_add(1, Ordering::Relaxed);
             let start = std::time::Instant::now();
@@ -91,17 +88,18 @@ impl ReadyQueue {
         }
     }
 
-    /// Pop with a bounded wait: returns `None` when `timeout` elapses with
-    /// the queue still empty and the program still running. Used by the
-    /// work-stealing kernel loop, which must periodically rescan victim
-    /// queues instead of blocking on its own queue forever.
-    pub fn pop_timeout(&self, timeout: Duration) -> Option<Fetched> {
+    /// Pop with a bounded wait: returns [`FetchResult::Wait`] when
+    /// `timeout` elapses with the queue still empty and the program still
+    /// running. Used by the work-stealing kernel loop, which must
+    /// periodically rescan victim queues instead of blocking on its own
+    /// queue forever.
+    pub fn pop_timeout(&self, timeout: Duration) -> FetchResult {
         let mut inner = self.inner.lock();
         if let Some(i) = inner.queue.pop_front() {
-            return Some(Fetched::Thread(i));
+            return FetchResult::Thread(i);
         }
         if inner.exit {
-            return Some(Fetched::Exit);
+            return FetchResult::Exit;
         }
         self.blocked_pops.fetch_add(1, Ordering::Relaxed);
         let start = std::time::Instant::now();
@@ -109,23 +107,24 @@ impl ReadyQueue {
         self.wait_ns
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         if let Some(i) = inner.queue.pop_front() {
-            Some(Fetched::Thread(i))
+            FetchResult::Thread(i)
         } else if inner.exit {
-            Some(Fetched::Exit)
+            FetchResult::Exit
         } else {
-            None
+            FetchResult::Wait
         }
     }
 
-    /// Non-blocking pop (used by tests and by idle-probing).
-    pub fn try_pop(&self) -> Option<Fetched> {
+    /// Non-blocking pop: [`FetchResult::Wait`] when the queue is empty and
+    /// the program is still running.
+    pub fn try_pop(&self) -> FetchResult {
         let mut inner = self.inner.lock();
         if let Some(i) = inner.queue.pop_front() {
-            Some(Fetched::Thread(i))
+            FetchResult::Thread(i)
         } else if inner.exit {
-            Some(Fetched::Exit)
+            FetchResult::Exit
         } else {
-            None
+            FetchResult::Wait
         }
     }
 
@@ -165,8 +164,8 @@ mod tests {
         let q = ReadyQueue::new();
         q.push(inst(1));
         q.push(inst(2));
-        assert_eq!(q.pop(), Fetched::Thread(inst(1)));
-        assert_eq!(q.pop(), Fetched::Thread(inst(2)));
+        assert_eq!(q.pop(), FetchResult::Thread(inst(1)));
+        assert_eq!(q.pop(), FetchResult::Thread(inst(2)));
     }
 
     #[test]
@@ -174,9 +173,9 @@ mod tests {
         let q = ReadyQueue::new();
         q.push(inst(1));
         q.shutdown();
-        assert_eq!(q.pop(), Fetched::Thread(inst(1)));
-        assert_eq!(q.pop(), Fetched::Exit);
-        assert_eq!(q.pop(), Fetched::Exit);
+        assert_eq!(q.pop(), FetchResult::Thread(inst(1)));
+        assert_eq!(q.pop(), FetchResult::Exit);
+        assert_eq!(q.pop(), FetchResult::Exit);
     }
 
     #[test]
@@ -188,7 +187,7 @@ mod tests {
         };
         std::thread::sleep(Duration::from_millis(20));
         q.push(inst(7));
-        assert_eq!(handle.join().unwrap(), Fetched::Thread(inst(7)));
+        assert_eq!(handle.join().unwrap(), FetchResult::Thread(inst(7)));
         assert!(q.blocked_pops() >= 1);
     }
 
@@ -201,29 +200,29 @@ mod tests {
         };
         std::thread::sleep(Duration::from_millis(10));
         q.shutdown();
-        assert_eq!(handle.join().unwrap(), Fetched::Exit);
+        assert_eq!(handle.join().unwrap(), FetchResult::Exit);
     }
 
     #[test]
     fn pop_timeout_expires_and_delivers() {
         let q = ReadyQueue::new();
-        assert_eq!(q.pop_timeout(Duration::from_millis(5)), None);
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), FetchResult::Wait);
         q.push(inst(4));
         assert_eq!(
             q.pop_timeout(Duration::from_millis(5)),
-            Some(Fetched::Thread(inst(4)))
+            FetchResult::Thread(inst(4))
         );
         q.shutdown();
-        assert_eq!(q.pop_timeout(Duration::from_millis(5)), Some(Fetched::Exit));
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), FetchResult::Exit);
     }
 
     #[test]
     fn try_pop_states() {
         let q = ReadyQueue::new();
-        assert_eq!(q.try_pop(), None);
+        assert_eq!(q.try_pop(), FetchResult::Wait);
         q.push(inst(3));
-        assert_eq!(q.try_pop(), Some(Fetched::Thread(inst(3))));
+        assert_eq!(q.try_pop(), FetchResult::Thread(inst(3)));
         q.shutdown();
-        assert_eq!(q.try_pop(), Some(Fetched::Exit));
+        assert_eq!(q.try_pop(), FetchResult::Exit);
     }
 }

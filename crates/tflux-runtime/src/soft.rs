@@ -1,0 +1,385 @@
+//! The shared software TSU of TFluxSoft: Graph Memory + sharded
+//! Synchronization Memory + per-kernel ready queues, behind
+//! [`TsuBackend`].
+//!
+//! This is the direct-update redesign of §4.2: instead of funnelling every
+//! completion through the single TSU-Emulator thread, kernels publish
+//! *application* completions straight into the
+//! [`SyncMemory`](tflux_core::tsu::SyncMemory) — whose shards are keyed by
+//! the consumer's owning kernel, so kernels completing producers of
+//! different consumers touch disjoint locks. Only Inlet/Outlet completions
+//! (block loading/unloading, which the paper serializes anyway: a block
+//! loads only after the previous outlet) still travel through the
+//! [TUB](crate::tub::Tub) to the emulator, which also keeps the watchdog.
+//!
+//! `SoftTsu` is shared by `&` between the kernels and the emulator; the
+//! [`TsuBackend`] impl therefore lives on `&SoftTsu`, mirroring how
+//! `&std::fs::File` implements `io::Write`.
+
+use crate::sm::ReadyQueue;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tflux_core::error::CoreError;
+use tflux_core::ids::{BlockId, Instance, KernelId};
+use tflux_core::policy::SchedulingPolicy;
+use tflux_core::program::DdmProgram;
+use tflux_core::tsu::{
+    FetchResult, GraphMemory, ShardStats, SyncMemory, TsuBackend, TsuConfig, TsuStats,
+    WaitingInstance,
+};
+
+/// The concurrent TSU shared by all TFluxSoft kernels and the emulator.
+///
+/// Construction arms the first block's inlet on its owning kernel's queue.
+/// Every instance is dispatched (marked in-flight in the Synchronization
+/// Memory) *before* it is pushed onto a ready queue, so `fetches` and
+/// `completions` pair up exactly and stall forensics can name every
+/// dispatched-but-unfinished instance.
+pub struct SoftTsu<'p> {
+    sm: SyncMemory<'p>,
+    policy: SchedulingPolicy,
+    steal: bool,
+    queues: Vec<ReadyQueue>,
+    /// Per-kernel steal counters (indexed by kernel id).
+    kernel_steals: Vec<AtomicU64>,
+    /// Fetches that found no runnable instance anywhere.
+    waits: AtomicU64,
+    /// First TSU protocol error raised by a kernel on the direct path; the
+    /// emulator collects it and aborts the run.
+    protocol: Mutex<Option<CoreError>>,
+}
+
+impl<'p> SoftTsu<'p> {
+    /// A software TSU for `program` serving `kernels` kernels.
+    ///
+    /// `GlobalFifo` uses one shared queue; `LocalityFirst` a queue per
+    /// kernel (with stealing if configured and there is anyone to steal
+    /// from).
+    pub fn new(program: &'p DdmProgram, kernels: u32, config: TsuConfig) -> Self {
+        let kernels = kernels.max(1);
+        let (nqueues, steal) = match config.policy {
+            SchedulingPolicy::GlobalFifo => (1usize, false),
+            SchedulingPolicy::LocalityFirst { steal } => (kernels as usize, steal && kernels > 1),
+        };
+        let soft = SoftTsu {
+            sm: SyncMemory::new(program, kernels, config.capacity),
+            policy: config.policy,
+            steal,
+            queues: (0..nqueues).map(|_| ReadyQueue::new()).collect(),
+            kernel_steals: (0..kernels).map(|_| AtomicU64::new(0)).collect(),
+            waits: AtomicU64::new(0),
+            protocol: Mutex::new(None),
+        };
+        let inlet = soft.sm.armed_inlet();
+        soft.sm.dispatch(inlet);
+        soft.queues[soft.queue_of(inlet)].push(inlet);
+        soft
+    }
+
+    /// The read-only Graph Memory view.
+    pub fn graph(&self) -> GraphMemory<'p> {
+        self.sm.graph()
+    }
+
+    /// Whether idle kernels steal from sibling queues.
+    pub fn stealing(&self) -> bool {
+        self.steal
+    }
+
+    /// Which queue `inst` belongs on (Thread Indexing via Graph Memory).
+    fn queue_of(&self, inst: Instance) -> usize {
+        match self.policy {
+            SchedulingPolicy::GlobalFifo => 0,
+            SchedulingPolicy::LocalityFirst { .. } => self
+                .sm
+                .graph()
+                .owner_of(inst)
+                .idx()
+                .min(self.queues.len() - 1),
+        }
+    }
+
+    /// The queue index `kernel` pops as its own (its Local TSU).
+    pub fn queue_index(&self, kernel: KernelId) -> usize {
+        match self.policy {
+            SchedulingPolicy::GlobalFifo => 0,
+            SchedulingPolicy::LocalityFirst { .. } => kernel.idx().min(self.queues.len() - 1),
+        }
+    }
+
+    /// Direct access to a ready queue (kernels hold their own for blocking
+    /// pops; tests drive inline kernels through it).
+    pub fn queue(&self, idx: usize) -> &ReadyQueue {
+        &self.queues[idx]
+    }
+
+    /// Current depth of every ready queue (stall forensics).
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.queues.iter().map(|q| q.len()).collect()
+    }
+
+    /// Shut every queue down so all kernels terminate after draining.
+    pub fn shutdown(&self) {
+        for q in &self.queues {
+            q.shutdown();
+        }
+    }
+
+    /// Whether the last block's outlet has completed.
+    pub fn finished(&self) -> bool {
+        self.sm.finished()
+    }
+
+    /// Completions processed so far — the watchdog's progress probe.
+    pub fn completions(&self) -> u64 {
+        self.sm.completions()
+    }
+
+    /// The currently loaded block, if any.
+    pub fn loaded_block(&self) -> Option<BlockId> {
+        self.sm.loaded_block()
+    }
+
+    /// Post-process a completion and schedule everything it made ready:
+    /// each newly-ready instance is dispatched and pushed on its owning
+    /// kernel's queue. `scratch` is a reusable buffer (cleared here).
+    ///
+    /// This is the whole direct-update path: an App completion runs it on
+    /// the completing kernel's thread; Inlet/Outlet completions run it on
+    /// the emulator thread after a TUB hop.
+    pub fn handle_completion(
+        &self,
+        inst: Instance,
+        scratch: &mut Vec<Instance>,
+    ) -> Result<(), CoreError> {
+        self.sm.complete(inst, scratch)?;
+        for &r in scratch.iter() {
+            self.sm.dispatch(r);
+            self.queues[self.queue_of(r)].push(r);
+        }
+        Ok(())
+    }
+
+    /// Non-blocking fetch: own queue first, then (if enabled) steal from
+    /// the most loaded sibling.
+    fn try_fetch(&self, kernel: KernelId) -> FetchResult {
+        let own = self.queue_index(kernel);
+        match self.queues[own].try_pop() {
+            FetchResult::Wait => {}
+            r => return r,
+        }
+        if self.steal {
+            loop {
+                let victim = (0..self.queues.len())
+                    .filter(|&q| q != own && !self.queues[q].is_empty())
+                    .max_by_key(|&q| self.queues[q].len());
+                let Some(v) = victim else { break };
+                if let FetchResult::Thread(i) = self.queues[v].try_pop() {
+                    self.kernel_steals[kernel.idx().min(self.kernel_steals.len() - 1)]
+                        .fetch_add(1, Ordering::Relaxed);
+                    return FetchResult::Thread(i);
+                }
+                // raced with the owner; rescan
+            }
+        }
+        self.waits.fetch_add(1, Ordering::Relaxed);
+        FetchResult::Wait
+    }
+
+    /// Instances `kernel` took from sibling queues so far.
+    pub fn steals_of(&self, kernel: KernelId) -> u64 {
+        self.kernel_steals[kernel.idx().min(self.kernel_steals.len() - 1)].load(Ordering::Relaxed)
+    }
+
+    /// Record a TSU protocol error raised on a kernel's direct path (first
+    /// one wins); the emulator picks it up and aborts the run.
+    pub fn record_protocol(&self, e: CoreError) {
+        let mut g = self.protocol.lock();
+        if g.is_none() {
+            *g = Some(e);
+        }
+    }
+
+    /// Take the recorded protocol error, if any.
+    pub fn take_protocol_error(&self) -> Option<CoreError> {
+        self.protocol.lock().take()
+    }
+
+    /// Aggregate TSU counters, with the scheduler's waits and steals folded
+    /// in.
+    pub fn stats(&self) -> TsuStats {
+        let mut s = self.sm.stats();
+        s.waits = self.waits.load(Ordering::Relaxed);
+        s.steals = self
+            .kernel_steals
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum();
+        s
+    }
+
+    /// Per-shard Synchronization Memory counters, indexed by owning kernel.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.sm.shard_stats()
+    }
+
+    /// Stall forensics: resident instances still waiting on producers.
+    pub fn waiting_instances(&self) -> Vec<WaitingInstance> {
+        self.sm.waiting_instances()
+    }
+
+    /// Stall forensics: instances dispatched but never completed.
+    pub fn running_instances(&self) -> Vec<Instance> {
+        self.sm.running_instances()
+    }
+}
+
+impl TsuBackend for &SoftTsu<'_> {
+    fn load_block(&mut self, block: BlockId, ready: &mut Vec<Instance>) -> Result<(), CoreError> {
+        ready.clear();
+        self.sm.load_block(block, ready)?;
+        for &r in ready.iter() {
+            self.sm.dispatch(r);
+            self.queues[self.queue_of(r)].push(r);
+        }
+        Ok(())
+    }
+
+    fn fetch(&mut self, kernel: KernelId) -> FetchResult {
+        self.try_fetch(kernel)
+    }
+
+    fn complete(&mut self, inst: Instance, ready: &mut Vec<Instance>) -> Result<(), CoreError> {
+        self.handle_completion(inst, ready)
+    }
+
+    fn drain_stats(&mut self) -> TsuStats {
+        self.stats()
+    }
+
+    fn waiting_instances(&self) -> Vec<WaitingInstance> {
+        (**self).waiting_instances()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tflux_core::prelude::*;
+
+    fn fork_join(arity: u32) -> DdmProgram {
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let src = b.thread(blk, ThreadSpec::scalar("src"));
+        let work = b.thread(blk, ThreadSpec::new("work", arity));
+        let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+        b.arc(src, work, ArcMapping::Broadcast).unwrap();
+        b.arc(work, sink, ArcMapping::Reduction).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_owner_drains_whole_program_via_backend() {
+        let p = fork_join(4);
+        let soft = SoftTsu::new(&p, 2, TsuConfig::default());
+        let mut backend = &soft;
+        let mut scratch = Vec::new();
+        let mut done = 0usize;
+        // round-robin both kernels through the trait
+        while !soft.finished() {
+            let mut idle = true;
+            for k in 0..2 {
+                if let FetchResult::Thread(i) = backend.fetch(KernelId(k)) {
+                    backend.complete(i, &mut scratch).unwrap();
+                    done += 1;
+                    idle = false;
+                }
+            }
+            assert!(!idle, "no kernel can make progress");
+        }
+        assert_eq!(done, p.total_instances());
+        let s = soft.stats();
+        assert_eq!(s.completions as usize, p.total_instances());
+        assert_eq!(s.fetches, s.completions);
+        assert_eq!(
+            s.rc_updates,
+            soft.shard_stats().iter().map(|s| s.rc_updates).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn armed_inlet_is_dispatched_and_queued() {
+        let p = fork_join(2);
+        let soft = SoftTsu::new(&p, 1, TsuConfig::default());
+        assert_eq!(soft.queue_depths(), vec![1]);
+        // already in flight before any kernel pops it — this is what lets
+        // the watchdog name a never-popped inlet in its forensics
+        assert_eq!(soft.running_instances(), vec![soft.graph().first_inlet()]);
+    }
+
+    #[test]
+    fn protocol_error_is_latched_once() {
+        let p = fork_join(2);
+        let soft = SoftTsu::new(&p, 1, TsuConfig::default());
+        soft.record_protocol(CoreError::NotRunning(Instance::new(ThreadId(1), Context(0))));
+        soft.record_protocol(CoreError::NotRunning(Instance::new(ThreadId(2), Context(9))));
+        match soft.take_protocol_error() {
+            Some(CoreError::NotRunning(i)) => assert_eq!(i.thread, ThreadId(1)),
+            other => panic!("{other:?}"),
+        }
+        assert!(soft.take_protocol_error().is_none());
+    }
+
+    #[test]
+    fn steals_are_counted_per_kernel() {
+        // all work pinned to kernel 1; kernel 0 steals it
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let w = b.thread(
+            blk,
+            ThreadSpec::new("w", 4).with_affinity(Affinity::Fixed(KernelId(1))),
+        );
+        let _ = w;
+        let p = b.build().unwrap();
+        let soft = SoftTsu::new(
+            &p,
+            2,
+            TsuConfig {
+                capacity: 0,
+                policy: SchedulingPolicy::LocalityFirst { steal: true },
+            },
+        );
+        let mut backend = &soft;
+        let mut scratch = Vec::new();
+        let mut done = 0usize;
+        while !soft.finished() {
+            match backend.fetch(KernelId(0)) {
+                FetchResult::Thread(i) => {
+                    backend.complete(i, &mut scratch).unwrap();
+                    done += 1;
+                }
+                other => panic!("kernel 0 should always find work: {other:?}"),
+            }
+        }
+        assert_eq!(done, p.total_instances());
+        assert_eq!(soft.steals_of(KernelId(0)), 4, "the 4 pinned instances");
+        assert_eq!(soft.steals_of(KernelId(1)), 0);
+        assert_eq!(soft.stats().steals, 4);
+    }
+
+    #[test]
+    fn global_fifo_uses_one_queue_for_all_kernels() {
+        let p = fork_join(3);
+        let soft = SoftTsu::new(
+            &p,
+            4,
+            TsuConfig {
+                capacity: 0,
+                policy: SchedulingPolicy::GlobalFifo,
+            },
+        );
+        assert_eq!(soft.queue_depths().len(), 1);
+        assert_eq!(soft.queue_index(KernelId(3)), 0);
+        assert!(!soft.stealing());
+    }
+}

@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Duration;
 use tflux_core::ids::{Instance, KernelId};
-use tflux_core::tsu::{TsuStats, WaitingInstance};
+use tflux_core::tsu::{ShardStats, TsuStats, WaitingInstance};
 
 /// Per-kernel counters.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
@@ -55,6 +55,12 @@ pub struct RunReport {
     pub tub: TubSnapshot,
     /// Per-kernel counters, indexed by kernel id.
     pub kernels: Vec<KernelStats>,
+    /// Per-shard Synchronization Memory counters, indexed by the owning
+    /// kernel: how many ready-count updates landed on each shard and how
+    /// often its lock was found already held. A hot `contended` entry means
+    /// many kernels' completions funnel into one consumer kernel's shard.
+    #[serde(default)]
+    pub sm_shards: Vec<ShardStats>,
 }
 
 impl RunReport {
@@ -246,6 +252,7 @@ mod tests {
                     ..Default::default()
                 },
             ],
+            sm_shards: Vec::new(),
         };
         assert_eq!(r.total_executed(), 10);
         assert_eq!(r.load_imbalance(), 0.0);
@@ -267,6 +274,7 @@ mod tests {
                     ..Default::default()
                 },
             ],
+            sm_shards: Vec::new(),
         };
         assert!(r.load_imbalance() > 0.9);
     }
@@ -323,6 +331,7 @@ mod tests {
                     ..Default::default()
                 },
             ],
+            sm_shards: Vec::new(),
         };
         assert_eq!(r.total_retries(), 5);
         assert_eq!(r.total_poisoned(), 1);
@@ -338,6 +347,7 @@ mod tests {
                 executed: 3,
                 ..Default::default()
             }],
+            sm_shards: Vec::new(),
         };
         assert_eq!(r.load_imbalance(), 0.0);
     }

@@ -28,7 +28,8 @@
 //! they yield compute cycles plus a cache-line-granular memory access
 //! stream. The simulator executes the *same* [`DdmProgram`]s as the real
 //! runtime — scheduling decisions come from the same
-//! [`TsuState`](tflux_core::TsuState) state machine.
+//! [`CoreTsu`](tflux_core::CoreTsu) composition of Graph Memory,
+//! Synchronization Memory, and Queue Units.
 //!
 //! [`DdmProgram`]: tflux_core::DdmProgram
 

@@ -16,7 +16,7 @@ use crate::tsu_dev::{DevFetch, TsuDevice};
 use crate::work::{InstanceWork, WorkSource};
 use tflux_core::ids::Instance;
 use tflux_core::program::DdmProgram;
-use tflux_core::tsu::{drain_sequential, TsuConfig, TsuState};
+use tflux_core::tsu::{drain_sequential, CoreTsu, TsuConfig};
 
 /// Accesses per scheduling quantum. Chunking trades event-queue overhead
 /// against interleaving fidelity; 64 accesses ≈ a few hundred cycles, well
@@ -123,7 +123,7 @@ impl Machine {
         mut trace: Option<&mut ExecTrace>,
     ) -> SimReport {
         let cores = self.cfg.cores.max(1);
-        let tsu = TsuState::new(program, cores, self.tsu_cfg);
+        let tsu = CoreTsu::new(program, cores, self.tsu_cfg);
         // cross-TSU-group updates ride the system network
         let cross = if self.cfg.tsu_groups > 1 {
             self.cfg.bus_transfer * 2
@@ -198,7 +198,7 @@ impl Machine {
             core_tsu: states.iter().map(|s| s.tsu_time).collect(),
             core_idle: states.iter().map(|s| s.idle).collect(),
             mem: mem.stats,
-            tsu: *dev.tsu().stats(),
+            tsu: dev.tsu().stats(),
             dev: dev.stats,
             instances,
         }
@@ -310,7 +310,7 @@ impl Machine {
     /// and kernel costs — the paper's "original sequential \[program\],
     /// i.e. without any TFlux overheads" (§5).
     pub fn run_sequential(&self, program: &DdmProgram, source: &dyn WorkSource) -> SimReport {
-        let mut tsu = TsuState::new(program, 1, TsuConfig::default());
+        let mut tsu = CoreTsu::new(program, 1, TsuConfig::default());
         let order = drain_sequential(&mut tsu);
         let mut mem = MemorySystem::new(self.cfg.with_cores(1));
         let mut now = 0u64;
@@ -332,7 +332,7 @@ impl Machine {
             core_tsu: vec![0],
             core_idle: vec![0],
             mem: mem.stats,
-            tsu: *tsu.stats(),
+            tsu: tsu.stats(),
             dev: Default::default(),
             instances,
         }

@@ -14,7 +14,7 @@
 use crate::config::TsuCosts;
 use serde::{Deserialize, Serialize};
 use tflux_core::ids::{Instance, KernelId};
-use tflux_core::tsu::{FetchResult, TsuState};
+use tflux_core::tsu::{CoreTsu, FetchResult, TsuBackend};
 
 /// Counters of the device model.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
@@ -49,7 +49,7 @@ pub enum DevFetch {
 /// that crosses shards pays `cross_cost` extra cycles (the TSU-to-TSU
 /// message that the single-group design handles internally).
 pub struct TsuDevice<'p> {
-    tsu: TsuState<'p>,
+    tsu: CoreTsu<'p>,
     costs: TsuCosts,
     busy_until: Vec<u64>,
     /// `shard_of[core]`.
@@ -64,14 +64,14 @@ pub struct TsuDevice<'p> {
 impl<'p> TsuDevice<'p> {
     /// Wrap a TSU state machine with a cost model for `cores` cores (one
     /// TSU Group).
-    pub fn new(tsu: TsuState<'p>, costs: TsuCosts, cores: u32) -> Self {
+    pub fn new(tsu: CoreTsu<'p>, costs: TsuCosts, cores: u32) -> Self {
         Self::sharded(tsu, costs, cores, 1, 0)
     }
 
     /// A sharded TSU: `groups` independent units, cross-shard updates
     /// costing `cross_cost` extra cycles.
     pub fn sharded(
-        tsu: TsuState<'p>,
+        tsu: CoreTsu<'p>,
         costs: TsuCosts,
         cores: u32,
         groups: u32,
@@ -94,7 +94,7 @@ impl<'p> TsuDevice<'p> {
     }
 
     /// The wrapped state machine.
-    pub fn tsu(&self) -> &TsuState<'p> {
+    pub fn tsu(&self) -> &CoreTsu<'p> {
         &self.tsu
     }
 
@@ -118,7 +118,7 @@ impl<'p> TsuDevice<'p> {
     pub fn fetch(&mut self, core: u32, now: u64) -> DevFetch {
         let arrive = now + self.costs.access;
         let done = self.process(self.shard_of[core as usize], arrive);
-        match self.tsu.fetch_ready(KernelId(core)) {
+        match TsuBackend::fetch(&mut self.tsu, KernelId(core)) {
             FetchResult::Thread(i) => {
                 self.parked[core as usize] = false;
                 DevFetch::Thread(i, done)
@@ -153,7 +153,7 @@ impl<'p> TsuDevice<'p> {
         let shard = self.shard_of[core as usize];
         let mut ready_at = self.process(shard, core_free);
         let mut ready = std::mem::take(&mut self.ready_buf);
-        self.tsu.complete_queued(inst, &mut ready)?;
+        TsuBackend::complete(&mut self.tsu, inst, &mut ready)?;
         // cross-shard ready-count updates: charge the TSU-to-TSU network
         // message only when a newly-ready instance's owning kernel actually
         // lives on another shard
@@ -208,7 +208,7 @@ mod tests {
     #[test]
     fn fetch_charges_access_and_op_latency() {
         let p = fork(2);
-        let tsu = TsuState::new(&p, 1, TsuConfig::default());
+        let tsu = CoreTsu::new(&p, 1, TsuConfig::default());
         let mut dev = TsuDevice::new(tsu, TsuCosts::hard(), 1);
         match dev.fetch(0, 100) {
             DevFetch::Thread(i, at) => {
@@ -223,7 +223,7 @@ mod tests {
     #[test]
     fn commands_serialize_through_the_unit() {
         let p = fork(8);
-        let tsu = TsuState::new(&p, 2, TsuConfig::default());
+        let tsu = CoreTsu::new(&p, 2, TsuConfig::default());
         let mut dev = TsuDevice::new(tsu, TsuCosts::hard(), 2);
         // prime: inlet fetched and completed so app threads are ready
         let DevFetch::Thread(inlet, t0) = dev.fetch(0, 0) else {
@@ -243,7 +243,7 @@ mod tests {
     #[test]
     fn empty_fetch_parks_core() {
         let p = fork(1);
-        let tsu = TsuState::new(&p, 2, TsuConfig::default());
+        let tsu = CoreTsu::new(&p, 2, TsuConfig::default());
         let mut dev = TsuDevice::new(tsu, TsuCosts::hard(), 2);
         let DevFetch::Thread(inlet, _) = dev.fetch(0, 0) else {
             panic!()
@@ -262,7 +262,7 @@ mod tests {
     #[test]
     fn completion_is_posted_core_continues_before_postprocessing() {
         let p = fork(1);
-        let tsu = TsuState::new(&p, 1, TsuConfig::default());
+        let tsu = CoreTsu::new(&p, 1, TsuConfig::default());
         let mut dev = TsuDevice::new(tsu, TsuCosts::soft(), 1);
         let DevFetch::Thread(inlet, t) = dev.fetch(0, 0) else {
             panic!()
@@ -275,7 +275,7 @@ mod tests {
     #[test]
     fn shards_serialize_independently() {
         let p = fork(16);
-        let tsu = TsuState::new(&p, 4, TsuConfig::default());
+        let tsu = CoreTsu::new(&p, 4, TsuConfig::default());
         let mut dev = TsuDevice::sharded(tsu, TsuCosts::hard(), 4, 2, 8);
         // prime the block
         let DevFetch::Thread(inlet, t0) = dev.fetch(0, 0) else {
@@ -301,7 +301,7 @@ mod tests {
     #[test]
     fn cross_shard_updates_are_charged_and_counted() {
         let p = fork(8);
-        let tsu = TsuState::new(&p, 4, TsuConfig::default());
+        let tsu = CoreTsu::new(&p, 4, TsuConfig::default());
         let mut dev = TsuDevice::sharded(tsu, TsuCosts::hard(), 4, 2, 50);
         let DevFetch::Thread(inlet, t0) = dev.fetch(0, 0) else {
             panic!()
@@ -310,7 +310,7 @@ mod tests {
         let (_, ready_at) = dev.complete(0, t0, inlet).unwrap();
         assert!(dev.stats.cross_updates >= 1);
         // ready_at includes the cross-shard message
-        let plain_tsu = TsuState::new(&p, 4, TsuConfig::default());
+        let plain_tsu = CoreTsu::new(&p, 4, TsuConfig::default());
         let mut plain = TsuDevice::new(plain_tsu, TsuCosts::hard(), 4);
         let DevFetch::Thread(inlet2, t1) = plain.fetch(0, 0) else {
             panic!()
@@ -322,7 +322,7 @@ mod tests {
     #[test]
     fn exit_after_program_finishes() {
         let p = fork(1);
-        let tsu = TsuState::new(&p, 1, TsuConfig::default());
+        let tsu = CoreTsu::new(&p, 1, TsuConfig::default());
         let mut dev = TsuDevice::new(tsu, TsuCosts::hard(), 1);
         let mut now = 0;
         loop {

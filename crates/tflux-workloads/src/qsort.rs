@@ -576,7 +576,7 @@ mod tests {
             let (prog, ids) = program_with_depth(&p, depth);
             assert_eq!(ids.levels.len() as u32, depth.min(4));
             // program drains
-            let mut tsu = tflux_core::TsuState::new(&prog, 4, tflux_core::TsuConfig::default());
+            let mut tsu = tflux_core::CoreTsu::new(&prog, 4, tflux_core::TsuConfig::default());
             let order = tflux_core::tsu::drain_sequential(&mut tsu);
             assert_eq!(order.len(), prog.total_instances(), "depth {depth}");
         }

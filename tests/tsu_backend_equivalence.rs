@@ -1,0 +1,158 @@
+//! Equivalence of the TSU-unit compositions: the threaded TFluxSoft path
+//! (kernels post-processing App completions directly through the sharded
+//! Synchronization Memory + the emulator handling block transitions), the
+//! simulated hardware TSU device, and the sequential reference executor
+//! all drive the same `GraphMemory`/`SyncMemory` semantics — so under the
+//! deterministic `GlobalFifo` policy they must complete the *same multiset
+//! of instances* with the *same ready-count-update and block-load
+//! bookkeeping* for every workload in the suite.
+
+use tflux::core::prelude::*;
+use tflux::core::tsu::{drain_sequential, TsuStats};
+use tflux::runtime::{BodyTable, Runtime, RuntimeConfig};
+use tflux::sim::tsu_dev::{DevFetch, TsuDevice};
+use tflux::sim::TsuCosts;
+use tflux::workloads::common::Params;
+use tflux::workloads::setup::{sim_setup, with_default_unroll};
+use tflux::workloads::sizes::SizeClass;
+use tflux::workloads::Bench;
+
+const KERNELS: u32 = 3;
+
+fn fifo() -> TsuConfig {
+    TsuConfig {
+        capacity: 0,
+        policy: SchedulingPolicy::GlobalFifo,
+    }
+}
+
+/// Completion multiset + the scheduling bookkeeping the paths must agree on.
+struct Outcome {
+    completed: Vec<Instance>,
+    rc_updates: u64,
+    blocks_loaded: u64,
+}
+
+impl Outcome {
+    fn new(mut completed: Vec<Instance>, stats: &TsuStats) -> Self {
+        completed.sort_unstable();
+        Outcome {
+            completed,
+            rc_updates: stats.rc_updates,
+            blocks_loaded: stats.blocks_loaded,
+        }
+    }
+}
+
+/// TFluxSoft: real kernel threads take the direct-update path for App
+/// completions; the emulator drains Inlet/Outlet transitions from the TUB.
+fn soft_outcome(program: &DdmProgram) -> Outcome {
+    let bodies = BodyTable::new(program); // no-op bodies: scheduling only
+    let (report, spans) = Runtime::new(RuntimeConfig::with_kernels(KERNELS).tsu(fifo()))
+        .run_traced(program, &bodies)
+        .expect("soft run failed");
+    let completed = spans.iter().map(|s| s.instance).collect();
+    Outcome::new(completed, &report.tsu)
+}
+
+/// TFluxHard: the memory-mapped TSU device wrapping `CoreTsu`, driven
+/// core-by-core exactly like the simulated kernel loop.
+fn hard_outcome(program: &DdmProgram) -> Outcome {
+    let tsu = CoreTsu::new(program, KERNELS, fifo());
+    let mut dev = TsuDevice::new(tsu, TsuCosts::hard(), KERNELS);
+    let mut completed = Vec::new();
+    let mut now = 0u64;
+    let mut core = 0u32;
+    let mut parked_in_a_row = 0u32;
+    loop {
+        match dev.fetch(core, now) {
+            DevFetch::Thread(inst, at) => {
+                parked_in_a_row = 0;
+                completed.push(inst);
+                let (core_free, _) = dev.complete(core, at, inst).expect("protocol error");
+                now = core_free;
+            }
+            DevFetch::Parked => {
+                parked_in_a_row += 1;
+                assert!(parked_in_a_row <= KERNELS, "device drive deadlocked");
+            }
+            DevFetch::Exit(_) => break,
+        }
+        core = (core + 1) % KERNELS;
+    }
+    let stats = dev.tsu().stats();
+    Outcome::new(completed, &stats)
+}
+
+/// The sequential reference executor over the same units.
+fn seq_outcome(program: &DdmProgram) -> Outcome {
+    let mut tsu = CoreTsu::new(program, KERNELS, fifo());
+    let completed = drain_sequential(&mut tsu);
+    let stats = tsu.stats();
+    Outcome::new(completed, &stats)
+}
+
+fn assert_equivalent(bench: Bench) {
+    let p = with_default_unroll(bench, Params::hard(KERNELS, 0, SizeClass::Small));
+    let (program, _) = sim_setup(bench, &p);
+
+    let soft = soft_outcome(&program);
+    let hard = hard_outcome(&program);
+    let seq = seq_outcome(&program);
+
+    let name = bench.name();
+    assert_eq!(
+        soft.completed.len(),
+        program.total_instances(),
+        "{name}: soft did not drain the program"
+    );
+    assert_eq!(
+        soft.completed, hard.completed,
+        "{name}: soft vs hard completion multiset"
+    );
+    assert_eq!(
+        hard.completed, seq.completed,
+        "{name}: hard vs sequential completion multiset"
+    );
+    assert_eq!(
+        soft.rc_updates, hard.rc_updates,
+        "{name}: rc_updates soft vs hard"
+    );
+    assert_eq!(
+        hard.rc_updates, seq.rc_updates,
+        "{name}: rc_updates hard vs sequential"
+    );
+    assert_eq!(
+        soft.blocks_loaded, hard.blocks_loaded,
+        "{name}: blocks_loaded soft vs hard"
+    );
+    assert_eq!(
+        hard.blocks_loaded, seq.blocks_loaded,
+        "{name}: blocks_loaded hard vs sequential"
+    );
+}
+
+#[test]
+fn trapez_paths_agree() {
+    assert_equivalent(Bench::Trapez);
+}
+
+#[test]
+fn mmult_paths_agree() {
+    assert_equivalent(Bench::Mmult);
+}
+
+#[test]
+fn qsort_paths_agree() {
+    assert_equivalent(Bench::Qsort);
+}
+
+#[test]
+fn susan_paths_agree() {
+    assert_equivalent(Bench::Susan);
+}
+
+#[test]
+fn fft_paths_agree() {
+    assert_equivalent(Bench::Fft);
+}
