@@ -1,15 +1,23 @@
 //! Measure the TSU completion hot path and write `BENCH_tsu.json` at the
 //! workspace root: the serialized single-drainer baseline (the pre-split
-//! emulator model, one thread performing every ready-count update) vs the
-//! sharded direct-update path (one completing thread per kernel, updates
-//! landing on per-kernel Synchronization Memory shards).
+//! emulator model, one thread performing every ready-count update), the
+//! lock-free direct-update path (one completing thread per kernel,
+//! `fetch_sub` on atomic ready-count slots), and the locked-shard
+//! reference (the PR 2 `Mutex<HashMap>` interior, kept in
+//! `tsu_path::locked`) on the same host.
 //!
 //! ```sh
-//! cargo run --release -p tflux-bench --bin bench_tsu
+//! cargo run --release -p tflux-bench --bin bench_tsu            # write BENCH_tsu.json
+//! cargo run --release -p tflux-bench --bin bench_tsu -- --check # CI smoke
 //! ```
+//!
+//! `--check` writes nothing: it measures the lock-free and locked paths at
+//! the widest kernel count and exits non-zero if the lock-free table is
+//! slower than the locked baseline — the regression gate the CI bench
+//! smoke job runs.
 
 use serde::Serialize;
-use tflux_bench::tsu_path::{measure, pipeline};
+use tflux_bench::tsu_path::{locked, measure, pipeline};
 
 const ARITY: u32 = 4096;
 const KERNELS: [u32; 4] = [1, 2, 4, 8];
@@ -28,7 +36,8 @@ struct Row {
 #[derive(Serialize)]
 struct Speedup {
     kernels: u32,
-    sharded_over_serialized: f64,
+    lockfree_over_serialized: f64,
+    lockfree_over_locked: f64,
 }
 
 #[derive(Serialize)]
@@ -53,6 +62,17 @@ fn best(program: &tflux_core::DdmProgram, kernels: u32, sharded: bool) -> u64 {
         .unwrap()
 }
 
+/// Best-of-`RUNS` through the locked-shard reference.
+fn best_locked(program: &tflux_core::DdmProgram, kernels: u32) -> u64 {
+    for _ in 0..WARMUP {
+        locked::measure(program, kernels);
+    }
+    (0..RUNS)
+        .map(|_| locked::measure(program, kernels))
+        .min()
+        .unwrap()
+}
+
 fn row(path: &'static str, kernels: u32, ns_total: u64) -> Row {
     let n = ARITY as f64;
     Row {
@@ -64,7 +84,30 @@ fn row(path: &'static str, kernels: u32, ns_total: u64) -> Row {
     }
 }
 
+/// The CI smoke: fail if the lock-free table is slower than the locked
+/// baseline at the widest kernel count.
+fn check() -> ! {
+    let program = pipeline(ARITY);
+    let k = *KERNELS.last().unwrap();
+    let lockfree = best(&program, k, true);
+    let locked_ns = best_locked(&program, k);
+    let ratio = locked_ns as f64 / lockfree as f64;
+    println!(
+        "bench_tsu --check at {k} kernels: lock-free {lockfree} ns, \
+         locked {locked_ns} ns, speedup {ratio:.2}x"
+    );
+    if lockfree > locked_ns {
+        eprintln!("FAIL: lock-free completion path is slower than the locked baseline");
+        std::process::exit(1);
+    }
+    println!("OK: lock-free path at or above locked-baseline throughput");
+    std::process::exit(0);
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        check();
+    }
     let program = pipeline(ARITY);
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
@@ -72,11 +115,14 @@ fn main() {
         let serial = best(&program, k, false);
         rows.push(row("serialized_single_drainer", k, serial));
         if k > 1 {
-            let sharded = best(&program, k, true);
-            rows.push(row("sharded_direct_update", k, sharded));
+            let lockfree = best(&program, k, true);
+            let locked_ns = best_locked(&program, k);
+            rows.push(row("lockfree_direct_update", k, lockfree));
+            rows.push(row("locked_shard_reference", k, locked_ns));
             speedups.push(Speedup {
                 kernels: k,
-                sharded_over_serialized: serial as f64 / sharded as f64,
+                lockfree_over_serialized: serial as f64 / lockfree as f64,
+                lockfree_over_locked: locked_ns as f64 / lockfree as f64,
             });
         }
     }

@@ -147,7 +147,9 @@ impl CellMachine {
         // Arm: the first block's inlet, queued inside the TSU, goes out
         // over the mailbox of the first SPE whose fetch reaches it.
         for k in 0..spes {
-            if let FetchResult::Thread(inst) = tsu.fetch_ready(KernelId(k)) {
+            if let FetchResult::Thread(inst) =
+                tsu.fetch_ready(KernelId(k)).map_err(CellError::Protocol)?
+            {
                 events.push(self.cfg.mailbox_lat, Ev::Mail(k, inst));
                 spelist[k as usize].dispatched = true;
             }
@@ -245,7 +247,9 @@ impl CellMachine {
                             if s.waiting_since.is_none() || s.done || s.dispatched {
                                 continue;
                             }
-                            if let FetchResult::Thread(i) = tsu.fetch_ready(KernelId(k)) {
+                            if let FetchResult::Thread(i) =
+                                tsu.fetch_ready(KernelId(k)).map_err(CellError::Protocol)?
+                            {
                                 events.push(done + self.cfg.mailbox_lat, Ev::Mail(k, i));
                                 spelist[k as usize].dispatched = true;
                             }
@@ -384,7 +388,9 @@ mod tests {
         let src = UniformCellWork {
             work: CellWork::compute(100, 512 * 1024),
         };
-        let err = CellMachine::new(CellConfig::ps3()).run(&p, &src).unwrap_err();
+        let err = CellMachine::new(CellConfig::ps3())
+            .run(&p, &src)
+            .unwrap_err();
         assert!(matches!(err, CellError::LocalStoreOverflow { .. }));
         let err2 = CellMachine::new(CellConfig::ps3())
             .run_sequential(&p, &src)

@@ -46,6 +46,16 @@ pub enum CoreError {
     EmptyBlock(BlockId),
     /// `complete` was called for an instance that is not currently running.
     NotRunning(Instance),
+    /// `dispatch` was called for an instance that is not resident in the
+    /// Synchronization Memory (its block is not loaded, it already ran, or
+    /// it is already running).
+    NotResident(Instance),
+    /// The Synchronization Memory was poisoned: a kernel died mid-update
+    /// (or a protocol invariant was violated mid-flight), so the ready
+    /// counts can no longer be trusted. All subsequent operations fail
+    /// with this error instead of silently continuing on half-applied
+    /// state.
+    SmPoisoned,
     /// A duplicate arc was inserted between the same pair of threads.
     DuplicateArc {
         /// The producer side of the offending arc.
@@ -87,6 +97,14 @@ impl fmt::Display for CoreError {
             CoreError::NotRunning(i) => {
                 write!(f, "instance {i} completed but was never fetched")
             }
+            CoreError::NotResident(i) => {
+                write!(f, "instance {i} dispatched but its block is not loaded")
+            }
+            CoreError::SmPoisoned => write!(
+                f,
+                "synchronization memory poisoned by a kernel death mid-update; \
+                 ready counts are no longer trustworthy"
+            ),
             CoreError::DuplicateArc { producer, consumer } => {
                 write!(f, "duplicate arc {producer} -> {consumer}")
             }

@@ -126,6 +126,12 @@ impl fmt::Debug for KernelId {
     }
 }
 
+impl fmt::Display for KernelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "K{}", self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

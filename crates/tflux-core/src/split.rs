@@ -224,7 +224,7 @@ mod tests {
                 policy: Default::default(),
             },
         );
-        let inlet = match tsu.fetch_ready(KernelId(0)) {
+        let inlet = match tsu.fetch_ready(KernelId(0)).unwrap() {
             FetchResult::Thread(i) => i,
             other => panic!("{other:?}"),
         };
@@ -257,8 +257,7 @@ mod tests {
             for ca in 0..q.thread(ta).arity {
                 for cb in 0..q.thread(tb).arity {
                     assert!(
-                        pos(&Instance::new(ta, Context(ca)))
-                            < pos(&Instance::new(tb, Context(cb)))
+                        pos(&Instance::new(ta, Context(ca))) < pos(&Instance::new(tb, Context(cb)))
                     );
                 }
             }

@@ -42,21 +42,24 @@ pub struct TsuStats {
     pub blocks_loaded: u64,
     /// Peak number of resident instances.
     pub max_resident: usize,
-    /// Synchronization Memory shard-lock acquisitions that found the lock
-    /// held by another kernel (0 on the single-owner backends).
+    /// Synchronization Memory contention events: weak-CAS retries on slot
+    /// state transitions (0 on the single-owner backends; the locked
+    /// design counted `try_lock` misses here).
     #[serde(default)]
     pub sm_contended: u64,
 }
 
-/// Per-shard Synchronization Memory counters, reported so the effect of
-/// sharding is observable: evenly spread `rc_updates` with low `contended`
-/// means completions rarely collided on a lock.
+/// Per-kernel Synchronization Memory counters ("shards" for continuity
+/// with the locked design — the lock-free table is one slab, but traffic
+/// is still attributed to the owning kernel of each instance). Evenly
+/// spread `rc_updates` with low `contended` means completions rarely
+/// collided on the same slot.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShardStats {
-    /// Ready-count decrements applied to this shard.
+    /// Ready-count decrements applied to this kernel's instances.
     pub rc_updates: u64,
-    /// Lock acquisitions on this shard that had to block behind another
-    /// kernel's update.
+    /// CAS retries on state transitions of this kernel's instances (the
+    /// locked design counted blocking lock acquisitions here).
     pub contended: u64,
 }
 
@@ -87,8 +90,11 @@ pub trait TsuBackend {
     /// capacity.
     fn load_block(&mut self, block: BlockId, ready: &mut Vec<Instance>) -> Result<(), CoreError>;
 
-    /// Ask for the next DThread on behalf of `kernel`.
-    fn fetch(&mut self, kernel: KernelId) -> FetchResult;
+    /// Ask for the next DThread on behalf of `kernel`. Fails with
+    /// [`CoreError::NotResident`] if a queued instance turns out not to be
+    /// resident (a scheduler protocol bug), or [`CoreError::SmPoisoned`]
+    /// if a kernel death left the Synchronization Memory untrustworthy.
+    fn fetch(&mut self, kernel: KernelId) -> Result<FetchResult, CoreError>;
 
     /// Record completion of `inst`: run the Post-Processing Phase and
     /// report the newly-ready instances in `ready` (cleared first). The

@@ -100,7 +100,10 @@ mod tests {
         let p = b.build().unwrap();
         let gm = GraphMemory::new(&p, 4);
         for c in 0..4 {
-            assert_eq!(gm.owner_of(Instance::new(t, crate::ids::Context(c))), KernelId(2));
+            assert_eq!(
+                gm.owner_of(Instance::new(t, crate::ids::Context(c))),
+                KernelId(2)
+            );
         }
     }
 

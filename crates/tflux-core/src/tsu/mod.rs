@@ -6,8 +6,9 @@
 //! * [`GraphMemory`] — the immutable program view: DThread templates,
 //!   consumer lists, block structure, instance placement. Shareable by `&`.
 //! * [`SyncMemory`] — per-instance *Ready Counts* and the Post-Processing
-//!   Phase, sharded by the owning kernel of each consumer instance so
-//!   concurrent completions on different kernels never contend.
+//!   Phase, held in a lock-free table of atomic slots so concurrent
+//!   completions never contend on a lock (only block transitions are
+//!   serialized).
 //! * [`QueueUnit`] — one FIFO of ready instances per kernel, speaking the
 //!   shared [`FetchResult`] vocabulary.
 //!
@@ -128,18 +129,21 @@ impl<'p> CoreTsu<'p> {
         self.queues[q].push(i);
     }
 
-    /// Ask for the next DThread on behalf of `kernel`.
-    pub fn fetch_ready(&mut self, kernel: KernelId) -> FetchResult {
+    /// Ask for the next DThread on behalf of `kernel`. Fails with
+    /// [`CoreError::NotResident`] when a queued instance is not resident
+    /// (a scheduler protocol bug) or [`CoreError::SmPoisoned`] when the
+    /// Synchronization Memory can no longer be trusted.
+    pub fn fetch_ready(&mut self, kernel: KernelId) -> Result<FetchResult, CoreError> {
         if self.sm.finished() {
-            return FetchResult::Exit;
+            return Ok(FetchResult::Exit);
         }
         let own = match self.policy {
             SchedulingPolicy::GlobalFifo => 0,
             _ => kernel.idx().min(self.queues.len() - 1),
         };
         if let Some(i) = self.queues[own].pop() {
-            self.sm.dispatch(i);
-            return FetchResult::Thread(i);
+            self.sm.dispatch(i)?;
+            return Ok(FetchResult::Thread(i));
         }
         if let SchedulingPolicy::LocalityFirst { steal: true } = self.policy {
             // steal from the most loaded queue unit
@@ -149,12 +153,12 @@ impl<'p> CoreTsu<'p> {
             {
                 let i = self.queues[victim].pop().expect("non-empty victim");
                 self.steals += 1;
-                self.sm.dispatch(i);
-                return FetchResult::Thread(i);
+                self.sm.dispatch(i)?;
+                return Ok(FetchResult::Thread(i));
             }
         }
         self.waits += 1;
-        FetchResult::Wait
+        Ok(FetchResult::Wait)
     }
 
     /// Record completion of `inst`; newly-ready instances go onto the
@@ -167,8 +171,8 @@ impl<'p> CoreTsu<'p> {
         out: &mut Vec<Instance>,
     ) -> Result<(), CoreError> {
         self.sm.complete(inst, out)?;
-        for idx in 0..out.len() {
-            self.push_ready(out[idx]);
+        for &i in out.iter() {
+            self.push_ready(i);
         }
         Ok(())
     }
@@ -178,13 +182,13 @@ impl TsuBackend for CoreTsu<'_> {
     fn load_block(&mut self, block: BlockId, ready: &mut Vec<Instance>) -> Result<(), CoreError> {
         ready.clear();
         self.sm.load_block(block, ready)?;
-        for idx in 0..ready.len() {
-            self.push_ready(ready[idx]);
+        for &i in ready.iter() {
+            self.push_ready(i);
         }
         Ok(())
     }
 
-    fn fetch(&mut self, kernel: KernelId) -> FetchResult {
+    fn fetch(&mut self, kernel: KernelId) -> Result<FetchResult, CoreError> {
         self.fetch_ready(kernel)
     }
 
@@ -213,11 +217,12 @@ pub fn drain_sequential(tsu: &mut CoreTsu<'_>) -> Vec<Instance> {
     let mut k = 0u32;
     let mut idle_rounds = 0u32;
     loop {
-        match tsu.fetch_ready(KernelId(k)) {
+        match tsu.fetch_ready(KernelId(k)).expect("protocol error") {
             FetchResult::Thread(i) => {
                 idle_rounds = 0;
                 order.push(i);
-                tsu.complete_queued(i, &mut scratch).expect("protocol error");
+                tsu.complete_queued(i, &mut scratch)
+                    .expect("protocol error");
             }
             FetchResult::Wait => {
                 idle_rounds += 1;
@@ -320,7 +325,7 @@ mod tests {
             },
         );
         // inlet fits; its completion tries to load the block and must fail
-        let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)) else {
+        let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)).unwrap() else {
             panic!("inlet not ready");
         };
         let err = complete(&mut tsu, inlet).unwrap_err();
@@ -331,7 +336,7 @@ mod tests {
     fn double_completion_rejected() {
         let p = fork_join(2, 1);
         let mut tsu = CoreTsu::new(&p, 1, TsuConfig::default());
-        let FetchResult::Thread(i) = tsu.fetch_ready(KernelId(0)) else {
+        let FetchResult::Thread(i) = tsu.fetch_ready(KernelId(0)).unwrap() else {
             panic!()
         };
         complete(&mut tsu, i).unwrap();
@@ -364,11 +369,11 @@ mod tests {
         let p = b.build().unwrap();
         let mut tsu = CoreTsu::new(&p, 2, TsuConfig::default());
         // prime: run the inlet
-        let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)) else {
+        let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)).unwrap() else {
             panic!()
         };
         complete(&mut tsu, inlet).unwrap();
-        match tsu.fetch_ready(KernelId(1)) {
+        match tsu.fetch_ready(KernelId(1)).unwrap() {
             FetchResult::Thread(_) => {}
             other => panic!("kernel 1 should have stolen, got {other:?}"),
         }
@@ -392,11 +397,11 @@ mod tests {
                 policy: SchedulingPolicy::LocalityFirst { steal: false },
             },
         );
-        let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)) else {
+        let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)).unwrap() else {
             panic!()
         };
         complete(&mut tsu, inlet).unwrap();
-        assert_eq!(tsu.fetch_ready(KernelId(1)), FetchResult::Wait);
+        assert_eq!(tsu.fetch_ready(KernelId(1)).unwrap(), FetchResult::Wait);
         assert!(tsu.stats().waits >= 1);
     }
 
@@ -456,7 +461,7 @@ mod tests {
         // before the inlet runs, nothing but the inlet is resident; it is
         // ready (rc 0) so the waiting view is empty
         assert!(tsu.waiting_instances().is_empty());
-        let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)) else {
+        let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)).unwrap() else {
             panic!("inlet not ready");
         };
         // the inlet is dispatched but not completed
@@ -481,7 +486,7 @@ mod tests {
         assert!(tsu.running_instances().is_empty());
         // dispatch src: it shows as running until completed, and its
         // completion unblocks the work instances
-        let FetchResult::Thread(first) = tsu.fetch_ready(KernelId(0)) else {
+        let FetchResult::Thread(first) = tsu.fetch_ready(KernelId(0)).unwrap() else {
             panic!("no ready instance");
         };
         assert_eq!(first, Instance::scalar(src));
@@ -504,7 +509,7 @@ mod tests {
         let mut tsu = CoreTsu::new(&p, 4, TsuConfig::default());
         drain_sequential(&mut tsu);
         for k in 0..4 {
-            assert_eq!(tsu.fetch_ready(KernelId(k)), FetchResult::Exit);
+            assert_eq!(tsu.fetch_ready(KernelId(k)).unwrap(), FetchResult::Exit);
         }
     }
 
@@ -517,7 +522,7 @@ mod tests {
             let mut k = 0u32;
             let mut idle = 0u32;
             loop {
-                match tsu.fetch(KernelId(k)) {
+                match tsu.fetch(KernelId(k)).unwrap() {
                     FetchResult::Thread(i) => {
                         idle = 0;
                         order.push(i);

@@ -1,47 +1,73 @@
-//! Synchronization Memory: sharded ready counts and the Post-Processing
-//! Phase.
+//! Synchronization Memory: a lock-free ready-count table and the
+//! Post-Processing Phase.
 //!
 //! §3.3/Fig. 4: the Synchronization Memory holds the per-instance *Ready
-//! Counts* of the loaded DDM block. Here it is sharded **by the owning
-//! kernel of the consumer instance** (the same placement function the
-//! queue units use), so two kernels completing producers whose consumers
-//! live on different kernels touch disjoint locks and never contend. This
-//! is what lets the TFluxSoft kernels run completions *directly*, instead
-//! of serializing every completion through one emulator thread.
+//! Counts* of the loaded DDM block. The paper's hardware TSU performs
+//! ready-count decrements as independent memory-mapped updates with no
+//! global lock; this software SM matches that with a dense slab of atomic
+//! slots, one per `(ThreadId, Context)` pair, laid out once from the Graph
+//! Memory at construction (ThreadIds and arities are static, so each
+//! thread gets a fixed base offset into the slab).
 //!
-//! The crate still spawns no threads: `SyncMemory` only uses `std::sync`
-//! primitives so that the platforms that *do* have threads
-//! (`tflux-runtime`) can share it by `&`, while the single-owner platforms
-//! (`tflux-sim`, `tflux-cell`) pay nothing but an uncontended lock.
+//! Each slot carries two words:
+//!
+//! * an `AtomicU32` **ready count**, decremented with `fetch_sub` during
+//!   the Post-Processing Phase — the producer that observes the 1→0
+//!   transition (and only that producer) publishes the consumer as ready;
+//! * an `AtomicU32` **state word** cycling `Vacant → Resident → Running →
+//!   Done → Vacant`, advanced by CAS so dispatch/complete protocol errors
+//!   (double dispatch, completion without fetch, non-resident dispatch)
+//!   are still caught exactly, without any lock on the hot path.
+//!
+//! Only the block-transition slow path (Inlet/Outlet completions, already
+//! serialized by program structure) takes the `block` mutex. Per-kernel
+//! observability counters survive from the sharded design: `rc_updates`
+//! still counts decrements landing on each kernel's instances, and
+//! `contended` now counts weak-CAS retries ("CAS retries") instead of
+//! `try_lock` misses.
+//!
+//! A kernel that dies mid-update (or any unwind out of a mutating
+//! section) **poisons** the SM: the `poisoned` flag latches, and every
+//! subsequent `dispatch`/`complete`/`load_block` fails with
+//! [`CoreError::SmPoisoned`] instead of silently trusting half-applied
+//! ready counts.
 
 use crate::error::CoreError;
-use crate::ids::{BlockId, Instance, ThreadId};
+use crate::ids::{BlockId, Context, Instance, ThreadId};
 use crate::program::DdmProgram;
 use crate::thread::ThreadKind;
-use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError, TryLockError};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use super::backend::{ShardStats, TsuStats, WaitingInstance};
 use super::gm::GraphMemory;
 
-/// Ready counts and in-flight markers owned by one shard.
+/// Slot state machine: the lifecycle of one instance in the SM.
+const VACANT: u32 = 0;
+/// Resident: its block is loaded; the ready count is live.
+const RESIDENT: u32 = 1;
+/// Dispatched to a kernel, awaiting `complete`.
+const RUNNING: u32 = 2;
+/// Completed; stays `Done` until its thread is unloaded.
+const DONE: u32 = 3;
+
+/// One entry of the ready-count table.
 #[derive(Debug, Default)]
-struct ShardInner {
-    /// Ready counts of resident instances owned by this shard's kernel.
-    /// Entries stay present (at 0) until their thread is unloaded, so the
-    /// residency invariants of the monolithic TSU are preserved exactly.
-    rc: HashMap<Instance, u32>,
-    /// Instances dispatched to a kernel but not yet completed.
-    running: HashSet<Instance>,
+struct Slot {
+    /// Remaining producer completions before this instance is ready.
+    rc: AtomicU32,
+    /// Lifecycle word: `VACANT`/`RESIDENT`/`RUNNING`/`DONE`.
+    state: AtomicU32,
 }
 
-/// One Synchronization Memory shard: the lock plus its observability
-/// counters (updated outside the lock, so reading stats never contends).
+/// Per-kernel observability counters. The table itself is not sharded —
+/// these only attribute traffic to the owning kernel of each instance,
+/// preserving the `RunReport.sm_shards` view from the locked design.
 #[derive(Debug, Default)]
-struct Shard {
-    inner: Mutex<ShardInner>,
+struct ShardCounters {
     rc_updates: AtomicU64,
+    /// Weak-CAS retries on state transitions ("CAS retries"; the locked
+    /// design counted `try_lock` misses here).
     contended: AtomicU64,
 }
 
@@ -56,40 +82,83 @@ struct BlockState {
     blocks_loaded: u64,
 }
 
-/// The Synchronization Memory for one program execution, sharded by the
-/// owning kernel of each instance.
+/// Sets the poisoned flag if dropped while armed — armed around every
+/// mutating section so an unwind (kernel panic mid-`post_process`,
+/// protocol-invariant violation) cannot leave half-applied state that
+/// later operations silently trust.
+struct PoisonGuard<'a> {
+    flag: &'a AtomicBool,
+    armed: bool,
+}
+
+impl<'a> PoisonGuard<'a> {
+    fn arm(flag: &'a AtomicBool) -> Self {
+        PoisonGuard { flag, armed: true }
+    }
+
+    fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for PoisonGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.flag.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// The Synchronization Memory for one program execution: a dense slab of
+/// atomic ready-count slots indexed by `(ThreadId, Context)`.
 ///
 /// All operations take `&self`: kernels on different threads may call
 /// [`dispatch`](Self::dispatch) and [`complete`](Self::complete)
-/// concurrently. Lock order is block state before shard, one shard at a
-/// time, so the unit is deadlock-free by construction.
+/// concurrently, and App completions never take a lock. The single
+/// `block` mutex only guards block transitions.
 pub struct SyncMemory<'p> {
     gm: GraphMemory<'p>,
     capacity: usize,
-    shards: Vec<Shard>,
+    /// `base[t]` is the slab offset of `(t, Context(0))`; contexts are
+    /// contiguous, so slot lookup is one add and one index.
+    base: Vec<u32>,
+    slots: Vec<Slot>,
+    shards: Vec<ShardCounters>,
     fetches: AtomicU64,
     completions: AtomicU64,
     finished: AtomicBool,
+    poisoned: AtomicBool,
     block: Mutex<BlockState>,
 }
 
 impl<'p> SyncMemory<'p> {
-    /// Create the Synchronization Memory for `program` sharded over
+    /// Create the Synchronization Memory for `program` executed by
     /// `kernels` kernels, and arm it: the first block's inlet is made
     /// resident (but not dispatched). `capacity` bounds resident instances
-    /// (`0` = unlimited).
+    /// (`0` = unlimited). The slot layout is computed here, once, from the
+    /// Graph Memory — arities are static, so the table never reallocates.
     pub fn new(program: &'p DdmProgram, kernels: u32, capacity: usize) -> Self {
         let gm = GraphMemory::new(program, kernels);
+        let mut base = Vec::with_capacity(program.threads().len());
+        let mut next = 0u32;
+        for spec in program.threads() {
+            base.push(next);
+            next += spec.arity;
+        }
+        let slots = (0..next).map(|_| Slot::default()).collect();
         let sm = SyncMemory {
             gm,
             capacity,
-            shards: (0..kernels).map(|_| Shard::default()).collect(),
+            base,
+            slots,
+            shards: (0..kernels).map(|_| ShardCounters::default()).collect(),
             fetches: AtomicU64::new(0),
             completions: AtomicU64::new(0),
             finished: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
             block: Mutex::new(BlockState::default()),
         };
-        let mut guard = sm.lock_block();
+        let mut guard = sm.block.lock().expect("fresh mutex");
         sm.mark_resident(gm.first_inlet().thread, &mut guard);
         drop(guard);
         sm
@@ -111,9 +180,31 @@ impl<'p> SyncMemory<'p> {
         self.finished.load(Ordering::Acquire)
     }
 
+    /// Whether the SM is poisoned (a kernel died mid-update, or a
+    /// protocol invariant was violated mid-flight). Once set, every
+    /// `dispatch`/`complete`/`load_block` fails with
+    /// [`CoreError::SmPoisoned`].
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Poison the SM explicitly — the runtime calls this when a kernel
+    /// unwinds out of a completion, before the kernel thread dies.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    fn check_poisoned(&self) -> Result<(), CoreError> {
+        if self.is_poisoned() {
+            Err(CoreError::SmPoisoned)
+        } else {
+            Ok(())
+        }
+    }
+
     /// The currently loaded block, if any.
     pub fn loaded_block(&self) -> Option<BlockId> {
-        self.lock_block().loaded
+        self.block_forensics().loaded
     }
 
     /// Completions processed so far — the progress probe watchdogs poll.
@@ -122,24 +213,53 @@ impl<'p> SyncMemory<'p> {
     }
 
     #[inline]
-    fn shard_of(&self, i: Instance) -> &Shard {
-        &self.shards[self.gm.owner_of(i).idx()]
+    fn slot(&self, i: Instance) -> &Slot {
+        &self.slots[self.base[i.thread.idx()] as usize + i.context.idx()]
     }
 
-    /// Lock a shard, counting acquisitions that found it already held.
-    fn lock_shard<'a>(&self, shard: &'a Shard) -> MutexGuard<'a, ShardInner> {
-        match shard.inner.try_lock() {
-            Ok(g) => g,
-            Err(TryLockError::WouldBlock) => {
-                shard.contended.fetch_add(1, Ordering::Relaxed);
-                shard.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    /// Advance `inst`'s state word `from → to` by CAS. Spurious weak-CAS
+    /// failures retry and are counted as contention on the owning kernel's
+    /// shard counters; a genuine mismatch returns the observed state.
+    fn transition(&self, inst: Instance, from: u32, to: u32) -> Result<(), u32> {
+        let slot = self.slot(inst);
+        loop {
+            match slot
+                .state
+                .compare_exchange_weak(from, to, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return Ok(()),
+                Err(actual) if actual == from => {
+                    self.shards[self.gm.owner_of(inst).idx()]
+                        .contended
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(actual) => return Err(actual),
             }
-            Err(TryLockError::Poisoned(p)) => p.into_inner(),
         }
     }
 
-    fn lock_block(&self) -> MutexGuard<'_, BlockState> {
-        self.block.lock().unwrap_or_else(PoisonError::into_inner)
+    /// Take the block mutex, surfacing OS-level poisoning as
+    /// [`CoreError::SmPoisoned`] instead of swallowing it: a thread that
+    /// panicked while holding this lock left the residency bookkeeping in
+    /// an unknown state.
+    fn lock_block(&self) -> Result<MutexGuard<'_, BlockState>, CoreError> {
+        match self.block.lock() {
+            Ok(g) => Ok(g),
+            Err(_) => {
+                self.poison();
+                Err(CoreError::SmPoisoned)
+            }
+        }
+    }
+
+    /// Forensic view of the block state for stats and stall reports —
+    /// never fails, but still latches the poisoned flag so the *next*
+    /// operation reports the corruption.
+    fn block_forensics(&self) -> MutexGuard<'_, BlockState> {
+        self.block.lock().unwrap_or_else(|p: PoisonError<_>| {
+            self.poison();
+            p.into_inner()
+        })
     }
 
     /// Mark every instance of `t` resident with its initial ready counts.
@@ -148,10 +268,16 @@ impl<'p> SyncMemory<'p> {
         let arity = self.gm.program().thread(t).arity;
         let rcs = self.gm.program().initial_rcs(t);
         for c in 0..arity {
-            let i = Instance::new(t, crate::ids::Context(c));
-            self.lock_shard(self.shard_of(i))
-                .rc
-                .insert(i, rcs[c as usize]);
+            let slot = self.slot(Instance::new(t, Context(c)));
+            debug_assert_eq!(
+                slot.state.load(Ordering::Relaxed),
+                VACANT,
+                "thread {t} loaded while still resident"
+            );
+            slot.rc.store(rcs[c as usize], Ordering::Relaxed);
+            // Release: a consumer decrementing this rc after seeing the
+            // instance resident must see the initial count.
+            slot.state.store(RESIDENT, Ordering::Release);
         }
         guard.resident += arity as usize;
         guard.max_resident = guard.max_resident.max(guard.resident);
@@ -162,26 +288,32 @@ impl<'p> SyncMemory<'p> {
     fn unload_thread(&self, t: ThreadId, guard: &mut MutexGuard<'_, BlockState>) {
         let arity = self.gm.program().thread(t).arity;
         for c in 0..arity {
-            let i = Instance::new(t, crate::ids::Context(c));
-            let mut inner = self.lock_shard(self.shard_of(i));
-            inner.rc.remove(&i);
-            inner.running.remove(&i);
+            let slot = self.slot(Instance::new(t, Context(c)));
+            slot.rc.store(0, Ordering::Relaxed);
+            slot.state.store(VACANT, Ordering::Release);
         }
         guard.resident -= arity as usize;
     }
 
     /// Mark `inst` as dispatched to a kernel. Pairs with a later
-    /// [`complete`](Self::complete).
-    pub fn dispatch(&self, inst: Instance) {
+    /// [`complete`](Self::complete). Fails with
+    /// [`CoreError::NotResident`] if `inst`'s block is not loaded or the
+    /// instance already ran (or is running) — a scheduler bug surfaces
+    /// here instead of corrupting consumer counts later.
+    pub fn dispatch(&self, inst: Instance) -> Result<(), CoreError> {
+        self.check_poisoned()?;
+        self.transition(inst, RESIDENT, RUNNING)
+            .map_err(|_| CoreError::NotResident(inst))?;
         self.fetches.fetch_add(1, Ordering::Relaxed);
-        self.lock_shard(self.shard_of(inst)).running.insert(inst);
+        Ok(())
     }
 
     /// Load a DDM block: make its instances resident and append the
     /// initially-ready ones (ready count 0) to `out`.
     pub fn load_block(&self, b: BlockId, out: &mut Vec<Instance>) -> Result<(), CoreError> {
+        self.check_poisoned()?;
+        let mut guard = self.lock_block()?;
         let instances = self.gm.block_instances(b);
-        let mut guard = self.lock_block();
         if self.capacity != 0 && guard.resident + instances > self.capacity {
             return Err(CoreError::BlockTooLarge {
                 block: b,
@@ -189,46 +321,82 @@ impl<'p> SyncMemory<'p> {
                 capacity: self.capacity,
             });
         }
-        guard.blocks_loaded += 1;
-        let block = &self.gm.program().blocks()[b.idx()];
-        for &t in &block.threads {
-            self.mark_resident(t, &mut guard);
-            for (c, &rc) in self.gm.program().initial_rcs(t).iter().enumerate() {
-                if rc == 0 {
-                    out.push(Instance::new(t, crate::ids::Context(c as u32)));
-                }
-            }
-        }
-        self.mark_resident(block.outlet, &mut guard);
-        guard.loaded = Some(b);
+        let sentinel = PoisonGuard::arm(&self.poisoned);
+        self.load_block_locked(b, out, &mut guard);
+        sentinel.disarm();
         Ok(())
     }
 
+    /// The load itself, after capacity validation. Caller holds the block
+    /// lock and has armed a poison guard.
+    fn load_block_locked(
+        &self,
+        b: BlockId,
+        out: &mut Vec<Instance>,
+        guard: &mut MutexGuard<'_, BlockState>,
+    ) {
+        guard.blocks_loaded += 1;
+        let block = &self.gm.program().blocks()[b.idx()];
+        for &t in &block.threads {
+            self.mark_resident(t, guard);
+            for (c, &rc) in self.gm.program().initial_rcs(t).iter().enumerate() {
+                if rc == 0 {
+                    out.push(Instance::new(t, Context(c as u32)));
+                }
+            }
+        }
+        self.mark_resident(block.outlet, guard);
+        guard.loaded = Some(b);
+    }
+
     /// The Post-Processing Phase: record completion of `inst`, decrement
-    /// its consumers' ready counts through their shards, and append
-    /// newly-ready instances to `out` (cleared first).
+    /// its consumers' ready counts, and append newly-ready instances to
+    /// `out` (cleared first).
     ///
     /// Inlet completions load their block (appending every initially-ready
     /// application instance); outlet completions unload the block and
     /// append the next block's inlet, or mark the program finished.
+    ///
+    /// Inlet completion is transactional: the next block's capacity is
+    /// validated *before* anything mutates, so a failing load leaves the
+    /// inlet running and every counter untouched — a retried completion
+    /// (PR 1's `RetryPolicy`) observes the same state it started from.
     pub fn complete(&self, inst: Instance, out: &mut Vec<Instance>) -> Result<(), CoreError> {
         out.clear();
+        self.check_poisoned()?;
         let t = inst.thread;
-        if !self.lock_shard(self.shard_of(inst)).running.remove(&inst) {
-            return Err(CoreError::NotRunning(inst));
-        }
-        self.completions.fetch_add(1, Ordering::Relaxed);
-
         match self.gm.kind(t) {
             ThreadKind::Inlet => {
-                let mut guard = self.lock_block();
+                let mut guard = self.lock_block()?;
+                let b = self.gm.block_of(t);
+                if self.slot(inst).state.load(Ordering::Acquire) != RUNNING {
+                    return Err(CoreError::NotRunning(inst));
+                }
+                let instances = self.gm.block_instances(b);
+                // `- 1`: the inlet itself unloads as part of this
+                // completion, freeing its own entry for the block.
+                if self.capacity != 0 && guard.resident - 1 + instances > self.capacity {
+                    return Err(CoreError::BlockTooLarge {
+                        block: b,
+                        instances,
+                        capacity: self.capacity,
+                    });
+                }
+                self.transition(inst, RUNNING, DONE)
+                    .map_err(|_| CoreError::NotRunning(inst))?;
+                self.completions.fetch_add(1, Ordering::Relaxed);
+                let sentinel = PoisonGuard::arm(&self.poisoned);
                 self.unload_thread(t, &mut guard);
-                drop(guard);
-                self.load_block(self.gm.block_of(t), out)?;
+                self.load_block_locked(b, out, &mut guard);
+                sentinel.disarm();
             }
             ThreadKind::Outlet => {
+                let mut guard = self.lock_block()?;
+                self.transition(inst, RUNNING, DONE)
+                    .map_err(|_| CoreError::NotRunning(inst))?;
+                self.completions.fetch_add(1, Ordering::Relaxed);
+                let sentinel = PoisonGuard::arm(&self.poisoned);
                 let block = self.gm.block_of(t);
-                let mut guard = self.lock_block();
                 let app_threads = self.gm.program().blocks()[block.idx()].threads.clone();
                 for at in app_threads {
                     self.unload_thread(at, &mut guard);
@@ -243,8 +411,17 @@ impl<'p> SyncMemory<'p> {
                 } else {
                     self.finished.store(true, Ordering::Release);
                 }
+                sentinel.disarm();
             }
-            ThreadKind::App => self.post_process(inst, out),
+            ThreadKind::App => {
+                // The hot path: no lock anywhere.
+                self.transition(inst, RUNNING, DONE)
+                    .map_err(|_| CoreError::NotRunning(inst))?;
+                self.completions.fetch_add(1, Ordering::Relaxed);
+                let sentinel = PoisonGuard::arm(&self.poisoned);
+                self.post_process(inst, out);
+                sentinel.disarm();
+            }
         }
         Ok(())
     }
@@ -252,22 +429,25 @@ impl<'p> SyncMemory<'p> {
     fn post_process(&self, inst: Instance, out: &mut Vec<Instance>) {
         let t = inst.thread;
         let pa = self.gm.program().thread(t).arity;
-        // Consumer lists live in Graph Memory; each decrement goes through
-        // the consumer instance's own shard.
+        // Consumer lists live in Graph Memory; each decrement is one
+        // `fetch_sub` on the consumer's slot. The producer that observes
+        // the 1→0 edge — exactly one, by atomicity — publishes it.
         for arc in self.gm.consumers(t) {
             let ca = self.gm.program().thread(arc.consumer).arity;
             for c in arc.mapping.consumers(inst.context, pa, ca) {
                 let ci = Instance::new(arc.consumer, c);
-                let shard = self.shard_of(ci);
-                shard.rc_updates.fetch_add(1, Ordering::Relaxed);
-                let mut inner = self.lock_shard(shard);
-                let rc = inner
-                    .rc
-                    .get_mut(&ci)
-                    .unwrap_or_else(|| panic!("consumer {ci:?} not resident"));
-                debug_assert!(*rc > 0, "ready count underflow at {ci:?}");
-                *rc -= 1;
-                if *rc == 0 {
+                self.shards[self.gm.owner_of(ci).idx()]
+                    .rc_updates
+                    .fetch_add(1, Ordering::Relaxed);
+                let slot = self.slot(ci);
+                assert_ne!(
+                    slot.state.load(Ordering::Acquire),
+                    VACANT,
+                    "consumer {ci:?} not resident"
+                );
+                let prev = slot.rc.fetch_sub(1, Ordering::AcqRel);
+                assert_ne!(prev, 0, "ready count underflow at {ci:?}");
+                if prev == 1 {
                     out.push(ci);
                 }
             }
@@ -278,16 +458,22 @@ impl<'p> SyncMemory<'p> {
     /// above zero. Ordered thread-major, context-minor.
     pub fn waiting_instances(&self) -> Vec<WaitingInstance> {
         let mut out = Vec::new();
-        for shard in &self.shards {
-            let inner = self.lock_shard(shard);
-            out.extend(inner.rc.iter().filter(|&(_, &rc)| rc > 0).map(
-                |(&instance, &remaining)| WaitingInstance {
-                    instance,
-                    remaining,
-                },
-            ));
+        for (t, spec) in self.gm.program().threads().iter().enumerate() {
+            for c in 0..spec.arity {
+                let instance = Instance::new(ThreadId(t as u32), Context(c));
+                let slot = self.slot(instance);
+                if slot.state.load(Ordering::Acquire) != RESIDENT {
+                    continue;
+                }
+                let remaining = slot.rc.load(Ordering::Acquire);
+                if remaining > 0 {
+                    out.push(WaitingInstance {
+                        instance,
+                        remaining,
+                    });
+                }
+            }
         }
-        out.sort_unstable_by_key(|w| w.instance);
         out
     }
 
@@ -295,17 +481,21 @@ impl<'p> SyncMemory<'p> {
     /// completed. Ordered thread-major, context-minor.
     pub fn running_instances(&self) -> Vec<Instance> {
         let mut out = Vec::new();
-        for shard in &self.shards {
-            out.extend(self.lock_shard(shard).running.iter().copied());
+        for (t, spec) in self.gm.program().threads().iter().enumerate() {
+            for c in 0..spec.arity {
+                let instance = Instance::new(ThreadId(t as u32), Context(c));
+                if self.slot(instance).state.load(Ordering::Acquire) == RUNNING {
+                    out.push(instance);
+                }
+            }
         }
-        out.sort_unstable();
         out
     }
 
     /// Aggregate operation counters. `waits` and `steals` are scheduler
     /// concerns and are reported as 0 here; schedulers fold their own in.
     pub fn stats(&self) -> TsuStats {
-        let guard = self.lock_block();
+        let guard = self.block_forensics();
         TsuStats {
             fetches: self.fetches.load(Ordering::Relaxed),
             waits: 0,
@@ -326,7 +516,7 @@ impl<'p> SyncMemory<'p> {
         }
     }
 
-    /// Per-shard counters, indexed by owning kernel.
+    /// Per-kernel counters, indexed by owning kernel.
     pub fn shard_stats(&self) -> Vec<ShardStats> {
         self.shards
             .iter()
@@ -365,10 +555,10 @@ mod tests {
         let mut queue = vec![sm.armed_inlet()];
         let mut done = 0usize;
         while let Some(i) = queue.pop() {
-            sm.dispatch(i);
+            sm.dispatch(i).unwrap();
             sm.complete(i, &mut ready).unwrap();
             done += 1;
-            queue.extend(ready.drain(..));
+            queue.append(&mut ready);
         }
         assert_eq!(done, p.total_instances());
         assert!(sm.finished());
@@ -400,13 +590,16 @@ mod tests {
         let mut ready = Vec::new();
         let mut queue = vec![sm.armed_inlet()];
         while let Some(i) = queue.pop() {
-            sm.dispatch(i);
+            sm.dispatch(i).unwrap();
             sm.complete(i, &mut ready).unwrap();
-            queue.extend(ready.drain(..));
+            queue.append(&mut ready);
         }
         let shards = sm.shard_stats();
         assert_eq!(shards.len(), 2);
-        assert_eq!(shards[0].rc_updates + shards[1].rc_updates, sm.stats().rc_updates);
+        assert_eq!(
+            shards[0].rc_updates + shards[1].rc_updates,
+            sm.stats().rc_updates
+        );
         // the 4 broadcast decrements hit shard 1 (outlet updates go to the
         // outlet's own shard, kernel 0, so shard 0 is not exactly zero)
         assert!(shards[1].rc_updates >= 4, "{shards:?}");
@@ -419,6 +612,98 @@ mod tests {
         let mut ready = Vec::new();
         let err = sm.complete(sm.armed_inlet(), &mut ready).unwrap_err();
         assert!(matches!(err, CoreError::NotRunning(_)));
+    }
+
+    #[test]
+    fn dispatch_of_non_resident_instance_is_rejected() {
+        let p = fork_join();
+        let sm = SyncMemory::new(&p, 1, 0);
+        // the block is not loaded yet: dispatching an application instance
+        // must fail instead of silently marking it running
+        let work = Instance::new(ThreadId(1), Context(0));
+        assert_eq!(sm.dispatch(work), Err(CoreError::NotResident(work)));
+        // double dispatch of the armed inlet is rejected too
+        let inlet = sm.armed_inlet();
+        sm.dispatch(inlet).unwrap();
+        assert_eq!(sm.dispatch(inlet), Err(CoreError::NotResident(inlet)));
+        // only the successful dispatch was counted
+        assert_eq!(sm.stats().fetches, 1);
+    }
+
+    #[test]
+    fn failed_block_load_leaves_inlet_completion_untouched() {
+        // fork_join's block needs 7 entries (4+1+1 apps + outlet); with
+        // capacity 6 the inlet (1 entry) fits but its block does not. The
+        // completion must fail *transactionally*: no counter advanced, the
+        // inlet still running, so PR 1's RetryPolicy replay is idempotent.
+        let p = fork_join();
+        let sm = SyncMemory::new(&p, 1, 6);
+        let inlet = sm.armed_inlet();
+        sm.dispatch(inlet).unwrap();
+        let mut ready = Vec::new();
+        let err = sm.complete(inlet, &mut ready).unwrap_err();
+        assert!(matches!(err, CoreError::BlockTooLarge { .. }), "{err:?}");
+        // nothing mutated: progress counters untouched, inlet still in
+        // flight, no block loaded
+        assert_eq!(sm.completions(), 0);
+        assert_eq!(sm.running_instances(), vec![inlet]);
+        assert_eq!(sm.loaded_block(), None);
+        assert_eq!(sm.stats().blocks_loaded, 0);
+        // replaying the completion observes the same state and the same
+        // error — not a protocol error about a missing instance
+        let again = sm.complete(inlet, &mut ready).unwrap_err();
+        assert_eq!(err, again);
+    }
+
+    #[test]
+    fn poisoned_sm_surfaces_from_next_operation() {
+        let p = fork_join();
+        let sm = SyncMemory::new(&p, 1, 0);
+        let inlet = sm.armed_inlet();
+        sm.dispatch(inlet).unwrap();
+        // a kernel dies while holding the block mutex: the OS-level poison
+        // must latch and surface, not be swallowed by into_inner
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = sm.block.lock().unwrap();
+            panic!("kernel death mid-transition");
+        }));
+        assert!(result.is_err());
+        let mut ready = Vec::new();
+        assert_eq!(sm.complete(inlet, &mut ready), Err(CoreError::SmPoisoned));
+        assert!(sm.is_poisoned());
+        // every subsequent operation keeps failing loudly
+        assert_eq!(sm.dispatch(inlet), Err(CoreError::SmPoisoned));
+        assert_eq!(
+            sm.load_block(BlockId(0), &mut ready),
+            Err(CoreError::SmPoisoned)
+        );
+        // forensics still work on a poisoned SM
+        assert_eq!(sm.running_instances(), vec![inlet]);
+    }
+
+    #[test]
+    fn protocol_violation_mid_post_process_poisons_the_table() {
+        // completing an App instance whose consumer is not resident is a
+        // protocol-invariant violation: the panic must leave the SM
+        // poisoned so nothing trusts the half-applied decrements
+        let p = fork_join();
+        let sm = SyncMemory::new(&p, 1, 0);
+        let mut ready = Vec::new();
+        let inlet = sm.armed_inlet();
+        sm.dispatch(inlet).unwrap();
+        sm.complete(inlet, &mut ready).unwrap();
+        let src = Instance::new(ThreadId(0), Context(0));
+        sm.dispatch(src).unwrap();
+        // fake a corrupted table: vacate the consumer behind the SM's back
+        let work0 = Instance::new(ThreadId(1), Context(0));
+        sm.slot(work0).state.store(VACANT, Ordering::Release);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut out = Vec::new();
+            let _ = sm.complete(src, &mut out);
+        }));
+        assert!(result.is_err(), "vacant consumer must still panic");
+        assert!(sm.is_poisoned());
+        assert_eq!(sm.dispatch(work0), Err(CoreError::SmPoisoned));
     }
 
     #[test]
@@ -435,19 +720,20 @@ mod tests {
         let sm = SyncMemory::new(&p, 4, 0);
         let mut ready = Vec::new();
         let inlet = sm.armed_inlet();
-        sm.dispatch(inlet);
+        sm.dispatch(inlet).unwrap();
         sm.complete(inlet, &mut ready).unwrap();
         assert_eq!(ready.len(), 64);
 
         let newly: Mutex<Vec<Instance>> = Mutex::new(Vec::new());
+        let (sm, newly_ref) = (&sm, &newly);
         std::thread::scope(|s| {
             for chunk in ready.chunks(16) {
-                s.spawn(|| {
+                s.spawn(move || {
                     let mut local = Vec::new();
                     for &i in chunk {
-                        sm.dispatch(i);
+                        sm.dispatch(i).unwrap();
                         sm.complete(i, &mut local).unwrap();
-                        newly.lock().unwrap().extend(local.drain(..));
+                        newly_ref.lock().unwrap().extend(local.drain(..));
                     }
                 });
             }

@@ -1,0 +1,165 @@
+//! N-thread dispatch/complete race over the lock-free ready-count table.
+//!
+//! Every racing thread attempts to dispatch *every* ready instance of a
+//! wide fan-in program, so the RESIDENT→RUNNING CAS is exercised under
+//! genuine contention: exactly one thread may win each instance, losers
+//! must observe [`CoreError::NotResident`], the fan-in sink must become
+//! newly-ready exactly once, and the decrement ledger (`rc_updates`)
+//! must balance to the program's arc structure exactly — a lost or
+//! duplicated `fetch_sub` shows up as an off-by-one here.
+//!
+//! Runs in the CI chaos job (and under ThreadSanitizer in the tsan job).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use tflux_core::prelude::*;
+use tflux_core::SyncMemory;
+
+/// One round: `arity` producers reduced into a scalar sink, raced by
+/// `racers` threads that all contend for every dispatch.
+fn race_round(arity: u32, racers: usize, kernels: u32) {
+    let mut b = ProgramBuilder::new();
+    let blk = b.block();
+    let work = b.thread(blk, ThreadSpec::new("work", arity));
+    let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+    b.arc(work, sink, ArcMapping::Reduction).unwrap();
+    let p = b.build().unwrap();
+
+    let sm = SyncMemory::new(&p, kernels, 0);
+    let mut ready = Vec::new();
+    let inlet = sm.armed_inlet();
+    sm.dispatch(inlet).unwrap();
+    sm.complete(inlet, &mut ready).unwrap();
+    assert_eq!(ready.len(), arity as usize);
+
+    let wins = AtomicU64::new(0);
+    let losses = AtomicU64::new(0);
+    let newly: Mutex<Vec<Instance>> = Mutex::new(Vec::new());
+    let (sm_ref, ready_ref) = (&sm, &ready);
+    let (wins_ref, losses_ref, newly_ref) = (&wins, &losses, &newly);
+    std::thread::scope(|s| {
+        for _ in 0..racers {
+            s.spawn(move || {
+                let mut local = Vec::new();
+                for &i in ready_ref {
+                    // every racer tries every instance: the state CAS must
+                    // admit exactly one winner, and reject the rest with a
+                    // protocol error rather than a silent double-dispatch
+                    match sm_ref.dispatch(i) {
+                        Ok(()) => {
+                            wins_ref.fetch_add(1, Ordering::Relaxed);
+                            sm_ref.complete(i, &mut local).unwrap();
+                            newly_ref.lock().unwrap().extend(local.drain(..));
+                        }
+                        Err(CoreError::NotResident(lost)) => {
+                            assert_eq!(lost, i);
+                            losses_ref.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("unexpected dispatch error: {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    // exactly one winner per instance; everyone else saw NotResident
+    assert_eq!(wins.load(Ordering::Relaxed), arity as u64);
+    assert_eq!(
+        losses.load(Ordering::Relaxed),
+        (racers as u64 - 1) * arity as u64
+    );
+
+    // the 1→0 transition fired exactly once: the sink is newly-ready
+    // once, never zero times (lost decrement) or twice (double-ready)
+    let newly = newly.into_inner().unwrap();
+    assert_eq!(newly, vec![Instance::scalar(sink)]);
+
+    // decrement conservation: each work completion decrements the sink
+    // (Reduction) and the block outlet (implicit All) exactly once
+    let after_race = 2 * arity as u64;
+    assert_eq!(sm.stats().rc_updates, after_race);
+    let shard_sum: u64 = sm.shard_stats().iter().map(|s| s.rc_updates).sum();
+    assert_eq!(shard_sum, after_race, "per-shard ledger must sum to total");
+
+    // drain the rest of the program sequentially: sink, then outlet
+    let mut frontier = newly;
+    while let Some(i) = frontier.pop() {
+        sm.dispatch(i).unwrap();
+        sm.complete(i, &mut frontier).unwrap();
+    }
+    assert!(sm.finished(), "program must drain to completion");
+    assert!(!sm.is_poisoned());
+
+    // fetch/complete pairing over the whole run (inlet + work + sink + outlet)
+    let st = sm.stats();
+    assert_eq!(st.completions as usize, p.total_instances());
+    // sink completion adds one more outlet decrement
+    assert_eq!(st.rc_updates, after_race + 1);
+}
+
+#[test]
+fn racing_dispatchers_admit_exactly_one_winner() {
+    race_round(256, 8, 4);
+}
+
+#[test]
+fn race_rounds_across_shapes() {
+    // seeded sweep of (arity, racers, kernels) shapes so the race is
+    // exercised at different contention ratios and shard layouts
+    for &(arity, racers, kernels) in &[
+        (64, 2, 1),
+        (96, 3, 2),
+        (128, 4, 4),
+        (200, 6, 3),
+        (512, 8, 8),
+    ] {
+        race_round(arity, racers, kernels);
+    }
+}
+
+#[test]
+fn completions_are_exact_under_concurrent_completers() {
+    // non-racing variant: partition the ready set, complete concurrently,
+    // and audit the exactly-once property instance by instance
+    let arity = 384u32;
+    let mut b = ProgramBuilder::new();
+    let blk = b.block();
+    let work = b.thread(blk, ThreadSpec::new("work", arity));
+    let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+    b.arc(work, sink, ArcMapping::Reduction).unwrap();
+    let p = b.build().unwrap();
+
+    let sm = SyncMemory::new(&p, 4, 0);
+    let mut ready = Vec::new();
+    let inlet = sm.armed_inlet();
+    sm.dispatch(inlet).unwrap();
+    sm.complete(inlet, &mut ready).unwrap();
+
+    let done: Mutex<Vec<Instance>> = Mutex::new(Vec::new());
+    let (sm_ref, done_ref) = (&sm, &done);
+    std::thread::scope(|s| {
+        for chunk in ready.chunks(24) {
+            s.spawn(move || {
+                let mut newly = Vec::new();
+                for &i in chunk {
+                    sm_ref.dispatch(i).unwrap();
+                    sm_ref.complete(i, &mut newly).unwrap();
+                }
+                done_ref.lock().unwrap().extend(chunk.iter().copied());
+                done_ref.lock().unwrap().extend(newly.drain(..));
+            });
+        }
+    });
+
+    // every work instance completed exactly once, plus the sink readied once
+    let done = done.into_inner().unwrap();
+    let mut counts: HashMap<Instance, usize> = HashMap::new();
+    for i in &done {
+        *counts.entry(*i).or_insert(0) += 1;
+    }
+    assert_eq!(done.len(), arity as usize + 1);
+    assert!(counts.values().all(|&c| c == 1), "double-ready detected");
+    assert_eq!(counts.get(&Instance::scalar(sink)), Some(&1));
+    assert_eq!(sm.completions(), 1 + arity as u64); // inlet + work
+}

@@ -404,7 +404,9 @@ mod tests {
                     plan.before_body(KernelId(0), inst(t, c), 1),
                     BodyFault::Pass
                 );
-                assert_eq!(plan.tub_publish_delay(inst(t, c)), None);
+                // qualified: the `FaultPlan` builder method of the same
+                // name would otherwise shadow the injector trait method
+                assert_eq!(FaultInjector::tub_publish_delay(&plan, inst(t, c)), None);
                 assert!(!plan.drop_bell(inst(t, c)));
             }
         }

@@ -8,7 +8,7 @@
 //!
 //! Completion is split by DThread kind. *Application* completions take the
 //! direct-update path: the kernel runs the Post-Processing Phase itself
-//! through the sharded Synchronization Memory and pushes newly-ready
+//! through the lock-free Synchronization Memory and pushes newly-ready
 //! instances on their owners' queues — no TUB hop, no emulator round-trip.
 //! *Inlet*/*Outlet* completions (block loading and unloading) are published
 //! into the segmented [TUB](crate::tub::Tub) for the TSU Emulator, which
@@ -28,7 +28,7 @@ use tflux_core::tsu::{FetchResult, TsuBackend};
 
 /// A panic captured from a DThread body. The kernel contains the panic,
 /// retries it if the body opted in as idempotent and the
-/// [`RetryPolicy`](crate::RetryPolicy) allows, records the final failure
+/// [`RetryPolicy`] allows, records the final failure
 /// here, and (unless the policy poisons exhausted instances) still
 /// publishes the completion so the program drains instead of deadlocking;
 /// the runtime reports the failure after the run (see
@@ -83,14 +83,20 @@ pub fn run_kernel<F: FaultInjector>(
         // blocking pop on the own queue when nothing is runnable anywhere —
         // bounded for stealers, which must periodically rescan victims
         let fetched = match backend.fetch(kernel) {
-            FetchResult::Wait => {
+            Ok(FetchResult::Wait) => {
                 if soft.stealing() {
                     queue.pop_timeout(STEAL_RESCAN)
                 } else {
                     queue.pop()
                 }
             }
-            r => r,
+            Ok(r) => r,
+            Err(e) => {
+                // poisoned SM or a scheduler protocol bug: abort the run
+                soft.record_protocol(e);
+                tub.kick();
+                break;
+            }
         };
         let instance = match fetched {
             FetchResult::Thread(i) => i,
@@ -150,11 +156,27 @@ pub fn run_kernel<F: FaultInjector>(
             continue;
         }
         match gm.kind(instance.thread) {
-            // direct update: post-process on this kernel's thread
+            // direct update: post-process on this kernel's thread. An
+            // unwind out of the Post-Processing Phase has already poisoned
+            // the Synchronization Memory (its drop-guard latches the
+            // flag); containing it here lets this kernel surface the typed
+            // error and exit cleanly instead of dying mid-update.
             ThreadKind::App => {
-                if let Err(e) = backend.complete(instance, &mut scratch) {
-                    soft.record_protocol(e);
-                    tub.kick(); // wake the emulator to abort the run
+                let completed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    backend.complete(instance, &mut scratch)
+                }));
+                match completed {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => {
+                        soft.record_protocol(e);
+                        tub.kick(); // wake the emulator to abort the run
+                    }
+                    Err(_) => {
+                        soft.poison();
+                        soft.record_protocol(tflux_core::error::CoreError::SmPoisoned);
+                        tub.kick();
+                        break;
+                    }
                 }
             }
             // block transitions stay serialized through the emulator
@@ -329,6 +351,7 @@ mod tests {
             drive(&soft, &tub);
             h.join().unwrap()
         });
+        drop(bodies); // release the body closure's borrow of `seen`
         let mut seen = seen.into_inner();
         seen.sort_by_key(|&(_, c)| c);
         assert_eq!(

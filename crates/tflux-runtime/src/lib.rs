@@ -9,16 +9,16 @@
 //!   Phase. Body dispatch is a plain closure call — the Rust analogue of
 //!   the paper's "Kernel code and application DThread code in the same
 //!   function", i.e. no OS involvement per DThread.
-//! * The shared software TSU ([`SoftTsu`](soft::SoftTsu)) composes the
+//! * The shared software TSU ([`SoftTsu`]) composes the
 //!   units of [`tflux_core::tsu`]: a read-only Graph Memory and a
-//!   **Synchronization Memory sharded by owning kernel**. *Application*
-//!   completions take the direct-update path — the completing kernel
-//!   decrements its consumers' ready counts through the consumers' shards
-//!   and enqueues newly-ready instances on the owning kernel's queue,
-//!   located directly via the Thread-to-Kernel Table (the program's
-//!   [`Affinity`](tflux_core::Affinity) assignment — *Thread Indexing*).
-//!   Kernels completing producers of consumers on different kernels touch
-//!   disjoint locks, so completions no longer serialize on one thread.
+//!   **lock-free Synchronization Memory** (atomic ready-count slots).
+//!   *Application* completions take the direct-update path — the
+//!   completing kernel decrements its consumers' ready counts with
+//!   atomic `fetch_sub`s and enqueues instances it drove to zero on the
+//!   owning kernel's queue, located directly via the Thread-to-Kernel
+//!   Table (the program's [`Affinity`](tflux_core::Affinity) assignment —
+//!   *Thread Indexing*). Completions touch no locks on this path, so
+//!   they neither serialize on one thread nor contend with each other.
 //! * One **TSU Emulator** thread keeps the single-owner duties: it drains
 //!   the [TUB](tub::Tub) of *Inlet*/*Outlet* completions to load and
 //!   unload DDM blocks, runs the watchdog, and collects protocol errors.

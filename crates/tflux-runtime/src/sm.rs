@@ -6,7 +6,7 @@
 //! instances whose ready count reached zero; the kernel pops them, blocking
 //! when empty. Shutdown is broadcast once the last block's outlet
 //! completes. All three answers speak the shared
-//! [`FetchResult`](tflux_core::tsu::FetchResult) vocabulary — the enum that
+//! [`FetchResult`] vocabulary — the enum that
 //! used to exist twice, as core's `FetchResult` and the runtime's `Fetched`.
 
 use parking_lot::{Condvar, Mutex};

@@ -1,13 +1,13 @@
-//! The shared software TSU of TFluxSoft: Graph Memory + sharded
+//! The shared software TSU of TFluxSoft: Graph Memory + lock-free
 //! Synchronization Memory + per-kernel ready queues, behind
 //! [`TsuBackend`].
 //!
 //! This is the direct-update redesign of §4.2: instead of funnelling every
 //! completion through the single TSU-Emulator thread, kernels publish
 //! *application* completions straight into the
-//! [`SyncMemory`](tflux_core::tsu::SyncMemory) — whose shards are keyed by
-//! the consumer's owning kernel, so kernels completing producers of
-//! different consumers touch disjoint locks. Only Inlet/Outlet completions
+//! [`SyncMemory`] — now a lock-free table of
+//! atomic ready-count slots, so kernels completing producers decrement
+//! their consumers' counts without taking any lock. Only Inlet/Outlet completions
 //! (block loading/unloading, which the paper serializes anyway: a block
 //! loads only after the previous outlet) still travel through the
 //! [TUB](crate::tub::Tub) to the emulator, which also keeps the watchdog.
@@ -71,7 +71,7 @@ impl<'p> SoftTsu<'p> {
             protocol: Mutex::new(None),
         };
         let inlet = soft.sm.armed_inlet();
-        soft.sm.dispatch(inlet);
+        soft.sm.dispatch(inlet).expect("armed inlet is resident");
         soft.queues[soft.queue_of(inlet)].push(inlet);
         soft
     }
@@ -154,19 +154,31 @@ impl<'p> SoftTsu<'p> {
     ) -> Result<(), CoreError> {
         self.sm.complete(inst, scratch)?;
         for &r in scratch.iter() {
-            self.sm.dispatch(r);
+            self.sm.dispatch(r)?;
             self.queues[self.queue_of(r)].push(r);
         }
         Ok(())
     }
 
+    /// Poison the Synchronization Memory: a kernel died mid-completion, so
+    /// the ready counts can no longer be trusted. Every subsequent
+    /// dispatch/complete/fetch fails with [`CoreError::SmPoisoned`].
+    pub fn poison(&self) {
+        self.sm.poison();
+    }
+
     /// Non-blocking fetch: own queue first, then (if enabled) steal from
-    /// the most loaded sibling.
-    fn try_fetch(&self, kernel: KernelId) -> FetchResult {
+    /// the most loaded sibling. Instances are dispatched when *pushed*
+    /// (see [`handle_completion`](Self::handle_completion)), so the only
+    /// failure here is a poisoned Synchronization Memory.
+    fn try_fetch(&self, kernel: KernelId) -> Result<FetchResult, CoreError> {
+        if self.sm.is_poisoned() {
+            return Err(CoreError::SmPoisoned);
+        }
         let own = self.queue_index(kernel);
         match self.queues[own].try_pop() {
             FetchResult::Wait => {}
-            r => return r,
+            r => return Ok(r),
         }
         if self.steal {
             loop {
@@ -177,13 +189,13 @@ impl<'p> SoftTsu<'p> {
                 if let FetchResult::Thread(i) = self.queues[v].try_pop() {
                     self.kernel_steals[kernel.idx().min(self.kernel_steals.len() - 1)]
                         .fetch_add(1, Ordering::Relaxed);
-                    return FetchResult::Thread(i);
+                    return Ok(FetchResult::Thread(i));
                 }
                 // raced with the owner; rescan
             }
         }
         self.waits.fetch_add(1, Ordering::Relaxed);
-        FetchResult::Wait
+        Ok(FetchResult::Wait)
     }
 
     /// Instances `kernel` took from sibling queues so far.
@@ -239,13 +251,13 @@ impl TsuBackend for &SoftTsu<'_> {
         ready.clear();
         self.sm.load_block(block, ready)?;
         for &r in ready.iter() {
-            self.sm.dispatch(r);
+            self.sm.dispatch(r)?;
             self.queues[self.queue_of(r)].push(r);
         }
         Ok(())
     }
 
-    fn fetch(&mut self, kernel: KernelId) -> FetchResult {
+    fn fetch(&mut self, kernel: KernelId) -> Result<FetchResult, CoreError> {
         self.try_fetch(kernel)
     }
 
@@ -289,7 +301,7 @@ mod tests {
         while !soft.finished() {
             let mut idle = true;
             for k in 0..2 {
-                if let FetchResult::Thread(i) = backend.fetch(KernelId(k)) {
+                if let FetchResult::Thread(i) = backend.fetch(KernelId(k)).unwrap() {
                     backend.complete(i, &mut scratch).unwrap();
                     done += 1;
                     idle = false;
@@ -321,8 +333,14 @@ mod tests {
     fn protocol_error_is_latched_once() {
         let p = fork_join(2);
         let soft = SoftTsu::new(&p, 1, TsuConfig::default());
-        soft.record_protocol(CoreError::NotRunning(Instance::new(ThreadId(1), Context(0))));
-        soft.record_protocol(CoreError::NotRunning(Instance::new(ThreadId(2), Context(9))));
+        soft.record_protocol(CoreError::NotRunning(Instance::new(
+            ThreadId(1),
+            Context(0),
+        )));
+        soft.record_protocol(CoreError::NotRunning(Instance::new(
+            ThreadId(2),
+            Context(9),
+        )));
         match soft.take_protocol_error() {
             Some(CoreError::NotRunning(i)) => assert_eq!(i.thread, ThreadId(1)),
             other => panic!("{other:?}"),
@@ -353,7 +371,7 @@ mod tests {
         let mut scratch = Vec::new();
         let mut done = 0usize;
         while !soft.finished() {
-            match backend.fetch(KernelId(0)) {
+            match backend.fetch(KernelId(0)).unwrap() {
                 FetchResult::Thread(i) => {
                     backend.complete(i, &mut scratch).unwrap();
                     done += 1;
@@ -365,6 +383,20 @@ mod tests {
         assert_eq!(soft.steals_of(KernelId(0)), 4, "the 4 pinned instances");
         assert_eq!(soft.steals_of(KernelId(1)), 0);
         assert_eq!(soft.stats().steals, 4);
+    }
+
+    #[test]
+    fn poisoned_sm_fails_fetch_and_completion() {
+        let p = fork_join(2);
+        let soft = SoftTsu::new(&p, 1, TsuConfig::default());
+        soft.poison();
+        let mut backend = &soft;
+        assert_eq!(backend.fetch(KernelId(0)), Err(CoreError::SmPoisoned));
+        let mut scratch = Vec::new();
+        assert_eq!(
+            soft.handle_completion(soft.graph().first_inlet(), &mut scratch),
+            Err(CoreError::SmPoisoned)
+        );
     }
 
     #[test]

@@ -233,7 +233,10 @@ impl Machine {
         states: &mut [CoreState],
         events: &mut EventQueue<Ev>,
     ) {
-        match dev.fetch(c, t) {
+        match dev
+            .fetch(c, t)
+            .unwrap_or_else(|e| panic!("TSU protocol error: {e}"))
+        {
             DevFetch::Thread(inst, at) => {
                 let start = at + dev.kernel_overhead();
                 states[c as usize].tsu_time += start - t;
@@ -283,7 +286,10 @@ impl Machine {
                         break;
                     }
                     let parked_since = states[p as usize].parked_since;
-                    match dev.fetch(p, ready_at) {
+                    match dev
+                        .fetch(p, ready_at)
+                        .unwrap_or_else(|e| panic!("TSU protocol error: {e}"))
+                    {
                         DevFetch::Thread(pi, at) => {
                             let start = at + dev.kernel_overhead();
                             states[p as usize].idle += ready_at.saturating_sub(parked_since);
@@ -397,7 +403,10 @@ mod tests {
         let par = Machine::new(MachineConfig::bagle(8)).run(&p, &src);
         let s = par.speedup_over(&seq);
         assert!(s <= 1.0, "chain cannot speed up, got {s}");
-        assert!(s > 0.9, "overheads should stay small at this grain, got {s}");
+        assert!(
+            s > 0.9,
+            "overheads should stay small at this grain, got {s}"
+        );
     }
 
     #[test]
@@ -462,7 +471,10 @@ mod tests {
         }))
         .run(&p, &src);
         let delta = (slow.cycles as f64 - fast.cycles as f64) / fast.cycles as f64;
-        assert!(delta > 0.10, "fine grain must expose TSU latency, got {delta}");
+        assert!(
+            delta > 0.10,
+            "fine grain must expose TSU latency, got {delta}"
+        );
     }
 
     #[test]
@@ -471,8 +483,7 @@ mod tests {
         let p = fork_join(256);
         let fine = UniformWork { cycles: 500 };
         let hard = Machine::new(MachineConfig::bagle(4)).run(&p, &fine);
-        let soft =
-            Machine::new(MachineConfig::bagle(4).with_tsu(TsuCosts::soft())).run(&p, &fine);
+        let soft = Machine::new(MachineConfig::bagle(4).with_tsu(TsuCosts::soft())).run(&p, &fine);
         assert!(
             soft.cycles as f64 > hard.cycles as f64 * 1.5,
             "soft {} vs hard {}",
@@ -500,7 +511,11 @@ mod tests {
         b.arc(long, fan, ArcMapping::Broadcast).unwrap();
         let p = b.build().unwrap();
         let src = FnWork(|inst: Instance, out: &mut InstanceWork| {
-            out.compute = if inst.thread == ThreadId(0) { 100_000 } else { 1_000 };
+            out.compute = if inst.thread == ThreadId(0) {
+                100_000
+            } else {
+                1_000
+            };
         });
         let r = Machine::new(MachineConfig::bagle(4)).run(&p, &src);
         let total_idle: u64 = r.core_idle.iter().sum();

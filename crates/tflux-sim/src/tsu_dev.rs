@@ -115,10 +115,12 @@ impl<'p> TsuDevice<'p> {
     }
 
     /// A core asks for its next DThread at core-local cycle `now`.
-    pub fn fetch(&mut self, core: u32, now: u64) -> DevFetch {
+    /// Propagates TSU protocol errors (non-resident dispatch, poisoned
+    /// Synchronization Memory) instead of handing out a bogus instance.
+    pub fn fetch(&mut self, core: u32, now: u64) -> Result<DevFetch, tflux_core::error::CoreError> {
         let arrive = now + self.costs.access;
         let done = self.process(self.shard_of[core as usize], arrive);
-        match TsuBackend::fetch(&mut self.tsu, KernelId(core)) {
+        Ok(match TsuBackend::fetch(&mut self.tsu, KernelId(core))? {
             FetchResult::Thread(i) => {
                 self.parked[core as usize] = false;
                 DevFetch::Thread(i, done)
@@ -134,7 +136,7 @@ impl<'p> TsuDevice<'p> {
                 self.parked[core as usize] = false;
                 DevFetch::Exit(done)
             }
-        }
+        })
     }
 
     /// A core notifies completion of `inst` at core-local cycle `now`.
@@ -210,7 +212,7 @@ mod tests {
         let p = fork(2);
         let tsu = CoreTsu::new(&p, 1, TsuConfig::default());
         let mut dev = TsuDevice::new(tsu, TsuCosts::hard(), 1);
-        match dev.fetch(0, 100) {
+        match dev.fetch(0, 100).unwrap() {
             DevFetch::Thread(i, at) => {
                 assert_eq!(i.thread, p.blocks()[0].inlet);
                 // 100 + access(6) + op(4)
@@ -226,15 +228,15 @@ mod tests {
         let tsu = CoreTsu::new(&p, 2, TsuConfig::default());
         let mut dev = TsuDevice::new(tsu, TsuCosts::hard(), 2);
         // prime: inlet fetched and completed so app threads are ready
-        let DevFetch::Thread(inlet, t0) = dev.fetch(0, 0) else {
+        let DevFetch::Thread(inlet, t0) = dev.fetch(0, 0).unwrap() else {
             panic!()
         };
         let (_, _) = dev.complete(0, t0, inlet).unwrap();
         // two cores fetch at the same instant: second is delayed by op
-        let DevFetch::Thread(_, a) = dev.fetch(0, 1000) else {
+        let DevFetch::Thread(_, a) = dev.fetch(0, 1000).unwrap() else {
             panic!()
         };
-        let DevFetch::Thread(_, b) = dev.fetch(1, 1000) else {
+        let DevFetch::Thread(_, b) = dev.fetch(1, 1000).unwrap() else {
             panic!()
         };
         assert!(b >= a + 4, "unit must serialize: {a} vs {b}");
@@ -245,17 +247,17 @@ mod tests {
         let p = fork(1);
         let tsu = CoreTsu::new(&p, 2, TsuConfig::default());
         let mut dev = TsuDevice::new(tsu, TsuCosts::hard(), 2);
-        let DevFetch::Thread(inlet, _) = dev.fetch(0, 0) else {
+        let DevFetch::Thread(inlet, _) = dev.fetch(0, 0).unwrap() else {
             panic!()
         };
         // core 1 fetches while only core 0 holds the inlet: nothing ready
-        assert_eq!(dev.fetch(1, 0), DevFetch::Parked);
+        assert_eq!(dev.fetch(1, 0).unwrap(), DevFetch::Parked);
         assert!(dev.any_parked());
         assert_eq!(dev.parked_cores(), vec![1]);
         assert_eq!(dev.stats.empty_fetches, 1);
         // completing the inlet loads the block; core 1 can now fetch
         dev.complete(0, 10, inlet).unwrap();
-        assert!(matches!(dev.fetch(1, 20), DevFetch::Thread(..)));
+        assert!(matches!(dev.fetch(1, 20).unwrap(), DevFetch::Thread(..)));
         assert!(!dev.any_parked());
     }
 
@@ -264,7 +266,7 @@ mod tests {
         let p = fork(1);
         let tsu = CoreTsu::new(&p, 1, TsuConfig::default());
         let mut dev = TsuDevice::new(tsu, TsuCosts::soft(), 1);
-        let DevFetch::Thread(inlet, t) = dev.fetch(0, 0) else {
+        let DevFetch::Thread(inlet, t) = dev.fetch(0, 0).unwrap() else {
             panic!()
         };
         let (core_free, ready_at) = dev.complete(0, t, inlet).unwrap();
@@ -278,21 +280,21 @@ mod tests {
         let tsu = CoreTsu::new(&p, 4, TsuConfig::default());
         let mut dev = TsuDevice::sharded(tsu, TsuCosts::hard(), 4, 2, 8);
         // prime the block
-        let DevFetch::Thread(inlet, t0) = dev.fetch(0, 0) else {
+        let DevFetch::Thread(inlet, t0) = dev.fetch(0, 0).unwrap() else {
             panic!()
         };
         dev.complete(0, t0, inlet).unwrap();
         // cores 0 and 2 are on different shards: same-instant fetches do
         // NOT serialize against each other
-        let DevFetch::Thread(_, a) = dev.fetch(0, 1000) else {
+        let DevFetch::Thread(_, a) = dev.fetch(0, 1000).unwrap() else {
             panic!()
         };
-        let DevFetch::Thread(_, b) = dev.fetch(2, 1000) else {
+        let DevFetch::Thread(_, b) = dev.fetch(2, 1000).unwrap() else {
             panic!()
         };
         assert_eq!(a, b, "different shards must not serialize");
         // cores 2 and 3 share a shard: they do serialize
-        let DevFetch::Thread(_, c) = dev.fetch(3, 1000) else {
+        let DevFetch::Thread(_, c) = dev.fetch(3, 1000).unwrap() else {
             panic!()
         };
         assert!(c > b, "same shard must serialize: {b} vs {c}");
@@ -303,7 +305,7 @@ mod tests {
         let p = fork(8);
         let tsu = CoreTsu::new(&p, 4, TsuConfig::default());
         let mut dev = TsuDevice::sharded(tsu, TsuCosts::hard(), 4, 2, 50);
-        let DevFetch::Thread(inlet, t0) = dev.fetch(0, 0) else {
+        let DevFetch::Thread(inlet, t0) = dev.fetch(0, 0).unwrap() else {
             panic!()
         };
         // the inlet load readies instances owned by both shards
@@ -312,7 +314,7 @@ mod tests {
         // ready_at includes the cross-shard message
         let plain_tsu = CoreTsu::new(&p, 4, TsuConfig::default());
         let mut plain = TsuDevice::new(plain_tsu, TsuCosts::hard(), 4);
-        let DevFetch::Thread(inlet2, t1) = plain.fetch(0, 0) else {
+        let DevFetch::Thread(inlet2, t1) = plain.fetch(0, 0).unwrap() else {
             panic!()
         };
         let (_, plain_ready) = plain.complete(0, t1, inlet2).unwrap();
@@ -326,7 +328,7 @@ mod tests {
         let mut dev = TsuDevice::new(tsu, TsuCosts::hard(), 1);
         let mut now = 0;
         loop {
-            match dev.fetch(0, now) {
+            match dev.fetch(0, now).unwrap() {
                 DevFetch::Thread(i, at) => {
                     let (free, _) = dev.complete(0, at, i).unwrap();
                     now = free;

@@ -65,7 +65,7 @@ fn hard_outcome(program: &DdmProgram) -> Outcome {
     let mut core = 0u32;
     let mut parked_in_a_row = 0u32;
     loop {
-        match dev.fetch(core, now) {
+        match dev.fetch(core, now).expect("fetch protocol error") {
             DevFetch::Thread(inst, at) => {
                 parked_in_a_row = 0;
                 completed.push(inst);
