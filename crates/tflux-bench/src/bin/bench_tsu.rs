@@ -17,12 +17,14 @@
 //! smoke job runs.
 
 use serde::Serialize;
-use tflux_bench::tsu_path::{locked, measure, pipeline};
+use tflux_bench::tsu_path::{armed, complete_interleaved, locked, measure, pipeline, reduction};
 
 const ARITY: u32 = 4096;
 const KERNELS: [u32; 4] = [1, 2, 4, 8];
 const WARMUP: usize = 2;
 const RUNS: usize = 7;
+/// Completions per funnel flush in the reduction scenario.
+const FUNNEL_BATCH: usize = 8;
 
 #[derive(Serialize)]
 struct Row {
@@ -40,6 +42,22 @@ struct Speedup {
     lockfree_over_locked: f64,
 }
 
+/// One funnel-on vs funnel-off comparison on the reduction scenario.
+/// The counters are deterministic (the driver interleaves round-robin);
+/// only the wall-clock fields vary between hosts.
+#[derive(Serialize)]
+struct FunnelRow {
+    kernels: u32,
+    batch: usize,
+    ns_funnel_off: u64,
+    ns_funnel_on: u64,
+    contended_off: u64,
+    contended_on: u64,
+    contended_ratio: f64,
+    rc_rmws_off: u64,
+    rc_rmws_on: u64,
+}
+
 #[derive(Serialize)]
 struct Report {
     bench: &'static str,
@@ -48,6 +66,7 @@ struct Report {
     arity: u32,
     rows: Vec<Row>,
     speedups: Vec<Speedup>,
+    funnel: Vec<FunnelRow>,
 }
 
 /// Best-of-`RUNS` after warmup: the completion path is short enough that
@@ -84,8 +103,42 @@ fn row(path: &'static str, kernels: u32, ns_total: u64) -> Row {
     }
 }
 
+/// One funnel-off vs funnel-on measurement of the reduction scenario:
+/// deterministic round-robin interleaving, best-of-`RUNS` wall clock.
+fn funnel_row(kernels: u32) -> FunnelRow {
+    let program = reduction(ARITY);
+    let run = |batch: usize| {
+        let mut best_ns = u64::MAX;
+        let mut stats = None;
+        for i in 0..WARMUP + RUNS {
+            let (sm, work) = armed(&program, kernels);
+            let ns = complete_interleaved(&sm, &work, kernels, batch);
+            if i >= WARMUP {
+                best_ns = best_ns.min(ns);
+            }
+            stats = Some(sm.stats());
+        }
+        (best_ns, stats.unwrap())
+    };
+    let (ns_off, off) = run(1);
+    let (ns_on, on) = run(FUNNEL_BATCH);
+    assert_eq!(on.rc_updates, off.rc_updates, "batching lost decrements");
+    FunnelRow {
+        kernels,
+        batch: FUNNEL_BATCH,
+        ns_funnel_off: ns_off,
+        ns_funnel_on: ns_on,
+        contended_off: off.sm_contended,
+        contended_on: on.sm_contended,
+        contended_ratio: off.sm_contended as f64 / on.sm_contended.max(1) as f64,
+        rc_rmws_off: off.rc_rmws,
+        rc_rmws_on: on.rc_rmws,
+    }
+}
+
 /// The CI smoke: fail if the lock-free table is slower than the locked
-/// baseline at the widest kernel count.
+/// baseline at the widest kernel count, or if the completion funnel cuts
+/// sink-line transfers by less than 1.5x on the reduction scenario.
 fn check() -> ! {
     let program = pipeline(ARITY);
     let k = *KERNELS.last().unwrap();
@@ -100,7 +153,17 @@ fn check() -> ! {
         eprintln!("FAIL: lock-free completion path is slower than the locked baseline");
         std::process::exit(1);
     }
-    println!("OK: lock-free path at or above locked-baseline throughput");
+    let f = funnel_row(k);
+    println!(
+        "bench_tsu --check funnel at {k} kernels: contended off {} vs on {} \
+         ({:.2}x), rc RMWs off {} vs on {}",
+        f.contended_off, f.contended_on, f.contended_ratio, f.rc_rmws_off, f.rc_rmws_on
+    );
+    if f.contended_ratio < 1.5 {
+        eprintln!("FAIL: completion funnel cuts line transfers by less than 1.5x");
+        std::process::exit(1);
+    }
+    println!("OK: lock-free path and completion funnel hold their ratios");
     std::process::exit(0);
 }
 
@@ -126,6 +189,11 @@ fn main() {
             });
         }
     }
+    let funnel = KERNELS
+        .iter()
+        .filter(|&&k| k > 1)
+        .map(|&k| funnel_row(k))
+        .collect();
     let report = Report {
         bench: "tsu_completion_path",
         regenerate: "cargo run --release -p tflux-bench --bin bench_tsu",
@@ -135,6 +203,7 @@ fn main() {
         arity: ARITY,
         rows,
         speedups,
+        funnel,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tsu.json");

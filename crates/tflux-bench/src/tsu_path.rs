@@ -104,6 +104,65 @@ pub fn measure(program: &DdmProgram, kernels: u32, sharded: bool) -> u64 {
     ns
 }
 
+/// A wide fan-in: every one of `arity` producers feeds the same scalar
+/// sink through a `Reduction` arc — the hot-sink case the completion
+/// funnel exists for. Every producer completion decrements the *same*
+/// two slots (sink and outlet), so with K kernels completing in an
+/// interleaved order those cache lines transfer between kernels on
+/// nearly every update.
+pub fn reduction(arity: u32) -> DdmProgram {
+    let mut b = ProgramBuilder::new();
+    let blk = b.block();
+    let work = b.thread(blk, ThreadSpec::new("work", arity));
+    let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+    b.arc(work, sink, ArcMapping::Reduction).unwrap();
+    b.build().unwrap()
+}
+
+/// Complete `work` in a deterministic round-robin over the kernels,
+/// `batch` completions per turn (1 = the direct path, one RMW pair per
+/// completion; >1 = the funnel path, one `complete_batch` per turn).
+/// The round-robin is the adversarial interleaving: consecutive updates
+/// of the sink's slot come from different kernels, so the `contended`
+/// line-transfer counter records the ping-pong the funnel eliminates.
+/// Returns elapsed nanoseconds; read `sm.stats()` for the counters.
+pub fn complete_interleaved(
+    sm: &SyncMemory<'_>,
+    work: &[Instance],
+    kernels: u32,
+    batch: usize,
+) -> u64 {
+    let gm = sm.graph();
+    let mut by_k: Vec<Vec<Instance>> = vec![Vec::new(); kernels as usize];
+    for &i in work {
+        by_k[gm.owner_of(i).idx()].push(i);
+    }
+    let batch = batch.max(1);
+    let mut out = Vec::new();
+    let mut cursor = vec![0usize; kernels as usize];
+    let mut remaining = work.len();
+    let t = Instant::now();
+    while remaining > 0 {
+        for k in 0..kernels as usize {
+            let c = cursor[k];
+            if c >= by_k[k].len() {
+                continue;
+            }
+            let hi = (c + batch).min(by_k[k].len());
+            if batch == 1 {
+                sm.complete(by_k[k][c], &mut out)
+                    .expect("direct completion");
+            } else {
+                sm.complete_batch(&by_k[k][c..hi], &mut out)
+                    .expect("batched completion");
+            }
+            cursor[k] = hi;
+            remaining -= hi - c;
+        }
+    }
+    t.elapsed().as_nanos() as u64
+}
+
 /// The PR 2 locked-shard Synchronization Memory interior, preserved as a
 /// measurement reference: per-kernel `Mutex<HashMap>` shards, `try_lock`
 /// first. No runtime uses it — it exists so `bench_tsu` can compare the
@@ -297,6 +356,32 @@ mod tests {
         let p = pipeline(128);
         assert!(measure(&p, 1, false) > 0);
         assert!(measure(&p, 2, true) > 0);
+    }
+
+    #[test]
+    fn funnel_batches_cut_line_transfers() {
+        let p = reduction(64);
+        let (sm, work) = armed(&p, 4);
+        complete_interleaved(&sm, &work, 4, 1);
+        let off = sm.stats();
+        let (sm, work) = armed(&p, 4);
+        complete_interleaved(&sm, &work, 4, 8);
+        let on = sm.stats();
+        // identical logical work, far fewer RMWs and line transfers
+        assert_eq!(on.rc_updates, off.rc_updates);
+        assert_eq!(on.completions, off.completions);
+        assert!(
+            on.rc_rmws < off.rc_rmws,
+            "{} !< {}",
+            on.rc_rmws,
+            off.rc_rmws
+        );
+        assert!(
+            off.sm_contended as f64 >= 1.5 * on.sm_contended as f64,
+            "funnel must cut line transfers ≥1.5x: off {} vs on {}",
+            off.sm_contended,
+            on.sm_contended
+        );
     }
 
     #[test]

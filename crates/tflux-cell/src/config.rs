@@ -1,6 +1,7 @@
 //! Cell/BE machine parameters.
 
 use serde::{Deserialize, Serialize};
+use tflux_core::tsu::TsuConfig;
 
 /// Configuration of the simulated Cell/BE.
 ///
@@ -37,6 +38,10 @@ pub struct CellConfig {
     pub compute_scale_num: u64,
     /// See [`CellConfig::compute_scale_num`].
     pub compute_scale_den: u64,
+    /// Configuration handed to the PPE-side TSU emulator (capacity,
+    /// scheduling policy, completion-funnel flush policy).
+    #[serde(default)]
+    pub tsu: TsuConfig,
 }
 
 impl CellConfig {
@@ -55,6 +60,7 @@ impl CellConfig {
             double_buffer: false,
             compute_scale_num: 1,
             compute_scale_den: 1,
+            tsu: TsuConfig::default(),
         }
     }
 
@@ -67,6 +73,13 @@ impl CellConfig {
     /// Enable import/compute double-buffering.
     pub fn with_double_buffer(mut self, on: bool) -> Self {
         self.double_buffer = on;
+        self
+    }
+
+    /// Override the PPE-side TSU emulator configuration (e.g. to enable
+    /// completion funnels with [`tflux_core::tsu::FlushPolicy::Batch`]).
+    pub fn with_tsu(mut self, tsu: TsuConfig) -> Self {
+        self.tsu = tsu;
         self
     }
 

@@ -100,11 +100,7 @@ fn block_topo_order(program: &DdmProgram, block: crate::ids::BlockId) -> Vec<Thr
             }
         }
     }
-    let mut queue: Vec<ThreadId> = members
-        .iter()
-        .copied()
-        .filter(|t| indeg[t] == 0)
-        .collect();
+    let mut queue: Vec<ThreadId> = members.iter().copied().filter(|t| indeg[t] == 0).collect();
     let mut order = Vec::with_capacity(members.len());
     while let Some(t) = queue.pop() {
         order.push(t);
@@ -119,6 +115,30 @@ fn block_topo_order(program: &DdmProgram, block: crate::ids::BlockId) -> Vec<Thr
     }
     debug_assert_eq!(order.len(), members.len(), "block not acyclic");
     order
+}
+
+/// Application instances whose initial ready count is at least
+/// `min_fan_in` — the hot sinks of the program's reduction arcs, returned
+/// with their fan-in (thread-major, context-minor order).
+///
+/// The Synchronization Memory uses this to decide whether batched flushes
+/// should combine through a tree: with `min_fan_in = kernels`, a hit
+/// means some slot will absorb updates from (at least) every kernel, so
+/// the sink's cache line is worth funneling.
+pub fn hot_sinks(program: &DdmProgram, min_fan_in: u32) -> Vec<(Instance, u32)> {
+    let mut out = Vec::new();
+    for (t, spec) in program.threads().iter().enumerate() {
+        if spec.kind != ThreadKind::App {
+            continue;
+        }
+        let t = ThreadId(t as u32);
+        for (c, &rc) in program.initial_rcs(t).iter().enumerate() {
+            if rc >= min_fan_in {
+                out.push((Instance::new(t, Context(c as u32)), rc));
+            }
+        }
+    }
+    out
 }
 
 /// Render the synchronization graph in Graphviz DOT format.
@@ -158,7 +178,11 @@ pub fn to_dot(program: &DdmProgram) -> String {
     }
     // sequential chaining between blocks
     for w in program.blocks().windows(2) {
-        let _ = writeln!(s, "  t{} -> t{} [style=dotted];", w[0].outlet.0, w[1].inlet.0);
+        let _ = writeln!(
+            s,
+            "  t{} -> t{} [style=dotted];",
+            w[0].outlet.0, w[1].inlet.0
+        );
     }
     let _ = writeln!(s, "}}");
     s
@@ -244,9 +268,8 @@ pub fn lints(program: &DdmProgram) -> Vec<Lint> {
     }
 
     // scalar chains: follow unique scalar->scalar app arcs
-    let is_scalar_app = |t: ThreadId| {
-        program.thread(t).arity == 1 && program.thread(t).kind == ThreadKind::App
-    };
+    let is_scalar_app =
+        |t: ThreadId| program.thread(t).arity == 1 && program.thread(t).kind == ThreadKind::App;
     let mut in_chain = vec![false; program.threads().len()];
     for start in 0..program.threads().len() {
         let start = ThreadId(start as u32);
@@ -409,10 +432,10 @@ mod tests {
         b.arc(a, c, ArcMapping::All).unwrap();
         let p = b.build().unwrap();
         let l = lints(&p);
-        assert!(matches!(
-            l.as_slice(),
-            [Lint::QuadraticFanIn { updates: 100, .. }]
-        ), "{l:?}");
+        assert!(
+            matches!(l.as_slice(), [Lint::QuadraticFanIn { updates: 100, .. }]),
+            "{l:?}"
+        );
         assert!(l[0].to_string().contains("OneToOne"));
     }
 
@@ -453,6 +476,19 @@ mod tests {
     fn clean_program_has_no_lints() {
         let p = fork_join(16);
         assert!(lints(&p).is_empty(), "{:?}", lints(&p));
+    }
+
+    #[test]
+    fn hot_sinks_find_the_reduction_target() {
+        let p = fork_join(10);
+        // the sink absorbs 10 reduction updates; src/work have fan-in <= 1
+        let sinks = hot_sinks(&p, 4);
+        assert_eq!(sinks.len(), 1);
+        let (inst, fan_in) = sinks[0];
+        assert_eq!(p.thread(inst.thread).name, "sink");
+        assert_eq!(fan_in, 10);
+        // a high enough threshold finds nothing; inlets/outlets never count
+        assert!(hot_sinks(&p, 11).is_empty());
     }
 
     #[test]

@@ -74,8 +74,8 @@ pub use policy::SchedulingPolicy;
 pub use program::{DdmProgram, ProgramBuilder};
 pub use thread::{Affinity, ThreadKind, ThreadSpec};
 pub use tsu::{
-    CoreTsu, FetchResult, GraphMemory, QueueUnit, ShardStats, SyncMemory, TsuBackend, TsuConfig,
-    TsuStats, WaitingInstance,
+    CompletionFunnel, CoreTsu, FetchResult, FlushPolicy, GraphMemory, QueueUnit, ShardStats,
+    SyncMemory, TsuBackend, TsuConfig, TsuStats, WaitingInstance,
 };
 
 /// Convenient glob import for users of the model.
@@ -87,5 +87,7 @@ pub mod prelude {
     pub use crate::policy::SchedulingPolicy;
     pub use crate::program::{DdmProgram, ProgramBuilder};
     pub use crate::thread::{Affinity, ThreadKind, ThreadSpec};
-    pub use crate::tsu::{CoreTsu, FetchResult, TsuBackend, TsuConfig};
+    pub use crate::tsu::{
+        CompletionFunnel, CoreTsu, FetchResult, FlushPolicy, TsuBackend, TsuConfig,
+    };
 }

@@ -222,6 +222,7 @@ mod tests {
             TsuConfig {
                 capacity: 12,
                 policy: Default::default(),
+                flush: Default::default(),
             },
         );
         let inlet = match tsu.fetch_ready(KernelId(0)).unwrap() {
@@ -238,6 +239,7 @@ mod tests {
             TsuConfig {
                 capacity: 12,
                 policy: Default::default(),
+                flush: Default::default(),
             },
         );
         let order = drain_sequential(&mut tsu);

@@ -14,8 +14,41 @@ use serde::{Deserialize, Serialize};
 
 use super::queue::FetchResult;
 
+/// When a kernel's completion funnel hands its accumulated ready-count
+/// decrements to the Synchronization Memory.
+///
+/// `Direct` is the PR 4 baseline: every App completion runs the
+/// Post-Processing Phase immediately, one `fetch_sub(1)` per consumer
+/// slot. `Batch` defers App completions into a per-kernel
+/// [`CompletionFunnel`](super::CompletionFunnel) and flushes them as one
+/// combined update per slot — at the batch size, at a fetch that would
+/// otherwise block (`Wait`), at a block transition (Inlet/Outlet
+/// completions are never batched), and at kernel exit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FlushPolicy {
+    /// Apply every ready-count decrement as its completion arrives.
+    #[default]
+    Direct,
+    /// Accumulate up to `size` App completions per kernel before flushing
+    /// them as one batched update (`size` is clamped to at least 1).
+    Batch {
+        /// Completions accumulated before an automatic flush.
+        size: u32,
+    },
+}
+
+impl FlushPolicy {
+    /// The batch size under this policy: `None` for the direct path.
+    pub fn batch_size(self) -> Option<usize> {
+        match self {
+            FlushPolicy::Direct => None,
+            FlushPolicy::Batch { size } => Some(size.max(1) as usize),
+        }
+    }
+}
+
 /// Configuration of a TSU instance.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct TsuConfig {
     /// Maximum instances resident at once (`0` = unlimited). A block whose
     /// residency exceeds this fails at load, mirroring the paper's rule that
@@ -23,6 +56,10 @@ pub struct TsuConfig {
     pub capacity: usize,
     /// Ready-thread selection policy.
     pub policy: SchedulingPolicy,
+    /// Completion-funnel flush policy (default: the direct per-update
+    /// path; `Batch` turns the reduction funnels on).
+    #[serde(default)]
+    pub flush: FlushPolicy,
 }
 
 /// Counters a TSU keeps about its own operation.
@@ -34,8 +71,15 @@ pub struct TsuStats {
     pub waits: u64,
     /// DThread completions processed.
     pub completions: u64,
-    /// Ready-count decrements performed during post-processing.
+    /// Logical ready-count decrements performed during post-processing.
+    /// Batched flushes count every combined decrement here, so this is
+    /// invariant under [`FlushPolicy`] and comparable across backends.
     pub rc_updates: u64,
+    /// Physical atomic read-modify-writes issued against ready-count
+    /// slots. Equal to `rc_updates` on the direct path; batching makes it
+    /// smaller (one `fetch_sub(n)` covers `n` logical decrements).
+    #[serde(default)]
+    pub rc_rmws: u64,
     /// Fetches satisfied from another kernel's queue.
     pub steals: u64,
     /// DDM blocks loaded.
@@ -43,8 +87,10 @@ pub struct TsuStats {
     /// Peak number of resident instances.
     pub max_resident: usize,
     /// Synchronization Memory contention events: weak-CAS retries on slot
-    /// state transitions (0 on the single-owner backends; the locked
-    /// design counted `try_lock` misses here).
+    /// state transitions, plus ready-count RMWs that land on a slot whose
+    /// previous decrement came from a *different* kernel — the software
+    /// proxy for a coherence-line transfer of a hot sink slot. (The locked
+    /// design counted `try_lock` misses here.)
     #[serde(default)]
     pub sm_contended: u64,
 }
@@ -56,9 +102,14 @@ pub struct TsuStats {
 /// collided on the same slot.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShardStats {
-    /// Ready-count decrements applied to this kernel's instances.
+    /// Logical ready-count decrements applied to this kernel's instances.
     pub rc_updates: u64,
-    /// CAS retries on state transitions of this kernel's instances (the
+    /// Physical ready-count RMWs issued against this kernel's instances
+    /// (`<= rc_updates` once batching combines decrements).
+    #[serde(default)]
+    pub rc_rmws: u64,
+    /// Contention events on this kernel's instances: CAS retries on state
+    /// transitions plus cross-kernel ready-count line transfers (the
     /// locked design counted blocking lock acquisitions here).
     pub contended: u64,
 }
@@ -102,6 +153,28 @@ pub trait TsuBackend {
     /// models inspect *who* became ready — e.g. to charge cross-shard
     /// update messages.
     fn complete(&mut self, inst: Instance, ready: &mut Vec<Instance>) -> Result<(), CoreError>;
+
+    /// Record a *batch* of application completions at once: the funnel
+    /// flush path. Backends that override this combine the batch's
+    /// ready-count decrements into one `fetch_sub(n)` per consumer slot;
+    /// the default simply replays [`complete`](Self::complete) per
+    /// instance, so every backend accepts a flush even before it learns
+    /// to combine. `done` must hold only `App` instances (Inlet/Outlet
+    /// completions drive block transitions and are never funneled).
+    /// Newly-ready instances land in `ready` (cleared first).
+    fn complete_batch(
+        &mut self,
+        done: &[Instance],
+        ready: &mut Vec<Instance>,
+    ) -> Result<(), CoreError> {
+        ready.clear();
+        let mut scratch = Vec::new();
+        for &inst in done {
+            self.complete(inst, &mut scratch)?;
+            ready.append(&mut scratch);
+        }
+        Ok(())
+    }
 
     /// Snapshot of the operation counters accumulated so far.
     fn drain_stats(&mut self) -> TsuStats;

@@ -1,0 +1,166 @@
+//! The per-kernel completion funnel: local accumulation of App
+//! completions, flushed in batches through
+//! [`TsuBackend::complete_batch`].
+//!
+//! A `Reduction` arc sends every producer's ready-count decrement at the
+//! *same* sink slot; with K kernels completing producers concurrently
+//! that slot's cache line ping-pongs K ways. The funnel is the classic
+//! combining cure: each kernel parks its completions here (keyed by
+//! `(consumer thread, context)` once combined by the Synchronization
+//! Memory) and hands them over as one batch, so the sink sees one
+//! `fetch_sub(n)` per flush instead of n separate RMWs.
+//!
+//! The funnel itself is deliberately dumb — a bounded pending list and a
+//! policy. All protocol knowledge (state transitions, combining, the n→0
+//! publication rule) lives behind [`TsuBackend::complete_batch`], so the
+//! same funnel fronts the threaded runtime, the simulated hardware TSU
+//! and the Cell machine.
+
+use crate::error::CoreError;
+use crate::ids::Instance;
+
+use super::backend::{FlushPolicy, TsuBackend};
+
+/// Per-kernel accumulator of App completions awaiting a batched flush.
+///
+/// Under [`FlushPolicy::Direct`] the funnel never accumulates:
+/// [`push`](Self::push) reports every completion as an immediate flush of
+/// one. Under [`FlushPolicy::Batch`] completions park until the batch
+/// size is reached — and the *kernel* must also flush at any point where
+/// it might block or give up the CPU (a fetch that returns `Wait`, a
+/// block transition, loop exit), or the deferred decrements would
+/// deadlock the very consumers the kernel is waiting on.
+#[derive(Debug)]
+pub struct CompletionFunnel {
+    pending: Vec<Instance>,
+    /// Completions per automatic flush; 1 on the direct path.
+    batch: usize,
+}
+
+impl CompletionFunnel {
+    /// A funnel obeying `policy`.
+    pub fn new(policy: FlushPolicy) -> Self {
+        let batch = policy.batch_size().unwrap_or(1);
+        CompletionFunnel {
+            pending: Vec::with_capacity(batch),
+            batch,
+        }
+    }
+
+    /// Whether this funnel actually batches (false under
+    /// [`FlushPolicy::Direct`]).
+    pub fn batching(&self) -> bool {
+        self.batch > 1
+    }
+
+    /// Completions currently parked.
+    pub fn pending(&self) -> &[Instance] {
+        &self.pending
+    }
+
+    /// Whether nothing is parked.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Park a completion. Returns `true` when the batch is full and the
+    /// caller must [`flush`](Self::flush) now.
+    #[must_use]
+    pub fn push(&mut self, inst: Instance) -> bool {
+        self.pending.push(inst);
+        self.pending.len() >= self.batch
+    }
+
+    /// Hand everything parked to `backend` as one batch; newly-ready
+    /// instances land in `ready` (cleared first; cleared even when the
+    /// funnel is empty, so callers can rely on it). On error the funnel
+    /// is left empty — the backend has poisoned itself and replaying the
+    /// batch would only fail again.
+    pub fn flush<B: TsuBackend>(
+        &mut self,
+        backend: &mut B,
+        ready: &mut Vec<Instance>,
+    ) -> Result<(), CoreError> {
+        if self.pending.is_empty() {
+            ready.clear();
+            return Ok(());
+        }
+        let result = backend.complete_batch(&self.pending, ready);
+        self.pending.clear();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Context, KernelId, ThreadId};
+    use crate::mapping::ArcMapping;
+    use crate::program::ProgramBuilder;
+    use crate::thread::ThreadSpec;
+    use crate::tsu::{CoreTsu, FetchResult, TsuConfig};
+
+    fn wide_reduction(arity: u32) -> crate::program::DdmProgram {
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let work = b.thread(blk, ThreadSpec::new("w", arity));
+        let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+        b.arc(work, sink, ArcMapping::Reduction).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn direct_policy_flushes_every_push() {
+        let mut f = CompletionFunnel::new(FlushPolicy::Direct);
+        assert!(!f.batching());
+        assert!(f.push(Instance::new(ThreadId(0), Context(0))));
+    }
+
+    #[test]
+    fn batch_policy_fills_before_demanding_a_flush() {
+        let mut f = CompletionFunnel::new(FlushPolicy::Batch { size: 3 });
+        assert!(f.batching());
+        assert!(!f.push(Instance::new(ThreadId(0), Context(0))));
+        assert!(!f.push(Instance::new(ThreadId(0), Context(1))));
+        assert!(f.push(Instance::new(ThreadId(0), Context(2))));
+        assert_eq!(f.pending().len(), 3);
+    }
+
+    #[test]
+    fn zero_batch_size_is_clamped_to_direct() {
+        let mut f = CompletionFunnel::new(FlushPolicy::Batch { size: 0 });
+        assert!(!f.batching());
+        assert!(f.push(Instance::new(ThreadId(0), Context(0))));
+    }
+
+    #[test]
+    fn flush_drives_a_backend_and_empties_the_funnel() {
+        let p = wide_reduction(4);
+        let mut tsu = CoreTsu::new(&p, 1, TsuConfig::default());
+        let mut f = CompletionFunnel::new(FlushPolicy::Batch { size: 8 });
+        let mut ready = Vec::new();
+        // run the inlet directly, park every work completion
+        let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)).unwrap() else {
+            panic!("inlet not ready");
+        };
+        tsu.complete_queued(inlet, &mut ready).unwrap();
+        for _ in 0..4 {
+            let FetchResult::Thread(i) = tsu.fetch_ready(KernelId(0)).unwrap() else {
+                panic!("work not ready");
+            };
+            let _ = f.push(i);
+        }
+        assert_eq!(f.pending().len(), 4);
+        f.flush(&mut tsu, &mut ready).unwrap();
+        assert!(f.is_empty());
+        // the flush published the sink onto the TSU's queues
+        let FetchResult::Thread(sink) = tsu.fetch_ready(KernelId(0)).unwrap() else {
+            panic!("sink not ready after flush");
+        };
+        assert_eq!(sink.thread, ThreadId(1));
+        // flushing an empty funnel is a no-op that still clears `ready`
+        ready.push(sink);
+        f.flush(&mut tsu, &mut ready).unwrap();
+        assert!(ready.is_empty());
+    }
+}

@@ -20,11 +20,13 @@
 //! TFluxHard and TFluxCell directly comparable.
 
 mod backend;
+mod funnel;
 mod gm;
 mod queue;
 mod sync;
 
-pub use backend::{ShardStats, TsuBackend, TsuConfig, TsuStats, WaitingInstance};
+pub use backend::{FlushPolicy, ShardStats, TsuBackend, TsuConfig, TsuStats, WaitingInstance};
+pub use funnel::CompletionFunnel;
 pub use gm::GraphMemory;
 pub use queue::{FetchResult, QueueUnit};
 pub use sync::SyncMemory;
@@ -46,6 +48,7 @@ pub struct CoreTsu<'p> {
     sm: SyncMemory<'p>,
     queues: Vec<QueueUnit>,
     policy: SchedulingPolicy,
+    flush: FlushPolicy,
     waits: u64,
     steals: u64,
 }
@@ -65,6 +68,7 @@ impl<'p> CoreTsu<'p> {
             sm,
             queues: (0..nqueues).map(|_| QueueUnit::new()).collect(),
             policy: config.policy,
+            flush: config.flush,
             waits: 0,
             steals: 0,
         };
@@ -81,6 +85,13 @@ impl<'p> CoreTsu<'p> {
     /// Number of kernels served.
     pub fn kernels(&self) -> u32 {
         self.gm.kernels()
+    }
+
+    /// The configured completion-funnel flush policy. Device models poll
+    /// this to decide whether to build per-core funnels in front of the
+    /// TSU.
+    pub fn flush_policy(&self) -> FlushPolicy {
+        self.flush
     }
 
     /// Whether the last block's outlet has completed.
@@ -146,19 +157,38 @@ impl<'p> CoreTsu<'p> {
             return Ok(FetchResult::Thread(i));
         }
         if let SchedulingPolicy::LocalityFirst { steal: true } = self.policy {
-            // steal from the most loaded queue unit
-            if let Some(victim) = (0..self.queues.len())
-                .filter(|&q| q != own && !self.queues[q].is_empty())
-                .max_by_key(|&q| self.queues[q].len())
-            {
-                let i = self.queues[victim].pop().expect("non-empty victim");
-                self.steals += 1;
+            if let Some(i) = self.pop_stolen(&self.steal_plan(own)) {
                 self.sm.dispatch(i)?;
                 return Ok(FetchResult::Thread(i));
             }
         }
         self.waits += 1;
         Ok(FetchResult::Wait)
+    }
+
+    /// Victim queues for a steal by the owner of queue `own`, most loaded
+    /// first. The plan is a *snapshot*: by the time a victim is popped it
+    /// may have drained, so [`pop_stolen`](Self::pop_stolen) treats an
+    /// emptied victim as a miss, never a panic.
+    fn steal_plan(&self, own: usize) -> Vec<usize> {
+        let mut victims: Vec<usize> = (0..self.queues.len())
+            .filter(|&q| q != own && !self.queues[q].is_empty())
+            .collect();
+        victims.sort_by_key(|&q| std::cmp::Reverse(self.queues[q].len()));
+        victims
+    }
+
+    /// Pop from the first victim in `plan` that still has work. A victim
+    /// emptied since the plan was made falls through to the next; an
+    /// entirely stale plan yields `None` (the caller reports `Wait`).
+    fn pop_stolen(&mut self, plan: &[usize]) -> Option<Instance> {
+        for &victim in plan {
+            if let Some(i) = self.queues[victim].pop() {
+                self.steals += 1;
+                return Some(i);
+            }
+        }
+        None
     }
 
     /// Record completion of `inst`; newly-ready instances go onto the
@@ -171,6 +201,23 @@ impl<'p> CoreTsu<'p> {
         out: &mut Vec<Instance>,
     ) -> Result<(), CoreError> {
         self.sm.complete(inst, out)?;
+        for &i in out.iter() {
+            self.push_ready(i);
+        }
+        Ok(())
+    }
+
+    /// Record a funnel flush: a batch of App completions whose combined
+    /// ready-count decrements hit each consumer slot once. Newly-ready
+    /// instances go onto the internal queue units *and* are reported in
+    /// `out` (cleared first), like
+    /// [`complete_queued`](Self::complete_queued).
+    pub fn complete_batch_queued(
+        &mut self,
+        done: &[Instance],
+        out: &mut Vec<Instance>,
+    ) -> Result<(), CoreError> {
+        self.sm.complete_batch(done, out)?;
         for &i in out.iter() {
             self.push_ready(i);
         }
@@ -194,6 +241,14 @@ impl TsuBackend for CoreTsu<'_> {
 
     fn complete(&mut self, inst: Instance, ready: &mut Vec<Instance>) -> Result<(), CoreError> {
         self.complete_queued(inst, ready)
+    }
+
+    fn complete_batch(
+        &mut self,
+        done: &[Instance],
+        ready: &mut Vec<Instance>,
+    ) -> Result<(), CoreError> {
+        self.complete_batch_queued(done, ready)
     }
 
     fn drain_stats(&mut self) -> TsuStats {
@@ -322,6 +377,7 @@ mod tests {
             TsuConfig {
                 capacity: 8,
                 policy: SchedulingPolicy::default(),
+                flush: Default::default(),
             },
         );
         // inlet fits; its completion tries to load the block and must fail
@@ -395,6 +451,7 @@ mod tests {
             TsuConfig {
                 capacity: 0,
                 policy: SchedulingPolicy::LocalityFirst { steal: false },
+                flush: Default::default(),
             },
         );
         let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)).unwrap() else {
@@ -414,6 +471,7 @@ mod tests {
             TsuConfig {
                 capacity: 0,
                 policy: SchedulingPolicy::GlobalFifo,
+                flush: Default::default(),
             },
         );
         let order = drain_sequential(&mut tsu);
@@ -431,9 +489,106 @@ mod tests {
         assert_eq!(s.fetches as usize, p.total_instances());
         assert_eq!(s.blocks_loaded, 2);
         assert!(s.rc_updates > 0);
+        // the direct path issues one physical RMW per logical decrement
+        assert_eq!(s.rc_rmws, s.rc_updates);
         assert!(s.max_resident >= p.max_block_instances());
-        // single-owner driver: every shard lock acquisition is uncontended
-        assert_eq!(s.sm_contended, 0);
+        // two kernels round-robin completions, so the sink slots change
+        // hands between kernels — counted as line transfers
+        assert!(s.sm_contended > 0);
+    }
+
+    #[test]
+    fn single_kernel_run_is_uncontended() {
+        // one kernel: no CAS can race and no line ever changes hands
+        let p = fork_join(4, 2);
+        let mut tsu = CoreTsu::new(&p, 1, TsuConfig::default());
+        drain_sequential(&mut tsu);
+        assert_eq!(tsu.stats().sm_contended, 0);
+    }
+
+    #[test]
+    fn batched_drain_matches_direct_counters() {
+        let p = fork_join(8, 2);
+        let mut direct = CoreTsu::new(&p, 2, TsuConfig::default());
+        drain_sequential(&mut direct);
+
+        // same program, but every App completion funneled through batches
+        let mut tsu = CoreTsu::new(
+            &p,
+            2,
+            TsuConfig {
+                flush: FlushPolicy::Batch { size: 4 },
+                ..TsuConfig::default()
+            },
+        );
+        let mut funnels = [
+            CompletionFunnel::new(tsu.flush_policy()),
+            CompletionFunnel::new(tsu.flush_policy()),
+        ];
+        let mut scratch = Vec::new();
+        let mut executed = 0usize;
+        let mut k = 0usize;
+        let mut idle = 0u32;
+        loop {
+            match tsu.fetch_ready(KernelId(k as u32)).unwrap() {
+                FetchResult::Thread(i) => {
+                    idle = 0;
+                    executed += 1;
+                    if tsu.program().thread(i.thread).kind == crate::thread::ThreadKind::App {
+                        if funnels[k].push(i) {
+                            funnels[k].flush(&mut tsu, &mut scratch).unwrap();
+                        }
+                    } else {
+                        // block transitions flush first, then complete
+                        funnels[k].flush(&mut tsu, &mut scratch).unwrap();
+                        tsu.complete_queued(i, &mut scratch).unwrap();
+                    }
+                }
+                FetchResult::Wait => {
+                    // flush before idling or the parked decrements deadlock
+                    funnels[k].flush(&mut tsu, &mut scratch).unwrap();
+                    idle += 1;
+                    assert!(idle <= 4, "deadlock");
+                }
+                FetchResult::Exit => break,
+            }
+            k = (k + 1) % 2;
+        }
+        assert_eq!(executed, p.total_instances());
+        let (d, b) = (direct.stats(), tsu.stats());
+        // conservation: batching changes *when* decrements land, not how
+        // many, and the physical RMW count shrinks
+        assert_eq!(b.rc_updates, d.rc_updates);
+        assert_eq!(b.completions, d.completions);
+        assert!(b.rc_rmws < d.rc_rmws, "{} !< {}", b.rc_rmws, d.rc_rmws);
+    }
+
+    #[test]
+    fn stale_steal_plan_is_a_graceful_miss() {
+        // regression for the `pop().expect("non-empty victim")` panic: a
+        // steal plan can outlive the victim's last entry, and popping an
+        // emptied victim must fall through, not panic
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        b.thread(
+            blk,
+            ThreadSpec::new("w", 2).with_affinity(crate::thread::Affinity::Fixed(KernelId(1))),
+        );
+        let p = b.build().unwrap();
+        let mut tsu = CoreTsu::new(&p, 2, TsuConfig::default());
+        let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)).unwrap() else {
+            panic!("inlet not ready");
+        };
+        complete(&mut tsu, inlet).unwrap();
+        // kernel 0's plan names queue 1 (holding both work instances)...
+        let plan = tsu.steal_plan(0);
+        assert_eq!(plan, vec![1]);
+        // ...but the queue drains before the pop lands
+        while tsu.queues[1].pop().is_some() {}
+        assert_eq!(tsu.pop_stolen(&plan), None, "stale plan must miss");
+        assert_eq!(tsu.stats().steals, 0);
+        // the public fetch path reports Wait instead of panicking
+        assert_eq!(tsu.fetch_ready(KernelId(0)).unwrap(), FetchResult::Wait);
     }
 
     #[test]
@@ -447,6 +602,7 @@ mod tests {
             TsuConfig {
                 capacity: 12,
                 policy: SchedulingPolicy::default(),
+                flush: Default::default(),
             },
         );
         let order = drain_sequential(&mut tsu);

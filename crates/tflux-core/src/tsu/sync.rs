@@ -22,9 +22,20 @@
 //! Only the block-transition slow path (Inlet/Outlet completions, already
 //! serialized by program structure) takes the `block` mutex. Per-kernel
 //! observability counters survive from the sharded design: `rc_updates`
-//! still counts decrements landing on each kernel's instances, and
-//! `contended` now counts weak-CAS retries ("CAS retries") instead of
-//! `try_lock` misses.
+//! still counts *logical* decrements landing on each kernel's instances
+//! (`rc_rmws` counts the physical RMWs, which batching makes smaller),
+//! and `contended` counts weak-CAS retries on state transitions plus
+//! cross-kernel ready-count line transfers (a decrement arriving from a
+//! different kernel than the slot's previous one) instead of `try_lock`
+//! misses.
+//!
+//! [`complete_batch`](SyncMemory::complete_batch) is the reduction-funnel
+//! flush path: a kernel's accumulated App completions arrive as one call,
+//! their decrements are combined locally (one `fetch_sub(n)` per slot)
+//! and, when several kernels share a hot sink, carried up a combining
+//! tree that merges concurrent flushes so K flushers issue O(log K) RMWs
+//! on the contended line. The 1→0 publication rule generalizes to `n→0`:
+//! exactly one flusher observes zero and enqueues the consumer.
 //!
 //! A kernel that dies mid-update (or any unwind out of a mutating
 //! section) **poisons** the SM: the `poisoned` flag latches, and every
@@ -33,9 +44,10 @@
 //! ready counts.
 
 use crate::error::CoreError;
-use crate::ids::{BlockId, Context, Instance, ThreadId};
+use crate::ids::{BlockId, Context, Instance, KernelId, ThreadId};
 use crate::program::DdmProgram;
 use crate::thread::ThreadKind;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
@@ -51,13 +63,32 @@ const RUNNING: u32 = 2;
 /// Completed; stays `Done` until its thread is unloaded.
 const DONE: u32 = 3;
 
+/// Sentinel for [`Slot::updater`]: no kernel has decremented this slot's
+/// ready count since it became resident.
+const NO_UPDATER: u32 = u32::MAX;
+
 /// One entry of the ready-count table.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Slot {
     /// Remaining producer completions before this instance is ready.
     rc: AtomicU32,
     /// Lifecycle word: `VACANT`/`RESIDENT`/`RUNNING`/`DONE`.
     state: AtomicU32,
+    /// The kernel whose update last touched this ready count. A decrement
+    /// arriving from a *different* kernel would, on real hardware, pull
+    /// the slot's cache line across cores — counted as a contention event
+    /// so the measure is deterministic even on a single-core host.
+    updater: AtomicU32,
+}
+
+impl Default for Slot {
+    fn default() -> Self {
+        Slot {
+            rc: AtomicU32::new(0),
+            state: AtomicU32::new(VACANT),
+            updater: AtomicU32::new(NO_UPDATER),
+        }
+    }
 }
 
 /// Per-kernel observability counters. The table itself is not sharded —
@@ -65,10 +96,22 @@ struct Slot {
 /// preserving the `RunReport.sm_shards` view from the locked design.
 #[derive(Debug, Default)]
 struct ShardCounters {
+    /// Logical ready-count decrements (invariant under batching).
     rc_updates: AtomicU64,
-    /// Weak-CAS retries on state transitions ("CAS retries"; the locked
-    /// design counted `try_lock` misses here).
+    /// Physical `fetch_sub` RMWs (one per combined flush entry).
+    rc_rmws: AtomicU64,
+    /// Weak-CAS retries on state transitions plus cross-kernel
+    /// ready-count line transfers (the locked design counted `try_lock`
+    /// misses here).
     contended: AtomicU64,
+}
+
+/// One node of the combining tree: deposits parked by flushers that found
+/// the node claimed, waiting for the claimant to carry them to the table.
+#[derive(Debug, Default)]
+struct TreeNode {
+    pending: BTreeMap<Instance, u32>,
+    claimed: bool,
 }
 
 /// Block residency bookkeeping — serialized because Inlet/Outlet
@@ -124,6 +167,11 @@ pub struct SyncMemory<'p> {
     base: Vec<u32>,
     slots: Vec<Slot>,
     shards: Vec<ShardCounters>,
+    /// Combining tree for batched flushes (heap-indexed, entry 0 unused;
+    /// kernel `k`'s leaf hangs under internal node `(P + k) / 2`). Empty
+    /// when a single kernel runs or the program has no hot sink — then
+    /// every flush goes straight to the table.
+    tree: Vec<Mutex<TreeNode>>,
     fetches: AtomicU64,
     completions: AtomicU64,
     finished: AtomicBool,
@@ -146,12 +194,23 @@ impl<'p> SyncMemory<'p> {
             next += spec.arity;
         }
         let slots = (0..next).map(|_| Slot::default()).collect();
+        // The combining tree only pays when several kernels funnel into a
+        // hot sink: its internal nodes (heap layout, `P = kernels` padded
+        // to a power of two) exist iff the precomputed reduction fan-in
+        // says such a sink exists.
+        let tree = if kernels > 1 && !crate::graph::hot_sinks(program, kernels).is_empty() {
+            let p = (kernels as usize).next_power_of_two();
+            (0..p).map(|_| Mutex::new(TreeNode::default())).collect()
+        } else {
+            Vec::new()
+        };
         let sm = SyncMemory {
             gm,
             capacity,
             base,
             slots,
             shards: (0..kernels).map(|_| ShardCounters::default()).collect(),
+            tree,
             fetches: AtomicU64::new(0),
             completions: AtomicU64::new(0),
             finished: AtomicBool::new(false),
@@ -275,6 +334,7 @@ impl<'p> SyncMemory<'p> {
                 "thread {t} loaded while still resident"
             );
             slot.rc.store(rcs[c as usize], Ordering::Relaxed);
+            slot.updater.store(NO_UPDATER, Ordering::Relaxed);
             // Release: a consumer decrementing this rc after seeing the
             // instance resident must see the initial count.
             slot.state.store(RESIDENT, Ordering::Release);
@@ -290,6 +350,7 @@ impl<'p> SyncMemory<'p> {
         for c in 0..arity {
             let slot = self.slot(Instance::new(t, Context(c)));
             slot.rc.store(0, Ordering::Relaxed);
+            slot.updater.store(NO_UPDATER, Ordering::Relaxed);
             slot.state.store(VACANT, Ordering::Release);
         }
         guard.resident -= arity as usize;
@@ -429,27 +490,172 @@ impl<'p> SyncMemory<'p> {
     fn post_process(&self, inst: Instance, out: &mut Vec<Instance>) {
         let t = inst.thread;
         let pa = self.gm.program().thread(t).arity;
+        let updater = self.gm.owner_of(inst);
         // Consumer lists live in Graph Memory; each decrement is one
         // `fetch_sub` on the consumer's slot. The producer that observes
         // the 1→0 edge — exactly one, by atomicity — publishes it.
         for arc in self.gm.consumers(t) {
             let ca = self.gm.program().thread(arc.consumer).arity;
             for c in arc.mapping.consumers(inst.context, pa, ca) {
-                let ci = Instance::new(arc.consumer, c);
-                self.shards[self.gm.owner_of(ci).idx()]
-                    .rc_updates
-                    .fetch_add(1, Ordering::Relaxed);
-                let slot = self.slot(ci);
-                assert_ne!(
-                    slot.state.load(Ordering::Acquire),
-                    VACANT,
-                    "consumer {ci:?} not resident"
-                );
-                let prev = slot.rc.fetch_sub(1, Ordering::AcqRel);
-                assert_ne!(prev, 0, "ready count underflow at {ci:?}");
-                if prev == 1 {
-                    out.push(ci);
+                self.apply_rc_sub(Instance::new(arc.consumer, c), 1, updater, out);
+            }
+        }
+    }
+
+    /// One physical ready-count RMW covering `n` logical decrements of
+    /// `ci`. The flusher that observes the `n→0` edge — exactly one, by
+    /// atomicity of `fetch_sub` — publishes the consumer into `out`; this
+    /// generalizes the direct path's 1→0 ownership rule. An update whose
+    /// `updater` kernel differs from the slot's previous updater counts
+    /// one contention event on the consumer-owner's shard (the line would
+    /// migrate between cores on real hardware).
+    fn apply_rc_sub(&self, ci: Instance, n: u32, updater: KernelId, out: &mut Vec<Instance>) {
+        let shard = &self.shards[self.gm.owner_of(ci).idx()];
+        shard.rc_updates.fetch_add(n as u64, Ordering::Relaxed);
+        shard.rc_rmws.fetch_add(1, Ordering::Relaxed);
+        let slot = self.slot(ci);
+        assert_ne!(
+            slot.state.load(Ordering::Acquire),
+            VACANT,
+            "consumer {ci:?} not resident"
+        );
+        let prev_updater = slot.updater.swap(updater.0, Ordering::Relaxed);
+        if prev_updater != NO_UPDATER && prev_updater != updater.0 {
+            shard.contended.fetch_add(1, Ordering::Relaxed);
+        }
+        let prev = slot.rc.fetch_sub(n, Ordering::AcqRel);
+        assert!(prev >= n, "ready count underflow at {ci:?}");
+        if prev == n {
+            out.push(ci);
+        }
+    }
+
+    /// Record a batch of *application* completions — the funnel flush
+    /// path. The batch's decrements are first combined locally (one entry
+    /// per consumer slot, so K completions hitting one Reduction sink
+    /// become a single `fetch_sub(K)`), then carried to the table through
+    /// the combining tree when one is built, merging with concurrent
+    /// flushes from other kernels on the way up.
+    ///
+    /// Unlike [`complete`](Self::complete), a protocol error inside a
+    /// batch (an instance that was never dispatched, a non-App instance)
+    /// poisons the SM: earlier instances of the batch have already
+    /// retired, so there is no state to roll back to.
+    pub fn complete_batch(
+        &self,
+        done: &[Instance],
+        out: &mut Vec<Instance>,
+    ) -> Result<(), CoreError> {
+        out.clear();
+        self.check_poisoned()?;
+        let Some(&first) = done.first() else {
+            return Ok(());
+        };
+        let updater = self.gm.owner_of(first);
+        let sentinel = PoisonGuard::arm(&self.poisoned);
+        let mut combined: BTreeMap<Instance, u32> = BTreeMap::new();
+        for &inst in done {
+            assert_eq!(
+                self.gm.kind(inst.thread),
+                ThreadKind::App,
+                "only App completions may be funneled: {inst:?}"
+            );
+            self.transition(inst, RUNNING, DONE)
+                .map_err(|_| CoreError::NotRunning(inst))?;
+            self.completions.fetch_add(1, Ordering::Relaxed);
+            let pa = self.gm.program().thread(inst.thread).arity;
+            for arc in self.gm.consumers(inst.thread) {
+                let ca = self.gm.program().thread(arc.consumer).arity;
+                for c in arc.mapping.consumers(inst.context, pa, ca) {
+                    *combined.entry(Instance::new(arc.consumer, c)).or_insert(0) += 1;
                 }
+            }
+        }
+        if self.tree.is_empty() {
+            self.apply_combined(&combined, updater, out);
+        } else {
+            self.tree_flush(updater, combined, out);
+        }
+        sentinel.disarm();
+        Ok(())
+    }
+
+    /// Apply a combined decrement map to the table, one RMW per slot.
+    fn apply_combined(
+        &self,
+        combined: &BTreeMap<Instance, u32>,
+        updater: KernelId,
+        out: &mut Vec<Instance>,
+    ) {
+        for (&ci, &n) in combined {
+            self.apply_rc_sub(ci, n, updater, out);
+        }
+    }
+
+    /// Lock one combining-tree node, latching OS-level poison like
+    /// [`lock_block`](Self::lock_block) does (but non-failing: the flush
+    /// proceeds and the *next* operation reports the corruption).
+    fn lock_tree(&self, idx: usize) -> MutexGuard<'_, TreeNode> {
+        self.tree[idx].lock().unwrap_or_else(|p: PoisonError<_>| {
+            self.poison();
+            p.into_inner()
+        })
+    }
+
+    /// Carry a combined batch up the combining tree. Climbing from the
+    /// flusher's leaf toward the root, each node is either *claimed* (we
+    /// own the path above and absorb anything parked there) or already
+    /// claimed by a concurrent flusher — then we deposit our map and
+    /// leave; the claimant carries it the rest of the way. K concurrent
+    /// flushers therefore issue O(log K) RMWs on a shared sink line: at
+    /// most one flusher per tree level reaches the table with the merged
+    /// update.
+    fn tree_flush(
+        &self,
+        updater: KernelId,
+        mut mine: BTreeMap<Instance, u32>,
+        out: &mut Vec<Instance>,
+    ) {
+        let p = self.tree.len();
+        let mut idx = (p + (updater.idx() & (p - 1))) / 2;
+        let mut claimed: Vec<usize> = Vec::new();
+        while idx >= 1 {
+            let mut node = self.lock_tree(idx);
+            if node.claimed {
+                for (ci, n) in mine {
+                    *node.pending.entry(ci).or_insert(0) += n;
+                }
+                drop(node);
+                self.unwind_claims(&claimed, updater, out);
+                return;
+            }
+            node.claimed = true;
+            for (ci, n) in std::mem::take(&mut node.pending) {
+                *mine.entry(ci).or_insert(0) += n;
+            }
+            drop(node);
+            claimed.push(idx);
+            idx /= 2;
+        }
+        self.apply_combined(&mine, updater, out);
+        self.unwind_claims(&claimed, updater, out);
+    }
+
+    /// Release the tree nodes this flusher claimed, root-most first. A
+    /// node is unclaimed only after its pending map is observed empty
+    /// under the lock; anything deposited while we were busy is applied
+    /// here, so no decrement is ever stranded at a claimed node.
+    fn unwind_claims(&self, claimed: &[usize], updater: KernelId, out: &mut Vec<Instance>) {
+        for &idx in claimed.iter().rev() {
+            loop {
+                let mut node = self.lock_tree(idx);
+                if node.pending.is_empty() {
+                    node.claimed = false;
+                    break;
+                }
+                let pending = std::mem::take(&mut node.pending);
+                drop(node);
+                self.apply_combined(&pending, updater, out);
             }
         }
     }
@@ -505,6 +711,11 @@ impl<'p> SyncMemory<'p> {
                 .iter()
                 .map(|s| s.rc_updates.load(Ordering::Relaxed))
                 .sum(),
+            rc_rmws: self
+                .shards
+                .iter()
+                .map(|s| s.rc_rmws.load(Ordering::Relaxed))
+                .sum(),
             steals: 0,
             blocks_loaded: guard.blocks_loaded,
             max_resident: guard.max_resident,
@@ -522,6 +733,7 @@ impl<'p> SyncMemory<'p> {
             .iter()
             .map(|s| ShardStats {
                 rc_updates: s.rc_updates.load(Ordering::Relaxed),
+                rc_rmws: s.rc_rmws.load(Ordering::Relaxed),
                 contended: s.contended.load(Ordering::Relaxed),
             })
             .collect()
@@ -744,5 +956,149 @@ mod tests {
         // 64 reduction decrements on the sink + 64 implicit All decrements
         // on the outlet (the sink itself never completes in this test)
         assert_eq!(sm.stats().rc_updates, 64 + 64);
+    }
+
+    /// Wide reduction used by the funnel tests: `work[arity] -> sink`.
+    fn wide_reduction(arity: u32) -> DdmProgram {
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let work = b.thread(blk, ThreadSpec::new("w", arity));
+        let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+        b.arc(work, sink, ArcMapping::Reduction).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Load the first block and dispatch every initially-ready instance.
+    fn armed_block(sm: &SyncMemory<'_>) -> Vec<Instance> {
+        let mut ready = Vec::new();
+        let inlet = sm.armed_inlet();
+        sm.dispatch(inlet).unwrap();
+        sm.complete(inlet, &mut ready).unwrap();
+        for &i in &ready {
+            sm.dispatch(i).unwrap();
+        }
+        ready
+    }
+
+    #[test]
+    fn batched_completion_matches_direct_path() {
+        let p = wide_reduction(16);
+
+        // direct: one decrement per completion
+        let direct = SyncMemory::new(&p, 2, 0);
+        let work = armed_block(&direct);
+        let mut direct_ready = Vec::new();
+        let mut scratch = Vec::new();
+        for &i in &work {
+            direct.complete(i, &mut scratch).unwrap();
+            direct_ready.extend_from_slice(&scratch);
+        }
+
+        // batched: the same 16 completions in two flushes of 8
+        let batched = SyncMemory::new(&p, 2, 0);
+        let work = armed_block(&batched);
+        let mut batched_ready = Vec::new();
+        for half in work.chunks(8) {
+            batched.complete_batch(half, &mut scratch).unwrap();
+            batched_ready.extend_from_slice(&scratch);
+        }
+
+        // same published set, same logical decrements (conservation)...
+        assert_eq!(direct_ready, batched_ready);
+        let (d, b) = (direct.stats(), batched.stats());
+        assert_eq!(d.rc_updates, b.rc_updates);
+        assert_eq!(d.completions, b.completions);
+        // ...but far fewer physical RMWs: 2 flushes × 2 slots (sink +
+        // implicit outlet) vs 16 completions × 2 slots
+        assert_eq!(d.rc_rmws, 32);
+        assert_eq!(b.rc_rmws, 4);
+    }
+
+    #[test]
+    fn batch_publishes_the_n_to_zero_edge_exactly_once() {
+        let p = wide_reduction(8);
+        let sink = ThreadId(1);
+        let sm = SyncMemory::new(&p, 2, 0);
+        let work = armed_block(&sm);
+        let mut out = Vec::new();
+        // first 7 as one batch: sink not yet ready
+        sm.complete_batch(&work[..7], &mut out).unwrap();
+        assert!(out.is_empty(), "{out:?}");
+        // the final completion crosses 1→0 and publishes the sink once
+        sm.complete_batch(&work[7..], &mut out).unwrap();
+        assert_eq!(out, vec![Instance::scalar(sink)]);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let p = wide_reduction(4);
+        let sm = SyncMemory::new(&p, 2, 0);
+        let mut out = vec![Instance::scalar(ThreadId(0))];
+        sm.complete_batch(&[], &mut out).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(sm.completions(), 0);
+    }
+
+    #[test]
+    fn batch_protocol_error_poisons_the_table() {
+        // a batch holding a never-dispatched instance cannot roll back the
+        // instances that already retired, so it must poison
+        let p = wide_reduction(4);
+        let sm = SyncMemory::new(&p, 2, 0);
+        let work = armed_block(&sm);
+        let bogus = Instance::new(ThreadId(0), Context(3));
+        let batch = [work[0], work[1], bogus];
+        // `bogus` is dispatched... but completed twice within one batch
+        sm.complete(bogus, &mut Vec::new()).unwrap();
+        let mut out = Vec::new();
+        let err = sm.complete_batch(&batch, &mut out).unwrap_err();
+        assert_eq!(err, CoreError::NotRunning(bogus));
+        assert!(sm.is_poisoned());
+        assert_eq!(
+            sm.complete_batch(&[work[2]], &mut out),
+            Err(CoreError::SmPoisoned)
+        );
+    }
+
+    #[test]
+    fn single_kernel_updates_never_count_as_contended() {
+        let p = wide_reduction(32);
+        let sm = SyncMemory::new(&p, 1, 0);
+        let work = armed_block(&sm);
+        let mut scratch = Vec::new();
+        for &i in &work {
+            sm.complete(i, &mut scratch).unwrap();
+        }
+        assert_eq!(sm.stats().sm_contended, 0);
+    }
+
+    #[test]
+    fn cross_kernel_updates_count_line_transfers() {
+        // 2 kernels alternate decrements of the same sink slot: every RMW
+        // after the first arrives from "the other" kernel, so the line
+        // ping-pongs — with 2 kernels the owner split is contexts 0..16
+        // on K0 and 16..32 on K1, so the single K0→K1 handover plus the
+        // outlet slot's transfer are the deterministic floor
+        let p = wide_reduction(32);
+        let sm = SyncMemory::new(&p, 2, 0);
+        let work = armed_block(&sm);
+        let mut scratch = Vec::new();
+        // interleave kernels: K0 owns first half, K1 second half
+        for pair in work[..16].iter().zip(work[16..].iter()) {
+            sm.complete(*pair.0, &mut scratch).unwrap();
+            sm.complete(*pair.1, &mut scratch).unwrap();
+        }
+        let contended = sm.stats().sm_contended;
+        // 32 alternating updates on the sink slot → 31 transfers, plus 31
+        // on the implicit outlet slot
+        assert_eq!(contended, 62);
+
+        // funneled: each kernel flushes its half as one batch → the sink
+        // line changes hands once (and the outlet line once)
+        let sm2 = SyncMemory::new(&p, 2, 0);
+        let work = armed_block(&sm2);
+        sm2.complete_batch(&work[..16], &mut scratch).unwrap();
+        sm2.complete_batch(&work[16..], &mut scratch).unwrap();
+        assert_eq!(sm2.stats().sm_contended, 2);
     }
 }

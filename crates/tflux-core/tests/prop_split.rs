@@ -16,16 +16,13 @@ struct Desc {
 }
 
 fn desc() -> impl Strategy<Value = Desc> {
-    (
-        prop::collection::vec(1u32..7, 1..5),
-        1u32..3,
-        4usize..40,
-    )
-        .prop_map(|(layers, blocks, capacity)| Desc {
+    (prop::collection::vec(1u32..7, 1..5), 1u32..3, 4usize..40).prop_map(
+        |(layers, blocks, capacity)| Desc {
             layers,
             blocks,
             capacity,
-        })
+        },
+    )
 }
 
 fn build(d: &Desc) -> DdmProgram {
@@ -85,6 +82,7 @@ proptest! {
         let mut tsu = CoreTsu::new(&q, 3, TsuConfig {
             capacity: d.capacity,
             policy: SchedulingPolicy::default(),
+            flush: Default::default(),
         });
         let order = drain_sequential(&mut tsu);
         prop_assert_eq!(order.len(), q.total_instances());

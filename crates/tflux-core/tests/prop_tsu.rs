@@ -30,7 +30,10 @@ fn desc_strategy() -> impl Strategy<Value = ProgramDesc> {
         prop::collection::vec((1u32..9, affinity_strategy()), 1..6),
         1..4,
     );
-    (blocks, prop::collection::vec((0usize..6, 0usize..6, 0usize..6, 0u8..5, 1u8..5), 0..12))
+    (
+        blocks,
+        prop::collection::vec((0usize..6, 0usize..6, 0usize..6, 0u8..5, 1u8..5), 0..12),
+    )
         .prop_flat_map(|(blocks, rawarcs)| {
             let nb = blocks.len();
             (
@@ -110,6 +113,7 @@ proptest! {
         let mut tsu = CoreTsu::new(&p, desc.kernels, TsuConfig {
             capacity: 0,
             policy: desc.policy,
+            flush: Default::default(),
         });
         let order = drain_sequential(&mut tsu);
         prop_assert_eq!(order.len(), p.total_instances());
@@ -127,6 +131,7 @@ proptest! {
         let mut tsu = CoreTsu::new(&p, desc.kernels, TsuConfig {
             capacity: 0,
             policy: desc.policy,
+            flush: Default::default(),
         });
         let order = drain_sequential(&mut tsu);
         let pos: HashMap<Instance, usize> =
@@ -156,6 +161,7 @@ proptest! {
         let mut tsu = CoreTsu::new(&p, desc.kernels, TsuConfig {
             capacity: 0,
             policy: desc.policy,
+            flush: Default::default(),
         });
         let order = drain_sequential(&mut tsu);
         let blocks: Vec<u32> = order.iter().map(|i| p.block_of(i.thread).0).collect();

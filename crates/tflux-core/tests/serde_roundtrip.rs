@@ -15,7 +15,10 @@ fn sample() -> DdmProgram {
     b.arc(src, work, ArcMapping::Broadcast).unwrap();
     b.arc(work, merge, ArcMapping::Group { factor: 2 }).unwrap();
     let b2 = b.block();
-    b.thread(b2, ThreadSpec::new("post", 4).with_affinity(Affinity::Fixed(KernelId(1))));
+    b.thread(
+        b2,
+        ThreadSpec::new("post", 4).with_affinity(Affinity::Fixed(KernelId(1))),
+    );
     b.build().unwrap()
 }
 
@@ -52,6 +55,7 @@ fn config_types_roundtrip() {
     let cfg = TsuConfig {
         capacity: 99,
         policy: SchedulingPolicy::LocalityFirst { steal: false },
+        flush: Default::default(),
     };
     let json = serde_json::to_string(&cfg).unwrap();
     let back: TsuConfig = serde_json::from_str(&json).unwrap();

@@ -119,6 +119,90 @@ fn race_rounds_across_shapes() {
 }
 
 #[test]
+fn racing_batch_flushers_conserve_the_decrement_ledger() {
+    // funnel-flush variant of the race: each flusher owns a disjoint slice
+    // of the ready set, dispatches it, and retires it through
+    // `complete_batch` — so concurrent `fetch_sub(n)` updates (and the
+    // combining tree, which a 4-kernel reduction program builds) race on
+    // the shared sink slot. Batching must conserve the logical ledger
+    // exactly and admit exactly one n→0 publisher.
+    let arity = 512u32;
+    let flushers = 8usize;
+    let batch = 16usize;
+    let mut b = ProgramBuilder::new();
+    let blk = b.block();
+    let work = b.thread(blk, ThreadSpec::new("work", arity));
+    let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+    b.arc(work, sink, ArcMapping::Reduction).unwrap();
+    let p = b.build().unwrap();
+
+    let sm = SyncMemory::new(&p, 4, 0);
+    let mut ready = Vec::new();
+    let inlet = sm.armed_inlet();
+    sm.dispatch(inlet).unwrap();
+    sm.complete(inlet, &mut ready).unwrap();
+    assert_eq!(ready.len(), arity as usize);
+
+    let newly: Mutex<Vec<Instance>> = Mutex::new(Vec::new());
+    let (sm_ref, newly_ref) = (&sm, &newly);
+    std::thread::scope(|s| {
+        for slice in ready.chunks(arity as usize / flushers) {
+            s.spawn(move || {
+                let mut out = Vec::new();
+                let mut published = Vec::new();
+                for sub in slice.chunks(batch) {
+                    for &i in sub {
+                        sm_ref.dispatch(i).unwrap();
+                    }
+                    // one flush per sub-batch: each covers up to `batch`
+                    // logical decrements of the sink with one RMW
+                    sm_ref.complete_batch(sub, &mut out).unwrap();
+                    published.append(&mut out);
+                }
+                newly_ref.lock().unwrap().extend(published);
+            });
+        }
+    });
+
+    // exactly one flusher observed the n→0 edge on the sink
+    let newly = newly.into_inner().unwrap();
+    assert_eq!(newly, vec![Instance::scalar(sink)]);
+
+    // the logical ledger is invariant under batching: each work completion
+    // still decrements the sink (Reduction) and the outlet (implicit All)
+    // exactly once, same as the direct path in `race_round`
+    let st = sm.stats();
+    assert_eq!(st.rc_updates, 2 * arity as u64);
+    let shard_sum: u64 = sm.shard_stats().iter().map(|s| s.rc_updates).sum();
+    assert_eq!(
+        shard_sum,
+        2 * arity as u64,
+        "per-shard ledger must sum to total"
+    );
+    // ...but the physical RMW count collapsed: each flush combines its
+    // sub-batch into at most two RMWs (sink + outlet), and tree combining
+    // can merge concurrent flushes further
+    assert!(
+        st.rc_rmws <= 2 * (arity as u64).div_ceil(batch as u64),
+        "batching did not collapse RMWs: {} physical for {} logical",
+        st.rc_rmws,
+        st.rc_updates
+    );
+
+    // drain the rest of the program and audit the totals
+    let mut frontier = newly;
+    while let Some(i) = frontier.pop() {
+        sm.dispatch(i).unwrap();
+        sm.complete(i, &mut frontier).unwrap();
+    }
+    assert!(sm.finished(), "program must drain to completion");
+    assert!(!sm.is_poisoned());
+    let st = sm.stats();
+    assert_eq!(st.completions as usize, p.total_instances());
+    assert_eq!(st.rc_updates, 2 * arity as u64 + 1);
+}
+
+#[test]
 fn completions_are_exact_under_concurrent_completers() {
     // non-racing variant: partition the ready set, complete concurrently,
     // and audit the exactly-once property instance by instance

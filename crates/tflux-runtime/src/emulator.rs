@@ -218,6 +218,7 @@ mod tests {
             TsuConfig {
                 capacity: 8,
                 policy: Default::default(),
+                flush: Default::default(),
             },
         );
         let tub = Tub::new(1);

@@ -24,7 +24,7 @@ use parking_lot::Mutex;
 use std::time::Duration;
 use tflux_core::ids::{Instance, KernelId};
 use tflux_core::thread::ThreadKind;
-use tflux_core::tsu::{FetchResult, TsuBackend};
+use tflux_core::tsu::{CompletionFunnel, FetchResult, TsuBackend};
 
 /// A panic captured from a DThread body. The kernel contains the panic,
 /// retries it if the body opted in as idempotent and the
@@ -50,6 +50,41 @@ pub type PanicSink = Mutex<Vec<BodyPanic>>;
 /// rescans.
 const STEAL_RESCAN: Duration = Duration::from_millis(1);
 
+/// Flush a kernel's completion funnel through the shared TSU, containing
+/// unwinds exactly like the direct completion path does. `Err(())` means
+/// the kernel must break out of its loop (the Synchronization Memory was
+/// poisoned by a panic mid-flush); a typed protocol error is recorded for
+/// the emulator and the kernel keeps going — its next fetch surfaces the
+/// abort.
+fn flush_funnel(
+    funnel: &mut CompletionFunnel,
+    backend: &mut &SoftTsu<'_>,
+    tub: &Tub,
+    scratch: &mut Vec<Instance>,
+) -> Result<(), ()> {
+    if funnel.is_empty() {
+        return Ok(());
+    }
+    let soft: &SoftTsu<'_> = backend;
+    let flushed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        funnel.flush(backend, scratch)
+    }));
+    match flushed {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(e)) => {
+            soft.record_protocol(e);
+            tub.kick();
+            Ok(())
+        }
+        Err(_) => {
+            soft.poison();
+            soft.record_protocol(tflux_core::error::CoreError::SmPoisoned);
+            tub.kick();
+            Err(())
+        }
+    }
+}
+
 /// Run one kernel to completion. Returns this kernel's counters.
 ///
 /// The loop mirrors Fig. 2: the first instance a kernel receives is (for
@@ -71,6 +106,10 @@ pub fn run_kernel<F: FaultInjector>(
     let mut iterations = 0u64;
     let mut scratch: Vec<Instance> = Vec::new();
     let mut backend = soft; // &SoftTsu is the TsuBackend
+                            // App completions park here under FlushPolicy::Batch and reach the SM
+                            // as combined batches; under the default Direct policy the funnel is
+                            // bypassed entirely.
+    let mut funnel = CompletionFunnel::new(soft.flush_policy());
     let queue = soft.queue(soft.queue_index(kernel));
     let gm = soft.graph();
 
@@ -84,6 +123,11 @@ pub fn run_kernel<F: FaultInjector>(
         // bounded for stealers, which must periodically rescan victims
         let fetched = match backend.fetch(kernel) {
             Ok(FetchResult::Wait) => {
+                // flush before blocking: the parked decrements may be the
+                // very ones this kernel (or a sibling) is waiting on
+                if flush_funnel(&mut funnel, &mut backend, tub, &mut scratch).is_err() {
+                    break;
+                }
                 if soft.stealing() {
                     queue.pop_timeout(STEAL_RESCAN)
                 } else {
@@ -161,6 +205,14 @@ pub fn run_kernel<F: FaultInjector>(
             // the Synchronization Memory (its drop-guard latches the
             // flag); containing it here lets this kernel surface the typed
             // error and exit cleanly instead of dying mid-update.
+            ThreadKind::App if funnel.batching() => {
+                // park the completion; a full funnel flushes as one batch
+                if funnel.push(instance)
+                    && flush_funnel(&mut funnel, &mut backend, tub, &mut scratch).is_err()
+                {
+                    break;
+                }
+            }
             ThreadKind::App => {
                 let completed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     backend.complete(instance, &mut scratch)
@@ -179,10 +231,21 @@ pub fn run_kernel<F: FaultInjector>(
                     }
                 }
             }
-            // block transitions stay serialized through the emulator
-            ThreadKind::Inlet | ThreadKind::Outlet => tub.push_with(instance, injector),
+            // block transitions stay serialized through the emulator; the
+            // funnel flushes first so the emulator's post-processing sees
+            // every App decrement this kernel produced
+            ThreadKind::Inlet | ThreadKind::Outlet => {
+                if flush_funnel(&mut funnel, &mut backend, tub, &mut scratch).is_err() {
+                    break;
+                }
+                tub.push_with(instance, injector);
+            }
         }
     }
+    // drain anything still parked (e.g. a break on a recorded protocol
+    // error) so no completion is silently dropped; failures here have
+    // already been recorded by the helper
+    let _ = flush_funnel(&mut funnel, &mut backend, tub, &mut scratch);
     KernelStats {
         executed,
         wait_ns: queue.wait_nanos(),
@@ -308,6 +371,7 @@ mod tests {
             TsuConfig {
                 capacity: 0,
                 policy: SchedulingPolicy::LocalityFirst { steal: false },
+                flush: Default::default(),
             },
         );
         let tub = Tub::new(1);
@@ -382,6 +446,7 @@ mod tests {
             TsuConfig {
                 capacity: 0,
                 policy: SchedulingPolicy::LocalityFirst { steal: true },
+                flush: Default::default(),
             },
         );
         let tub = Tub::new(1);
@@ -406,6 +471,70 @@ mod tests {
     }
 
     #[test]
+    fn funneled_kernels_drain_a_reduction_program() {
+        // wide reduction with the funnels on: batched flushes must still
+        // drive the program to completion with exact counters
+        use tflux_core::tsu::FlushPolicy;
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let w = b.thread(blk, ThreadSpec::new("w", 32));
+        let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+        b.arc(w, sink, ArcMapping::Reduction).unwrap();
+        let p = b.build().unwrap();
+        let count = AtomicU64::new(0);
+        let mut bodies = BodyTable::new(&p);
+        bodies.set(w, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        let soft = SoftTsu::new(
+            &p,
+            2,
+            TsuConfig {
+                flush: FlushPolicy::Batch { size: 8 },
+                ..TsuConfig::default()
+            },
+        );
+        let tub = Tub::new(2);
+        let sink_panics = PanicSink::default();
+        let executed: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2u32)
+                .map(|k| {
+                    let (soft, bodies, tub, sink_panics) = (&soft, &bodies, &tub, &sink_panics);
+                    s.spawn(move || {
+                        run_kernel(
+                            KernelId(k),
+                            soft,
+                            bodies,
+                            tub,
+                            sink_panics,
+                            &NoFaults,
+                            RetryPolicy::default(),
+                        )
+                    })
+                })
+                .collect();
+            drive(&soft, &tub);
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap().executed)
+                .sum()
+        });
+        assert_eq!(executed as usize, p.total_instances());
+        assert!(soft.finished());
+        assert_eq!(count.load(Ordering::Relaxed), 32);
+        let stats = soft.stats();
+        assert_eq!(stats.completions as usize, p.total_instances());
+        // batching really combined decrements: fewer physical RMWs than
+        // logical updates
+        assert!(
+            stats.rc_rmws < stats.rc_updates,
+            "{} !< {}",
+            stats.rc_rmws,
+            stats.rc_updates
+        );
+    }
+
+    #[test]
     fn non_stealing_kernel_ignores_other_queues() {
         let mut b = ProgramBuilder::new();
         let blk = b.block();
@@ -425,6 +554,7 @@ mod tests {
             TsuConfig {
                 capacity: 0,
                 policy: SchedulingPolicy::LocalityFirst { steal: false },
+                flush: Default::default(),
             },
         );
         let tub = Tub::new(1);

@@ -520,6 +520,7 @@ mod tests {
         let err = Runtime::new(RuntimeConfig::with_kernels(2).tsu(TsuConfig {
             capacity: 4,
             policy: Default::default(),
+            flush: Default::default(),
         }))
         .run(&p, &bodies)
         .unwrap_err();
@@ -581,6 +582,7 @@ mod tests {
         let report = Runtime::new(RuntimeConfig::with_kernels(4).tsu(TsuConfig {
             capacity: 0,
             policy: tflux_core::SchedulingPolicy::GlobalFifo,
+            flush: Default::default(),
         }))
         .run(&p, &bodies)
         .unwrap();
@@ -635,6 +637,7 @@ mod tests {
         let report = Runtime::new(RuntimeConfig::with_kernels(3).tsu(TsuConfig {
             capacity: 0,
             policy: tflux_core::SchedulingPolicy::LocalityFirst { steal: false },
+            flush: Default::default(),
         }))
         .run(&p, &bodies)
         .unwrap();
@@ -691,6 +694,7 @@ mod tests {
             let err = Runtime::new(RuntimeConfig::with_kernels(3).tsu(TsuConfig {
                 capacity: 0,
                 policy,
+                flush: Default::default(),
             }))
             .run(&p, &bodies)
             .unwrap_err();

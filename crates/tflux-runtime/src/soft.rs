@@ -24,7 +24,7 @@ use tflux_core::ids::{BlockId, Instance, KernelId};
 use tflux_core::policy::SchedulingPolicy;
 use tflux_core::program::DdmProgram;
 use tflux_core::tsu::{
-    FetchResult, GraphMemory, ShardStats, SyncMemory, TsuBackend, TsuConfig, TsuStats,
+    FetchResult, FlushPolicy, GraphMemory, ShardStats, SyncMemory, TsuBackend, TsuConfig, TsuStats,
     WaitingInstance,
 };
 
@@ -38,6 +38,8 @@ use tflux_core::tsu::{
 pub struct SoftTsu<'p> {
     sm: SyncMemory<'p>,
     policy: SchedulingPolicy,
+    /// Completion-funnel flush policy the kernels should obey.
+    flush: FlushPolicy,
     steal: bool,
     queues: Vec<ReadyQueue>,
     /// Per-kernel steal counters (indexed by kernel id).
@@ -64,6 +66,7 @@ impl<'p> SoftTsu<'p> {
         let soft = SoftTsu {
             sm: SyncMemory::new(program, kernels, config.capacity),
             policy: config.policy,
+            flush: config.flush,
             steal,
             queues: (0..nqueues).map(|_| ReadyQueue::new()).collect(),
             kernel_steals: (0..kernels).map(|_| AtomicU64::new(0)).collect(),
@@ -84,6 +87,12 @@ impl<'p> SoftTsu<'p> {
     /// Whether idle kernels steal from sibling queues.
     pub fn stealing(&self) -> bool {
         self.steal
+    }
+
+    /// The completion-funnel flush policy kernels build their funnels
+    /// from.
+    pub fn flush_policy(&self) -> FlushPolicy {
+        self.flush
     }
 
     /// Which queue `inst` belongs on (Thread Indexing via Graph Memory).
@@ -153,6 +162,23 @@ impl<'p> SoftTsu<'p> {
         scratch: &mut Vec<Instance>,
     ) -> Result<(), CoreError> {
         self.sm.complete(inst, scratch)?;
+        for &r in scratch.iter() {
+            self.sm.dispatch(r)?;
+            self.queues[self.queue_of(r)].push(r);
+        }
+        Ok(())
+    }
+
+    /// Post-process a funnel flush: a batch of App completions combined
+    /// into one ready-count update per consumer slot. Scheduling is
+    /// identical to [`handle_completion`](Self::handle_completion) —
+    /// every newly-ready instance is dispatched *before* it is pushed.
+    pub fn handle_batch(
+        &self,
+        done: &[Instance],
+        scratch: &mut Vec<Instance>,
+    ) -> Result<(), CoreError> {
+        self.sm.complete_batch(done, scratch)?;
         for &r in scratch.iter() {
             self.sm.dispatch(r)?;
             self.queues[self.queue_of(r)].push(r);
@@ -265,6 +291,14 @@ impl TsuBackend for &SoftTsu<'_> {
         self.handle_completion(inst, ready)
     }
 
+    fn complete_batch(
+        &mut self,
+        done: &[Instance],
+        ready: &mut Vec<Instance>,
+    ) -> Result<(), CoreError> {
+        self.handle_batch(done, ready)
+    }
+
     fn drain_stats(&mut self) -> TsuStats {
         self.stats()
     }
@@ -365,6 +399,7 @@ mod tests {
             TsuConfig {
                 capacity: 0,
                 policy: SchedulingPolicy::LocalityFirst { steal: true },
+                flush: Default::default(),
             },
         );
         let mut backend = &soft;
@@ -408,6 +443,7 @@ mod tests {
             TsuConfig {
                 capacity: 0,
                 policy: SchedulingPolicy::GlobalFifo,
+                flush: Default::default(),
             },
         );
         assert_eq!(soft.queue_depths().len(), 1);

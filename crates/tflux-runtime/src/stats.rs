@@ -56,9 +56,14 @@ pub struct RunReport {
     /// Per-kernel counters, indexed by kernel id.
     pub kernels: Vec<KernelStats>,
     /// Per-shard Synchronization Memory counters, indexed by the owning
-    /// kernel: how many ready-count updates landed on each shard and how
-    /// often its lock was found already held. A hot `contended` entry means
-    /// many kernels' completions funnel into one consumer kernel's shard.
+    /// kernel: how many logical ready-count decrements landed on each
+    /// shard (`rc_updates`), how many physical atomic RMWs carried them
+    /// (`rc_rmws` — fewer when completion funnels batch), and how many
+    /// contention events it saw (`contended`: slot-state CAS retries plus
+    /// updates arriving from a different kernel than the previous
+    /// updater). A hot `contended` entry means many kernels' completions
+    /// pile into one consumer kernel's instances — the signature
+    /// `FlushPolicy::Batch` flattens.
     #[serde(default)]
     pub sm_shards: Vec<ShardStats>,
 }

@@ -134,6 +134,7 @@ fn chaos_matrix_never_hangs_and_never_lies() {
             .tsu(TsuConfig {
                 capacity: 0,
                 policy,
+                flush: Default::default(),
             })
             .retry(retry)
             .watchdog(WATCHDOG);

@@ -13,8 +13,10 @@
 
 use crate::config::TsuCosts;
 use serde::{Deserialize, Serialize};
+use tflux_core::error::CoreError;
 use tflux_core::ids::{Instance, KernelId};
-use tflux_core::tsu::{CoreTsu, FetchResult, TsuBackend};
+use tflux_core::thread::ThreadKind;
+use tflux_core::tsu::{CompletionFunnel, CoreTsu, FetchResult, TsuBackend};
 
 /// Counters of the device model.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
@@ -30,6 +32,11 @@ pub struct TsuDevStats {
     /// Completion batches whose ready-count updates crossed TSU-Group
     /// shards (each batch = one TSU-to-TSU network message).
     pub cross_updates: u64,
+    /// Funnel flushes: batched completion commands sent to the unit. Each
+    /// one covers up to `FlushPolicy::Batch { size }` App completions but
+    /// costs a single command slot.
+    #[serde(default)]
+    pub funnel_flushes: u64,
 }
 
 /// Result of a fetch command.
@@ -57,6 +64,10 @@ pub struct TsuDevice<'p> {
     cross_cost: u64,
     parked: Vec<bool>,
     ready_buf: Vec<Instance>,
+    /// Per-core completion funnels (empty and inert under
+    /// `FlushPolicy::Direct`): App completions park core-locally and reach
+    /// the unit as one batched command per flush.
+    funnels: Vec<CompletionFunnel>,
     /// Counters.
     pub stats: TsuDevStats,
 }
@@ -81,6 +92,9 @@ impl<'p> TsuDevice<'p> {
         let shard_of = (0..cores)
             .map(|c| (c as u64 * g as u64 / cores.max(1) as u64) as u32)
             .collect();
+        let funnels = (0..cores)
+            .map(|_| CompletionFunnel::new(tsu.flush_policy()))
+            .collect();
         TsuDevice {
             tsu,
             costs,
@@ -89,6 +103,7 @@ impl<'p> TsuDevice<'p> {
             cross_cost,
             parked: vec![false; cores as usize],
             ready_buf: Vec::new(),
+            funnels,
             stats: TsuDevStats::default(),
         }
     }
@@ -114,13 +129,56 @@ impl<'p> TsuDevice<'p> {
         done
     }
 
+    /// Flush a core's funnel as one batched completion command arriving
+    /// at the unit at cycle `arrive`; returns the cycle at which the
+    /// newly-ready DThreads become visible. A no-op for empty funnels.
+    fn flush_core(&mut self, core: u32, arrive: u64) -> Result<u64, CoreError> {
+        if self.funnels[core as usize].is_empty() {
+            return Ok(arrive);
+        }
+        let shard = self.shard_of[core as usize];
+        let mut ready_at = self.process(shard, arrive);
+        self.stats.funnel_flushes += 1;
+        let mut ready = std::mem::take(&mut self.ready_buf);
+        let result = self.funnels[core as usize].flush(&mut self.tsu, &mut ready);
+        if self.cross_cost > 0 {
+            let kernels = self.tsu.kernels();
+            let crossings = ready.iter().any(|&i| {
+                let owner = self.tsu.program().kernel_of(i, kernels);
+                self.shard_of[owner.idx()] != shard
+            });
+            if crossings {
+                ready_at += self.cross_cost;
+                self.stats.cross_updates += 1;
+            }
+        }
+        self.ready_buf = ready;
+        result?;
+        Ok(ready_at)
+    }
+
     /// A core asks for its next DThread at core-local cycle `now`.
     /// Propagates TSU protocol errors (non-resident dispatch, poisoned
     /// Synchronization Memory) instead of handing out a bogus instance.
     pub fn fetch(&mut self, core: u32, now: u64) -> Result<DevFetch, tflux_core::error::CoreError> {
         let arrive = now + self.costs.access;
         let done = self.process(self.shard_of[core as usize], arrive);
-        Ok(match TsuBackend::fetch(&mut self.tsu, KernelId(core))? {
+        let mut fetched = TsuBackend::fetch(&mut self.tsu, KernelId(core))?;
+        if fetched == FetchResult::Wait && self.funnels.iter().any(|f| !f.is_empty()) {
+            // parked decrements may be the only thing standing between
+            // this core and ready work: drain its own funnel, then (still
+            // empty-handed) ask the unit to collect every core's buffer,
+            // before conceding a park
+            self.flush_core(core, arrive)?;
+            fetched = TsuBackend::fetch(&mut self.tsu, KernelId(core))?;
+            if fetched == FetchResult::Wait {
+                for c in 0..self.funnels.len() as u32 {
+                    self.flush_core(c, arrive)?;
+                }
+                fetched = TsuBackend::fetch(&mut self.tsu, KernelId(core))?;
+            }
+        }
+        Ok(match fetched {
             FetchResult::Thread(i) => {
                 self.parked[core as usize] = false;
                 DevFetch::Thread(i, done)
@@ -151,8 +209,23 @@ impl<'p> TsuDevice<'p> {
         now: u64,
         inst: Instance,
     ) -> Result<(u64, u64), tflux_core::error::CoreError> {
+        let c = core as usize;
+        if self.funnels[c].batching()
+            && self.tsu.program().thread(inst.thread).kind == ThreadKind::App
+        {
+            // the completion parks in the core-local funnel: no MMI
+            // access and no unit command until the batch fills
+            if self.funnels[c].push(inst) {
+                let ready_at = self.flush_core(core, now + self.costs.access)?;
+                return Ok((now, ready_at));
+            }
+            return Ok((now, now));
+        }
         let core_free = now + self.costs.access;
-        let shard = self.shard_of[core as usize];
+        // block transitions go straight to the unit; drain parked work
+        // first so the command observes every earlier decrement
+        self.flush_core(core, core_free)?;
+        let shard = self.shard_of[c];
         let mut ready_at = self.process(shard, core_free);
         let mut ready = std::mem::take(&mut self.ready_buf);
         TsuBackend::complete(&mut self.tsu, inst, &mut ready)?;
@@ -319,6 +392,65 @@ mod tests {
         };
         let (_, plain_ready) = plain.complete(0, t1, inlet2).unwrap();
         assert_eq!(ready_at, plain_ready + 50);
+    }
+
+    #[test]
+    fn funneled_completions_batch_unit_commands() {
+        fn drive(flush: FlushPolicy) -> (TsuDevStats, tflux_core::TsuStats) {
+            let mut b = ProgramBuilder::new();
+            let blk = b.block();
+            let work = b.thread(blk, ThreadSpec::new("w", 32));
+            let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+            b.arc(work, sink, ArcMapping::Reduction).unwrap();
+            let p = b.build().unwrap();
+            let tsu = CoreTsu::new(
+                &p,
+                2,
+                TsuConfig {
+                    flush,
+                    ..TsuConfig::default()
+                },
+            );
+            let mut dev = TsuDevice::new(tsu, TsuCosts::hard(), 2);
+            let mut now = [0u64; 2];
+            let mut exited = [false; 2];
+            let mut guard = 0;
+            while !(exited[0] && exited[1]) {
+                guard += 1;
+                assert!(guard < 10_000, "device drive stalled");
+                for core in 0..2u32 {
+                    let c = core as usize;
+                    if exited[c] {
+                        continue;
+                    }
+                    match dev.fetch(core, now[c]).unwrap() {
+                        DevFetch::Thread(i, at) => {
+                            let (free, _) = dev.complete(core, at, i).unwrap();
+                            now[c] = free;
+                        }
+                        DevFetch::Parked => now[c] += 1,
+                        DevFetch::Exit(_) => exited[c] = true,
+                    }
+                }
+            }
+            (dev.stats, dev.tsu().stats())
+        }
+        let (d_dev, d_tsu) = drive(FlushPolicy::Direct);
+        let (b_dev, b_tsu) = drive(FlushPolicy::Batch { size: 8 });
+        // same logical work...
+        assert_eq!(b_tsu.completions, d_tsu.completions);
+        assert_eq!(b_tsu.rc_updates, d_tsu.rc_updates);
+        // ...but fewer physical RMWs and fewer unit commands: batched App
+        // completions reach the unit as funnel flushes, not one command
+        // apiece
+        assert!(b_tsu.rc_rmws < d_tsu.rc_rmws);
+        assert!(b_dev.funnel_flushes > 0);
+        assert!(
+            b_dev.commands < d_dev.commands,
+            "batched {} !< direct {}",
+            b_dev.commands,
+            d_dev.commands
+        );
     }
 
     #[test]

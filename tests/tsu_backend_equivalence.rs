@@ -18,11 +18,25 @@ use tflux::workloads::sizes::SizeClass;
 use tflux::workloads::Bench;
 
 const KERNELS: u32 = 3;
+/// Completions per funnel flush in the batched variants.
+const FUNNEL_BATCH: u32 = 8;
 
 fn fifo() -> TsuConfig {
     TsuConfig {
         capacity: 0,
         policy: SchedulingPolicy::GlobalFifo,
+        flush: Default::default(),
+    }
+}
+
+/// Same deterministic policy with completion funnels enabled: kernels
+/// (soft) and cores (hard) accumulate App completions locally and flush
+/// them as batches. Batching collapses physical RMWs but must not change
+/// the completion multiset or the logical decrement ledger.
+fn batched() -> TsuConfig {
+    TsuConfig {
+        flush: FlushPolicy::Batch { size: FUNNEL_BATCH },
+        ..fifo()
     }
 }
 
@@ -46,9 +60,9 @@ impl Outcome {
 
 /// TFluxSoft: real kernel threads take the direct-update path for App
 /// completions; the emulator drains Inlet/Outlet transitions from the TUB.
-fn soft_outcome(program: &DdmProgram) -> Outcome {
+fn soft_outcome(program: &DdmProgram, cfg: TsuConfig) -> Outcome {
     let bodies = BodyTable::new(program); // no-op bodies: scheduling only
-    let (report, spans) = Runtime::new(RuntimeConfig::with_kernels(KERNELS).tsu(fifo()))
+    let (report, spans) = Runtime::new(RuntimeConfig::with_kernels(KERNELS).tsu(cfg))
         .run_traced(program, &bodies)
         .expect("soft run failed");
     let completed = spans.iter().map(|s| s.instance).collect();
@@ -57,8 +71,8 @@ fn soft_outcome(program: &DdmProgram) -> Outcome {
 
 /// TFluxHard: the memory-mapped TSU device wrapping `CoreTsu`, driven
 /// core-by-core exactly like the simulated kernel loop.
-fn hard_outcome(program: &DdmProgram) -> Outcome {
-    let tsu = CoreTsu::new(program, KERNELS, fifo());
+fn hard_outcome(program: &DdmProgram, cfg: TsuConfig) -> Outcome {
+    let tsu = CoreTsu::new(program, KERNELS, cfg);
     let mut dev = TsuDevice::new(tsu, TsuCosts::hard(), KERNELS);
     let mut completed = Vec::new();
     let mut now = 0u64;
@@ -96,9 +110,14 @@ fn assert_equivalent(bench: Bench) {
     let p = with_default_unroll(bench, Params::hard(KERNELS, 0, SizeClass::Small));
     let (program, _) = sim_setup(bench, &p);
 
-    let soft = soft_outcome(&program);
-    let hard = hard_outcome(&program);
+    let soft = soft_outcome(&program, fifo());
+    let hard = hard_outcome(&program, fifo());
     let seq = seq_outcome(&program);
+    // funnel-enabled variants of the two concurrent paths, held to the
+    // same funnel-free sequential baseline: batching is an implementation
+    // detail of the completion hot path, not a semantic change
+    let soft_f = soft_outcome(&program, batched());
+    let hard_f = hard_outcome(&program, batched());
 
     let name = bench.name();
     assert_eq!(
@@ -115,6 +134,14 @@ fn assert_equivalent(bench: Bench) {
         "{name}: hard vs sequential completion multiset"
     );
     assert_eq!(
+        soft_f.completed, seq.completed,
+        "{name}: funneled soft vs sequential completion multiset"
+    );
+    assert_eq!(
+        hard_f.completed, seq.completed,
+        "{name}: funneled hard vs sequential completion multiset"
+    );
+    assert_eq!(
         soft.rc_updates, hard.rc_updates,
         "{name}: rc_updates soft vs hard"
     );
@@ -123,12 +150,28 @@ fn assert_equivalent(bench: Bench) {
         "{name}: rc_updates hard vs sequential"
     );
     assert_eq!(
+        soft_f.rc_updates, seq.rc_updates,
+        "{name}: rc_updates funneled soft vs sequential (batching lost decrements)"
+    );
+    assert_eq!(
+        hard_f.rc_updates, seq.rc_updates,
+        "{name}: rc_updates funneled hard vs sequential (batching lost decrements)"
+    );
+    assert_eq!(
         soft.blocks_loaded, hard.blocks_loaded,
         "{name}: blocks_loaded soft vs hard"
     );
     assert_eq!(
         hard.blocks_loaded, seq.blocks_loaded,
         "{name}: blocks_loaded hard vs sequential"
+    );
+    assert_eq!(
+        soft_f.blocks_loaded, seq.blocks_loaded,
+        "{name}: blocks_loaded funneled soft vs sequential"
+    );
+    assert_eq!(
+        hard_f.blocks_loaded, seq.blocks_loaded,
+        "{name}: blocks_loaded funneled hard vs sequential"
     );
 }
 
