@@ -40,7 +40,7 @@ pub fn pipeline(arity: u32) -> DdmProgram {
 /// A Synchronization Memory with the block loaded and every first-stage
 /// instance dispatched; returns the instances whose completions are the
 /// measured work.
-pub fn armed(program: &DdmProgram, kernels: u32) -> (SyncMemory<'_>, Vec<Instance>) {
+pub fn armed(program: &DdmProgram, kernels: u32) -> (SyncMemory<&DdmProgram>, Vec<Instance>) {
     let sm = SyncMemory::new(program, kernels, 0);
     let mut ready = Vec::new();
     let inlet = sm.armed_inlet();
@@ -56,7 +56,7 @@ pub fn armed(program: &DdmProgram, kernels: u32) -> (SyncMemory<'_>, Vec<Instanc
 
 /// Complete every instance from one thread — the pre-split model where a
 /// single TSU owner performs all ready-count updates.
-pub fn complete_serialized(sm: &SyncMemory<'_>, work: &[Instance]) {
+pub fn complete_serialized(sm: &SyncMemory<&DdmProgram>, work: &[Instance]) {
     let mut out = Vec::new();
     for &i in work {
         sm.complete(i, &mut out).expect("serialized completion");
@@ -66,7 +66,7 @@ pub fn complete_serialized(sm: &SyncMemory<'_>, work: &[Instance]) {
 /// Complete the instances from `kernels` threads, each completing the
 /// instances it owns — the sharded direct-update path of the threaded
 /// runtime.
-pub fn complete_sharded(sm: &SyncMemory<'_>, work: &[Instance], kernels: u32) {
+pub fn complete_sharded(sm: &SyncMemory<&DdmProgram>, work: &[Instance], kernels: u32) {
     let gm = sm.graph();
     std::thread::scope(|s| {
         for k in 0..kernels {
@@ -127,7 +127,7 @@ pub fn reduction(arity: u32) -> DdmProgram {
 /// line-transfer counter records the ping-pong the funnel eliminates.
 /// Returns elapsed nanoseconds; read `sm.stats()` for the counters.
 pub fn complete_interleaved(
-    sm: &SyncMemory<'_>,
+    sm: &SyncMemory<&DdmProgram>,
     work: &[Instance],
     kernels: u32,
     batch: usize,
@@ -185,7 +185,7 @@ pub mod locked {
     /// The locked reference Synchronization Memory. Only the operations
     /// the completion-path measurement needs: arm, dispatch, complete.
     pub struct LockedSm<'p> {
-        gm: GraphMemory<'p>,
+        gm: GraphMemory<&'p DdmProgram>,
         shards: Vec<Mutex<ShardInner>>,
         completions: AtomicU64,
     }

@@ -38,6 +38,13 @@ pub struct BlockId(pub u32);
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct KernelId(pub u32);
 
+/// Identifier of an admitted program (a *tenant*) in a multi-program server.
+///
+/// Program ids are assigned monotonically by the admitting server and are
+/// never reused, so a stale id can always be detected after eviction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProgramId(pub u64);
+
 impl ThreadId {
     /// The id as a `usize` index.
     #[inline]
@@ -63,6 +70,14 @@ impl BlockId {
 }
 
 impl KernelId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ProgramId {
     /// The id as a `usize` index.
     #[inline]
     pub fn idx(self) -> usize {
@@ -132,6 +147,18 @@ impl fmt::Display for KernelId {
     }
 }
 
+impl fmt::Debug for ProgramId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for ProgramId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +176,7 @@ mod tests {
         assert_eq!(format!("{i:?}"), "T3.c7");
         assert_eq!(format!("{:?}", BlockId(2)), "B2");
         assert_eq!(format!("{:?}", KernelId(5)), "K5");
+        assert_eq!(format!("{:?}", ProgramId(7)), "P7");
     }
 
     #[test]

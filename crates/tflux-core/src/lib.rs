@@ -68,26 +68,26 @@ pub mod unroll;
 
 pub use block::DdmBlock;
 pub use error::CoreError;
-pub use ids::{BlockId, Context, Instance, KernelId, ThreadId};
+pub use ids::{BlockId, Context, Instance, KernelId, ProgramId, ThreadId};
 pub use mapping::ArcMapping;
 pub use policy::SchedulingPolicy;
 pub use program::{DdmProgram, ProgramBuilder};
 pub use thread::{Affinity, ThreadKind, ThreadSpec};
 pub use tsu::{
-    CompletionFunnel, CoreTsu, FetchResult, FlushPolicy, GraphMemory, QueueUnit, ShardStats,
-    SyncMemory, TsuBackend, TsuConfig, TsuStats, WaitingInstance,
+    CompletionFunnel, CoreTsu, FetchResult, FlushPolicy, GraphMemory, ProgramHandle, QueueUnit,
+    ServiceRotor, ShardStats, SyncMemory, TsuBackend, TsuConfig, TsuStats, WaitingInstance,
 };
 
 /// Convenient glob import for users of the model.
 pub mod prelude {
     pub use crate::block::DdmBlock;
     pub use crate::error::CoreError;
-    pub use crate::ids::{BlockId, Context, Instance, KernelId, ThreadId};
+    pub use crate::ids::{BlockId, Context, Instance, KernelId, ProgramId, ThreadId};
     pub use crate::mapping::ArcMapping;
     pub use crate::policy::SchedulingPolicy;
     pub use crate::program::{DdmProgram, ProgramBuilder};
     pub use crate::thread::{Affinity, ThreadKind, ThreadSpec};
     pub use crate::tsu::{
-        CompletionFunnel, CoreTsu, FetchResult, FlushPolicy, TsuBackend, TsuConfig,
+        CompletionFunnel, CoreTsu, FetchResult, FlushPolicy, ProgramHandle, TsuBackend, TsuConfig,
     };
 }

@@ -11,29 +11,56 @@ use crate::ids::{BlockId, Instance, KernelId, ThreadId};
 use crate::program::{Arc, DdmProgram};
 use crate::thread::ThreadKind;
 
+/// A cloneable handle to a [`DdmProgram`].
+///
+/// The TSU units are generic over *how* the program is held so the same
+/// code serves both the single-run drivers (which borrow the caller's
+/// program: `P = &DdmProgram`, making the units `Copy` as before) and a
+/// long-lived multi-program server (which needs `'static` arenas:
+/// `P = std::sync::Arc<DdmProgram>`).
+pub trait ProgramHandle: Clone {
+    /// Borrow the underlying program.
+    fn get(&self) -> &DdmProgram;
+}
+
+impl ProgramHandle for &DdmProgram {
+    #[inline]
+    fn get(&self) -> &DdmProgram {
+        self
+    }
+}
+
+impl ProgramHandle for std::sync::Arc<DdmProgram> {
+    #[inline]
+    fn get(&self) -> &DdmProgram {
+        self
+    }
+}
+
 /// The immutable program view shared by every TSU unit.
 ///
-/// A `GraphMemory` is a cheap `Copy` handle: it borrows the program and
-/// carries the kernel count, which together determine the *owning kernel*
-/// of every instance ([`owner_of`](Self::owner_of)) — the key the
-/// Synchronization Memory shards by and the queue units index by.
+/// A `GraphMemory` is a cheap handle (`Copy` when the program handle is,
+/// i.e. for borrowed programs): it holds the program and carries the kernel
+/// count, which together determine the *owning kernel* of every instance
+/// ([`owner_of`](Self::owner_of)) — the key the Synchronization Memory
+/// shards by and the queue units index by.
 #[derive(Clone, Copy)]
-pub struct GraphMemory<'p> {
-    program: &'p DdmProgram,
+pub struct GraphMemory<P: ProgramHandle> {
+    program: P,
     kernels: u32,
 }
 
-impl<'p> GraphMemory<'p> {
+impl<P: ProgramHandle> GraphMemory<P> {
     /// View `program` as executed by `kernels` kernels.
-    pub fn new(program: &'p DdmProgram, kernels: u32) -> Self {
+    pub fn new(program: P, kernels: u32) -> Self {
         assert!(kernels > 0, "need at least one kernel");
         GraphMemory { program, kernels }
     }
 
     /// The underlying program.
     #[inline]
-    pub fn program(&self) -> &'p DdmProgram {
-        self.program
+    pub fn program(&self) -> &DdmProgram {
+        self.program.get()
     }
 
     /// Number of kernels the placement function maps onto.
@@ -47,38 +74,38 @@ impl<'p> GraphMemory<'p> {
     /// the Synchronization Memory shard key.
     #[inline]
     pub fn owner_of(&self, i: Instance) -> KernelId {
-        self.program.kernel_of(i, self.kernels)
+        self.program.get().kernel_of(i, self.kernels)
     }
 
     /// The kind (App / Inlet / Outlet) of a thread.
     #[inline]
     pub fn kind(&self, t: ThreadId) -> ThreadKind {
-        self.program.thread(t).kind
+        self.program.get().thread(t).kind
     }
 
     /// The consumer list of a thread — the Graph Memory rows walked during
     /// the Post-Processing Phase.
     #[inline]
-    pub fn consumers(&self, t: ThreadId) -> &'p [Arc] {
-        self.program.consumers(t)
+    pub fn consumers(&self, t: ThreadId) -> &[Arc] {
+        self.program.get().consumers(t)
     }
 
     /// The block a thread belongs to.
     #[inline]
     pub fn block_of(&self, t: ThreadId) -> BlockId {
-        self.program.block_of(t)
+        self.program.get().block_of(t)
     }
 
     /// Residency cost of a block in Synchronization Memory entries.
     #[inline]
     pub fn block_instances(&self, b: BlockId) -> usize {
-        self.program.block_instances(b)
+        self.program.get().block_instances(b)
     }
 
     /// The inlet instance of the first block — what arms a fresh TSU.
     #[inline]
     pub fn first_inlet(&self) -> Instance {
-        Instance::scalar(self.program.blocks()[0].inlet)
+        Instance::scalar(self.program.get().blocks()[0].inlet)
     }
 }
 

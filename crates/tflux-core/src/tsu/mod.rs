@@ -27,8 +27,8 @@ mod sync;
 
 pub use backend::{FlushPolicy, ShardStats, TsuBackend, TsuConfig, TsuStats, WaitingInstance};
 pub use funnel::CompletionFunnel;
-pub use gm::GraphMemory;
-pub use queue::{FetchResult, QueueUnit};
+pub use gm::{GraphMemory, ProgramHandle};
+pub use queue::{FetchResult, QueueUnit, ServiceRotor};
 pub use sync::SyncMemory;
 
 use crate::error::CoreError;
@@ -43,9 +43,9 @@ use crate::program::DdmProgram;
 /// (`tflux-sim`), the Cell machine (`tflux-cell`) and the sequential
 /// reference executor. The threaded runtime builds its own composition of
 /// the same units around concurrent queues.
-pub struct CoreTsu<'p> {
-    gm: GraphMemory<'p>,
-    sm: SyncMemory<'p>,
+pub struct CoreTsu<P: ProgramHandle> {
+    gm: GraphMemory<P>,
+    sm: SyncMemory<P>,
     queues: Vec<QueueUnit>,
     policy: SchedulingPolicy,
     flush: FlushPolicy,
@@ -53,11 +53,11 @@ pub struct CoreTsu<'p> {
     steals: u64,
 }
 
-impl<'p> CoreTsu<'p> {
+impl<P: ProgramHandle> CoreTsu<P> {
     /// Create a TSU for `program` serving `kernels` kernels and arm it:
     /// the inlet of the first block is made ready.
-    pub fn new(program: &'p DdmProgram, kernels: u32, config: TsuConfig) -> Self {
-        let gm = GraphMemory::new(program, kernels);
+    pub fn new(program: P, kernels: u32, config: TsuConfig) -> Self {
+        let gm = GraphMemory::new(program.clone(), kernels);
         let sm = SyncMemory::new(program, kernels, config.capacity);
         let nqueues = match config.policy {
             SchedulingPolicy::GlobalFifo => 1,
@@ -78,7 +78,7 @@ impl<'p> CoreTsu<'p> {
     }
 
     /// The program this TSU executes.
-    pub fn program(&self) -> &'p DdmProgram {
+    pub fn program(&self) -> &DdmProgram {
         self.gm.program()
     }
 
@@ -225,7 +225,7 @@ impl<'p> CoreTsu<'p> {
     }
 }
 
-impl TsuBackend for CoreTsu<'_> {
+impl<P: ProgramHandle> TsuBackend for CoreTsu<P> {
     fn load_block(&mut self, block: BlockId, ready: &mut Vec<Instance>) -> Result<(), CoreError> {
         ready.clear();
         self.sm.load_block(block, ready)?;
@@ -265,7 +265,7 @@ impl TsuBackend for CoreTsu<'_> {
 ///
 /// This is the reference executor used by tests and by the graph-analysis
 /// tooling; platforms implement their own drivers.
-pub fn drain_sequential(tsu: &mut CoreTsu<'_>) -> Vec<Instance> {
+pub fn drain_sequential<P: ProgramHandle>(tsu: &mut CoreTsu<P>) -> Vec<Instance> {
     let mut order = Vec::new();
     let mut scratch = Vec::new();
     let kernels = tsu.kernels();
@@ -314,7 +314,7 @@ mod tests {
         b.build().unwrap()
     }
 
-    fn complete(tsu: &mut CoreTsu<'_>, i: Instance) -> Result<(), CoreError> {
+    fn complete(tsu: &mut CoreTsu<&DdmProgram>, i: Instance) -> Result<(), CoreError> {
         let mut out = Vec::new();
         tsu.complete_queued(i, &mut out)
     }

@@ -8,7 +8,7 @@
 //! same [`FetchResult`] vocabulary — the enum that used to exist twice, as
 //! `tsu::FetchResult` in core and `Fetched` in the runtime.
 
-use crate::ids::Instance;
+use crate::ids::{Instance, ProgramId};
 use std::collections::VecDeque;
 
 /// Result of a kernel's request for its next DThread.
@@ -66,6 +66,96 @@ impl QueueUnit {
     }
 }
 
+/// Weighted round-robin service order over admitted programs.
+///
+/// When one kernel pool serves many co-resident programs (the
+/// multi-program server in `tflux-runtime`), fetch attempts must not let
+/// one tenant monopolize the pool. The rotor fixes a circular service
+/// order over the admitted [`ProgramId`]s and grants each tenant `weight`
+/// consecutive turns per round before moving to the next — weight 1 for
+/// plain round-robin, higher weights for proportional shares.
+///
+/// Like [`QueueUnit`], the rotor is single-owner: each kernel keeps its
+/// own copy of the admitted set and rotates independently, so no lock is
+/// taken on the fetch path.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceRotor {
+    /// `(tenant, weight)` in admission order.
+    entries: Vec<(ProgramId, u32)>,
+    /// Index of the tenant currently being served.
+    cursor: usize,
+    /// Turns already granted to the current tenant this round.
+    served: u32,
+}
+
+impl ServiceRotor {
+    /// An empty rotor.
+    pub fn new() -> Self {
+        ServiceRotor::default()
+    }
+
+    /// Add a tenant with the given weight (clamped to at least 1).
+    /// Re-admitting an id updates its weight instead of duplicating it.
+    pub fn admit(&mut self, id: ProgramId, weight: u32) {
+        let weight = weight.max(1);
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == id) {
+            e.1 = weight;
+        } else {
+            self.entries.push((id, weight));
+        }
+    }
+
+    /// Remove a tenant from the rotation. Unknown ids are ignored.
+    pub fn evict(&mut self, id: ProgramId) {
+        let Some(idx) = self.entries.iter().position(|e| e.0 == id) else {
+            return;
+        };
+        self.entries.remove(idx);
+        if idx < self.cursor {
+            self.cursor -= 1;
+        } else if idx == self.cursor {
+            self.served = 0;
+        }
+        if self.cursor >= self.entries.len() {
+            self.cursor = 0;
+        }
+    }
+
+    /// Whether a tenant is in the rotation.
+    pub fn contains(&self, id: ProgramId) -> bool {
+        self.entries.iter().any(|e| e.0 == id)
+    }
+
+    /// Number of tenants in the rotation.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the rotation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The tenant to serve next. Each call grants one turn; a tenant of
+    /// weight `w` receives `w` consecutive turns per round.
+    pub fn next(&mut self) -> Option<ProgramId> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        if self.cursor >= self.entries.len() {
+            self.cursor = 0;
+            self.served = 0;
+        }
+        let (id, weight) = self.entries[self.cursor];
+        self.served += 1;
+        if self.served >= weight {
+            self.cursor = (self.cursor + 1) % self.entries.len();
+            self.served = 0;
+        }
+        Some(id)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +177,57 @@ mod tests {
         assert_eq!(q.pop(), Some(inst(2, 0)));
         assert_eq!(q.pop(), None);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn rotor_round_robins_equal_weights() {
+        let mut r = ServiceRotor::new();
+        r.admit(ProgramId(0), 1);
+        r.admit(ProgramId(1), 1);
+        r.admit(ProgramId(2), 1);
+        let turns: Vec<u64> = (0..6).map(|_| r.next().unwrap().0).collect();
+        assert_eq!(turns, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn rotor_grants_weighted_shares() {
+        let mut r = ServiceRotor::new();
+        r.admit(ProgramId(0), 2);
+        r.admit(ProgramId(1), 1);
+        let turns: Vec<u64> = (0..6).map(|_| r.next().unwrap().0).collect();
+        assert_eq!(turns, vec![0, 0, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn rotor_eviction_keeps_rotation_sound() {
+        let mut r = ServiceRotor::new();
+        for p in 0..3 {
+            r.admit(ProgramId(p), 1);
+        }
+        assert_eq!(r.next(), Some(ProgramId(0)));
+        // evict the tenant *before* the cursor and the one *at* it
+        r.evict(ProgramId(0));
+        r.evict(ProgramId(1));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.next(), Some(ProgramId(2)));
+        assert_eq!(r.next(), Some(ProgramId(2)));
+        r.evict(ProgramId(2));
+        assert_eq!(r.next(), None);
+        assert!(r.is_empty());
+        // evicting an unknown id is a no-op
+        r.evict(ProgramId(9));
+    }
+
+    #[test]
+    fn rotor_readmission_updates_weight() {
+        let mut r = ServiceRotor::new();
+        r.admit(ProgramId(7), 1);
+        r.admit(ProgramId(7), 3);
+        assert_eq!(r.len(), 1);
+        let turns: Vec<u64> = (0..3).map(|_| r.next().unwrap().0).collect();
+        assert_eq!(turns, vec![7, 7, 7]);
+        // zero weight clamps to one turn per round
+        r.admit(ProgramId(8), 0);
+        assert!(r.contains(ProgramId(8)));
     }
 }

@@ -45,14 +45,13 @@
 
 use crate::error::CoreError;
 use crate::ids::{BlockId, Context, Instance, KernelId, ThreadId};
-use crate::program::DdmProgram;
 use crate::thread::ThreadKind;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use super::backend::{ShardStats, TsuStats, WaitingInstance};
-use super::gm::GraphMemory;
+use super::gm::{GraphMemory, ProgramHandle};
 
 /// Slot state machine: the lifecycle of one instance in the SM.
 const VACANT: u32 = 0;
@@ -159,8 +158,8 @@ impl Drop for PoisonGuard<'_> {
 /// [`dispatch`](Self::dispatch) and [`complete`](Self::complete)
 /// concurrently, and App completions never take a lock. The single
 /// `block` mutex only guards block transitions.
-pub struct SyncMemory<'p> {
-    gm: GraphMemory<'p>,
+pub struct SyncMemory<P: ProgramHandle> {
+    gm: GraphMemory<P>,
     capacity: usize,
     /// `base[t]` is the slab offset of `(t, Context(0))`; contexts are
     /// contiguous, so slot lookup is one add and one index.
@@ -179,17 +178,17 @@ pub struct SyncMemory<'p> {
     block: Mutex<BlockState>,
 }
 
-impl<'p> SyncMemory<'p> {
+impl<P: ProgramHandle> SyncMemory<P> {
     /// Create the Synchronization Memory for `program` executed by
     /// `kernels` kernels, and arm it: the first block's inlet is made
     /// resident (but not dispatched). `capacity` bounds resident instances
     /// (`0` = unlimited). The slot layout is computed here, once, from the
     /// Graph Memory — arities are static, so the table never reallocates.
-    pub fn new(program: &'p DdmProgram, kernels: u32, capacity: usize) -> Self {
+    pub fn new(program: P, kernels: u32, capacity: usize) -> Self {
         let gm = GraphMemory::new(program, kernels);
-        let mut base = Vec::with_capacity(program.threads().len());
+        let mut base = Vec::with_capacity(gm.program().threads().len());
         let mut next = 0u32;
-        for spec in program.threads() {
+        for spec in gm.program().threads() {
             base.push(next);
             next += spec.arity;
         }
@@ -198,7 +197,7 @@ impl<'p> SyncMemory<'p> {
         // hot sink: its internal nodes (heap layout, `P = kernels` padded
         // to a power of two) exist iff the precomputed reduction fan-in
         // says such a sink exists.
-        let tree = if kernels > 1 && !crate::graph::hot_sinks(program, kernels).is_empty() {
+        let tree = if kernels > 1 && !crate::graph::hot_sinks(gm.program(), kernels).is_empty() {
             let p = (kernels as usize).next_power_of_two();
             (0..p).map(|_| Mutex::new(TreeNode::default())).collect()
         } else {
@@ -218,14 +217,14 @@ impl<'p> SyncMemory<'p> {
             block: Mutex::new(BlockState::default()),
         };
         let mut guard = sm.block.lock().expect("fresh mutex");
-        sm.mark_resident(gm.first_inlet().thread, &mut guard);
+        sm.mark_resident(sm.gm.first_inlet().thread, &mut guard);
         drop(guard);
         sm
     }
 
     /// The Graph Memory view this SM was built against.
-    pub fn graph(&self) -> GraphMemory<'p> {
-        self.gm
+    pub fn graph(&self) -> GraphMemory<P> {
+        self.gm.clone()
     }
 
     /// The armed first-block inlet — resident and ready (ready count 0)
@@ -744,7 +743,7 @@ impl<'p> SyncMemory<'p> {
 mod tests {
     use super::*;
     use crate::mapping::ArcMapping;
-    use crate::program::ProgramBuilder;
+    use crate::program::{DdmProgram, ProgramBuilder};
     use crate::thread::ThreadSpec;
 
     fn fork_join() -> DdmProgram {
@@ -969,7 +968,7 @@ mod tests {
     }
 
     /// Load the first block and dispatch every initially-ready instance.
-    fn armed_block(sm: &SyncMemory<'_>) -> Vec<Instance> {
+    fn armed_block(sm: &SyncMemory<&DdmProgram>) -> Vec<Instance> {
         let mut ready = Vec::new();
         let inlet = sm.armed_inlet();
         sm.dispatch(inlet).unwrap();

@@ -24,7 +24,7 @@ use crate::tub::Tub;
 use std::time::{Duration, Instant};
 use tflux_core::error::CoreError;
 use tflux_core::ids::Instance;
-use tflux_core::tsu::TsuStats;
+use tflux_core::tsu::{ProgramHandle, TsuStats};
 
 /// Why the emulator stopped.
 #[derive(Debug)]
@@ -45,6 +45,78 @@ pub enum EmulatorExit {
     },
 }
 
+/// Outcome of one TUB drain round over a `(SoftTsu, Tub)` pair. Shared by
+/// the single-program emulator loop below and the multi-program server's
+/// supervisor, which multiplexes one such round per tenant.
+pub(crate) enum DrainRound {
+    /// Block transitions were processed this round.
+    Progress,
+    /// Nothing arrived through the TUB.
+    Idle,
+    /// The last block's outlet has completed.
+    Finished,
+    /// A protocol error surfaced — latched by a kernel or raised by a
+    /// block transition here.
+    Protocol(CoreError),
+}
+
+/// Drain the TUB once and run the block transitions it carried.
+pub(crate) fn drain_round<P: ProgramHandle>(
+    soft: &SoftTsu<P>,
+    tub: &Tub,
+    batch: &mut Vec<Instance>,
+    scratch: &mut Vec<Instance>,
+) -> DrainRound {
+    // a kernel hit a protocol error on the direct path and kicked us
+    if let Some(e) = soft.take_protocol_error() {
+        return DrainRound::Protocol(e);
+    }
+    batch.clear();
+    let drained = tub.drain_into(batch);
+    for &done in batch.iter() {
+        if let Err(e) = soft.handle_completion(done, scratch) {
+            return DrainRound::Protocol(e);
+        }
+    }
+    if soft.finished() {
+        return DrainRound::Finished;
+    }
+    if drained > 0 {
+        DrainRound::Progress
+    } else {
+        DrainRound::Idle
+    }
+}
+
+/// Watchdog forensics: walk the Synchronization Memory before tearing it
+/// down, so the abort names the stuck instances instead of discarding the
+/// evidence. Per-kernel counters and panics are filled in by the caller
+/// after joining its kernels.
+pub(crate) fn stall_report<P: ProgramHandle>(
+    soft: &SoftTsu<P>,
+    tub: &Tub,
+    idle: Duration,
+) -> StallReport {
+    let gm = soft.graph();
+    StallReport {
+        idle,
+        stats: soft.stats(),
+        tub: tub.stats().snapshot(),
+        waiting: soft.waiting_instances(),
+        in_flight: soft
+            .running_instances()
+            .into_iter()
+            .map(|i| InFlightInstance {
+                instance: i,
+                kernel: gm.owner_of(i),
+            })
+            .collect(),
+        queue_depths: soft.queue_depths(),
+        kernels: Vec::new(),
+        panics: Vec::new(),
+    }
+}
+
 /// Run the TSU Emulator until the program finishes or fails.
 ///
 /// On any exit path the kernels' queues are shut down, so kernel threads
@@ -53,8 +125,8 @@ pub enum EmulatorExit {
 /// drain covers block transitions. The `injector` can jitter the drain
 /// loop (`drain_jitter` site); pass [`NoFaults`](crate::faults::NoFaults)
 /// for a production run.
-pub fn run_emulator<F: FaultInjector>(
-    soft: &SoftTsu<'_>,
+pub fn run_emulator<P: ProgramHandle, F: FaultInjector>(
+    soft: &SoftTsu<P>,
     tub: &Tub,
     watchdog: Duration,
     injector: &F,
@@ -69,51 +141,30 @@ pub fn run_emulator<F: FaultInjector>(
         if let Some(d) = injector.drain_jitter(round) {
             std::thread::sleep(d);
         }
-        // a kernel hit a protocol error on the direct path and kicked us
-        if let Some(e) = soft.take_protocol_error() {
-            soft.shutdown();
-            return EmulatorExit::Protocol(e);
-        }
-        batch.clear();
-        let drained = tub.drain_into(&mut batch);
-        for &done in batch.iter() {
-            if let Err(e) = soft.handle_completion(done, &mut scratch) {
+        match drain_round(soft, tub, &mut batch, &mut scratch) {
+            DrainRound::Protocol(e) => {
                 soft.shutdown();
                 return EmulatorExit::Protocol(e);
             }
-        }
-        if soft.finished() {
-            soft.shutdown();
-            return EmulatorExit::Finished(soft.stats());
+            DrainRound::Finished => {
+                soft.shutdown();
+                return EmulatorExit::Finished(soft.stats());
+            }
+            DrainRound::Progress => {
+                seen_completions = soft.completions();
+                last_progress = Instant::now();
+                continue;
+            }
+            DrainRound::Idle => {}
         }
         let completions = soft.completions();
-        if drained > 0 || completions != seen_completions {
+        if completions != seen_completions {
             seen_completions = completions;
             last_progress = Instant::now();
             continue;
         }
         if last_progress.elapsed() >= watchdog {
-            // Watchdog forensics: walk the Synchronization Memory before
-            // tearing it down, so the abort names the stuck instances
-            // instead of discarding the evidence.
-            let gm = soft.graph();
-            let report = StallReport {
-                idle: last_progress.elapsed(),
-                stats: soft.stats(),
-                tub: tub.stats().snapshot(),
-                waiting: soft.waiting_instances(),
-                in_flight: soft
-                    .running_instances()
-                    .into_iter()
-                    .map(|i| InFlightInstance {
-                        instance: i,
-                        kernel: gm.owner_of(i),
-                    })
-                    .collect(),
-                queue_depths: soft.queue_depths(),
-                kernels: Vec::new(),
-                panics: Vec::new(),
-            };
+            let report = stall_report(soft, tub, last_progress.elapsed());
             soft.shutdown();
             return EmulatorExit::Stalled {
                 report: Box::new(report),

@@ -24,7 +24,7 @@ use parking_lot::Mutex;
 use std::time::Duration;
 use tflux_core::ids::{Instance, KernelId};
 use tflux_core::thread::ThreadKind;
-use tflux_core::tsu::{CompletionFunnel, FetchResult, TsuBackend};
+use tflux_core::tsu::{CompletionFunnel, FetchResult, ProgramHandle, TsuBackend};
 
 /// A panic captured from a DThread body. The kernel contains the panic,
 /// retries it if the body opted in as idempotent and the
@@ -56,16 +56,16 @@ const STEAL_RESCAN: Duration = Duration::from_millis(1);
 /// poisoned by a panic mid-flush); a typed protocol error is recorded for
 /// the emulator and the kernel keeps going — its next fetch surfaces the
 /// abort.
-fn flush_funnel(
+pub(crate) fn flush_funnel<P: ProgramHandle>(
     funnel: &mut CompletionFunnel,
-    backend: &mut &SoftTsu<'_>,
+    backend: &mut &SoftTsu<P>,
     tub: &Tub,
     scratch: &mut Vec<Instance>,
 ) -> Result<(), ()> {
     if funnel.is_empty() {
         return Ok(());
     }
-    let soft: &SoftTsu<'_> = backend;
+    let soft: &SoftTsu<P> = backend;
     let flushed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         funnel.flush(backend, scratch)
     }));
@@ -85,15 +85,81 @@ fn flush_funnel(
     }
 }
 
+/// Outcome of one body execution under panic containment and retry.
+pub(crate) struct BodyOutcome {
+    /// Whether the completion should be published to the TSU. `false`
+    /// means the retry policy poisoned the instance on exhaust.
+    pub publish: bool,
+    /// Retries consumed before the final attempt.
+    pub retries: u64,
+}
+
+/// Run one DThread body with panic containment: a panicking idempotent
+/// body is re-dispatched up to the retry budget; the final failure lands
+/// in `panics` and the completion is still published unless the policy
+/// poisons exhausted instances. Shared by the single-program kernel loop
+/// below and the multi-program server's kernel pool.
+pub(crate) fn execute_body<F: FaultInjector>(
+    kernel: KernelId,
+    instance: Instance,
+    bodies: &BodyTable<'_>,
+    panics: &PanicSink,
+    injector: &F,
+    retry: RetryPolicy,
+) -> BodyOutcome {
+    let ctx = BodyCtx {
+        instance,
+        context: instance.context,
+        kernel,
+    };
+    let mut retries = 0u64;
+    let mut attempt = 0u32;
+    let publish = loop {
+        attempt += 1;
+        let fault = injector.before_body(kernel, instance, attempt);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match fault {
+                BodyFault::Pass => {}
+                BodyFault::Delay(d) => std::thread::sleep(d),
+                BodyFault::Panic => std::panic::panic_any(format!(
+                    "injected fault: body panic at {instance} (attempt {attempt})"
+                )),
+            }
+            (bodies.get(instance.thread))(&ctx)
+        }));
+        match result {
+            Ok(()) => break true,
+            Err(payload) => {
+                if bodies.idempotent(instance.thread) && attempt < retry.max_attempts {
+                    retries += 1;
+                    continue;
+                }
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                panics.lock().push(BodyPanic {
+                    instance,
+                    message,
+                    attempts: attempt,
+                });
+                break !retry.poison_on_exhaust;
+            }
+        }
+    };
+    BodyOutcome { publish, retries }
+}
+
 /// Run one kernel to completion. Returns this kernel's counters.
 ///
 /// The loop mirrors Fig. 2: the first instance a kernel receives is (for
 /// kernel 0) the first block's Inlet; every completion jumps back to the
 /// FindReadyThread point; the Exit signal raised after the last block's
 /// Outlet "forces its Kernel to exit".
-pub fn run_kernel<F: FaultInjector>(
+pub fn run_kernel<P: ProgramHandle, F: FaultInjector>(
     kernel: KernelId,
-    soft: &SoftTsu<'_>,
+    soft: &SoftTsu<P>,
     bodies: &BodyTable<'_>,
     tub: &Tub,
     panics: &PanicSink,
@@ -148,54 +214,16 @@ pub fn run_kernel<F: FaultInjector>(
             FetchResult::Wait => continue,
         };
 
-        let ctx = BodyCtx {
-            instance,
-            context: instance.context,
-            kernel,
-        };
         // Direct closure call: kernel→DThread transition without OS
         // involvement, as in §3.2. A panicking body is contained: if the
         // body is idempotent it is re-dispatched up to the retry budget;
         // otherwise the completion is still published (the alternative is a
         // deadlocked program, unless the policy poisons the instance on
         // purpose) and the failure is reported after the run.
-        let mut attempt = 0u32;
-        let publish = loop {
-            attempt += 1;
-            let fault = injector.before_body(kernel, instance, attempt);
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                match fault {
-                    BodyFault::Pass => {}
-                    BodyFault::Delay(d) => std::thread::sleep(d),
-                    BodyFault::Panic => std::panic::panic_any(format!(
-                        "injected fault: body panic at {instance} (attempt {attempt})"
-                    )),
-                }
-                (bodies.get(instance.thread))(&ctx)
-            }));
-            match result {
-                Ok(()) => break true,
-                Err(payload) => {
-                    if bodies.idempotent(instance.thread) && attempt < retry.max_attempts {
-                        retries += 1;
-                        continue;
-                    }
-                    let message = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "non-string panic payload".into());
-                    panics.lock().push(BodyPanic {
-                        instance,
-                        message,
-                        attempts: attempt,
-                    });
-                    break !retry.poison_on_exhaust;
-                }
-            }
-        };
+        let outcome = execute_body(kernel, instance, bodies, panics, injector, retry);
+        retries += outcome.retries;
         executed += 1;
-        if !publish {
+        if !outcome.publish {
             poisoned += 1;
             continue;
         }
@@ -267,7 +295,7 @@ mod tests {
 
     /// A minimal emulator stand-in: drain the TUB, post-process block
     /// transitions, shut the queues down when the program finishes.
-    fn drive(soft: &SoftTsu<'_>, tub: &Tub) {
+    fn drive(soft: &SoftTsu<&DdmProgram>, tub: &Tub) {
         let mut batch = Vec::new();
         let mut scratch = Vec::new();
         while !soft.finished() {

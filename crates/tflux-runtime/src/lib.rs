@@ -65,6 +65,7 @@ pub mod emulator;
 pub mod faults;
 pub mod kernel;
 pub mod runtime;
+pub mod server;
 pub mod shared;
 pub mod sm;
 pub mod soft;
@@ -74,9 +75,10 @@ pub mod tub;
 pub use body::{BodyCtx, BodyTable};
 pub use faults::{BodyFault, FaultCounts, FaultInjector, FaultPlan, NoFaults};
 pub use runtime::{RetryPolicy, Runtime, RuntimeConfig, RuntimeError};
+pub use server::{Admission, ProgramServer, ServerConfig, Submission, Submit, SubmitError};
 pub use shared::SharedVar;
 pub use soft::SoftTsu;
-pub use stats::{InFlightInstance, RunReport, StallReport};
+pub use stats::{InFlightInstance, RunReport, StallReport, TenantReport};
 // the one fetch vocabulary shared with the core TSU units
 pub use tflux_core::tsu::{FetchResult, ShardStats, TsuBackend};
 pub use tub::TubBackoff;

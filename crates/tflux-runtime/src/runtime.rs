@@ -196,7 +196,18 @@ impl std::fmt::Display for RuntimeError {
     }
 }
 
-impl std::error::Error for RuntimeError {}
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            // the TSU protocol error is the underlying cause — expose it so
+            // `anyhow`-style chains print "TSU protocol error: …: <cause>"
+            RuntimeError::Protocol(e) => Some(e),
+            // the stall report and panic list are forensics, not errors;
+            // the remaining variants are root causes themselves
+            _ => None,
+        }
+    }
+}
 
 /// The TFluxSoft runtime. Create one with a [`RuntimeConfig`], then run DDM
 /// programs on it. `run` is synchronous: it launches the kernels and the

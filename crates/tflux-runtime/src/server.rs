@@ -1,0 +1,1020 @@
+//! Multi-tenant program server: many DDM programs sharing one kernel pool,
+//! with per-program fault isolation, bounded admission, and overload
+//! shedding.
+//!
+//! The single-program [`Runtime`](crate::Runtime) owns its kernels for the
+//! duration of one `run`. A [`ProgramServer`] instead keeps a pool of
+//! kernel OS threads alive and lets callers *submit* programs while others
+//! drain. Each admitted program (a *tenant*) gets a *private arena*: its
+//! own [`SoftTsu`] — Graph Memory, sharded Synchronization Memory, ready
+//! queues — plus its own [TUB](crate::tub::Tub) and panic sink, so no
+//! scheduling state is shared between programs. The pool kernels multiplex
+//! over the resident arenas under a weighted round-robin
+//! [`ServiceRotor`](tflux_core::tsu::ServiceRotor) discipline; one
+//! supervisor thread multiplexes the TSU-Emulator duties (TUB drains,
+//! block transitions, watchdog) across tenants and runs admission.
+//!
+//! **Fault isolation.** A body panic, a poisoned Synchronization Memory,
+//! a TSU protocol error, a per-program deadline, or a watchdog expiry
+//! cancels and evicts *only* the affected tenant: its queues are shut
+//! down, its in-flight bodies drain (late completions are discarded, never
+//! published into the dead arena), and its submitter receives the
+//! [`RuntimeError`] through the [`Admission`] handle — while co-resident
+//! programs run to correct completion on the same kernels.
+//!
+//! **Admission control.** The pending queue is bounded
+//! ([`ServerConfig::queue_depth`]); at most
+//! [`ServerConfig::max_resident`] programs hold arenas at once. When the
+//! queue is full, [`Submit::Block`] parks the submitter and
+//! [`Submit::Reject`] sheds the load with a structured
+//! [`SubmitError::Overloaded`] — never a stall or a panic.
+//!
+//! One caveat, by design: a kernel wedged *inside* a DThread body (a body
+//! that never returns) cannot be reclaimed — eviction stops the tenant's
+//! scheduling, not a non-cooperative body. Co-resident tenants keep
+//! progressing on the remaining kernels, so pool sizing (`kernels ≥ 2`)
+//! bounds the blast radius of a single wedged body.
+
+use crate::body::BodyTable;
+use crate::emulator::{drain_round, stall_report, DrainRound};
+use crate::faults::FaultPlan;
+use crate::kernel::{execute_body, PanicSink};
+use crate::runtime::{RetryPolicy, RuntimeError};
+use crate::soft::SoftTsu;
+use crate::stats::TenantReport;
+use crate::tub::{Tub, TubBackoff};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+use tflux_core::error::CoreError;
+use tflux_core::ids::{Instance, KernelId, ProgramId};
+use tflux_core::program::DdmProgram;
+use tflux_core::thread::ThreadKind;
+use tflux_core::tsu::{FetchResult, ServiceRotor, TsuBackend, TsuConfig};
+
+/// Configuration of a [`ProgramServer`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Kernel threads in the shared pool.
+    pub kernels: u32,
+    /// Programs that may hold arenas concurrently; further admissions wait
+    /// in the pending queue.
+    pub max_resident: usize,
+    /// Bound of the pending admission queue; a full queue blocks or sheds
+    /// submitters depending on their [`Submit`] mode.
+    pub queue_depth: usize,
+    /// TUB segments per tenant.
+    pub tub_segments: usize,
+    /// TSU capacity and scheduling policy of every tenant arena.
+    pub tsu: TsuConfig,
+    /// Evict a tenant when none of its DThreads completes for this long.
+    pub watchdog: Duration,
+    /// All-busy backoff of every tenant TUB.
+    pub tub_backoff: TubBackoff,
+    /// What pool kernels do with panicking bodies.
+    pub retry: RetryPolicy,
+}
+
+impl ServerConfig {
+    /// Defaults with `kernels` pool threads: 8 resident programs, a
+    /// 32-deep admission queue, 2 TUB segments per tenant, unlimited TSU
+    /// capacity, 30 s watchdog, no panic retry.
+    pub fn with_kernels(kernels: u32) -> Self {
+        ServerConfig {
+            kernels: kernels.max(1),
+            max_resident: 8,
+            queue_depth: 32,
+            tub_segments: 2,
+            tsu: TsuConfig::default(),
+            watchdog: Duration::from_secs(30),
+            tub_backoff: TubBackoff::default(),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Override the resident-program bound (clamped to ≥ 1).
+    pub fn max_resident(mut self, n: usize) -> Self {
+        self.max_resident = n.max(1);
+        self
+    }
+
+    /// Override the pending-queue bound (clamped to ≥ 1).
+    pub fn queue_depth(mut self, n: usize) -> Self {
+        self.queue_depth = n.max(1);
+        self
+    }
+
+    /// Override the per-tenant TSU configuration.
+    pub fn tsu(mut self, tsu: TsuConfig) -> Self {
+        self.tsu = tsu;
+        self
+    }
+
+    /// Override the per-tenant watchdog interval.
+    pub fn watchdog(mut self, watchdog: Duration) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Override the panic retry policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
+/// What `submit` does when the admission queue is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Submit {
+    /// Park the submitting thread until a queue slot frees up (or the
+    /// server shuts down).
+    Block,
+    /// Shed the load: return [`SubmitError::Overloaded`] immediately.
+    Reject,
+}
+
+/// Why a submission was not accepted. Shedding is structured and
+/// non-destructive: the submission simply never entered the server.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The admission queue is full and the submitter chose
+    /// [`Submit::Reject`].
+    Overloaded {
+        /// Programs currently holding arenas.
+        resident: usize,
+        /// Submissions waiting in the pending queue.
+        queued: usize,
+        /// The configured [`ServerConfig::queue_depth`] bound.
+        limit: usize,
+    },
+    /// The body table does not match the program (same check as the
+    /// single-program runtime, made before the submission is queued).
+    BodyTableMismatch {
+        /// Threads the program declares.
+        expected: usize,
+        /// Slots the body table holds.
+        got: usize,
+    },
+    /// The server is shutting down and accepts no new programs.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded {
+                resident,
+                queued,
+                limit,
+            } => write!(
+                f,
+                "server overloaded: {resident} resident, {queued}/{limit} queued"
+            ),
+            SubmitError::BodyTableMismatch { expected, got } => write!(
+                f,
+                "body table has {got} slots but the program declares {expected} threads"
+            ),
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One program offered to a [`ProgramServer`]: the program, its bodies,
+/// and per-tenant scheduling/fault knobs.
+pub struct Submission {
+    program: Arc<DdmProgram>,
+    bodies: BodyTable<'static>,
+    weight: u32,
+    deadline: Option<Duration>,
+    faults: FaultPlan,
+}
+
+impl Submission {
+    /// A submission with weight 1, no deadline, and no injected faults.
+    ///
+    /// Bodies must be `'static` (capture owned state, e.g. `Arc`s): unlike
+    /// the scoped single-program runtime, server kernels outlive the
+    /// submitting stack frame.
+    pub fn new(program: Arc<DdmProgram>, bodies: BodyTable<'static>) -> Self {
+        Submission {
+            program,
+            bodies,
+            weight: 1,
+            deadline: None,
+            faults: FaultPlan::default(),
+        }
+    }
+
+    /// Set the fairness weight: a weight-`w` tenant receives `w` service
+    /// grants per rotor cycle on each kernel (clamped to ≥ 1).
+    pub fn weight(mut self, weight: u32) -> Self {
+        self.weight = weight.max(1);
+        self
+    }
+
+    /// Set a deadline, measured from admission: a tenant still running
+    /// after `deadline` is cancelled and evicted with
+    /// [`RuntimeError::Stalled`].
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Thread a seeded fault plan through this tenant's fault sites only —
+    /// co-resident tenants see none of its faults.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+}
+
+/// Handle returned by a successful submission. Dropping it does not cancel
+/// the program; the result is simply discarded on delivery.
+pub struct Admission {
+    id: ProgramId,
+    rx: mpsc::Receiver<Result<TenantReport, RuntimeError>>,
+}
+
+impl Admission {
+    /// The id the server assigned this program.
+    pub fn id(&self) -> ProgramId {
+        self.id
+    }
+
+    /// Block until the program finishes or is evicted.
+    ///
+    /// # Panics
+    /// If the server's supervisor died without delivering a result — a
+    /// server bug, never a consequence of program faults (those are
+    /// delivered as `Err`).
+    pub fn wait(self) -> Result<TenantReport, RuntimeError> {
+        self.rx
+            .recv()
+            .expect("program server dropped without delivering a result")
+    }
+
+    /// Non-blocking probe: the result, if already delivered.
+    pub fn try_wait(&self) -> Option<Result<TenantReport, RuntimeError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// A queued-but-not-yet-admitted submission.
+struct Pending {
+    id: ProgramId,
+    submission: Submission,
+    tx: mpsc::Sender<Result<TenantReport, RuntimeError>>,
+}
+
+/// One admitted program: a private arena plus its bookkeeping.
+struct Tenant {
+    id: ProgramId,
+    weight: u32,
+    deadline: Option<Duration>,
+    admitted_at: Instant,
+    /// The private arena: this tenant's whole scheduling state.
+    soft: SoftTsu<Arc<DdmProgram>>,
+    tub: Tub,
+    bodies: BodyTable<'static>,
+    panics: PanicSink,
+    faults: FaultPlan,
+    /// Latched at eviction; kernels skip the tenant and discard late
+    /// completions once set.
+    evicted: AtomicBool,
+    executed: AtomicU64,
+    retries: AtomicU64,
+    poisoned: AtomicU64,
+    /// Completions of in-flight bodies that outlived the eviction,
+    /// discarded instead of published.
+    late: AtomicU64,
+    done: Mutex<Option<mpsc::Sender<Result<TenantReport, RuntimeError>>>>,
+}
+
+impl Tenant {
+    fn new(p: Pending, cfg: &ServerConfig) -> Self {
+        let Pending { id, submission, tx } = p;
+        let Submission {
+            program,
+            bodies,
+            weight,
+            deadline,
+            faults,
+        } = submission;
+        Tenant {
+            id,
+            weight,
+            deadline,
+            admitted_at: Instant::now(),
+            soft: SoftTsu::new(program, cfg.kernels.max(1), cfg.tsu),
+            tub: Tub::with_backoff(cfg.tub_segments, cfg.tub_backoff),
+            bodies,
+            panics: PanicSink::default(),
+            faults,
+            evicted: AtomicBool::new(false),
+            executed: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
+            late: AtomicU64::new(0),
+            done: Mutex::new(Some(tx)),
+        }
+    }
+}
+
+/// State shared by the pool kernels, the supervisor, and submitters.
+struct ServerShared {
+    config: ServerConfig,
+    next_id: AtomicU64,
+    /// The resident tenants. Kernels snapshot it on generation change.
+    registry: Mutex<Vec<Arc<Tenant>>>,
+    /// Bumped on every admit/evict so kernels re-snapshot the registry.
+    generation: AtomicU64,
+    pending: Mutex<VecDeque<Pending>>,
+    /// Rung when a pending slot frees up (and at shutdown).
+    pending_cv: Condvar,
+    /// Eventcount kernels and the supervisor park on when idle: any
+    /// completion, admission, or eviction bumps it.
+    work_seq: Mutex<u64>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Set by the supervisor after the last tenant drained; kernels exit.
+    done: AtomicBool,
+}
+
+impl ServerShared {
+    fn work_epoch(&self) -> u64 {
+        *self.work_seq.lock()
+    }
+
+    fn ring(&self) {
+        *self.work_seq.lock() += 1;
+        self.work_cv.notify_all();
+    }
+
+    /// Park until the eventcount moves past `seen` or `timeout` elapses.
+    fn wait_for_work(&self, seen: u64, timeout: Duration) {
+        let mut g = self.work_seq.lock();
+        if *g == seen {
+            self.work_cv.wait_for(&mut g, timeout);
+        }
+    }
+}
+
+/// A shared kernel pool serving many DDM programs with per-program fault
+/// isolation. See the module docs for the architecture.
+pub struct ProgramServer {
+    shared: Arc<ServerShared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ProgramServer {
+    /// Launch the kernel pool and the supervisor.
+    pub fn start(config: ServerConfig) -> Self {
+        let config = ServerConfig {
+            kernels: config.kernels.max(1),
+            max_resident: config.max_resident.max(1),
+            queue_depth: config.queue_depth.max(1),
+            ..config
+        };
+        let shared = Arc::new(ServerShared {
+            config,
+            next_id: AtomicU64::new(0),
+            registry: Mutex::new(Vec::new()),
+            generation: AtomicU64::new(0),
+            pending: Mutex::new(VecDeque::new()),
+            pending_cv: Condvar::new(),
+            work_seq: Mutex::new(0),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+        });
+        let mut threads = Vec::with_capacity(config.kernels as usize + 1);
+        for k in 0..config.kernels {
+            let sh = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || {
+                run_pool_kernel(&sh, KernelId(k))
+            }));
+        }
+        let sh = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || run_supervisor(&sh)));
+        ProgramServer { shared, threads }
+    }
+
+    /// Offer a program. On success the submission is queued (and admitted
+    /// by the supervisor as soon as a resident slot frees); the returned
+    /// [`Admission`] delivers the result.
+    pub fn submit(&self, submission: Submission, mode: Submit) -> Result<Admission, SubmitError> {
+        let expected = submission.program.threads().len();
+        if submission.bodies.len() != expected {
+            return Err(SubmitError::BodyTableMismatch {
+                expected,
+                got: submission.bodies.len(),
+            });
+        }
+        let mut pending = self.shared.pending.lock();
+        loop {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if pending.len() < self.shared.config.queue_depth {
+                break;
+            }
+            match mode {
+                Submit::Reject => {
+                    return Err(SubmitError::Overloaded {
+                        resident: self.shared.registry.lock().len(),
+                        queued: pending.len(),
+                        limit: self.shared.config.queue_depth,
+                    });
+                }
+                Submit::Block => {
+                    self.shared.pending_cv.wait(&mut pending);
+                }
+            }
+        }
+        let id = ProgramId(self.shared.next_id.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = mpsc::channel();
+        pending.push_back(Pending { id, submission, tx });
+        drop(pending);
+        self.shared.ring(); // wake the supervisor for admission
+        Ok(Admission { id, rx })
+    }
+
+    /// Programs currently holding arenas.
+    pub fn resident(&self) -> usize {
+        self.shared.registry.lock().len()
+    }
+
+    /// Submissions waiting in the admission queue.
+    pub fn queued(&self) -> usize {
+        self.shared.pending.lock().len()
+    }
+
+    /// Poison a resident program's Synchronization Memory, exactly as a
+    /// kernel dying mid-update would. The tenant is evicted with
+    /// [`RuntimeError::Protocol`]`(`[`CoreError::SmPoisoned`]`)`;
+    /// co-resident programs are untouched. Returns `false` if `id` is not
+    /// resident (never admitted, already finished, or already evicted).
+    pub fn poison(&self, id: ProgramId) -> bool {
+        let tenant = self
+            .shared
+            .registry
+            .lock()
+            .iter()
+            .find(|t| t.id == id)
+            .cloned();
+        match tenant {
+            Some(t) => {
+                t.soft.poison();
+                t.soft.record_protocol(CoreError::SmPoisoned);
+                t.tub.kick();
+                self.shared.ring();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Stop accepting submissions, drain every queued and resident
+    /// program to its result, and join the pool.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.threads.is_empty() {
+            return;
+        }
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.pending_cv.notify_all(); // blocked submitters: ShuttingDown
+        self.shared.ring();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ProgramServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Serve one rotor grant from `tenant`: try to fetch and run one instance.
+/// Returns whether anything was executed.
+fn serve_one(
+    shared: &ServerShared,
+    tenant: &Tenant,
+    kernel: KernelId,
+    scratch: &mut Vec<Instance>,
+) -> bool {
+    let mut backend = &tenant.soft; // &SoftTsu is the TsuBackend
+    let instance = match backend.fetch(kernel) {
+        Ok(FetchResult::Thread(i)) => i,
+        // Wait: nothing runnable here; Exit: arena shut down by eviction
+        Ok(_) => return false,
+        Err(e) => {
+            // poisoned arena: latch the error for the supervisor to evict
+            // on, and move on to the next tenant — this kernel is fine
+            tenant.soft.record_protocol(e);
+            tenant.tub.kick();
+            shared.ring();
+            return false;
+        }
+    };
+    let outcome = execute_body(
+        kernel,
+        instance,
+        &tenant.bodies,
+        &tenant.panics,
+        &tenant.faults,
+        shared.config.retry,
+    );
+    tenant.retries.fetch_add(outcome.retries, Ordering::Relaxed);
+    tenant.executed.fetch_add(1, Ordering::Relaxed);
+    if tenant.evicted.load(Ordering::Acquire) {
+        // the tenant was evicted while this body ran: discard the late
+        // completion rather than publish into the dead (maybe poisoned)
+        // arena
+        tenant.late.fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
+    if !outcome.publish {
+        tenant.poisoned.fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
+    match tenant.soft.graph().kind(instance.thread) {
+        // direct update into this tenant's private Synchronization Memory;
+        // an unwind out of post-processing poisons only this arena
+        ThreadKind::App => {
+            let completed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                backend.complete(instance, scratch)
+            }));
+            match completed {
+                Ok(Ok(())) => shared.ring(),
+                Ok(Err(e)) => {
+                    tenant.soft.record_protocol(e);
+                    tenant.tub.kick();
+                    shared.ring();
+                }
+                Err(_) => {
+                    tenant.soft.poison();
+                    tenant.soft.record_protocol(CoreError::SmPoisoned);
+                    tenant.tub.kick();
+                    shared.ring();
+                }
+            }
+        }
+        // block transitions stay serialized through the supervisor
+        ThreadKind::Inlet | ThreadKind::Outlet => {
+            tenant.tub.push_with(instance, &tenant.faults);
+            shared.ring();
+        }
+    }
+    true
+}
+
+/// One pool kernel: multiplex over the resident arenas in weighted
+/// round-robin order, parking on the eventcount when no tenant has work.
+fn run_pool_kernel(shared: &ServerShared, kernel: KernelId) {
+    let mut rotor = ServiceRotor::new();
+    let mut members: Vec<ProgramId> = Vec::new();
+    let mut snapshot: Vec<Arc<Tenant>> = Vec::new();
+    let mut seen_gen = u64::MAX; // force the first snapshot
+    let mut scratch: Vec<Instance> = Vec::new();
+    loop {
+        let gen = shared.generation.load(Ordering::Acquire);
+        if gen != seen_gen {
+            seen_gen = gen;
+            snapshot = shared.registry.lock().clone();
+            let live: Vec<ProgramId> = snapshot.iter().map(|t| t.id).collect();
+            for &old in &members {
+                if !live.contains(&old) {
+                    rotor.evict(old);
+                }
+            }
+            for t in &snapshot {
+                rotor.admit(t.id, t.weight);
+            }
+            members = live;
+        }
+        if shared.done.load(Ordering::Acquire) {
+            break;
+        }
+        let epoch = shared.work_epoch();
+        let mut did_work = false;
+        // one sweep: at most one service grant per rotor entry, so a
+        // tenant with no runnable work cannot absorb the whole sweep
+        for _ in 0..rotor.len() {
+            let Some(id) = rotor.next() else { break };
+            let Some(tenant) = snapshot.iter().find(|t| t.id == id) else {
+                continue;
+            };
+            if tenant.evicted.load(Ordering::Acquire) {
+                continue;
+            }
+            if serve_one(shared, tenant, kernel, &mut scratch) {
+                did_work = true;
+            }
+        }
+        if !did_work {
+            shared.wait_for_work(epoch, Duration::from_millis(1));
+        }
+    }
+}
+
+/// Supervisor-side per-tenant watchdog state.
+struct Track {
+    last_progress: Instant,
+    seen_completions: u64,
+}
+
+/// Evict `tenant`: latch the flag, shut its queues down, drop it from the
+/// registry, and deliver `result` to the submitter.
+fn evict_tenant(
+    shared: &ServerShared,
+    tenant: &Arc<Tenant>,
+    result: Result<TenantReport, RuntimeError>,
+) {
+    tenant.evicted.store(true, Ordering::Release);
+    tenant.soft.shutdown();
+    shared.registry.lock().retain(|t| t.id != tenant.id);
+    shared.generation.fetch_add(1, Ordering::Release);
+    shared.ring();
+    if let Some(tx) = tenant.done.lock().take() {
+        let _ = tx.send(result);
+    }
+}
+
+/// Admit pending submissions while resident slots are free. Returns
+/// whether anything was admitted.
+fn admit_pending(shared: &ServerShared) -> bool {
+    let mut admitted = false;
+    loop {
+        if shared.registry.lock().len() >= shared.config.max_resident {
+            break;
+        }
+        let Some(p) = shared.pending.lock().pop_front() else {
+            break;
+        };
+        // a queue slot freed: wake blocked submitters
+        shared.pending_cv.notify_all();
+        let tenant = Arc::new(Tenant::new(p, &shared.config));
+        shared.registry.lock().push(tenant);
+        shared.generation.fetch_add(1, Ordering::Release);
+        shared.ring();
+        admitted = true;
+    }
+    admitted
+}
+
+/// The supervisor: admission, per-tenant TUB drains and block transitions,
+/// per-tenant watchdog/deadline, eviction, and result delivery.
+fn run_supervisor(shared: &ServerShared) {
+    let cfg = shared.config;
+    let mut tracking: HashMap<u64, Track> = HashMap::new();
+    let mut batch: Vec<Instance> = Vec::new();
+    let mut scratch: Vec<Instance> = Vec::new();
+    loop {
+        let mut progressed = admit_pending(shared);
+        let epoch = shared.work_epoch();
+        let resident: Vec<Arc<Tenant>> = shared.registry.lock().clone();
+        for tenant in &resident {
+            if tenant.evicted.load(Ordering::Acquire) {
+                continue;
+            }
+            let track = tracking.entry(tenant.id.0).or_insert_with(|| Track {
+                last_progress: Instant::now(),
+                seen_completions: 0,
+            });
+            // the deadline cancels even a tenant that is still making
+            // progress; the watchdog (below) only fires on genuine idleness
+            if tenant
+                .deadline
+                .is_some_and(|d| tenant.admitted_at.elapsed() >= d)
+            {
+                let mut report =
+                    stall_report(&tenant.soft, &tenant.tub, track.last_progress.elapsed());
+                report.panics = std::mem::take(&mut *tenant.panics.lock());
+                tracking.remove(&tenant.id.0);
+                evict_tenant(
+                    shared,
+                    tenant,
+                    Err(RuntimeError::Stalled {
+                        report: Box::new(report),
+                    }),
+                );
+                progressed = true;
+                continue;
+            }
+            let outcome = match drain_round(&tenant.soft, &tenant.tub, &mut batch, &mut scratch) {
+                DrainRound::Protocol(e) => Some(Err(RuntimeError::Protocol(e))),
+                DrainRound::Finished => {
+                    let panics = std::mem::take(&mut *tenant.panics.lock());
+                    Some(if panics.is_empty() {
+                        Ok(TenantReport {
+                            id: tenant.id,
+                            wall: tenant.admitted_at.elapsed(),
+                            tsu: tenant.soft.stats(),
+                            sm_shards: tenant.soft.shard_stats(),
+                            executed: tenant.executed.load(Ordering::Relaxed),
+                            retries: tenant.retries.load(Ordering::Relaxed),
+                            poisoned: tenant.poisoned.load(Ordering::Relaxed),
+                        })
+                    } else {
+                        Err(RuntimeError::BodyPanicked { panics })
+                    })
+                }
+                DrainRound::Progress => {
+                    track.seen_completions = tenant.soft.completions();
+                    track.last_progress = Instant::now();
+                    progressed = true;
+                    shared.ring(); // block transitions armed new work
+                    None
+                }
+                DrainRound::Idle => {
+                    let c = tenant.soft.completions();
+                    if c != track.seen_completions {
+                        track.seen_completions = c;
+                        track.last_progress = Instant::now();
+                        None
+                    } else if track.last_progress.elapsed() >= cfg.watchdog {
+                        let mut report =
+                            stall_report(&tenant.soft, &tenant.tub, track.last_progress.elapsed());
+                        report.panics = std::mem::take(&mut *tenant.panics.lock());
+                        Some(Err(RuntimeError::Stalled {
+                            report: Box::new(report),
+                        }))
+                    } else {
+                        None
+                    }
+                }
+            };
+            if let Some(result) = outcome {
+                tracking.remove(&tenant.id.0);
+                evict_tenant(shared, tenant, result);
+                progressed = true;
+            }
+        }
+        if shared.shutdown.load(Ordering::Acquire)
+            && shared.registry.lock().is_empty()
+            && shared.pending.lock().is_empty()
+        {
+            break;
+        }
+        if !progressed {
+            shared.wait_for_work(epoch, Duration::from_micros(500));
+        }
+    }
+    shared.done.store(true, Ordering::Release);
+    shared.ring();
+    shared.pending_cv.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use tflux_core::prelude::*;
+
+    fn fork_join(arity: u32) -> (Arc<DdmProgram>, ThreadId, ThreadId) {
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let src = b.thread(blk, ThreadSpec::scalar("src"));
+        let work = b.thread(blk, ThreadSpec::new("work", arity));
+        let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+        b.arc(src, work, ArcMapping::Broadcast).unwrap();
+        b.arc(work, sink, ArcMapping::Reduction).unwrap();
+        (Arc::new(b.build().unwrap()), work, sink)
+    }
+
+    /// A submission whose work thread sums squares into `total`.
+    fn sum_of_squares(arity: u32) -> (Submission, Arc<AtomicU64>, usize) {
+        let (p, work, sink) = fork_join(arity);
+        let partial = Arc::new(crate::shared::SharedVar::<u64>::new(arity as usize));
+        let total = Arc::new(AtomicU64::new(0));
+        let mut bodies = BodyTable::new(&p);
+        {
+            let partial = Arc::clone(&partial);
+            bodies.set(work, move |c| {
+                partial.put(c.context, (c.context.0 as u64).pow(2));
+            });
+        }
+        {
+            let total = Arc::clone(&total);
+            bodies.set(sink, move |_| {
+                total.store(partial.iter().sum(), Ordering::Relaxed);
+            });
+        }
+        let instances = p.total_instances();
+        (Submission::new(p, bodies), total, instances)
+    }
+
+    fn expected(arity: u64) -> u64 {
+        (0..arity).map(|i| i * i).sum()
+    }
+
+    #[test]
+    fn one_program_round_trips() {
+        let server = ProgramServer::start(ServerConfig::with_kernels(2));
+        let (sub, total, instances) = sum_of_squares(16);
+        let adm = server.submit(sub, Submit::Block).unwrap();
+        assert_eq!(adm.id(), ProgramId(0));
+        let report = adm.wait().unwrap();
+        assert_eq!(report.id, ProgramId(0));
+        assert_eq!(report.executed as usize, instances);
+        assert_eq!(report.tsu.completions as usize, instances);
+        assert_eq!(total.load(Ordering::Relaxed), expected(16));
+        server.shutdown();
+    }
+
+    #[test]
+    fn many_programs_share_the_pool() {
+        let server = ProgramServer::start(
+            ServerConfig::with_kernels(3)
+                .max_resident(4)
+                .queue_depth(64),
+        );
+        let mut waits = Vec::new();
+        for i in 0..12u32 {
+            let (sub, total, _) = sum_of_squares(4 + i);
+            waits.push((server.submit(sub, Submit::Block).unwrap(), total, 4 + i));
+        }
+        for (adm, total, arity) in waits {
+            let report = adm.wait().unwrap();
+            assert!(report.executed > 0, "{:?} starved", report.id);
+            assert_eq!(total.load(Ordering::Relaxed), expected(arity as u64));
+        }
+        assert_eq!(server.resident(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_with_structured_error() {
+        let server =
+            ProgramServer::start(ServerConfig::with_kernels(1).max_resident(1).queue_depth(1));
+        // tenant 0 occupies the one resident slot for a while
+        let (p, work, _) = fork_join(2);
+        let mut bodies = BodyTable::new(&p);
+        bodies.set(work, |_| std::thread::sleep(Duration::from_millis(150)));
+        let slow = server
+            .submit(Submission::new(p, bodies), Submit::Block)
+            .unwrap();
+        while server.resident() == 0 {
+            std::thread::yield_now();
+        }
+        // tenant 1 fills the queue; tenant 2 must be shed, not stalled
+        let (sub1, total1, _) = sum_of_squares(4);
+        let queued = server.submit(sub1, Submit::Block).unwrap();
+        let (sub2, _, _) = sum_of_squares(4);
+        match server.submit(sub2, Submit::Reject) {
+            Err(SubmitError::Overloaded {
+                queued: q, limit, ..
+            }) => {
+                assert_eq!(limit, 1);
+                assert_eq!(q, 1);
+            }
+            other => panic!("expected Overloaded, got {:?}", other.map(|a| a.id())),
+        }
+        slow.wait().unwrap();
+        queued.wait().unwrap();
+        assert_eq!(total1.load(Ordering::Relaxed), expected(4));
+        server.shutdown();
+    }
+
+    #[test]
+    fn body_table_mismatch_is_rejected_up_front() {
+        let server = ProgramServer::start(ServerConfig::with_kernels(1));
+        // a table shaped for a 1-thread program (3 slots with inlet+outlet)
+        // offered with a fork-join (5 slots): rejected before queueing
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        b.thread(blk, ThreadSpec::scalar("w"));
+        let tiny = Arc::new(b.build().unwrap());
+        let bodies = BodyTable::new(&tiny);
+        let (p, _, _) = fork_join(2);
+        match server.submit(Submission::new(p, bodies), Submit::Block) {
+            Err(SubmitError::BodyTableMismatch { expected, got }) => {
+                assert_eq!(expected, 5);
+                assert_eq!(got, 3);
+            }
+            other => panic!("expected mismatch, got ok={}", other.is_ok()),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn body_panic_evicts_only_the_faulty_tenant() {
+        let server = ProgramServer::start(ServerConfig::with_kernels(2).max_resident(4));
+        let (p, work, _) = fork_join(8);
+        let mut bodies = BodyTable::new(&p);
+        bodies.set(work, |c| {
+            if c.context.0 == 3 {
+                panic!("tenant fault");
+            }
+        });
+        let faulty = server
+            .submit(Submission::new(p, bodies), Submit::Block)
+            .unwrap();
+        let (good_sub, total, _) = sum_of_squares(16);
+        let good = server.submit(good_sub, Submit::Block).unwrap();
+        match faulty.wait() {
+            Err(RuntimeError::BodyPanicked { panics }) => {
+                assert_eq!(panics.len(), 1);
+                assert!(panics[0].message.contains("tenant fault"));
+            }
+            other => panic!("expected BodyPanicked, got ok={}", other.is_ok()),
+        }
+        good.wait().unwrap();
+        assert_eq!(total.load(Ordering::Relaxed), expected(16));
+        server.shutdown();
+    }
+
+    #[test]
+    fn poisoned_arena_is_isolated_to_its_tenant() {
+        let server = ProgramServer::start(ServerConfig::with_kernels(2).max_resident(4));
+        // victim: long-running so the poison lands while resident
+        let (p, work, _) = fork_join(4);
+        let mut bodies = BodyTable::new(&p);
+        bodies.set(work, |_| std::thread::sleep(Duration::from_millis(40)));
+        let victim = server
+            .submit(Submission::new(p, bodies), Submit::Block)
+            .unwrap();
+        let victim_id = victim.id();
+        while server.resident() == 0 {
+            std::thread::yield_now();
+        }
+        let (good_sub, total, _) = sum_of_squares(16);
+        let good = server.submit(good_sub, Submit::Block).unwrap();
+        assert!(server.poison(victim_id));
+        match victim.wait() {
+            Err(RuntimeError::Protocol(CoreError::SmPoisoned)) => {}
+            other => panic!("expected SmPoisoned, got ok={}", other.is_ok()),
+        }
+        // the co-resident tenant is bit-correct and saw no poison
+        good.wait().unwrap();
+        assert_eq!(total.load(Ordering::Relaxed), expected(16));
+        assert!(!server.poison(victim_id), "evicted tenant is gone");
+        server.shutdown();
+    }
+
+    #[test]
+    fn deadline_cancels_a_running_tenant() {
+        let server = ProgramServer::start(ServerConfig::with_kernels(1).max_resident(2));
+        let (p, work, _) = fork_join(64);
+        let mut bodies = BodyTable::new(&p);
+        // steady progress, but far too slow for the deadline
+        bodies.set(work, |_| std::thread::sleep(Duration::from_millis(10)));
+        let adm = server
+            .submit(
+                Submission::new(p, bodies).deadline(Duration::from_millis(60)),
+                Submit::Block,
+            )
+            .unwrap();
+        match adm.wait() {
+            Err(RuntimeError::Stalled { report }) => {
+                assert!(!report.in_flight.is_empty() || !report.waiting.is_empty());
+            }
+            other => panic!("expected Stalled, got ok={}", other.is_ok()),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_programs() {
+        let server =
+            ProgramServer::start(ServerConfig::with_kernels(2).max_resident(1).queue_depth(8));
+        let mut waits = Vec::new();
+        for _ in 0..5 {
+            let (sub, total, _) = sum_of_squares(8);
+            waits.push((server.submit(sub, Submit::Block).unwrap(), total));
+        }
+        server.shutdown(); // must drain all five, not abandon them
+        for (adm, total) in waits {
+            adm.wait().unwrap();
+            assert_eq!(total.load(Ordering::Relaxed), expected(8));
+        }
+    }
+
+    #[test]
+    fn weighted_tenants_all_finish() {
+        let server = ProgramServer::start(ServerConfig::with_kernels(2).max_resident(6));
+        let mut waits = Vec::new();
+        for i in 0..6u32 {
+            let (sub, total, _) = sum_of_squares(8);
+            waits.push((
+                server.submit(sub.weight(1 + i % 3), Submit::Block).unwrap(),
+                total,
+            ));
+        }
+        for (adm, total) in waits {
+            let report = adm.wait().unwrap();
+            assert!(report.executed > 0);
+            assert_eq!(total.load(Ordering::Relaxed), expected(8));
+        }
+        server.shutdown();
+    }
+}

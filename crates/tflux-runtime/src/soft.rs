@@ -22,10 +22,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use tflux_core::error::CoreError;
 use tflux_core::ids::{BlockId, Instance, KernelId};
 use tflux_core::policy::SchedulingPolicy;
-use tflux_core::program::DdmProgram;
 use tflux_core::tsu::{
-    FetchResult, FlushPolicy, GraphMemory, ShardStats, SyncMemory, TsuBackend, TsuConfig, TsuStats,
-    WaitingInstance,
+    FetchResult, FlushPolicy, GraphMemory, ProgramHandle, ShardStats, SyncMemory, TsuBackend,
+    TsuConfig, TsuStats, WaitingInstance,
 };
 
 /// The concurrent TSU shared by all TFluxSoft kernels and the emulator.
@@ -35,8 +34,8 @@ use tflux_core::tsu::{
 /// Memory) *before* it is pushed onto a ready queue, so `fetches` and
 /// `completions` pair up exactly and stall forensics can name every
 /// dispatched-but-unfinished instance.
-pub struct SoftTsu<'p> {
-    sm: SyncMemory<'p>,
+pub struct SoftTsu<P: ProgramHandle> {
+    sm: SyncMemory<P>,
     policy: SchedulingPolicy,
     /// Completion-funnel flush policy the kernels should obey.
     flush: FlushPolicy,
@@ -51,13 +50,13 @@ pub struct SoftTsu<'p> {
     protocol: Mutex<Option<CoreError>>,
 }
 
-impl<'p> SoftTsu<'p> {
+impl<P: ProgramHandle> SoftTsu<P> {
     /// A software TSU for `program` serving `kernels` kernels.
     ///
     /// `GlobalFifo` uses one shared queue; `LocalityFirst` a queue per
     /// kernel (with stealing if configured and there is anyone to steal
     /// from).
-    pub fn new(program: &'p DdmProgram, kernels: u32, config: TsuConfig) -> Self {
+    pub fn new(program: P, kernels: u32, config: TsuConfig) -> Self {
         let kernels = kernels.max(1);
         let (nqueues, steal) = match config.policy {
             SchedulingPolicy::GlobalFifo => (1usize, false),
@@ -80,7 +79,7 @@ impl<'p> SoftTsu<'p> {
     }
 
     /// The read-only Graph Memory view.
-    pub fn graph(&self) -> GraphMemory<'p> {
+    pub fn graph(&self) -> GraphMemory<P> {
         self.sm.graph()
     }
 
@@ -272,7 +271,7 @@ impl<'p> SoftTsu<'p> {
     }
 }
 
-impl TsuBackend for &SoftTsu<'_> {
+impl<P: ProgramHandle> TsuBackend for &SoftTsu<P> {
     fn load_block(&mut self, block: BlockId, ready: &mut Vec<Instance>) -> Result<(), CoreError> {
         ready.clear();
         self.sm.load_block(block, ready)?;

@@ -6,7 +6,7 @@ use crate::tub::TubSnapshot;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Duration;
-use tflux_core::ids::{Instance, KernelId};
+use tflux_core::ids::{Instance, KernelId, ProgramId};
 use tflux_core::tsu::{ShardStats, TsuStats, WaitingInstance};
 
 /// Per-kernel counters.
@@ -106,6 +106,30 @@ impl RunReport {
             / n;
         var.sqrt() / mean
     }
+}
+
+/// The result of one program's run through a
+/// [`ProgramServer`](crate::server::ProgramServer): the per-tenant analogue
+/// of [`RunReport`]. Kernel threads are shared between tenants in a server,
+/// so there is no per-kernel breakdown here — the execution counters are
+/// aggregated over whichever kernels happened to serve this tenant.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// The id the server assigned this program at admission.
+    pub id: ProgramId,
+    /// Wall-clock duration from admission to the finishing completion.
+    pub wall: Duration,
+    /// This tenant's TSU counters (its arena is private, so these are
+    /// exact, not shared with co-resident programs).
+    pub tsu: TsuStats,
+    /// Per-shard Synchronization Memory counters of this tenant's arena.
+    pub sm_shards: Vec<ShardStats>,
+    /// DThread instances of this program executed by the kernel pool.
+    pub executed: u64,
+    /// Panicked body attempts re-dispatched under the retry policy.
+    pub retries: u64,
+    /// Instances whose completion was withheld after retry exhaustion.
+    pub poisoned: u64,
 }
 
 /// An instance that was dispatched to a kernel but never completed — the

@@ -66,16 +66,27 @@ pub struct TubSnapshot {
 /// The paper's `try_lock` scheme assumes some segment frees up quickly; an
 /// all-segments-busy livelock would otherwise burn a core on `yield_now`.
 /// After `full_spin_limit` full passes over the segments, the kernel parks
-/// for `park` per further pass instead of bare-yielding, so the livelock
-/// degrades into cheap bounded waiting. The `full_spins` counter keeps
-/// counting passes either way.
+/// instead of bare-yielding, with **bounded exponential backoff**: the
+/// park starts at `park`, doubles per further all-busy pass, and caps at
+/// `max_park`. Each park is shortened by a *deterministic* jitter — a pure
+/// function of `(jitter_seed, pass)` — so colliding kernels with different
+/// seeds desynchronize instead of re-colliding in lockstep, and a given
+/// schedule replays identically. The `full_spins` counter keeps counting
+/// passes either way.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TubBackoff {
     /// Full all-busy passes to spin (with `yield_now`) before parking.
     /// `0` parks from the first all-busy pass.
     pub full_spin_limit: u32,
-    /// How long to park per all-busy pass once the spin limit is reached.
+    /// Park duration of the first parked pass; doubles per further pass.
+    /// `Duration::ZERO` disables parking entirely (pure spinning).
     pub park: Duration,
+    /// Upper bound the exponential growth saturates at.
+    pub max_park: Duration,
+    /// Seed of the deterministic per-pass jitter. Kernels sharing one
+    /// `TubBackoff` share the seed; per-pass mixing still staggers them
+    /// because passes rarely align exactly.
+    pub jitter_seed: u64,
 }
 
 impl Default for TubBackoff {
@@ -83,7 +94,29 @@ impl Default for TubBackoff {
         TubBackoff {
             full_spin_limit: 16,
             park: Duration::from_micros(50),
+            max_park: Duration::from_millis(2),
+            jitter_seed: 0x7546__FB1C_55AB_10E5,
         }
+    }
+}
+
+impl TubBackoff {
+    /// The park duration of the `parked_pass`-th all-busy pass past the
+    /// spin limit (0-based): `park << parked_pass`, saturating at
+    /// `max_park`, minus a deterministic jitter of up to half the grown
+    /// value. Pure — same `(seed, pass)` always yields the same duration.
+    pub fn park_duration(&self, parked_pass: u32) -> Duration {
+        let base = self.park.as_nanos().min(u64::MAX as u128) as u64;
+        if base == 0 {
+            return Duration::ZERO;
+        }
+        let cap = (self.max_park.as_nanos().min(u64::MAX as u128) as u64).max(base);
+        // clamp the shift to keep `1 << shift` legal; saturating_mul
+        // absorbs any multiplication overflow before the cap applies
+        let shift = parked_pass.min(63);
+        let grown = base.saturating_mul(1u64 << shift).min(cap);
+        let jitter = crate::faults::mix(self.jitter_seed ^ parked_pass as u64) % (grown / 2 + 1);
+        Duration::from_nanos(grown - jitter)
     }
 }
 
@@ -159,12 +192,19 @@ impl Tub {
             offset += 1;
             if offset.is_multiple_of(n) {
                 // every segment busy: yield while under the spin limit,
-                // then degrade to a short park per pass (bounded livelock)
+                // then degrade to exponentially growing, jittered parks
+                // (bounded livelock, desynchronized retries)
                 self.stats.full_spins.fetch_add(1, Ordering::Relaxed);
                 all_busy_passes += 1;
                 if all_busy_passes > self.backoff.full_spin_limit {
                     self.stats.parks.fetch_add(1, Ordering::Relaxed);
-                    std::thread::park_timeout(self.backoff.park);
+                    let parked_pass = all_busy_passes - self.backoff.full_spin_limit - 1;
+                    let park = self.backoff.park_duration(parked_pass);
+                    if park > Duration::ZERO {
+                        std::thread::park_timeout(park);
+                    } else {
+                        std::thread::yield_now();
+                    }
                 } else {
                     std::thread::yield_now();
                 }
@@ -315,6 +355,7 @@ mod tests {
             TubBackoff {
                 full_spin_limit: 0,
                 park: std::time::Duration::from_micros(20),
+                ..TubBackoff::default()
             },
         ));
         std::thread::scope(|s| {
@@ -350,6 +391,57 @@ mod tests {
         let mut out = Vec::new();
         assert_eq!(tub.drain_into(&mut out), 1);
         assert_eq!(tub.stats().snapshot().dropped_bells, 1);
+    }
+
+    #[test]
+    fn backoff_schedule_grows_doubles_and_caps() {
+        let b = TubBackoff {
+            full_spin_limit: 4,
+            park: Duration::from_micros(10),
+            max_park: Duration::from_micros(640),
+            jitter_seed: 42,
+        };
+        // deterministic: the same pass always parks the same duration
+        for pass in 0..32 {
+            assert_eq!(b.park_duration(pass), b.park_duration(pass));
+        }
+        for pass in 0..32u32 {
+            let d = b.park_duration(pass);
+            // the un-jittered envelope is park << pass, capped at max_park;
+            // jitter removes at most half, so d is in (envelope/2, envelope]
+            let envelope = Duration::from_micros(10)
+                .saturating_mul(1 << pass.min(6))
+                .min(Duration::from_micros(640));
+            assert!(d <= envelope, "pass {pass}: {d:?} > {envelope:?}");
+            assert!(
+                d >= envelope / 2,
+                "pass {pass}: {d:?} < half of {envelope:?}"
+            );
+            assert!(d <= b.max_park);
+        }
+        // the envelope really grows before the cap: pass 3's floor exceeds
+        // pass 0's ceiling
+        assert!(b.park_duration(3) > b.park_duration(0));
+        // different seeds jitter differently somewhere in the schedule
+        let other = TubBackoff {
+            jitter_seed: 43,
+            ..b
+        };
+        assert!(
+            (0..32).any(|p| b.park_duration(p) != other.park_duration(p)),
+            "seeds 42 and 43 produced identical schedules"
+        );
+    }
+
+    #[test]
+    fn zero_park_disables_parking() {
+        let b = TubBackoff {
+            park: Duration::ZERO,
+            ..TubBackoff::default()
+        };
+        for pass in 0..8 {
+            assert_eq!(b.park_duration(pass), Duration::ZERO);
+        }
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //!
 //! Both the programs and the fault plans derive from a per-run seed, so a
 //! CI failure reproduces locally from the seed printed in the assertion.
+//! The matrix width honours the `CHAOS_SEEDS` environment variable
+//! (default 200), so CI can widen the sweep without a recompile.
+
+mod common;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -69,12 +73,12 @@ fn build_program(rng: &mut Rng) -> (DdmProgram, Vec<(ThreadId, u32)>) {
 
 #[test]
 fn chaos_matrix_never_hangs_and_never_lies() {
-    const RUNS: u64 = 200;
     const WATCHDOG: Duration = Duration::from_secs(5);
+    let runs = common::chaos_seeds();
     let mut ok_runs = 0u64;
     let mut panicked_runs = 0u64;
 
-    for seed in 0..RUNS {
+    for seed in 0..runs {
         let mut rng = Rng(mix(seed));
         let (program, app) = build_program(&mut rng);
 
@@ -170,9 +174,10 @@ fn chaos_matrix_never_hangs_and_never_lies() {
     }
 
     // the matrix must exercise both outcomes, not collapse into one
-    assert!(ok_runs > 50, "only {ok_runs}/{RUNS} runs succeeded");
+    // (a tiny CHAOS_SEEDS sweep may legitimately see no panics)
+    assert!(ok_runs > runs / 4, "only {ok_runs}/{runs} runs succeeded");
     assert!(
-        panicked_runs > 0,
+        runs < 20 || panicked_runs > 0,
         "no run panicked despite injected panic rates"
     );
 }

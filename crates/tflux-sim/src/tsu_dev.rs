@@ -56,7 +56,7 @@ pub enum DevFetch {
 /// that crosses shards pays `cross_cost` extra cycles (the TSU-to-TSU
 /// message that the single-group design handles internally).
 pub struct TsuDevice<'p> {
-    tsu: CoreTsu<'p>,
+    tsu: CoreTsu<&'p tflux_core::program::DdmProgram>,
     costs: TsuCosts,
     busy_until: Vec<u64>,
     /// `shard_of[core]`.
@@ -75,14 +75,18 @@ pub struct TsuDevice<'p> {
 impl<'p> TsuDevice<'p> {
     /// Wrap a TSU state machine with a cost model for `cores` cores (one
     /// TSU Group).
-    pub fn new(tsu: CoreTsu<'p>, costs: TsuCosts, cores: u32) -> Self {
+    pub fn new(
+        tsu: CoreTsu<&'p tflux_core::program::DdmProgram>,
+        costs: TsuCosts,
+        cores: u32,
+    ) -> Self {
         Self::sharded(tsu, costs, cores, 1, 0)
     }
 
     /// A sharded TSU: `groups` independent units, cross-shard updates
     /// costing `cross_cost` extra cycles.
     pub fn sharded(
-        tsu: CoreTsu<'p>,
+        tsu: CoreTsu<&'p tflux_core::program::DdmProgram>,
         costs: TsuCosts,
         cores: u32,
         groups: u32,
@@ -109,7 +113,7 @@ impl<'p> TsuDevice<'p> {
     }
 
     /// The wrapped state machine.
-    pub fn tsu(&self) -> &CoreTsu<'p> {
+    pub fn tsu(&self) -> &CoreTsu<&'p tflux_core::program::DdmProgram> {
         &self.tsu
     }
 
