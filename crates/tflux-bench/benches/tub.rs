@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use tflux_core::ids::{Context, Instance, ThreadId};
+use tflux_core::ids::{Context, Epoch, Instance, ThreadId};
 use tflux_runtime::tub::Tub;
 
 const PUSHES_PER_THREAD: u32 = 2_000;
@@ -33,7 +33,7 @@ fn contended_run(segments: usize) -> u64 {
             let tub = &tub;
             s.spawn(move || {
                 for c in 0..PUSHES_PER_THREAD {
-                    tub.push(Instance::new(ThreadId(t), Context(c)));
+                    tub.push(Instance::new(ThreadId(t), Context(c)), Epoch(0));
                 }
             });
         }

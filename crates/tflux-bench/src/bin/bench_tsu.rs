@@ -16,8 +16,10 @@
 //! slower than the locked baseline — the regression gate the CI bench
 //! smoke job runs.
 
-use serde::Serialize;
-use tflux_bench::tsu_path::{armed, complete_interleaved, locked, measure, pipeline, reduction};
+use tflux_bench::json::{Json, ToJson};
+use tflux_bench::tsu_path::{
+    armed, complete_interleaved, locked, measure, measure_stream, pipeline, reduction,
+};
 
 const ARITY: u32 = 4096;
 const KERNELS: [u32; 4] = [1, 2, 4, 8];
@@ -25,8 +27,9 @@ const WARMUP: usize = 2;
 const RUNS: usize = 7;
 /// Completions per funnel flush in the reduction scenario.
 const FUNNEL_BATCH: usize = 8;
+/// Consecutive passes per context in the streaming scenario.
+const STREAM_EPOCHS: u64 = 8;
 
-#[derive(Serialize)]
 struct Row {
     path: &'static str,
     kernels: u32,
@@ -35,17 +38,40 @@ struct Row {
     completions_per_sec: f64,
 }
 
-#[derive(Serialize)]
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("path", self.path.to_json()),
+            ("kernels", self.kernels.to_json()),
+            ("ns_total", self.ns_total.to_json()),
+            ("ns_per_completion", self.ns_per_completion.to_json()),
+            ("completions_per_sec", self.completions_per_sec.to_json()),
+        ])
+    }
+}
+
 struct Speedup {
     kernels: u32,
     lockfree_over_serialized: f64,
     lockfree_over_locked: f64,
 }
 
+impl ToJson for Speedup {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("kernels", self.kernels.to_json()),
+            (
+                "lockfree_over_serialized",
+                self.lockfree_over_serialized.to_json(),
+            ),
+            ("lockfree_over_locked", self.lockfree_over_locked.to_json()),
+        ])
+    }
+}
+
 /// One funnel-on vs funnel-off comparison on the reduction scenario.
 /// The counters are deterministic (the driver interleaves round-robin);
 /// only the wall-clock fields vary between hosts.
-#[derive(Serialize)]
 struct FunnelRow {
     kernels: u32,
     batch: usize,
@@ -58,7 +84,51 @@ struct FunnelRow {
     rc_rmws_on: u64,
 }
 
-#[derive(Serialize)]
+impl ToJson for FunnelRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("kernels", self.kernels.to_json()),
+            ("batch", self.batch.to_json()),
+            ("ns_funnel_off", self.ns_funnel_off.to_json()),
+            ("ns_funnel_on", self.ns_funnel_on.to_json()),
+            ("contended_off", self.contended_off.to_json()),
+            ("contended_on", self.contended_on.to_json()),
+            ("contended_ratio", self.contended_ratio.to_json()),
+            ("rc_rmws_off", self.rc_rmws_off.to_json()),
+            ("rc_rmws_on", self.rc_rmws_on.to_json()),
+        ])
+    }
+}
+
+/// One sustained-throughput streaming measurement: `epochs` consecutive
+/// passes through one windowed SyncMemory, context slots re-armed in
+/// place at every wrap. The wrap columns price the epoch turnaround
+/// (`retire_epoch` + `open_epoch`) against the steady-state completion
+/// work it buys.
+struct StreamRow {
+    kernels: u32,
+    epochs: u64,
+    ns_total: u64,
+    completions: u64,
+    completions_per_sec: f64,
+    wrap_ns_per_epoch: f64,
+    wrap_fraction: f64,
+}
+
+impl ToJson for StreamRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("kernels", self.kernels.to_json()),
+            ("epochs", self.epochs.to_json()),
+            ("ns_total", self.ns_total.to_json()),
+            ("completions", self.completions.to_json()),
+            ("completions_per_sec", self.completions_per_sec.to_json()),
+            ("wrap_ns_per_epoch", self.wrap_ns_per_epoch.to_json()),
+            ("wrap_fraction", self.wrap_fraction.to_json()),
+        ])
+    }
+}
+
 struct Report {
     bench: &'static str,
     regenerate: &'static str,
@@ -67,6 +137,22 @@ struct Report {
     rows: Vec<Row>,
     speedups: Vec<Speedup>,
     funnel: Vec<FunnelRow>,
+    streaming: Vec<StreamRow>,
+}
+
+impl ToJson for Report {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("bench", self.bench.to_json()),
+            ("regenerate", self.regenerate.to_json()),
+            ("host_threads", self.host_threads.to_json()),
+            ("arity", self.arity.to_json()),
+            ("rows", self.rows.to_json()),
+            ("speedups", self.speedups.to_json()),
+            ("funnel", self.funnel.to_json()),
+            ("streaming", self.streaming.to_json()),
+        ])
+    }
 }
 
 /// Best-of-`RUNS` after warmup: the completion path is short enough that
@@ -136,6 +222,30 @@ fn funnel_row(kernels: u32) -> FunnelRow {
     }
 }
 
+/// Best-of-`RUNS` sustained streaming measurement. Correctness (exact
+/// completion counts, epoch-ordered dispatch) is asserted inside
+/// `measure_stream` on every run, warmup included.
+fn stream_row(kernels: u32) -> StreamRow {
+    let program = pipeline(ARITY);
+    let mut best: Option<tflux_bench::tsu_path::StreamMeasure> = None;
+    for i in 0..WARMUP + RUNS {
+        let m = measure_stream(&program, kernels, STREAM_EPOCHS);
+        if i >= WARMUP && best.map_or(true, |b| m.ns_total < b.ns_total) {
+            best = Some(m);
+        }
+    }
+    let m = best.unwrap();
+    StreamRow {
+        kernels,
+        epochs: m.epochs,
+        ns_total: m.ns_total,
+        completions: m.completions,
+        completions_per_sec: m.completions_per_sec(),
+        wrap_ns_per_epoch: m.wrap_ns_per_epoch(),
+        wrap_fraction: m.wrap_fraction(),
+    }
+}
+
 /// The CI smoke: fail if the lock-free table is slower than the locked
 /// baseline at the widest kernel count, or if the completion funnel cuts
 /// sink-line transfers by less than 1.5x on the reduction scenario.
@@ -163,7 +273,28 @@ fn check() -> ! {
         eprintln!("FAIL: completion funnel cuts line transfers by less than 1.5x");
         std::process::exit(1);
     }
-    println!("OK: lock-free path and completion funnel hold their ratios");
+    // streaming gate: the windowed SyncMemory must sustain at least 3
+    // consecutive epochs per context slot with exact completion counts
+    // (measure_stream asserts the counts and the per-dispatch epoch
+    // internally) and without the wraps dominating the stream
+    let s = measure_stream(&pipeline(ARITY), k, 3);
+    println!(
+        "bench_tsu --check streaming at {k} kernels: {} epochs, {:.0} completions/s, \
+         wrap {:.0} ns/epoch ({:.2}% of wall clock)",
+        s.epochs,
+        s.completions_per_sec(),
+        s.wrap_ns_per_epoch(),
+        100.0 * s.wrap_fraction()
+    );
+    if s.epochs < 3 {
+        eprintln!("FAIL: streaming did not sustain 3 consecutive epochs");
+        std::process::exit(1);
+    }
+    if s.wrap_fraction() > 0.5 {
+        eprintln!("FAIL: epoch wraparound dominates the stream");
+        std::process::exit(1);
+    }
+    println!("OK: lock-free path, completion funnel, and epoch streaming hold");
     std::process::exit(0);
 }
 
@@ -194,6 +325,7 @@ fn main() {
         .filter(|&&k| k > 1)
         .map(|&k| funnel_row(k))
         .collect();
+    let streaming = KERNELS.iter().map(|&k| stream_row(k)).collect();
     let report = Report {
         bench: "tsu_completion_path",
         regenerate: "cargo run --release -p tflux-bench --bin bench_tsu",
@@ -204,10 +336,11 @@ fn main() {
         rows,
         speedups,
         funnel,
+        streaming,
     };
-    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    let json = report.to_json().pretty();
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tsu.json");
-    std::fs::write(path, json + "\n").expect("write BENCH_tsu.json");
+    std::fs::write(path, json).expect("write BENCH_tsu.json");
     println!("wrote {path}");
     for s in std::fs::read_to_string(path).unwrap().lines() {
         println!("{s}");

@@ -32,10 +32,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&rows).expect("rows serialize")
-        );
+        print!("{}", tflux_bench::json::ToJson::to_json(&rows).pretty());
         return ExitCode::SUCCESS;
     }
 

@@ -1,6 +1,6 @@
 //! Regeneration of every table and figure of the paper's evaluation.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{Json, ToJson};
 use tflux_cell::{CellConfig, CellMachine};
 use tflux_sim::{Machine, MachineConfig, TsuCosts};
 use tflux_workloads::common::Params;
@@ -9,7 +9,7 @@ use tflux_workloads::sizes::{Platform, SizeClass};
 use tflux_workloads::Bench;
 
 /// One data point of a speedup figure.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FigRow {
     /// Benchmark name as the paper prints it.
     pub bench: &'static str,
@@ -23,6 +23,19 @@ pub struct FigRow {
     pub coherency_ratio: f64,
     /// Average core utilization.
     pub utilization: f64,
+}
+
+impl ToJson for FigRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("bench", self.bench.to_json()),
+            ("size", self.size.to_json()),
+            ("kernels", self.kernels.to_json()),
+            ("speedup", self.speedup.to_json()),
+            ("coherency_ratio", self.coherency_ratio.to_json()),
+            ("utilization", self.utilization.to_json()),
+        ])
+    }
 }
 
 fn hard_machine(kernels: u32) -> Machine {

@@ -1,0 +1,228 @@
+//! A minimal JSON value and pretty-printer for the bench report files.
+//!
+//! The bench harness writes small machine-readable reports
+//! (`BENCH_tsu.json`, `figures --json`). Those are flat rows of numbers
+//! and labels, so a hand-rolled writer keeps the harness free of a
+//! serialization dependency and lets it build in offline containers.
+
+use std::fmt::{self, Write as _};
+
+/// A JSON value. Objects preserve insertion order, matching the struct
+/// field order the reports are built in.
+#[derive(Clone, Debug)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float. Non-finite values print as `null`.
+    F64(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with ordered keys.
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().collect())
+    }
+
+    /// Build an array by converting each element.
+    pub fn arr<T: ToJson>(items: impl IntoIterator<Item = T>) -> Json {
+        Json::Arr(items.into_iter().map(|t| t.to_json()).collect())
+    }
+
+    /// Pretty-print with two-space indentation and a trailing newline,
+    /// the layout the repo's `BENCH_*.json` files use.
+    pub fn pretty(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, 0).expect("fmt to String cannot fail");
+        s.push('\n');
+        s
+    }
+
+    fn write(&self, out: &mut String, depth: usize) -> fmt::Result {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => write!(out, "{b}")?,
+            Json::U64(n) => write!(out, "{n}")?,
+            Json::I64(n) => write!(out, "{n}")?,
+            Json::F64(x) if x.is_finite() => {
+                // `{}` on f64 is the shortest round-trippable decimal;
+                // force a `.0` on integral values so the field reads as
+                // a float in the report
+                if *x == x.trunc() && x.abs() < 1e15 {
+                    write!(out, "{x:.1}")?;
+                } else {
+                    write!(out, "{x}")?;
+                }
+            }
+            Json::F64(_) => out.push_str("null"),
+            Json::Str(s) => write_escaped(out, s)?,
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                } else {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push('\n');
+                        indent(out, depth + 1);
+                        item.write(out, depth + 1)?;
+                    }
+                    out.push('\n');
+                    indent(out, depth);
+                    out.push(']');
+                }
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                } else {
+                    out.push('{');
+                    for (i, (k, v)) in pairs.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push('\n');
+                        indent(out, depth + 1);
+                        write_escaped(out, k)?;
+                        out.push_str(": ");
+                        v.write(out, depth + 1)?;
+                    }
+                    out.push('\n');
+                    indent(out, depth);
+                    out.push('}');
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) -> fmt::Result {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    Ok(())
+}
+
+/// Conversion into a [`Json`] value; implemented by every report row type.
+pub trait ToJson {
+    /// Convert `self` to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for u32 {
+    fn to_json(&self) -> Json {
+        Json::U64(u64::from(*self))
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::U64(*self)
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::U64(*self as u64)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (*self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_nested_report_shape() {
+        let j = Json::obj([
+            ("bench", Json::Str("demo".into())),
+            ("threads", Json::U64(8)),
+            ("ratio", Json::F64(2.0)),
+            (
+                "rows",
+                Json::Arr(vec![Json::obj([
+                    ("path", Json::Str("a".into())),
+                    ("ns", Json::U64(12)),
+                ])]),
+            ),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let s = j.pretty();
+        assert!(s.starts_with("{\n  \"bench\": \"demo\""), "{s}");
+        assert!(s.contains("\"ratio\": 2.0"), "{s}");
+        assert!(s.contains("\"empty\": []"), "{s}");
+        assert!(s.ends_with("}\n"), "{s}");
+    }
+
+    #[test]
+    fn floats_round_trip_and_escape_strings() {
+        assert_eq!(Json::F64(0.123456789).pretty(), "0.123456789\n");
+        assert_eq!(Json::F64(f64::NAN).pretty(), "null\n");
+        assert_eq!(Json::Str("a\"b\\c\n".into()).pretty(), "\"a\\\"b\\\\c\\n\"\n");
+    }
+}

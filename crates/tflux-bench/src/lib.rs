@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod json;
 pub mod render;
 pub mod tsu_path;
 

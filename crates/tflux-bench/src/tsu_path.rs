@@ -15,6 +15,7 @@
 //! below it (`bench_tsu --check`).
 
 use std::time::Instant;
+use tflux_core::ids::Epoch;
 use tflux_core::prelude::*;
 use tflux_core::tsu::SyncMemory;
 
@@ -39,13 +40,14 @@ pub fn pipeline(arity: u32) -> DdmProgram {
 
 /// A Synchronization Memory with the block loaded and every first-stage
 /// instance dispatched; returns the instances whose completions are the
-/// measured work.
+/// measured work. The measured pass is epoch 0, so completers hand back
+/// `Epoch(0)` tokens.
 pub fn armed(program: &DdmProgram, kernels: u32) -> (SyncMemory<&DdmProgram>, Vec<Instance>) {
     let sm = SyncMemory::new(program, kernels, 0);
     let mut ready = Vec::new();
     let inlet = sm.armed_inlet();
-    sm.dispatch(inlet).expect("inlet dispatch");
-    sm.complete(inlet, &mut ready).expect("inlet completion");
+    let ep = sm.dispatch(inlet).expect("inlet dispatch");
+    sm.complete(inlet, ep, &mut ready).expect("inlet completion");
     // the block is loaded; `ready` holds the zero-ready-count first stage
     let work = ready.clone();
     for &i in &work {
@@ -54,12 +56,15 @@ pub fn armed(program: &DdmProgram, kernels: u32) -> (SyncMemory<&DdmProgram>, Ve
     (sm, work)
 }
 
+/// The epoch token of the one-shot measured pass.
+const E0: Epoch = Epoch(0);
+
 /// Complete every instance from one thread — the pre-split model where a
 /// single TSU owner performs all ready-count updates.
 pub fn complete_serialized(sm: &SyncMemory<&DdmProgram>, work: &[Instance]) {
     let mut out = Vec::new();
     for &i in work {
-        sm.complete(i, &mut out).expect("serialized completion");
+        sm.complete(i, E0, &mut out).expect("serialized completion");
     }
 }
 
@@ -78,7 +83,7 @@ pub fn complete_sharded(sm: &SyncMemory<&DdmProgram>, work: &[Instance], kernels
             s.spawn(move || {
                 let mut out = Vec::new();
                 for i in mine {
-                    sm.complete(i, &mut out).expect("sharded completion");
+                    sm.complete(i, E0, &mut out).expect("sharded completion");
                 }
             });
         }
@@ -150,10 +155,10 @@ pub fn complete_interleaved(
             }
             let hi = (c + batch).min(by_k[k].len());
             if batch == 1 {
-                sm.complete(by_k[k][c], &mut out)
+                sm.complete(by_k[k][c], E0, &mut out)
                     .expect("direct completion");
             } else {
-                sm.complete_batch(&by_k[k][c..hi], &mut out)
+                sm.complete_batch(&by_k[k][c..hi], E0, &mut out)
                     .expect("batched completion");
             }
             cursor[k] = hi;
@@ -161,6 +166,89 @@ pub fn complete_interleaved(
         }
     }
     t.elapsed().as_nanos() as u64
+}
+
+/// The outcome of a sustained streaming run: `epochs` consecutive passes
+/// of the same program through one windowed [`SyncMemory`], each pass
+/// re-using the context slots the previous pass just vacated.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamMeasure {
+    /// Wall-clock nanoseconds for the whole stream, wraps included.
+    pub ns_total: u64,
+    /// Completions processed across all passes (incl. inlets/outlets).
+    pub completions: u64,
+    /// Passes driven to the outlet.
+    pub epochs: u64,
+    /// Nanoseconds spent inside the epoch wraps themselves — the
+    /// `retire_epoch` + `open_epoch` pair that hands the drained pass's
+    /// credit back and re-arms every context slot for the next pass.
+    pub wrap_ns: u64,
+}
+
+impl StreamMeasure {
+    /// Steady-state completion throughput over the whole stream.
+    pub fn completions_per_sec(&self) -> f64 {
+        self.completions as f64 / (self.ns_total.max(1) as f64 / 1e9)
+    }
+
+    /// Average nanoseconds per epoch wrap (0 for a single pass).
+    pub fn wrap_ns_per_epoch(&self) -> f64 {
+        if self.epochs <= 1 {
+            0.0
+        } else {
+            self.wrap_ns as f64 / (self.epochs - 1) as f64
+        }
+    }
+
+    /// Fraction of the stream's wall clock spent wrapping epochs.
+    pub fn wrap_fraction(&self) -> f64 {
+        self.wrap_ns as f64 / self.ns_total.max(1) as f64
+    }
+}
+
+/// Drive `epochs` consecutive passes of `program` through one windowed
+/// `SyncMemory` and measure steady-state throughput plus the wraparound
+/// overhead. Each pass is drained by a dependency-order worklist (no
+/// queue or body noise, same as the one-shot scenarios); between passes
+/// the drained epoch is retired and the next one opened, which re-arms
+/// every context slot in place. Panics on any protocol error — a stale
+/// token or a corrupted ready count cannot pass silently.
+pub fn measure_stream(program: &DdmProgram, kernels: u32, epochs: u64) -> StreamMeasure {
+    let sm = SyncMemory::with_window(program, kernels, 0, 2);
+    let per_pass = program.total_instances() as u64;
+    let mut frontier = vec![sm.armed_inlet()];
+    let mut out = Vec::new();
+    let mut wrap_ns = 0u64;
+    let t = Instant::now();
+    for e in 0..epochs {
+        while let Some(i) = frontier.pop() {
+            let ep = sm.dispatch(i).expect("stream dispatch");
+            assert_eq!(ep.0, e, "instance dispatched under the wrong epoch");
+            sm.complete(i, ep, &mut out).expect("stream completion");
+            frontier.append(&mut out);
+        }
+        assert!(sm.finished(), "pass did not drain");
+        if e + 1 < epochs {
+            let w = Instant::now();
+            sm.retire_epoch(Epoch(e)).expect("retire drained epoch");
+            sm.open_epoch(&mut frontier).expect("open next epoch");
+            wrap_ns += w.elapsed().as_nanos() as u64;
+        }
+    }
+    let ns_total = t.elapsed().as_nanos() as u64;
+    sm.retire_epoch(Epoch(epochs - 1)).expect("retire final epoch");
+    let measured = StreamMeasure {
+        ns_total,
+        completions: sm.completions(),
+        epochs,
+        wrap_ns,
+    };
+    assert_eq!(
+        measured.completions,
+        epochs * per_pass,
+        "cross-epoch ready-count corruption: completions diverged"
+    );
+    measured
 }
 
 /// The PR 2 locked-shard Synchronization Memory interior, preserved as a
@@ -382,6 +470,17 @@ mod tests {
             off.sm_contended,
             on.sm_contended
         );
+    }
+
+    #[test]
+    fn stream_sustains_consecutive_epochs() {
+        let p = pipeline(64);
+        let m = measure_stream(&p, 4, 4);
+        assert_eq!(m.epochs, 4);
+        assert_eq!(m.completions, 4 * p.total_instances() as u64);
+        assert!(m.completions_per_sec() > 0.0);
+        assert!(m.wrap_ns_per_epoch() >= 0.0);
+        assert!(m.wrap_fraction() < 1.0);
     }
 
     #[test]

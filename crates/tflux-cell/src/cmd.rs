@@ -9,7 +9,7 @@
 //! back-pressure limit the machine model enforces.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use tflux_core::ids::{Context, Instance, ThreadId};
+use tflux_core::ids::{Context, Epoch, Instance, ThreadId};
 
 /// Size of one CommandBuffer in bytes (fixed by the paper).
 pub const COMMAND_BUFFER_BYTES: usize = 128;
@@ -21,8 +21,13 @@ pub const COMMAND_CAPACITY: usize = COMMAND_BUFFER_BYTES / COMMAND_BYTES;
 /// A command a kernel sends to its TSU.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Command {
-    /// The given instance finished executing.
-    Complete(Instance),
+    /// The given instance of the given epoch finished executing. The
+    /// epoch token travels on the wire so the TSU Emulator can reject a
+    /// command that arrives after its context slot re-armed for the next
+    /// pass: the record's fourth word carries the low 32 bits of the
+    /// epoch, which covers the full 30-bit tag space the SyncMemory
+    /// state word validates against.
+    Complete(Instance, Epoch),
     /// The kernel is idle and asks for work (used at startup).
     RequestWork,
     /// The kernel is shutting down (last block's outlet seen).
@@ -34,11 +39,11 @@ impl Command {
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(COMMAND_BYTES);
         match self {
-            Command::Complete(i) => {
+            Command::Complete(i, ep) => {
                 b.put_u32(1);
                 b.put_u32(i.thread.0);
                 b.put_u32(i.context.0);
-                b.put_u32(0); // pad
+                b.put_u32(ep.0 as u32);
             }
             Command::RequestWork => {
                 b.put_u32(2);
@@ -63,7 +68,11 @@ impl Command {
             1 => {
                 let t = bytes.get_u32();
                 let c = bytes.get_u32();
-                Some(Command::Complete(Instance::new(ThreadId(t), Context(c))))
+                let ep = bytes.get_u32();
+                Some(Command::Complete(
+                    Instance::new(ThreadId(t), Context(c)),
+                    Epoch(ep as u64),
+                ))
             }
             2 => Some(Command::RequestWork),
             3 => Some(Command::Shutdown),
@@ -134,7 +143,8 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip() {
         let cmds = [
-            Command::Complete(Instance::new(ThreadId(7), Context(123))),
+            Command::Complete(Instance::new(ThreadId(7), Context(123)), Epoch(0)),
+            Command::Complete(Instance::new(ThreadId(2), Context(9)), Epoch(41)),
             Command::RequestWork,
             Command::Shutdown,
         ];
@@ -153,8 +163,11 @@ mod tests {
     fn buffer_capacity_is_eight() {
         let mut b = CommandBuffer::new();
         for i in 0..8 {
-            b.push(Command::Complete(Instance::new(ThreadId(i), Context(0))))
-                .unwrap();
+            b.push(Command::Complete(
+                Instance::new(ThreadId(i), Context(0)),
+                Epoch(0),
+            ))
+            .unwrap();
         }
         assert!(b.is_full());
         assert!(b.push(Command::RequestWork).is_err());

@@ -18,7 +18,7 @@
 use crate::config::CellConfig;
 use crate::report::CellReport;
 use crate::work::{CellWork, CellWorkSource};
-use tflux_core::ids::{Instance, KernelId};
+use tflux_core::ids::{Epoch, Instance, KernelId};
 use tflux_core::program::DdmProgram;
 use tflux_core::thread::ThreadKind;
 use tflux_core::tsu::{drain_sequential, CompletionFunnel, CoreTsu, FetchResult, TsuConfig};
@@ -61,18 +61,21 @@ impl std::error::Error for CellError {}
 #[derive(Clone, Copy, Debug)]
 pub struct CellMachine {
     cfg: CellConfig,
+    epochs: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
 enum Ev {
-    /// A mailbox message delivering an instance to an SPE.
-    Mail(u32, Instance),
+    /// A mailbox message delivering an instance of an epoch to an SPE.
+    Mail(u32, Instance, Epoch),
     /// The SPE's import DMA finished; compute starts.
     Imported(u32),
     /// Compute finished; the export DMA starts.
     Export(u32),
-    /// An SPE finished executing and its command reaches the PPE.
-    Cmd(u32, Instance),
+    /// An SPE finished executing and its command reaches the PPE. The
+    /// epoch token rides the CommandBuffer record (see [`crate::cmd`])
+    /// so a command that outlives its pass is rejected, not absorbed.
+    Cmd(u32, Instance, Epoch),
     /// A shutdown mail: the SPE exits.
     Bye(u32),
 }
@@ -81,8 +84,9 @@ struct Spe {
     waiting_since: Option<u64>,
     /// A mailbox message is in flight; do not dispatch again.
     dispatched: bool,
-    /// The instance and work currently executing on this SPE.
-    cur: Option<(Instance, CellWork)>,
+    /// The instance, its epoch token, and the work currently executing
+    /// on this SPE.
+    cur: Option<(Instance, Epoch, CellWork)>,
     /// Compute cycles of the previously executed instance (double-buffer
     /// overlap budget).
     prev_compute: u64,
@@ -96,7 +100,19 @@ struct Spe {
 impl CellMachine {
     /// A machine with the given configuration.
     pub fn new(cfg: CellConfig) -> Self {
-        CellMachine { cfg }
+        CellMachine { cfg, epochs: 1 }
+    }
+
+    /// Stream the program for `epochs` consecutive passes: every epoch
+    /// after the first is credited up front (there is no supervisor on
+    /// the PPE to bank credits mid-run), so the TSU re-arms the inlet the
+    /// moment a pass drains and the SPEs never go idle between passes.
+    /// The credit window in [`TsuConfig::window`] must admit `epochs`
+    /// simultaneous credits (0 = unwindowed); a tighter window is a
+    /// configuration error surfaced as [`CellError::Protocol`].
+    pub fn with_epochs(mut self, epochs: u64) -> Self {
+        self.epochs = epochs.max(1);
+        self
     }
 
     /// The configuration in use.
@@ -149,20 +165,28 @@ impl CellMachine {
         let mut peak_ls = 0u64;
         let mut ready_buf: Vec<Instance> = Vec::new();
 
+        // Credit every streamed pass beyond the first before the event
+        // loop starts; the re-armed inlet then rides the final outlet of
+        // each pass and the machine flows continuously.
+        for _ in 1..self.epochs {
+            tsu.open_epoch_queued(&mut ready_buf)
+                .map_err(CellError::Protocol)?;
+        }
+
         // Arm: the first block's inlet, queued inside the TSU, goes out
         // over the mailbox of the first SPE whose fetch reaches it.
         for k in 0..spes {
-            if let FetchResult::Thread(inst) =
+            if let FetchResult::Thread(inst, ep) =
                 tsu.fetch_ready(KernelId(k)).map_err(CellError::Protocol)?
             {
-                events.push(self.cfg.mailbox_lat, Ev::Mail(k, inst));
+                events.push(self.cfg.mailbox_lat, Ev::Mail(k, inst, ep));
                 spelist[k as usize].dispatched = true;
             }
         }
 
         while let Some((t, ev)) = events.pop() {
             match ev {
-                Ev::Mail(spe, inst) => {
+                Ev::Mail(spe, inst, epoch) => {
                     let s = &mut spelist[spe as usize];
                     s.dispatched = false;
                     if let Some(since) = s.waiting_since.take() {
@@ -180,7 +204,7 @@ impl CellMachine {
                     };
                     self.check_ls(inst, &footprint)?;
                     peak_ls = peak_ls.max(footprint.ls_bytes);
-                    s.cur = Some((inst, w));
+                    s.cur = Some((inst, epoch, w));
                     // import DMA (bus arbitration at the current time)
                     if w.import_bytes > 0 {
                         let cost = self.cfg.dma_cycles(w.import_bytes);
@@ -203,7 +227,7 @@ impl CellMachine {
                 }
                 Ev::Imported(spe) => {
                     let s = &mut spelist[spe as usize];
-                    let (_, w) = s.cur.expect("Imported without current work");
+                    let (_, _, w) = s.cur.expect("Imported without current work");
                     let c = self.cfg.scale_compute(w.compute);
                     s.busy += c;
                     s.prev_compute = c;
@@ -211,7 +235,7 @@ impl CellMachine {
                 }
                 Ev::Export(spe) => {
                     let s = &mut spelist[spe as usize];
-                    let (inst, w) = s.cur.take().expect("Export without current work");
+                    let (inst, epoch, w) = s.cur.take().expect("Export without current work");
                     let mut now = t;
                     if w.export_bytes > 0 {
                         let cost = self.cfg.dma_cycles(w.export_bytes);
@@ -221,9 +245,9 @@ impl CellMachine {
                         now = start + cost;
                     }
                     instances += 1;
-                    events.push(now + self.cfg.cmd_lat, Ev::Cmd(spe, inst));
+                    events.push(now + self.cfg.cmd_lat, Ev::Cmd(spe, inst, epoch));
                 }
-                Ev::Cmd(spe, inst) => {
+                Ev::Cmd(spe, inst, epoch) => {
                     // PPE picks the command out of the CommandBuffer: the
                     // scan is always charged; the post-processing op is
                     // charged per batch when the funnel defers it
@@ -231,7 +255,7 @@ impl CellMachine {
                     let mut cost = self.cfg.poll_scan;
                     commands += 1;
                     if funnel.batching() && program.thread(inst.thread).kind == ThreadKind::App {
-                        if funnel.push(inst) {
+                        if funnel.push(inst, epoch) {
                             cost += self.cfg.ppe_op;
                             funnel
                                 .flush(&mut tsu, &mut ready_buf)
@@ -247,7 +271,7 @@ impl CellMachine {
                                 .map_err(CellError::Protocol)?;
                         }
                         cost += self.cfg.ppe_op;
-                        tsu.complete_queued(inst, &mut ready_buf)
+                        tsu.complete_queued(inst, epoch, &mut ready_buf)
                             .map_err(CellError::Protocol)?;
                     }
                     let mut done = start + cost;
@@ -274,10 +298,10 @@ impl CellMachine {
                                 if s.waiting_since.is_none() || s.done || s.dispatched {
                                     continue;
                                 }
-                                if let FetchResult::Thread(i) =
+                                if let FetchResult::Thread(i, ep) =
                                     tsu.fetch_ready(KernelId(k)).map_err(CellError::Protocol)?
                                 {
-                                    events.push(done + self.cfg.mailbox_lat, Ev::Mail(k, i));
+                                    events.push(done + self.cfg.mailbox_lat, Ev::Mail(k, i, ep));
                                     spelist[k as usize].dispatched = true;
                                 }
                             }
@@ -316,6 +340,14 @@ impl CellMachine {
             tsu.finished() && spelist.iter().all(|s| s.done),
             "TFluxCell simulation deadlocked"
         );
+
+        // Close the ledger: every streamed pass drained, so its credit
+        // can be handed back in order.
+        let (_, completed, mut retired) = tsu.epoch_ledger();
+        while retired < completed {
+            tsu.retire_epoch(Epoch(retired)).map_err(CellError::Protocol)?;
+            retired += 1;
+        }
 
         Ok(CellReport {
             cycles: spelist.iter().map(|s| s.finish).max().unwrap_or(0),
@@ -528,7 +560,15 @@ mod tests {
     fn funneled_ppe_batches_post_processing() {
         let p = fork_join(64);
         let src = app_work(10_000, 1024, 512);
-        let direct = CellMachine::new(CellConfig::ps3()).run(&p, &src).unwrap();
+        // pin the baseline: the default `FlushPolicy::Auto` would batch
+        // this hot-sink program on its own, which is exactly the contrast
+        // this test wants to measure
+        let direct = CellMachine::new(CellConfig::ps3().with_tsu(TsuConfig {
+            flush: FlushPolicy::Direct,
+            ..TsuConfig::default()
+        }))
+        .run(&p, &src)
+        .unwrap();
         let batched = CellMachine::new(CellConfig::ps3().with_tsu(TsuConfig {
             flush: FlushPolicy::Batch { size: 8 },
             ..TsuConfig::default()
@@ -548,6 +588,46 @@ mod tests {
             batched.ppe_busy,
             direct.ppe_busy
         );
+    }
+
+    #[test]
+    fn streamed_epochs_replay_on_the_cell() {
+        let p = fork_join(24);
+        let src = app_work(20_000, 2048, 1024);
+        let m = CellMachine::new(CellConfig::ps3());
+        let one = m.run(&p, &src).unwrap();
+        let streamed = m.with_epochs(3).run(&p, &src).unwrap();
+        // three bit-identical passes: every instance executes once per
+        // epoch, and the ready counts re-arm cleanly between passes
+        assert_eq!(streamed.instances, 3 * p.total_instances());
+        assert_eq!(
+            streamed.tsu.completions as usize,
+            3 * p.total_instances()
+        );
+        assert_eq!(streamed.tsu.epochs, 3);
+        assert_eq!(one.tsu.epochs, 1);
+        // streaming is still deterministic, and three passes cost more
+        // than two single passes (they share the wind-down of each pass)
+        let again = m.with_epochs(3).run(&p, &src).unwrap();
+        assert_eq!(streamed.cycles, again.cycles);
+        assert!(streamed.cycles > 2 * one.cycles);
+    }
+
+    #[test]
+    fn streaming_beyond_the_credit_window_is_a_protocol_error() {
+        let p = fork_join(8);
+        let src = app_work(1_000, 0, 0);
+        let m = CellMachine::new(CellConfig::ps3().with_tsu(TsuConfig {
+            window: 2,
+            ..TsuConfig::default()
+        }));
+        assert!(m.with_epochs(2).run(&p, &src).is_ok());
+        assert!(matches!(
+            m.with_epochs(3).run(&p, &src),
+            Err(CellError::Protocol(
+                tflux_core::error::CoreError::WindowExhausted { .. }
+            ))
+        ));
     }
 
     #[test]

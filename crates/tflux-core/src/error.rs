@@ -1,6 +1,6 @@
 //! Error types for program construction and TSU operation.
 
-use crate::ids::{BlockId, Instance, ThreadId};
+use crate::ids::{BlockId, Epoch, Instance, ThreadId};
 use std::fmt;
 
 /// Errors raised while building or executing a DDM program.
@@ -63,6 +63,26 @@ pub enum CoreError {
         /// The consumer side of the offending arc.
         consumer: ThreadId,
     },
+    /// An operation carried an epoch token older than the state it touched:
+    /// a late completion from a retired epoch raced a re-armed slot, or an
+    /// epoch was retired twice. The stale side always loses — exactly one
+    /// winner per slot and per retirement.
+    StaleEpoch {
+        /// The epoch the stale operation belonged to.
+        epoch: Epoch,
+        /// The epoch the Synchronization Memory is currently running.
+        current: Epoch,
+    },
+    /// `retire_epoch` was called for an epoch that has not finished its
+    /// pass yet, or out of order — epochs retire oldest-first.
+    EpochNotDrained(Epoch),
+    /// `open_epoch` found every credit in the window spoken for: the
+    /// feeder must wait for a completion to retire an epoch and return a
+    /// credit before streaming another pass.
+    WindowExhausted {
+        /// The configured credit window (maximum in-flight epochs).
+        window: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -108,6 +128,18 @@ impl fmt::Display for CoreError {
             CoreError::DuplicateArc { producer, consumer } => {
                 write!(f, "duplicate arc {producer} -> {consumer}")
             }
+            CoreError::StaleEpoch { epoch, current } => write!(
+                f,
+                "stale update from epoch {epoch} rejected; the table is at epoch {current}"
+            ),
+            CoreError::EpochNotDrained(e) => write!(
+                f,
+                "epoch {e} cannot retire: it has not drained yet (epochs retire oldest-first)"
+            ),
+            CoreError::WindowExhausted { window } => write!(
+                f,
+                "epoch credit window of {window} exhausted; retire a completed epoch first"
+            ),
         }
     }
 }

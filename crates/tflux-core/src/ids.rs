@@ -45,6 +45,16 @@ pub struct KernelId(pub u32);
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ProgramId(pub u64);
 
+/// One streaming iteration of a program through its dataflow graph.
+///
+/// Epochs are assigned monotonically per Synchronization Memory: epoch 0 is
+/// the one-shot run every program gets at construction, and each
+/// `open_epoch` credits one more pass. The full 64-bit id never wraps; the
+/// 30-bit tag packed into each slot's lifecycle word is `epoch mod 2^30`,
+/// which is ample to reject any late completion a real schedule can produce.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Epoch(pub u64);
+
 impl ThreadId {
     /// The id as a `usize` index.
     #[inline]
@@ -150,6 +160,18 @@ impl fmt::Display for KernelId {
 impl fmt::Debug for ProgramId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Debug for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
     }
 }
 

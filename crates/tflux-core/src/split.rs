@@ -221,15 +221,14 @@ mod tests {
             2,
             TsuConfig {
                 capacity: 12,
-                policy: Default::default(),
-                flush: Default::default(),
+                ..Default::default()
             },
         );
-        let inlet = match tsu.fetch_ready(KernelId(0)).unwrap() {
-            FetchResult::Thread(i) => i,
+        let (inlet, ep) = match tsu.fetch_ready(KernelId(0)).unwrap() {
+            FetchResult::Thread(i, ep) => (i, ep),
             other => panic!("{other:?}"),
         };
-        assert!(tsu.complete_queued(inlet, &mut Vec::new()).is_err());
+        assert!(tsu.complete_queued(inlet, ep, &mut Vec::new()).is_err());
 
         // ...and drains completely after splitting
         let (q, _) = split_for_capacity(&p, 12).unwrap();
@@ -238,8 +237,7 @@ mod tests {
             2,
             TsuConfig {
                 capacity: 12,
-                policy: Default::default(),
-                flush: Default::default(),
+                ..Default::default()
             },
         );
         let order = drain_sequential(&mut tsu);

@@ -4,12 +4,14 @@
 //! The portability claim of the paper is that *one* TSU semantics backs
 //! three platforms. [`TsuBackend`] is that claim as a trait: the threaded
 //! runtime's shared TSU, the simulated hardware TSU device and the Cell
-//! machine all schedule through these five operations, so the
+//! machine all schedule through these operations, so the
 //! cross-backend equivalence suite can drive any of them interchangeably.
 
 use crate::error::CoreError;
-use crate::ids::{BlockId, Instance, KernelId};
+use crate::graph::hot_sinks;
+use crate::ids::{BlockId, Epoch, Instance, KernelId};
 use crate::policy::SchedulingPolicy;
+use crate::program::DdmProgram;
 use serde::{Deserialize, Serialize};
 
 use super::queue::FetchResult;
@@ -17,17 +19,25 @@ use super::queue::FetchResult;
 /// When a kernel's completion funnel hands its accumulated ready-count
 /// decrements to the Synchronization Memory.
 ///
-/// `Direct` is the PR 4 baseline: every App completion runs the
-/// Post-Processing Phase immediately, one `fetch_sub(1)` per consumer
-/// slot. `Batch` defers App completions into a per-kernel
+/// `Direct` applies every App completion's Post-Processing Phase
+/// immediately, one `fetch_sub(1)` per consumer slot. `Batch` defers App
+/// completions into a per-kernel
 /// [`CompletionFunnel`](super::CompletionFunnel) and flushes them as one
 /// combined update per slot — at the batch size, at a fetch that would
 /// otherwise block (`Wait`), at a block transition (Inlet/Outlet
-/// completions are never batched), and at kernel exit.
+/// completions are never batched), and at kernel exit. `Auto` (the
+/// default) picks between them at construction by inspecting the program:
+/// batching pays exactly when some reduction sink will absorb updates
+/// from every kernel, the same test the Synchronization Memory uses to
+/// build its combining trees.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum FlushPolicy {
-    /// Apply every ready-count decrement as its completion arrives.
+    /// Pick `Direct` or `Batch` from the program's sink fan-in at
+    /// construction ([`FlushPolicy::resolve`]). Explicitly configuring
+    /// `Direct` or `Batch` overrides the heuristic.
     #[default]
+    Auto,
+    /// Apply every ready-count decrement as its completion arrives.
     Direct,
     /// Accumulate up to `size` App completions per kernel before flushing
     /// them as one batched update (`size` is clamped to at least 1).
@@ -37,12 +47,39 @@ pub enum FlushPolicy {
     },
 }
 
+/// Batch size `Auto` resolves to when the program has hot sinks.
+pub const AUTO_BATCH_SIZE: u32 = 8;
+
 impl FlushPolicy {
     /// The batch size under this policy: `None` for the direct path.
+    /// `Auto` reports `None` — resolve it first.
     pub fn batch_size(self) -> Option<usize> {
         match self {
-            FlushPolicy::Direct => None,
+            FlushPolicy::Auto | FlushPolicy::Direct => None,
             FlushPolicy::Batch { size } => Some(size.max(1) as usize),
+        }
+    }
+
+    /// Resolve `Auto` against a concrete program and kernel count:
+    /// batching turns on iff more than one kernel will feed some sink
+    /// whose fan-in is at least the kernel count (a
+    /// [`hot_sinks`](crate::graph::hot_sinks) hit means the sink's cache
+    /// line is worth funneling). Explicit `Direct`/`Batch` pass through
+    /// unchanged, so the knob still overrides the heuristic. Platforms
+    /// call this once at construction; the resolved policy never contains
+    /// `Auto`.
+    pub fn resolve(self, program: &DdmProgram, kernels: u32) -> FlushPolicy {
+        match self {
+            FlushPolicy::Auto => {
+                if kernels > 1 && !hot_sinks(program, kernels).is_empty() {
+                    FlushPolicy::Batch {
+                        size: AUTO_BATCH_SIZE,
+                    }
+                } else {
+                    FlushPolicy::Direct
+                }
+            }
+            explicit => explicit,
         }
     }
 }
@@ -56,10 +93,17 @@ pub struct TsuConfig {
     pub capacity: usize,
     /// Ready-thread selection policy.
     pub policy: SchedulingPolicy,
-    /// Completion-funnel flush policy (default: the direct per-update
-    /// path; `Batch` turns the reduction funnels on).
+    /// Completion-funnel flush policy (default: `Auto`, which resolves to
+    /// `Batch` when the program has hot reduction sinks and `Direct`
+    /// otherwise; explicit `Direct`/`Batch` override the heuristic).
     #[serde(default)]
     pub flush: FlushPolicy,
+    /// Epoch credit window: maximum streaming passes in flight at once
+    /// (opened but not yet retired). `0` means unwindowed — `open_epoch`
+    /// never blocks on credits. One-shot programs never notice this knob:
+    /// the construction-time epoch 0 is the only credit they ever use.
+    #[serde(default)]
+    pub window: usize,
 }
 
 /// Counters a TSU keeps about its own operation.
@@ -93,6 +137,10 @@ pub struct TsuStats {
     /// design counted `try_lock` misses here.)
     #[serde(default)]
     pub sm_contended: u64,
+    /// Streaming epochs whose pass ran to completion (the epoch ledger's
+    /// `completed` column). A one-shot run counts as one epoch.
+    #[serde(default)]
+    pub epochs: u64,
 }
 
 /// Per-kernel Synchronization Memory counters ("shards" for continuity
@@ -132,8 +180,10 @@ pub struct WaitingInstance {
 /// The contract mirrors §3.3 of the paper: kernels *fetch* ready DThreads
 /// and report *completions*; completions run the Post-Processing Phase and
 /// surface newly-ready instances; Inlet/Outlet completions *load* and
-/// unload DDM blocks. `ready` buffers are cleared by the callee, so callers
-/// can reuse one scratch vector across calls.
+/// unload DDM blocks. Streaming feeders *open* epochs to credit extra
+/// passes through the graph and *retire* them to return the credits.
+/// `ready` buffers are cleared by the callee, so callers can reuse one
+/// scratch vector across calls.
 pub trait TsuBackend {
     /// Load a DDM block: make its instances resident and append the
     /// initially-ready ones (ready count 0) to `ready`. Fails with
@@ -147,12 +197,20 @@ pub trait TsuBackend {
     /// if a kernel death left the Synchronization Memory untrustworthy.
     fn fetch(&mut self, kernel: KernelId) -> Result<FetchResult, CoreError>;
 
-    /// Record completion of `inst`: run the Post-Processing Phase and
-    /// report the newly-ready instances in `ready` (cleared first). The
-    /// backend also schedules them onto its own queues; `ready` lets device
-    /// models inspect *who* became ready — e.g. to charge cross-shard
-    /// update messages.
-    fn complete(&mut self, inst: Instance, ready: &mut Vec<Instance>) -> Result<(), CoreError>;
+    /// Record completion of `inst`, which was fetched under `epoch`: run
+    /// the Post-Processing Phase and report the newly-ready instances in
+    /// `ready` (cleared first). The backend also schedules them onto its
+    /// own queues; `ready` lets device models inspect *who* became ready —
+    /// e.g. to charge cross-shard update messages. The epoch token is the
+    /// one delivered with the instance by [`fetch`](Self::fetch); a late
+    /// completion whose token predates a re-armed slot fails with
+    /// [`CoreError::StaleEpoch`] instead of corrupting the next pass.
+    fn complete(
+        &mut self,
+        inst: Instance,
+        epoch: Epoch,
+        ready: &mut Vec<Instance>,
+    ) -> Result<(), CoreError>;
 
     /// Record a *batch* of application completions at once: the funnel
     /// flush path. Backends that override this combine the batch's
@@ -160,21 +218,39 @@ pub trait TsuBackend {
     /// the default simply replays [`complete`](Self::complete) per
     /// instance, so every backend accepts a flush even before it learns
     /// to combine. `done` must hold only `App` instances (Inlet/Outlet
-    /// completions drive block transitions and are never funneled).
+    /// completions drive block transitions and are never funneled), all
+    /// fetched under the same `epoch` — a funnel never parks completions
+    /// across an epoch boundary, because block transitions flush it.
     /// Newly-ready instances land in `ready` (cleared first).
     fn complete_batch(
         &mut self,
         done: &[Instance],
+        epoch: Epoch,
         ready: &mut Vec<Instance>,
     ) -> Result<(), CoreError> {
         ready.clear();
         let mut scratch = Vec::new();
         for &inst in done {
-            self.complete(inst, &mut scratch)?;
+            self.complete(inst, epoch, &mut scratch)?;
             ready.append(&mut scratch);
         }
         Ok(())
     }
+
+    /// Credit one more streaming pass through the program. If the current
+    /// pass has already finished, the graph re-arms immediately and the
+    /// newly-resident inlet lands in `ready` (cleared first) *and* on the
+    /// backend's own queues; otherwise the credit is banked and the wrap
+    /// happens when the running pass completes. Fails with
+    /// [`CoreError::WindowExhausted`] when the configured credit window is
+    /// full — retire a drained epoch first.
+    fn open_epoch(&mut self, ready: &mut Vec<Instance>) -> Result<Epoch, CoreError>;
+
+    /// Return the credit held by a completed epoch. Epochs retire
+    /// oldest-first, exactly once: a premature or out-of-order retirement
+    /// fails with [`CoreError::EpochNotDrained`], a duplicate with
+    /// [`CoreError::StaleEpoch`].
+    fn retire_epoch(&mut self, epoch: Epoch) -> Result<(), CoreError>;
 
     /// Snapshot of the operation counters accumulated so far.
     fn drain_stats(&mut self) -> TsuStats;

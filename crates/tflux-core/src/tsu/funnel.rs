@@ -17,7 +17,7 @@
 //! and the Cell machine.
 
 use crate::error::CoreError;
-use crate::ids::Instance;
+use crate::ids::{Epoch, Instance};
 
 use super::backend::{FlushPolicy, TsuBackend};
 
@@ -30,9 +30,18 @@ use super::backend::{FlushPolicy, TsuBackend};
 /// it might block or give up the CPU (a fetch that returns `Wait`, a
 /// block transition, loop exit), or the deferred decrements would
 /// deadlock the very consumers the kernel is waiting on.
+///
+/// A batch carries one epoch token for all its completions. That is an
+/// invariant, not a restriction: block transitions (and therefore epoch
+/// wraps, which ride the final outlet completion) flush every funnel
+/// before the next pass dispatches, so a kernel can never park
+/// completions from two different epochs.
 #[derive(Debug)]
 pub struct CompletionFunnel {
     pending: Vec<Instance>,
+    /// Epoch of every parked completion (set by the first push of a
+    /// batch).
+    epoch: Epoch,
     /// Completions per automatic flush; 1 on the direct path.
     batch: usize,
 }
@@ -43,6 +52,7 @@ impl CompletionFunnel {
         let batch = policy.batch_size().unwrap_or(1);
         CompletionFunnel {
             pending: Vec::with_capacity(batch),
+            epoch: Epoch(0),
             batch,
         }
     }
@@ -63,10 +73,21 @@ impl CompletionFunnel {
         self.pending.is_empty()
     }
 
-    /// Park a completion. Returns `true` when the batch is full and the
-    /// caller must [`flush`](Self::flush) now.
+    /// Park a completion fetched under `epoch`. Returns `true` when the
+    /// batch is full and the caller must [`flush`](Self::flush) now. The
+    /// first push of a batch fixes the batch's epoch; mixing epochs in
+    /// one batch is a kernel protocol bug (block transitions flush before
+    /// any epoch wrap, so it cannot happen in a well-behaved kernel).
     #[must_use]
-    pub fn push(&mut self, inst: Instance) -> bool {
+    pub fn push(&mut self, inst: Instance, epoch: Epoch) -> bool {
+        if self.pending.is_empty() {
+            self.epoch = epoch;
+        } else {
+            debug_assert_eq!(
+                self.epoch, epoch,
+                "completion funnel batch spans an epoch boundary"
+            );
+        }
         self.pending.push(inst);
         self.pending.len() >= self.batch
     }
@@ -85,7 +106,7 @@ impl CompletionFunnel {
             ready.clear();
             return Ok(());
         }
-        let result = backend.complete_batch(&self.pending, ready);
+        let result = backend.complete_batch(&self.pending, self.epoch, ready);
         self.pending.clear();
         result
     }
@@ -113,16 +134,16 @@ mod tests {
     fn direct_policy_flushes_every_push() {
         let mut f = CompletionFunnel::new(FlushPolicy::Direct);
         assert!(!f.batching());
-        assert!(f.push(Instance::new(ThreadId(0), Context(0))));
+        assert!(f.push(Instance::new(ThreadId(0), Context(0)), Epoch(0)));
     }
 
     #[test]
     fn batch_policy_fills_before_demanding_a_flush() {
         let mut f = CompletionFunnel::new(FlushPolicy::Batch { size: 3 });
         assert!(f.batching());
-        assert!(!f.push(Instance::new(ThreadId(0), Context(0))));
-        assert!(!f.push(Instance::new(ThreadId(0), Context(1))));
-        assert!(f.push(Instance::new(ThreadId(0), Context(2))));
+        assert!(!f.push(Instance::new(ThreadId(0), Context(0)), Epoch(0)));
+        assert!(!f.push(Instance::new(ThreadId(0), Context(1)), Epoch(0)));
+        assert!(f.push(Instance::new(ThreadId(0), Context(2)), Epoch(0)));
         assert_eq!(f.pending().len(), 3);
     }
 
@@ -130,7 +151,7 @@ mod tests {
     fn zero_batch_size_is_clamped_to_direct() {
         let mut f = CompletionFunnel::new(FlushPolicy::Batch { size: 0 });
         assert!(!f.batching());
-        assert!(f.push(Instance::new(ThreadId(0), Context(0))));
+        assert!(f.push(Instance::new(ThreadId(0), Context(0)), Epoch(0)));
     }
 
     #[test]
@@ -140,21 +161,21 @@ mod tests {
         let mut f = CompletionFunnel::new(FlushPolicy::Batch { size: 8 });
         let mut ready = Vec::new();
         // run the inlet directly, park every work completion
-        let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)).unwrap() else {
+        let FetchResult::Thread(inlet, ep) = tsu.fetch_ready(KernelId(0)).unwrap() else {
             panic!("inlet not ready");
         };
-        tsu.complete_queued(inlet, &mut ready).unwrap();
+        tsu.complete_queued(inlet, ep, &mut ready).unwrap();
         for _ in 0..4 {
-            let FetchResult::Thread(i) = tsu.fetch_ready(KernelId(0)).unwrap() else {
+            let FetchResult::Thread(i, ep) = tsu.fetch_ready(KernelId(0)).unwrap() else {
                 panic!("work not ready");
             };
-            let _ = f.push(i);
+            let _ = f.push(i, ep);
         }
         assert_eq!(f.pending().len(), 4);
         f.flush(&mut tsu, &mut ready).unwrap();
         assert!(f.is_empty());
         // the flush published the sink onto the TSU's queues
-        let FetchResult::Thread(sink) = tsu.fetch_ready(KernelId(0)).unwrap() else {
+        let FetchResult::Thread(sink, _) = tsu.fetch_ready(KernelId(0)).unwrap() else {
             panic!("sink not ready after flush");
         };
         assert_eq!(sink.thread, ThreadId(1));

@@ -25,14 +25,16 @@ mod gm;
 mod queue;
 mod sync;
 
-pub use backend::{FlushPolicy, ShardStats, TsuBackend, TsuConfig, TsuStats, WaitingInstance};
+pub use backend::{
+    FlushPolicy, ShardStats, TsuBackend, TsuConfig, TsuStats, WaitingInstance, AUTO_BATCH_SIZE,
+};
 pub use funnel::CompletionFunnel;
 pub use gm::{GraphMemory, ProgramHandle};
 pub use queue::{FetchResult, QueueUnit, ServiceRotor};
 pub use sync::SyncMemory;
 
 use crate::error::CoreError;
-use crate::ids::{BlockId, Instance, KernelId};
+use crate::ids::{BlockId, Epoch, Instance, KernelId};
 use crate::policy::SchedulingPolicy;
 use crate::program::DdmProgram;
 
@@ -58,17 +60,18 @@ impl<P: ProgramHandle> CoreTsu<P> {
     /// the inlet of the first block is made ready.
     pub fn new(program: P, kernels: u32, config: TsuConfig) -> Self {
         let gm = GraphMemory::new(program.clone(), kernels);
-        let sm = SyncMemory::new(program, kernels, config.capacity);
+        let sm = SyncMemory::with_window(program, kernels, config.capacity, config.window);
         let nqueues = match config.policy {
             SchedulingPolicy::GlobalFifo => 1,
             _ => kernels as usize,
         };
+        let flush = config.flush.resolve(gm.program(), kernels);
         let mut tsu = CoreTsu {
             gm,
             sm,
             queues: (0..nqueues).map(|_| QueueUnit::new()).collect(),
             policy: config.policy,
-            flush: config.flush,
+            flush,
             waits: 0,
             steals: 0,
         };
@@ -87,11 +90,22 @@ impl<P: ProgramHandle> CoreTsu<P> {
         self.gm.kernels()
     }
 
-    /// The configured completion-funnel flush policy. Device models poll
-    /// this to decide whether to build per-core funnels in front of the
-    /// TSU.
+    /// The *resolved* completion-funnel flush policy (`Auto` is resolved
+    /// against the program's sink fan-in at construction, so this is
+    /// always `Direct` or `Batch`). Device models poll this to decide
+    /// whether to build per-core funnels in front of the TSU.
     pub fn flush_policy(&self) -> FlushPolicy {
         self.flush
+    }
+
+    /// The epoch currently executing.
+    pub fn current_epoch(&self) -> Epoch {
+        self.sm.current_epoch()
+    }
+
+    /// The epoch ledger: `(opened, completed, retired)` pass counts.
+    pub fn epoch_ledger(&self) -> (u64, u64, u64) {
+        self.sm.epoch_ledger()
     }
 
     /// Whether the last block's outlet has completed.
@@ -153,13 +167,13 @@ impl<P: ProgramHandle> CoreTsu<P> {
             _ => kernel.idx().min(self.queues.len() - 1),
         };
         if let Some(i) = self.queues[own].pop() {
-            self.sm.dispatch(i)?;
-            return Ok(FetchResult::Thread(i));
+            let ep = self.sm.dispatch(i)?;
+            return Ok(FetchResult::Thread(i, ep));
         }
         if let SchedulingPolicy::LocalityFirst { steal: true } = self.policy {
             if let Some(i) = self.pop_stolen(&self.steal_plan(own)) {
-                self.sm.dispatch(i)?;
-                return Ok(FetchResult::Thread(i));
+                let ep = self.sm.dispatch(i)?;
+                return Ok(FetchResult::Thread(i, ep));
             }
         }
         self.waits += 1;
@@ -198,9 +212,10 @@ impl<P: ProgramHandle> CoreTsu<P> {
     pub fn complete_queued(
         &mut self,
         inst: Instance,
+        epoch: Epoch,
         out: &mut Vec<Instance>,
     ) -> Result<(), CoreError> {
-        self.sm.complete(inst, out)?;
+        self.sm.complete(inst, epoch, out)?;
         for &i in out.iter() {
             self.push_ready(i);
         }
@@ -215,13 +230,31 @@ impl<P: ProgramHandle> CoreTsu<P> {
     pub fn complete_batch_queued(
         &mut self,
         done: &[Instance],
+        epoch: Epoch,
         out: &mut Vec<Instance>,
     ) -> Result<(), CoreError> {
-        self.sm.complete_batch(done, out)?;
+        self.sm.complete_batch(done, epoch, out)?;
         for &i in out.iter() {
             self.push_ready(i);
         }
         Ok(())
+    }
+
+    /// Credit one more streaming pass; if the graph has already finished,
+    /// it re-arms now and the resident inlet is queued (and reported in
+    /// `out`).
+    pub fn open_epoch_queued(&mut self, out: &mut Vec<Instance>) -> Result<Epoch, CoreError> {
+        let ep = self.sm.open_epoch(out)?;
+        for &i in out.iter() {
+            self.push_ready(i);
+        }
+        Ok(ep)
+    }
+
+    /// Return the credit of a completed epoch (oldest-first, exactly
+    /// once).
+    pub fn retire_epoch(&mut self, epoch: Epoch) -> Result<(), CoreError> {
+        self.sm.retire_epoch(epoch)
     }
 }
 
@@ -239,16 +272,30 @@ impl<P: ProgramHandle> TsuBackend for CoreTsu<P> {
         self.fetch_ready(kernel)
     }
 
-    fn complete(&mut self, inst: Instance, ready: &mut Vec<Instance>) -> Result<(), CoreError> {
-        self.complete_queued(inst, ready)
+    fn complete(
+        &mut self,
+        inst: Instance,
+        epoch: Epoch,
+        ready: &mut Vec<Instance>,
+    ) -> Result<(), CoreError> {
+        self.complete_queued(inst, epoch, ready)
     }
 
     fn complete_batch(
         &mut self,
         done: &[Instance],
+        epoch: Epoch,
         ready: &mut Vec<Instance>,
     ) -> Result<(), CoreError> {
-        self.complete_batch_queued(done, ready)
+        self.complete_batch_queued(done, epoch, ready)
+    }
+
+    fn open_epoch(&mut self, ready: &mut Vec<Instance>) -> Result<Epoch, CoreError> {
+        self.open_epoch_queued(ready)
+    }
+
+    fn retire_epoch(&mut self, epoch: Epoch) -> Result<(), CoreError> {
+        CoreTsu::retire_epoch(self, epoch)
     }
 
     fn drain_stats(&mut self) -> TsuStats {
@@ -273,10 +320,10 @@ pub fn drain_sequential<P: ProgramHandle>(tsu: &mut CoreTsu<P>) -> Vec<Instance>
     let mut idle_rounds = 0u32;
     loop {
         match tsu.fetch_ready(KernelId(k)).expect("protocol error") {
-            FetchResult::Thread(i) => {
+            FetchResult::Thread(i, ep) => {
                 idle_rounds = 0;
                 order.push(i);
-                tsu.complete_queued(i, &mut scratch)
+                tsu.complete_queued(i, ep, &mut scratch)
                     .expect("protocol error");
             }
             FetchResult::Wait => {
@@ -314,9 +361,9 @@ mod tests {
         b.build().unwrap()
     }
 
-    fn complete(tsu: &mut CoreTsu<&DdmProgram>, i: Instance) -> Result<(), CoreError> {
+    fn complete(tsu: &mut CoreTsu<&DdmProgram>, i: Instance, ep: Epoch) -> Result<(), CoreError> {
         let mut out = Vec::new();
-        tsu.complete_queued(i, &mut out)
+        tsu.complete_queued(i, ep, &mut out)
     }
 
     #[test]
@@ -377,14 +424,14 @@ mod tests {
             TsuConfig {
                 capacity: 8,
                 policy: SchedulingPolicy::default(),
-                flush: Default::default(),
+                ..Default::default()
             },
         );
         // inlet fits; its completion tries to load the block and must fail
-        let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)).unwrap() else {
+        let FetchResult::Thread(inlet, ep) = tsu.fetch_ready(KernelId(0)).unwrap() else {
             panic!("inlet not ready");
         };
-        let err = complete(&mut tsu, inlet).unwrap_err();
+        let err = complete(&mut tsu, inlet, ep).unwrap_err();
         assert!(matches!(err, CoreError::BlockTooLarge { .. }));
     }
 
@@ -392,12 +439,12 @@ mod tests {
     fn double_completion_rejected() {
         let p = fork_join(2, 1);
         let mut tsu = CoreTsu::new(&p, 1, TsuConfig::default());
-        let FetchResult::Thread(i) = tsu.fetch_ready(KernelId(0)).unwrap() else {
+        let FetchResult::Thread(i, ep) = tsu.fetch_ready(KernelId(0)).unwrap() else {
             panic!()
         };
-        complete(&mut tsu, i).unwrap();
+        complete(&mut tsu, i, ep).unwrap();
         assert!(matches!(
-            complete(&mut tsu, i),
+            complete(&mut tsu, i, ep),
             Err(CoreError::NotRunning(_))
         ));
     }
@@ -407,8 +454,9 @@ mod tests {
         let p = fork_join(2, 1);
         let mut tsu = CoreTsu::new(&p, 1, TsuConfig::default());
         let work = p.blocks()[0].threads[1];
+        let ep = tsu.current_epoch();
         assert!(matches!(
-            complete(&mut tsu, Instance::new(work, Context(0))),
+            complete(&mut tsu, Instance::new(work, Context(0)), ep),
             Err(CoreError::NotRunning(_))
         ));
     }
@@ -425,12 +473,12 @@ mod tests {
         let p = b.build().unwrap();
         let mut tsu = CoreTsu::new(&p, 2, TsuConfig::default());
         // prime: run the inlet
-        let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)).unwrap() else {
+        let FetchResult::Thread(inlet, ep) = tsu.fetch_ready(KernelId(0)).unwrap() else {
             panic!()
         };
-        complete(&mut tsu, inlet).unwrap();
+        complete(&mut tsu, inlet, ep).unwrap();
         match tsu.fetch_ready(KernelId(1)).unwrap() {
-            FetchResult::Thread(_) => {}
+            FetchResult::Thread(..) => {}
             other => panic!("kernel 1 should have stolen, got {other:?}"),
         }
         assert_eq!(tsu.stats().steals, 1);
@@ -451,13 +499,13 @@ mod tests {
             TsuConfig {
                 capacity: 0,
                 policy: SchedulingPolicy::LocalityFirst { steal: false },
-                flush: Default::default(),
+                ..Default::default()
             },
         );
-        let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)).unwrap() else {
+        let FetchResult::Thread(inlet, ep) = tsu.fetch_ready(KernelId(0)).unwrap() else {
             panic!()
         };
-        complete(&mut tsu, inlet).unwrap();
+        complete(&mut tsu, inlet, ep).unwrap();
         assert_eq!(tsu.fetch_ready(KernelId(1)).unwrap(), FetchResult::Wait);
         assert!(tsu.stats().waits >= 1);
     }
@@ -471,7 +519,7 @@ mod tests {
             TsuConfig {
                 capacity: 0,
                 policy: SchedulingPolicy::GlobalFifo,
-                flush: Default::default(),
+                ..Default::default()
             },
         );
         let order = drain_sequential(&mut tsu);
@@ -531,17 +579,17 @@ mod tests {
         let mut idle = 0u32;
         loop {
             match tsu.fetch_ready(KernelId(k as u32)).unwrap() {
-                FetchResult::Thread(i) => {
+                FetchResult::Thread(i, ep) => {
                     idle = 0;
                     executed += 1;
                     if tsu.program().thread(i.thread).kind == crate::thread::ThreadKind::App {
-                        if funnels[k].push(i) {
+                        if funnels[k].push(i, ep) {
                             funnels[k].flush(&mut tsu, &mut scratch).unwrap();
                         }
                     } else {
                         // block transitions flush first, then complete
                         funnels[k].flush(&mut tsu, &mut scratch).unwrap();
-                        tsu.complete_queued(i, &mut scratch).unwrap();
+                        tsu.complete_queued(i, ep, &mut scratch).unwrap();
                     }
                 }
                 FetchResult::Wait => {
@@ -576,10 +624,10 @@ mod tests {
         );
         let p = b.build().unwrap();
         let mut tsu = CoreTsu::new(&p, 2, TsuConfig::default());
-        let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)).unwrap() else {
+        let FetchResult::Thread(inlet, ep) = tsu.fetch_ready(KernelId(0)).unwrap() else {
             panic!("inlet not ready");
         };
-        complete(&mut tsu, inlet).unwrap();
+        complete(&mut tsu, inlet, ep).unwrap();
         // kernel 0's plan names queue 1 (holding both work instances)...
         let plan = tsu.steal_plan(0);
         assert_eq!(plan, vec![1]);
@@ -602,7 +650,7 @@ mod tests {
             TsuConfig {
                 capacity: 12,
                 policy: SchedulingPolicy::default(),
-                flush: Default::default(),
+                ..Default::default()
             },
         );
         let order = drain_sequential(&mut tsu);
@@ -617,12 +665,12 @@ mod tests {
         // before the inlet runs, nothing but the inlet is resident; it is
         // ready (rc 0) so the waiting view is empty
         assert!(tsu.waiting_instances().is_empty());
-        let FetchResult::Thread(inlet) = tsu.fetch_ready(KernelId(0)).unwrap() else {
+        let FetchResult::Thread(inlet, ep) = tsu.fetch_ready(KernelId(0)).unwrap() else {
             panic!("inlet not ready");
         };
         // the inlet is dispatched but not completed
         assert_eq!(tsu.running_instances(), vec![inlet]);
-        complete(&mut tsu, inlet).unwrap();
+        complete(&mut tsu, inlet, ep).unwrap();
         // block loaded: src (rc 0) is ready; each work instance waits on the
         // src broadcast, the sink on 4 work completions, the outlet on all
         // 6 app instances
@@ -642,12 +690,12 @@ mod tests {
         assert!(tsu.running_instances().is_empty());
         // dispatch src: it shows as running until completed, and its
         // completion unblocks the work instances
-        let FetchResult::Thread(first) = tsu.fetch_ready(KernelId(0)).unwrap() else {
+        let FetchResult::Thread(first, ep) = tsu.fetch_ready(KernelId(0)).unwrap() else {
             panic!("no ready instance");
         };
         assert_eq!(first, Instance::scalar(src));
         assert_eq!(tsu.running_instances(), vec![first]);
-        complete(&mut tsu, first).unwrap();
+        complete(&mut tsu, first, ep).unwrap();
         assert!(tsu.running_instances().is_empty());
         assert!(tsu
             .waiting_instances()
@@ -679,10 +727,10 @@ mod tests {
             let mut idle = 0u32;
             loop {
                 match tsu.fetch(KernelId(k)).unwrap() {
-                    FetchResult::Thread(i) => {
+                    FetchResult::Thread(i, ep) => {
                         idle = 0;
                         order.push(i);
-                        tsu.complete(i, &mut scratch).unwrap();
+                        tsu.complete(i, ep, &mut scratch).unwrap();
                     }
                     FetchResult::Wait => {
                         idle += 1;
@@ -701,5 +749,53 @@ mod tests {
         assert_eq!(stats.completions as usize, p.total_instances());
         assert_eq!(stats.fetches, stats.completions);
         assert!(TsuBackend::waiting_instances(&tsu).is_empty());
+    }
+
+    #[test]
+    fn sequential_streaming_replays_the_schedule() {
+        let p = fork_join(4, 2);
+        let mut tsu = CoreTsu::new(&p, 2, TsuConfig::default());
+        let first = drain_sequential(&mut tsu);
+        assert!(tsu.finished());
+        // credit a second pass: the graph re-arms and the drain replays
+        // the exact same deterministic schedule
+        let mut out = Vec::new();
+        assert_eq!(tsu.open_epoch_queued(&mut out).unwrap(), Epoch(1));
+        assert_eq!(out, vec![tsu.sm.armed_inlet()]);
+        assert!(!tsu.finished());
+        let second = drain_sequential(&mut tsu);
+        assert_eq!(second, first);
+        tsu.retire_epoch(Epoch(0)).unwrap();
+        tsu.retire_epoch(Epoch(1)).unwrap();
+        let s = tsu.stats();
+        assert_eq!(s.epochs, 2);
+        assert_eq!(s.completions as usize, 2 * p.total_instances());
+        assert_eq!(tsu.epoch_ledger(), (2, 2, 2));
+    }
+
+    #[test]
+    fn auto_flush_resolves_from_the_program() {
+        // hot reduction sink + multiple kernels: Auto turns batching on
+        let p = fork_join(8, 1);
+        let tsu = CoreTsu::new(&p, 2, TsuConfig::default());
+        assert_eq!(
+            tsu.flush_policy(),
+            FlushPolicy::Batch {
+                size: AUTO_BATCH_SIZE
+            }
+        );
+        // one kernel: nothing to combine, Auto stays direct
+        let tsu = CoreTsu::new(&p, 1, TsuConfig::default());
+        assert_eq!(tsu.flush_policy(), FlushPolicy::Direct);
+        // an explicit policy overrides the heuristic
+        let tsu = CoreTsu::new(
+            &p,
+            2,
+            TsuConfig {
+                flush: FlushPolicy::Direct,
+                ..TsuConfig::default()
+            },
+        );
+        assert_eq!(tsu.flush_policy(), FlushPolicy::Direct);
     }
 }

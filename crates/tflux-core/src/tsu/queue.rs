@@ -8,17 +8,20 @@
 //! same [`FetchResult`] vocabulary — the enum that used to exist twice, as
 //! `tsu::FetchResult` in core and `Fetched` in the runtime.
 
-use crate::ids::{Instance, ProgramId};
+use crate::ids::{Epoch, Instance, ProgramId};
 use std::collections::VecDeque;
 
 /// Result of a kernel's request for its next DThread.
 ///
 /// Every backend — and every queue, blocking or not — answers a fetch with
-/// one of these three words.
+/// one of these three words. A fetched instance carries the epoch it was
+/// dispatched under; the kernel hands that token back with the completion
+/// so a late completion can never corrupt a re-armed slot of a later
+/// streaming pass.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FetchResult {
-    /// Run this instance next.
-    Thread(Instance),
+    /// Run this instance next; report its completion with this epoch.
+    Thread(Instance, Epoch),
     /// No ready DThread right now; the kernel must wait and retry.
     Wait,
     /// The program has finished; the kernel exits.

@@ -42,9 +42,28 @@
 //! subsequent `dispatch`/`complete`/`load_block` fails with
 //! [`CoreError::SmPoisoned`] instead of silently trusting half-applied
 //! ready counts.
+//!
+//! # Streaming epochs
+//!
+//! The slot lifecycle *wraps around*: the table is not consumed by one
+//! program pass but re-armed for the next. Each pass is an [`Epoch`]. The
+//! state word packs a 30-bit epoch tag above the 2-bit phase, so a `Done`
+//! slot of epoch *e* re-arms to `tag(e+1)|Vacant → tag(e+1)|Resident` and a
+//! late completion still holding an epoch-*e* token fails its CAS on the
+//! tag bits — rejected as [`CoreError::StaleEpoch`] instead of corrupting
+//! epoch *e+1*'s ready counts. This extends the 1→0 / n→0 publication
+//! ownership to time: exactly one completion wins each slot *per epoch*.
+//!
+//! Flow control is a credit window ([`SyncMemory::with_window`]):
+//! [`open_epoch`](SyncMemory::open_epoch) takes a credit (failing with
+//! [`CoreError::WindowExhausted`] when `opened - retired` hits the window)
+//! and [`retire_epoch`](SyncMemory::retire_epoch) returns one, oldest
+//! epoch first, exactly once. At most one epoch *executes* at a time —
+//! epochs are sequential passes of the same graph, the window only bounds
+//! how far the feeder may run ahead of the retirement acknowledgments.
 
 use crate::error::CoreError;
-use crate::ids::{BlockId, Context, Instance, KernelId, ThreadId};
+use crate::ids::{BlockId, Context, Epoch, Instance, KernelId, ThreadId};
 use crate::thread::ThreadKind;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -53,7 +72,8 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 use super::backend::{ShardStats, TsuStats, WaitingInstance};
 use super::gm::{GraphMemory, ProgramHandle};
 
-/// Slot state machine: the lifecycle of one instance in the SM.
+/// Slot state machine: the lifecycle *phase* of one instance in the SM,
+/// stored in the low 2 bits of the state word.
 const VACANT: u32 = 0;
 /// Resident: its block is loaded; the ready count is live.
 const RESIDENT: u32 = 1;
@@ -61,6 +81,37 @@ const RESIDENT: u32 = 1;
 const RUNNING: u32 = 2;
 /// Completed; stays `Done` until its thread is unloaded.
 const DONE: u32 = 3;
+
+/// Low bits of the state word holding the phase.
+const PHASE_MASK: u32 = 0b11;
+/// Bits of the state word holding the epoch tag (`epoch mod 2^30`).
+const TAG_BITS: u32 = 30;
+/// Mask for the (unshifted) epoch tag.
+const TAG_MASK: u32 = (1 << TAG_BITS) - 1;
+
+/// Pack an epoch tag and a phase into one state word.
+#[inline]
+const fn word(tag: u32, phase: u32) -> u32 {
+    (tag << 2) | phase
+}
+
+/// The lifecycle phase of a state word.
+#[inline]
+const fn phase(word: u32) -> u32 {
+    word & PHASE_MASK
+}
+
+/// The epoch tag of a state word.
+#[inline]
+const fn word_tag(word: u32) -> u32 {
+    word >> 2
+}
+
+/// The 30-bit tag of a full 64-bit epoch id.
+#[inline]
+const fn tag_of(epoch: u64) -> u32 {
+    (epoch as u32) & TAG_MASK
+}
 
 /// Sentinel for [`Slot::updater`]: no kernel has decremented this slot's
 /// ready count since it became resident.
@@ -122,6 +173,14 @@ struct BlockState {
     resident: usize,
     max_resident: usize,
     blocks_loaded: u64,
+    /// Epochs credited so far (epoch 0 is implicitly opened at
+    /// construction, so a fresh table starts at 1).
+    opened: u64,
+    /// Epochs whose final outlet has completed.
+    completed: u64,
+    /// Epochs acknowledged by `retire_epoch` — credits returned to the
+    /// window. Always `retired <= completed <= opened`.
+    retired: u64,
 }
 
 /// Sets the poisoned flag if dropped while armed — armed around every
@@ -161,6 +220,12 @@ impl Drop for PoisonGuard<'_> {
 pub struct SyncMemory<P: ProgramHandle> {
     gm: GraphMemory<P>,
     capacity: usize,
+    /// Credit window: maximum `opened - retired` epochs in flight
+    /// (`0` = unbounded).
+    window: usize,
+    /// The epoch currently executing (full 64-bit id; its low 30 bits are
+    /// the tag packed into every live state word).
+    epoch: AtomicU64,
     /// `base[t]` is the slab offset of `(t, Context(0))`; contexts are
     /// contiguous, so slot lookup is one add and one index.
     base: Vec<u32>,
@@ -182,9 +247,17 @@ impl<P: ProgramHandle> SyncMemory<P> {
     /// Create the Synchronization Memory for `program` executed by
     /// `kernels` kernels, and arm it: the first block's inlet is made
     /// resident (but not dispatched). `capacity` bounds resident instances
-    /// (`0` = unlimited). The slot layout is computed here, once, from the
-    /// Graph Memory — arities are static, so the table never reallocates.
+    /// (`0` = unlimited). The epoch credit window is unbounded — the
+    /// one-shot shape; see [`with_window`](Self::with_window) for streams.
     pub fn new(program: P, kernels: u32, capacity: usize) -> Self {
+        Self::with_window(program, kernels, capacity, 0)
+    }
+
+    /// Like [`new`](Self::new), but bounding in-flight epochs to `window`
+    /// credits (`0` = unbounded). The slot layout is computed here, once,
+    /// from the Graph Memory — arities are static, so the table never
+    /// reallocates, no matter how many epochs stream through it.
+    pub fn with_window(program: P, kernels: u32, capacity: usize, window: usize) -> Self {
         let gm = GraphMemory::new(program, kernels);
         let mut base = Vec::with_capacity(gm.program().threads().len());
         let mut next = 0u32;
@@ -206,6 +279,8 @@ impl<P: ProgramHandle> SyncMemory<P> {
         let sm = SyncMemory {
             gm,
             capacity,
+            window,
+            epoch: AtomicU64::new(0),
             base,
             slots,
             shards: (0..kernels).map(|_| ShardCounters::default()).collect(),
@@ -214,7 +289,12 @@ impl<P: ProgramHandle> SyncMemory<P> {
             completions: AtomicU64::new(0),
             finished: AtomicBool::new(false),
             poisoned: AtomicBool::new(false),
-            block: Mutex::new(BlockState::default()),
+            block: Mutex::new(BlockState {
+                // epoch 0 is opened by construction: the armed inlet below
+                // is its first instance
+                opened: 1,
+                ..BlockState::default()
+            }),
         };
         let mut guard = sm.block.lock().expect("fresh mutex");
         sm.mark_resident(sm.gm.first_inlet().thread, &mut guard);
@@ -320,23 +400,26 @@ impl<P: ProgramHandle> SyncMemory<P> {
         })
     }
 
-    /// Mark every instance of `t` resident with its initial ready counts.
-    /// Caller holds the block lock (passed as `guard`).
+    /// Mark every instance of `t` resident with its initial ready counts,
+    /// fresh from Graph Memory, tagged with the current epoch. Caller
+    /// holds the block lock (passed as `guard`).
     fn mark_resident(&self, t: ThreadId, guard: &mut MutexGuard<'_, BlockState>) {
+        let tag = tag_of(self.epoch.load(Ordering::Relaxed));
         let arity = self.gm.program().thread(t).arity;
         let rcs = self.gm.program().initial_rcs(t);
         for c in 0..arity {
             let slot = self.slot(Instance::new(t, Context(c)));
             debug_assert_eq!(
-                slot.state.load(Ordering::Relaxed),
+                phase(slot.state.load(Ordering::Relaxed)),
                 VACANT,
                 "thread {t} loaded while still resident"
             );
             slot.rc.store(rcs[c as usize], Ordering::Relaxed);
             slot.updater.store(NO_UPDATER, Ordering::Relaxed);
             // Release: a consumer decrementing this rc after seeing the
-            // instance resident must see the initial count.
-            slot.state.store(RESIDENT, Ordering::Release);
+            // instance resident must see the initial count. The store also
+            // overwrites the stale tag a previous epoch left in the word.
+            slot.state.store(word(tag, RESIDENT), Ordering::Release);
         }
         guard.resident += arity as usize;
         guard.max_resident = guard.max_resident.max(guard.resident);
@@ -345,27 +428,51 @@ impl<P: ProgramHandle> SyncMemory<P> {
     /// Drop every instance of `t` from the SM ("the purpose of the
     /// [Outlet] is to clear the allocated resources").
     fn unload_thread(&self, t: ThreadId, guard: &mut MutexGuard<'_, BlockState>) {
+        let tag = tag_of(self.epoch.load(Ordering::Relaxed));
         let arity = self.gm.program().thread(t).arity;
         for c in 0..arity {
             let slot = self.slot(Instance::new(t, Context(c)));
             slot.rc.store(0, Ordering::Relaxed);
             slot.updater.store(NO_UPDATER, Ordering::Relaxed);
-            slot.state.store(VACANT, Ordering::Release);
+            slot.state.store(word(tag, VACANT), Ordering::Release);
         }
         guard.resident -= arity as usize;
     }
 
-    /// Mark `inst` as dispatched to a kernel. Pairs with a later
-    /// [`complete`](Self::complete). Fails with
-    /// [`CoreError::NotResident`] if `inst`'s block is not loaded or the
-    /// instance already ran (or is running) — a scheduler bug surfaces
-    /// here instead of corrupting consumer counts later.
-    pub fn dispatch(&self, inst: Instance) -> Result<(), CoreError> {
+    /// Mark `inst` as dispatched to a kernel and return the epoch it runs
+    /// in — the token a later [`complete`](Self::complete) must present.
+    /// Fails with [`CoreError::NotResident`] if `inst`'s block is not
+    /// loaded or the instance already ran (or is running) — a scheduler
+    /// bug surfaces here instead of corrupting consumer counts later.
+    ///
+    /// Only the current epoch ever holds `Resident` slots (an epoch cannot
+    /// advance while any of its instances is in flight — the outlet's
+    /// ready count sees to that), so the epoch read here always matches
+    /// the tag the CAS observed.
+    pub fn dispatch(&self, inst: Instance) -> Result<Epoch, CoreError> {
         self.check_poisoned()?;
-        self.transition(inst, RESIDENT, RUNNING)
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let tag = tag_of(epoch);
+        self.transition(inst, word(tag, RESIDENT), word(tag, RUNNING))
             .map_err(|_| CoreError::NotResident(inst))?;
         self.fetches.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        Ok(Epoch(epoch))
+    }
+
+    /// Classify a failed `Running → Done` CAS: a tag mismatch means the
+    /// completion's epoch token is stale (the slot was re-armed for a
+    /// later epoch — the exactly-one-winner rule across the wrap-around),
+    /// a phase mismatch within the same epoch is the classic
+    /// completion-without-dispatch protocol error.
+    fn classify(&self, inst: Instance, epoch: Epoch, observed: u32) -> CoreError {
+        if word_tag(observed) != tag_of(epoch.0) {
+            CoreError::StaleEpoch {
+                epoch,
+                current: Epoch(self.epoch.load(Ordering::Acquire)),
+            }
+        } else {
+            CoreError::NotRunning(inst)
+        }
     }
 
     /// Load a DDM block: make its instances resident and append the
@@ -421,16 +528,28 @@ impl<P: ProgramHandle> SyncMemory<P> {
     /// validated *before* anything mutates, so a failing load leaves the
     /// inlet running and every counter untouched — a retried completion
     /// (PR 1's `RetryPolicy`) observes the same state it started from.
-    pub fn complete(&self, inst: Instance, out: &mut Vec<Instance>) -> Result<(), CoreError> {
+    ///
+    /// `epoch` is the token the matching [`dispatch`](Self::dispatch)
+    /// returned. A completion whose epoch is older than the slot's current
+    /// tag is rejected with [`CoreError::StaleEpoch`]: a late duplicate
+    /// from a finished pass must not touch a re-armed table.
+    pub fn complete(
+        &self,
+        inst: Instance,
+        epoch: Epoch,
+        out: &mut Vec<Instance>,
+    ) -> Result<(), CoreError> {
         out.clear();
         self.check_poisoned()?;
         let t = inst.thread;
+        let tag = tag_of(epoch.0);
         match self.gm.kind(t) {
             ThreadKind::Inlet => {
                 let mut guard = self.lock_block()?;
                 let b = self.gm.block_of(t);
-                if self.slot(inst).state.load(Ordering::Acquire) != RUNNING {
-                    return Err(CoreError::NotRunning(inst));
+                let observed = self.slot(inst).state.load(Ordering::Acquire);
+                if observed != word(tag, RUNNING) {
+                    return Err(self.classify(inst, epoch, observed));
                 }
                 let instances = self.gm.block_instances(b);
                 // `- 1`: the inlet itself unloads as part of this
@@ -442,8 +561,8 @@ impl<P: ProgramHandle> SyncMemory<P> {
                         capacity: self.capacity,
                     });
                 }
-                self.transition(inst, RUNNING, DONE)
-                    .map_err(|_| CoreError::NotRunning(inst))?;
+                self.transition(inst, word(tag, RUNNING), word(tag, DONE))
+                    .map_err(|w| self.classify(inst, epoch, w))?;
                 self.completions.fetch_add(1, Ordering::Relaxed);
                 let sentinel = PoisonGuard::arm(&self.poisoned);
                 self.unload_thread(t, &mut guard);
@@ -452,8 +571,8 @@ impl<P: ProgramHandle> SyncMemory<P> {
             }
             ThreadKind::Outlet => {
                 let mut guard = self.lock_block()?;
-                self.transition(inst, RUNNING, DONE)
-                    .map_err(|_| CoreError::NotRunning(inst))?;
+                self.transition(inst, word(tag, RUNNING), word(tag, DONE))
+                    .map_err(|w| self.classify(inst, epoch, w))?;
                 self.completions.fetch_add(1, Ordering::Relaxed);
                 let sentinel = PoisonGuard::arm(&self.poisoned);
                 let block = self.gm.block_of(t);
@@ -469,14 +588,22 @@ impl<P: ProgramHandle> SyncMemory<P> {
                     self.mark_resident(inlet.thread, &mut guard);
                     out.push(inlet);
                 } else {
-                    self.finished.store(true, Ordering::Release);
+                    // the last block's outlet closes one epoch: either a
+                    // further epoch was already credited — wrap the table
+                    // around and stream on — or the pass drains
+                    guard.completed += 1;
+                    if guard.completed < guard.opened {
+                        self.advance_epoch(&mut guard, out);
+                    } else {
+                        self.finished.store(true, Ordering::Release);
+                    }
                 }
                 sentinel.disarm();
             }
             ThreadKind::App => {
                 // The hot path: no lock anywhere.
-                self.transition(inst, RUNNING, DONE)
-                    .map_err(|_| CoreError::NotRunning(inst))?;
+                self.transition(inst, word(tag, RUNNING), word(tag, DONE))
+                    .map_err(|w| self.classify(inst, epoch, w))?;
                 self.completions.fetch_add(1, Ordering::Relaxed);
                 let sentinel = PoisonGuard::arm(&self.poisoned);
                 self.post_process(inst, out);
@@ -484,6 +611,87 @@ impl<P: ProgramHandle> SyncMemory<P> {
             }
         }
         Ok(())
+    }
+
+    /// Re-arm the table for the next epoch: bump the epoch counter, mark
+    /// the first block's inlet resident under the *new* tag, and publish
+    /// it so the scheduler restarts the dataflow. Caller holds the block
+    /// lock; every slot is vacant at this point (the closing outlet just
+    /// unloaded the last block).
+    fn advance_epoch(&self, guard: &mut MutexGuard<'_, BlockState>, out: &mut Vec<Instance>) {
+        debug_assert_eq!(guard.resident, 0, "advance with instances resident");
+        let next = self.epoch.load(Ordering::Relaxed) + 1;
+        // Release: the re-armed inlet's dispatcher must observe the new
+        // epoch id after seeing the inlet published.
+        self.epoch.store(next, Ordering::Release);
+        let inlet = self.gm.first_inlet();
+        self.mark_resident(inlet.thread, guard);
+        out.push(inlet);
+    }
+
+    /// Credit one more streaming pass. Returns the epoch id the credit
+    /// pays for; ids are dense and monotonic, with epoch 0 the implicit
+    /// one-shot pass of construction. Fails with
+    /// [`CoreError::WindowExhausted`] when the credit window is full — the
+    /// feeder must wait for [`retire_epoch`](Self::retire_epoch).
+    ///
+    /// If the stream had already drained (the last credited epoch
+    /// finished and [`finished`](Self::finished) latched), the table
+    /// re-arms here and the newly resident first inlet is appended to
+    /// `out` — the caller must hand it to its scheduler exactly like an
+    /// instance published by a completion. Otherwise the wrap-around
+    /// happens on the closing outlet's completion and `out` stays empty.
+    pub fn open_epoch(&self, out: &mut Vec<Instance>) -> Result<Epoch, CoreError> {
+        out.clear();
+        self.check_poisoned()?;
+        let mut guard = self.lock_block()?;
+        if self.window != 0 && (guard.opened - guard.retired) as usize >= self.window {
+            return Err(CoreError::WindowExhausted {
+                window: self.window,
+            });
+        }
+        let id = guard.opened;
+        guard.opened += 1;
+        if self.finished.swap(false, Ordering::AcqRel) {
+            let sentinel = PoisonGuard::arm(&self.poisoned);
+            self.advance_epoch(&mut guard, out);
+            sentinel.disarm();
+        }
+        Ok(Epoch(id))
+    }
+
+    /// Acknowledge a completed epoch and return its credit to the window.
+    /// Epochs retire oldest-first and exactly once: a second retirement of
+    /// the same epoch loses with [`CoreError::StaleEpoch`] (one winner,
+    /// same rule as slot completions), an out-of-order or premature one
+    /// with [`CoreError::EpochNotDrained`].
+    pub fn retire_epoch(&self, epoch: Epoch) -> Result<(), CoreError> {
+        self.check_poisoned()?;
+        let mut guard = self.lock_block()?;
+        if epoch.0 < guard.retired {
+            return Err(CoreError::StaleEpoch {
+                epoch,
+                current: Epoch(self.epoch.load(Ordering::Acquire)),
+            });
+        }
+        if epoch.0 != guard.retired || epoch.0 >= guard.completed {
+            return Err(CoreError::EpochNotDrained(epoch));
+        }
+        guard.retired += 1;
+        Ok(())
+    }
+
+    /// The epoch currently executing.
+    pub fn current_epoch(&self) -> Epoch {
+        Epoch(self.epoch.load(Ordering::Acquire))
+    }
+
+    /// The epoch ledger `(opened, completed, retired)` — the streaming
+    /// bookkeeping invariant `retired <= completed <= opened` that stress
+    /// tests assert between chaos rounds.
+    pub fn epoch_ledger(&self) -> (u64, u64, u64) {
+        let guard = self.block_forensics();
+        (guard.opened, guard.completed, guard.retired)
     }
 
     fn post_process(&self, inst: Instance, out: &mut Vec<Instance>) {
@@ -514,7 +722,7 @@ impl<P: ProgramHandle> SyncMemory<P> {
         shard.rc_rmws.fetch_add(1, Ordering::Relaxed);
         let slot = self.slot(ci);
         assert_ne!(
-            slot.state.load(Ordering::Acquire),
+            phase(slot.state.load(Ordering::Acquire)),
             VACANT,
             "consumer {ci:?} not resident"
         );
@@ -543,6 +751,7 @@ impl<P: ProgramHandle> SyncMemory<P> {
     pub fn complete_batch(
         &self,
         done: &[Instance],
+        epoch: Epoch,
         out: &mut Vec<Instance>,
     ) -> Result<(), CoreError> {
         out.clear();
@@ -550,6 +759,7 @@ impl<P: ProgramHandle> SyncMemory<P> {
         let Some(&first) = done.first() else {
             return Ok(());
         };
+        let tag = tag_of(epoch.0);
         let updater = self.gm.owner_of(first);
         let sentinel = PoisonGuard::arm(&self.poisoned);
         let mut combined: BTreeMap<Instance, u32> = BTreeMap::new();
@@ -559,8 +769,8 @@ impl<P: ProgramHandle> SyncMemory<P> {
                 ThreadKind::App,
                 "only App completions may be funneled: {inst:?}"
             );
-            self.transition(inst, RUNNING, DONE)
-                .map_err(|_| CoreError::NotRunning(inst))?;
+            self.transition(inst, word(tag, RUNNING), word(tag, DONE))
+                .map_err(|w| self.classify(inst, epoch, w))?;
             self.completions.fetch_add(1, Ordering::Relaxed);
             let pa = self.gm.program().thread(inst.thread).arity;
             for arc in self.gm.consumers(inst.thread) {
@@ -667,7 +877,7 @@ impl<P: ProgramHandle> SyncMemory<P> {
             for c in 0..spec.arity {
                 let instance = Instance::new(ThreadId(t as u32), Context(c));
                 let slot = self.slot(instance);
-                if slot.state.load(Ordering::Acquire) != RESIDENT {
+                if phase(slot.state.load(Ordering::Acquire)) != RESIDENT {
                     continue;
                 }
                 let remaining = slot.rc.load(Ordering::Acquire);
@@ -689,7 +899,7 @@ impl<P: ProgramHandle> SyncMemory<P> {
         for (t, spec) in self.gm.program().threads().iter().enumerate() {
             for c in 0..spec.arity {
                 let instance = Instance::new(ThreadId(t as u32), Context(c));
-                if self.slot(instance).state.load(Ordering::Acquire) == RUNNING {
+                if phase(self.slot(instance).state.load(Ordering::Acquire)) == RUNNING {
                     out.push(instance);
                 }
             }
@@ -718,6 +928,7 @@ impl<P: ProgramHandle> SyncMemory<P> {
             steals: 0,
             blocks_loaded: guard.blocks_loaded,
             max_resident: guard.max_resident,
+            epochs: guard.completed,
             sm_contended: self
                 .shards
                 .iter()
@@ -766,8 +977,8 @@ mod tests {
         let mut queue = vec![sm.armed_inlet()];
         let mut done = 0usize;
         while let Some(i) = queue.pop() {
-            sm.dispatch(i).unwrap();
-            sm.complete(i, &mut ready).unwrap();
+            let ep = sm.dispatch(i).unwrap();
+            sm.complete(i, ep, &mut ready).unwrap();
             done += 1;
             queue.append(&mut ready);
         }
@@ -801,8 +1012,8 @@ mod tests {
         let mut ready = Vec::new();
         let mut queue = vec![sm.armed_inlet()];
         while let Some(i) = queue.pop() {
-            sm.dispatch(i).unwrap();
-            sm.complete(i, &mut ready).unwrap();
+            let ep = sm.dispatch(i).unwrap();
+            sm.complete(i, ep, &mut ready).unwrap();
             queue.append(&mut ready);
         }
         let shards = sm.shard_stats();
@@ -821,7 +1032,9 @@ mod tests {
         let p = fork_join();
         let sm = SyncMemory::new(&p, 1, 0);
         let mut ready = Vec::new();
-        let err = sm.complete(sm.armed_inlet(), &mut ready).unwrap_err();
+        let err = sm
+            .complete(sm.armed_inlet(), sm.current_epoch(), &mut ready)
+            .unwrap_err();
         assert!(matches!(err, CoreError::NotRunning(_)));
     }
 
@@ -850,9 +1063,9 @@ mod tests {
         let p = fork_join();
         let sm = SyncMemory::new(&p, 1, 6);
         let inlet = sm.armed_inlet();
-        sm.dispatch(inlet).unwrap();
+        let ep = sm.dispatch(inlet).unwrap();
         let mut ready = Vec::new();
-        let err = sm.complete(inlet, &mut ready).unwrap_err();
+        let err = sm.complete(inlet, ep, &mut ready).unwrap_err();
         assert!(matches!(err, CoreError::BlockTooLarge { .. }), "{err:?}");
         // nothing mutated: progress counters untouched, inlet still in
         // flight, no block loaded
@@ -862,7 +1075,7 @@ mod tests {
         assert_eq!(sm.stats().blocks_loaded, 0);
         // replaying the completion observes the same state and the same
         // error — not a protocol error about a missing instance
-        let again = sm.complete(inlet, &mut ready).unwrap_err();
+        let again = sm.complete(inlet, ep, &mut ready).unwrap_err();
         assert_eq!(err, again);
     }
 
@@ -871,7 +1084,7 @@ mod tests {
         let p = fork_join();
         let sm = SyncMemory::new(&p, 1, 0);
         let inlet = sm.armed_inlet();
-        sm.dispatch(inlet).unwrap();
+        let ep = sm.dispatch(inlet).unwrap();
         // a kernel dies while holding the block mutex: the OS-level poison
         // must latch and surface, not be swallowed by into_inner
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -880,7 +1093,10 @@ mod tests {
         }));
         assert!(result.is_err());
         let mut ready = Vec::new();
-        assert_eq!(sm.complete(inlet, &mut ready), Err(CoreError::SmPoisoned));
+        assert_eq!(
+            sm.complete(inlet, ep, &mut ready),
+            Err(CoreError::SmPoisoned)
+        );
         assert!(sm.is_poisoned());
         // every subsequent operation keeps failing loudly
         assert_eq!(sm.dispatch(inlet), Err(CoreError::SmPoisoned));
@@ -901,16 +1117,16 @@ mod tests {
         let sm = SyncMemory::new(&p, 1, 0);
         let mut ready = Vec::new();
         let inlet = sm.armed_inlet();
-        sm.dispatch(inlet).unwrap();
-        sm.complete(inlet, &mut ready).unwrap();
+        let ep = sm.dispatch(inlet).unwrap();
+        sm.complete(inlet, ep, &mut ready).unwrap();
         let src = Instance::new(ThreadId(0), Context(0));
-        sm.dispatch(src).unwrap();
+        let ep = sm.dispatch(src).unwrap();
         // fake a corrupted table: vacate the consumer behind the SM's back
         let work0 = Instance::new(ThreadId(1), Context(0));
         sm.slot(work0).state.store(VACANT, Ordering::Release);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut out = Vec::new();
-            let _ = sm.complete(src, &mut out);
+            let _ = sm.complete(src, ep, &mut out);
         }));
         assert!(result.is_err(), "vacant consumer must still panic");
         assert!(sm.is_poisoned());
@@ -931,8 +1147,8 @@ mod tests {
         let sm = SyncMemory::new(&p, 4, 0);
         let mut ready = Vec::new();
         let inlet = sm.armed_inlet();
-        sm.dispatch(inlet).unwrap();
-        sm.complete(inlet, &mut ready).unwrap();
+        let ep = sm.dispatch(inlet).unwrap();
+        sm.complete(inlet, ep, &mut ready).unwrap();
         assert_eq!(ready.len(), 64);
 
         let newly: Mutex<Vec<Instance>> = Mutex::new(Vec::new());
@@ -942,8 +1158,8 @@ mod tests {
                 s.spawn(move || {
                     let mut local = Vec::new();
                     for &i in chunk {
-                        sm.dispatch(i).unwrap();
-                        sm.complete(i, &mut local).unwrap();
+                        let ep = sm.dispatch(i).unwrap();
+                        sm.complete(i, ep, &mut local).unwrap();
                         newly_ref.lock().unwrap().extend(local.drain(..));
                     }
                 });
@@ -971,8 +1187,8 @@ mod tests {
     fn armed_block(sm: &SyncMemory<&DdmProgram>) -> Vec<Instance> {
         let mut ready = Vec::new();
         let inlet = sm.armed_inlet();
-        sm.dispatch(inlet).unwrap();
-        sm.complete(inlet, &mut ready).unwrap();
+        let ep = sm.dispatch(inlet).unwrap();
+        sm.complete(inlet, ep, &mut ready).unwrap();
         for &i in &ready {
             sm.dispatch(i).unwrap();
         }
@@ -986,19 +1202,21 @@ mod tests {
         // direct: one decrement per completion
         let direct = SyncMemory::new(&p, 2, 0);
         let work = armed_block(&direct);
+        let ep = direct.current_epoch();
         let mut direct_ready = Vec::new();
         let mut scratch = Vec::new();
         for &i in &work {
-            direct.complete(i, &mut scratch).unwrap();
+            direct.complete(i, ep, &mut scratch).unwrap();
             direct_ready.extend_from_slice(&scratch);
         }
 
         // batched: the same 16 completions in two flushes of 8
         let batched = SyncMemory::new(&p, 2, 0);
         let work = armed_block(&batched);
+        let ep = batched.current_epoch();
         let mut batched_ready = Vec::new();
         for half in work.chunks(8) {
-            batched.complete_batch(half, &mut scratch).unwrap();
+            batched.complete_batch(half, ep, &mut scratch).unwrap();
             batched_ready.extend_from_slice(&scratch);
         }
 
@@ -1019,12 +1237,13 @@ mod tests {
         let sink = ThreadId(1);
         let sm = SyncMemory::new(&p, 2, 0);
         let work = armed_block(&sm);
+        let ep = sm.current_epoch();
         let mut out = Vec::new();
         // first 7 as one batch: sink not yet ready
-        sm.complete_batch(&work[..7], &mut out).unwrap();
+        sm.complete_batch(&work[..7], ep, &mut out).unwrap();
         assert!(out.is_empty(), "{out:?}");
         // the final completion crosses 1→0 and publishes the sink once
-        sm.complete_batch(&work[7..], &mut out).unwrap();
+        sm.complete_batch(&work[7..], ep, &mut out).unwrap();
         assert_eq!(out, vec![Instance::scalar(sink)]);
     }
 
@@ -1033,7 +1252,7 @@ mod tests {
         let p = wide_reduction(4);
         let sm = SyncMemory::new(&p, 2, 0);
         let mut out = vec![Instance::scalar(ThreadId(0))];
-        sm.complete_batch(&[], &mut out).unwrap();
+        sm.complete_batch(&[], sm.current_epoch(), &mut out).unwrap();
         assert!(out.is_empty());
         assert_eq!(sm.completions(), 0);
     }
@@ -1045,16 +1264,17 @@ mod tests {
         let p = wide_reduction(4);
         let sm = SyncMemory::new(&p, 2, 0);
         let work = armed_block(&sm);
+        let ep = sm.current_epoch();
         let bogus = Instance::new(ThreadId(0), Context(3));
         let batch = [work[0], work[1], bogus];
         // `bogus` is dispatched... but completed twice within one batch
-        sm.complete(bogus, &mut Vec::new()).unwrap();
+        sm.complete(bogus, ep, &mut Vec::new()).unwrap();
         let mut out = Vec::new();
-        let err = sm.complete_batch(&batch, &mut out).unwrap_err();
+        let err = sm.complete_batch(&batch, ep, &mut out).unwrap_err();
         assert_eq!(err, CoreError::NotRunning(bogus));
         assert!(sm.is_poisoned());
         assert_eq!(
-            sm.complete_batch(&[work[2]], &mut out),
+            sm.complete_batch(&[work[2]], ep, &mut out),
             Err(CoreError::SmPoisoned)
         );
     }
@@ -1064,9 +1284,10 @@ mod tests {
         let p = wide_reduction(32);
         let sm = SyncMemory::new(&p, 1, 0);
         let work = armed_block(&sm);
+        let ep = sm.current_epoch();
         let mut scratch = Vec::new();
         for &i in &work {
-            sm.complete(i, &mut scratch).unwrap();
+            sm.complete(i, ep, &mut scratch).unwrap();
         }
         assert_eq!(sm.stats().sm_contended, 0);
     }
@@ -1081,11 +1302,12 @@ mod tests {
         let p = wide_reduction(32);
         let sm = SyncMemory::new(&p, 2, 0);
         let work = armed_block(&sm);
+        let ep = sm.current_epoch();
         let mut scratch = Vec::new();
         // interleave kernels: K0 owns first half, K1 second half
         for pair in work[..16].iter().zip(work[16..].iter()) {
-            sm.complete(*pair.0, &mut scratch).unwrap();
-            sm.complete(*pair.1, &mut scratch).unwrap();
+            sm.complete(*pair.0, ep, &mut scratch).unwrap();
+            sm.complete(*pair.1, ep, &mut scratch).unwrap();
         }
         let contended = sm.stats().sm_contended;
         // 32 alternating updates on the sink slot → 31 transfers, plus 31
@@ -1096,8 +1318,150 @@ mod tests {
         // line changes hands once (and the outlet line once)
         let sm2 = SyncMemory::new(&p, 2, 0);
         let work = armed_block(&sm2);
-        sm2.complete_batch(&work[..16], &mut scratch).unwrap();
-        sm2.complete_batch(&work[16..], &mut scratch).unwrap();
+        let ep = sm2.current_epoch();
+        sm2.complete_batch(&work[..16], ep, &mut scratch).unwrap();
+        sm2.complete_batch(&work[16..], ep, &mut scratch).unwrap();
         assert_eq!(sm2.stats().sm_contended, 2);
+    }
+
+    /// Drain the table from `seed` until nothing is ready. Streams across
+    /// epoch boundaries: a closing outlet that wraps the table around
+    /// publishes the re-armed inlet, which lands back on the queue.
+    fn drain_from(sm: &SyncMemory<&DdmProgram>, seed: Vec<Instance>) -> usize {
+        let mut ready = Vec::new();
+        let mut queue = seed;
+        let mut done = 0usize;
+        while let Some(i) = queue.pop() {
+            let ep = sm.dispatch(i).unwrap();
+            sm.complete(i, ep, &mut ready).unwrap();
+            done += 1;
+            queue.append(&mut ready);
+        }
+        done
+    }
+
+    #[test]
+    fn streaming_epochs_rearm_and_replay() {
+        let p = fork_join();
+        let sm = SyncMemory::new(&p, 2, 0);
+        let mut out = Vec::new();
+        // credit two more passes up front; epoch 0 is still running, so
+        // nothing re-arms yet and the drain streams through all three
+        assert_eq!(sm.open_epoch(&mut out).unwrap(), Epoch(1));
+        assert!(out.is_empty());
+        assert_eq!(sm.open_epoch(&mut out).unwrap(), Epoch(2));
+        let done = drain_from(&sm, vec![sm.armed_inlet()]);
+        assert_eq!(done, 3 * p.total_instances());
+        assert!(sm.finished());
+        assert_eq!(sm.current_epoch(), Epoch(2));
+        assert_eq!(sm.epoch_ledger(), (3, 3, 0));
+        let s = sm.stats();
+        assert_eq!(s.epochs, 3);
+        assert_eq!(s.completions as usize, 3 * p.total_instances());
+        assert_eq!(s.blocks_loaded, 3);
+        // a fourth pass after the drain: this open re-arms immediately and
+        // hands the caller the resident inlet to schedule
+        assert_eq!(sm.open_epoch(&mut out).unwrap(), Epoch(3));
+        assert_eq!(out, vec![sm.armed_inlet()]);
+        assert!(!sm.finished());
+        assert_eq!(drain_from(&sm, out.clone()), p.total_instances());
+        assert!(sm.finished());
+    }
+
+    #[test]
+    fn stale_completion_from_a_finished_epoch_is_rejected() {
+        let p = wide_reduction(4);
+        let sm = SyncMemory::new(&p, 1, 0);
+        let mut out = Vec::new();
+        sm.open_epoch(&mut out).unwrap();
+        let work = armed_block(&sm);
+        let e0 = sm.current_epoch();
+        let mut ready = Vec::new();
+        let mut queue: Vec<Instance> = Vec::new();
+        for &i in &work {
+            sm.complete(i, e0, &mut ready).unwrap();
+            queue.append(&mut ready);
+        }
+        // sink, then the outlet whose completion wraps into epoch 1
+        while let Some(i) = queue.pop() {
+            let ep = sm.dispatch(i).unwrap();
+            sm.complete(i, ep, &mut ready).unwrap();
+            if sm.current_epoch() != e0 {
+                break;
+            }
+            queue.append(&mut ready);
+        }
+        assert_eq!(sm.current_epoch(), Epoch(1));
+        let inlet = sm.armed_inlet();
+        let e1 = sm.dispatch(inlet).unwrap();
+        assert_eq!(e1, Epoch(1));
+        sm.complete(inlet, e1, &mut ready).unwrap();
+        // a late duplicate still holding its epoch-0 token loses on the
+        // tag bits — the re-armed slot is untouched
+        assert_eq!(
+            sm.complete(work[0], e0, &mut ready),
+            Err(CoreError::StaleEpoch {
+                epoch: Epoch(0),
+                current: Epoch(1),
+            })
+        );
+        // a same-epoch protocol error still classifies as NotRunning
+        assert_eq!(
+            sm.complete(work[0], e1, &mut ready),
+            Err(CoreError::NotRunning(work[0]))
+        );
+        // and the instance runs epoch 1 normally afterwards
+        let ep = sm.dispatch(work[0]).unwrap();
+        assert_eq!(ep, Epoch(1));
+        sm.complete(work[0], ep, &mut ready).unwrap();
+    }
+
+    #[test]
+    fn credit_window_bounds_in_flight_epochs() {
+        let p = fork_join();
+        let sm = SyncMemory::with_window(&p, 1, 0, 2);
+        let mut out = Vec::new();
+        // epoch 0 holds one credit from construction; one more fits
+        assert_eq!(sm.open_epoch(&mut out).unwrap(), Epoch(1));
+        assert_eq!(
+            sm.open_epoch(&mut out),
+            Err(CoreError::WindowExhausted { window: 2 })
+        );
+        // run both epochs and retire the first: a credit frees up
+        let done = drain_from(&sm, vec![sm.armed_inlet()]);
+        assert_eq!(done, 2 * p.total_instances());
+        sm.retire_epoch(Epoch(0)).unwrap();
+        assert_eq!(sm.open_epoch(&mut out).unwrap(), Epoch(2));
+        assert_eq!(out, vec![sm.armed_inlet()]);
+    }
+
+    #[test]
+    fn epochs_retire_oldest_first_exactly_once() {
+        let p = fork_join();
+        let sm = SyncMemory::new(&p, 1, 0);
+        let mut out = Vec::new();
+        sm.open_epoch(&mut out).unwrap();
+        // nothing has completed yet: retiring is premature
+        assert_eq!(
+            sm.retire_epoch(Epoch(0)),
+            Err(CoreError::EpochNotDrained(Epoch(0)))
+        );
+        drain_from(&sm, vec![sm.armed_inlet()]);
+        // out of order: epoch 1 cannot retire before epoch 0
+        assert_eq!(
+            sm.retire_epoch(Epoch(1)),
+            Err(CoreError::EpochNotDrained(Epoch(1)))
+        );
+        sm.retire_epoch(Epoch(0)).unwrap();
+        // exactly one winner: a duplicate retirement is stale
+        assert_eq!(
+            sm.retire_epoch(Epoch(0)),
+            Err(CoreError::StaleEpoch {
+                epoch: Epoch(0),
+                current: Epoch(1),
+            })
+        );
+        sm.retire_epoch(Epoch(1)).unwrap();
+        assert_eq!(sm.epoch_ledger(), (2, 2, 2));
     }
 }

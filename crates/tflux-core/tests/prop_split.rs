@@ -82,7 +82,7 @@ proptest! {
         let mut tsu = CoreTsu::new(&q, 3, TsuConfig {
             capacity: d.capacity,
             policy: SchedulingPolicy::default(),
-            flush: Default::default(),
+            ..Default::default()
         });
         let order = drain_sequential(&mut tsu);
         prop_assert_eq!(order.len(), q.total_instances());

@@ -113,7 +113,7 @@ proptest! {
         let mut tsu = CoreTsu::new(&p, desc.kernels, TsuConfig {
             capacity: 0,
             policy: desc.policy,
-            flush: Default::default(),
+            ..Default::default()
         });
         let order = drain_sequential(&mut tsu);
         prop_assert_eq!(order.len(), p.total_instances());
@@ -131,7 +131,7 @@ proptest! {
         let mut tsu = CoreTsu::new(&p, desc.kernels, TsuConfig {
             capacity: 0,
             policy: desc.policy,
-            flush: Default::default(),
+            ..Default::default()
         });
         let order = drain_sequential(&mut tsu);
         let pos: HashMap<Instance, usize> =
@@ -161,7 +161,7 @@ proptest! {
         let mut tsu = CoreTsu::new(&p, desc.kernels, TsuConfig {
             capacity: 0,
             policy: desc.policy,
-            flush: Default::default(),
+            ..Default::default()
         });
         let order = drain_sequential(&mut tsu);
         let blocks: Vec<u32> = order.iter().map(|i| p.block_of(i.thread).0).collect();

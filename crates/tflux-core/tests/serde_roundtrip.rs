@@ -55,7 +55,7 @@ fn config_types_roundtrip() {
     let cfg = TsuConfig {
         capacity: 99,
         policy: SchedulingPolicy::LocalityFirst { steal: false },
-        flush: Default::default(),
+        ..Default::default()
     };
     let json = serde_json::to_string(&cfg).unwrap();
     let back: TsuConfig = serde_json::from_str(&json).unwrap();

@@ -29,8 +29,8 @@ fn race_round(arity: u32, racers: usize, kernels: u32) {
     let sm = SyncMemory::new(&p, kernels, 0);
     let mut ready = Vec::new();
     let inlet = sm.armed_inlet();
-    sm.dispatch(inlet).unwrap();
-    sm.complete(inlet, &mut ready).unwrap();
+    let ep = sm.dispatch(inlet).unwrap();
+    sm.complete(inlet, ep, &mut ready).unwrap();
     assert_eq!(ready.len(), arity as usize);
 
     let wins = AtomicU64::new(0);
@@ -47,9 +47,9 @@ fn race_round(arity: u32, racers: usize, kernels: u32) {
                     // admit exactly one winner, and reject the rest with a
                     // protocol error rather than a silent double-dispatch
                     match sm_ref.dispatch(i) {
-                        Ok(()) => {
+                        Ok(ep) => {
                             wins_ref.fetch_add(1, Ordering::Relaxed);
-                            sm_ref.complete(i, &mut local).unwrap();
+                            sm_ref.complete(i, ep, &mut local).unwrap();
                             newly_ref.lock().unwrap().extend(local.drain(..));
                         }
                         Err(CoreError::NotResident(lost)) => {
@@ -85,8 +85,8 @@ fn race_round(arity: u32, racers: usize, kernels: u32) {
     // drain the rest of the program sequentially: sink, then outlet
     let mut frontier = newly;
     while let Some(i) = frontier.pop() {
-        sm.dispatch(i).unwrap();
-        sm.complete(i, &mut frontier).unwrap();
+        let ep = sm.dispatch(i).unwrap();
+        sm.complete(i, ep, &mut frontier).unwrap();
     }
     assert!(sm.finished(), "program must drain to completion");
     assert!(!sm.is_poisoned());
@@ -139,8 +139,8 @@ fn racing_batch_flushers_conserve_the_decrement_ledger() {
     let sm = SyncMemory::new(&p, 4, 0);
     let mut ready = Vec::new();
     let inlet = sm.armed_inlet();
-    sm.dispatch(inlet).unwrap();
-    sm.complete(inlet, &mut ready).unwrap();
+    let ep = sm.dispatch(inlet).unwrap();
+    sm.complete(inlet, ep, &mut ready).unwrap();
     assert_eq!(ready.len(), arity as usize);
 
     let newly: Mutex<Vec<Instance>> = Mutex::new(Vec::new());
@@ -151,12 +151,13 @@ fn racing_batch_flushers_conserve_the_decrement_ledger() {
                 let mut out = Vec::new();
                 let mut published = Vec::new();
                 for sub in slice.chunks(batch) {
+                    let mut ep = sm_ref.current_epoch();
                     for &i in sub {
-                        sm_ref.dispatch(i).unwrap();
+                        ep = sm_ref.dispatch(i).unwrap();
                     }
                     // one flush per sub-batch: each covers up to `batch`
                     // logical decrements of the sink with one RMW
-                    sm_ref.complete_batch(sub, &mut out).unwrap();
+                    sm_ref.complete_batch(sub, ep, &mut out).unwrap();
                     published.append(&mut out);
                 }
                 newly_ref.lock().unwrap().extend(published);
@@ -192,8 +193,8 @@ fn racing_batch_flushers_conserve_the_decrement_ledger() {
     // drain the rest of the program and audit the totals
     let mut frontier = newly;
     while let Some(i) = frontier.pop() {
-        sm.dispatch(i).unwrap();
-        sm.complete(i, &mut frontier).unwrap();
+        let ep = sm.dispatch(i).unwrap();
+        sm.complete(i, ep, &mut frontier).unwrap();
     }
     assert!(sm.finished(), "program must drain to completion");
     assert!(!sm.is_poisoned());
@@ -217,8 +218,8 @@ fn completions_are_exact_under_concurrent_completers() {
     let sm = SyncMemory::new(&p, 4, 0);
     let mut ready = Vec::new();
     let inlet = sm.armed_inlet();
-    sm.dispatch(inlet).unwrap();
-    sm.complete(inlet, &mut ready).unwrap();
+    let ep = sm.dispatch(inlet).unwrap();
+    sm.complete(inlet, ep, &mut ready).unwrap();
 
     let done: Mutex<Vec<Instance>> = Mutex::new(Vec::new());
     let (sm_ref, done_ref) = (&sm, &done);
@@ -227,8 +228,8 @@ fn completions_are_exact_under_concurrent_completers() {
             s.spawn(move || {
                 let mut newly = Vec::new();
                 for &i in chunk {
-                    sm_ref.dispatch(i).unwrap();
-                    sm_ref.complete(i, &mut newly).unwrap();
+                    let ep = sm_ref.dispatch(i).unwrap();
+                    sm_ref.complete(i, ep, &mut newly).unwrap();
                 }
                 done_ref.lock().unwrap().extend(chunk.iter().copied());
                 done_ref.lock().unwrap().extend(newly.drain(..));
@@ -246,4 +247,106 @@ fn completions_are_exact_under_concurrent_completers() {
     assert!(counts.values().all(|&c| c == 1), "double-ready detected");
     assert_eq!(counts.get(&Instance::scalar(sink)), Some(&1));
     assert_eq!(sm.completions(), 1 + arity as u64); // inlet + work
+}
+
+#[test]
+fn stale_epoch_completions_lose_the_rearm_race() {
+    // streaming re-arm race: epoch 1 re-runs the whole graph while racers
+    // replay every epoch-0 work completion with its (now stale) token.
+    // Exactly-one-winner means every stale replay must be rejected — the
+    // slot tag comparison classifies it as StaleEpoch once the slot is
+    // re-armed under the new tag, or NotRunning while it is still
+    // unloaded — and the ledger must show exactly two clean passes.
+    let arity = 256u32;
+    let mut b = ProgramBuilder::new();
+    let blk = b.block();
+    let work = b.thread(blk, ThreadSpec::new("work", arity));
+    let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+    b.arc(work, sink, ArcMapping::Reduction).unwrap();
+    let p = b.build().unwrap();
+
+    let sm = SyncMemory::new(&p, 4, 0);
+    let mut ready = Vec::new();
+    let inlet = sm.armed_inlet();
+    let e0 = sm.dispatch(inlet).unwrap();
+    sm.complete(inlet, e0, &mut ready).unwrap();
+    let work_insts = ready.clone();
+    let mut frontier = Vec::new();
+    for &i in &work_insts {
+        let ep = sm.dispatch(i).unwrap();
+        assert_eq!(ep, e0);
+        sm.complete(i, ep, &mut frontier).unwrap();
+    }
+    // bank a second pass before the wrap, so the outlet completion below
+    // re-arms the graph into epoch 1
+    let mut out = Vec::new();
+    let e1 = sm.open_epoch(&mut out).unwrap();
+    assert!(out.is_empty(), "epoch 0 still running; credit is banked");
+    while let Some(i) = frontier.pop() {
+        let ep = sm.dispatch(i).unwrap();
+        sm.complete(i, ep, &mut frontier).unwrap();
+        if sm.current_epoch() != e0 {
+            break; // the outlet wrapped the table into epoch 1
+        }
+    }
+    assert_eq!(sm.current_epoch(), e1);
+
+    let stale_tagged = AtomicU64::new(0);
+    let (sm_ref, stale_ref) = (&sm, &stale_tagged);
+    std::thread::scope(|s| {
+        // racers replay every epoch-0 completion with the stale token
+        for _ in 0..4 {
+            let work_insts = work_insts.clone();
+            s.spawn(move || {
+                let mut buf = Vec::new();
+                for &i in &work_insts {
+                    match sm_ref.complete(i, e0, &mut buf) {
+                        Ok(()) => panic!("stale epoch-0 completion of {i} was accepted"),
+                        Err(CoreError::StaleEpoch { epoch, current }) => {
+                            assert_eq!(epoch, e0);
+                            assert_eq!(current, e1);
+                            stale_ref.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // before the block reloads (or after epoch 1 ran the
+                        // instance) the slot rejects on phase instead of tag
+                        Err(CoreError::NotRunning(lost)) => assert_eq!(lost, i),
+                        Err(e) => panic!("unexpected rejection: {e}"),
+                    }
+                }
+            });
+        }
+        // one driver runs epoch 1 to completion underneath the replays
+        s.spawn(move || {
+            let mut frontier = vec![sm_ref.armed_inlet()];
+            let mut newly = Vec::new();
+            while let Some(i) = frontier.pop() {
+                let ep = sm_ref.dispatch(i).unwrap();
+                assert_eq!(ep, e1);
+                sm_ref.complete(i, ep, &mut newly).unwrap();
+                frontier.append(&mut newly);
+            }
+        });
+    });
+
+    assert!(sm.finished(), "epoch 1 must drain despite the stale replays");
+    assert!(!sm.is_poisoned());
+    // after the wrap the rejection is deterministic: the slot carries the
+    // epoch-1 tag, so the stale token loses on the tag bits
+    let mut buf = Vec::new();
+    assert_eq!(
+        sm.complete(work_insts[0], e0, &mut buf),
+        Err(CoreError::StaleEpoch {
+            epoch: e0,
+            current: e1
+        })
+    );
+    // cross-epoch corruption would break the ledger: exactly two passes'
+    // worth of completions and decrements, nothing leaked from a replay
+    let st = sm.stats();
+    assert_eq!(st.completions as usize, 2 * p.total_instances());
+    assert_eq!(st.rc_updates, 2 * (2 * arity as u64 + 1));
+    assert_eq!(sm.epoch_ledger(), (2, 2, 0));
+    sm.retire_epoch(e0).unwrap();
+    sm.retire_epoch(e1).unwrap();
+    assert_eq!(sm.epoch_ledger(), (2, 2, 2));
 }

@@ -23,7 +23,7 @@ use crate::stats::{InFlightInstance, StallReport};
 use crate::tub::Tub;
 use std::time::{Duration, Instant};
 use tflux_core::error::CoreError;
-use tflux_core::ids::Instance;
+use tflux_core::ids::{Epoch, Instance};
 use tflux_core::tsu::{ProgramHandle, TsuStats};
 
 /// Why the emulator stopped.
@@ -64,7 +64,7 @@ pub(crate) enum DrainRound {
 pub(crate) fn drain_round<P: ProgramHandle>(
     soft: &SoftTsu<P>,
     tub: &Tub,
-    batch: &mut Vec<Instance>,
+    batch: &mut Vec<(Instance, Epoch)>,
     scratch: &mut Vec<Instance>,
 ) -> DrainRound {
     // a kernel hit a protocol error on the direct path and kicked us
@@ -73,8 +73,8 @@ pub(crate) fn drain_round<P: ProgramHandle>(
     }
     batch.clear();
     let drained = tub.drain_into(batch);
-    for &done in batch.iter() {
-        if let Err(e) = soft.handle_completion(done, scratch) {
+    for &(done, ep) in batch.iter() {
+        if let Err(e) = soft.handle_completion(done, ep, scratch) {
             return DrainRound::Protocol(e);
         }
     }
@@ -131,7 +131,7 @@ pub fn run_emulator<P: ProgramHandle, F: FaultInjector>(
     watchdog: Duration,
     injector: &F,
 ) -> EmulatorExit {
-    let mut batch: Vec<Instance> = Vec::new();
+    let mut batch: Vec<(Instance, Epoch)> = Vec::new();
     let mut scratch: Vec<Instance> = Vec::new();
     let mut last_progress = Instant::now();
     let mut seen_completions = soft.completions();
@@ -208,9 +208,9 @@ mod tests {
             let tubref = &tub;
             let exec = &executed;
             s.spawn(move || {
-                while let FetchResult::Thread(i) = softref.queue(0).pop() {
+                while let FetchResult::Thread(i, ep) = softref.queue(0).pop() {
                     exec.fetch_add(1, Ordering::Relaxed);
-                    tubref.push(i);
+                    tubref.push(i, ep);
                 }
             });
             let exit = run_emulator(softref, tubref, Duration::from_secs(30), &NoFaults);
@@ -256,7 +256,7 @@ mod tests {
         // queue was shut down: a kernel popping now drains then exits
         assert!(matches!(
             soft.queue(0).try_pop(),
-            FetchResult::Thread(_) | FetchResult::Exit
+            FetchResult::Thread(..) | FetchResult::Exit
         ));
     }
 
@@ -269,7 +269,7 @@ mod tests {
             TsuConfig {
                 capacity: 8,
                 policy: Default::default(),
-                flush: Default::default(),
+                ..Default::default()
             },
         );
         let tub = Tub::new(1);
@@ -277,8 +277,8 @@ mod tests {
             let softref = &soft;
             let tubref = &tub;
             s.spawn(move || {
-                while let FetchResult::Thread(i) = softref.queue(0).pop() {
-                    tubref.push(i);
+                while let FetchResult::Thread(i, ep) = softref.queue(0).pop() {
+                    tubref.push(i, ep);
                 }
             });
             let exit = run_emulator(softref, tubref, Duration::from_secs(5), &NoFaults);

@@ -208,8 +208,8 @@ pub fn run_kernel<P: ProgramHandle, F: FaultInjector>(
                 break;
             }
         };
-        let instance = match fetched {
-            FetchResult::Thread(i) => i,
+        let (instance, epoch) = match fetched {
+            FetchResult::Thread(i, ep) => (i, ep),
             FetchResult::Exit => break,
             FetchResult::Wait => continue,
         };
@@ -235,7 +235,7 @@ pub fn run_kernel<P: ProgramHandle, F: FaultInjector>(
             // error and exit cleanly instead of dying mid-update.
             ThreadKind::App if funnel.batching() => {
                 // park the completion; a full funnel flushes as one batch
-                if funnel.push(instance)
+                if funnel.push(instance, epoch)
                     && flush_funnel(&mut funnel, &mut backend, tub, &mut scratch).is_err()
                 {
                     break;
@@ -243,7 +243,7 @@ pub fn run_kernel<P: ProgramHandle, F: FaultInjector>(
             }
             ThreadKind::App => {
                 let completed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    backend.complete(instance, &mut scratch)
+                    backend.complete(instance, epoch, &mut scratch)
                 }));
                 match completed {
                     Ok(Ok(())) => {}
@@ -266,7 +266,7 @@ pub fn run_kernel<P: ProgramHandle, F: FaultInjector>(
                 if flush_funnel(&mut funnel, &mut backend, tub, &mut scratch).is_err() {
                     break;
                 }
-                tub.push_with(instance, injector);
+                tub.push_with(instance, epoch, injector);
             }
         }
     }
@@ -307,8 +307,8 @@ mod tests {
                 tub.wait(Duration::from_millis(1));
                 continue;
             }
-            for &i in batch.iter() {
-                soft.handle_completion(i, &mut scratch).unwrap();
+            for &(i, ep) in batch.iter() {
+                soft.handle_completion(i, ep, &mut scratch).unwrap();
             }
         }
         soft.shutdown();
@@ -399,7 +399,7 @@ mod tests {
             TsuConfig {
                 capacity: 0,
                 policy: SchedulingPolicy::LocalityFirst { steal: false },
-                flush: Default::default(),
+                ..Default::default()
             },
         );
         let tub = Tub::new(1);
@@ -474,7 +474,7 @@ mod tests {
             TsuConfig {
                 capacity: 0,
                 policy: SchedulingPolicy::LocalityFirst { steal: true },
-                flush: Default::default(),
+                ..Default::default()
             },
         );
         let tub = Tub::new(1);
@@ -582,7 +582,7 @@ mod tests {
             TsuConfig {
                 capacity: 0,
                 policy: SchedulingPolicy::LocalityFirst { steal: false },
-                flush: Default::default(),
+                ..Default::default()
             },
         );
         let tub = Tub::new(1);
@@ -608,8 +608,8 @@ mod tests {
             while soft.queue(1).len() < 3 {
                 batch.clear();
                 tub.drain_into(&mut batch);
-                for &i in batch.iter() {
-                    soft.handle_completion(i, &mut scratch).unwrap();
+                for &(i, ep) in batch.iter() {
+                    soft.handle_completion(i, ep, &mut scratch).unwrap();
                 }
                 std::thread::yield_now();
             }

@@ -531,7 +531,7 @@ mod tests {
         let err = Runtime::new(RuntimeConfig::with_kernels(2).tsu(TsuConfig {
             capacity: 4,
             policy: Default::default(),
-            flush: Default::default(),
+            ..Default::default()
         }))
         .run(&p, &bodies)
         .unwrap_err();
@@ -593,7 +593,7 @@ mod tests {
         let report = Runtime::new(RuntimeConfig::with_kernels(4).tsu(TsuConfig {
             capacity: 0,
             policy: tflux_core::SchedulingPolicy::GlobalFifo,
-            flush: Default::default(),
+            ..Default::default()
         }))
         .run(&p, &bodies)
         .unwrap();
@@ -648,7 +648,7 @@ mod tests {
         let report = Runtime::new(RuntimeConfig::with_kernels(3).tsu(TsuConfig {
             capacity: 0,
             policy: tflux_core::SchedulingPolicy::LocalityFirst { steal: false },
-            flush: Default::default(),
+            ..Default::default()
         }))
         .run(&p, &bodies)
         .unwrap();
@@ -705,7 +705,7 @@ mod tests {
             let err = Runtime::new(RuntimeConfig::with_kernels(3).tsu(TsuConfig {
                 capacity: 0,
                 policy,
-                flush: Default::default(),
+                ..Default::default()
             }))
             .run(&p, &bodies)
             .unwrap_err();

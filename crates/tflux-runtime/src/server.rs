@@ -49,7 +49,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 use tflux_core::error::CoreError;
-use tflux_core::ids::{Instance, KernelId, ProgramId};
+use tflux_core::ids::{Epoch, Instance, KernelId, ProgramId};
 use tflux_core::program::DdmProgram;
 use tflux_core::thread::ThreadKind;
 use tflux_core::tsu::{FetchResult, ServiceRotor, TsuBackend, TsuConfig};
@@ -191,10 +191,12 @@ pub struct Submission {
     weight: u32,
     deadline: Option<Duration>,
     faults: FaultPlan,
+    epochs: u64,
 }
 
 impl Submission {
-    /// A submission with weight 1, no deadline, and no injected faults.
+    /// A submission with weight 1, no deadline, no injected faults, and a
+    /// single execution epoch (classic one-shot run).
     ///
     /// Bodies must be `'static` (capture owned state, e.g. `Arc`s): unlike
     /// the scoped single-program runtime, server kernels outlive the
@@ -206,7 +208,18 @@ impl Submission {
             weight: 1,
             deadline: None,
             faults: FaultPlan::default(),
+            epochs: 1,
         }
+    }
+
+    /// Make this tenant a long-lived stream: the program graph is replayed
+    /// for `epochs` consecutive passes (clamped to ≥ 1) over re-armed
+    /// contexts, never re-admitted. The supervisor banks upcoming epochs up
+    /// to the arena's credit window ([`TsuConfig::window`]) and retires
+    /// drained ones, so at most `window` passes are ever in flight.
+    pub fn stream(mut self, epochs: u64) -> Self {
+        self.epochs = epochs.max(1);
+        self
     }
 
     /// Set the fairness weight: a weight-`w` tenant receives `w` service
@@ -275,6 +288,8 @@ struct Tenant {
     id: ProgramId,
     weight: u32,
     deadline: Option<Duration>,
+    /// Total streaming passes this tenant runs (1 = one-shot).
+    epochs: u64,
     admitted_at: Instant,
     /// The private arena: this tenant's whole scheduling state.
     soft: SoftTsu<Arc<DdmProgram>>,
@@ -303,11 +318,13 @@ impl Tenant {
             weight,
             deadline,
             faults,
+            epochs,
         } = submission;
         Tenant {
             id,
             weight,
             deadline,
+            epochs,
             admitted_at: Instant::now(),
             soft: SoftTsu::new(program, cfg.kernels.max(1), cfg.tsu),
             tub: Tub::with_backoff(cfg.tub_segments, cfg.tub_backoff),
@@ -512,8 +529,8 @@ fn serve_one(
     scratch: &mut Vec<Instance>,
 ) -> bool {
     let mut backend = &tenant.soft; // &SoftTsu is the TsuBackend
-    let instance = match backend.fetch(kernel) {
-        Ok(FetchResult::Thread(i)) => i,
+    let (instance, epoch) = match backend.fetch(kernel) {
+        Ok(FetchResult::Thread(i, ep)) => (i, ep),
         // Wait: nothing runnable here; Exit: arena shut down by eviction
         Ok(_) => return false,
         Err(e) => {
@@ -551,7 +568,7 @@ fn serve_one(
         // an unwind out of post-processing poisons only this arena
         ThreadKind::App => {
             let completed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                backend.complete(instance, scratch)
+                backend.complete(instance, epoch, scratch)
             }));
             match completed {
                 Ok(Ok(())) => shared.ring(),
@@ -570,7 +587,7 @@ fn serve_one(
         }
         // block transitions stay serialized through the supervisor
         ThreadKind::Inlet | ThreadKind::Outlet => {
-            tenant.tub.push_with(instance, &tenant.faults);
+            tenant.tub.push_with(instance, epoch, &tenant.faults);
             shared.ring();
         }
     }
@@ -641,6 +658,16 @@ fn evict_tenant(
 ) {
     tenant.evicted.store(true, Ordering::Release);
     tenant.soft.shutdown();
+    // a long-lived stream may hold banked epochs at eviction: retire every
+    // fully drained one so the ledger closes before the arena is torn down
+    // (epochs cut short mid-pass are abandoned with the arena)
+    let (_, completed, mut retired) = tenant.soft.epoch_ledger();
+    while retired < completed {
+        if tenant.soft.retire_epoch(Epoch(retired)).is_err() {
+            break;
+        }
+        retired += 1;
+    }
     shared.registry.lock().retain(|t| t.id != tenant.id);
     shared.generation.fetch_add(1, Ordering::Release);
     shared.ring();
@@ -649,10 +676,38 @@ fn evict_tenant(
     }
 }
 
+/// Advance a streaming tenant's epoch ledger: retire every fully drained
+/// epoch (freeing window credits), then bank upcoming passes until the
+/// stream's total is reached or the credit window pushes back. Newly
+/// re-armed inlets are published straight onto the tenant's ready queues
+/// by [`SoftTsu::open_epoch`].
+fn stream_advance(tenant: &Tenant, scratch: &mut Vec<Instance>) -> Result<(), CoreError> {
+    loop {
+        let (_, completed, retired) = tenant.soft.epoch_ledger();
+        if retired >= completed {
+            break;
+        }
+        tenant.soft.retire_epoch(Epoch(retired))?;
+    }
+    loop {
+        let (opened, _, _) = tenant.soft.epoch_ledger();
+        if opened >= tenant.epochs {
+            break;
+        }
+        match tenant.soft.open_epoch(scratch) {
+            Ok(_) => {}
+            Err(CoreError::WindowExhausted { .. }) => break,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// Admit pending submissions while resident slots are free. Returns
 /// whether anything was admitted.
 fn admit_pending(shared: &ServerShared) -> bool {
     let mut admitted = false;
+    let mut scratch: Vec<Instance> = Vec::new();
     loop {
         if shared.registry.lock().len() >= shared.config.max_resident {
             break;
@@ -663,6 +718,14 @@ fn admit_pending(shared: &ServerShared) -> bool {
         // a queue slot freed: wake blocked submitters
         shared.pending_cv.notify_all();
         let tenant = Arc::new(Tenant::new(p, &shared.config));
+        // a streaming tenant banks its upcoming epochs (window permitting)
+        // right at admission so kernels see continuous work
+        if tenant.epochs > 1 {
+            if let Err(e) = stream_advance(&tenant, &mut scratch) {
+                tenant.soft.record_protocol(e);
+                tenant.tub.kick();
+            }
+        }
         shared.registry.lock().push(tenant);
         shared.generation.fetch_add(1, Ordering::Release);
         shared.ring();
@@ -676,7 +739,7 @@ fn admit_pending(shared: &ServerShared) -> bool {
 fn run_supervisor(shared: &ServerShared) {
     let cfg = shared.config;
     let mut tracking: HashMap<u64, Track> = HashMap::new();
-    let mut batch: Vec<Instance> = Vec::new();
+    let mut batch: Vec<(Instance, Epoch)> = Vec::new();
     let mut scratch: Vec<Instance> = Vec::new();
     loop {
         let mut progressed = admit_pending(shared);
@@ -710,8 +773,33 @@ fn run_supervisor(shared: &ServerShared) {
                 progressed = true;
                 continue;
             }
+            // keep a stream's pipeline primed between rounds: retire passes
+            // that fully drained and bank new ones the moment window
+            // credits free up, so the dataflow never stops-and-goes
+            if tenant.epochs > 1 {
+                if let Err(e) = stream_advance(tenant, &mut scratch) {
+                    tracking.remove(&tenant.id.0);
+                    evict_tenant(shared, tenant, Err(RuntimeError::Protocol(e)));
+                    progressed = true;
+                    continue;
+                }
+            }
             let outcome = match drain_round(&tenant.soft, &tenant.tub, &mut batch, &mut scratch) {
                 DrainRound::Protocol(e) => Some(Err(RuntimeError::Protocol(e))),
+                DrainRound::Finished if tenant.soft.epoch_ledger().1 < tenant.epochs => {
+                    // a long-lived stream between passes: every banked epoch
+                    // drained, more remain — retire and re-arm, no result yet
+                    match stream_advance(tenant, &mut scratch) {
+                        Ok(()) => {
+                            track.seen_completions = tenant.soft.completions();
+                            track.last_progress = Instant::now();
+                            progressed = true;
+                            shared.ring(); // re-armed inlets are runnable
+                            None
+                        }
+                        Err(e) => Some(Err(RuntimeError::Protocol(e))),
+                    }
+                }
                 DrainRound::Finished => {
                     let panics = std::mem::take(&mut *tenant.panics.lock());
                     Some(if panics.is_empty() {
@@ -794,7 +882,7 @@ mod tests {
     /// A submission whose work thread sums squares into `total`.
     fn sum_of_squares(arity: u32) -> (Submission, Arc<AtomicU64>, usize) {
         let (p, work, sink) = fork_join(arity);
-        let partial = Arc::new(crate::shared::SharedVar::<u64>::new(arity as usize));
+        let partial = Arc::new(crate::shared::SharedVar::<u64>::new(arity));
         let total = Arc::new(AtomicU64::new(0));
         let mut bodies = BodyTable::new(&p);
         {
@@ -997,6 +1085,59 @@ mod tests {
             adm.wait().unwrap();
             assert_eq!(total.load(Ordering::Relaxed), expected(8));
         }
+    }
+
+    #[test]
+    fn streaming_tenant_replays_the_program() {
+        let server = ProgramServer::start(ServerConfig::with_kernels(2).tsu(TsuConfig {
+            window: 2,
+            ..Default::default()
+        }));
+        let (p, work, _) = fork_join(8);
+        let count = Arc::new(AtomicU64::new(0));
+        let mut bodies = BodyTable::new(&p);
+        {
+            let count = Arc::clone(&count);
+            bodies.set(work, move |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let instances = p.total_instances();
+        let report = server
+            .submit(Submission::new(p, bodies).stream(4), Submit::Block)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(report.executed as usize, 4 * instances);
+        assert_eq!(report.tsu.epochs, 4);
+        assert_eq!(report.tsu.completions as usize, 4 * instances);
+        assert_eq!(count.load(Ordering::Relaxed), 4 * 8);
+        server.shutdown();
+    }
+
+    #[test]
+    fn evicted_stream_drains_and_spares_cotenants() {
+        let server = ProgramServer::start(ServerConfig::with_kernels(2).max_resident(2));
+        let (p, work, _) = fork_join(4);
+        let mut bodies = BodyTable::new(&p);
+        bodies.set(work, |_| std::thread::sleep(Duration::from_millis(15)));
+        let stream = server
+            .submit(
+                Submission::new(p, bodies)
+                    .stream(1_000)
+                    .deadline(Duration::from_millis(80)),
+                Submit::Block,
+            )
+            .unwrap();
+        let (good_sub, total, _) = sum_of_squares(16);
+        let good = server.submit(good_sub, Submit::Block).unwrap();
+        match stream.wait() {
+            Err(RuntimeError::Stalled { .. }) => {}
+            other => panic!("expected mid-stream eviction, got ok={}", other.is_ok()),
+        }
+        good.wait().unwrap();
+        assert_eq!(total.load(Ordering::Relaxed), expected(16));
+        server.shutdown();
     }
 
     #[test]

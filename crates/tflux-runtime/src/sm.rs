@@ -13,11 +13,11 @@ use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
-use tflux_core::ids::Instance;
+use tflux_core::ids::{Epoch, Instance};
 use tflux_core::tsu::FetchResult;
 
 struct Inner {
-    queue: VecDeque<Instance>,
+    queue: VecDeque<(Instance, Epoch)>,
     exit: bool,
 }
 
@@ -51,10 +51,11 @@ impl ReadyQueue {
         }
     }
 
-    /// Enqueue a ready instance (completion-handler side).
-    pub fn push(&self, inst: Instance) {
+    /// Enqueue a ready instance with the epoch it was dispatched under
+    /// (completion-handler side).
+    pub fn push(&self, inst: Instance, epoch: Epoch) {
         let mut inner = self.inner.lock();
-        inner.queue.push_back(inst);
+        inner.queue.push_back((inst, epoch));
         self.available.notify_one();
     }
 
@@ -72,8 +73,8 @@ impl ReadyQueue {
     pub fn pop(&self) -> FetchResult {
         let mut inner = self.inner.lock();
         loop {
-            if let Some(i) = inner.queue.pop_front() {
-                return FetchResult::Thread(i);
+            if let Some((i, ep)) = inner.queue.pop_front() {
+                return FetchResult::Thread(i, ep);
             }
             if inner.exit {
                 return FetchResult::Exit;
@@ -95,8 +96,8 @@ impl ReadyQueue {
     /// queue forever.
     pub fn pop_timeout(&self, timeout: Duration) -> FetchResult {
         let mut inner = self.inner.lock();
-        if let Some(i) = inner.queue.pop_front() {
-            return FetchResult::Thread(i);
+        if let Some((i, ep)) = inner.queue.pop_front() {
+            return FetchResult::Thread(i, ep);
         }
         if inner.exit {
             return FetchResult::Exit;
@@ -106,8 +107,8 @@ impl ReadyQueue {
         self.available.wait_for(&mut inner, timeout);
         self.wait_ns
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        if let Some(i) = inner.queue.pop_front() {
-            FetchResult::Thread(i)
+        if let Some((i, ep)) = inner.queue.pop_front() {
+            FetchResult::Thread(i, ep)
         } else if inner.exit {
             FetchResult::Exit
         } else {
@@ -119,8 +120,8 @@ impl ReadyQueue {
     /// the program is still running.
     pub fn try_pop(&self) -> FetchResult {
         let mut inner = self.inner.lock();
-        if let Some(i) = inner.queue.pop_front() {
-            FetchResult::Thread(i)
+        if let Some((i, ep)) = inner.queue.pop_front() {
+            FetchResult::Thread(i, ep)
         } else if inner.exit {
             FetchResult::Exit
         } else {
@@ -159,21 +160,23 @@ mod tests {
         Instance::new(ThreadId(t), Context(0))
     }
 
+    const E0: Epoch = Epoch(0);
+
     #[test]
     fn fifo_order() {
         let q = ReadyQueue::new();
-        q.push(inst(1));
-        q.push(inst(2));
-        assert_eq!(q.pop(), FetchResult::Thread(inst(1)));
-        assert_eq!(q.pop(), FetchResult::Thread(inst(2)));
+        q.push(inst(1), E0);
+        q.push(inst(2), E0);
+        assert_eq!(q.pop(), FetchResult::Thread(inst(1), E0));
+        assert_eq!(q.pop(), FetchResult::Thread(inst(2), E0));
     }
 
     #[test]
     fn exit_reported_only_after_drain() {
         let q = ReadyQueue::new();
-        q.push(inst(1));
+        q.push(inst(1), E0);
         q.shutdown();
-        assert_eq!(q.pop(), FetchResult::Thread(inst(1)));
+        assert_eq!(q.pop(), FetchResult::Thread(inst(1), E0));
         assert_eq!(q.pop(), FetchResult::Exit);
         assert_eq!(q.pop(), FetchResult::Exit);
     }
@@ -186,8 +189,8 @@ mod tests {
             std::thread::spawn(move || q.pop())
         };
         std::thread::sleep(Duration::from_millis(20));
-        q.push(inst(7));
-        assert_eq!(handle.join().unwrap(), FetchResult::Thread(inst(7)));
+        q.push(inst(7), E0);
+        assert_eq!(handle.join().unwrap(), FetchResult::Thread(inst(7), E0));
         assert!(q.blocked_pops() >= 1);
     }
 
@@ -207,10 +210,10 @@ mod tests {
     fn pop_timeout_expires_and_delivers() {
         let q = ReadyQueue::new();
         assert_eq!(q.pop_timeout(Duration::from_millis(5)), FetchResult::Wait);
-        q.push(inst(4));
+        q.push(inst(4), E0);
         assert_eq!(
             q.pop_timeout(Duration::from_millis(5)),
-            FetchResult::Thread(inst(4))
+            FetchResult::Thread(inst(4), E0)
         );
         q.shutdown();
         assert_eq!(q.pop_timeout(Duration::from_millis(5)), FetchResult::Exit);
@@ -220,8 +223,8 @@ mod tests {
     fn try_pop_states() {
         let q = ReadyQueue::new();
         assert_eq!(q.try_pop(), FetchResult::Wait);
-        q.push(inst(3));
-        assert_eq!(q.try_pop(), FetchResult::Thread(inst(3)));
+        q.push(inst(3), E0);
+        assert_eq!(q.try_pop(), FetchResult::Thread(inst(3), E0));
         q.shutdown();
         assert_eq!(q.try_pop(), FetchResult::Exit);
     }

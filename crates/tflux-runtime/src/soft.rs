@@ -20,7 +20,7 @@ use crate::sm::ReadyQueue;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use tflux_core::error::CoreError;
-use tflux_core::ids::{BlockId, Instance, KernelId};
+use tflux_core::ids::{BlockId, Epoch, Instance, KernelId};
 use tflux_core::policy::SchedulingPolicy;
 use tflux_core::tsu::{
     FetchResult, FlushPolicy, GraphMemory, ProgramHandle, ShardStats, SyncMemory, TsuBackend,
@@ -62,10 +62,12 @@ impl<P: ProgramHandle> SoftTsu<P> {
             SchedulingPolicy::GlobalFifo => (1usize, false),
             SchedulingPolicy::LocalityFirst { steal } => (kernels as usize, steal && kernels > 1),
         };
+        let sm = SyncMemory::with_window(program, kernels, config.capacity, config.window);
+        let flush = config.flush.resolve(sm.graph().program(), kernels);
         let soft = SoftTsu {
-            sm: SyncMemory::new(program, kernels, config.capacity),
+            sm,
             policy: config.policy,
-            flush: config.flush,
+            flush,
             steal,
             queues: (0..nqueues).map(|_| ReadyQueue::new()).collect(),
             kernel_steals: (0..kernels).map(|_| AtomicU64::new(0)).collect(),
@@ -73,8 +75,8 @@ impl<P: ProgramHandle> SoftTsu<P> {
             protocol: Mutex::new(None),
         };
         let inlet = soft.sm.armed_inlet();
-        soft.sm.dispatch(inlet).expect("armed inlet is resident");
-        soft.queues[soft.queue_of(inlet)].push(inlet);
+        let ep = soft.sm.dispatch(inlet).expect("armed inlet is resident");
+        soft.queues[soft.queue_of(inlet)].push(inlet, ep);
         soft
     }
 
@@ -88,10 +90,21 @@ impl<P: ProgramHandle> SoftTsu<P> {
         self.steal
     }
 
-    /// The completion-funnel flush policy kernels build their funnels
-    /// from.
+    /// The *resolved* completion-funnel flush policy kernels build their
+    /// funnels from (`Auto` is resolved against the program at
+    /// construction).
     pub fn flush_policy(&self) -> FlushPolicy {
         self.flush
+    }
+
+    /// The epoch currently executing.
+    pub fn current_epoch(&self) -> Epoch {
+        self.sm.current_epoch()
+    }
+
+    /// The epoch ledger: `(opened, completed, retired)` pass counts.
+    pub fn epoch_ledger(&self) -> (u64, u64, u64) {
+        self.sm.epoch_ledger()
     }
 
     /// Which queue `inst` belongs on (Thread Indexing via Graph Memory).
@@ -158,12 +171,13 @@ impl<P: ProgramHandle> SoftTsu<P> {
     pub fn handle_completion(
         &self,
         inst: Instance,
+        epoch: Epoch,
         scratch: &mut Vec<Instance>,
     ) -> Result<(), CoreError> {
-        self.sm.complete(inst, scratch)?;
+        self.sm.complete(inst, epoch, scratch)?;
         for &r in scratch.iter() {
-            self.sm.dispatch(r)?;
-            self.queues[self.queue_of(r)].push(r);
+            let ep = self.sm.dispatch(r)?;
+            self.queues[self.queue_of(r)].push(r, ep);
         }
         Ok(())
     }
@@ -175,14 +189,34 @@ impl<P: ProgramHandle> SoftTsu<P> {
     pub fn handle_batch(
         &self,
         done: &[Instance],
+        epoch: Epoch,
         scratch: &mut Vec<Instance>,
     ) -> Result<(), CoreError> {
-        self.sm.complete_batch(done, scratch)?;
+        self.sm.complete_batch(done, epoch, scratch)?;
         for &r in scratch.iter() {
-            self.sm.dispatch(r)?;
-            self.queues[self.queue_of(r)].push(r);
+            let ep = self.sm.dispatch(r)?;
+            self.queues[self.queue_of(r)].push(r, ep);
         }
         Ok(())
+    }
+
+    /// Credit one more streaming pass. If the current pass has already
+    /// finished, the graph re-arms now: the resident inlet is dispatched
+    /// and pushed on its owning kernel's queue (and reported in
+    /// `scratch`), exactly like construction arms the first pass.
+    pub fn open_epoch(&self, scratch: &mut Vec<Instance>) -> Result<Epoch, CoreError> {
+        let ep = self.sm.open_epoch(scratch)?;
+        for &r in scratch.iter() {
+            let dep = self.sm.dispatch(r)?;
+            self.queues[self.queue_of(r)].push(r, dep);
+        }
+        Ok(ep)
+    }
+
+    /// Return the credit of a completed epoch (oldest-first, exactly
+    /// once).
+    pub fn retire_epoch(&self, epoch: Epoch) -> Result<(), CoreError> {
+        self.sm.retire_epoch(epoch)
     }
 
     /// Poison the Synchronization Memory: a kernel died mid-completion, so
@@ -211,10 +245,10 @@ impl<P: ProgramHandle> SoftTsu<P> {
                     .filter(|&q| q != own && !self.queues[q].is_empty())
                     .max_by_key(|&q| self.queues[q].len());
                 let Some(v) = victim else { break };
-                if let FetchResult::Thread(i) = self.queues[v].try_pop() {
+                if let FetchResult::Thread(i, ep) = self.queues[v].try_pop() {
                     self.kernel_steals[kernel.idx().min(self.kernel_steals.len() - 1)]
                         .fetch_add(1, Ordering::Relaxed);
-                    return Ok(FetchResult::Thread(i));
+                    return Ok(FetchResult::Thread(i, ep));
                 }
                 // raced with the owner; rescan
             }
@@ -276,8 +310,8 @@ impl<P: ProgramHandle> TsuBackend for &SoftTsu<P> {
         ready.clear();
         self.sm.load_block(block, ready)?;
         for &r in ready.iter() {
-            self.sm.dispatch(r)?;
-            self.queues[self.queue_of(r)].push(r);
+            let ep = self.sm.dispatch(r)?;
+            self.queues[self.queue_of(r)].push(r, ep);
         }
         Ok(())
     }
@@ -286,16 +320,30 @@ impl<P: ProgramHandle> TsuBackend for &SoftTsu<P> {
         self.try_fetch(kernel)
     }
 
-    fn complete(&mut self, inst: Instance, ready: &mut Vec<Instance>) -> Result<(), CoreError> {
-        self.handle_completion(inst, ready)
+    fn complete(
+        &mut self,
+        inst: Instance,
+        epoch: Epoch,
+        ready: &mut Vec<Instance>,
+    ) -> Result<(), CoreError> {
+        self.handle_completion(inst, epoch, ready)
     }
 
     fn complete_batch(
         &mut self,
         done: &[Instance],
+        epoch: Epoch,
         ready: &mut Vec<Instance>,
     ) -> Result<(), CoreError> {
-        self.handle_batch(done, ready)
+        self.handle_batch(done, epoch, ready)
+    }
+
+    fn open_epoch(&mut self, ready: &mut Vec<Instance>) -> Result<Epoch, CoreError> {
+        SoftTsu::open_epoch(self, ready)
+    }
+
+    fn retire_epoch(&mut self, epoch: Epoch) -> Result<(), CoreError> {
+        SoftTsu::retire_epoch(self, epoch)
     }
 
     fn drain_stats(&mut self) -> TsuStats {
@@ -334,8 +382,8 @@ mod tests {
         while !soft.finished() {
             let mut idle = true;
             for k in 0..2 {
-                if let FetchResult::Thread(i) = backend.fetch(KernelId(k)).unwrap() {
-                    backend.complete(i, &mut scratch).unwrap();
+                if let FetchResult::Thread(i, ep) = backend.fetch(KernelId(k)).unwrap() {
+                    backend.complete(i, ep, &mut scratch).unwrap();
                     done += 1;
                     idle = false;
                 }
@@ -398,7 +446,7 @@ mod tests {
             TsuConfig {
                 capacity: 0,
                 policy: SchedulingPolicy::LocalityFirst { steal: true },
-                flush: Default::default(),
+                ..Default::default()
             },
         );
         let mut backend = &soft;
@@ -406,8 +454,8 @@ mod tests {
         let mut done = 0usize;
         while !soft.finished() {
             match backend.fetch(KernelId(0)).unwrap() {
-                FetchResult::Thread(i) => {
-                    backend.complete(i, &mut scratch).unwrap();
+                FetchResult::Thread(i, ep) => {
+                    backend.complete(i, ep, &mut scratch).unwrap();
                     done += 1;
                 }
                 other => panic!("kernel 0 should always find work: {other:?}"),
@@ -428,7 +476,7 @@ mod tests {
         assert_eq!(backend.fetch(KernelId(0)), Err(CoreError::SmPoisoned));
         let mut scratch = Vec::new();
         assert_eq!(
-            soft.handle_completion(soft.graph().first_inlet(), &mut scratch),
+            soft.handle_completion(soft.graph().first_inlet(), Epoch(0), &mut scratch),
             Err(CoreError::SmPoisoned)
         );
     }
@@ -442,7 +490,7 @@ mod tests {
             TsuConfig {
                 capacity: 0,
                 policy: SchedulingPolicy::GlobalFifo,
-                flush: Default::default(),
+                ..Default::default()
             },
         );
         assert_eq!(soft.queue_depths().len(), 1);

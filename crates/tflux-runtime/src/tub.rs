@@ -12,7 +12,7 @@ use crate::faults::{FaultInjector, NoFaults};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
-use tflux_core::ids::Instance;
+use tflux_core::ids::{Epoch, Instance};
 
 /// Contention counters for the TUB.
 #[derive(Debug, Default)]
@@ -122,7 +122,7 @@ impl TubBackoff {
 
 /// The segmented Thread-to-Update Buffer.
 pub struct Tub {
-    segments: Vec<Mutex<Vec<Instance>>>,
+    segments: Vec<Mutex<Vec<(Instance, Epoch)>>>,
     /// Round-robin hint so kernels spread over segments.
     next: AtomicUsize,
     /// Wakes the emulator when entries arrive.
@@ -162,18 +162,18 @@ impl Tub {
         &self.stats
     }
 
-    /// Publish a completed instance: lock the first available segment via
-    /// `try_lock`, spinning over segments until one is free, then ring the
-    /// emulator's bell.
-    pub fn push(&self, inst: Instance) {
-        self.push_with(inst, &NoFaults);
+    /// Publish a completed instance with the epoch token it was fetched
+    /// under: lock the first available segment via `try_lock`, spinning
+    /// over segments until one is free, then ring the emulator's bell.
+    pub fn push(&self, inst: Instance, epoch: Epoch) {
+        self.push_with(inst, epoch, &NoFaults);
     }
 
     /// [`push`](Self::push) with a fault injector consulted at the *TUB
     /// publish delay* and *dropped bell* sites. The runtime's kernels route
     /// every completion through here; with [`NoFaults`] it is exactly
     /// `push`.
-    pub fn push_with<F: FaultInjector>(&self, inst: Instance, injector: &F) {
+    pub fn push_with<F: FaultInjector>(&self, inst: Instance, epoch: Epoch, injector: &F) {
         if let Some(d) = injector.tub_publish_delay(inst) {
             std::thread::sleep(d);
         }
@@ -185,7 +185,7 @@ impl Tub {
         loop {
             let idx = (start + offset) % n;
             if let Some(mut seg) = self.segments[idx].try_lock() {
-                seg.push(inst);
+                seg.push((inst, epoch));
                 break;
             }
             self.stats.busy_hits.fetch_add(1, Ordering::Relaxed);
@@ -223,7 +223,7 @@ impl Tub {
     /// Drain every segment into `out`; returns the number of entries taken.
     ///
     /// Called by the TSU Emulator only.
-    pub fn drain_into(&self, out: &mut Vec<Instance>) -> usize {
+    pub fn drain_into(&self, out: &mut Vec<(Instance, Epoch)>) -> usize {
         let before = out.len();
         for seg in &self.segments {
             let mut seg = seg.lock();
@@ -257,6 +257,8 @@ mod tests {
     use std::sync::Arc;
     use tflux_core::ids::{Context, Instance, ThreadId};
 
+    const E0: Epoch = Epoch(0);
+
     fn inst(t: u32, c: u32) -> Instance {
         Instance::new(ThreadId(t), Context(c))
     }
@@ -265,12 +267,12 @@ mod tests {
     fn push_then_drain_roundtrips() {
         let tub = Tub::new(4);
         for i in 0..10 {
-            tub.push(inst(i, 0));
+            tub.push(inst(i, 0), E0);
         }
         let mut out = Vec::new();
         assert_eq!(tub.drain_into(&mut out), 10);
         out.sort();
-        assert_eq!(out, (0..10).map(|i| inst(i, 0)).collect::<Vec<_>>());
+        assert_eq!(out, (0..10).map(|i| (inst(i, 0), E0)).collect::<Vec<_>>());
         // second drain finds nothing
         assert_eq!(tub.drain_into(&mut out), 0);
     }
@@ -279,7 +281,7 @@ mod tests {
     fn zero_segments_clamped() {
         let tub = Tub::new(0);
         assert_eq!(tub.segments(), 1);
-        tub.push(inst(0, 0));
+        tub.push(inst(0, 0), E0);
         let mut out = Vec::new();
         assert_eq!(tub.drain_into(&mut out), 1);
     }
@@ -294,7 +296,7 @@ mod tests {
                 let tub = Arc::clone(&tub);
                 s.spawn(move || {
                     for c in 0..per {
-                        tub.push(inst(t, c));
+                        tub.push(inst(t, c), E0);
                     }
                 });
             }
@@ -317,7 +319,7 @@ mod tests {
                 let tub = Arc::clone(&tub);
                 s.spawn(move || {
                     for c in 0..total {
-                        tub.push(inst(1, c));
+                        tub.push(inst(1, c), E0);
                     }
                 })
             };
@@ -363,7 +365,7 @@ mod tests {
                 let tub = Arc::clone(&tub);
                 s.spawn(move || {
                     for c in 0..200 {
-                        tub.push(inst(t, c));
+                        tub.push(inst(t, c), E0);
                     }
                 });
             }
@@ -382,7 +384,7 @@ mod tests {
         let tub = Tub::new(2);
         let plan = FaultPlan::new(5).dropped_bell(1000);
         let t0 = std::time::Instant::now();
-        tub.push_with(inst(1, 0), &plan);
+        tub.push_with(inst(1, 0), E0, &plan);
         // the bell was dropped: wait() must time out rather than return
         // instantly on the signal flag
         tub.wait(std::time::Duration::from_millis(5));
@@ -452,7 +454,7 @@ mod tests {
                 let tub = Arc::clone(&tub);
                 s.spawn(move || {
                     for c in 0..200 {
-                        tub.push(inst(t, c));
+                        tub.push(inst(t, c), E0);
                     }
                 });
             }

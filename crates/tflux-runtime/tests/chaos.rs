@@ -138,7 +138,7 @@ fn chaos_matrix_never_hangs_and_never_lies() {
             .tsu(TsuConfig {
                 capacity: 0,
                 policy,
-                flush: Default::default(),
+                ..Default::default()
             })
             .retry(retry)
             .watchdog(WATCHDOG);

@@ -149,6 +149,90 @@ fn chaos_matrix_isolates_every_fault_to_its_tenant() {
 }
 
 #[test]
+fn epoch_stress_streams_survive_mid_stream_faults() {
+    const EPOCHS: u64 = 4;
+    const TENANTS: u64 = 5;
+    let seeds = chaos_seeds();
+    let mut clean_streams = 0u64;
+    let mut evicted_streams = 0u64;
+
+    for seed in 0..seeds {
+        let mut rng = Rng(mix(seed ^ 0xE90C));
+        let kernels = 2 + rng.below(3) as u32;
+        let server = ProgramServer::start(
+            ServerConfig::with_kernels(kernels)
+                .max_resident(4)
+                .queue_depth(16)
+                .tsu(TsuConfig {
+                    window: 2,
+                    ..Default::default()
+                })
+                .watchdog(Duration::from_secs(5)),
+        );
+
+        // every tenant is a stream under benign mid-stream chaos (delays
+        // and stalls landing in arbitrary epochs); one in three also
+        // panics mid-stream and must be evicted with its epoch ledger
+        // closed while the surviving streams keep wrapping cleanly
+        let mut waits = Vec::new();
+        for t in 0..TENANTS {
+            let panic_rate = if t % 3 == 2 {
+                5 + rng.below(40) as u32
+            } else {
+                0
+            };
+            let plan = FaultPlan::new(mix(seed.wrapping_mul(77).wrapping_add(t)))
+                .body_panic(panic_rate)
+                .body_delay(rng.below(300) as u32, Duration::from_micros(100))
+                .kernel_stall(rng.below(200) as u32, Duration::from_micros(200))
+                .tub_publish_delay(rng.below(200) as u32, Duration::from_micros(50));
+            let (sub, checksum, expected, _) =
+                checksum_tenant(seed.wrapping_mul(513).wrapping_add(t), plan);
+            let adm = server.submit(sub.stream(EPOCHS), Submit::Block).unwrap();
+            waits.push((t, adm, checksum, expected));
+        }
+
+        for (t, adm, checksum, expected) in waits {
+            match adm.wait() {
+                Ok(report) => {
+                    clean_streams += 1;
+                    assert_eq!(
+                        report.tsu.epochs, EPOCHS,
+                        "seed {seed} tenant {t}: stream stopped short of its epochs"
+                    );
+                    // every epoch replayed every body exactly once: the
+                    // checksum is EPOCHS identical passes, no cross-epoch
+                    // duplication or loss
+                    assert_eq!(
+                        checksum.load(Ordering::Relaxed),
+                        expected.wrapping_mul(EPOCHS),
+                        "seed {seed} tenant {t}: streamed checksum diverged"
+                    );
+                }
+                Err(RuntimeError::BodyPanicked { panics }) => {
+                    evicted_streams += 1;
+                    assert!(
+                        !panics.is_empty(),
+                        "seed {seed} tenant {t}: empty panic report"
+                    );
+                }
+                Err(other) => {
+                    panic!("seed {seed} tenant {t}: untyped mid-stream failure: {other}")
+                }
+            }
+        }
+        assert_eq!(server.resident(), 0, "seed {seed}: streamed arenas leaked");
+        server.shutdown();
+    }
+
+    assert!(clean_streams > 0, "no stream ever completed");
+    assert!(
+        seeds < 20 || evicted_streams > 0,
+        "no stream was ever evicted despite injected panic rates"
+    );
+}
+
+#[test]
 fn poisoned_shard_never_surfaces_to_another_tenant() {
     const ROUNDS: u32 = 25;
     for round in 0..ROUNDS {

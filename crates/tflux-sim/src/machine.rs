@@ -14,9 +14,9 @@ use crate::report::SimReport;
 use crate::trace::ExecTrace;
 use crate::tsu_dev::{DevFetch, TsuDevice};
 use crate::work::{InstanceWork, WorkSource};
-use tflux_core::ids::Instance;
+use tflux_core::ids::{Epoch, Instance};
 use tflux_core::program::DdmProgram;
-use tflux_core::tsu::{drain_sequential, CoreTsu, TsuConfig};
+use tflux_core::tsu::{drain_sequential, CoreTsu, FlushPolicy, TsuConfig};
 
 /// Accesses per scheduling quantum. Chunking trades event-queue overhead
 /// against interleaving fidelity; 64 accesses ≈ a few hundred cycles, well
@@ -28,6 +28,8 @@ const CHUNK: usize = 64;
 pub struct Machine {
     cfg: MachineConfig,
     tsu_cfg: TsuConfig,
+    /// Streaming passes over the program graph (1 = one-shot).
+    epochs: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -39,7 +41,7 @@ enum Ev {
 }
 
 struct CoreState {
-    current: Option<Instance>,
+    current: Option<(Instance, Epoch)>,
     /// Cycle the current instance's body started (for tracing).
     started: u64,
     work: InstanceWork,
@@ -75,16 +77,36 @@ impl CoreState {
 
 impl Machine {
     /// A machine with default (unlimited-capacity) TSU configuration.
+    ///
+    /// Completion flushing is pinned to [`FlushPolicy::Direct`]: the
+    /// paper's hardware TSU posts every completion straight to the SM,
+    /// so the simulated figures must not pick up the software runtime's
+    /// adaptive funnel batching. Opt in via [`Machine::with_tsu_config`].
     pub fn new(cfg: MachineConfig) -> Self {
         Machine {
             cfg,
-            tsu_cfg: TsuConfig::default(),
+            tsu_cfg: TsuConfig {
+                flush: FlushPolicy::Direct,
+                ..TsuConfig::default()
+            },
+            epochs: 1,
         }
     }
 
     /// Override the TSU state-machine configuration (capacity, policy).
     pub fn with_tsu_config(mut self, tsu_cfg: TsuConfig) -> Self {
         self.tsu_cfg = tsu_cfg;
+        self
+    }
+
+    /// Stream the program for `epochs` consecutive passes (clamped to
+    /// ≥ 1): contexts re-arm at each pass boundary and cores keep running
+    /// without tearing the machine down. The epochs are banked on the
+    /// device up front, so a [`TsuConfig::window`] smaller than `epochs`
+    /// is a protocol error (the sim has no supervisor to retire credits
+    /// mid-run).
+    pub fn with_epochs(mut self, epochs: u64) -> Self {
+        self.epochs = epochs.max(1);
         self
     }
 
@@ -131,6 +153,12 @@ impl Machine {
             0
         };
         let mut dev = TsuDevice::sharded(tsu, self.cfg.tsu, cores, self.cfg.tsu_groups, cross);
+        // streaming: bank every pass beyond the first before any core
+        // fetches; re-arms then ride the final outlet of each pass
+        for _ in 1..self.epochs {
+            dev.open_epoch(0)
+                .unwrap_or_else(|e| panic!("TSU protocol error: {e}"));
+        }
         let mut mem = MemorySystem::new(self.cfg);
         let mut states: Vec<CoreState> = (0..cores).map(|_| CoreState::new()).collect();
         let mut events: EventQueue<Ev> = EventQueue::new();
@@ -174,7 +202,7 @@ impl Machine {
                         instances += 1;
                         if let Some(tr) = trace.as_deref_mut() {
                             let st = &states[c as usize];
-                            if let Some(inst) = st.current {
+                            if let Some((inst, _)) = st.current {
                                 tr.record(c, inst, st.started, now);
                             }
                         }
@@ -204,17 +232,19 @@ impl Machine {
         }
     }
 
-    /// Start executing `inst` on core `c` at cycle `start`.
+    /// Start executing `inst` (fetched under `epoch`) on core `c` at
+    /// cycle `start`.
     fn begin_instance(
         c: u32,
         start: u64,
         inst: Instance,
+        epoch: Epoch,
         source: &dyn WorkSource,
         states: &mut [CoreState],
         events: &mut EventQueue<Ev>,
     ) {
         let s = &mut states[c as usize];
-        s.current = Some(inst);
+        s.current = Some((inst, epoch));
         s.started = start;
         s.work.clear();
         source.work(inst, &mut s.work);
@@ -237,10 +267,10 @@ impl Machine {
             .fetch(c, t)
             .unwrap_or_else(|e| panic!("TSU protocol error: {e}"))
         {
-            DevFetch::Thread(inst, at) => {
+            DevFetch::Thread(inst, ep, at) => {
                 let start = at + dev.kernel_overhead();
                 states[c as usize].tsu_time += start - t;
-                Self::begin_instance(c, start, inst, source, states, events);
+                Self::begin_instance(c, start, inst, ep, source, states, events);
             }
             DevFetch::Parked => {
                 states[c as usize].parked_since = t;
@@ -263,12 +293,12 @@ impl Machine {
         states: &mut [CoreState],
         events: &mut EventQueue<Ev>,
     ) {
-        let inst = states[c as usize]
+        let (inst, epoch) = states[c as usize]
             .current
             .take()
             .expect("completion without a current instance");
         let (core_free, ready_at) = dev
-            .complete(c, now, inst)
+            .complete(c, now, inst, epoch)
             .unwrap_or_else(|e| panic!("TSU protocol error: {e}"));
         let next_fetch = core_free + dev.kernel_overhead();
         states[c as usize].tsu_time += next_fetch - now;
@@ -290,11 +320,11 @@ impl Machine {
                         .fetch(p, ready_at)
                         .unwrap_or_else(|e| panic!("TSU protocol error: {e}"))
                     {
-                        DevFetch::Thread(pi, at) => {
+                        DevFetch::Thread(pi, pep, at) => {
                             let start = at + dev.kernel_overhead();
                             states[p as usize].idle += ready_at.saturating_sub(parked_since);
                             states[p as usize].tsu_time += start - ready_at;
-                            Self::begin_instance(p, start, pi, source, states, events);
+                            Self::begin_instance(p, start, pi, pep, source, states, events);
                             budget = budget.saturating_sub(1);
                         }
                         DevFetch::Parked => {}
@@ -437,19 +467,27 @@ mod tests {
 
     #[test]
     fn tsu_op_latency_barely_matters_at_coarse_grain() {
-        // §4.1: 1 -> 128 cycles of TSU processing changes performance <1%
+        // §4.1: 1 -> 128 cycles of TSU processing changes performance <1%.
+        // The ablation isolates per-command cost, so the explicit Direct
+        // knob keeps adaptive funnel batching out of the measurement.
         let p = fork_join(128);
         let src = app_work(200_000);
         let base = MachineConfig::bagle(8);
+        let direct = TsuConfig {
+            flush: tflux_core::tsu::FlushPolicy::Direct,
+            ..TsuConfig::default()
+        };
         let fast = Machine::new(base.with_tsu(TsuCosts {
             op: 1,
             ..TsuCosts::hard()
         }))
+        .with_tsu_config(direct)
         .run(&p, &src);
         let slow = Machine::new(base.with_tsu(TsuCosts {
             op: 128,
             ..TsuCosts::hard()
         }))
+        .with_tsu_config(direct)
         .run(&p, &src);
         let delta = (slow.cycles as f64 - fast.cycles as f64) / fast.cycles as f64;
         assert!(delta < 0.01, "TSU latency impact {delta} >= 1%");
@@ -561,6 +599,24 @@ mod tests {
         let r = Machine::new(MachineConfig::bagle(4)).run(&p, &UniformWork { cycles: 500 });
         assert_eq!(r.instances, p.total_instances());
         assert_eq!(r.tsu.blocks_loaded, 4);
+    }
+
+    #[test]
+    fn streamed_epochs_replay_the_program_deterministically() {
+        let p = fork_join(16);
+        let src = UniformWork { cycles: 800 };
+        let m = Machine::new(MachineConfig::bagle(4)).with_epochs(3);
+        let a = m.run(&p, &src);
+        assert_eq!(a.instances, 3 * p.total_instances());
+        assert_eq!(a.tsu.completions as usize, 3 * p.total_instances());
+        assert_eq!(a.tsu.epochs, 3);
+        // wraparound keeps the sim deterministic
+        let b = m.run(&p, &src);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.dev.commands, b.dev.commands);
+        // three passes cost roughly three one-shot runs, never less
+        let one = Machine::new(MachineConfig::bagle(4)).run(&p, &src);
+        assert!(a.cycles > 2 * one.cycles, "{} !> 2*{}", a.cycles, one.cycles);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use crate::config::TsuCosts;
 use serde::{Deserialize, Serialize};
 use tflux_core::error::CoreError;
-use tflux_core::ids::{Instance, KernelId};
+use tflux_core::ids::{Epoch, Instance, KernelId};
 use tflux_core::thread::ThreadKind;
 use tflux_core::tsu::{CompletionFunnel, CoreTsu, FetchResult, TsuBackend};
 
@@ -42,8 +42,10 @@ pub struct TsuDevStats {
 /// Result of a fetch command.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DevFetch {
-    /// Run this instance; the core may start at the given cycle.
-    Thread(Instance, u64),
+    /// Run this instance, dispatched under this epoch; the core may start
+    /// at the given cycle. The epoch token must be handed back on
+    /// [`TsuDevice::complete`].
+    Thread(Instance, Epoch, u64),
     /// Nothing ready: the core parks until the device wakes it.
     Parked,
     /// Program finished: the core exits at the given cycle.
@@ -183,9 +185,9 @@ impl<'p> TsuDevice<'p> {
             }
         }
         Ok(match fetched {
-            FetchResult::Thread(i) => {
+            FetchResult::Thread(i, ep) => {
                 self.parked[core as usize] = false;
-                DevFetch::Thread(i, done)
+                DevFetch::Thread(i, ep, done)
             }
             FetchResult::Wait => {
                 self.stats.empty_fetches += 1;
@@ -212,6 +214,7 @@ impl<'p> TsuDevice<'p> {
         core: u32,
         now: u64,
         inst: Instance,
+        epoch: Epoch,
     ) -> Result<(u64, u64), tflux_core::error::CoreError> {
         let c = core as usize;
         if self.funnels[c].batching()
@@ -219,7 +222,7 @@ impl<'p> TsuDevice<'p> {
         {
             // the completion parks in the core-local funnel: no MMI
             // access and no unit command until the batch fills
-            if self.funnels[c].push(inst) {
+            if self.funnels[c].push(inst, epoch) {
                 let ready_at = self.flush_core(core, now + self.costs.access)?;
                 return Ok((now, ready_at));
             }
@@ -232,7 +235,7 @@ impl<'p> TsuDevice<'p> {
         let shard = self.shard_of[c];
         let mut ready_at = self.process(shard, core_free);
         let mut ready = std::mem::take(&mut self.ready_buf);
-        TsuBackend::complete(&mut self.tsu, inst, &mut ready)?;
+        TsuBackend::complete(&mut self.tsu, inst, epoch, &mut ready)?;
         // cross-shard ready-count updates: charge the TSU-to-TSU network
         // message only when a newly-ready instance's owning kernel actually
         // lives on another shard
@@ -270,6 +273,25 @@ impl<'p> TsuDevice<'p> {
     pub fn kernel_overhead(&self) -> u64 {
         self.costs.kernel_overhead
     }
+
+    /// Open the next streaming epoch: one unit command on shard 0 (epoch
+    /// control is a serialized MMI operation). Returns the epoch id and
+    /// the cycle at which any re-armed instances become fetchable.
+    pub fn open_epoch(&mut self, now: u64) -> Result<(Epoch, u64), CoreError> {
+        let done = self.process(0, now + self.costs.access);
+        let mut ready = std::mem::take(&mut self.ready_buf);
+        let ep = TsuBackend::open_epoch(&mut self.tsu, &mut ready);
+        self.ready_buf = ready;
+        Ok((ep?, done))
+    }
+
+    /// Retire a fully drained epoch, freeing one credit of the window.
+    /// One unit command on shard 0; returns its completion cycle.
+    pub fn retire_epoch(&mut self, epoch: Epoch, now: u64) -> Result<u64, CoreError> {
+        let done = self.process(0, now + self.costs.access);
+        TsuBackend::retire_epoch(&mut self.tsu, epoch)?;
+        Ok(done)
+    }
 }
 
 #[cfg(test)]
@@ -290,7 +312,7 @@ mod tests {
         let tsu = CoreTsu::new(&p, 1, TsuConfig::default());
         let mut dev = TsuDevice::new(tsu, TsuCosts::hard(), 1);
         match dev.fetch(0, 100).unwrap() {
-            DevFetch::Thread(i, at) => {
+            DevFetch::Thread(i, _, at) => {
                 assert_eq!(i.thread, p.blocks()[0].inlet);
                 // 100 + access(6) + op(4)
                 assert_eq!(at, 110);
@@ -305,15 +327,15 @@ mod tests {
         let tsu = CoreTsu::new(&p, 2, TsuConfig::default());
         let mut dev = TsuDevice::new(tsu, TsuCosts::hard(), 2);
         // prime: inlet fetched and completed so app threads are ready
-        let DevFetch::Thread(inlet, t0) = dev.fetch(0, 0).unwrap() else {
+        let DevFetch::Thread(inlet, ep, t0) = dev.fetch(0, 0).unwrap() else {
             panic!()
         };
-        let (_, _) = dev.complete(0, t0, inlet).unwrap();
+        let (_, _) = dev.complete(0, t0, inlet, ep).unwrap();
         // two cores fetch at the same instant: second is delayed by op
-        let DevFetch::Thread(_, a) = dev.fetch(0, 1000).unwrap() else {
+        let DevFetch::Thread(_, _, a) = dev.fetch(0, 1000).unwrap() else {
             panic!()
         };
-        let DevFetch::Thread(_, b) = dev.fetch(1, 1000).unwrap() else {
+        let DevFetch::Thread(_, _, b) = dev.fetch(1, 1000).unwrap() else {
             panic!()
         };
         assert!(b >= a + 4, "unit must serialize: {a} vs {b}");
@@ -324,7 +346,7 @@ mod tests {
         let p = fork(1);
         let tsu = CoreTsu::new(&p, 2, TsuConfig::default());
         let mut dev = TsuDevice::new(tsu, TsuCosts::hard(), 2);
-        let DevFetch::Thread(inlet, _) = dev.fetch(0, 0).unwrap() else {
+        let DevFetch::Thread(inlet, ep, _) = dev.fetch(0, 0).unwrap() else {
             panic!()
         };
         // core 1 fetches while only core 0 holds the inlet: nothing ready
@@ -333,7 +355,7 @@ mod tests {
         assert_eq!(dev.parked_cores(), vec![1]);
         assert_eq!(dev.stats.empty_fetches, 1);
         // completing the inlet loads the block; core 1 can now fetch
-        dev.complete(0, 10, inlet).unwrap();
+        dev.complete(0, 10, inlet, ep).unwrap();
         assert!(matches!(dev.fetch(1, 20).unwrap(), DevFetch::Thread(..)));
         assert!(!dev.any_parked());
     }
@@ -343,10 +365,10 @@ mod tests {
         let p = fork(1);
         let tsu = CoreTsu::new(&p, 1, TsuConfig::default());
         let mut dev = TsuDevice::new(tsu, TsuCosts::soft(), 1);
-        let DevFetch::Thread(inlet, t) = dev.fetch(0, 0).unwrap() else {
+        let DevFetch::Thread(inlet, ep, t) = dev.fetch(0, 0).unwrap() else {
             panic!()
         };
-        let (core_free, ready_at) = dev.complete(0, t, inlet).unwrap();
+        let (core_free, ready_at) = dev.complete(0, t, inlet, ep).unwrap();
         assert_eq!(core_free, t + TsuCosts::soft().access);
         assert!(ready_at >= core_free + TsuCosts::soft().op);
     }
@@ -357,21 +379,21 @@ mod tests {
         let tsu = CoreTsu::new(&p, 4, TsuConfig::default());
         let mut dev = TsuDevice::sharded(tsu, TsuCosts::hard(), 4, 2, 8);
         // prime the block
-        let DevFetch::Thread(inlet, t0) = dev.fetch(0, 0).unwrap() else {
+        let DevFetch::Thread(inlet, ep, t0) = dev.fetch(0, 0).unwrap() else {
             panic!()
         };
-        dev.complete(0, t0, inlet).unwrap();
+        dev.complete(0, t0, inlet, ep).unwrap();
         // cores 0 and 2 are on different shards: same-instant fetches do
         // NOT serialize against each other
-        let DevFetch::Thread(_, a) = dev.fetch(0, 1000).unwrap() else {
+        let DevFetch::Thread(_, _, a) = dev.fetch(0, 1000).unwrap() else {
             panic!()
         };
-        let DevFetch::Thread(_, b) = dev.fetch(2, 1000).unwrap() else {
+        let DevFetch::Thread(_, _, b) = dev.fetch(2, 1000).unwrap() else {
             panic!()
         };
         assert_eq!(a, b, "different shards must not serialize");
         // cores 2 and 3 share a shard: they do serialize
-        let DevFetch::Thread(_, c) = dev.fetch(3, 1000).unwrap() else {
+        let DevFetch::Thread(_, _, c) = dev.fetch(3, 1000).unwrap() else {
             panic!()
         };
         assert!(c > b, "same shard must serialize: {b} vs {c}");
@@ -382,19 +404,19 @@ mod tests {
         let p = fork(8);
         let tsu = CoreTsu::new(&p, 4, TsuConfig::default());
         let mut dev = TsuDevice::sharded(tsu, TsuCosts::hard(), 4, 2, 50);
-        let DevFetch::Thread(inlet, t0) = dev.fetch(0, 0).unwrap() else {
+        let DevFetch::Thread(inlet, ep, t0) = dev.fetch(0, 0).unwrap() else {
             panic!()
         };
         // the inlet load readies instances owned by both shards
-        let (_, ready_at) = dev.complete(0, t0, inlet).unwrap();
+        let (_, ready_at) = dev.complete(0, t0, inlet, ep).unwrap();
         assert!(dev.stats.cross_updates >= 1);
         // ready_at includes the cross-shard message
         let plain_tsu = CoreTsu::new(&p, 4, TsuConfig::default());
         let mut plain = TsuDevice::new(plain_tsu, TsuCosts::hard(), 4);
-        let DevFetch::Thread(inlet2, t1) = plain.fetch(0, 0).unwrap() else {
+        let DevFetch::Thread(inlet2, ep2, t1) = plain.fetch(0, 0).unwrap() else {
             panic!()
         };
-        let (_, plain_ready) = plain.complete(0, t1, inlet2).unwrap();
+        let (_, plain_ready) = plain.complete(0, t1, inlet2, ep2).unwrap();
         assert_eq!(ready_at, plain_ready + 50);
     }
 
@@ -428,8 +450,8 @@ mod tests {
                         continue;
                     }
                     match dev.fetch(core, now[c]).unwrap() {
-                        DevFetch::Thread(i, at) => {
-                            let (free, _) = dev.complete(core, at, i).unwrap();
+                        DevFetch::Thread(i, ep, at) => {
+                            let (free, _) = dev.complete(core, at, i, ep).unwrap();
                             now[c] = free;
                         }
                         DevFetch::Parked => now[c] += 1,
@@ -458,6 +480,43 @@ mod tests {
     }
 
     #[test]
+    fn reopened_epoch_resumes_the_device_after_exit() {
+        let p = fork(2);
+        let tsu = CoreTsu::new(&p, 1, TsuConfig::default());
+        let mut dev = TsuDevice::new(tsu, TsuCosts::hard(), 1);
+        let mut now = 0;
+        let drive = |dev: &mut TsuDevice<'_>, mut now: u64| loop {
+            match dev.fetch(0, now).unwrap() {
+                DevFetch::Thread(i, ep, at) => {
+                    let (free, _) = dev.complete(0, at, i, ep).unwrap();
+                    now = free;
+                }
+                DevFetch::Exit(at) => break at,
+                DevFetch::Parked => panic!("single core should never park"),
+            }
+        };
+        now = drive(&mut dev, now);
+        assert!(dev.finished());
+        // open the next epoch: the device re-arms and serves a full pass
+        let (ep, ready_at) = dev.open_epoch(now).unwrap();
+        assert_eq!(ep, tflux_core::ids::Epoch(1));
+        assert!(!dev.finished());
+        drive(&mut dev, ready_at);
+        assert!(dev.finished());
+        assert_eq!(
+            dev.tsu().stats().completions as usize,
+            2 * p.total_instances()
+        );
+        assert_eq!(dev.tsu().stats().epochs, 2);
+        // retiring closes the ledger oldest-first, exactly once
+        dev.retire_epoch(tflux_core::ids::Epoch(0), now).unwrap();
+        dev.retire_epoch(tflux_core::ids::Epoch(1), now).unwrap();
+        assert!(dev
+            .retire_epoch(tflux_core::ids::Epoch(1), now)
+            .is_err());
+    }
+
+    #[test]
     fn exit_after_program_finishes() {
         let p = fork(1);
         let tsu = CoreTsu::new(&p, 1, TsuConfig::default());
@@ -465,8 +524,8 @@ mod tests {
         let mut now = 0;
         loop {
             match dev.fetch(0, now).unwrap() {
-                DevFetch::Thread(i, at) => {
-                    let (free, _) = dev.complete(0, at, i).unwrap();
+                DevFetch::Thread(i, ep, at) => {
+                    let (free, _) = dev.complete(0, at, i, ep).unwrap();
                     now = free;
                 }
                 DevFetch::Exit(_) => break,

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Build/test the workspace with the vendor/stub dependency stubs, for
+# containers with no network and no cargo registry cache.
+#
+# The stubs are API-compatible with the narrow slice of each external
+# crate this workspace uses (see vendor/stub/*/src/lib.rs); they are wired
+# in through a cargo --config patch, so the normal build (and CI) is
+# untouched and keeps using the real registry crates.
+#
+# Usage:
+#   scripts/offline-check.sh                 # cargo check --workspace --all-targets
+#   scripts/offline-check.sh test -q         # cargo test -q (all args forwarded)
+#   scripts/offline-check.sh build --release
+#
+# A separate target dir keeps stub artifacts from ever mixing with a real
+# registry build's cache.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_TARGET_DIR="${CARGO_TARGET_DIR:-target/offline-stub}"
+
+cmd=("check" "--workspace" "--all-targets")
+if [ "$#" -gt 0 ]; then
+  cmd=("$@")
+fi
+
+exec cargo --config vendor/offline.toml --offline "${cmd[@]}"

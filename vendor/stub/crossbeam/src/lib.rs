@@ -1,0 +1,3 @@
+//! Offline stub of `crossbeam`: the workspace declares the dependency but
+//! currently uses none of its API, so the stub is empty. Used only by
+//! `scripts/offline-check.sh`; never by real builds.

@@ -1,0 +1,569 @@
+//! Offline stub of `proptest` covering the subset this workspace uses:
+//! `proptest!`/`prop_compose!`/`prop_oneof!`/`prop_assert*!`, `Strategy`
+//! with `prop_map`/`prop_flat_map`/`prop_filter`, ranges, tuples, `Just`,
+//! regex-string strategies (sampled as random ASCII, the pattern is
+//! ignored), `prop::collection::vec`, `prop::option::of` and `any`.
+//!
+//! Sampling is a deterministic splitmix64 walk with **no shrinking** — a
+//! failing case panics with the sampled inputs' debug output instead of a
+//! minimized counterexample. Used only by `scripts/offline-check.sh`;
+//! never by real builds.
+
+pub mod strategy {
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// Deterministic generator driving all sampling.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "empty sampling range");
+            self.next_u64() % n
+        }
+    }
+
+    /// A value generator. The stub collapses proptest's value-tree model
+    /// to direct sampling.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                reason,
+                f,
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let inner = self;
+            BoxedStrategy {
+                f: Rc::new(move |rng| inner.sample(rng)),
+            }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Type-erased strategy (sampling closure).
+    #[derive(Clone)]
+    pub struct BoxedStrategy<V> {
+        f: Rc<dyn Fn(&mut TestRng) -> V>,
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            (self.f)(rng)
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, F> Map<S, F> {
+        /// The `Fn(S::Value) -> O` bound here (not just on the Strategy
+        /// impl) lets closure-argument types flow from the inner
+        /// strategy at the construction site — `prop_compose!` relies
+        /// on that inference.
+        pub fn new<O>(inner: S, f: F) -> Self
+        where
+            F: Fn(S::Value) -> O,
+        {
+            Map { inner, f }
+        }
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn sample(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.sample(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 consecutive samples: {}", self.reason);
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            self.iter().map(|s| s.sample(rng)).collect()
+        }
+    }
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].sample(rng)
+        }
+    }
+
+    /// Integer/float types samplable from a half-open range.
+    pub trait SampleUniform: Copy {
+        fn sample_range(rng: &mut TestRng, lo: Self, hi_exclusive: Self) -> Self;
+    }
+
+    macro_rules! impl_sample_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_range(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                    assert!(lo < hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128;
+                    (lo as i128 + (rng.below(u64::try_from(span.min(u64::MAX as u128)).unwrap()) as i128)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl SampleUniform for f64 {
+        fn sample_range(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            lo + unit * (hi - lo)
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for Range<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::sample_range(rng, self.start, self.end)
+        }
+    }
+
+    impl Strategy for RangeInclusive<u32> {
+        type Value = u32;
+        fn sample(&self, rng: &mut TestRng) -> u32 {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + rng.below((hi - lo) as u64 + 1) as u32
+        }
+    }
+
+    impl Strategy for RangeInclusive<usize> {
+        type Value = usize;
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + rng.below((hi - lo) as u64 + 1) as usize
+        }
+    }
+
+    /// Regex-string strategy: the pattern is ignored; samples short random
+    /// printable ASCII strings (weakening, acceptable for offline checks).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let len = rng.below(9) as usize;
+            (0..len)
+                .map(|_| char::from(b' ' + (rng.below(95) as u8)))
+                .collect()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident/$i:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(S0/0);
+    impl_tuple_strategy!(S0/0, S1/1);
+    impl_tuple_strategy!(S0/0, S1/1, S2/2);
+    impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3);
+    impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3, S4/4);
+    impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3, S4/4, S5/5);
+    impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3, S4/4, S5/5, S6/6);
+    impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3, S4/4, S5/5, S6/6, S7/7);
+    impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3, S4/4, S5/5, S6/6, S7/7, S8/8);
+    impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3, S4/4, S5/5, S6/6, S7/7, S8/8, S9/9);
+}
+
+pub mod arbitrary {
+    use super::strategy::{Strategy, TestRng};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Size bound for collection strategies.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_exclusive - self.size.lo).max(1) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::{Strategy, TestRng};
+
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 3 == 0 {
+                None
+            } else {
+                Some(self.0.sample(rng))
+            }
+        }
+    }
+
+    pub fn of<S: Strategy>(s: S) -> OptionStrategy<S> {
+        OptionStrategy(s)
+    }
+}
+
+pub mod test_runner {
+    /// Runner configuration; only `cases` is meaningful in the stub.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 64,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Reject a sampled case: the stub has no rejection bookkeeping, so an
+/// assumed-false case simply counts as a pass.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", ::std::stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                ::std::stringify!($a),
+                ::std::stringify!($b),
+                a,
+                b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} != {} (both {:?})",
+                ::std::stringify!($a),
+                ::std::stringify!($b),
+                a
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::strategy::TestRng::new(0x7f1e_57e5_u64 ^ (::std::line!() as u64));
+            for case in 0..cfg.cases {
+                let result: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = result {
+                    ::std::panic!("proptest case {case} failed: {e}");
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($earg:ident: $ety:ty),* $(,)?)($($parg:ident in $pstrat:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($earg: $ety),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            let strat = ($($pstrat,)+);
+            $crate::strategy::Map::new(strat, move |($($parg,)+)| $body)
+        }
+    };
+}

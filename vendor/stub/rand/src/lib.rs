@@ -1,0 +1,129 @@
+//! Offline stub of `rand` covering the subset this workspace uses:
+//! `SmallRng::seed_from_u64` and `Rng::{gen_range, gen, gen_bool}` over
+//! half-open integer/float ranges. Deterministic splitmix64 core. Used
+//! only by `scripts/offline-check.sh`; never by real builds.
+
+use std::ops::Range;
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Uniform sampling from a half-open range — the stub's stand-in for
+/// `rand::distributions::uniform::SampleUniform`.
+pub trait SampleUniform: Copy {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                let lo = range.start as i128;
+                let hi = range.end as i128;
+                assert!(lo < hi, "empty gen_range");
+                let span = (hi - lo) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        f64::sample(rng, range.start as f64..range.end as f64) as f32
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample(self, 0.0..1.0) < p
+    }
+
+    fn gen<T: Generatable>(&mut self) -> T {
+        T::generate(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The stub's stand-in for `rand::distributions::Standard` sampling.
+pub trait Generatable {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Generatable for bool {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Generatable for u64 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Generatable for u32 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Generatable for f64 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            SmallRng {
+                state: state ^ 0x51_7c_c1_b7_27_22_0a_95,
+            }
+        }
+    }
+
+    pub type StdRng = SmallRng;
+}

@@ -1,0 +1,24 @@
+//! Offline stub of `serde`: marker traits blanket-implemented for every
+//! type, plus the same-named derive macros re-exported from the
+//! `serde_derive` stub (which expand to nothing). No serialization is
+//! actually performed anywhere in this workspace (there is no serde_json
+//! dependency), so marker-level compatibility is all the code needs.
+//! Used only by `scripts/offline-check.sh`; never by real builds.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub mod de {
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,16 @@
+//! Offline stub of `serde_derive`: the derive macros expand to nothing.
+//! The sibling `serde` stub's traits are blanket-implemented for every
+//! type, so empty expansions still satisfy `Serialize`/`Deserialize`
+//! bounds. Used only by `scripts/offline-check.sh`; never by real builds.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,43 @@
+//! Offline stub of `serde_json`. The stub `serde` crate has no data
+//! model (its traits are empty markers), so real serialization is
+//! impossible here: every function returns `Err`. Tests that round-trip
+//! through serde_json (`tflux-core/tests/serde_roundtrip.rs`) cannot run
+//! under the offline harness — skip them with
+//! `scripts/offline-check.sh test -q -- --skip roundtrip`.
+
+use std::fmt;
+
+/// Stub error: always "offline stub cannot (de)serialize".
+pub struct Error(&'static str);
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json offline stub: {}", self.0)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Stub result alias matching the real crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Always fails: the stub serde traits carry no serialization logic.
+pub fn to_string<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    Err(Error("cannot serialize"))
+}
+
+/// Always fails: the stub serde traits carry no serialization logic.
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    Err(Error("cannot serialize"))
+}
+
+/// Always fails: the stub serde traits carry no deserialization logic.
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T> {
+    Err(Error("cannot deserialize"))
+}
