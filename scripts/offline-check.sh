@@ -13,16 +13,45 @@
 #   scripts/offline-check.sh build --release
 #
 # A separate target dir keeps stub artifacts from ever mixing with a real
-# registry build's cache.
+# registry build's cache, and the root Cargo.lock is saved/restored around
+# the cargo invocation so stub-patched resolutions never leak into (or
+# overwrite) a genuine registry-resolved lockfile. The stub resolution is
+# kept in target/offline-stub/Cargo.lock between runs instead.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_TARGET_DIR="${CARGO_TARGET_DIR:-target/offline-stub}"
+mkdir -p "$CARGO_TARGET_DIR"
+
+stub_lock="$CARGO_TARGET_DIR/Cargo.lock"
+saved_lock="$CARGO_TARGET_DIR/Cargo.lock.real-backup"
+had_real_lock=0
+
+restore_lock() {
+  # Whatever cargo wrote to the root lockfile is a stub resolution: stash
+  # it for reuse by the next offline run, then put the real one back (or
+  # remove the file entirely if the repo had none).
+  if [ -f Cargo.lock ]; then
+    mv -f Cargo.lock "$stub_lock"
+  fi
+  if [ "$had_real_lock" -eq 1 ]; then
+    mv -f "$saved_lock" Cargo.lock
+  fi
+}
+
+if [ -f Cargo.lock ]; then
+  had_real_lock=1
+  cp -f Cargo.lock "$saved_lock"
+fi
+if [ -f "$stub_lock" ]; then
+  cp -f "$stub_lock" Cargo.lock
+fi
+trap restore_lock EXIT
 
 cmd=("check" "--workspace" "--all-targets")
 if [ "$#" -gt 0 ]; then
   cmd=("$@")
 fi
 
-exec cargo --config vendor/offline.toml --offline "${cmd[@]}"
+cargo --config vendor/offline.toml --offline "${cmd[@]}"
