@@ -22,16 +22,12 @@ fn tsu_throughput(c: &mut Criterion) {
     for arity in [256u32, 4096] {
         let program = fork_join(arity);
         g.throughput(Throughput::Elements(program.total_instances() as u64));
-        g.bench_with_input(
-            BenchmarkId::new("drain", arity),
-            &program,
-            |b, program| {
-                b.iter(|| {
-                    let mut tsu = CoreTsu::new(program, 8, TsuConfig::default());
-                    black_box(drain_sequential(&mut tsu).len())
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("drain", arity), &program, |b, program| {
+            b.iter(|| {
+                let mut tsu = CoreTsu::new(program, 8, TsuConfig::default());
+                black_box(drain_sequential(&mut tsu).len())
+            })
+        });
     }
     g.finish();
 }

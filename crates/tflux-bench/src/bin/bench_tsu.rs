@@ -18,7 +18,8 @@
 
 use tflux_bench::json::{Json, ToJson};
 use tflux_bench::tsu_path::{
-    armed, complete_interleaved, locked, measure, measure_stream, pipeline, reduction,
+    armed, balanced_fanout, complete_interleaved, imbalanced_fanout, locked, measure,
+    measure_stream, pipeline, reduction, sim_makespan,
 };
 
 const ARITY: u32 = 4096;
@@ -29,6 +30,11 @@ const RUNS: usize = 7;
 const FUNNEL_BATCH: usize = 8;
 /// Consecutive passes per context in the streaming scenario.
 const STREAM_EPOCHS: u64 = 8;
+/// Fanout width of the work-stealing scenarios (simulated, so it need
+/// not match the wall-clock `ARITY`).
+const STEAL_ARITY: u32 = 256;
+/// Uniform compute cycles per instance in the steal scenarios.
+const STEAL_WORK: u64 = 200;
 
 struct Row {
     path: &'static str,
@@ -129,6 +135,35 @@ impl ToJson for StreamRow {
     }
 }
 
+/// One work-stealing comparison: the same fanout simulated with stealing
+/// on and off. Simulated cycles — fully deterministic, identical on any
+/// host (unlike the wall-clock rows).
+struct StealRow {
+    scenario: &'static str,
+    cores: u32,
+    cycles_steal_on: u64,
+    cycles_steal_off: u64,
+    speedup: f64,
+    steals: u64,
+    steal_misses: u64,
+    stolen_fetches: u64,
+}
+
+impl ToJson for StealRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scenario", self.scenario.to_json()),
+            ("cores", self.cores.to_json()),
+            ("cycles_steal_on", self.cycles_steal_on.to_json()),
+            ("cycles_steal_off", self.cycles_steal_off.to_json()),
+            ("speedup", self.speedup.to_json()),
+            ("steals", self.steals.to_json()),
+            ("steal_misses", self.steal_misses.to_json()),
+            ("stolen_fetches", self.stolen_fetches.to_json()),
+        ])
+    }
+}
+
 struct Report {
     bench: &'static str,
     regenerate: &'static str,
@@ -138,6 +173,7 @@ struct Report {
     speedups: Vec<Speedup>,
     funnel: Vec<FunnelRow>,
     streaming: Vec<StreamRow>,
+    steal: Vec<StealRow>,
 }
 
 impl ToJson for Report {
@@ -151,6 +187,7 @@ impl ToJson for Report {
             ("speedups", self.speedups.to_json()),
             ("funnel", self.funnel.to_json()),
             ("streaming", self.streaming.to_json()),
+            ("steal", self.steal.to_json()),
         ])
     }
 }
@@ -246,9 +283,28 @@ fn stream_row(kernels: u32) -> StreamRow {
     }
 }
 
+/// One steal-on vs steal-off comparison at `cores` cores (simulated).
+fn steal_row(scenario: &'static str, program: &tflux_core::DdmProgram, cores: u32) -> StealRow {
+    let on = sim_makespan(program, cores, true, STEAL_WORK);
+    let off = sim_makespan(program, cores, false, STEAL_WORK);
+    StealRow {
+        scenario,
+        cores,
+        cycles_steal_on: on.cycles,
+        cycles_steal_off: off.cycles,
+        speedup: off.cycles as f64 / on.cycles.max(1) as f64,
+        steals: on.steals,
+        steal_misses: on.steal_misses,
+        stolen_fetches: on.stolen_fetches,
+    }
+}
+
 /// The CI smoke: fail if the lock-free table is slower than the locked
-/// baseline at the widest kernel count, or if the completion funnel cuts
-/// sink-line transfers by less than 1.5x on the reduction scenario.
+/// baseline at the widest kernel count, if the completion funnel cuts
+/// sink-line transfers by less than 1.5x on the reduction scenario, or
+/// if work-stealing fails its deterministic simulated gates (must beat
+/// no-steal FIFO on the pinned fanout, must be within noise on the
+/// balanced one).
 fn check() -> ! {
     let program = pipeline(ARITY);
     let k = *KERNELS.last().unwrap();
@@ -294,7 +350,32 @@ fn check() -> ! {
         eprintln!("FAIL: epoch wraparound dominates the stream");
         std::process::exit(1);
     }
-    println!("OK: lock-free path, completion funnel, and epoch streaming hold");
+    // work-stealing gates: simulated cycles, so the comparison is exact
+    // and host-independent
+    let imb = steal_row("imbalanced_fanout", &imbalanced_fanout(STEAL_ARITY), k);
+    println!(
+        "bench_tsu --check steal (imbalanced) at {k} cores: on {} vs off {} cycles \
+         ({:.2}x, {} steals, {} misses)",
+        imb.cycles_steal_on, imb.cycles_steal_off, imb.speedup, imb.steals, imb.steal_misses
+    );
+    if imb.speedup < 1.2 {
+        eprintln!("FAIL: work-stealing does not beat no-steal FIFO on the imbalanced fanout");
+        std::process::exit(1);
+    }
+    let bal = steal_row("balanced_fanout", &balanced_fanout(STEAL_ARITY), k);
+    println!(
+        "bench_tsu --check steal (balanced) at {k} cores: on {} vs off {} cycles ({:.2}x)",
+        bal.cycles_steal_on, bal.cycles_steal_off, bal.speedup
+    );
+    let (lo, hi) = (
+        bal.cycles_steal_on.min(bal.cycles_steal_off),
+        bal.cycles_steal_on.max(bal.cycles_steal_off),
+    );
+    if hi * 100 > lo * 105 {
+        eprintln!("FAIL: stealing perturbs the balanced fanout by more than 5%");
+        std::process::exit(1);
+    }
+    println!("OK: lock-free path, completion funnel, epoch streaming, and work-stealing hold");
     std::process::exit(0);
 }
 
@@ -326,6 +407,16 @@ fn main() {
         .map(|&k| funnel_row(k))
         .collect();
     let streaming = KERNELS.iter().map(|&k| stream_row(k)).collect();
+    let steal = KERNELS
+        .iter()
+        .filter(|&&k| k > 1)
+        .flat_map(|&k| {
+            [
+                steal_row("imbalanced_fanout", &imbalanced_fanout(STEAL_ARITY), k),
+                steal_row("balanced_fanout", &balanced_fanout(STEAL_ARITY), k),
+            ]
+        })
+        .collect();
     let report = Report {
         bench: "tsu_completion_path",
         regenerate: "cargo run --release -p tflux-bench --bin bench_tsu",
@@ -337,6 +428,7 @@ fn main() {
         speedups,
         funnel,
         streaming,
+        steal,
     };
     let json = report.to_json().pretty();
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tsu.json");

@@ -90,7 +90,10 @@ fn fig6(quick: bool) {
     let rows = figures::fig6(quick);
     print!(
         "{}",
-        render_figure("Figure 6: TFluxSoft speedup (software TSU, Xeon model)", &rows)
+        render_figure(
+            "Figure 6: TFluxSoft speedup (software TSU, Xeon model)",
+            &rows
+        )
     );
     println!(
         "average speedup at 6 kernels, Large: {:.1}x (paper: ~4.4x)\n",

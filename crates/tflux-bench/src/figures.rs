@@ -4,7 +4,9 @@ use crate::json::{Json, ToJson};
 use tflux_cell::{CellConfig, CellMachine};
 use tflux_sim::{Machine, MachineConfig, TsuCosts};
 use tflux_workloads::common::Params;
-use tflux_workloads::setup::{cell_baseline, cell_setup, sim_baseline, sim_setup, with_default_unroll};
+use tflux_workloads::setup::{
+    cell_baseline, cell_setup, sim_baseline, sim_setup, with_default_unroll,
+};
 use tflux_workloads::sizes::{Platform, SizeClass};
 use tflux_workloads::Bench;
 
@@ -74,7 +76,11 @@ fn sim_point(bench: Bench, machine: &Machine, p: &Params) -> FigRow {
 /// × {Small, Medium, Large} on the simulated 28-core Bagle machine with
 /// the hardware TSU Group (one core reserved for the OS, hence 27).
 pub fn fig5(quick: bool) -> Vec<FigRow> {
-    let kernel_counts: &[u32] = if quick { &[2, 8, 27] } else { &[2, 4, 8, 16, 27] };
+    let kernel_counts: &[u32] = if quick {
+        &[2, 8, 27]
+    } else {
+        &[2, 4, 8, 16, 27]
+    };
     let mut rows = Vec::new();
     for bench in Bench::ALL {
         for &size in sizes_for(quick) {
@@ -160,7 +166,11 @@ pub fn tsu_latency(quick: bool) -> Vec<(u64, u64, f64)> {
     // grain, and the Medium sweep takes well under a second
     let size = SizeClass::Medium;
     let p = with_default_unroll(bench, Params::hard(8, 0, size));
-    let ops: &[u64] = if quick { &[1, 128] } else { &[1, 4, 16, 64, 128] };
+    let ops: &[u64] = if quick {
+        &[1, 128]
+    } else {
+        &[1, 4, 16, 64, 128]
+    };
     let mut out = Vec::new();
     let mut base = 0u64;
     for &op in ops {
@@ -187,7 +197,11 @@ pub fn tsu_latency(quick: bool) -> Vec<(u64, u64, f64)> {
 /// Returns `(platform, unroll, speedup)` triples.
 pub fn unroll_study(quick: bool) -> Vec<(&'static str, u32, f64)> {
     use tflux_workloads::mmult::elem_setup;
-    let factors: &[u32] = if quick { &[1, 16, 64] } else { &[1, 2, 4, 8, 16, 32, 64] };
+    let factors: &[u32] = if quick {
+        &[1, 16, 64]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64]
+    };
     let mut out = Vec::new();
     let size = SizeClass::Small;
     for &u in factors {
@@ -239,7 +253,11 @@ pub fn unroll_study(quick: bool) -> Vec<(&'static str, u32, f64)> {
 /// per-command cost by the bus transfer time, as separate per-CPU TSUs
 /// would require). Returns `(label, cycles)` pairs for MMULT/8 kernels.
 pub fn tsu_group_ablation(quick: bool) -> Vec<(&'static str, u64)> {
-    let size = if quick { SizeClass::Small } else { SizeClass::Medium };
+    let size = if quick {
+        SizeClass::Small
+    } else {
+        SizeClass::Medium
+    };
     let p = with_default_unroll(Bench::Mmult, Params::hard(8, 0, size));
     let (prog, src) = sim_setup(Bench::Mmult, &p);
     let grouped = Machine::new(MachineConfig::bagle(8)).run(&prog, src.as_ref());
@@ -248,7 +266,7 @@ pub fn tsu_group_ablation(quick: bool) -> Vec<(&'static str, u64)> {
         // each update becomes a bus-crossing message between per-CPU TSUs
         op: TsuCosts::hard().op + base.bus_transfer,
         access: TsuCosts::hard().access + base.bus_transfer,
-        kernel_overhead: 0,
+        ..TsuCosts::hard()
     });
     let split = Machine::new(split_cfg).run(&prog, src.as_ref());
     vec![
@@ -283,7 +301,11 @@ pub fn tsu_groups_scaling(quick: bool) -> Vec<(u32, u64, u64)> {
 /// depth at 27 kernels, Large size. Returns `(depth, speedup)`.
 pub fn qsort_tree_depth(quick: bool) -> Vec<(u32, f64, f64)> {
     use tflux_workloads::qsort;
-    let depths: &[u32] = if quick { &[0, 2, 6] } else { &[0, 1, 2, 3, 4, 5, 6] };
+    let depths: &[u32] = if quick {
+        &[0, 2, 6]
+    } else {
+        &[0, 1, 2, 3, 4, 5, 6]
+    };
     let m = hard_machine(27);
     let point = |size: SizeClass, d: u32| {
         let p = Params::hard(27, 1, size);
@@ -305,7 +327,11 @@ pub fn qsort_tree_depth(quick: bool) -> Vec<(u32, f64, f64)> {
 /// five benchmarks at 8 kernels (9 cores, 1 reserved for the OS) on the
 /// x86 preset and on Bagle; returns `(bench, x86_speedup, bagle_speedup)`.
 pub fn fig5_x86(quick: bool) -> Vec<(&'static str, f64, f64)> {
-    let size = if quick { SizeClass::Small } else { SizeClass::Medium };
+    let size = if quick {
+        SizeClass::Small
+    } else {
+        SizeClass::Medium
+    };
     Bench::ALL
         .iter()
         .map(|&bench| {

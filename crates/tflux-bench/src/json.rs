@@ -223,6 +223,9 @@ mod tests {
     fn floats_round_trip_and_escape_strings() {
         assert_eq!(Json::F64(0.123456789).pretty(), "0.123456789\n");
         assert_eq!(Json::F64(f64::NAN).pretty(), "null\n");
-        assert_eq!(Json::Str("a\"b\\c\n".into()).pretty(), "\"a\\\"b\\\\c\\n\"\n");
+        assert_eq!(
+            Json::Str("a\"b\\c\n".into()).pretty(),
+            "\"a\\\"b\\\\c\\n\"\n"
+        );
     }
 }

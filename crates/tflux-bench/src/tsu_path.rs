@@ -47,7 +47,8 @@ pub fn armed(program: &DdmProgram, kernels: u32) -> (SyncMemory<&DdmProgram>, Ve
     let mut ready = Vec::new();
     let inlet = sm.armed_inlet();
     let ep = sm.dispatch(inlet).expect("inlet dispatch");
-    sm.complete(inlet, ep, &mut ready).expect("inlet completion");
+    sm.complete(inlet, ep, &mut ready)
+        .expect("inlet completion");
     // the block is loaded; `ready` holds the zero-ready-count first stage
     let work = ready.clone();
     for &i in &work {
@@ -236,7 +237,8 @@ pub fn measure_stream(program: &DdmProgram, kernels: u32, epochs: u64) -> Stream
         }
     }
     let ns_total = t.elapsed().as_nanos() as u64;
-    sm.retire_epoch(Epoch(epochs - 1)).expect("retire final epoch");
+    sm.retire_epoch(Epoch(epochs - 1))
+        .expect("retire final epoch");
     let measured = StreamMeasure {
         ns_total,
         completions: sm.completions(),
@@ -249,6 +251,84 @@ pub fn measure_stream(program: &DdmProgram, kernels: u32, epochs: u64) -> Stream
         "cross-epoch ready-count corruption: completions diverged"
     );
     measured
+}
+
+/// Imbalanced fanout: every `work` instance is pinned to kernel 0 — one
+/// producer kernel, N−1 consumers with empty local queues. Without
+/// stealing, core 0 drains the whole stage serially while the others
+/// park; with stealing, the idle cores take the oldest entries from
+/// kernel 0's deque. The makespan gap between the two is the value of
+/// the work-stealing layer, and it is measured in *simulated* cycles
+/// ([`sim_makespan`]) so the comparison is deterministic and
+/// host-independent.
+pub fn imbalanced_fanout(arity: u32) -> DdmProgram {
+    let mut b = ProgramBuilder::new();
+    let blk = b.block();
+    let work = b.thread(
+        blk,
+        ThreadSpec::new("work", arity).with_affinity(Affinity::Fixed(KernelId(0))),
+    );
+    let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+    b.arc(work, sink, ArcMapping::Reduction).unwrap();
+    b.build().unwrap()
+}
+
+/// The same fanout shape, range-partitioned across kernels — the control
+/// scenario: each kernel owns an equal slice, so stealing has (almost)
+/// nothing to move and must not slow the balanced case down.
+pub fn balanced_fanout(arity: u32) -> DdmProgram {
+    let mut b = ProgramBuilder::new();
+    let blk = b.block();
+    let work = b.thread(blk, ThreadSpec::new("work", arity));
+    let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+    b.arc(work, sink, ArcMapping::Reduction).unwrap();
+    b.build().unwrap()
+}
+
+/// One deterministic steal measurement: simulated makespan plus the
+/// steal counters of the run.
+#[derive(Debug, Clone, Copy)]
+pub struct StealMeasure {
+    /// Simulated makespan in cycles (last core's finish time).
+    pub cycles: u64,
+    /// Successful steals (entries executed away from their owner).
+    pub steals: u64,
+    /// Victim probes that found the victim empty.
+    pub steal_misses: u64,
+    /// Fetches the TSU device served by walking a sibling queue (each
+    /// charged [`tflux_sim::TsuCosts::steal`] extra cycles).
+    pub stolen_fetches: u64,
+}
+
+/// Run `program` on the simulated Bagle machine with `cores` cores and
+/// `work_cycles` of uniform compute per instance, stealing on or off.
+/// Fully deterministic: same inputs, same cycle count, any host.
+pub fn sim_makespan(
+    program: &DdmProgram,
+    cores: u32,
+    steal: bool,
+    work_cycles: u64,
+) -> StealMeasure {
+    use tflux_core::tsu::TsuConfig;
+    use tflux_sim::work::UniformWork;
+    use tflux_sim::{Machine, MachineConfig};
+    let r = Machine::new(MachineConfig::bagle(cores))
+        .with_tsu_config(TsuConfig {
+            policy: SchedulingPolicy::LocalityFirst { steal },
+            ..TsuConfig::default()
+        })
+        .run(
+            program,
+            &UniformWork {
+                cycles: work_cycles,
+            },
+        );
+    StealMeasure {
+        cycles: r.cycles,
+        steals: r.tsu.steals,
+        steal_misses: r.tsu.steal_misses,
+        stolen_fetches: r.dev.stolen_fetches,
+    }
 }
 
 /// The PR 2 locked-shard Synchronization Memory interior, preserved as a
@@ -481,6 +561,36 @@ mod tests {
         assert!(m.completions_per_sec() > 0.0);
         assert!(m.wrap_ns_per_epoch() >= 0.0);
         assert!(m.wrap_fraction() < 1.0);
+    }
+
+    #[test]
+    fn stealing_beats_no_steal_on_the_imbalanced_fanout() {
+        let p = imbalanced_fanout(64);
+        let on = sim_makespan(&p, 4, true, 200);
+        let off = sim_makespan(&p, 4, false, 200);
+        assert!(
+            on.cycles * 12 < off.cycles * 10,
+            "stealing must beat no-steal by >1.2x on the pinned fanout: \
+             on {} vs off {}",
+            on.cycles,
+            off.cycles
+        );
+        assert!(on.steals > 0 && on.stolen_fetches > 0);
+        assert_eq!(off.steals, 0);
+    }
+
+    #[test]
+    fn stealing_is_noise_on_the_balanced_fanout() {
+        let p = balanced_fanout(64);
+        let on = sim_makespan(&p, 4, true, 200);
+        let off = sim_makespan(&p, 4, false, 200);
+        let (lo, hi) = (on.cycles.min(off.cycles), on.cycles.max(off.cycles));
+        assert!(
+            hi * 100 <= lo * 105,
+            "balanced makespans must agree within 5%: on {} vs off {}",
+            on.cycles,
+            off.cycles
+        );
     }
 
     #[test]

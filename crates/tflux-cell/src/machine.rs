@@ -345,7 +345,8 @@ impl CellMachine {
         // can be handed back in order.
         let (_, completed, mut retired) = tsu.epoch_ledger();
         while retired < completed {
-            tsu.retire_epoch(Epoch(retired)).map_err(CellError::Protocol)?;
+            tsu.retire_epoch(Epoch(retired))
+                .map_err(CellError::Protocol)?;
             retired += 1;
         }
 
@@ -600,10 +601,7 @@ mod tests {
         // three bit-identical passes: every instance executes once per
         // epoch, and the ready counts re-arm cleanly between passes
         assert_eq!(streamed.instances, 3 * p.total_instances());
-        assert_eq!(
-            streamed.tsu.completions as usize,
-            3 * p.total_instances()
-        );
+        assert_eq!(streamed.tsu.completions as usize, 3 * p.total_instances());
         assert_eq!(streamed.tsu.epochs, 3);
         assert_eq!(one.tsu.epochs, 1);
         // streaming is still deterministic, and three passes cost more

@@ -41,9 +41,8 @@ impl CellReport {
     /// Fraction of SPE time spent in DMA.
     pub fn dma_fraction(&self) -> f64 {
         let dma: u64 = self.spe_dma.iter().sum();
-        let total: u64 = dma
-            + self.spe_busy.iter().sum::<u64>()
-            + self.spe_idle.iter().sum::<u64>();
+        let total: u64 =
+            dma + self.spe_busy.iter().sum::<u64>() + self.spe_idle.iter().sum::<u64>();
         if total == 0 {
             0.0
         } else {

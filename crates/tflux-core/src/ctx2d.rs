@@ -23,7 +23,9 @@ impl Context2d {
     pub fn new(rows: u32, cols: u32) -> Self {
         assert!(rows > 0 && cols > 0, "dimensions must be non-zero");
         assert!(
-            (rows as u64).checked_mul(cols as u64).is_some_and(|n| n <= u32::MAX as u64),
+            (rows as u64)
+                .checked_mul(cols as u64)
+                .is_some_and(|n| n <= u32::MAX as u64),
             "iteration space exceeds the 32-bit context range"
         );
         Context2d { rows, cols }

@@ -15,8 +15,8 @@
 //! * **The TSU units** ([`tsu`]) — the paper's §3.3 decomposition:
 //!   [`tsu::GraphMemory`] (immutable program view), [`tsu::SyncMemory`]
 //!   (sharded ready counts + post-processing) and per-kernel
-//!   [`tsu::QueueUnit`]s, composed into [`tsu::CoreTsu`] for single-owner
-//!   drivers. All three platforms (the software TSU of `tflux-runtime`,
+//!   [`tsu::StealDeque`]s (Chase-Lev work-stealing queues), composed into
+//!   [`tsu::CoreTsu`] for single-owner drivers. All three platforms (the software TSU of `tflux-runtime`,
 //!   the simulated hardware TSU of `tflux-sim`, the Cell model of
 //!   `tflux-cell`) drive the same units through the [`tsu::TsuBackend`]
 //!   trait, which is what makes the platform implementations directly
@@ -70,12 +70,13 @@ pub use block::DdmBlock;
 pub use error::CoreError;
 pub use ids::{BlockId, Context, Instance, KernelId, ProgramId, ThreadId};
 pub use mapping::ArcMapping;
-pub use policy::SchedulingPolicy;
+pub use policy::{SchedulingPolicy, StealPolicy};
 pub use program::{DdmProgram, ProgramBuilder};
 pub use thread::{Affinity, ThreadKind, ThreadSpec};
 pub use tsu::{
-    CompletionFunnel, CoreTsu, FetchResult, FlushPolicy, GraphMemory, ProgramHandle, QueueUnit,
-    ServiceRotor, ShardStats, SyncMemory, TsuBackend, TsuConfig, TsuStats, WaitingInstance,
+    CompletionFunnel, CoreTsu, FetchResult, FlushPolicy, GraphMemory, MpmcRing, ProgramHandle,
+    ServiceRotor, ShardStats, Steal, StealDeque, SyncMemory, TsuBackend, TsuConfig, TsuStats,
+    WaitingInstance,
 };
 
 /// Convenient glob import for users of the model.
@@ -84,7 +85,7 @@ pub mod prelude {
     pub use crate::error::CoreError;
     pub use crate::ids::{BlockId, Context, Instance, KernelId, ProgramId, ThreadId};
     pub use crate::mapping::ArcMapping;
-    pub use crate::policy::SchedulingPolicy;
+    pub use crate::policy::{SchedulingPolicy, StealPolicy};
     pub use crate::program::{DdmProgram, ProgramBuilder};
     pub use crate::thread::{Affinity, ThreadKind, ThreadSpec};
     pub use crate::tsu::{

@@ -31,6 +31,49 @@ impl Default for SchedulingPolicy {
     }
 }
 
+/// How a thief picks its victim queue once its own queue misses.
+///
+/// Stealing is now a queue-native operation (see
+/// [`StealDeque`](crate::tsu::StealDeque)); this policy only decides the
+/// *order* in which sibling queues are probed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum StealPolicy {
+    /// Probe one uniformly-drawn sibling first — randomization spreads
+    /// concurrent thieves across victims so they do not all CAS the same
+    /// `top` — then fall back to scanning siblings longest-queue-first.
+    #[default]
+    RandomThenLongest,
+    /// Skip the random probe and always scan longest-queue-first. More
+    /// deterministic, but concurrent thieves pile onto the same victim.
+    LongestFirst,
+}
+
+/// splitmix64: the cheap deterministic generator used for victim draws
+/// (the same construction the TUB uses for its backoff jitter). Advances
+/// `state` and returns the next draw.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl StealPolicy {
+    /// The first victim a thief owning queue `own` (of `n` queues) should
+    /// probe: a random sibling under [`StealPolicy::RandomThenLongest`]
+    /// (drawn from `state`, which advances), `None` under
+    /// [`StealPolicy::LongestFirst`] — the caller goes straight to the
+    /// longest-queue scan.
+    pub fn first_victim(self, own: usize, n: usize, state: &mut u64) -> Option<usize> {
+        if n < 2 || self == StealPolicy::LongestFirst {
+            return None;
+        }
+        let r = (splitmix64(state) % (n as u64 - 1)) as usize;
+        Some(if r >= own { r + 1 } else { r })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -40,6 +83,46 @@ mod tests {
         assert_eq!(
             SchedulingPolicy::default(),
             SchedulingPolicy::LocalityFirst { steal: true }
+        );
+    }
+
+    #[test]
+    fn random_victim_never_picks_the_thief() {
+        let mut state = 42u64;
+        for own in 0..8usize {
+            for _ in 0..64 {
+                let v = StealPolicy::RandomThenLongest
+                    .first_victim(own, 8, &mut state)
+                    .unwrap();
+                assert_ne!(v, own);
+                assert!(v < 8);
+            }
+        }
+    }
+
+    #[test]
+    fn victim_draws_are_deterministic_per_seed() {
+        let mut a = 7u64;
+        let mut b = 7u64;
+        let va: Vec<_> = (0..32)
+            .map(|_| StealPolicy::default().first_victim(0, 4, &mut a))
+            .collect();
+        let vb: Vec<_> = (0..32)
+            .map(|_| StealPolicy::default().first_victim(0, 4, &mut b))
+            .collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn longest_first_and_single_queue_skip_the_random_probe() {
+        let mut state = 1u64;
+        assert_eq!(
+            StealPolicy::LongestFirst.first_victim(0, 8, &mut state),
+            None
+        );
+        assert_eq!(
+            StealPolicy::RandomThenLongest.first_victim(0, 1, &mut state),
+            None
         );
     }
 }

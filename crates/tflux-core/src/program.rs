@@ -333,7 +333,7 @@ mod tests {
         assert_eq!(p.initial_rc(Instance::scalar(ThreadId(0))), 0); // src
         assert_eq!(p.initial_rc(Instance::scalar(ThreadId(1))), 1); // a
         assert_eq!(p.initial_rc(Instance::scalar(ThreadId(3))), 2); // sink
-        // outlet waits on all 4 app instances
+                                                                    // outlet waits on all 4 app instances
         let outlet = p.blocks()[0].outlet;
         assert_eq!(p.initial_rc(Instance::scalar(outlet)), 4);
         // inlet is free to run

@@ -10,7 +10,7 @@
 use crate::error::CoreError;
 use crate::graph::hot_sinks;
 use crate::ids::{BlockId, Epoch, Instance, KernelId};
-use crate::policy::SchedulingPolicy;
+use crate::policy::{SchedulingPolicy, StealPolicy};
 use crate::program::DdmProgram;
 use serde::{Deserialize, Serialize};
 
@@ -93,6 +93,11 @@ pub struct TsuConfig {
     pub capacity: usize,
     /// Ready-thread selection policy.
     pub policy: SchedulingPolicy,
+    /// Victim-selection order once a steal is attempted (default:
+    /// random-victim first, then longest-queue-first). Irrelevant unless
+    /// `policy` permits stealing.
+    #[serde(default)]
+    pub steal_policy: StealPolicy,
     /// Completion-funnel flush policy (default: `Auto`, which resolves to
     /// `Batch` when the program has hot reduction sinks and `Direct`
     /// otherwise; explicit `Direct`/`Batch` override the heuristic).
@@ -124,8 +129,21 @@ pub struct TsuStats {
     /// smaller (one `fetch_sub(n)` covers `n` logical decrements).
     #[serde(default)]
     pub rc_rmws: u64,
-    /// Fetches satisfied from another kernel's queue.
+    /// Fetches satisfied from another kernel's queue (successful takes of
+    /// a sibling's entry; the stolen instance executes on the thief).
     pub steals: u64,
+    /// Victim probes that found the victim empty — including a victim
+    /// drained *between* the thief's length snapshot and its steal (the
+    /// clean-miss path). High misses with low steals means thieves are
+    /// scanning an idle machine.
+    #[serde(default)]
+    pub steal_misses: u64,
+    /// Steal attempts that lost the `top` CAS to the victim's owner or a
+    /// concurrent thief. Each race is one wasted CAS, not a lost entry —
+    /// the entry went to the winner. High races mean thieves are piling
+    /// onto the same victim (see `StealPolicy::RandomThenLongest`).
+    #[serde(default)]
+    pub steal_races: u64,
     /// DDM blocks loaded.
     pub blocks_loaded: u64,
     /// Peak number of resident instances.

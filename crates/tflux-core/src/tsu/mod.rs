@@ -9,8 +9,9 @@
 //!   Phase, held in a lock-free table of atomic slots so concurrent
 //!   completions never contend on a lock (only block transitions are
 //!   serialized).
-//! * [`QueueUnit`] — one FIFO of ready instances per kernel, speaking the
-//!   shared [`FetchResult`] vocabulary.
+//! * [`StealDeque`] — one Chase-Lev work-stealing deque of ready
+//!   instances per kernel, speaking the shared [`FetchResult`]
+//!   vocabulary; idle kernels steal the oldest entry of a sibling.
 //!
 //! [`CoreTsu`] composes the three into the single-owner TSU used by the
 //! deterministic platforms and the reference executor
@@ -30,16 +31,16 @@ pub use backend::{
 };
 pub use funnel::CompletionFunnel;
 pub use gm::{GraphMemory, ProgramHandle};
-pub use queue::{FetchResult, QueueUnit, ServiceRotor};
+pub use queue::{FetchResult, MpmcRing, ServiceRotor, Steal, StealDeque};
 pub use sync::SyncMemory;
 
 use crate::error::CoreError;
 use crate::ids::{BlockId, Epoch, Instance, KernelId};
-use crate::policy::SchedulingPolicy;
+use crate::policy::{SchedulingPolicy, StealPolicy};
 use crate::program::DdmProgram;
 
 /// The single-owner TSU: Graph Memory + Synchronization Memory + one
-/// [`QueueUnit`] per kernel, driven by one caller.
+/// [`StealDeque`] per kernel, driven by one caller.
 ///
 /// This is the composition used by the simulated hardware TSU
 /// (`tflux-sim`), the Cell machine (`tflux-cell`) and the sequential
@@ -48,11 +49,15 @@ use crate::program::DdmProgram;
 pub struct CoreTsu<P: ProgramHandle> {
     gm: GraphMemory<P>,
     sm: SyncMemory<P>,
-    queues: Vec<QueueUnit>,
+    queues: Vec<StealDeque>,
     policy: SchedulingPolicy,
+    steal_policy: StealPolicy,
+    steal_rng: u64,
     flush: FlushPolicy,
     waits: u64,
     steals: u64,
+    steal_misses: u64,
+    steal_races: u64,
 }
 
 impl<P: ProgramHandle> CoreTsu<P> {
@@ -69,11 +74,16 @@ impl<P: ProgramHandle> CoreTsu<P> {
         let mut tsu = CoreTsu {
             gm,
             sm,
-            queues: (0..nqueues).map(|_| QueueUnit::new()).collect(),
+            queues: (0..nqueues).map(|_| StealDeque::new()).collect(),
             policy: config.policy,
+            steal_policy: config.steal_policy,
+            // deterministic per-TSU seed: single-owner runs replay exactly
+            steal_rng: 0x5EED_0000 ^ ((kernels as u64) << 8),
             flush,
             waits: 0,
             steals: 0,
+            steal_misses: 0,
+            steal_races: 0,
         };
         let inlet = tsu.sm.armed_inlet();
         tsu.push_ready(inlet);
@@ -129,6 +139,8 @@ impl<P: ProgramHandle> CoreTsu<P> {
         let mut s = self.sm.stats();
         s.waits = self.waits;
         s.steals = self.steals;
+        s.steal_misses = self.steal_misses;
+        s.steal_races = self.steal_races;
         s
     }
 
@@ -151,7 +163,8 @@ impl<P: ProgramHandle> CoreTsu<P> {
 
     fn push_ready(&mut self, i: Instance) {
         let q = self.queue_of(i);
-        self.queues[q].push(i);
+        let ep = self.sm.current_epoch();
+        self.queues[q].push(i, ep);
     }
 
     /// Ask for the next DThread on behalf of `kernel`. Fails with
@@ -159,47 +172,74 @@ impl<P: ProgramHandle> CoreTsu<P> {
     /// (a scheduler protocol bug) or [`CoreError::SmPoisoned`] when the
     /// Synchronization Memory can no longer be trusted.
     pub fn fetch_ready(&mut self, kernel: KernelId) -> Result<FetchResult, CoreError> {
+        Ok(self.fetch_ready_traced(kernel)?.0)
+    }
+
+    /// [`fetch_ready`](Self::fetch_ready) with provenance: the flag is
+    /// `true` when the instance was stolen from a sibling queue rather
+    /// than served from `kernel`'s own. Device models use this to charge
+    /// a steal latency on migrated fetches.
+    pub fn fetch_ready_traced(
+        &mut self,
+        kernel: KernelId,
+    ) -> Result<(FetchResult, bool), CoreError> {
         if self.sm.finished() {
-            return Ok(FetchResult::Exit);
+            return Ok((FetchResult::Exit, false));
         }
         let own = match self.policy {
             SchedulingPolicy::GlobalFifo => 0,
             _ => kernel.idx().min(self.queues.len() - 1),
         };
-        if let Some(i) = self.queues[own].pop() {
+        if let Some((i, _)) = self.queues[own].pop() {
             let ep = self.sm.dispatch(i)?;
-            return Ok(FetchResult::Thread(i, ep));
+            return Ok((FetchResult::Thread(i, ep), false));
         }
         if let SchedulingPolicy::LocalityFirst { steal: true } = self.policy {
-            if let Some(i) = self.pop_stolen(&self.steal_plan(own)) {
+            if let Some((i, _)) = self.steal_ready(own) {
                 let ep = self.sm.dispatch(i)?;
-                return Ok(FetchResult::Thread(i, ep));
+                return Ok((FetchResult::Thread(i, ep), true));
             }
         }
         self.waits += 1;
-        Ok(FetchResult::Wait)
+        Ok((FetchResult::Wait, false))
     }
 
-    /// Victim queues for a steal by the owner of queue `own`, most loaded
-    /// first. The plan is a *snapshot*: by the time a victim is popped it
-    /// may have drained, so [`pop_stolen`](Self::pop_stolen) treats an
-    /// emptied victim as a miss, never a panic.
-    fn steal_plan(&self, own: usize) -> Vec<usize> {
-        let mut victims: Vec<usize> = (0..self.queues.len())
+    /// Steal on behalf of the owner of queue `own`: one random-victim
+    /// probe (under [`StealPolicy::RandomThenLongest`]), then a
+    /// longest-queue-first scan of the remaining siblings. A victim
+    /// drained between its length snapshot and the steal is a clean miss
+    /// ([`Steal::Empty`]) and falls through to the next; this TSU is
+    /// single-owner so [`Steal::Retry`] cannot occur, but the loop handles
+    /// it anyway for symmetry with the concurrent runtime.
+    fn steal_ready(&mut self, own: usize) -> Option<(Instance, Epoch)> {
+        let n = self.queues.len();
+        if let Some(v) = self.steal_policy.first_victim(own, n, &mut self.steal_rng) {
+            match self.queues[v].steal() {
+                Steal::Success(e) => {
+                    self.steals += 1;
+                    return Some(e);
+                }
+                Steal::Empty => self.steal_misses += 1,
+                Steal::Retry => self.steal_races += 1,
+            }
+        }
+        let mut victims: Vec<usize> = (0..n)
             .filter(|&q| q != own && !self.queues[q].is_empty())
             .collect();
         victims.sort_by_key(|&q| std::cmp::Reverse(self.queues[q].len()));
-        victims
-    }
-
-    /// Pop from the first victim in `plan` that still has work. A victim
-    /// emptied since the plan was made falls through to the next; an
-    /// entirely stale plan yields `None` (the caller reports `Wait`).
-    fn pop_stolen(&mut self, plan: &[usize]) -> Option<Instance> {
-        for &victim in plan {
-            if let Some(i) = self.queues[victim].pop() {
-                self.steals += 1;
-                return Some(i);
+        for v in victims {
+            loop {
+                match self.queues[v].steal() {
+                    Steal::Success(e) => {
+                        self.steals += 1;
+                        return Some(e);
+                    }
+                    Steal::Empty => {
+                        self.steal_misses += 1;
+                        break;
+                    }
+                    Steal::Retry => self.steal_races += 1,
+                }
             }
         }
         None
@@ -612,10 +652,11 @@ mod tests {
     }
 
     #[test]
-    fn stale_steal_plan_is_a_graceful_miss() {
-        // regression for the `pop().expect("non-empty victim")` panic: a
-        // steal plan can outlive the victim's last entry, and popping an
-        // emptied victim must fall through, not panic
+    fn concurrently_emptied_victim_is_a_clean_miss() {
+        // successor to the PR 5 stale-steal-plan regression: with steals
+        // queue-native, a victim that drains between the thief's length
+        // probe and the steal must answer `Empty` — no panic, no
+        // double-pop — and the fetch path must report `Wait`
         let mut b = ProgramBuilder::new();
         let blk = b.block();
         b.thread(
@@ -628,15 +669,44 @@ mod tests {
             panic!("inlet not ready");
         };
         complete(&mut tsu, inlet, ep).unwrap();
-        // kernel 0's plan names queue 1 (holding both work instances)...
-        let plan = tsu.steal_plan(0);
-        assert_eq!(plan, vec![1]);
-        // ...but the queue drains before the pop lands
+        // queue 1 holds both work instances; a thief would target it...
+        assert_eq!(tsu.queues[1].len(), 2);
+        // ...but it drains before the steal lands
         while tsu.queues[1].pop().is_some() {}
-        assert_eq!(tsu.pop_stolen(&plan), None, "stale plan must miss");
+        assert_eq!(tsu.queues[1].steal(), Steal::Empty, "must be a clean miss");
         assert_eq!(tsu.stats().steals, 0);
-        // the public fetch path reports Wait instead of panicking
+        // the public fetch path reports Wait (and counts the miss)
         assert_eq!(tsu.fetch_ready(KernelId(0)).unwrap(), FetchResult::Wait);
+        let s = tsu.stats();
+        assert_eq!(s.steals, 0);
+        assert!(s.steal_misses >= 1, "the emptied probe must be counted");
+        assert_eq!(s.steal_races, 0, "single-owner TSU cannot lose a CAS");
+    }
+
+    #[test]
+    fn traced_fetch_reports_steal_provenance() {
+        // same pinned-work shape as steal_lets_idle_kernel_progress, but
+        // through the traced surface the sim uses to charge steal latency
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        b.thread(
+            blk,
+            ThreadSpec::new("w", 2).with_affinity(crate::thread::Affinity::Fixed(KernelId(0))),
+        );
+        let p = b.build().unwrap();
+        let mut tsu = CoreTsu::new(&p, 2, TsuConfig::default());
+        let (FetchResult::Thread(inlet, ep), stolen) = tsu.fetch_ready_traced(KernelId(0)).unwrap()
+        else {
+            panic!("inlet not ready");
+        };
+        assert!(!stolen, "own-queue fetch is local");
+        complete(&mut tsu, inlet, ep).unwrap();
+        let (r, stolen) = tsu.fetch_ready_traced(KernelId(1)).unwrap();
+        assert!(matches!(r, FetchResult::Thread(..)));
+        assert!(stolen, "kernel 1 served from kernel 0's queue");
+        let (r, stolen) = tsu.fetch_ready_traced(KernelId(0)).unwrap();
+        assert!(matches!(r, FetchResult::Thread(..)));
+        assert!(!stolen);
     }
 
     #[test]

@@ -926,6 +926,8 @@ impl<P: ProgramHandle> SyncMemory<P> {
                 .map(|s| s.rc_rmws.load(Ordering::Relaxed))
                 .sum(),
             steals: 0,
+            steal_misses: 0,
+            steal_races: 0,
             blocks_loaded: guard.blocks_loaded,
             max_resident: guard.max_resident,
             epochs: guard.completed,
@@ -1252,7 +1254,8 @@ mod tests {
         let p = wide_reduction(4);
         let sm = SyncMemory::new(&p, 2, 0);
         let mut out = vec![Instance::scalar(ThreadId(0))];
-        sm.complete_batch(&[], sm.current_epoch(), &mut out).unwrap();
+        sm.complete_batch(&[], sm.current_epoch(), &mut out)
+            .unwrap();
         assert!(out.is_empty());
         assert_eq!(sm.completions(), 0);
     }

@@ -1,0 +1,127 @@
+//! Loom model of the Chase-Lev [`StealDeque`]: exhaustive interleaving
+//! exploration of the owner-vs-thieves races the stress tests can only
+//! sample.
+//!
+//! Compiled and run only under `RUSTFLAGS="--cfg loom"` (the CI loom
+//! job):
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg loom" cargo test -p tflux-core --test loom_deque --release
+//! ```
+//!
+//! Under that cfg the deque's atomics are loom's, so every model below
+//! explores all orderings of the owner's bottom updates, the thieves'
+//! top CASes, and the ladder's grow-and-publish — including the
+//! last-entry owner-vs-thief race and steals that land mid-growth. The
+//! checked property is always the same: every pushed entry is claimed
+//! exactly once, by exactly one side.
+//!
+//! The models are deliberately tiny (2–4 entries, ≤ 2 thieves): loom's
+//! state space is exponential in the operation count, and these shapes
+//! already cover the interesting races — last-entry contention, steal
+//! during growth, and two thieves CASing the same top.
+
+#![cfg(loom)]
+
+use loom::thread;
+use std::sync::Arc;
+use tflux_core::ids::{Context, Epoch, Instance, ThreadId};
+use tflux_core::tsu::{Steal, StealDeque};
+
+fn inst(c: u32) -> Instance {
+    Instance::new(ThreadId(1), Context(c))
+}
+
+/// Steal until the deque settles: collect successes, retry on lost
+/// CASes, stop on Empty. Bounded because the model's owner performs a
+/// finite number of operations.
+fn steal_all(q: &StealDeque) -> Vec<u32> {
+    let mut got = Vec::new();
+    loop {
+        match q.steal() {
+            Steal::Success((i, ep)) => {
+                assert_eq!(ep, Epoch(0));
+                got.push(i.context.0);
+            }
+            Steal::Retry => continue,
+            Steal::Empty => return got,
+        }
+    }
+}
+
+/// Owner pops against two concurrent thieves: every entry claimed
+/// exactly once, including the last-entry race where the owner's
+/// restoring CAS and a thief's top CAS contend for the same slot.
+#[test]
+fn owner_pop_vs_two_thieves_claims_each_entry_once() {
+    loom::model(|| {
+        let q = Arc::new(StealDeque::with_capacity(4));
+        for c in 0..3 {
+            q.push(inst(c), Epoch(0));
+        }
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || steal_all(&q))
+            })
+            .collect();
+        let mut all = Vec::new();
+        while let Some((i, _)) = q.pop() {
+            all.push(i.context.0);
+        }
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2], "entry lost or claimed twice");
+    });
+}
+
+/// A thief races the owner across a buffer growth: the base capacity of
+/// 2 forces the ladder to grow mid-push, so steals may read the retired
+/// rung while the owner publishes the next one. No entry may be lost or
+/// duplicated, and no steal may observe a torn slot it then claims —
+/// the monotonic top counter makes a stale-rung claim impossible (no
+/// ABA on growth).
+#[test]
+fn steal_during_growth_neither_loses_nor_duplicates() {
+    loom::model(|| {
+        let q = Arc::new(StealDeque::with_capacity(2));
+        q.push(inst(0), Epoch(0));
+        q.push(inst(1), Epoch(0));
+        let thief = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || steal_all(&q))
+        };
+        // these pushes overflow the base rung and publish the next one
+        // while the thief is (possibly) mid-steal on the old rung
+        q.push(inst(2), Epoch(0));
+        q.push(inst(3), Epoch(0));
+        let mut all = Vec::new();
+        while let Some((i, _)) = q.pop() {
+            all.push(i.context.0);
+        }
+        all.extend(thief.join().unwrap());
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3], "growth lost or duplicated an entry");
+    });
+}
+
+/// The single-entry deque: owner pop and one thief race for the only
+/// entry. Exactly one side wins; the loser sees nothing.
+#[test]
+fn last_entry_goes_to_exactly_one_side() {
+    loom::model(|| {
+        let q = Arc::new(StealDeque::with_capacity(2));
+        q.push(inst(7), Epoch(0));
+        let thief = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || steal_all(&q))
+        };
+        let mine: Vec<u32> = q.pop().map(|(i, _)| i.context.0).into_iter().collect();
+        let theirs = thief.join().unwrap();
+        let mut all = mine;
+        all.extend(theirs);
+        assert_eq!(all, vec![7], "the last entry must go to exactly one side");
+    });
+}

@@ -250,6 +250,71 @@ fn completions_are_exact_under_concurrent_completers() {
 }
 
 #[test]
+fn steal_heavy_thieves_claim_every_entry_exactly_once() {
+    // steal-heavy Chase-Lev race: four thieves hammer one owner's deque
+    // while the owner interleaves pushes with LIFO pops, and the tiny
+    // base capacity forces repeated buffer growth under fire. Every
+    // entry must be claimed exactly once across owner and thieves — a
+    // lost CAS that still hands out the entry, or a growth that drops a
+    // slot, shows up as a duplicate or a hole here. Runs under
+    // ThreadSanitizer in the tsan job.
+    use std::sync::atomic::AtomicBool;
+    use tflux_core::ids::{Context, Epoch, Instance, ThreadId};
+    use tflux_core::tsu::{Steal, StealDeque};
+
+    let total: u32 = 20_000;
+    let q = StealDeque::with_capacity(8);
+    let done = AtomicBool::new(false);
+    let claimed: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+    let (q_ref, done_ref, claimed_ref) = (&q, &done, &claimed);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(move || {
+                let mut mine = Vec::new();
+                loop {
+                    match q_ref.steal() {
+                        Steal::Success((i, ep)) => {
+                            assert_eq!(ep, Epoch(3), "epoch tag lost on the steal path");
+                            mine.push(i.context.0);
+                        }
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            if done_ref.load(Ordering::SeqCst) && q_ref.is_empty() {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+                claimed_ref.lock().unwrap().extend(mine);
+            });
+        }
+        // the owner: push everything, popping every third entry itself
+        let t = ThreadId(0);
+        let mut mine = Vec::new();
+        for c in 0..total {
+            q_ref.push(Instance::new(t, Context(c)), Epoch(3));
+            if c % 3 == 0 {
+                if let Some((i, _)) = q_ref.pop() {
+                    mine.push(i.context.0);
+                }
+            }
+        }
+        while let Some((i, _)) = q_ref.pop() {
+            mine.push(i.context.0);
+        }
+        done_ref.store(true, Ordering::SeqCst);
+        claimed_ref.lock().unwrap().extend(mine);
+    });
+    let mut all = claimed.into_inner().unwrap();
+    assert_eq!(all.len(), total as usize, "lost or duplicated entries");
+    all.sort_unstable();
+    for (want, got) in all.iter().enumerate() {
+        assert_eq!(*got, want as u32, "entry claimed twice or never");
+    }
+}
+
+#[test]
 fn stale_epoch_completions_lose_the_rearm_race() {
     // streaming re-arm race: epoch 1 re-runs the whole graph while racers
     // replay every epoch-0 work completion with its (now stale) token.
@@ -328,7 +393,10 @@ fn stale_epoch_completions_lose_the_rearm_race() {
         });
     });
 
-    assert!(sm.finished(), "epoch 1 must drain despite the stale replays");
+    assert!(
+        sm.finished(),
+        "epoch 1 must drain despite the stale replays"
+    );
     assert!(!sm.is_poisoned());
     // after the wrap the rejection is deterministic: the slot carries the
     // epoch-1 tag, so the stale token loses on the tag bits

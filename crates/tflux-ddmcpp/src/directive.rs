@@ -214,18 +214,18 @@ impl<'a> Toks<'a> {
         while self.pos < self.s.len() && self.s.as_bytes()[self.pos].is_ascii_digit() {
             self.pos += 1;
         }
-        self.s[start..self.pos]
-            .parse()
-            .map_err(|_| PreprocessError::at(self.line, ErrorKind::BadNumber(
-                self.s[start..].chars().take(12).collect(),
-            )))
+        self.s[start..self.pos].parse().map_err(|_| {
+            PreprocessError::at(
+                self.line,
+                ErrorKind::BadNumber(self.s[start..].chars().take(12).collect()),
+            )
+        })
     }
 
     fn u32(&mut self) -> Result<u32, PreprocessError> {
         let v = self.int()?;
-        u32::try_from(v).map_err(|_| {
-            PreprocessError::at(self.line, ErrorKind::BadNumber(v.to_string()))
-        })
+        u32::try_from(v)
+            .map_err(|_| PreprocessError::at(self.line, ErrorKind::BadNumber(v.to_string())))
     }
 
     fn expr(&mut self) -> Result<Expr, PreprocessError> {
@@ -236,7 +236,9 @@ impl<'a> Toks<'a> {
         if c.is_ascii_digit() || c == '-' {
             Ok(Expr::Lit(self.int()?))
         } else {
-            let w = self.word().ok_or_else(|| self.err("expected constant name"))?;
+            let w = self
+                .word()
+                .ok_or_else(|| self.err("expected constant name"))?;
             Ok(Expr::Const(w.to_string()))
         }
     }
@@ -502,10 +504,7 @@ mod tests {
         match p("for thread 2 range(0, N) unroll(8) cost(1200)") {
             Directive::ForThread { id, attrs } => {
                 assert_eq!(id, 2);
-                assert_eq!(
-                    attrs.range,
-                    Some((Expr::Lit(0), Expr::Const("N".into())))
-                );
+                assert_eq!(attrs.range, Some((Expr::Lit(0), Expr::Const("N".into()))));
                 assert_eq!(attrs.unroll, Some(Expr::Lit(8)));
                 assert_eq!(attrs.cost, Some(Expr::Lit(1200)));
             }

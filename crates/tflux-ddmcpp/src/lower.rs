@@ -62,9 +62,7 @@ pub fn lower(module: &DdmModule) -> Result<Lowered, PreprocessError> {
                         thread_ids[&t.id],
                         DdmModule::core_mapping(imp.mapping),
                     )
-                    .map_err(|e| {
-                        PreprocessError::at(t.line, ErrorKind::Lower(e.to_string()))
-                    })?;
+                    .map_err(|e| PreprocessError::at(t.line, ErrorKind::Lower(e.to_string())))?;
                 }
             }
         }
@@ -138,10 +136,7 @@ mod tests {
         assert_eq!(p.thread(t1).arity, 16);
         assert_eq!(p.thread(t2).arity, 1);
         // implicit import arc: thread 2 waits for all 16 producers
-        assert_eq!(
-            p.initial_rc(tflux_core::Instance::scalar(t2)),
-            16
-        );
+        assert_eq!(p.initial_rc(tflux_core::Instance::scalar(t2)), 16);
     }
 
     #[test]
@@ -175,10 +170,7 @@ mod tests {
 #pragma ddm endprogram
 "#;
         let m = parse_module(src).unwrap();
-        assert!(matches!(
-            lower(&m).unwrap_err().kind,
-            ErrorKind::Lower(_)
-        ));
+        assert!(matches!(lower(&m).unwrap_err().kind, ErrorKind::Lower(_)));
     }
 
     #[test]

@@ -26,23 +26,26 @@ pub fn parse_module(source: &str) -> Result<DdmModule, PreprocessError> {
     let mut seen_threads: HashMap<u32, usize> = HashMap::new();
     let mut seen_blocks: HashMap<u32, usize> = HashMap::new();
 
-    let resolve = |e: &Expr, defs: &HashMap<String, i64>, line: usize| -> Result<i64, PreprocessError> {
-        match e {
-            Expr::Lit(v) => Ok(*v),
-            Expr::Const(name) => defs.get(name).copied().ok_or_else(|| {
-                PreprocessError::at(line, ErrorKind::UnknownConstant(name.clone()))
-            }),
-        }
-    };
+    let resolve =
+        |e: &Expr, defs: &HashMap<String, i64>, line: usize| -> Result<i64, PreprocessError> {
+            match e {
+                Expr::Lit(v) => Ok(*v),
+                Expr::Const(name) => defs.get(name).copied().ok_or_else(|| {
+                    PreprocessError::at(line, ErrorKind::UnknownConstant(name.clone()))
+                }),
+            }
+        };
 
     for piece in pieces {
         match piece {
             Piece::Code { text, .. } => match state {
                 State::Before => module.prelude.push_str(&text),
                 State::After => module.epilogue.push_str(&text),
-                State::InThread => {
-                    cur_thread.as_mut().expect("thread open").body.push_str(&text)
-                }
+                State::InThread => cur_thread
+                    .as_mut()
+                    .expect("thread open")
+                    .body
+                    .push_str(&text),
                 // code between threads inside a program/block is dropped by
                 // the original DDMCPP as well (only thread bodies execute);
                 // we preserve it in the prelude to stay lossless.
@@ -91,10 +94,7 @@ pub fn parse_module(source: &str) -> Result<DdmModule, PreprocessError> {
                             ));
                         }
                         if seen_blocks.insert(id, line).is_some() {
-                            return Err(PreprocessError::at(
-                                line,
-                                ErrorKind::DuplicateBlock(id),
-                            ));
+                            return Err(PreprocessError::at(line, ErrorKind::DuplicateBlock(id)));
                         }
                         cur_block = Some(BlockDecl {
                             id,
@@ -121,10 +121,7 @@ pub fn parse_module(source: &str) -> Result<DdmModule, PreprocessError> {
                             ));
                         }
                         if seen_threads.insert(id, line).is_some() {
-                            return Err(PreprocessError::at(
-                                line,
-                                ErrorKind::DuplicateThread(id),
-                            ));
+                            return Err(PreprocessError::at(line, ErrorKind::DuplicateThread(id)));
                         }
                         let shape = build_shape(&attrs, &defs, line, &resolve)?;
                         let cost = match &attrs.cost {

@@ -279,6 +279,8 @@ pub fn run_kernel<P: ProgramHandle, F: FaultInjector>(
         wait_ns: queue.wait_nanos(),
         blocked_pops: queue.blocked_pops(),
         steals: soft.steals_of(kernel),
+        steal_misses: soft.steal_misses_of(kernel),
+        steal_races: soft.steal_races_of(kernel),
         retries,
         poisoned,
     }

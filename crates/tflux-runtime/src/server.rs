@@ -1141,6 +1141,41 @@ mod tests {
     }
 
     #[test]
+    fn idle_pool_kernel_steals_within_the_tenant_arena() {
+        // All `work` instances are pinned to kernel 0's queue in the
+        // tenant's arena. Kernel 1's rotor turn finds its own queue empty,
+        // so the only way it can ever execute anything is to steal inside
+        // the arena; the slow bodies guarantee kernel 0 cannot drain the
+        // queue alone before kernel 1 sweeps.
+        let server = ProgramServer::start(ServerConfig::with_kernels(2));
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        let src = b.thread(blk, ThreadSpec::scalar("src"));
+        let work = b.thread(
+            blk,
+            ThreadSpec::new("work", 8).with_affinity(Affinity::Fixed(KernelId(0))),
+        );
+        let sink = b.thread(blk, ThreadSpec::scalar("sink"));
+        b.arc(src, work, ArcMapping::Broadcast).unwrap();
+        b.arc(work, sink, ArcMapping::Reduction).unwrap();
+        let p = Arc::new(b.build().unwrap());
+        let mut bodies = BodyTable::new(&p);
+        bodies.set(work, |_| std::thread::sleep(Duration::from_millis(5)));
+        let report = server
+            .submit(Submission::new(p, bodies), Submit::Block)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(
+            report.tsu.steals > 0,
+            "expected arena-internal steals, stats: {:?}",
+            report.tsu
+        );
+        assert_eq!(report.executed, 8 + 2 + 2); // work + src/sink + inlet/outlet
+        server.shutdown();
+    }
+
+    #[test]
     fn weighted_tenants_all_finish() {
         let server = ProgramServer::start(ServerConfig::with_kernels(2).max_resident(6));
         let mut waits = Vec::new();

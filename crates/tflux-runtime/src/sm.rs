@@ -1,33 +1,69 @@
 //! Per-kernel ready queues — the runtime face of the TSU Queue Units.
 //!
-//! Each kernel owns one [`ReadyQueue`] ("Local TSU" in Fig. 4 of the paper):
-//! the concurrent counterpart of the single-owner
-//! [`QueueUnit`](tflux_core::tsu::QueueUnit). Completion handlers push
-//! instances whose ready count reached zero; the kernel pops them, blocking
-//! when empty. Shutdown is broadcast once the last block's outlet
-//! completes. All three answers speak the shared
-//! [`FetchResult`] vocabulary — the enum that
-//! used to exist twice, as core's `FetchResult` and the runtime's `Fetched`.
+//! Each kernel owns one [`ReadyQueue`] ("Local TSU" in Fig. 4 of the
+//! paper): the concurrent counterpart of the single-owner
+//! [`StealDeque`](tflux_core::tsu::StealDeque) — in fact it is built *on*
+//! one. Completion handlers push instances whose ready count reached zero;
+//! the kernel pops them, blocking when empty; idle siblings steal. All
+//! three answers speak the shared [`FetchResult`] vocabulary.
+//!
+//! # Structure
+//!
+//! The push/pop fast path takes **no mutex**:
+//!
+//! * a [`StealDeque`] the owner works LIFO at the bottom of, thieves CAS
+//!   the top of;
+//! * an [`MpmcRing`] *inbox* that receives every push — pushes come from
+//!   whichever kernel ran the producer, and Chase-Lev bottoms are
+//!   owner-only. The owner drains the inbox into its deque before
+//!   popping; thieves may pop the inbox directly, so work pushed at a
+//!   kernel that never fetches is still stealable;
+//! * a `Mutex<VecDeque>` *overflow valve* behind an atomic length that is
+//!   only touched when the inbox is full — sized right it is never hit,
+//!   but no push is ever lost or spun on;
+//! * a parker: `Mutex<()>` + `Condvar`, demoted to the slow path. A
+//!   consumer that misses registers itself in `parked` (SeqCst), re-checks
+//!   the queues, and only then waits; a pusher publishes its entry, runs a
+//!   `SeqCst` fence and reads `parked` — the Dekker handshake means either
+//!   the pusher observes the parker (and notifies under the park lock) or
+//!   the parker's re-check observes the entry. A 50 ms timed wait backstops
+//!   lost wakeups, exactly as before.
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 use tflux_core::ids::{Epoch, Instance};
-use tflux_core::tsu::FetchResult;
+use tflux_core::tsu::{FetchResult, MpmcRing, Steal, StealDeque};
 
-struct Inner {
-    queue: VecDeque<(Instance, Epoch)>,
-    exit: bool,
-}
+/// How long a blocked pop sleeps before re-checking on its own — the
+/// backstop against a lost wakeup, not the normal wake path.
+const PARK_BACKSTOP: Duration = Duration::from_millis(50);
 
-/// A blocking MPSC ready queue for one kernel.
+/// A blocking MPMC ready queue for one kernel, with a lock-free fast path
+/// and queue-native stealing.
 pub struct ReadyQueue {
-    inner: Mutex<Inner>,
+    /// Owner-side deque: LIFO for the owner, FIFO for thieves.
+    deque: StealDeque,
+    /// All pushes land here (pushers are foreign threads); drained into
+    /// `deque` by the owner, poppable by thieves.
+    inbox: MpmcRing,
+    /// Valve for pushes that find the inbox full. `overflow_len` gates it
+    /// so nobody locks the mutex while it is empty — the common case.
+    overflow: Mutex<VecDeque<(Instance, Epoch)>>,
+    overflow_len: AtomicUsize,
+    /// Multi-consumer mode (the `GlobalFifo` baseline): several kernels
+    /// pop one queue, so the owner-only deque bottom is off limits and
+    /// every take goes through the MPMC inbox — preserving FIFO order.
+    shared: bool,
+    exit: AtomicBool,
+    /// Consumers currently inside the park protocol.
+    parked: AtomicUsize,
+    park_lock: Mutex<()>,
     available: Condvar,
-    /// Time the kernel spent blocked on an empty queue, in nanoseconds.
+    /// Time consumers spent blocked on an empty queue, in nanoseconds.
     wait_ns: AtomicU64,
-    /// Number of pops that had to block.
+    /// Number of pop calls that had to block at least once.
     blocked_pops: AtomicU64,
 }
 
@@ -37,14 +73,42 @@ impl Default for ReadyQueue {
     }
 }
 
+enum WaitMode {
+    /// Return `Wait` immediately on a miss.
+    Now,
+    /// Block until work, exit, or the deadline (`None` = forever).
+    Until(Option<Instant>),
+}
+
 impl ReadyQueue {
-    /// An empty queue.
+    /// An empty single-owner queue with a default-sized inbox.
     pub fn new() -> Self {
+        Self::build(256, false)
+    }
+
+    /// An empty single-owner queue whose inbox holds `cap` entries before
+    /// the overflow valve engages. Size it at the program's resident bound
+    /// and the valve is never hit.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self::build(cap, false)
+    }
+
+    /// An empty *shared* (multi-consumer) queue: every take is served
+    /// FIFO from the MPMC inbox, because the deque bottom is owner-only.
+    pub fn new_shared(cap: usize) -> Self {
+        Self::build(cap, true)
+    }
+
+    fn build(cap: usize, shared: bool) -> Self {
         ReadyQueue {
-            inner: Mutex::new(Inner {
-                queue: VecDeque::new(),
-                exit: false,
-            }),
+            deque: StealDeque::with_capacity(cap.max(4)),
+            inbox: MpmcRing::with_capacity(cap.max(4)),
+            overflow: Mutex::new(VecDeque::new()),
+            overflow_len: AtomicUsize::new(0),
+            shared,
+            exit: AtomicBool::new(false),
+            parked: AtomicUsize::new(0),
+            park_lock: Mutex::new(()),
             available: Condvar::new(),
             wait_ns: AtomicU64::new(0),
             blocked_pops: AtomicU64::new(0),
@@ -52,18 +116,129 @@ impl ReadyQueue {
     }
 
     /// Enqueue a ready instance with the epoch it was dispatched under
-    /// (completion-handler side).
+    /// (completion-handler side; any thread). Lock-free unless the inbox
+    /// is full or a consumer is parked.
     pub fn push(&self, inst: Instance, epoch: Epoch) {
-        let mut inner = self.inner.lock();
-        inner.queue.push_back((inst, epoch));
-        self.available.notify_one();
+        if !self.inbox.push(inst, epoch) {
+            let mut ovf = self.overflow.lock();
+            ovf.push_back((inst, epoch));
+            self.overflow_len.store(ovf.len(), Ordering::SeqCst);
+        }
+        self.wake();
     }
 
-    /// Tell the kernel to exit once the queue drains.
+    /// Tell consumers to exit once the queue drains.
     pub fn shutdown(&self) {
-        let mut inner = self.inner.lock();
-        inner.exit = true;
-        self.available.notify_all();
+        self.exit.store(true, Ordering::SeqCst);
+        self.wake();
+    }
+
+    /// The pusher half of the Dekker handshake: entry already published,
+    /// notify iff somebody is (or is about to be) parked.
+    fn wake(&self) {
+        fence(Ordering::SeqCst);
+        if self.parked.load(Ordering::SeqCst) > 0 {
+            // taking the lock orders the notify after the parker's
+            // registered-but-not-yet-waiting window closes
+            let _guard = self.park_lock.lock();
+            self.available.notify_all();
+        }
+    }
+
+    fn pop_overflow(&self) -> Option<(Instance, Epoch)> {
+        if self.overflow_len.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let mut ovf = self.overflow.lock();
+        let e = ovf.pop_front();
+        self.overflow_len.store(ovf.len(), Ordering::SeqCst);
+        e
+    }
+
+    /// One take attempt by this queue's consumer. Owner mode drains the
+    /// inbox into the deque and pops LIFO; shared mode serves FIFO
+    /// straight from the inbox.
+    fn take(&self) -> Option<(Instance, Epoch)> {
+        if self.shared {
+            return self.inbox.pop().or_else(|| self.pop_overflow());
+        }
+        while let Some((i, ep)) = self.inbox.pop() {
+            self.deque.push(i, ep);
+        }
+        self.deque.pop().or_else(|| self.pop_overflow())
+    }
+
+    /// One steal attempt by a foreign kernel: the deque top first (oldest
+    /// owner-side entry), then the inbox, then the overflow valve.
+    /// [`Steal::Retry`] means a CAS was lost to the owner or another
+    /// thief — the caller counts the race and may retry or move on.
+    pub fn steal(&self) -> Steal {
+        match self.deque.steal() {
+            Steal::Empty => {}
+            hit_or_race => return hit_or_race,
+        }
+        if let Some(e) = self.inbox.pop() {
+            return Steal::Success(e);
+        }
+        match self.pop_overflow() {
+            Some(e) => Steal::Success(e),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether every constituent queue is (momentarily) empty.
+    fn looks_empty(&self) -> bool {
+        self.deque.is_empty()
+            && self.inbox.is_empty()
+            && self.overflow_len.load(Ordering::SeqCst) == 0
+    }
+
+    /// The one wait loop behind [`pop`](Self::pop),
+    /// [`pop_timeout`](Self::pop_timeout) and [`try_pop`](Self::try_pop),
+    /// so the `wait_nanos`/`blocked_pops` accounting cannot drift between
+    /// the three entry points.
+    fn pop_inner(&self, mode: WaitMode) -> FetchResult {
+        let mut counted = false;
+        loop {
+            // read exit *before* taking: if the flag is up, anything
+            // pushed before shutdown is already visible, so a miss after
+            // a true flag really means drained
+            let exiting = self.exit.load(Ordering::SeqCst);
+            if let Some((i, ep)) = self.take() {
+                return FetchResult::Thread(i, ep);
+            }
+            if exiting {
+                return FetchResult::Exit;
+            }
+            let deadline = match mode {
+                WaitMode::Now => return FetchResult::Wait,
+                WaitMode::Until(d) => d,
+            };
+            let now = Instant::now();
+            let wait_for = match deadline {
+                Some(d) => match d.checked_duration_since(now) {
+                    Some(left) => left.min(PARK_BACKSTOP),
+                    None => return FetchResult::Wait,
+                },
+                None => PARK_BACKSTOP,
+            };
+            if !counted {
+                counted = true;
+                self.blocked_pops.fetch_add(1, Ordering::Relaxed);
+            }
+            // park: register, re-check, then wait (the parker half of the
+            // Dekker handshake — see `wake`)
+            let mut guard = self.park_lock.lock();
+            self.parked.fetch_add(1, Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            if self.looks_empty() && !self.exit.load(Ordering::SeqCst) {
+                self.available.wait_for(&mut guard, wait_for);
+            }
+            self.parked.fetch_sub(1, Ordering::SeqCst);
+            drop(guard);
+            self.wait_ns
+                .fetch_add(now.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
     }
 
     /// Dequeue the next instance, blocking while the queue is empty and the
@@ -71,22 +246,7 @@ impl ReadyQueue {
     /// is reported only after the queue is empty, so no ready instance is
     /// ever abandoned.
     pub fn pop(&self) -> FetchResult {
-        let mut inner = self.inner.lock();
-        loop {
-            if let Some((i, ep)) = inner.queue.pop_front() {
-                return FetchResult::Thread(i, ep);
-            }
-            if inner.exit {
-                return FetchResult::Exit;
-            }
-            self.blocked_pops.fetch_add(1, Ordering::Relaxed);
-            let start = std::time::Instant::now();
-            // Timed wait so a lost notification can never hang a kernel.
-            self.available
-                .wait_for(&mut inner, Duration::from_millis(50));
-            self.wait_ns
-                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        }
+        self.pop_inner(WaitMode::Until(None))
     }
 
     /// Pop with a bounded wait: returns [`FetchResult::Wait`] when
@@ -95,43 +255,18 @@ impl ReadyQueue {
     /// periodically rescan victim queues instead of blocking on its own
     /// queue forever.
     pub fn pop_timeout(&self, timeout: Duration) -> FetchResult {
-        let mut inner = self.inner.lock();
-        if let Some((i, ep)) = inner.queue.pop_front() {
-            return FetchResult::Thread(i, ep);
-        }
-        if inner.exit {
-            return FetchResult::Exit;
-        }
-        self.blocked_pops.fetch_add(1, Ordering::Relaxed);
-        let start = std::time::Instant::now();
-        self.available.wait_for(&mut inner, timeout);
-        self.wait_ns
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        if let Some((i, ep)) = inner.queue.pop_front() {
-            FetchResult::Thread(i, ep)
-        } else if inner.exit {
-            FetchResult::Exit
-        } else {
-            FetchResult::Wait
-        }
+        self.pop_inner(WaitMode::Until(Instant::now().checked_add(timeout)))
     }
 
     /// Non-blocking pop: [`FetchResult::Wait`] when the queue is empty and
     /// the program is still running.
     pub fn try_pop(&self) -> FetchResult {
-        let mut inner = self.inner.lock();
-        if let Some((i, ep)) = inner.queue.pop_front() {
-            FetchResult::Thread(i, ep)
-        } else if inner.exit {
-            FetchResult::Exit
-        } else {
-            FetchResult::Wait
-        }
+        self.pop_inner(WaitMode::Now)
     }
 
-    /// Entries currently queued.
+    /// Entries currently queued (a racy snapshot under concurrency).
     pub fn len(&self) -> usize {
-        self.inner.lock().queue.len()
+        self.deque.len() + self.inbox.len() + self.overflow_len.load(Ordering::SeqCst)
     }
 
     /// Whether the queue is currently empty.
@@ -139,12 +274,13 @@ impl ReadyQueue {
         self.len() == 0
     }
 
-    /// Nanoseconds this kernel spent blocked waiting for work.
+    /// Nanoseconds consumers spent blocked waiting for work.
     pub fn wait_nanos(&self) -> u64 {
         self.wait_ns.load(Ordering::Relaxed)
     }
 
-    /// Number of pops that found the queue empty and blocked.
+    /// Number of pop calls that found the queue empty and blocked (each
+    /// blocking call counts once, however many times it re-checks).
     pub fn blocked_pops(&self) -> u64 {
         self.blocked_pops.load(Ordering::Relaxed)
     }
@@ -163,12 +299,57 @@ mod tests {
     const E0: Epoch = Epoch(0);
 
     #[test]
-    fn fifo_order() {
+    fn owner_pops_lifo_thieves_steal_fifo() {
+        // the Chase-Lev contract replaces the old FIFO-for-everyone order:
+        // the owner runs its newest (cache-warm) entry, a thief migrates
+        // the oldest
         let q = ReadyQueue::new();
         q.push(inst(1), E0);
         q.push(inst(2), E0);
-        assert_eq!(q.pop(), FetchResult::Thread(inst(1), E0));
+        q.push(inst(3), E0);
+        assert_eq!(q.steal(), Steal::Success((inst(1), E0)));
+        assert_eq!(q.pop(), FetchResult::Thread(inst(3), E0));
         assert_eq!(q.pop(), FetchResult::Thread(inst(2), E0));
+        assert_eq!(q.steal(), Steal::Empty);
+        assert_eq!(q.try_pop(), FetchResult::Wait);
+    }
+
+    #[test]
+    fn shared_queue_serves_fifo() {
+        // GlobalFifo baseline: multi-consumer queues keep strict FIFO
+        let q = ReadyQueue::new_shared(8);
+        q.push(inst(1), E0);
+        q.push(inst(2), Epoch(3));
+        q.push(inst(3), E0);
+        assert_eq!(q.pop(), FetchResult::Thread(inst(1), E0));
+        assert_eq!(q.pop(), FetchResult::Thread(inst(2), Epoch(3)));
+        assert_eq!(q.steal(), Steal::Success((inst(3), E0)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn overflow_valve_loses_nothing() {
+        // an undersized inbox pushes the excess through the mutex valve;
+        // every entry still comes out, and len() sees all of them
+        let q = ReadyQueue::with_capacity(4);
+        for t in 0..20 {
+            q.push(inst(t), E0);
+        }
+        assert_eq!(q.len(), 20);
+        let mut got = Vec::new();
+        loop {
+            match q.try_pop() {
+                FetchResult::Thread(i, _) => got.push(i.thread.0),
+                FetchResult::Wait => break,
+                FetchResult::Exit => unreachable!(),
+            }
+            // interleave thief traffic through the same valve
+            if let Steal::Success((i, _)) = q.steal() {
+                got.push(i.thread.0);
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
     }
 
     #[test]
@@ -192,6 +373,7 @@ mod tests {
         q.push(inst(7), E0);
         assert_eq!(handle.join().unwrap(), FetchResult::Thread(inst(7), E0));
         assert!(q.blocked_pops() >= 1);
+        assert!(q.wait_nanos() > 0);
     }
 
     #[test]
@@ -227,5 +409,55 @@ mod tests {
         assert_eq!(q.try_pop(), FetchResult::Thread(inst(3), E0));
         q.shutdown();
         assert_eq!(q.try_pop(), FetchResult::Exit);
+        // a blocked-pop counter is only charged by calls that block
+        assert_eq!(q.blocked_pops(), 0);
+    }
+
+    #[test]
+    fn racing_thieves_and_owner_drain_exactly_once() {
+        // two foreign kernels steal while the owner pushes and pops;
+        // every entry is claimed exactly once across the three parties
+        let n = 5_000u32;
+        let q = Arc::new(ReadyQueue::with_capacity(8));
+        let done = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let q = Arc::clone(&q);
+            let done = Arc::clone(&done);
+            handles.push(std::thread::spawn(move || {
+                let mut mine = Vec::new();
+                loop {
+                    match q.steal() {
+                        Steal::Success((i, _)) => mine.push(i.context.0),
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            if done.load(Ordering::SeqCst) && q.steal() == Steal::Empty {
+                                break;
+                            }
+                        }
+                    }
+                }
+                mine
+            }));
+        }
+        let mut mine = Vec::new();
+        for c in 0..n {
+            q.push(Instance::new(ThreadId(1), Context(c)), E0);
+            if c % 2 == 0 {
+                if let FetchResult::Thread(i, _) = q.try_pop() {
+                    mine.push(i.context.0);
+                }
+            }
+        }
+        while let FetchResult::Thread(i, _) = q.try_pop() {
+            mine.push(i.context.0);
+        }
+        done.store(true, Ordering::SeqCst);
+        for h in handles {
+            mine.extend(h.join().unwrap());
+        }
+        mine.sort_unstable();
+        mine.dedup();
+        assert_eq!(mine.len(), n as usize, "lost or duplicated entries");
     }
 }

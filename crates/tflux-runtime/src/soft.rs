@@ -21,10 +21,10 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use tflux_core::error::CoreError;
 use tflux_core::ids::{BlockId, Epoch, Instance, KernelId};
-use tflux_core::policy::SchedulingPolicy;
+use tflux_core::policy::{SchedulingPolicy, StealPolicy};
 use tflux_core::tsu::{
-    FetchResult, FlushPolicy, GraphMemory, ProgramHandle, ShardStats, SyncMemory, TsuBackend,
-    TsuConfig, TsuStats, WaitingInstance,
+    FetchResult, FlushPolicy, GraphMemory, ProgramHandle, ShardStats, Steal, SyncMemory,
+    TsuBackend, TsuConfig, TsuStats, WaitingInstance,
 };
 
 /// The concurrent TSU shared by all TFluxSoft kernels and the emulator.
@@ -40,9 +40,18 @@ pub struct SoftTsu<P: ProgramHandle> {
     /// Completion-funnel flush policy the kernels should obey.
     flush: FlushPolicy,
     steal: bool,
+    steal_policy: StealPolicy,
     queues: Vec<ReadyQueue>,
-    /// Per-kernel steal counters (indexed by kernel id).
+    /// Per-kernel steal counters (indexed by kernel id): successful takes
+    /// from a sibling queue.
     kernel_steals: Vec<AtomicU64>,
+    /// Per-kernel victim probes that found the victim empty.
+    kernel_steal_misses: Vec<AtomicU64>,
+    /// Per-kernel steal CAS attempts lost to the owner or another thief.
+    kernel_steal_races: Vec<AtomicU64>,
+    /// Per-kernel victim-draw RNG state (each kernel thread owns its
+    /// slot; plain load/store, no RMW needed).
+    kernel_rng: Vec<AtomicU64>,
     /// Fetches that found no runnable instance anywhere.
     waits: AtomicU64,
     /// First TSU protocol error raised by a kernel on the direct path; the
@@ -64,13 +73,32 @@ impl<P: ProgramHandle> SoftTsu<P> {
         };
         let sm = SyncMemory::with_window(program, kernels, config.capacity, config.window);
         let flush = config.flush.resolve(sm.graph().program(), kernels);
+        // inbox sized at the resident bound (+ slack for the re-armed
+        // inlet of the next streaming pass), so the mutex overflow valve
+        // behind it is never hit in a correct run
+        let qcap = sm.graph().program().max_block_instances() + 2;
+        let shared = matches!(config.policy, SchedulingPolicy::GlobalFifo);
         let soft = SoftTsu {
             sm,
             policy: config.policy,
             flush,
             steal,
-            queues: (0..nqueues).map(|_| ReadyQueue::new()).collect(),
+            steal_policy: config.steal_policy,
+            queues: (0..nqueues)
+                .map(|_| {
+                    if shared {
+                        ReadyQueue::new_shared(qcap)
+                    } else {
+                        ReadyQueue::with_capacity(qcap)
+                    }
+                })
+                .collect(),
             kernel_steals: (0..kernels).map(|_| AtomicU64::new(0)).collect(),
+            kernel_steal_misses: (0..kernels).map(|_| AtomicU64::new(0)).collect(),
+            kernel_steal_races: (0..kernels).map(|_| AtomicU64::new(0)).collect(),
+            kernel_rng: (0..kernels)
+                .map(|k| AtomicU64::new(0x5EED_0000 ^ ((k as u64) << 8)))
+                .collect(),
             waits: AtomicU64::new(0),
             protocol: Mutex::new(None),
         };
@@ -226,8 +254,9 @@ impl<P: ProgramHandle> SoftTsu<P> {
         self.sm.poison();
     }
 
-    /// Non-blocking fetch: own queue first, then (if enabled) steal from
-    /// the most loaded sibling. Instances are dispatched when *pushed*
+    /// Non-blocking fetch: own queue first, then (if enabled) a
+    /// queue-native steal — one random-victim probe, then a
+    /// longest-queue-first rescan. Instances are dispatched when *pushed*
     /// (see [`handle_completion`](Self::handle_completion)), so the only
     /// failure here is a poisoned Synchronization Memory.
     fn try_fetch(&self, kernel: KernelId) -> Result<FetchResult, CoreError> {
@@ -240,26 +269,76 @@ impl<P: ProgramHandle> SoftTsu<P> {
             r => return Ok(r),
         }
         if self.steal {
-            loop {
-                let victim = (0..self.queues.len())
-                    .filter(|&q| q != own && !self.queues[q].is_empty())
-                    .max_by_key(|&q| self.queues[q].len());
-                let Some(v) = victim else { break };
-                if let FetchResult::Thread(i, ep) = self.queues[v].try_pop() {
-                    self.kernel_steals[kernel.idx().min(self.kernel_steals.len() - 1)]
-                        .fetch_add(1, Ordering::Relaxed);
-                    return Ok(FetchResult::Thread(i, ep));
-                }
-                // raced with the owner; rescan
+            let k = kernel.idx().min(self.kernel_steals.len() - 1);
+            if let Some((i, ep)) = self.steal_for(k, own) {
+                return Ok(FetchResult::Thread(i, ep));
             }
         }
         self.waits.fetch_add(1, Ordering::Relaxed);
         Ok(FetchResult::Wait)
     }
 
+    /// One steal pass on behalf of kernel `k` (owner of queue `own`):
+    /// probe a random sibling first (spreads concurrent thieves across
+    /// victims), then rescan siblings longest-queue-first until every
+    /// victim answers [`Steal::Empty`]. Lost CAS races re-scan — the entry
+    /// went to someone, so the machine made progress.
+    fn steal_for(&self, k: usize, own: usize) -> Option<(Instance, Epoch)> {
+        let n = self.queues.len();
+        let mut rng = self.kernel_rng[k].load(Ordering::Relaxed);
+        let first = self.steal_policy.first_victim(own, n, &mut rng);
+        self.kernel_rng[k].store(rng, Ordering::Relaxed);
+        if let Some(v) = first {
+            match self.queues[v].steal() {
+                Steal::Success((i, ep)) => {
+                    self.kernel_steals[k].fetch_add(1, Ordering::Relaxed);
+                    return Some((i, ep));
+                }
+                Steal::Empty => {
+                    self.kernel_steal_misses[k].fetch_add(1, Ordering::Relaxed);
+                }
+                Steal::Retry => {
+                    self.kernel_steal_races[k].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        loop {
+            let victim = (0..n)
+                .filter(|&q| q != own && !self.queues[q].is_empty())
+                .max_by_key(|&q| self.queues[q].len());
+            let Some(v) = victim else { return None };
+            match self.queues[v].steal() {
+                Steal::Success((i, ep)) => {
+                    self.kernel_steals[k].fetch_add(1, Ordering::Relaxed);
+                    return Some((i, ep));
+                }
+                Steal::Empty => {
+                    // drained between the length snapshot and the steal —
+                    // a clean miss; the rescan drops it from the victims
+                    self.kernel_steal_misses[k].fetch_add(1, Ordering::Relaxed);
+                }
+                Steal::Retry => {
+                    self.kernel_steal_races[k].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
     /// Instances `kernel` took from sibling queues so far.
     pub fn steals_of(&self, kernel: KernelId) -> u64 {
         self.kernel_steals[kernel.idx().min(self.kernel_steals.len() - 1)].load(Ordering::Relaxed)
+    }
+
+    /// Victim probes by `kernel` that found the victim empty.
+    pub fn steal_misses_of(&self, kernel: KernelId) -> u64 {
+        self.kernel_steal_misses[kernel.idx().min(self.kernel_steal_misses.len() - 1)]
+            .load(Ordering::Relaxed)
+    }
+
+    /// Steal CAS attempts by `kernel` lost to the owner or another thief.
+    pub fn steal_races_of(&self, kernel: KernelId) -> u64 {
+        self.kernel_steal_races[kernel.idx().min(self.kernel_steal_races.len() - 1)]
+            .load(Ordering::Relaxed)
     }
 
     /// Record a TSU protocol error raised on a kernel's direct path (first
@@ -283,6 +362,16 @@ impl<P: ProgramHandle> SoftTsu<P> {
         s.waits = self.waits.load(Ordering::Relaxed);
         s.steals = self
             .kernel_steals
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum();
+        s.steal_misses = self
+            .kernel_steal_misses
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum();
+        s.steal_races = self
+            .kernel_steal_races
             .iter()
             .map(|a| a.load(Ordering::Relaxed))
             .sum();

@@ -16,10 +16,26 @@ pub struct KernelStats {
     pub executed: u64,
     /// Nanoseconds spent blocked on an empty ready queue.
     pub wait_ns: u64,
-    /// Pops that found the queue empty and had to block.
+    /// Pop *calls* that found the queue empty and had to block — each
+    /// blocking call counts once, however many times its internal wait
+    /// loop re-checked before work (or shutdown) arrived.
     pub blocked_pops: u64,
-    /// Instances taken from another kernel's queue.
+    /// Instances this kernel took from sibling queues and executed
+    /// (successful steals). `executed - steals` is therefore the count of
+    /// locally-served completions: together they are the stolen-vs-local
+    /// split of this kernel's work.
     pub steals: u64,
+    /// Victim probes that found the victim empty — including victims
+    /// drained between the thief's length snapshot and the steal (the
+    /// clean-miss path). High misses with low steals means this kernel
+    /// kept scanning an idle machine.
+    #[serde(default)]
+    pub steal_misses: u64,
+    /// Steal CAS attempts lost to the victim's owner or another thief.
+    /// Each race is a wasted CAS, not lost work — the entry went to the
+    /// winner. High races mean thieves piled onto the same victim.
+    #[serde(default)]
+    pub steal_races: u64,
     /// Panicked body attempts that were re-dispatched under the
     /// [`RetryPolicy`](crate::RetryPolicy).
     #[serde(default)]
@@ -82,6 +98,12 @@ impl RunReport {
     /// Total instances poisoned (completion withheld) across kernels.
     pub fn total_poisoned(&self) -> u64 {
         self.kernels.iter().map(|k| k.poisoned).sum()
+    }
+
+    /// Total successful steals across kernels (instances executed away
+    /// from their owning kernel's queue).
+    pub fn total_steals(&self) -> u64 {
+        self.kernels.iter().map(|k| k.steals).sum()
     }
 
     /// Coefficient of variation of per-kernel executed counts — a quick

@@ -46,6 +46,12 @@ pub struct TsuCosts {
     /// hardware, where the kernel just issues stores; the
     /// FindReadyThread-loop and post-processing call overhead for soft).
     pub kernel_overhead: u64,
+    /// Extra cycles when a fetch is served by *stealing* from a sibling
+    /// kernel's ready queue instead of the core's own (the remote-queue
+    /// walk inside the unit for hardware; a cross-queue CAS plus the
+    /// victim's cache line for software).
+    #[serde(default)]
+    pub steal: u64,
 }
 
 impl TsuCosts {
@@ -56,6 +62,7 @@ impl TsuCosts {
             access: 6,
             op: 4,
             kernel_overhead: 0,
+            steal: 10,
         }
     }
 
@@ -67,6 +74,7 @@ impl TsuCosts {
             access: 250,
             op: 700,
             kernel_overhead: 500,
+            steal: 300,
         }
     }
 }

@@ -616,7 +616,12 @@ mod tests {
         assert_eq!(a.dev.commands, b.dev.commands);
         // three passes cost roughly three one-shot runs, never less
         let one = Machine::new(MachineConfig::bagle(4)).run(&p, &src);
-        assert!(a.cycles > 2 * one.cycles, "{} !> 2*{}", a.cycles, one.cycles);
+        assert!(
+            a.cycles > 2 * one.cycles,
+            "{} !> 2*{}",
+            a.cycles,
+            one.cycles
+        );
     }
 
     #[test]

@@ -228,7 +228,13 @@ impl MemorySystem {
     ///
     /// `now` is the core-local cycle at which the access issues; bus
     /// arbitration is charged relative to it.
-    pub fn access(&mut self, core: u32, now: u64, byte_addr: u64, write: bool) -> (u64, AccessClass) {
+    pub fn access(
+        &mut self,
+        core: u32,
+        now: u64,
+        byte_addr: u64,
+        write: bool,
+    ) -> (u64, AccessClass) {
         if write {
             self.write(core, now, byte_addr)
         } else {
@@ -252,10 +258,7 @@ impl MemorySystem {
         } else {
             // L2 miss: find a supplier over the bus
             let d = self.dir.get(&line).copied().unwrap_or_default();
-            let foreign_owner = d
-                .owner
-                .filter(|&o| self.cfg.group_of(o) != g)
-                .is_some();
+            let foreign_owner = d.owner.filter(|&o| self.cfg.group_of(o) != g).is_some();
             let foreign_l2 = d.l2s & !(1u64 << g) != 0;
             if foreign_owner || foreign_l2 {
                 // cache-to-cache supply (coherency miss)

@@ -209,8 +209,14 @@ mod tests {
         assert!(!map.contains(map.base + map.window_bytes()));
         assert!(!map.contains(0x1000));
 
-        assert_eq!(map.decode_addr(map.cmd_addr(KernelId(5))), Some((KernelId(5), false)));
-        assert_eq!(map.decode_addr(map.resp_addr(KernelId(5))), Some((KernelId(5), true)));
+        assert_eq!(
+            map.decode_addr(map.cmd_addr(KernelId(5))),
+            Some((KernelId(5), false))
+        );
+        assert_eq!(
+            map.decode_addr(map.resp_addr(KernelId(5))),
+            Some((KernelId(5), true))
+        );
         assert_eq!(map.decode_addr(0), None);
     }
 

@@ -30,9 +30,8 @@ impl SimReport {
     /// Average core utilization: busy / (busy + tsu + idle).
     pub fn utilization(&self) -> f64 {
         let busy: u64 = self.core_busy.iter().sum();
-        let total: u64 = busy
-            + self.core_tsu.iter().sum::<u64>()
-            + self.core_idle.iter().sum::<u64>();
+        let total: u64 =
+            busy + self.core_tsu.iter().sum::<u64>() + self.core_idle.iter().sum::<u64>();
         if total == 0 {
             0.0
         } else {

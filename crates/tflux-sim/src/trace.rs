@@ -3,10 +3,10 @@
 //! watching the paper's Fig. 2 kernel loop run.
 
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 use tflux_core::ids::Instance;
 use tflux_core::program::DdmProgram;
 use tflux_core::thread::ThreadKind;
-use std::fmt::Write as _;
 
 /// One executed instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -72,7 +72,12 @@ impl ExecTrace {
 
     /// Spans executed by the given core, in start order.
     pub fn per_core(&self, core: u32) -> Vec<Span> {
-        let mut v: Vec<Span> = self.spans.iter().copied().filter(|s| s.core == core).collect();
+        let mut v: Vec<Span> = self
+            .spans
+            .iter()
+            .copied()
+            .filter(|s| s.core == core)
+            .collect();
         v.sort_by_key(|s| s.start);
         v
     }

@@ -37,6 +37,10 @@ pub struct TsuDevStats {
     /// costs a single command slot.
     #[serde(default)]
     pub funnel_flushes: u64,
+    /// Fetches served by stealing from a sibling kernel's ready queue
+    /// (each paid [`TsuCosts::steal`] extra cycles inside the unit).
+    #[serde(default)]
+    pub stolen_fetches: u64,
 }
 
 /// Result of a fetch command.
@@ -168,21 +172,30 @@ impl<'p> TsuDevice<'p> {
     /// Synchronization Memory) instead of handing out a bogus instance.
     pub fn fetch(&mut self, core: u32, now: u64) -> Result<DevFetch, tflux_core::error::CoreError> {
         let arrive = now + self.costs.access;
-        let done = self.process(self.shard_of[core as usize], arrive);
-        let mut fetched = TsuBackend::fetch(&mut self.tsu, KernelId(core))?;
+        let shard = self.shard_of[core as usize];
+        let mut done = self.process(shard, arrive);
+        let (mut fetched, mut stolen) = self.tsu.fetch_ready_traced(KernelId(core))?;
         if fetched == FetchResult::Wait && self.funnels.iter().any(|f| !f.is_empty()) {
             // parked decrements may be the only thing standing between
             // this core and ready work: drain its own funnel, then (still
             // empty-handed) ask the unit to collect every core's buffer,
             // before conceding a park
             self.flush_core(core, arrive)?;
-            fetched = TsuBackend::fetch(&mut self.tsu, KernelId(core))?;
+            (fetched, stolen) = self.tsu.fetch_ready_traced(KernelId(core))?;
             if fetched == FetchResult::Wait {
                 for c in 0..self.funnels.len() as u32 {
                     self.flush_core(c, arrive)?;
                 }
-                fetched = TsuBackend::fetch(&mut self.tsu, KernelId(core))?;
+                (fetched, stolen) = self.tsu.fetch_ready_traced(KernelId(core))?;
             }
+        }
+        if stolen {
+            // the unit walked a sibling queue to serve this fetch: the
+            // command occupies the shard for `steal` extra cycles
+            self.busy_until[shard as usize] += self.costs.steal;
+            self.stats.busy += self.costs.steal;
+            self.stats.stolen_fetches += 1;
+            done += self.costs.steal;
         }
         Ok(match fetched {
             FetchResult::Thread(i, ep) => {
@@ -319,6 +332,40 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn stolen_fetch_charges_access_op_and_steal_latency() {
+        // every `w` instance is pinned to kernel 0, so core 1 can only be
+        // served by the unit walking kernel 0's queue: that fetch pays
+        // access + op + steal, a local fetch pays access + op only
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        b.thread(
+            blk,
+            ThreadSpec::new("w", 4).with_affinity(Affinity::Fixed(KernelId(0))),
+        );
+        let p = b.build().unwrap();
+        let tsu = CoreTsu::new(&p, 2, TsuConfig::default());
+        let mut dev = TsuDevice::new(tsu, TsuCosts::hard(), 2);
+        let DevFetch::Thread(inlet, ep, t0) = dev.fetch(0, 0).unwrap() else {
+            panic!()
+        };
+        dev.complete(0, t0, inlet, ep).unwrap();
+        // local fetch on core 0: 1000 + access(6) + op(4)
+        let DevFetch::Thread(_, _, local_at) = dev.fetch(0, 1000).unwrap() else {
+            panic!()
+        };
+        assert_eq!(local_at, 1010);
+        assert_eq!(dev.stats.stolen_fetches, 0);
+        // stolen fetch on core 1: serialized behind the local fetch, plus
+        // the steal walk (10)
+        let DevFetch::Thread(_, _, stolen_at) = dev.fetch(1, 1000).unwrap() else {
+            panic!()
+        };
+        assert_eq!(stolen_at, local_at + 4 + 10);
+        assert_eq!(dev.stats.stolen_fetches, 1);
+        assert!(dev.tsu().stats().steals >= 1);
     }
 
     #[test]
@@ -511,9 +558,7 @@ mod tests {
         // retiring closes the ledger oldest-first, exactly once
         dev.retire_epoch(tflux_core::ids::Epoch(0), now).unwrap();
         dev.retire_epoch(tflux_core::ids::Epoch(1), now).unwrap();
-        assert!(dev
-            .retire_epoch(tflux_core::ids::Epoch(1), now)
-            .is_err());
+        assert!(dev.retire_epoch(tflux_core::ids::Epoch(1), now).is_err());
     }
 
     #[test]

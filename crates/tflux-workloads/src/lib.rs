@@ -30,10 +30,10 @@
 #![warn(missing_docs)]
 
 pub mod common;
-pub mod setup;
 pub mod fft;
 pub mod mmult;
 pub mod qsort;
+pub mod setup;
 pub mod sizes;
 pub mod susan;
 pub mod trapez;

@@ -60,7 +60,8 @@ pub fn program(p: &Params) -> (DdmProgram, QsortIds) {
     let merge1 = b.thread(blk, ThreadSpec::new("qsort.merge1", parts / 2));
     let merge2 = b.thread(blk, ThreadSpec::scalar("qsort.merge2"));
     b.arc(init, sort, ArcMapping::Broadcast).expect("arc");
-    b.arc(sort, merge1, ArcMapping::Group { factor: 2 }).expect("arc");
+    b.arc(sort, merge1, ArcMapping::Group { factor: 2 })
+        .expect("arc");
     b.arc(merge1, merge2, ArcMapping::Reduction).expect("arc");
     (
         b.build().expect("qsort program"),
@@ -326,8 +327,12 @@ pub fn program_with_depth(p: &Params, depth: u32) -> (DdmProgram, QsortTreeIds) 
             break;
         }
         let next_width = width.div_ceil(2);
-        let level = b.thread(blk, ThreadSpec::new(format!("qsort.merge.l{l}"), next_width));
-        b.arc(prev, level, ArcMapping::Group { factor: 2 }).expect("arc");
+        let level = b.thread(
+            blk,
+            ThreadSpec::new(format!("qsort.merge.l{l}"), next_width),
+        );
+        b.arc(prev, level, ArcMapping::Group { factor: 2 })
+            .expect("arc");
         levels.push(level);
         prev = level;
         width = next_width;
@@ -526,10 +531,7 @@ mod tests {
 
     #[test]
     fn merge_helpers_are_correct() {
-        assert_eq!(
-            merge2way(&[1, 4, 6], &[2, 3, 7]),
-            vec![1, 2, 3, 4, 6, 7]
-        );
+        assert_eq!(merge2way(&[1, 4, 6], &[2, 3, 7]), vec![1, 2, 3, 4, 6, 7]);
         assert_eq!(
             merge_kway(vec![vec![5, 9], vec![1, 6], vec![2, 3]]),
             vec![1, 2, 3, 5, 6, 9]

@@ -138,10 +138,7 @@ pub fn cell_baseline(
 }
 
 /// Build the DDM program and Cell cost model for a benchmark.
-pub fn cell_setup(
-    bench: Bench,
-    p: &Params,
-) -> (DdmProgram, Box<dyn CellWorkSource + Send + Sync>) {
+pub fn cell_setup(bench: Bench, p: &Params) -> (DdmProgram, Box<dyn CellWorkSource + Send + Sync>) {
     match bench {
         Bench::Trapez => {
             let (prog, ids) = trapez::program(p);

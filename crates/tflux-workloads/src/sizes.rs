@@ -138,18 +138,8 @@ pub fn table1() -> Vec<Table1Row> {
         ),
         row("MMULT", "kernel", "Matrix multiply", &fmt_mm),
         row("QSORT", "MiBench", "Array sorting", &fmt_qs),
-        row(
-            "SUSAN",
-            "MiBench",
-            "Image recognition / smoothing",
-            &fmt_su,
-        ),
-        row(
-            "FFT",
-            "NAS",
-            "FFT on a matrix of complex numbers",
-            &fmt_ff,
-        ),
+        row("SUSAN", "MiBench", "Image recognition / smoothing", &fmt_su),
+        row("FFT", "NAS", "FFT on a matrix of complex numbers", &fmt_ff),
     ]
 }
 

@@ -40,7 +40,11 @@ pub fn gen_row(w: usize, _h: usize, y: usize) -> Vec<u8> {
         .map(|x| {
             let g = (x * 255 / w.max(1)) as u32;
             let p = ((x * 31 + y * 17) % 97) as u32;
-            let edge = if (x / 32 + y / 32).is_multiple_of(2) { 40 } else { 0 };
+            let edge = if (x / 32 + y / 32).is_multiple_of(2) {
+                40
+            } else {
+                0
+            };
             ((g + p + edge) % 256) as u8
         })
         .collect()
@@ -169,7 +173,14 @@ pub fn run_ddm(p: &Params) -> Vec<u8> {
             let row = y - blo as usize;
             halo.extend_from_slice(&band[row * w..(row + 1) * w]);
         }
-        let band = smooth_band(&halo, w, halo_hi - halo_lo, lo - halo_lo, hi - halo_lo, lref);
+        let band = smooth_band(
+            &halo,
+            w,
+            halo_hi - halo_lo,
+            lo - halo_lo,
+            hi - halo_lo,
+            lref,
+        );
         sref.put(ctx.context, band);
     });
     bodies.set(ids.writeout, move |ctx| {

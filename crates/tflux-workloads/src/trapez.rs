@@ -191,10 +191,7 @@ mod tests {
         let p = Params::soft(3, 4096, SizeClass::Small);
         let ddm = run_ddm(&p);
         let reference = seq(trapez_intervals(SizeClass::Small));
-        assert!(
-            (ddm - reference).abs() < 1e-9,
-            "ddm={ddm} seq={reference}"
-        );
+        assert!((ddm - reference).abs() < 1e-9, "ddm={ddm} seq={reference}");
     }
 
     #[test]

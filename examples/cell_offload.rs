@@ -30,7 +30,10 @@ fn main() {
             let par = machine.run(&prog, src.as_ref()).expect("run");
             println!(
                 "{spes:>6} {:>8} {:>10} {:>9.1}x {:>7.1}%",
-                format!("{}²", tflux::workloads::sizes::mmult_n(size, Platform::Cell)),
+                format!(
+                    "{}²",
+                    tflux::workloads::sizes::mmult_n(size, Platform::Cell)
+                ),
                 par.cycles,
                 par.speedup_over(&seq),
                 par.dma_fraction() * 100.0

@@ -60,7 +60,14 @@ fn main() {
             let row = y % BAND;
             halo.extend_from_slice(&band[row * W..(row + 1) * W]);
         }
-        let out = susan::smooth_band(&halo, W, halo_hi - halo_lo, lo - halo_lo, lo - halo_lo + BAND, lut_r);
+        let out = susan::smooth_band(
+            &halo,
+            W,
+            halo_hi - halo_lo,
+            lo - halo_lo,
+            lo - halo_lo + BAND,
+            lut_r,
+        );
         sm_r.put(ctx.context, out);
     });
 
@@ -87,7 +94,11 @@ fn main() {
         .expect("pipeline run");
 
     let hist = final_hist.value();
-    println!("{W}x{H} image, 3-phase DDM pipeline ({} instances, {:?}):", report.total_executed(), report.wall);
+    println!(
+        "{W}x{H} image, 3-phase DDM pipeline ({} instances, {:?}):",
+        report.total_executed(),
+        report.wall
+    );
     println!("brightness histogram after smoothing (8 buckets of 32):");
     let max = hist.iter().copied().max().unwrap_or(1).max(1);
     for (i, &count) in hist.iter().enumerate() {
@@ -95,5 +106,8 @@ fn main() {
         println!("  [{:3}-{:3}] {count:>6} {bar}", i * 32, i * 32 + 31);
     }
     assert_eq!(hist.iter().map(|&c| c as usize).sum::<usize>(), W * H);
-    println!("\nblocks loaded: {} (one per phase)", report.tsu.blocks_loaded);
+    println!(
+        "\nblocks loaded: {} (one per phase)",
+        report.tsu.blocks_loaded
+    );
 }

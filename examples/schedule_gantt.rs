@@ -20,7 +20,10 @@ fn main() {
     let machine = Machine::new(MachineConfig::bagle(kernels));
     let (report, trace) = machine.run_traced(&prog, &src);
 
-    println!("QSORT on {kernels} kernels — {} instances, {} cycles\n", report.instances, report.cycles);
+    println!(
+        "QSORT on {kernels} kernels — {} instances, {} cycles\n",
+        report.instances, report.cycles
+    );
     print!("{}", trace.gantt(&prog, kernels, 100));
     println!("\nlegend: # application DThread, | inlet/outlet, . idle");
 
@@ -34,7 +37,10 @@ fn main() {
     let busy = trace.core_busy(kernels);
     println!("per-core busy cycles: {busy:?}");
     println!("\nper-DThread-template breakdown (busiest first):");
-    println!("{:<16} {:>10} {:>14} {:>12}", "template", "instances", "total cycles", "max span");
+    println!(
+        "{:<16} {:>10} {:>14} {:>12}",
+        "template", "instances", "total cycles", "max span"
+    );
     for (name, n, total, max) in trace.per_template(&prog) {
         println!("{name:<16} {n:>10} {total:>14} {max:>12}");
     }

@@ -20,7 +20,10 @@ fn main() {
     println!("TRAPEZ ∫₀¹ 4/(1+x²) dx:");
     println!("  sequential reference : {seq:.12}");
     println!("  DDM on 4 kernels     : {ddm:.12}");
-    println!("  |error vs π|         : {:.2e}", (ddm - std::f64::consts::PI).abs());
+    println!(
+        "  |error vs π|         : {:.2e}",
+        (ddm - std::f64::consts::PI).abs()
+    );
     assert!((ddm - seq).abs() < 1e-9);
 
     // --- the same program on the simulated hardware-TSU machine ---
@@ -34,10 +37,7 @@ fn main() {
         let machine = Machine::new(MachineConfig::bagle(kernels));
         let baseline = machine.run_sequential(&prog, &src);
         let parallel = machine.run(&prog, &src);
-        println!(
-            "{kernels:>8} {:>9.1}x",
-            parallel.speedup_over(&baseline)
-        );
+        println!("{kernels:>8} {:>9.1}x", parallel.speedup_over(&baseline));
     }
     println!("\n(near-linear, as in Fig. 5 of the paper: TRAPEZ has almost no");
     println!(" inter-DThread data transfer beyond the final reduction)");

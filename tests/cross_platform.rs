@@ -153,7 +153,11 @@ fn deterministic_simulators_cross_check() {
         export_bytes: 128,
         ls_bytes: 8192,
     });
-    let ca = CellMachine::new(CellConfig::ps3()).run(&program, &csrc).unwrap();
-    let cb = CellMachine::new(CellConfig::ps3()).run(&program, &csrc).unwrap();
+    let ca = CellMachine::new(CellConfig::ps3())
+        .run(&program, &csrc)
+        .unwrap();
+    let cb = CellMachine::new(CellConfig::ps3())
+        .run(&program, &csrc)
+        .unwrap();
     assert_eq!(ca.cycles, cb.cycles);
 }

@@ -132,7 +132,10 @@ fn seq_outcome(program: &DdmProgram) -> Outcome {
 /// The sequential reference, streamed: drain a pass, retire its epoch,
 /// open the next (which re-arms the inlet in place), drain again.
 fn seq_stream_outcome(program: &DdmProgram, epochs: u64) -> Outcome {
-    let cfg = TsuConfig { window: 2, ..fifo() };
+    let cfg = TsuConfig {
+        window: 2,
+        ..fifo()
+    };
     let mut tsu = CoreTsu::new(program, KERNELS, cfg);
     let mut completed = Vec::new();
     let mut scratch = Vec::new();
