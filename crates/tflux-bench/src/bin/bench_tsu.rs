@@ -11,16 +11,22 @@
 //! cargo run --release -p tflux-bench --bin bench_tsu -- --check # CI smoke
 //! ```
 //!
-//! `--check` writes nothing: it measures the lock-free and locked paths at
-//! the widest kernel count and exits non-zero if the lock-free table is
-//! slower than the locked baseline — the regression gate the CI bench
-//! smoke job runs.
+//! `--check` writes nothing: it is the regression gate the CI bench smoke
+//! job runs. Every pass/fail verdict keys on *deterministic* quantities —
+//! shard counters, simulated cycles, the 64-core NUMA scaling floors and
+//! the sharded-vs-global DES equivalence — so the gate's outcome is
+//! identical on any host. The one wall-clock comparison (lock-free vs
+//! locked) only gates when the host can actually run the paths in
+//! parallel; on a 1-thread host it prints a structured `SKIP` line with
+//! the reason instead of failing on scheduler noise.
 
 use tflux_bench::json::{Json, ToJson};
 use tflux_bench::tsu_path::{
     armed, balanced_fanout, complete_interleaved, imbalanced_fanout, locked, measure,
-    measure_stream, pipeline, reduction, sim_makespan,
+    measure_stream, pipeline, reduction, sim_makespan, sim_scaling,
 };
+use tflux_sim::{DesEngine, MachineConfig};
+use tflux_workloads::Bench;
 
 const ARITY: u32 = 4096;
 const KERNELS: [u32; 4] = [1, 2, 4, 8];
@@ -164,16 +170,53 @@ impl ToJson for StealRow {
     }
 }
 
+/// One simulated-cycle scaling row: a full workload on a machine preset,
+/// speedup over the zero-overhead sequential baseline on the same
+/// machine. Host-independent — these are the rows `--check` gates on,
+/// because they cannot be perturbed by how many host threads the runner
+/// happens to have.
+struct ScalingRow {
+    topology: &'static str,
+    bench: &'static str,
+    cores: u32,
+    engine: &'static str,
+    sim_cycles: u64,
+    seq_cycles: u64,
+    speedup: f64,
+    remote_node: u64,
+    channel_wait: u64,
+    steals: u64,
+}
+
+impl ToJson for ScalingRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("topology", self.topology.to_json()),
+            ("bench", self.bench.to_json()),
+            ("cores", self.cores.to_json()),
+            ("engine", self.engine.to_json()),
+            ("sim_cycles", self.sim_cycles.to_json()),
+            ("seq_cycles", self.seq_cycles.to_json()),
+            ("speedup", self.speedup.to_json()),
+            ("remote_node", self.remote_node.to_json()),
+            ("channel_wait", self.channel_wait.to_json()),
+            ("steals", self.steals.to_json()),
+        ])
+    }
+}
+
 struct Report {
     bench: &'static str,
     regenerate: &'static str,
     host_threads: usize,
+    wall_clock_note: &'static str,
     arity: u32,
     rows: Vec<Row>,
     speedups: Vec<Speedup>,
     funnel: Vec<FunnelRow>,
     streaming: Vec<StreamRow>,
     steal: Vec<StealRow>,
+    scaling: Vec<ScalingRow>,
 }
 
 impl ToJson for Report {
@@ -182,13 +225,49 @@ impl ToJson for Report {
             ("bench", self.bench.to_json()),
             ("regenerate", self.regenerate.to_json()),
             ("host_threads", self.host_threads.to_json()),
+            ("wall_clock_note", self.wall_clock_note.to_json()),
             ("arity", self.arity.to_json()),
             ("rows", self.rows.to_json()),
             ("speedups", self.speedups.to_json()),
             ("funnel", self.funnel.to_json()),
             ("streaming", self.streaming.to_json()),
             ("steal", self.steal.to_json()),
+            ("scaling", self.scaling.to_json()),
         ])
+    }
+}
+
+/// The ns_* fields of `rows`/`speedups`/`funnel`/`streaming` are wall
+/// clock and depend on `host_threads`; `steal` and `scaling` are
+/// simulated cycles, identical on any host.
+const WALL_CLOCK_NOTE: &str = "rows/speedups/funnel/streaming ns fields are wall clock and \
+     vary with host_threads; steal and scaling are simulated cycles, host-independent";
+
+/// Machine presets the scaling section sweeps: the paper's flat UMA
+/// board and the 64-core 4-node NUMA part.
+fn scaling_machines() -> [(&'static str, MachineConfig); 2] {
+    [
+        ("bagle", MachineConfig::bagle(8)),
+        (
+            "sparc_t3_4",
+            MachineConfig::sparc_t3_4(64).expect("64 kernels fit the T3-4"),
+        ),
+    ]
+}
+
+fn scaling_row(topology: &'static str, bench: Bench, cfg: MachineConfig) -> ScalingRow {
+    let m = sim_scaling(bench, cfg, DesEngine::Sharded);
+    ScalingRow {
+        topology,
+        bench: bench.name(),
+        cores: cfg.cores,
+        engine: "sharded",
+        sim_cycles: m.sim_cycles,
+        seq_cycles: m.seq_cycles,
+        speedup: m.speedup,
+        remote_node: m.remote_node,
+        channel_wait: m.channel_wait,
+        steals: m.steals,
     }
 }
 
@@ -267,7 +346,7 @@ fn stream_row(kernels: u32) -> StreamRow {
     let mut best: Option<tflux_bench::tsu_path::StreamMeasure> = None;
     for i in 0..WARMUP + RUNS {
         let m = measure_stream(&program, kernels, STREAM_EPOCHS);
-        if i >= WARMUP && best.map_or(true, |b| m.ns_total < b.ns_total) {
+        if i >= WARMUP && best.is_none_or(|b| m.ns_total < b.ns_total) {
             best = Some(m);
         }
     }
@@ -299,13 +378,25 @@ fn steal_row(scenario: &'static str, program: &tflux_core::DdmProgram, cores: u3
     }
 }
 
-/// The CI smoke: fail if the lock-free table is slower than the locked
-/// baseline at the widest kernel count, if the completion funnel cuts
-/// sink-line transfers by less than 1.5x on the reduction scenario, or
-/// if work-stealing fails its deterministic simulated gates (must beat
-/// no-steal FIFO on the pinned fanout, must be within noise on the
-/// balanced one).
+/// Emit a structured skip record for a gate that cannot run honestly on
+/// this host. One line, machine-parseable, with the reason attached —
+/// CI logs show *why* the gate did not run instead of a silent pass or
+/// a noise-driven failure.
+fn skip_gate(gate: &str, reason: &str) {
+    println!("SKIP {{\"gate\":\"{gate}\",\"reason\":\"{reason}\"}}");
+}
+
+/// The CI smoke. Deterministic simulated-cycle gates always run: the
+/// funnel line-transfer cut, streaming epoch progress, the work-stealing
+/// makespans, the 64-core NUMA scaling floors, and the sharded-vs-global
+/// DES equivalence. Wall-clock gates (lock-free vs locked) additionally
+/// require real host parallelism — on a 1-thread host the two paths
+/// measure scheduler noise, not the completion path, so the gate emits a
+/// structured skip instead of a coin-flip verdict.
 fn check() -> ! {
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let program = pipeline(ARITY);
     let k = *KERNELS.last().unwrap();
     let lockfree = best(&program, k, true);
@@ -313,9 +404,16 @@ fn check() -> ! {
     let ratio = locked_ns as f64 / lockfree as f64;
     println!(
         "bench_tsu --check at {k} kernels: lock-free {lockfree} ns, \
-         locked {locked_ns} ns, speedup {ratio:.2}x"
+         locked {locked_ns} ns, speedup {ratio:.2}x (host_threads {host_threads}, \
+         wall clock, informational unless host_threads > 1)"
     );
-    if lockfree > locked_ns {
+    if host_threads <= 1 {
+        skip_gate(
+            "lockfree_over_locked",
+            "wall-clock comparison of concurrent completion paths needs host_threads > 1; \
+             this host serializes both and measures scheduler noise",
+        );
+    } else if lockfree > locked_ns {
         eprintln!("FAIL: lock-free completion path is slower than the locked baseline");
         std::process::exit(1);
     }
@@ -375,7 +473,56 @@ fn check() -> ! {
         eprintln!("FAIL: stealing perturbs the balanced fanout by more than 5%");
         std::process::exit(1);
     }
-    println!("OK: lock-free path, completion funnel, epoch streaming, and work-stealing hold");
+    // 64-core NUMA scaling gates: simulated cycles on the T3-4 preset,
+    // so the thresholds hold on any host. The sharded DES engine must
+    // also reproduce the global heap cycle-for-cycle on the same run —
+    // the cheap cross-check backing the full equivalence suite.
+    let t3 = MachineConfig::sparc_t3_4(64).expect("64 kernels fit the T3-4");
+    let sharded = sim_scaling(Bench::Trapez, t3, DesEngine::Sharded);
+    let global = sim_scaling(Bench::Trapez, t3, DesEngine::Global);
+    println!(
+        "bench_tsu --check scaling (trapez, sparc_t3_4 x64): {} cycles vs {} sequential \
+         ({:.1}x speedup, {} remote-node transfers, {} channel-wait cycles)",
+        sharded.sim_cycles,
+        sharded.seq_cycles,
+        sharded.speedup,
+        sharded.remote_node,
+        sharded.channel_wait
+    );
+    if sharded.sim_cycles != global.sim_cycles {
+        eprintln!(
+            "FAIL: sharded DES engine diverged from the global heap: {} vs {} cycles",
+            sharded.sim_cycles, global.sim_cycles
+        );
+        std::process::exit(1);
+    }
+    if sharded.speedup < 16.0 {
+        eprintln!(
+            "FAIL: 64-core T3-4 speedup {:.1}x is below the 16x floor",
+            sharded.speedup
+        );
+        std::process::exit(1);
+    }
+    if sharded.remote_node == 0 {
+        eprintln!("FAIL: 64-core T3-4 run paid no cross-node transfers — NUMA model inert");
+        std::process::exit(1);
+    }
+    let bagle = sim_scaling(Bench::Trapez, MachineConfig::bagle(8), DesEngine::Sharded);
+    println!(
+        "bench_tsu --check scaling (trapez, bagle x8): {:.1}x speedup",
+        bagle.speedup
+    );
+    if bagle.speedup < 4.0 {
+        eprintln!(
+            "FAIL: 8-core Bagle speedup {:.1}x is below the 4x floor",
+            bagle.speedup
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "OK: completion funnel, epoch streaming, work-stealing, and 64-core \
+         simulated scaling hold (gates are host-independent simulated cycles)"
+    );
     std::process::exit(0);
 }
 
@@ -417,18 +564,24 @@ fn main() {
             ]
         })
         .collect();
+    let scaling = scaling_machines()
+        .into_iter()
+        .flat_map(|(name, cfg)| Bench::ALL.map(|b| scaling_row(name, b, cfg)))
+        .collect();
     let report = Report {
         bench: "tsu_completion_path",
         regenerate: "cargo run --release -p tflux-bench --bin bench_tsu",
         host_threads: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
+        wall_clock_note: WALL_CLOCK_NOTE,
         arity: ARITY,
         rows,
         speedups,
         funnel,
         streaming,
         steal,
+        scaling,
     };
     let json = report.to_json().pretty();
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tsu.json");

@@ -344,7 +344,9 @@ pub fn fig5_x86(quick: bool) -> Vec<(&'static str, f64, f64)> {
             };
             (
                 bench.name(),
-                speedup(&Machine::new(MachineConfig::x86_9core(8))),
+                speedup(&Machine::new(
+                    MachineConfig::x86_9core(8).expect("8 kernels fit the 9-core x86"),
+                )),
                 speedup(&hard_machine(8)),
             )
         })

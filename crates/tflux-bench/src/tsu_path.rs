@@ -331,6 +331,55 @@ pub fn sim_makespan(
     }
 }
 
+/// One simulated scaling point: a full workload run on a machine preset,
+/// priced against the zero-overhead sequential baseline on the *same*
+/// machine. All fields are simulated — identical on any host, any
+/// `host_threads`, so `bench_tsu --check` can gate on them without
+/// caring how parallel the CI runner happens to be.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingMeasure {
+    /// Parallel makespan in simulated cycles.
+    pub sim_cycles: u64,
+    /// Sequential zero-overhead baseline on the same machine, in cycles.
+    pub seq_cycles: u64,
+    /// `seq_cycles / sim_cycles` — the paper's speedup metric.
+    pub speedup: f64,
+    /// Cross-NUMA-node transfers observed (0 on flat topologies).
+    pub remote_node: u64,
+    /// Cycles spent queued on saturated node memory channels.
+    pub channel_wait: u64,
+    /// Successful steals during the parallel run.
+    pub steals: u64,
+}
+
+/// Run `bench` at `Small` size with one kernel per core of `cfg` and
+/// report the simulated speedup over the sequential baseline. `engine`
+/// selects the DES engine — `Sharded` is what the 64-core rows use, and
+/// the equivalence suite holds it cycle-identical to `Global`.
+pub fn sim_scaling(
+    bench: tflux_workloads::Bench,
+    cfg: tflux_sim::MachineConfig,
+    engine: tflux_sim::DesEngine,
+) -> ScalingMeasure {
+    use tflux_workloads::common::Params;
+    use tflux_workloads::setup::{sim_baseline, sim_setup, with_default_unroll};
+    use tflux_workloads::sizes::SizeClass;
+    let p = with_default_unroll(bench, Params::hard(cfg.cores, 0, SizeClass::Small));
+    let machine = tflux_sim::Machine::new(cfg).with_engine(engine);
+    let (prog, src) = sim_setup(bench, &p);
+    let (sprog, ssrc) = sim_baseline(bench, &p);
+    let seq = machine.run_sequential(&sprog, ssrc.as_ref());
+    let par = machine.run(&prog, src.as_ref());
+    ScalingMeasure {
+        sim_cycles: par.cycles,
+        seq_cycles: seq.cycles,
+        speedup: par.speedup_over(&seq),
+        remote_node: par.mem.remote_node,
+        channel_wait: par.mem.channel_wait,
+        steals: par.tsu.steals,
+    }
+}
+
 /// The PR 2 locked-shard Synchronization Memory interior, preserved as a
 /// measurement reference: per-kernel `Mutex<HashMap>` shards, `try_lock`
 /// first. No runtime uses it — it exists so `bench_tsu` can compare the

@@ -70,7 +70,7 @@ pub use block::DdmBlock;
 pub use error::CoreError;
 pub use ids::{BlockId, Context, Instance, KernelId, ProgramId, ThreadId};
 pub use mapping::ArcMapping;
-pub use policy::{SchedulingPolicy, StealPolicy};
+pub use policy::{SchedulingPolicy, StealBackoff, StealPolicy};
 pub use program::{DdmProgram, ProgramBuilder};
 pub use thread::{Affinity, ThreadKind, ThreadSpec};
 pub use tsu::{
@@ -85,7 +85,7 @@ pub mod prelude {
     pub use crate::error::CoreError;
     pub use crate::ids::{BlockId, Context, Instance, KernelId, ProgramId, ThreadId};
     pub use crate::mapping::ArcMapping;
-    pub use crate::policy::{SchedulingPolicy, StealPolicy};
+    pub use crate::policy::{SchedulingPolicy, StealBackoff, StealPolicy};
     pub use crate::program::{DdmProgram, ProgramBuilder};
     pub use crate::thread::{Affinity, ThreadKind, ThreadSpec};
     pub use crate::tsu::{

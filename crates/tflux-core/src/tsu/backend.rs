@@ -144,6 +144,13 @@ pub struct TsuStats {
     /// onto the same victim (see `StealPolicy::RandomThenLongest`).
     #[serde(default)]
     pub steal_races: u64,
+    /// Victim scans skipped by the adaptive backoff
+    /// ([`StealBackoff`](crate::policy::StealBackoff)): fetch attempts on
+    /// which a repeatedly-missing thief did not probe at all. High skips
+    /// with zero steals is the *healthy* idle-machine signature — the old
+    /// pathology was high `steal_misses` instead.
+    #[serde(default)]
+    pub steal_skips: u64,
     /// DDM blocks loaded.
     pub blocks_loaded: u64,
     /// Peak number of resident instances.

@@ -53,11 +53,15 @@ pub struct CoreTsu<P: ProgramHandle> {
     policy: SchedulingPolicy,
     steal_policy: StealPolicy,
     steal_rng: u64,
+    /// Per-kernel adaptive probe gate: a kernel whose steals keep missing
+    /// backs off its victim scans until a hit resets it.
+    backoff: Vec<crate::policy::StealBackoff>,
     flush: FlushPolicy,
     waits: u64,
     steals: u64,
     steal_misses: u64,
     steal_races: u64,
+    steal_skips: u64,
 }
 
 impl<P: ProgramHandle> CoreTsu<P> {
@@ -79,11 +83,13 @@ impl<P: ProgramHandle> CoreTsu<P> {
             steal_policy: config.steal_policy,
             // deterministic per-TSU seed: single-owner runs replay exactly
             steal_rng: 0x5EED_0000 ^ ((kernels as u64) << 8),
+            backoff: vec![crate::policy::StealBackoff::new(); nqueues],
             flush,
             waits: 0,
             steals: 0,
             steal_misses: 0,
             steal_races: 0,
+            steal_skips: 0,
         };
         let inlet = tsu.sm.armed_inlet();
         tsu.push_ready(inlet);
@@ -141,6 +147,7 @@ impl<P: ProgramHandle> CoreTsu<P> {
         s.steals = self.steals;
         s.steal_misses = self.steal_misses;
         s.steal_races = self.steal_races;
+        s.steal_skips = self.steal_skips;
         s
     }
 
@@ -195,9 +202,19 @@ impl<P: ProgramHandle> CoreTsu<P> {
             return Ok((FetchResult::Thread(i, ep), false));
         }
         if let SchedulingPolicy::LocalityFirst { steal: true } = self.policy {
-            if let Some((i, _)) = self.steal_ready(own) {
-                let ep = self.sm.dispatch(i)?;
-                return Ok((FetchResult::Thread(i, ep), true));
+            // adaptive backoff: a kernel whose recent probes all missed
+            // skips the victim scan entirely on most attempts, so an idle
+            // machine stops paying for empty sweeps; one hit re-arms
+            // eager probing
+            if self.backoff[own].should_probe() {
+                let stolen = self.steal_ready(own);
+                self.backoff[own].record(stolen.is_some());
+                if let Some((i, _)) = stolen {
+                    let ep = self.sm.dispatch(i)?;
+                    return Ok((FetchResult::Thread(i, ep), true));
+                }
+            } else {
+                self.steal_skips += 1;
             }
         }
         self.waits += 1;
@@ -522,6 +539,54 @@ mod tests {
             other => panic!("kernel 1 should have stolen, got {other:?}"),
         }
         assert_eq!(tsu.stats().steals, 1);
+    }
+
+    #[test]
+    fn idle_kernel_backs_off_probing_after_consecutive_misses() {
+        use crate::policy::StealBackoff;
+        let mut b = ProgramBuilder::new();
+        let blk = b.block();
+        b.thread(
+            blk,
+            ThreadSpec::new("w", 8).with_affinity(crate::thread::Affinity::Fixed(KernelId(0))),
+        );
+        let p = b.build().unwrap();
+        let mut tsu = CoreTsu::new(&p, 2, TsuConfig::default());
+        // kernel 1 steals the armed inlet and sits on it (dispatched, never
+        // completed): both queues are now empty, so every further probe by
+        // kernel 1 can only miss
+        let FetchResult::Thread(inlet, ep) = tsu.fetch_ready(KernelId(1)).unwrap() else {
+            panic!("kernel 1 should steal the armed inlet")
+        };
+        for _ in 0..64 {
+            assert_eq!(tsu.fetch_ready(KernelId(1)).unwrap(), FetchResult::Wait);
+        }
+        let s = tsu.stats();
+        assert!(
+            s.steal_skips > 0,
+            "repeatedly-missing thief must start skipping probes: {s:?}"
+        );
+        assert!(
+            s.steal_misses < 64 / 2,
+            "backoff must cut the empty sweeps well below one per fetch, got {}",
+            s.steal_misses
+        );
+        // completing the inlet readies work on kernel 0's queue; the
+        // backed-off thief must reach it within its bounded skip run and a
+        // hit re-arms eager probing
+        complete(&mut tsu, inlet, ep).unwrap();
+        let mut fetched = None;
+        for _ in 0..=1u32 << StealBackoff::MAX_SHIFT {
+            if let FetchResult::Thread(i, e) = tsu.fetch_ready(KernelId(1)).unwrap() {
+                fetched = Some((i, e));
+                break;
+            }
+        }
+        assert!(
+            fetched.is_some(),
+            "a backed-off thief must still probe within 2^MAX_SHIFT attempts"
+        );
+        assert!(tsu.stats().steals >= 2);
     }
 
     #[test]

@@ -928,6 +928,7 @@ impl<P: ProgramHandle> SyncMemory<P> {
             steals: 0,
             steal_misses: 0,
             steal_races: 0,
+            steal_skips: 0,
             blocks_loaded: guard.blocks_loaded,
             max_resident: guard.max_resident,
             epochs: guard.completed,

@@ -2,6 +2,82 @@
 //! presets.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors constructing a machine configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// More kernels requested than the machine has kernel cores. Use the
+    /// preset's `_oversubscribed` variant to fold kernels onto cores
+    /// explicitly instead.
+    Oversubscribed {
+        /// Kernels requested.
+        kernels: u32,
+        /// Kernel cores the machine actually has.
+        cores: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Oversubscribed { kernels, cores } => write!(
+                f,
+                "{kernels} kernels requested but the machine has {cores} kernel cores; \
+                 use the explicit oversubscription constructor to double up kernels"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Physical core/memory layout beyond the cache hierarchy: NUMA nodes with
+/// distinct local/remote latencies and a per-node memory-channel bandwidth
+/// budget.
+///
+/// The default is a flat (UMA) machine: one node, zero remote penalties,
+/// unmodeled channel bandwidth — cycle-identical to the pre-topology
+/// simulator, which keeps the Bagle/x86 paper figures stable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Cores per NUMA node (0 = all cores on one node, flat/UMA).
+    pub cores_per_node: u32,
+    /// Extra cycles for a memory access served by a remote node's memory
+    /// controller (added on top of `mem_lat`).
+    pub remote_mem_penalty: u64,
+    /// Extra cycles for a cache-to-cache transfer whose supplier sits on a
+    /// different node (added on top of `c2c_lat`).
+    pub remote_c2c_penalty: u64,
+    /// Per-node memory-channel occupancy of one line transfer, in cycles
+    /// (0 = infinite bandwidth, channel unmodeled). Concurrent transfers to
+    /// one node's memory book into shared bandwidth windows and queue when
+    /// a window fills — they do not pipeline for free.
+    pub channel_transfer: u64,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::flat()
+    }
+}
+
+impl Topology {
+    /// A flat UMA machine (single node, no penalties, unmodeled channel).
+    pub fn flat() -> Self {
+        Topology {
+            cores_per_node: 0,
+            remote_mem_penalty: 0,
+            remote_c2c_penalty: 0,
+            channel_transfer: 0,
+        }
+    }
+
+    /// Whether this topology is flat (no NUMA effects modeled at all).
+    pub fn is_flat(&self) -> bool {
+        self.cores_per_node == 0 && self.channel_transfer == 0
+    }
+}
 
 /// Geometry and latency of one cache level.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -108,6 +184,10 @@ pub struct MachineConfig {
     /// Cores are partitioned round-robin-free: shard = core × groups /
     /// cores. Cross-shard ready-count updates pay a bus crossing.
     pub tsu_groups: u32,
+    /// NUMA layout (defaults to flat/UMA; absent in older serialized
+    /// configs).
+    #[serde(default)]
+    pub topology: Topology,
 }
 
 impl MachineConfig {
@@ -139,6 +219,7 @@ impl MachineConfig {
             c2c_lat: 40,
             tsu: TsuCosts::hard(),
             tsu_groups: 1,
+            topology: Topology::flat(),
         }
     }
 
@@ -170,6 +251,7 @@ impl MachineConfig {
             c2c_lat: 60,
             tsu: TsuCosts::soft(),
             tsu_groups: 1,
+            topology: Topology::flat(),
         }
     }
 
@@ -178,7 +260,23 @@ impl MachineConfig {
     /// cores X86 system similar to Bagle. The speedup values observed and
     /// conclusions drawn are similar"). x86-typical L1/L2 latencies, one
     /// core reserved for the OS — 8 kernels.
-    pub fn x86_9core(kernels: u32) -> Self {
+    ///
+    /// # Errors
+    /// [`ConfigError::Oversubscribed`] when more than 8 kernels are
+    /// requested: the machine has 8 kernel cores, and silently folding
+    /// extra kernels onto them would mis-report per-kernel speedups. Opt
+    /// into folding with [`MachineConfig::x86_9core_oversubscribed`].
+    pub fn x86_9core(kernels: u32) -> Result<Self, ConfigError> {
+        if kernels > 8 {
+            return Err(ConfigError::Oversubscribed { kernels, cores: 8 });
+        }
+        Ok(Self::x86_9core_oversubscribed(kernels))
+    }
+
+    /// The 9-core x86 machine with *explicit* oversubscription: more than 8
+    /// kernels are folded onto the 8 kernel cores (the TSU still sees
+    /// `kernels` logical consumers; the cores just multiplex them).
+    pub fn x86_9core_oversubscribed(kernels: u32) -> Self {
         MachineConfig {
             cores: kernels.min(8),
             l1: CacheConfig {
@@ -202,7 +300,55 @@ impl MachineConfig {
             c2c_lat: 44,
             tsu: TsuCosts::hard(),
             tsu_groups: 1,
+            topology: Topology::flat(),
         }
+    }
+
+    /// A SPARC-T3-4-class 64-core NUMA machine: 4 sockets × 16 cores, one
+    /// shared L2 per socket, per-socket memory controllers. Latencies follow
+    /// the T3-4 characterization (small write-through-style L1s, ~25-cycle
+    /// shared L2, remote-socket memory roughly 1.5× local) with the hardware
+    /// TSU cost model and one TSU Group shard per socket.
+    ///
+    /// # Errors
+    /// [`ConfigError::Oversubscribed`] when more than 64 kernels are
+    /// requested (the directory's core bitmaps are 64 bits wide — exactly
+    /// this machine).
+    pub fn sparc_t3_4(kernels: u32) -> Result<Self, ConfigError> {
+        if kernels > 64 {
+            return Err(ConfigError::Oversubscribed { kernels, cores: 64 });
+        }
+        Ok(MachineConfig {
+            cores: kernels,
+            l1: CacheConfig {
+                size: 8 * 1024,
+                line: 64,
+                assoc: 4,
+                read_lat: 3,
+                write_lat: 1,
+            },
+            l2: CacheConfig {
+                size: 6 * 1024 * 1024,
+                line: 64,
+                assoc: 16,
+                read_lat: 26,
+                write_lat: 26,
+            },
+            // one shared L2 per 16-core socket
+            l2_group: 16,
+            mem_lat: 240,
+            bus_transfer: 4,
+            bus_control: 2,
+            c2c_lat: 70,
+            tsu: TsuCosts::hard(),
+            tsu_groups: kernels.div_ceil(16).max(1),
+            topology: Topology {
+                cores_per_node: 16,
+                remote_mem_penalty: 120,
+                remote_c2c_penalty: 60,
+                channel_transfer: 8,
+            },
+        })
     }
 
     /// Override the TSU cost model.
@@ -237,6 +383,40 @@ impl MachineConfig {
     /// The L2 group a core belongs to.
     pub fn group_of(&self, core: u32) -> u32 {
         core / self.l2_group.max(1)
+    }
+
+    /// Override the NUMA topology.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Number of NUMA nodes (1 for a flat machine).
+    pub fn nodes(&self) -> u32 {
+        let per = self.topology.cores_per_node;
+        if per == 0 {
+            1
+        } else {
+            self.cores.div_ceil(per).max(1)
+        }
+    }
+
+    /// The NUMA node a core belongs to (cores are packed onto nodes in
+    /// order, so small kernel counts stay on one socket).
+    pub fn node_of(&self, core: u32) -> u32 {
+        core.checked_div(self.topology.cores_per_node).unwrap_or(0)
+    }
+
+    /// The home node of a physical address: memory is interleaved across
+    /// nodes at 4 KiB-page granularity (deterministic, so simulations stay
+    /// bit-reproducible).
+    pub fn home_node(&self, byte_addr: u64) -> u32 {
+        let n = self.nodes() as u64;
+        if n <= 1 {
+            0
+        } else {
+            ((byte_addr >> 12) % n) as u32
+        }
     }
 }
 
@@ -283,11 +463,69 @@ mod tests {
     }
 
     #[test]
-    fn x86_9core_caps_kernels_at_eight() {
-        let m = MachineConfig::x86_9core(27);
+    fn x86_9core_rejects_oversubscription_with_typed_error() {
+        // regression: the preset used to clamp `kernels.min(8)` silently, so
+        // a 16-kernel run quietly simulated 8 cores with doubled-up kernels
+        let err = MachineConfig::x86_9core(27).unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::Oversubscribed {
+                kernels: 27,
+                cores: 8
+            }
+        );
+        assert!(err.to_string().contains("27 kernels"));
+        let m = MachineConfig::x86_9core(8).unwrap();
         assert_eq!(m.cores, 8);
         assert_eq!(m.l1.read_lat, 3);
         assert_eq!(m.tsu, TsuCosts::hard());
+        // opting in still folds kernels onto the 8 cores
+        let folded = MachineConfig::x86_9core_oversubscribed(27);
+        assert_eq!(folded.cores, 8);
+    }
+
+    #[test]
+    fn t3_4_preset_is_a_64_core_numa_machine() {
+        let m = MachineConfig::sparc_t3_4(64).unwrap();
+        assert_eq!(m.cores, 64);
+        assert_eq!(m.nodes(), 4);
+        assert_eq!(m.l2_group, 16);
+        assert_eq!(m.l2_groups(), 4);
+        assert_eq!(m.node_of(0), 0);
+        assert_eq!(m.node_of(15), 0);
+        assert_eq!(m.node_of(16), 1);
+        assert_eq!(m.node_of(63), 3);
+        assert!(m.topology.remote_mem_penalty > 0);
+        assert!(m.topology.channel_transfer > 0);
+        assert!(!m.topology.is_flat());
+        assert_eq!(
+            MachineConfig::sparc_t3_4(65).unwrap_err(),
+            ConfigError::Oversubscribed {
+                kernels: 65,
+                cores: 64
+            }
+        );
+        // small kernel counts pack onto the first socket
+        let small = MachineConfig::sparc_t3_4(8).unwrap();
+        assert_eq!(small.nodes(), 1);
+        assert!((0..8).all(|c| small.node_of(c) == 0));
+    }
+
+    #[test]
+    fn flat_topology_has_one_node_and_interleaving_is_deterministic() {
+        let flat = MachineConfig::bagle(8);
+        assert!(flat.topology.is_flat());
+        assert_eq!(flat.nodes(), 1);
+        assert_eq!(flat.home_node(0xDEAD_BEEF), 0);
+        let numa = MachineConfig::sparc_t3_4(64).unwrap();
+        // pages interleave round-robin across the 4 nodes
+        assert_eq!(numa.home_node(0x0000), 0);
+        assert_eq!(numa.home_node(0x1000), 1);
+        assert_eq!(numa.home_node(0x2000), 2);
+        assert_eq!(numa.home_node(0x3000), 3);
+        assert_eq!(numa.home_node(0x4000), 0);
+        // same-page addresses share a home
+        assert_eq!(numa.home_node(0x1000), numa.home_node(0x1FFF));
     }
 
     #[test]

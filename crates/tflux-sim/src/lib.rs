@@ -47,8 +47,9 @@ pub mod trace;
 pub mod tsu_dev;
 pub mod work;
 
-pub use config::{CacheConfig, MachineConfig, TsuCosts};
-pub use machine::Machine;
+pub use config::{CacheConfig, ConfigError, MachineConfig, Topology, TsuCosts};
+pub use event::{EventQueue, ShardedEventQueue};
+pub use machine::{DesEngine, Machine};
 pub use report::SimReport;
 pub use trace::ExecTrace;
 pub use work::{InstanceWork, MemAccess, WorkSource};

@@ -8,7 +8,7 @@
 //! interleaving without paying for an event per access.
 
 use crate::config::MachineConfig;
-use crate::event::EventQueue;
+use crate::event::{EventQueue, ShardedEventQueue};
 use crate::memsys::MemorySystem;
 use crate::report::SimReport;
 use crate::trace::ExecTrace;
@@ -23,6 +23,25 @@ use tflux_core::tsu::{drain_sequential, CoreTsu, FlushPolicy, TsuConfig};
 /// under typical DThread lengths.
 const CHUNK: usize = 64;
 
+/// Which discrete-event engine drives the cores.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DesEngine {
+    /// One global binary heap over all events — the original engine and
+    /// the equivalence oracle.
+    #[default]
+    Global,
+    /// Per-core event lanes advanced under conservative time windows whose
+    /// length is the minimum cross-core scheduling latency
+    /// (`tsu.access + tsu.op`). Within a window each lane's events depend
+    /// only on that lane (cross-lane influence always lands in a later
+    /// window — asserted at every push), which is what licenses advancing
+    /// lanes independently; events are still *applied* in global
+    /// `(cycle, sequence)` order because the model's shared state
+    /// (directory, bus, TSU shards) mutates in place, so this engine is
+    /// cycle-for-cycle identical to [`DesEngine::Global`].
+    Sharded,
+}
+
 /// A simulated TFlux machine.
 #[derive(Clone, Copy, Debug)]
 pub struct Machine {
@@ -30,6 +49,7 @@ pub struct Machine {
     tsu_cfg: TsuConfig,
     /// Streaming passes over the program graph (1 = one-shot).
     epochs: u64,
+    engine: DesEngine,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -54,6 +74,70 @@ struct CoreState {
     idle: u64,
     finish: u64,
     done: bool,
+}
+
+/// The event store behind one simulation run: either the single global
+/// heap or the sharded, conservatively-windowed queue.
+enum Events {
+    Global(EventQueue<Ev>),
+    Sharded {
+        q: ShardedEventQueue<Ev>,
+        /// Conservative window length: the minimum latency by which one
+        /// core's activity can schedule an event on *another* core
+        /// (`tsu.access + tsu.op` — a completion must cross the MMI and be
+        /// processed by the unit before any sibling can observe it).
+        window: u64,
+        /// Exclusive end of the window currently being drained.
+        window_end: u64,
+        /// Lane of the event currently being handled.
+        current: Option<u32>,
+    },
+}
+
+impl Events {
+    fn push(&mut self, lane: u32, at: u64, ev: Ev) {
+        match self {
+            Events::Global(q) => q.push(at, ev),
+            Events::Sharded {
+                q,
+                window_end,
+                current,
+                ..
+            } => {
+                // the conservative bound that makes windows independent:
+                // cross-lane events must land in a later window
+                let same_lane = matches!(current, Some(c) if *c == lane);
+                assert!(
+                    current.is_none() || same_lane || at >= *window_end,
+                    "cross-lane event at cycle {at} lands inside the conservative \
+                     window ending at {window_end}: the window bound no longer \
+                     covers the minimum cross-core scheduling latency"
+                );
+                q.push(lane as usize, at, ev);
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<(u64, Ev)> {
+        match self {
+            Events::Global(q) => q.pop(),
+            Events::Sharded {
+                q,
+                window,
+                window_end,
+                current,
+            } => {
+                let (at, lane, ev) = q.pop()?;
+                if at >= *window_end {
+                    // the previous window drained dry: open the next one at
+                    // the earliest pending event
+                    *window_end = at + *window;
+                }
+                *current = Some(lane as u32);
+                Some((at, ev))
+            }
+        }
+    }
 }
 
 impl CoreState {
@@ -90,12 +174,19 @@ impl Machine {
                 ..TsuConfig::default()
             },
             epochs: 1,
+            engine: DesEngine::default(),
         }
     }
 
     /// Override the TSU state-machine configuration (capacity, policy).
     pub fn with_tsu_config(mut self, tsu_cfg: TsuConfig) -> Self {
         self.tsu_cfg = tsu_cfg;
+        self
+    }
+
+    /// Select the discrete-event engine (defaults to the global heap).
+    pub fn with_engine(mut self, engine: DesEngine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -161,11 +252,20 @@ impl Machine {
         }
         let mut mem = MemorySystem::new(self.cfg);
         let mut states: Vec<CoreState> = (0..cores).map(|_| CoreState::new()).collect();
-        let mut events: EventQueue<Ev> = EventQueue::new();
+        let mut events = match self.engine {
+            DesEngine::Global => Events::Global(EventQueue::new()),
+            DesEngine::Sharded => Events::Sharded {
+                q: ShardedEventQueue::new(cores as usize),
+                window: self.cfg.tsu.access + self.cfg.tsu.op,
+                window_end: 0,
+                current: None,
+            },
+        };
         let mut instances = 0usize;
+        let mut parked_buf: Vec<u32> = Vec::with_capacity(cores as usize);
 
         for c in 0..cores {
-            events.push(0, Ev::Fetch(c));
+            events.push(c, 0, Ev::Fetch(c));
         }
 
         while let Some((t, ev)) = events.pop() {
@@ -192,7 +292,7 @@ impl Machine {
                         }
                         s.busy += now - t;
                         if s.cursor < total {
-                            events.push(now, Ev::Chunk(c));
+                            events.push(c, now, Ev::Chunk(c));
                             None
                         } else {
                             Some(now)
@@ -206,7 +306,15 @@ impl Machine {
                                 tr.record(c, inst, st.started, now);
                             }
                         }
-                        self.handle_completion(c, now, &mut dev, source, &mut states, &mut events);
+                        self.handle_completion(
+                            c,
+                            now,
+                            &mut dev,
+                            source,
+                            &mut states,
+                            &mut events,
+                            &mut parked_buf,
+                        );
                     }
                 }
             }
@@ -241,7 +349,7 @@ impl Machine {
         epoch: Epoch,
         source: &dyn WorkSource,
         states: &mut [CoreState],
-        events: &mut EventQueue<Ev>,
+        events: &mut Events,
     ) {
         let s = &mut states[c as usize];
         s.current = Some((inst, epoch));
@@ -252,7 +360,7 @@ impl Machine {
         let chunks = s.work.accesses.len().div_ceil(CHUNK).max(1) as u64;
         s.compute_per_chunk = s.work.compute / chunks;
         s.compute_rem = s.work.compute % chunks;
-        events.push(start, Ev::Chunk(c));
+        events.push(c, start, Ev::Chunk(c));
     }
 
     fn handle_fetch(
@@ -261,7 +369,7 @@ impl Machine {
         dev: &mut TsuDevice<'_>,
         source: &dyn WorkSource,
         states: &mut [CoreState],
-        events: &mut EventQueue<Ev>,
+        events: &mut Events,
     ) {
         match dev
             .fetch(c, t)
@@ -284,6 +392,7 @@ impl Machine {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_completion(
         &self,
         c: u32,
@@ -291,7 +400,8 @@ impl Machine {
         dev: &mut TsuDevice<'_>,
         source: &dyn WorkSource,
         states: &mut [CoreState],
-        events: &mut EventQueue<Ev>,
+        events: &mut Events,
+        parked_buf: &mut Vec<u32>,
     ) {
         let (inst, epoch) = states[c as usize]
             .current
@@ -302,7 +412,7 @@ impl Machine {
             .unwrap_or_else(|e| panic!("TSU protocol error: {e}"));
         let next_fetch = core_free + dev.kernel_overhead();
         states[c as usize].tsu_time += next_fetch - now;
-        events.push(next_fetch, Ev::Fetch(c));
+        events.push(c, next_fetch, Ev::Fetch(c));
 
         // Wake parked cores: after post-processing, ready DThreads (or the
         // Exit condition) become visible at `ready_at`.
@@ -311,7 +421,8 @@ impl Machine {
             let avail = dev.tsu().ready_len();
             if finished || avail > 0 {
                 let mut budget = if finished { usize::MAX } else { avail };
-                for p in dev.parked_cores() {
+                dev.parked_cores_into(parked_buf);
+                for &p in parked_buf.iter() {
                     if budget == 0 {
                         break;
                     }
@@ -621,6 +732,73 @@ mod tests {
             "{} !> 2*{}",
             a.cycles,
             one.cycles
+        );
+    }
+
+    #[test]
+    fn sharded_engine_matches_global_engine_cycle_for_cycle() {
+        let p = fork_join(48);
+        let src = StreamWork {
+            bytes_per_instance: 4096,
+            stride: 64,
+            base: 0x10_0000,
+            writes: true,
+            cycles_per_access: 3,
+        };
+        for cfg in [
+            MachineConfig::bagle(8),
+            MachineConfig::xeon_x3650(6),
+            MachineConfig::sparc_t3_4(32).unwrap(),
+        ] {
+            let global = Machine::new(cfg).run(&p, &src);
+            let sharded = Machine::new(cfg)
+                .with_engine(DesEngine::Sharded)
+                .run(&p, &src);
+            assert_eq!(global.cycles, sharded.cycles, "cfg {cfg:?}");
+            assert_eq!(global.core_busy, sharded.core_busy);
+            assert_eq!(global.core_idle, sharded.core_idle);
+            assert_eq!(global.mem.accesses(), sharded.mem.accesses());
+            assert_eq!(global.mem.bus_wait, sharded.mem.bus_wait);
+            assert_eq!(global.dev.commands, sharded.dev.commands);
+            assert_eq!(global.instances, sharded.instances);
+        }
+    }
+
+    #[test]
+    fn sharded_engine_matches_global_under_streaming_epochs() {
+        // the funnel/flush paths produce same-cycle wakeups; the windowed
+        // engine must reproduce them exactly
+        let p = fork_join(16);
+        let src = UniformWork { cycles: 800 };
+        let m = Machine::new(MachineConfig::bagle(4)).with_epochs(3);
+        let global = m.run(&p, &src);
+        let sharded = m.with_engine(DesEngine::Sharded).run(&p, &src);
+        assert_eq!(global.cycles, sharded.cycles);
+        assert_eq!(global.dev.commands, sharded.dev.commands);
+        assert_eq!(sharded.tsu.epochs, 3);
+    }
+
+    #[test]
+    fn t3_4_64_cores_scale_and_pay_numa_costs() {
+        let p = fork_join(256);
+        let src = StreamWork {
+            bytes_per_instance: 8192,
+            stride: 64,
+            base: 0x40_0000,
+            writes: false,
+            cycles_per_access: 8,
+        };
+        let cfg64 = MachineConfig::sparc_t3_4(64).unwrap();
+        let seq = Machine::new(cfg64).run_sequential(&p, &src);
+        let par = Machine::new(cfg64)
+            .with_engine(DesEngine::Sharded)
+            .run(&p, &src);
+        let s = par.speedup_over(&seq);
+        assert!(s > 16.0, "64-core run should scale well past 16x, got {s}");
+        assert!(s <= 64.5, "speedup cannot exceed core count, got {s}");
+        assert!(
+            par.mem.remote_node > 0,
+            "a 4-node run must cross node boundaries"
         );
     }
 

@@ -50,6 +50,14 @@ pub struct MemStats {
     pub bus_wait: u64,
     /// Cycles the bus was occupied.
     pub bus_busy: u64,
+    /// Transfers (memory fetches or cache-to-cache) that crossed a NUMA
+    /// node boundary and paid the topology's remote penalty.
+    #[serde(default)]
+    pub remote_node: u64,
+    /// Cycles accesses queued on saturated per-node memory channels
+    /// (beyond the raw transfer occupancy).
+    #[serde(default)]
+    pub channel_wait: u64,
 }
 
 impl MemStats {
@@ -142,6 +150,9 @@ pub struct MemorySystem {
     l2: Vec<Cache>,
     dir: HashMap<u64, Dir>,
     bus: Bus,
+    /// Per-NUMA-node memory channels (bandwidth windows; only booked when
+    /// the topology models channel occupancy).
+    channels: Vec<Bus>,
     /// Counters.
     pub stats: MemStats,
     /// L1 lines per L2 line.
@@ -156,6 +167,9 @@ impl MemorySystem {
         let l1 = (0..cfg.cores).map(|_| Cache::new(&cfg.l1)).collect();
         let l2 = (0..cfg.l2_groups()).map(|_| Cache::new(&cfg.l2)).collect();
         let ratio = (cfg.l2.line / cfg.l1.line).max(1) as u64;
+        let channels = (0..cfg.nodes())
+            .map(|_| Bus::new(256 * cfg.topology.channel_transfer.max(1)))
+            .collect();
         MemorySystem {
             cfg,
             l1,
@@ -165,6 +179,7 @@ impl MemorySystem {
             // enough to absorb chunk-granular reordering, narrow enough to
             // expose sustained saturation
             bus: Bus::new(256 * cfg.bus_transfer.max(1)),
+            channels,
             stats: MemStats::default(),
             ratio,
             l1_shift: cfg.l1.line.trailing_zeros(),
@@ -188,6 +203,56 @@ impl MemorySystem {
     #[inline]
     fn l1_line(&self, byte_addr: u64) -> u64 {
         byte_addr >> self.l1_shift
+    }
+
+    /// Extra cycles a main-memory fetch pays under the NUMA topology:
+    /// the remote-node penalty when the page's home controller sits on a
+    /// different node than `core`, plus the home node's memory-channel
+    /// occupancy (queueing into later bandwidth windows when the channel
+    /// saturates). Zero on a flat topology.
+    fn numa_mem(&mut self, core: u32, byte_addr: u64, at: u64) -> u64 {
+        if self.cfg.topology.is_flat() {
+            return 0;
+        }
+        let home = self.cfg.home_node(byte_addr);
+        let mut extra = 0;
+        if home != self.cfg.node_of(core) {
+            extra += self.cfg.topology.remote_mem_penalty;
+            self.stats.remote_node += 1;
+        }
+        let ct = self.cfg.topology.channel_transfer;
+        if ct > 0 {
+            let total = self.channels[home as usize].book(at + extra, ct);
+            self.stats.channel_wait += total.saturating_sub(ct);
+            extra += total;
+        }
+        extra
+    }
+
+    /// Extra cycles a cache-to-cache transfer pays when the supplier cache
+    /// sits on a different NUMA node. The supplier is the dirty owner when
+    /// one exists, otherwise the lowest-numbered foreign L2 group holding
+    /// the line (deterministic, matching the directory's supply choice).
+    fn numa_c2c(&mut self, core: u32, d: &Dir, g: u32) -> u64 {
+        if self.cfg.topology.is_flat() || self.cfg.topology.remote_c2c_penalty == 0 {
+            return 0;
+        }
+        let supplier = if let Some(o) = d.owner.filter(|&o| self.cfg.group_of(o) != g) {
+            self.cfg.node_of(o)
+        } else {
+            let foreign = d.l2s & !(1u64 << g);
+            if foreign == 0 {
+                return 0;
+            }
+            self.cfg
+                .node_of(foreign.trailing_zeros() * self.cfg.l2_group.max(1))
+        };
+        if supplier != self.cfg.node_of(core) {
+            self.stats.remote_node += 1;
+            self.cfg.topology.remote_c2c_penalty
+        } else {
+            0
+        }
     }
 
     /// Evict bookkeeping for an L1 victim.
@@ -263,6 +328,7 @@ impl MemorySystem {
             if foreign_owner || foreign_l2 {
                 // cache-to-cache supply (coherency miss)
                 lat += self.cfg.c2c_lat;
+                lat += self.numa_c2c(core, &d, g);
                 lat += self.bus(now + lat, self.cfg.bus_transfer);
                 self.stats.remote_hits += 1;
                 class = AccessClass::RemoteHit;
@@ -275,6 +341,7 @@ impl MemorySystem {
                 }
             } else {
                 lat += self.cfg.mem_lat;
+                lat += self.numa_mem(core, byte_addr, now + lat);
                 lat += self.bus(now + lat, self.cfg.bus_transfer);
                 self.stats.mem_misses += 1;
                 class = AccessClass::MemMiss;
@@ -358,12 +425,14 @@ impl MemorySystem {
                 class = AccessClass::L2Hit;
             } else if foreign_owner_dirty || foreign_l2 != 0 {
                 lat += self.cfg.c2c_lat;
+                lat += self.numa_c2c(core, &d, g);
                 lat += self.bus(now + lat, self.cfg.bus_transfer);
                 self.stats.remote_hits += 1;
                 self.stats.writebacks += u64::from(foreign_owner_dirty);
                 class = AccessClass::RemoteHit;
             } else {
                 lat += self.cfg.mem_lat;
+                lat += self.numa_mem(core, byte_addr, now + lat);
                 lat += self.bus(now + lat, self.cfg.bus_transfer);
                 self.stats.mem_misses += 1;
                 class = AccessClass::MemMiss;
@@ -526,6 +595,65 @@ mod tests {
             m.access((i % 2) as u32, i * 10, (i % 5) * 64, i % 3 == 0);
         }
         assert_eq!(m.stats.accesses(), 20);
+    }
+
+    fn numa_sys(cores: u32) -> MemorySystem {
+        MemorySystem::new(crate::config::MachineConfig::sparc_t3_4(cores).unwrap())
+    }
+
+    #[test]
+    fn remote_node_memory_pays_exactly_the_penalty() {
+        // page 0 is homed on node 0; core 0 sits on node 0, core 63 on node 3
+        let mut local = numa_sys(64);
+        let (lat_local, cl) = local.access(0, 0, 0x100, false);
+        assert_eq!(cl, AccessClass::MemMiss);
+        let mut remote = numa_sys(64);
+        let (lat_remote, cr) = remote.access(63, 0, 0x100, false);
+        assert_eq!(cr, AccessClass::MemMiss);
+        assert_eq!(
+            lat_remote,
+            lat_local + remote.config().topology.remote_mem_penalty
+        );
+        assert_eq!(remote.stats.remote_node, 1);
+        assert_eq!(local.stats.remote_node, 0);
+    }
+
+    #[test]
+    fn cross_node_c2c_pays_the_remote_penalty() {
+        let cfg = crate::config::MachineConfig::sparc_t3_4(64).unwrap();
+        let no_penalty = cfg.with_topology(crate::config::Topology {
+            remote_c2c_penalty: 0,
+            ..cfg.topology
+        });
+        // core 0 (node 0) dirties a line; core 17 (node 1) reads it back
+        let run = |mut m: MemorySystem| {
+            m.access(0, 0, 0x40, true);
+            let (lat, class) = m.access(17, 10_000, 0x40, false);
+            assert_eq!(class, AccessClass::RemoteHit);
+            (lat, m.stats.remote_node)
+        };
+        let (lat_pen, crossings) = run(MemorySystem::new(cfg));
+        let (lat_flat, _) = run(MemorySystem::new(no_penalty));
+        assert_eq!(lat_pen, lat_flat + cfg.topology.remote_c2c_penalty);
+        assert!(crossings >= 1);
+    }
+
+    #[test]
+    fn node_memory_channel_saturates_under_flood() {
+        // 16 cores = one node; 600 distinct-page misses at time 0 demand
+        // ~600 channel slots against a 256-slot window, so the tail queues
+        let mut m = numa_sys(16);
+        let mut lats = Vec::new();
+        for i in 0..600u64 {
+            let (lat, class) = m.access((i % 16) as u32, 0, 0x10_0000 + i * 4096, false);
+            assert_eq!(class, AccessClass::MemMiss);
+            lats.push(lat);
+        }
+        assert!(m.stats.channel_wait > 0, "channel flood must queue");
+        assert!(
+            lats.last().unwrap() > lats.first().unwrap(),
+            "later transfers in a saturated channel wait longer"
+        );
     }
 
     #[test]

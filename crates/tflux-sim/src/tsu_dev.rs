@@ -270,11 +270,23 @@ impl<'p> TsuDevice<'p> {
     /// Cores currently parked, ascending. The machine retries their fetches
     /// after every completion.
     pub fn parked_cores(&self) -> Vec<u32> {
-        self.parked
-            .iter()
-            .enumerate()
-            .filter_map(|(c, &p)| p.then_some(c as u32))
-            .collect()
+        let mut v = Vec::new();
+        self.parked_cores_into(&mut v);
+        v
+    }
+
+    /// Collect the currently-parked cores, ascending, into `buf` (cleared
+    /// first). The allocation-free form of
+    /// [`parked_cores`](Self::parked_cores) — the machine calls this once
+    /// per completion, which at 64 cores is hot.
+    pub fn parked_cores_into(&self, buf: &mut Vec<u32>) {
+        buf.clear();
+        buf.extend(
+            self.parked
+                .iter()
+                .enumerate()
+                .filter_map(|(c, &p)| p.then_some(c as u32)),
+        );
     }
 
     /// Whether any core is parked.

@@ -114,4 +114,54 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn remote_node_cold_miss_never_beats_local(page in 0u64..256, write in any::<bool>()) {
+        // For any page on the 4-node T3-4, a cold miss from a core on the
+        // page's home node is a lower bound on the same cold miss from any
+        // core on a foreign node: remote memory can be slower, never
+        // faster.
+        let cfg = MachineConfig::sparc_t3_4(64).expect("64 kernels fit the T3-4");
+        let addr = page * 4096;
+        let home = cfg.home_node(addr);
+        let cold = |core: u32| {
+            let mut m = MemorySystem::new(cfg);
+            m.access(core, 0, addr, write).0
+        };
+        let local = cold(home * cfg.topology.cores_per_node);
+        for node in 0..cfg.nodes() {
+            if node == home {
+                continue;
+            }
+            let remote = cold(node * cfg.topology.cores_per_node);
+            prop_assert!(
+                remote >= local,
+                "remote-node miss ({remote}) beat the local one ({local}) for page {page:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn channel_wait_is_monotone_in_concurrency(n in 1usize..24) {
+        // Flood one node's memory channel with `n` simultaneous cold
+        // misses to distinct pages it homes: the cycles spent queued on
+        // the saturated channel must never *decrease* when one more
+        // concurrent transfer joins.
+        let cfg = MachineConfig::sparc_t3_4(64).expect("64 kernels fit the T3-4");
+        let flood = |n: usize| {
+            let mut m = MemorySystem::new(cfg);
+            for i in 0..n {
+                // page i*nodes homes on node 0; one requesting core per
+                // access so every miss is cold and concurrent at t = 0
+                let addr = (i as u64 * cfg.nodes() as u64) * 4096;
+                m.access((i % 64) as u32, 0, addr, false);
+            }
+            m.stats.channel_wait
+        };
+        prop_assert!(
+            flood(n + 1) >= flood(n),
+            "channel wait dropped when concurrency rose from {n} to {}",
+            n + 1
+        );
+    }
 }

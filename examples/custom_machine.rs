@@ -7,7 +7,7 @@
 //! cargo run --release --example custom_machine
 //! ```
 
-use tflux::sim::{CacheConfig, Machine, MachineConfig, TsuCosts};
+use tflux::sim::{CacheConfig, Machine, MachineConfig, Topology, TsuCosts};
 use tflux::workloads::common::Params;
 use tflux::workloads::setup::{sim_baseline, sim_setup, with_default_unroll};
 use tflux::workloads::sizes::SizeClass;
@@ -38,6 +38,7 @@ fn future_cmp(cores: u32) -> MachineConfig {
         c2c_lat: 30,
         tsu: TsuCosts::hard(),
         tsu_groups: 2, // the paper's §3.3 multi-group extension
+        topology: Topology::flat(),
     }
 }
 

@@ -1,0 +1,73 @@
+//! The sharded DES engine must be an *exact* stand-in for the global
+//! event heap: same cycles, same per-core busy/idle split, same memory
+//! and TSU counters, on every workload and every machine shape. The
+//! conservative-window engine is only allowed to change how the event
+//! queue is organized — never what the simulation computes — so this
+//! matrix runs all five paper workloads across the flat 8-core Bagle
+//! board, the 9-core x86 box, and the 64-core 4-node NUMA T3-4, and
+//! requires the two engines to agree field-for-field.
+
+use tflux::sim::{DesEngine, Machine, MachineConfig};
+use tflux::workloads::common::Params;
+use tflux::workloads::setup::{sim_setup, with_default_unroll};
+use tflux::workloads::sizes::SizeClass;
+use tflux::workloads::Bench;
+
+fn machines() -> [(&'static str, MachineConfig); 3] {
+    [
+        ("bagle_x8", MachineConfig::bagle(8)),
+        (
+            "x86_x8",
+            MachineConfig::x86_9core(8).expect("8 kernels fit the 9-core x86"),
+        ),
+        (
+            "sparc_t3_4_x64",
+            MachineConfig::sparc_t3_4(64).expect("64 kernels fit the T3-4"),
+        ),
+    ]
+}
+
+fn run(bench: Bench, cfg: MachineConfig, engine: DesEngine) -> tflux::sim::SimReport {
+    let p = with_default_unroll(bench, Params::hard(cfg.cores, 0, SizeClass::Small));
+    let (prog, src) = sim_setup(bench, &p);
+    Machine::new(cfg)
+        .with_engine(engine)
+        .run(&prog, src.as_ref())
+}
+
+#[test]
+fn sharded_engine_is_cycle_exact_on_every_workload_and_machine() {
+    for bench in Bench::ALL {
+        for (name, cfg) in machines() {
+            let global = run(bench, cfg, DesEngine::Global);
+            let sharded = run(bench, cfg, DesEngine::Sharded);
+            assert_eq!(
+                global.cycles,
+                sharded.cycles,
+                "{} on {name}: sharded engine diverged in makespan",
+                bench.name()
+            );
+            // the engines must agree on *everything* the simulation
+            // observes, not just the makespan — any drift in the event
+            // order shows up in the per-core splits or the counters
+            assert_eq!(
+                format!("{global:?}"),
+                format!("{sharded:?}"),
+                "{} on {name}: sharded engine report diverged",
+                bench.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn numa_machine_actually_pays_numa_costs_in_the_matrix() {
+    // guard against the matrix silently degenerating to flat machines:
+    // at least one 64-core run must cross nodes
+    let t3 = MachineConfig::sparc_t3_4(64).expect("64 kernels fit the T3-4");
+    let r = run(Bench::Mmult, t3, DesEngine::Sharded);
+    assert!(
+        r.mem.remote_node > 0,
+        "MMULT on the T3-4 never crossed a node boundary"
+    );
+}
