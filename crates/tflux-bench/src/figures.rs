@@ -61,7 +61,7 @@ fn sim_point(bench: Bench, machine: &Machine, p: &Params) -> FigRow {
     let (prog, src) = sim_setup(bench, p);
     let (seq_prog, seq_src) = sim_baseline(bench, p);
     let seq = machine.run_sequential(&seq_prog, seq_src.as_ref());
-    let par = machine.run(&prog, src.as_ref());
+    let par = machine.run(&prog, src.as_ref()).expect("sim run");
     FigRow {
         bench: bench.name(),
         size: p.size.label(),
@@ -179,7 +179,7 @@ pub fn tsu_latency(quick: bool) -> Vec<(u64, u64, f64)> {
             ..TsuCosts::hard()
         });
         let (prog, src) = sim_setup(bench, &p);
-        let r = Machine::new(cfg).run(&prog, src.as_ref());
+        let r = Machine::new(cfg).run(&prog, src.as_ref()).expect("sim run");
         if base == 0 {
             base = r.cycles;
         }
@@ -210,7 +210,7 @@ pub fn unroll_study(quick: bool) -> Vec<(&'static str, u32, f64)> {
             let (prog, src) = elem_setup(&p);
             let m = hard_machine(8);
             let seq = m.run_sequential(&prog, &src);
-            m.run(&prog, &src).speedup_over(&seq)
+            m.run(&prog, &src).expect("sim run").speedup_over(&seq)
         }));
     }
     for &u in factors {
@@ -224,7 +224,7 @@ pub fn unroll_study(quick: bool) -> Vec<(&'static str, u32, f64)> {
             let (prog, src) = elem_setup(&p);
             let m = soft_machine(6);
             let seq = m.run_sequential(&prog, &src);
-            m.run(&prog, &src).speedup_over(&seq)
+            m.run(&prog, &src).expect("sim run").speedup_over(&seq)
         }));
     }
     for &u in factors {
@@ -260,7 +260,9 @@ pub fn tsu_group_ablation(quick: bool) -> Vec<(&'static str, u64)> {
     };
     let p = with_default_unroll(Bench::Mmult, Params::hard(8, 0, size));
     let (prog, src) = sim_setup(Bench::Mmult, &p);
-    let grouped = Machine::new(MachineConfig::bagle(8)).run(&prog, src.as_ref());
+    let grouped = Machine::new(MachineConfig::bagle(8))
+        .run(&prog, src.as_ref())
+        .expect("sim run");
     let base = MachineConfig::bagle(8);
     let split_cfg = base.with_tsu(TsuCosts {
         // each update becomes a bus-crossing message between per-CPU TSUs
@@ -268,7 +270,9 @@ pub fn tsu_group_ablation(quick: bool) -> Vec<(&'static str, u64)> {
         access: TsuCosts::hard().access + base.bus_transfer,
         ..TsuCosts::hard()
     });
-    let split = Machine::new(split_cfg).run(&prog, src.as_ref());
+    let split = Machine::new(split_cfg)
+        .run(&prog, src.as_ref())
+        .expect("sim run");
     vec![
         ("tsu-group (shared unit)", grouped.cycles),
         ("per-cpu TSUs (bus-linked)", split.cycles),
@@ -289,7 +293,7 @@ pub fn tsu_groups_scaling(quick: bool) -> Vec<(u32, u64, u64)> {
     for &g in groups {
         let cfg = MachineConfig::bagle(27).with_tsu_groups(g);
         let (prog, src) = tflux_workloads::mmult::elem_setup(&p);
-        let r = Machine::new(cfg).run(&prog, &src);
+        let r = Machine::new(cfg).run(&prog, &src).expect("sim run");
         out.push((g, r.cycles, r.dev.cross_updates));
     }
     out
@@ -313,7 +317,7 @@ pub fn qsort_tree_depth(quick: bool) -> Vec<(u32, f64, f64)> {
         let seq = m.run_sequential(&sprog, ssrc.as_ref());
         let (prog, ids) = qsort::program_with_depth(&p, d);
         let src = qsort::tree_sim_source(&p, ids);
-        m.run(&prog, &src).speedup_over(&seq)
+        m.run(&prog, &src).expect("sim run").speedup_over(&seq)
     };
     depths
         .iter()
@@ -340,7 +344,9 @@ pub fn fig5_x86(quick: bool) -> Vec<(&'static str, f64, f64)> {
                 let (prog, src) = sim_setup(bench, &p);
                 let (sprog, ssrc) = sim_baseline(bench, &p);
                 let seq = m.run_sequential(&sprog, ssrc.as_ref());
-                m.run(&prog, src.as_ref()).speedup_over(&seq)
+                m.run(&prog, src.as_ref())
+                    .expect("sim run")
+                    .speedup_over(&seq)
             };
             (
                 bench.name(),

@@ -188,6 +188,14 @@ pub struct MachineConfig {
     /// configs).
     #[serde(default)]
     pub topology: Topology,
+    /// Length in cycles of one DES merge round: the interval at which
+    /// per-domain memory-system overlays commit into the shared snapshot
+    /// and deferred TSU-device operations replay. `0` (the default) picks
+    /// `max(tsu.access + tsu.op, 256)`. This is a **model** parameter —
+    /// every engine and host-thread count uses the same value, so results
+    /// never depend on how the simulation is executed.
+    #[serde(default)]
+    pub merge_round: u64,
 }
 
 impl MachineConfig {
@@ -220,6 +228,7 @@ impl MachineConfig {
             tsu: TsuCosts::hard(),
             tsu_groups: 1,
             topology: Topology::flat(),
+            merge_round: 0,
         }
     }
 
@@ -252,6 +261,7 @@ impl MachineConfig {
             tsu: TsuCosts::soft(),
             tsu_groups: 1,
             topology: Topology::flat(),
+            merge_round: 0,
         }
     }
 
@@ -301,6 +311,7 @@ impl MachineConfig {
             tsu: TsuCosts::hard(),
             tsu_groups: 1,
             topology: Topology::flat(),
+            merge_round: 0,
         }
     }
 
@@ -348,6 +359,7 @@ impl MachineConfig {
                 remote_c2c_penalty: 60,
                 channel_transfer: 8,
             },
+            merge_round: 0,
         })
     }
 
@@ -383,6 +395,28 @@ impl MachineConfig {
     /// The L2 group a core belongs to.
     pub fn group_of(&self, core: u32) -> u32 {
         core / self.l2_group.max(1)
+    }
+
+    /// Override the DES merge-round length (0 = auto).
+    pub fn with_merge_round(mut self, cycles: u64) -> Self {
+        self.merge_round = cycles;
+        self
+    }
+
+    /// The resolved merge-round length: the configured value, or
+    /// `max(tsu.access + tsu.op, 256)` when unset — at least the
+    /// conservative cross-core window (the minimum latency by which one
+    /// core's activity can schedule work on another core), widened so
+    /// machines with very fast TSUs still amortize commit overhead.
+    /// Correctness does not depend on the value (cross-lane influence
+    /// always routes through the serial boundary replay); it only sets the
+    /// granularity at which cross-domain memory effects become visible.
+    pub fn merge_round_len(&self) -> u64 {
+        if self.merge_round > 0 {
+            self.merge_round
+        } else {
+            (self.tsu.access + self.tsu.op).max(256)
+        }
     }
 
     /// Override the NUMA topology.

@@ -1,0 +1,83 @@
+//! Typed simulation failures.
+//!
+//! A simulation that cannot continue reports *why* through
+//! [`SimError`] instead of panicking, so sweep drivers (bench harness,
+//! figures generation) can attribute the failure to a configuration
+//! rather than unwinding through the event loop.
+
+use std::fmt;
+use tflux_core::error::CoreError;
+
+/// Why a simulation run could not produce a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A single event lane accumulated more than 2^20 outstanding events.
+    ///
+    /// The event queues pack the slot index into the low 20 bits of the
+    /// deterministic tie-break key; overflowing it would silently corrupt
+    /// event ordering, so the push is refused instead.
+    EventOverflow {
+        /// The lane (simulated core) whose slot store overflowed.
+        lane: u32,
+    },
+    /// The TSU state machine rejected a command — an invalid
+    /// program/configuration pair (e.g. a block exceeding TSU capacity),
+    /// not a data-dependent condition.
+    Protocol(CoreError),
+    /// The event queue drained with cores still waiting on the TSU: the
+    /// program cannot make progress under this configuration.
+    Deadlock {
+        /// Number of cores that never reached the Exit condition.
+        stuck: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EventOverflow { lane } => write!(
+                f,
+                "lane {lane} exceeded 2^20 outstanding events; the 20-bit \
+                 slot field of the deterministic event key would overflow"
+            ),
+            SimError::Protocol(e) => write!(f, "TSU protocol error: {e}"),
+            SimError::Deadlock { stuck } => write!(
+                f,
+                "simulation deadlocked: {stuck} cores stuck with no pending events"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for SimError {
+    fn from(e: CoreError) -> Self {
+        SimError::Protocol(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_lane() {
+        let e = SimError::EventOverflow { lane: 7 };
+        assert!(e.to_string().contains("lane 7"));
+    }
+
+    #[test]
+    fn protocol_errors_chain_their_source() {
+        let e = SimError::from(CoreError::EmptyProgram);
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("protocol"));
+    }
+}

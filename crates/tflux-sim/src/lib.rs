@@ -38,6 +38,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod error;
 pub mod event;
 pub mod machine;
 pub mod memsys;
@@ -48,6 +49,7 @@ pub mod tsu_dev;
 pub mod work;
 
 pub use config::{CacheConfig, ConfigError, MachineConfig, Topology, TsuCosts};
+pub use error::SimError;
 pub use event::{EventQueue, ShardedEventQueue};
 pub use machine::{DesEngine, Machine};
 pub use report::SimReport;

@@ -6,14 +6,43 @@
 //! with compute cycles; every chunk boundary is an event, which keeps cores
 //! loosely synchronized so bus arbitration and coherence see a realistic
 //! interleaving without paying for an event per access.
+//!
+//! # Rounds
+//!
+//! Every engine advances time in *rounds*. A round starts at the earliest
+//! pending event cycle `t0` and spans `R = MachineConfig::merge_round_len()`
+//! cycles, in three phases:
+//!
+//! 1. **Drain** — events earlier than `t0 + R` are popped in canonical
+//!    `(cycle, lane)` order. `Chunk` events execute immediately against the
+//!    core's memory domain (reading the shared snapshot, writing a private
+//!    overlay); they only ever push follow-up events onto their own lane.
+//!    `Fetch` events and chunk completions are *deferred* into a batch keyed
+//!    by `(cycle, lane)` — TSU-device state is global, so device commands
+//!    must not run while lanes advance independently.
+//! 2. **Replay** — the deferred batch drains in `(cycle, lane)` order on the
+//!    driving thread. Device commands run here; fetches they spawn inside
+//!    the round join the batch, chunk work always lands on the event store
+//!    for the next round.
+//! 3. **Commit** — every domain's memory overlay merges into the shared
+//!    snapshot in domain-index order ([`crate::memsys`]).
+//!
+//! Because phases never interleave and the replay/commit orders are fixed,
+//! the result is independent of the engine and of how many host threads
+//! drained phase 1 — the property the equivalence suite pins down.
 
 use crate::config::MachineConfig;
-use crate::event::{EventQueue, ShardedEventQueue};
-use crate::memsys::MemorySystem;
+use crate::error::SimError;
+use crate::event::{EventQueue, Lane, ShardedEventQueue};
+use crate::memsys::{commit_parts, DomainMem, MemorySystem, SharedMem};
 use crate::report::SimReport;
 use crate::trace::ExecTrace;
 use crate::tsu_dev::{DevFetch, TsuDevice};
 use crate::work::{InstanceWork, WorkSource};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::{mpsc, RwLock};
+use std::thread;
 use tflux_core::ids::{Epoch, Instance};
 use tflux_core::program::DdmProgram;
 use tflux_core::tsu::{drain_sequential, CoreTsu, FlushPolicy, TsuConfig};
@@ -30,15 +59,15 @@ pub enum DesEngine {
     /// the equivalence oracle.
     #[default]
     Global,
-    /// Per-core event lanes advanced under conservative time windows whose
-    /// length is the minimum cross-core scheduling latency
-    /// (`tsu.access + tsu.op`). Within a window each lane's events depend
-    /// only on that lane (cross-lane influence always lands in a later
-    /// window — asserted at every push), which is what licenses advancing
-    /// lanes independently; events are still *applied* in global
-    /// `(cycle, sequence)` order because the model's shared state
-    /// (directory, bus, TSU shards) mutates in place, so this engine is
-    /// cycle-for-cycle identical to [`DesEngine::Global`].
+    /// Per-core event lanes advanced round-by-round. With one host thread
+    /// the lanes sit behind a tournament tree and drain on the calling
+    /// thread; with [`Machine::with_host_threads`] `> 1` each L2 group's
+    /// lanes drain concurrently on a worker pool, each against its own
+    /// memory-domain overlay, and the overlays merge at the round boundary.
+    /// Both variants are cycle-for-cycle identical to
+    /// [`DesEngine::Global`]: all cross-lane influence is serialized
+    /// through the round's replay and commit phases, whose order is fixed
+    /// by `(cycle, lane)` and domain index — never by host scheduling.
     Sharded,
 }
 
@@ -50,6 +79,9 @@ pub struct Machine {
     /// Streaming passes over the program graph (1 = one-shot).
     epochs: u64,
     engine: DesEngine,
+    /// Host worker threads draining event lanes (only meaningful for
+    /// [`DesEngine::Sharded`]).
+    host_threads: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -60,6 +92,7 @@ enum Ev {
     Chunk(u32),
 }
 
+#[derive(Debug, Default)]
 struct CoreState {
     current: Option<(Instance, Epoch)>,
     /// Cycle the current instance's body started (for tracing).
@@ -76,87 +109,304 @@ struct CoreState {
     done: bool,
 }
 
-/// The event store behind one simulation run: either the single global
-/// heap or the sharded, conservatively-windowed queue.
+/// The event store behind one simulation run.
 enum Events {
+    /// Single global heap ([`DesEngine::Global`]).
     Global(EventQueue<Ev>),
-    Sharded {
-        q: ShardedEventQueue<Ev>,
-        /// Conservative window length: the minimum latency by which one
-        /// core's activity can schedule an event on *another* core
-        /// (`tsu.access + tsu.op` — a completion must cross the MMI and be
-        /// processed by the unit before any sibling can observe it).
-        window: u64,
-        /// Exclusive end of the window currently being drained.
-        window_end: u64,
-        /// Lane of the event currently being handled.
-        current: Option<u32>,
-    },
+    /// Tournament tree over per-core lanes (serial [`DesEngine::Sharded`]).
+    Sharded(ShardedEventQueue<Ev>),
+    /// Bare lanes, handed out to the worker pool round by round
+    /// (parallel [`DesEngine::Sharded`]).
+    Lanes(Vec<Lane<Ev>>),
 }
 
 impl Events {
-    fn push(&mut self, lane: u32, at: u64, ev: Ev) {
+    fn try_push(&mut self, lane: u32, at: u64, ev: Ev) -> Result<(), SimError> {
         match self {
-            Events::Global(q) => q.push(at, ev),
-            Events::Sharded {
-                q,
-                window_end,
-                current,
-                ..
-            } => {
-                // the conservative bound that makes windows independent:
-                // cross-lane events must land in a later window
-                let same_lane = matches!(current, Some(c) if *c == lane);
-                assert!(
-                    current.is_none() || same_lane || at >= *window_end,
-                    "cross-lane event at cycle {at} lands inside the conservative \
-                     window ending at {window_end}: the window bound no longer \
-                     covers the minimum cross-core scheduling latency"
-                );
-                q.push(lane as usize, at, ev);
+            Events::Global(q) => q.try_push_lane(lane, at, ev),
+            Events::Sharded(q) => q.try_push(lane as usize, at, ev),
+            Events::Lanes(ls) => ls[lane as usize].try_push(lane, at, ev),
+        }
+    }
+
+    fn min_time(&self) -> Option<u64> {
+        match self {
+            Events::Global(q) => q.min_time(),
+            Events::Sharded(q) => q.min_time(),
+            Events::Lanes(ls) => ls.iter().filter_map(|l| l.head_at()).min(),
+        }
+    }
+
+    /// Pop the earliest event in `(cycle, lane)` order if it is before
+    /// `end`.
+    fn pop_before(&mut self, end: u64) -> Option<(u64, Ev)> {
+        match self {
+            Events::Global(q) => {
+                if q.min_time()? < end {
+                    q.pop()
+                } else {
+                    None
+                }
+            }
+            Events::Sharded(q) => {
+                if q.min_time()? < end {
+                    q.pop().map(|(t, _, e)| (t, e))
+                } else {
+                    None
+                }
+            }
+            Events::Lanes(ls) => {
+                let (i, at) = ls
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, l)| l.head_at().map(|h| (i, h)))
+                    .min_by_key(|&(i, h)| (h, i))?;
+                if at < end {
+                    ls[i].pop()
+                } else {
+                    None
+                }
             }
         }
     }
 
-    fn pop(&mut self) -> Option<(u64, Ev)> {
+    fn lanes_mut(&mut self) -> &mut Vec<Lane<Ev>> {
         match self {
-            Events::Global(q) => q.pop(),
-            Events::Sharded {
-                q,
-                window,
-                window_end,
-                current,
-            } => {
-                let (at, lane, ev) = q.pop()?;
-                if at >= *window_end {
-                    // the previous window drained dry: open the next one at
-                    // the earliest pending event
-                    *window_end = at + *window;
+            Events::Lanes(ls) => ls,
+            _ => unreachable!("lanes_mut on a queue-backed event store"),
+        }
+    }
+}
+
+/// A deferred TSU-device operation, replayed serially at the round
+/// boundary. `Ord` is derived only so the tuple key is heap-friendly;
+/// batch keys `(cycle, lane)` are unique, so the op never decides order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum DevOp {
+    /// Replay `dev.fetch(lane, cycle)`.
+    Fetch,
+    /// The lane's instance finished its last chunk at `now` (≥ the
+    /// triggering event's cycle, which keys the batch).
+    Complete { now: u64 },
+}
+
+/// The round's deferred device operations, drained in `(cycle, lane)`
+/// order.
+#[derive(Default)]
+struct DevBatch {
+    heap: BinaryHeap<Reverse<(u64, u32, DevOp)>>,
+}
+
+impl DevBatch {
+    fn push(&mut self, at: u64, lane: u32, op: DevOp) {
+        self.heap.push(Reverse((at, lane, op)));
+    }
+
+    fn pop(&mut self) -> Option<(u64, u32, DevOp)> {
+        self.heap.pop().map(|Reverse(x)| x)
+    }
+}
+
+/// Push router for the replay phase: fetches landing inside the current
+/// round rejoin the device batch, everything else goes to the event store.
+/// Also asserts the conservative bound that justifies deferral — a device
+/// op triggered at `trigger` can only schedule *other* lanes at least one
+/// TSU service latency later.
+struct RoundIo<'a> {
+    events: &'a mut Events,
+    batch: &'a mut DevBatch,
+    round_end: u64,
+    /// Minimum cross-lane scheduling latency (`tsu.access + tsu.op`).
+    window: u64,
+    /// `(cycle, lane)` key of the op being replayed.
+    trigger: (u64, u32),
+}
+
+impl RoundIo<'_> {
+    fn push(&mut self, lane: u32, at: u64, ev: Ev) -> Result<(), SimError> {
+        let (t0, l0) = self.trigger;
+        if lane != l0 {
+            debug_assert!(
+                at >= t0 + self.window,
+                "cross-lane event at cycle {at} lands inside the conservative \
+                 window {t0}+{}: deferring device ops to the round boundary \
+                 no longer preserves event order",
+                self.window
+            );
+        }
+        if matches!(ev, Ev::Fetch(_)) && at < self.round_end {
+            self.batch.push(at, lane, DevOp::Fetch);
+            Ok(())
+        } else {
+            self.events.try_push(lane, at, ev)
+        }
+    }
+}
+
+/// Outcome of executing one chunk.
+enum ChunkOut {
+    /// More accesses remain; the next chunk event fires at this cycle.
+    Continue(u64),
+    /// The instance's body finished at this cycle.
+    Done(u64),
+}
+
+/// Execute one chunk of `s`'s current instance starting at cycle `t`.
+/// `access(now, addr, write)` performs one memory access and returns its
+/// latency.
+fn run_chunk<F: FnMut(u64, u64, bool) -> u64>(
+    s: &mut CoreState,
+    t: u64,
+    access: &mut F,
+) -> ChunkOut {
+    let mut now = t;
+    let total = s.work.accesses.len();
+    let end = (s.cursor + CHUNK).min(total);
+    for i in s.cursor..end {
+        let a = s.work.accesses[i];
+        now += access(now, a.addr, a.write);
+    }
+    s.cursor = end;
+    now += s.compute_per_chunk;
+    if s.cursor >= total {
+        now += s.compute_rem;
+        s.compute_rem = 0;
+    }
+    s.busy += now - t;
+    if s.cursor < total {
+        ChunkOut::Continue(now)
+    } else {
+        ChunkOut::Done(now)
+    }
+}
+
+/// One L2 group's worth of simulation state, packed up and shipped to a
+/// worker for the drain phase of a round, then shipped back.
+struct DomainRun {
+    domain: usize,
+    base_core: u32,
+    round_end: u64,
+    dmem: DomainMem,
+    lanes: Vec<Lane<Ev>>,
+    states: Vec<CoreState>,
+    /// Deferred device ops `(cycle, lane, op)` discovered this round.
+    deferred: Vec<(u64, u32, DevOp)>,
+    /// Events popped (for the throughput counters).
+    popped: u64,
+    err: Option<SimError>,
+}
+
+impl DomainRun {
+    /// Drain this domain's lanes up to `round_end` against the shared
+    /// snapshot. Pops follow `(cycle, lane)` order within the domain,
+    /// which is exactly the serial engines' order restricted to these
+    /// lanes — nothing outside the domain can schedule events inside the
+    /// round, so the subsequences compose deterministically.
+    fn run(&mut self, shared: &SharedMem) {
+        loop {
+            let mut best: Option<(u64, usize)> = None;
+            for (i, l) in self.lanes.iter().enumerate() {
+                if let Some(h) = l.head_at() {
+                    if h < self.round_end && best.is_none_or(|(bh, bi)| (h, i) < (bh, bi)) {
+                        best = Some((h, i));
+                    }
                 }
-                *current = Some(lane as u32);
-                Some((at, ev))
+            }
+            let Some((_, li)) = best else { break };
+            let (t, ev) = self.lanes[li].pop().expect("non-empty head");
+            self.popped += 1;
+            let c = self.base_core + li as u32;
+            match ev {
+                Ev::Fetch(fc) => {
+                    debug_assert_eq!(fc, c);
+                    self.deferred.push((t, c, DevOp::Fetch));
+                }
+                Ev::Chunk(_) => {
+                    let s = &mut self.states[li];
+                    let dmem = &mut self.dmem;
+                    match run_chunk(s, t, &mut |now, addr, w| {
+                        dmem.access(shared, c, now, addr, w).0
+                    }) {
+                        ChunkOut::Continue(now) => {
+                            if let Err(e) = self.lanes[li].try_push(c, now, Ev::Chunk(c)) {
+                                self.err = Some(e);
+                                return;
+                            }
+                        }
+                        ChunkOut::Done(now) => self.deferred.push((t, c, DevOp::Complete { now })),
+                    }
+                }
             }
         }
     }
 }
 
-impl CoreState {
-    fn new() -> Self {
-        CoreState {
-            current: None,
-            started: 0,
-            work: InstanceWork::default(),
-            cursor: 0,
-            compute_per_chunk: 0,
-            compute_rem: 0,
-            parked_since: 0,
-            busy: 0,
-            tsu_time: 0,
-            idle: 0,
-            finish: 0,
-            done: false,
-        }
+/// Take domain `d`'s state out of the flat simulation arrays (lanes and
+/// core states are `mem::take`n, the domain memory moves out of its slot).
+fn pack_domain(
+    d: usize,
+    per_group: usize,
+    cores: usize,
+    round_end: u64,
+    dmems: &mut [Option<DomainMem>],
+    lanes: &mut [Lane<Ev>],
+    states: &mut [CoreState],
+) -> DomainRun {
+    let base = d * per_group;
+    let span = per_group.min(cores - base);
+    DomainRun {
+        domain: d,
+        base_core: base as u32,
+        round_end,
+        dmem: dmems[d].take().expect("domain already in flight"),
+        lanes: lanes[base..base + span]
+            .iter_mut()
+            .map(std::mem::take)
+            .collect(),
+        states: states[base..base + span]
+            .iter_mut()
+            .map(std::mem::take)
+            .collect(),
+        deferred: Vec::new(),
+        popped: 0,
+        err: None,
     }
+}
+
+/// Scatter a finished [`DomainRun`] back into the flat arrays and fold its
+/// deferred device ops into the round batch.
+fn unpack_domain(
+    task: DomainRun,
+    per_group: usize,
+    dmems: &mut [Option<DomainMem>],
+    lanes: &mut [Lane<Ev>],
+    states: &mut [CoreState],
+    batch: &mut DevBatch,
+    events_done: &mut u64,
+) -> Option<SimError> {
+    let DomainRun {
+        domain,
+        dmem,
+        lanes: dl,
+        states: ds,
+        deferred,
+        popped,
+        err,
+        ..
+    } = task;
+    let base = domain * per_group;
+    for (i, lane) in dl.into_iter().enumerate() {
+        lanes[base + i] = lane;
+    }
+    for (i, st) in ds.into_iter().enumerate() {
+        states[base + i] = st;
+    }
+    dmems[domain] = Some(dmem);
+    for (at, lane, op) in deferred {
+        batch.push(at, lane, op);
+    }
+    *events_done += popped;
+    err
 }
 
 impl Machine {
@@ -175,6 +425,7 @@ impl Machine {
             },
             epochs: 1,
             engine: DesEngine::default(),
+            host_threads: 1,
         }
     }
 
@@ -187,6 +438,16 @@ impl Machine {
     /// Select the discrete-event engine (defaults to the global heap).
     pub fn with_engine(mut self, engine: DesEngine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Drain [`DesEngine::Sharded`] event lanes on `n` host threads
+    /// (clamped to ≥ 1; capped at the machine's L2-group count, since the
+    /// memory domain is the unit of isolation). The report is bit-identical
+    /// for every thread count — parallelism is an implementation detail of
+    /// the engine, never part of the model.
+    pub fn with_host_threads(mut self, n: u32) -> Self {
+        self.host_threads = n.max(1);
         self
     }
 
@@ -208,11 +469,17 @@ impl Machine {
 
     /// Simulate `program` with per-instance costs from `source`.
     ///
-    /// # Panics
-    /// On TSU protocol errors (e.g. a block exceeding the configured TSU
-    /// capacity) or if the simulation deadlocks — both indicate an invalid
-    /// program/configuration pair, not a data-dependent condition.
-    pub fn run(&self, program: &DdmProgram, source: &dyn WorkSource) -> SimReport {
+    /// # Errors
+    /// [`SimError::Protocol`] if the TSU rejects a command (e.g. a block
+    /// exceeding the configured capacity), [`SimError::Deadlock`] if the
+    /// event queue drains with cores still waiting — both indicate an
+    /// invalid program/configuration pair, not a data-dependent condition —
+    /// and [`SimError::EventOverflow`] if a lane exceeds its slot store.
+    pub fn run(
+        &self,
+        program: &DdmProgram,
+        source: &dyn WorkSource,
+    ) -> Result<SimReport, SimError> {
         self.run_inner(program, source, None)
     }
 
@@ -223,19 +490,35 @@ impl Machine {
         &self,
         program: &DdmProgram,
         source: &dyn WorkSource,
-    ) -> (SimReport, ExecTrace) {
+    ) -> Result<(SimReport, ExecTrace), SimError> {
         let mut trace = ExecTrace::default();
-        let report = self.run_inner(program, source, Some(&mut trace));
-        (report, trace)
+        let report = self.run_inner(program, source, Some(&mut trace))?;
+        Ok((report, trace))
     }
 
     fn run_inner(
         &self,
         program: &DdmProgram,
         source: &dyn WorkSource,
-        mut trace: Option<&mut ExecTrace>,
-    ) -> SimReport {
-        let cores = self.cfg.cores.max(1);
+        trace: Option<&mut ExecTrace>,
+    ) -> Result<SimReport, SimError> {
+        let parallel = self.engine == DesEngine::Sharded
+            && self.host_threads > 1
+            && self.cfg.l2_groups() > 1
+            && self.cfg.cores > 1;
+        if parallel {
+            self.run_parallel(program, source, trace)
+        } else {
+            self.run_serial(program, source, trace)
+        }
+    }
+
+    /// Build the TSU device with every streaming epoch banked up front.
+    fn build_dev<'p>(
+        &self,
+        program: &'p DdmProgram,
+        cores: u32,
+    ) -> Result<TsuDevice<'p>, SimError> {
         let tsu = CoreTsu::new(program, cores, self.tsu_cfg);
         // cross-TSU-group updates ride the system network
         let cross = if self.cfg.tsu_groups > 1 {
@@ -247,97 +530,291 @@ impl Machine {
         // streaming: bank every pass beyond the first before any core
         // fetches; re-arms then ride the final outlet of each pass
         for _ in 1..self.epochs {
-            dev.open_epoch(0)
-                .unwrap_or_else(|e| panic!("TSU protocol error: {e}"));
+            dev.open_epoch(0)?;
         }
+        Ok(dev)
+    }
+
+    fn run_serial(
+        &self,
+        program: &DdmProgram,
+        source: &dyn WorkSource,
+        mut trace: Option<&mut ExecTrace>,
+    ) -> Result<SimReport, SimError> {
+        let cores = self.cfg.cores.max(1);
+        let mut dev = self.build_dev(program, cores)?;
         let mut mem = MemorySystem::new(self.cfg);
-        let mut states: Vec<CoreState> = (0..cores).map(|_| CoreState::new()).collect();
+        let mut states: Vec<CoreState> = (0..cores).map(|_| CoreState::default()).collect();
         let mut events = match self.engine {
             DesEngine::Global => Events::Global(EventQueue::new()),
-            DesEngine::Sharded => Events::Sharded {
-                q: ShardedEventQueue::new(cores as usize),
-                window: self.cfg.tsu.access + self.cfg.tsu.op,
-                window_end: 0,
-                current: None,
-            },
+            DesEngine::Sharded => Events::Sharded(ShardedEventQueue::new(cores as usize)),
         };
+        let round_len = self.cfg.merge_round_len();
+        let window = self.cfg.tsu.access + self.cfg.tsu.op;
+        let mut batch = DevBatch::default();
         let mut instances = 0usize;
         let mut parked_buf: Vec<u32> = Vec::with_capacity(cores as usize);
+        let mut events_done = 0u64;
 
         for c in 0..cores {
-            events.push(c, 0, Ev::Fetch(c));
+            events.try_push(c, 0, Ev::Fetch(c))?;
         }
 
-        while let Some((t, ev)) = events.pop() {
-            match ev {
-                Ev::Fetch(c) => {
-                    Self::handle_fetch(c, t, &mut dev, source, &mut states, &mut events)
-                }
-                Ev::Chunk(c) => {
-                    let finished_at = {
+        while let Some(t0) = events.min_time() {
+            let round_end = t0.saturating_add(round_len);
+            // phase 1: drain chunks, defer device ops
+            while let Some((t, ev)) = events.pop_before(round_end) {
+                events_done += 1;
+                match ev {
+                    Ev::Fetch(c) => batch.push(t, c, DevOp::Fetch),
+                    Ev::Chunk(c) => {
                         let s = &mut states[c as usize];
-                        let mut now = t;
-                        let total = s.work.accesses.len();
-                        let end = (s.cursor + CHUNK).min(total);
-                        for i in s.cursor..end {
-                            let a = s.work.accesses[i];
-                            let (lat, _) = mem.access(c, now, a.addr, a.write);
-                            now += lat;
+                        match run_chunk(s, t, &mut |now, addr, w| mem.access(c, now, addr, w).0) {
+                            ChunkOut::Continue(now) => events.try_push(c, now, Ev::Chunk(c))?,
+                            ChunkOut::Done(now) => batch.push(t, c, DevOp::Complete { now }),
                         }
-                        s.cursor = end;
-                        now += s.compute_per_chunk;
-                        if s.cursor >= total {
-                            now += s.compute_rem;
-                            s.compute_rem = 0;
-                        }
-                        s.busy += now - t;
-                        if s.cursor < total {
-                            events.push(c, now, Ev::Chunk(c));
-                            None
-                        } else {
-                            Some(now)
-                        }
-                    };
-                    if let Some(now) = finished_at {
-                        instances += 1;
-                        if let Some(tr) = trace.as_deref_mut() {
-                            let st = &states[c as usize];
-                            if let Some((inst, _)) = st.current {
-                                tr.record(c, inst, st.started, now);
-                            }
-                        }
-                        self.handle_completion(
-                            c,
-                            now,
-                            &mut dev,
-                            source,
-                            &mut states,
-                            &mut events,
-                            &mut parked_buf,
-                        );
                     }
                 }
             }
+            // phase 2: replay device ops serially
+            events_done += self.replay_batch(
+                &mut batch,
+                round_end,
+                window,
+                &mut dev,
+                source,
+                &mut states,
+                &mut events,
+                &mut instances,
+                &mut parked_buf,
+                trace.as_deref_mut(),
+            )?;
+            // phase 3: merge round overlays
+            mem.commit_round();
         }
 
-        let all_done = states.iter().all(|s| s.done);
-        assert!(
-            all_done && dev.finished(),
-            "simulation deadlocked: {} cores stuck, finished={}",
-            states.iter().filter(|s| !s.done).count(),
-            dev.finished()
-        );
+        Self::finish_report(&states, &dev, mem.stats(), instances, events_done)
+    }
 
-        SimReport {
+    fn run_parallel(
+        &self,
+        program: &DdmProgram,
+        source: &dyn WorkSource,
+        mut trace: Option<&mut ExecTrace>,
+    ) -> Result<SimReport, SimError> {
+        let cores = self.cfg.cores.max(1);
+        let groups = self.cfg.l2_groups() as usize;
+        let per_group = self.cfg.l2_group.max(1) as usize;
+        let threads = (self.host_threads as usize).min(groups);
+        let mut dev = self.build_dev(program, cores)?;
+        let (shared, domains, mut committed) = MemorySystem::new(self.cfg).into_parts();
+        let shared = RwLock::new(shared);
+        let mut dmems: Vec<Option<DomainMem>> = domains.into_iter().map(Some).collect();
+        let mut states: Vec<CoreState> = (0..cores).map(|_| CoreState::default()).collect();
+        let mut events = Events::Lanes((0..cores).map(|_| Lane::new()).collect());
+        let round_len = self.cfg.merge_round_len();
+        let window = self.cfg.tsu.access + self.cfg.tsu.op;
+        let mut batch = DevBatch::default();
+        let mut instances = 0usize;
+        let mut parked_buf: Vec<u32> = Vec::with_capacity(cores as usize);
+        let mut events_done = 0u64;
+
+        for c in 0..cores {
+            events.try_push(c, 0, Ev::Fetch(c))?;
+        }
+
+        let run = thread::scope(|scope| -> Result<(), SimError> {
+            // Persistent workers: domain d always lands on worker d % T, a
+            // fixed mapping chosen for cache affinity — results never depend
+            // on it. Workers exit when the task senders drop.
+            let (res_tx, res_rx) = mpsc::channel::<DomainRun>();
+            let mut task_txs: Vec<mpsc::Sender<DomainRun>> = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let (tx, rx) = mpsc::channel::<DomainRun>();
+                task_txs.push(tx);
+                let res_tx = res_tx.clone();
+                let shared = &shared;
+                scope.spawn(move || {
+                    while let Ok(mut task) = rx.recv() {
+                        {
+                            let snap = shared.read().expect("snapshot lock");
+                            task.run(&snap);
+                        }
+                        if res_tx.send(task).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(res_tx);
+
+            loop {
+                let Some(t0) = events.min_time() else { break };
+                let round_end = t0.saturating_add(round_len);
+                // phase 1: drain each active domain's lanes concurrently
+                let mut first_err: Option<SimError> = None;
+                {
+                    let lanes = events.lanes_mut();
+                    let active: Vec<usize> = (0..groups)
+                        .filter(|&d| {
+                            let base = d * per_group;
+                            let span = per_group.min(cores as usize - base);
+                            lanes[base..base + span]
+                                .iter()
+                                .any(|l| l.head_at().is_some_and(|h| h < round_end))
+                        })
+                        .collect();
+                    if let [only] = active[..] {
+                        // a lone active domain gains nothing from the pool;
+                        // drain it here and skip the channel round-trip
+                        let mut task = pack_domain(
+                            only,
+                            per_group,
+                            cores as usize,
+                            round_end,
+                            &mut dmems,
+                            lanes,
+                            &mut states,
+                        );
+                        {
+                            let snap = shared.read().expect("snapshot lock");
+                            task.run(&snap);
+                        }
+                        first_err = unpack_domain(
+                            task,
+                            per_group,
+                            &mut dmems,
+                            lanes,
+                            &mut states,
+                            &mut batch,
+                            &mut events_done,
+                        );
+                    } else {
+                        for &d in &active {
+                            let task = pack_domain(
+                                d,
+                                per_group,
+                                cores as usize,
+                                round_end,
+                                &mut dmems,
+                                lanes,
+                                &mut states,
+                            );
+                            task_txs[d % threads].send(task).expect("worker alive");
+                        }
+                        for _ in 0..active.len() {
+                            let task = res_rx.recv().expect("worker result");
+                            let err = unpack_domain(
+                                task,
+                                per_group,
+                                &mut dmems,
+                                lanes,
+                                &mut states,
+                                &mut batch,
+                                &mut events_done,
+                            );
+                            first_err = first_err.or(err);
+                        }
+                    }
+                }
+                if let Some(e) = first_err {
+                    return Err(e);
+                }
+                // phase 2: replay device ops serially on this thread
+                events_done += self.replay_batch(
+                    &mut batch,
+                    round_end,
+                    window,
+                    &mut dev,
+                    source,
+                    &mut states,
+                    &mut events,
+                    &mut instances,
+                    &mut parked_buf,
+                    trace.as_deref_mut(),
+                )?;
+                // phase 3: merge round overlays in domain-index order
+                {
+                    let mut snap = shared.write().expect("commit lock");
+                    let mut refs: Vec<&mut DomainMem> = dmems
+                        .iter_mut()
+                        .map(|d| d.as_mut().expect("domain home for commit"))
+                        .collect();
+                    commit_parts(&mut snap, &mut refs, &mut committed);
+                }
+            }
+            Ok(())
+        });
+        run?;
+
+        Self::finish_report(&states, &dev, committed, instances, events_done)
+    }
+
+    /// Replay the round's deferred device operations in `(cycle, lane)`
+    /// order. Returns the number of operations replayed.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_batch(
+        &self,
+        batch: &mut DevBatch,
+        round_end: u64,
+        window: u64,
+        dev: &mut TsuDevice<'_>,
+        source: &dyn WorkSource,
+        states: &mut [CoreState],
+        events: &mut Events,
+        instances: &mut usize,
+        parked_buf: &mut Vec<u32>,
+        mut trace: Option<&mut ExecTrace>,
+    ) -> Result<u64, SimError> {
+        let mut done = 0u64;
+        while let Some((at, lane, op)) = batch.pop() {
+            done += 1;
+            let mut io = RoundIo {
+                events,
+                batch,
+                round_end,
+                window,
+                trigger: (at, lane),
+            };
+            match op {
+                DevOp::Fetch => Self::handle_fetch(lane, at, dev, source, states, &mut io)?,
+                DevOp::Complete { now } => {
+                    *instances += 1;
+                    if let Some(tr) = trace.as_deref_mut() {
+                        let st = &states[lane as usize];
+                        if let Some((inst, _)) = st.current {
+                            tr.record(lane, inst, st.started, now);
+                        }
+                    }
+                    self.handle_completion(lane, now, dev, source, states, &mut io, parked_buf)?;
+                }
+            }
+        }
+        Ok(done)
+    }
+
+    fn finish_report(
+        states: &[CoreState],
+        dev: &TsuDevice<'_>,
+        mem: crate::memsys::MemStats,
+        instances: usize,
+        events: u64,
+    ) -> Result<SimReport, SimError> {
+        let stuck = states.iter().filter(|s| !s.done).count() as u32;
+        if stuck > 0 || !dev.finished() {
+            return Err(SimError::Deadlock { stuck });
+        }
+        Ok(SimReport {
             cycles: states.iter().map(|s| s.finish).max().unwrap_or(0),
             core_busy: states.iter().map(|s| s.busy).collect(),
             core_tsu: states.iter().map(|s| s.tsu_time).collect(),
             core_idle: states.iter().map(|s| s.idle).collect(),
-            mem: mem.stats,
+            mem,
             tsu: dev.tsu().stats(),
             dev: dev.stats,
             instances,
-        }
+            events,
+        })
     }
 
     /// Start executing `inst` (fetched under `epoch`) on core `c` at
@@ -349,8 +826,8 @@ impl Machine {
         epoch: Epoch,
         source: &dyn WorkSource,
         states: &mut [CoreState],
-        events: &mut Events,
-    ) {
+        io: &mut RoundIo<'_>,
+    ) -> Result<(), SimError> {
         let s = &mut states[c as usize];
         s.current = Some((inst, epoch));
         s.started = start;
@@ -360,7 +837,7 @@ impl Machine {
         let chunks = s.work.accesses.len().div_ceil(CHUNK).max(1) as u64;
         s.compute_per_chunk = s.work.compute / chunks;
         s.compute_rem = s.work.compute % chunks;
-        events.push(c, start, Ev::Chunk(c));
+        io.push(c, start, Ev::Chunk(c))
     }
 
     fn handle_fetch(
@@ -369,16 +846,13 @@ impl Machine {
         dev: &mut TsuDevice<'_>,
         source: &dyn WorkSource,
         states: &mut [CoreState],
-        events: &mut Events,
-    ) {
-        match dev
-            .fetch(c, t)
-            .unwrap_or_else(|e| panic!("TSU protocol error: {e}"))
-        {
+        io: &mut RoundIo<'_>,
+    ) -> Result<(), SimError> {
+        match dev.fetch(c, t)? {
             DevFetch::Thread(inst, ep, at) => {
                 let start = at + dev.kernel_overhead();
                 states[c as usize].tsu_time += start - t;
-                Self::begin_instance(c, start, inst, ep, source, states, events);
+                Self::begin_instance(c, start, inst, ep, source, states, io)?;
             }
             DevFetch::Parked => {
                 states[c as usize].parked_since = t;
@@ -390,6 +864,7 @@ impl Machine {
                 s.done = true;
             }
         }
+        Ok(())
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -400,19 +875,17 @@ impl Machine {
         dev: &mut TsuDevice<'_>,
         source: &dyn WorkSource,
         states: &mut [CoreState],
-        events: &mut Events,
+        io: &mut RoundIo<'_>,
         parked_buf: &mut Vec<u32>,
-    ) {
+    ) -> Result<(), SimError> {
         let (inst, epoch) = states[c as usize]
             .current
             .take()
             .expect("completion without a current instance");
-        let (core_free, ready_at) = dev
-            .complete(c, now, inst, epoch)
-            .unwrap_or_else(|e| panic!("TSU protocol error: {e}"));
+        let (core_free, ready_at) = dev.complete(c, now, inst, epoch)?;
         let next_fetch = core_free + dev.kernel_overhead();
         states[c as usize].tsu_time += next_fetch - now;
-        events.push(c, next_fetch, Ev::Fetch(c));
+        io.push(c, next_fetch, Ev::Fetch(c))?;
 
         // Wake parked cores: after post-processing, ready DThreads (or the
         // Exit condition) become visible at `ready_at`.
@@ -427,15 +900,12 @@ impl Machine {
                         break;
                     }
                     let parked_since = states[p as usize].parked_since;
-                    match dev
-                        .fetch(p, ready_at)
-                        .unwrap_or_else(|e| panic!("TSU protocol error: {e}"))
-                    {
+                    match dev.fetch(p, ready_at)? {
                         DevFetch::Thread(pi, pep, at) => {
                             let start = at + dev.kernel_overhead();
                             states[p as usize].idle += ready_at.saturating_sub(parked_since);
                             states[p as usize].tsu_time += start - ready_at;
-                            Self::begin_instance(p, start, pi, pep, source, states, events);
+                            Self::begin_instance(p, start, pi, pep, source, states, io)?;
                             budget = budget.saturating_sub(1);
                         }
                         DevFetch::Parked => {}
@@ -450,6 +920,7 @@ impl Machine {
                 }
             }
         }
+        Ok(())
     }
 
     /// Simulate the *sequential baseline*: the original program's work
@@ -478,10 +949,11 @@ impl Machine {
             core_busy: vec![now],
             core_tsu: vec![0],
             core_idle: vec![0],
-            mem: mem.stats,
+            mem: mem.stats(),
             tsu: tsu.stats(),
             dev: Default::default(),
             instances,
+            events: 0,
         }
     }
 }
@@ -528,8 +1000,8 @@ mod tests {
         let p = fork_join(64);
         let src = app_work(50_000);
         let seq = Machine::new(MachineConfig::bagle(1)).run_sequential(&p, &src);
-        let par4 = Machine::new(MachineConfig::bagle(4)).run(&p, &src);
-        let par8 = Machine::new(MachineConfig::bagle(8)).run(&p, &src);
+        let par4 = Machine::new(MachineConfig::bagle(4)).run(&p, &src).unwrap();
+        let par8 = Machine::new(MachineConfig::bagle(8)).run(&p, &src).unwrap();
         let s4 = par4.speedup_over(&seq);
         let s8 = par8.speedup_over(&seq);
         assert!(s4 > 3.5 && s4 <= 4.01, "speedup(4)={s4}");
@@ -541,7 +1013,7 @@ mod tests {
         let p = chain(32);
         let src = UniformWork { cycles: 10_000 };
         let seq = Machine::new(MachineConfig::bagle(1)).run_sequential(&p, &src);
-        let par = Machine::new(MachineConfig::bagle(8)).run(&p, &src);
+        let par = Machine::new(MachineConfig::bagle(8)).run(&p, &src).unwrap();
         let s = par.speedup_over(&seq);
         assert!(s <= 1.0, "chain cannot speed up, got {s}");
         assert!(
@@ -560,8 +1032,8 @@ mod tests {
             writes: false,
             cycles_per_access: 3,
         };
-        let a = Machine::new(MachineConfig::bagle(8)).run(&p, &src);
-        let b = Machine::new(MachineConfig::bagle(8)).run(&p, &src);
+        let a = Machine::new(MachineConfig::bagle(8)).run(&p, &src).unwrap();
+        let b = Machine::new(MachineConfig::bagle(8)).run(&p, &src).unwrap();
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.mem.accesses(), b.mem.accesses());
         assert_eq!(a.dev.commands, b.dev.commands);
@@ -571,9 +1043,10 @@ mod tests {
     fn all_instances_execute() {
         let p = fork_join(20);
         let src = UniformWork { cycles: 100 };
-        let r = Machine::new(MachineConfig::bagle(4)).run(&p, &src);
+        let r = Machine::new(MachineConfig::bagle(4)).run(&p, &src).unwrap();
         assert_eq!(r.instances, p.total_instances());
         assert_eq!(r.tsu.completions as usize, p.total_instances());
+        assert!(r.events > 0, "the event counter must tick");
     }
 
     #[test]
@@ -593,13 +1066,15 @@ mod tests {
             ..TsuCosts::hard()
         }))
         .with_tsu_config(direct)
-        .run(&p, &src);
+        .run(&p, &src)
+        .unwrap();
         let slow = Machine::new(base.with_tsu(TsuCosts {
             op: 128,
             ..TsuCosts::hard()
         }))
         .with_tsu_config(direct)
-        .run(&p, &src);
+        .run(&p, &src)
+        .unwrap();
         let delta = (slow.cycles as f64 - fast.cycles as f64) / fast.cycles as f64;
         assert!(delta < 0.01, "TSU latency impact {delta} >= 1%");
     }
@@ -613,12 +1088,14 @@ mod tests {
             op: 1,
             ..TsuCosts::hard()
         }))
-        .run(&p, &src);
+        .run(&p, &src)
+        .unwrap();
         let slow = Machine::new(base.with_tsu(TsuCosts {
             op: 128,
             ..TsuCosts::hard()
         }))
-        .run(&p, &src);
+        .run(&p, &src)
+        .unwrap();
         let delta = (slow.cycles as f64 - fast.cycles as f64) / fast.cycles as f64;
         assert!(
             delta > 0.10,
@@ -631,8 +1108,12 @@ mod tests {
         // the §6.2.2 effect: at fine grain the software TSU hurts much more
         let p = fork_join(256);
         let fine = UniformWork { cycles: 500 };
-        let hard = Machine::new(MachineConfig::bagle(4)).run(&p, &fine);
-        let soft = Machine::new(MachineConfig::bagle(4).with_tsu(TsuCosts::soft())).run(&p, &fine);
+        let hard = Machine::new(MachineConfig::bagle(4))
+            .run(&p, &fine)
+            .unwrap();
+        let soft = Machine::new(MachineConfig::bagle(4).with_tsu(TsuCosts::soft()))
+            .run(&p, &fine)
+            .unwrap();
         assert!(
             soft.cycles as f64 > hard.cycles as f64 * 1.5,
             "soft {} vs hard {}",
@@ -666,7 +1147,7 @@ mod tests {
                 1_000
             };
         });
-        let r = Machine::new(MachineConfig::bagle(4)).run(&p, &src);
+        let r = Machine::new(MachineConfig::bagle(4)).run(&p, &src).unwrap();
         let total_idle: u64 = r.core_idle.iter().sum();
         assert!(total_idle > 100_000, "idle {total_idle}");
         assert!(r.utilization() < 0.7);
@@ -677,7 +1158,7 @@ mod tests {
         let p = fork_join(32);
         let src = UniformWork { cycles: 777 };
         let m = Machine::new(MachineConfig::bagle(4));
-        let (report, trace) = m.run_traced(&p, &src);
+        let (report, trace) = m.run_traced(&p, &src).unwrap();
         assert_eq!(trace.len(), p.total_instances());
         assert_eq!(report.instances, trace.len());
         assert!(trace.find_overlap().is_none(), "{:?}", trace.find_overlap());
@@ -694,8 +1175,8 @@ mod tests {
         let p = fork_join(16);
         let src = UniformWork { cycles: 1000 };
         let m = Machine::new(MachineConfig::bagle(3));
-        let plain = m.run(&p, &src);
-        let (traced, _) = m.run_traced(&p, &src);
+        let plain = m.run(&p, &src).unwrap();
+        let (traced, _) = m.run_traced(&p, &src).unwrap();
         assert_eq!(plain.cycles, traced.cycles);
     }
 
@@ -707,7 +1188,9 @@ mod tests {
             b.thread(blk, ThreadSpec::new("w", 16));
         }
         let p = b.build().unwrap();
-        let r = Machine::new(MachineConfig::bagle(4)).run(&p, &UniformWork { cycles: 500 });
+        let r = Machine::new(MachineConfig::bagle(4))
+            .run(&p, &UniformWork { cycles: 500 })
+            .unwrap();
         assert_eq!(r.instances, p.total_instances());
         assert_eq!(r.tsu.blocks_loaded, 4);
     }
@@ -717,16 +1200,16 @@ mod tests {
         let p = fork_join(16);
         let src = UniformWork { cycles: 800 };
         let m = Machine::new(MachineConfig::bagle(4)).with_epochs(3);
-        let a = m.run(&p, &src);
+        let a = m.run(&p, &src).unwrap();
         assert_eq!(a.instances, 3 * p.total_instances());
         assert_eq!(a.tsu.completions as usize, 3 * p.total_instances());
         assert_eq!(a.tsu.epochs, 3);
         // wraparound keeps the sim deterministic
-        let b = m.run(&p, &src);
+        let b = m.run(&p, &src).unwrap();
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.dev.commands, b.dev.commands);
         // three passes cost roughly three one-shot runs, never less
-        let one = Machine::new(MachineConfig::bagle(4)).run(&p, &src);
+        let one = Machine::new(MachineConfig::bagle(4)).run(&p, &src).unwrap();
         assert!(
             a.cycles > 2 * one.cycles,
             "{} !> 2*{}",
@@ -750,10 +1233,11 @@ mod tests {
             MachineConfig::xeon_x3650(6),
             MachineConfig::sparc_t3_4(32).unwrap(),
         ] {
-            let global = Machine::new(cfg).run(&p, &src);
+            let global = Machine::new(cfg).run(&p, &src).unwrap();
             let sharded = Machine::new(cfg)
                 .with_engine(DesEngine::Sharded)
-                .run(&p, &src);
+                .run(&p, &src)
+                .unwrap();
             assert_eq!(global.cycles, sharded.cycles, "cfg {cfg:?}");
             assert_eq!(global.core_busy, sharded.core_busy);
             assert_eq!(global.core_idle, sharded.core_idle);
@@ -761,21 +1245,104 @@ mod tests {
             assert_eq!(global.mem.bus_wait, sharded.mem.bus_wait);
             assert_eq!(global.dev.commands, sharded.dev.commands);
             assert_eq!(global.instances, sharded.instances);
+            assert_eq!(global.events, sharded.events);
         }
     }
 
     #[test]
-    fn sharded_engine_matches_global_under_streaming_epochs() {
-        // the funnel/flush paths produce same-cycle wakeups; the windowed
-        // engine must reproduce them exactly
-        let p = fork_join(16);
-        let src = UniformWork { cycles: 800 };
-        let m = Machine::new(MachineConfig::bagle(4)).with_epochs(3);
-        let global = m.run(&p, &src);
-        let sharded = m.with_engine(DesEngine::Sharded).run(&p, &src);
-        assert_eq!(global.cycles, sharded.cycles);
-        assert_eq!(global.dev.commands, sharded.dev.commands);
-        assert_eq!(sharded.tsu.epochs, 3);
+    fn parallel_host_threads_match_serial_engines_field_for_field() {
+        let p = fork_join(96);
+        let src = StreamWork {
+            bytes_per_instance: 8192,
+            stride: 64,
+            base: 0x20_0000,
+            writes: true,
+            cycles_per_access: 4,
+        };
+        for cfg in [
+            MachineConfig::bagle(8),
+            MachineConfig::xeon_x3650(6),
+            MachineConfig::sparc_t3_4(32).unwrap(),
+        ] {
+            let global = Machine::new(cfg).run(&p, &src).unwrap();
+            for threads in [1, 2, 4] {
+                let par = Machine::new(cfg)
+                    .with_engine(DesEngine::Sharded)
+                    .with_host_threads(threads)
+                    .run(&p, &src)
+                    .unwrap();
+                assert_eq!(
+                    format!("{global:?}"),
+                    format!("{par:?}"),
+                    "cfg {cfg:?} at {threads} host threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_engine_handles_streaming_epochs() {
+        let p = fork_join(24);
+        let src = StreamWork {
+            bytes_per_instance: 2048,
+            stride: 64,
+            base: 0x30_0000,
+            writes: true,
+            cycles_per_access: 2,
+        };
+        let m = Machine::new(MachineConfig::bagle(8)).with_epochs(3);
+        let global = m.run(&p, &src).unwrap();
+        let par = m
+            .with_engine(DesEngine::Sharded)
+            .with_host_threads(4)
+            .run(&p, &src)
+            .unwrap();
+        assert_eq!(format!("{global:?}"), format!("{par:?}"));
+        assert_eq!(par.tsu.epochs, 3);
+    }
+
+    #[test]
+    fn merge_round_is_a_model_parameter_not_an_engine_knob() {
+        // different round lengths quantize coherence visibility differently
+        // (a model change), but for a fixed round length every engine and
+        // host-thread count must agree exactly
+        let p = fork_join(32);
+        let src = StreamWork {
+            bytes_per_instance: 4096,
+            stride: 64,
+            base: 0,
+            writes: true,
+            cycles_per_access: 3,
+        };
+        for r in [64, 1024] {
+            let cfg = MachineConfig::bagle(8).with_merge_round(r);
+            let global = Machine::new(cfg).run(&p, &src).unwrap();
+            let par = Machine::new(cfg)
+                .with_engine(DesEngine::Sharded)
+                .with_host_threads(4)
+                .run(&p, &src)
+                .unwrap();
+            assert_eq!(format!("{global:?}"), format!("{par:?}"), "round {r}");
+        }
+    }
+
+    #[test]
+    fn protocol_errors_surface_as_sim_errors() {
+        // banking more epochs than the TSU credit window is a protocol
+        // error, reported as a typed SimError rather than a panic
+        let p = fork_join(8);
+        let src = UniformWork { cycles: 100 };
+        let r = Machine::new(MachineConfig::bagle(4))
+            .with_tsu_config(TsuConfig {
+                window: 1,
+                ..TsuConfig::default()
+            })
+            .with_epochs(3)
+            .run(&p, &src);
+        assert!(
+            matches!(r, Err(SimError::Protocol(_))),
+            "expected a protocol error, got {r:?}"
+        );
     }
 
     #[test]
@@ -792,7 +1359,8 @@ mod tests {
         let seq = Machine::new(cfg64).run_sequential(&p, &src);
         let par = Machine::new(cfg64)
             .with_engine(DesEngine::Sharded)
-            .run(&p, &src);
+            .run(&p, &src)
+            .unwrap();
         let s = par.speedup_over(&seq);
         assert!(s > 16.0, "64-core run should scale well past 16x, got {s}");
         assert!(s <= 64.5, "speedup cannot exceed core count, got {s}");
@@ -823,7 +1391,7 @@ mod tests {
             out.compute = 64;
         });
         let seq = Machine::new(MachineConfig::bagle(1)).run_sequential(&p, &src);
-        let par = Machine::new(MachineConfig::bagle(8)).run(&p, &src);
+        let par = Machine::new(MachineConfig::bagle(8)).run(&p, &src).unwrap();
         let s = par.speedup_over(&seq);
         assert!(s < 4.0, "pure coherence traffic cannot scale: {s}");
         assert!(par.mem.remote_hits > 0);

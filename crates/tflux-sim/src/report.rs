@@ -24,6 +24,12 @@ pub struct SimReport {
     pub dev: TsuDevStats,
     /// DThread instances executed.
     pub instances: usize,
+    /// Discrete events processed (queue pops plus deferred device
+    /// operations) — the engine-invariant denominator for host-side
+    /// events/sec throughput. Zero for the sequential baseline, which has
+    /// no event loop.
+    #[serde(default)]
+    pub events: u64,
 }
 
 impl SimReport {
@@ -63,6 +69,7 @@ mod tests {
             tsu: TsuStats::default(),
             dev: TsuDevStats::default(),
             instances: 0,
+            events: 0,
         }
     }
 

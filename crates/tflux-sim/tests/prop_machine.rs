@@ -63,7 +63,7 @@ proptest! {
             }
         });
         let m = Machine::new(MachineConfig::bagle(d.cores));
-        let (report, trace) = m.run_traced(&p, &src);
+        let (report, trace) = m.run_traced(&p, &src).expect("sim run");
         prop_assert_eq!(report.instances, p.total_instances());
         prop_assert_eq!(report.tsu.completions as usize, p.total_instances());
         prop_assert!(trace.find_overlap().is_none());
@@ -100,8 +100,8 @@ proptest! {
         let src = FnWork(move |_: Instance, out: &mut InstanceWork| {
             out.compute = cost;
         });
-        let c2 = Machine::new(MachineConfig::bagle(2)).run(&p, &src).cycles;
-        let c8 = Machine::new(MachineConfig::bagle(8)).run(&p, &src).cycles;
+        let c2 = Machine::new(MachineConfig::bagle(2)).run(&p, &src).unwrap().cycles;
+        let c8 = Machine::new(MachineConfig::bagle(8)).run(&p, &src).unwrap().cycles;
         prop_assert!(c8 <= c2, "8 cores ({c8}) slower than 2 ({c2})");
     }
 }

@@ -45,19 +45,22 @@ proptest! {
             prop_assert!(lat <= worst, "latency {lat} out of bounds");
             t += lat;
         }
-        prop_assert_eq!(m.stats.accesses(), stream.len() as u64);
+        prop_assert_eq!(m.stats().accesses(), stream.len() as u64);
     }
 
     #[test]
     fn no_stale_read_after_foreign_write(stream in ops(4)) {
-        // Replay the stream; after any write by core W, the very next read
-        // of that line by a different core must NOT be an L1 hit (its copy
-        // was invalidated).
+        // Replay the stream with every access in its own round; after any
+        // write by core W, the very next read of that line by a different
+        // core must NOT be an L1 hit (its copy was invalidated at the
+        // commit). Cross-domain effects are only promised at round
+        // boundaries, so the serial replay commits between accesses.
         let mut m = MemorySystem::new(MachineConfig::bagle(4));
         let mut last_writer: std::collections::HashMap<u64, u32> = Default::default();
         let mut t = 0u64;
         for op in &stream {
             let (lat, class) = m.access(op.core, t, op.line, op.write);
+            m.commit_round();
             t += lat;
             if op.write {
                 last_writer.insert(op.line, op.core);
@@ -96,7 +99,7 @@ proptest! {
                 lats.push(lat);
                 t += lat;
             }
-            (lats, m.stats.accesses(), m.stats.bus_busy)
+            (lats, m.stats().accesses(), m.stats().bus_busy)
         };
         prop_assert_eq!(run(), run());
     }
@@ -156,7 +159,7 @@ proptest! {
                 let addr = (i as u64 * cfg.nodes() as u64) * 4096;
                 m.access((i % 64) as u32, 0, addr, false);
             }
-            m.stats.channel_wait
+            m.stats().channel_wait
         };
         prop_assert!(
             flood(n + 1) >= flood(n),

@@ -66,7 +66,10 @@ pub fn best_unroll(
         }
         let p = Params { unroll: u, ..base };
         let (prog, src) = sim_setup(bench, &p);
-        let cycles = machine.run(&prog, src.as_ref()).cycles;
+        let cycles = machine
+            .run(&prog, src.as_ref())
+            .expect("unroll sweep simulation failed")
+            .cycles;
         if cycles < best.1 {
             best = (u, cycles);
         }
@@ -240,7 +243,9 @@ mod tests {
             let (prog, src) = sim_setup(bench, &p);
             assert!(prog.total_instances() > 0, "{bench:?}");
             // tiny smoke run
-            let r = Machine::new(MachineConfig::bagle(2)).run(&prog, src.as_ref());
+            let r = Machine::new(MachineConfig::bagle(2))
+                .run(&prog, src.as_ref())
+                .expect("sim run");
             assert_eq!(r.instances, prog.total_instances(), "{bench:?}");
         }
     }

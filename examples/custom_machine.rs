@@ -39,6 +39,7 @@ fn future_cmp(cores: u32) -> MachineConfig {
         tsu: TsuCosts::hard(),
         tsu_groups: 2, // the paper's §3.3 multi-group extension
         topology: Topology::flat(),
+        merge_round: 0, // auto: one conservative TSU window per round
     }
 }
 
@@ -56,7 +57,7 @@ fn main() {
             let (prog, src) = sim_setup(bench, &p);
             let (sprog, ssrc) = sim_baseline(bench, &p);
             let seq = machine.run_sequential(&sprog, ssrc.as_ref());
-            let par = machine.run(&prog, src.as_ref());
+            let par = machine.run(&prog, src.as_ref()).expect("sim run");
             row.push_str(&format!(" {:>5.1}x", par.speedup_over(&seq)));
         }
         println!("{row}");

@@ -18,7 +18,7 @@ fn main() {
     let (prog, ids) = qsort::program(&p);
     let src = qsort::sim_source(&p, ids);
     let machine = Machine::new(MachineConfig::bagle(kernels));
-    let (report, trace) = machine.run_traced(&prog, &src);
+    let (report, trace) = machine.run_traced(&prog, &src).expect("sim run");
 
     println!(
         "QSORT on {kernels} kernels — {} instances, {} cycles\n",

@@ -36,7 +36,7 @@ fn main() {
         let src = trapez::sim_source(&p, ids, arity);
         let machine = Machine::new(MachineConfig::bagle(kernels));
         let baseline = machine.run_sequential(&prog, &src);
-        let parallel = machine.run(&prog, &src);
+        let parallel = machine.run(&prog, &src).expect("sim run");
         println!("{kernels:>8} {:>9.1}x", parallel.speedup_over(&baseline));
     }
     println!("\n(near-linear, as in Fig. 5 of the paper: TRAPEZ has almost no");

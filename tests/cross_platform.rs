@@ -58,7 +58,9 @@ fn same_program_runs_on_all_three_platforms() {
     let src = FnWork(|_: Instance, out: &mut InstanceWork| {
         out.compute = 500;
     });
-    let hard = Machine::new(MachineConfig::bagle(4)).run(&program, &src);
+    let hard = Machine::new(MachineConfig::bagle(4))
+        .run(&program, &src)
+        .unwrap();
     assert_eq!(hard.instances, expect);
     assert_eq!(hard.tsu.blocks_loaded, 2);
 
@@ -106,7 +108,9 @@ fn ddmcpp_module_lowers_and_runs_everywhere() {
     assert_eq!(soft.tsu.completions as usize, expect);
 
     let src = FnWork(|_: Instance, out: &mut InstanceWork| out.compute = 100);
-    let hard = Machine::new(MachineConfig::bagle(3)).run(&program, &src);
+    let hard = Machine::new(MachineConfig::bagle(3))
+        .run(&program, &src)
+        .unwrap();
     assert_eq!(hard.instances, expect);
 
     let csrc = FnCellWork(|_: Instance| CellWork::compute(100, 1024));
@@ -143,8 +147,12 @@ fn deterministic_simulators_cross_check() {
     let src = FnWork(|i: Instance, out: &mut InstanceWork| {
         out.compute = 100 + i.context.0 as u64 * 13;
     });
-    let a = Machine::new(MachineConfig::bagle(5)).run(&program, &src);
-    let b = Machine::new(MachineConfig::bagle(5)).run(&program, &src);
+    let a = Machine::new(MachineConfig::bagle(5))
+        .run(&program, &src)
+        .unwrap();
+    let b = Machine::new(MachineConfig::bagle(5))
+        .run(&program, &src)
+        .unwrap();
     assert_eq!(a.cycles, b.cycles);
 
     let csrc = FnCellWork(|i: Instance| CellWork {

@@ -18,7 +18,7 @@ fn hard_speedup(bench: Bench, kernels: u32, size: SizeClass) -> f64 {
     let (sprog, ssrc) = sim_baseline(bench, &p);
     let m = Machine::new(MachineConfig::bagle(kernels));
     let seq = m.run_sequential(&sprog, ssrc.as_ref());
-    m.run(&prog, src.as_ref()).speedup_over(&seq)
+    m.run(&prog, src.as_ref()).unwrap().speedup_over(&seq)
 }
 
 fn cell_speedup(bench: Bench, spes: u32, size: SizeClass) -> f64 {

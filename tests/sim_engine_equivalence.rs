@@ -1,13 +1,17 @@
-//! The sharded DES engine must be an *exact* stand-in for the global
-//! event heap: same cycles, same per-core busy/idle split, same memory
-//! and TSU counters, on every workload and every machine shape. The
-//! conservative-window engine is only allowed to change how the event
-//! queue is organized — never what the simulation computes — so this
-//! matrix runs all five paper workloads across the flat 8-core Bagle
-//! board, the 9-core x86 box, and the 64-core 4-node NUMA T3-4, and
-//! requires the two engines to agree field-for-field.
+//! The sharded DES engine — serial *and* parallel — must be an exact
+//! stand-in for the global event heap: same cycles, same per-core
+//! busy/idle split, same memory and TSU counters, on every workload and
+//! every machine shape. Draining event lanes on host threads is only
+//! allowed to change how fast the simulator runs — never what it
+//! computes — so this matrix runs all five paper workloads across the
+//! flat 8-core Bagle board, the 9-core x86 box, and the 64-core 4-node
+//! NUMA T3-4, and requires every engine × host-thread combination to
+//! agree field-for-field with the `Global` oracle.
+//!
+//! CI's sim-scale job widens the host-thread axis via
+//! `TFLUX_SIM_HOST_THREADS` (comma-separated counts) without recompiling.
 
-use tflux::sim::{DesEngine, Machine, MachineConfig};
+use tflux::sim::{DesEngine, Machine, MachineConfig, SimReport};
 use tflux::workloads::common::Params;
 use tflux::workloads::setup::{sim_setup, with_default_unroll};
 use tflux::workloads::sizes::SizeClass;
@@ -27,37 +31,109 @@ fn machines() -> [(&'static str, MachineConfig); 3] {
     ]
 }
 
-fn run(bench: Bench, cfg: MachineConfig, engine: DesEngine) -> tflux::sim::SimReport {
+/// Host-thread counts the parallel engine is exercised at: serial lanes
+/// plus a 4-thread pool by default; CI appends more via
+/// `TFLUX_SIM_HOST_THREADS=2,4,...`.
+fn host_thread_counts() -> Vec<u32> {
+    let mut counts = vec![1, 4];
+    if let Ok(v) = std::env::var("TFLUX_SIM_HOST_THREADS") {
+        for tok in v.split(',') {
+            if let Ok(n) = tok.trim().parse::<u32>() {
+                if n > 0 && !counts.contains(&n) {
+                    counts.push(n);
+                }
+            }
+        }
+    }
+    counts
+}
+
+fn run(
+    bench: Bench,
+    cfg: MachineConfig,
+    engine: DesEngine,
+    host_threads: u32,
+    epochs: u64,
+) -> SimReport {
     let p = with_default_unroll(bench, Params::hard(cfg.cores, 0, SizeClass::Small));
     let (prog, src) = sim_setup(bench, &p);
     Machine::new(cfg)
         .with_engine(engine)
+        .with_host_threads(host_threads)
+        .with_epochs(epochs)
         .run(&prog, src.as_ref())
+        .expect("sim run")
 }
 
 #[test]
-fn sharded_engine_is_cycle_exact_on_every_workload_and_machine() {
+fn engine_matrix_is_cycle_exact_on_every_workload_and_machine() {
+    let counts = host_thread_counts();
     for bench in Bench::ALL {
         for (name, cfg) in machines() {
-            let global = run(bench, cfg, DesEngine::Global);
-            let sharded = run(bench, cfg, DesEngine::Sharded);
-            assert_eq!(
-                global.cycles,
-                sharded.cycles,
-                "{} on {name}: sharded engine diverged in makespan",
-                bench.name()
-            );
-            // the engines must agree on *everything* the simulation
-            // observes, not just the makespan — any drift in the event
-            // order shows up in the per-core splits or the counters
+            let global = run(bench, cfg, DesEngine::Global, 1, 1);
+            for &t in &counts {
+                let sharded = run(bench, cfg, DesEngine::Sharded, t, 1);
+                assert_eq!(
+                    global.cycles,
+                    sharded.cycles,
+                    "{} on {name} at {t} host threads: sharded engine \
+                     diverged in makespan",
+                    bench.name()
+                );
+                // the engines must agree on *everything* the simulation
+                // observes, not just the makespan — any drift in the event
+                // order shows up in the per-core splits or the counters
+                assert_eq!(
+                    format!("{global:?}"),
+                    format!("{sharded:?}"),
+                    "{} on {name} at {t} host threads: sharded engine \
+                     report diverged",
+                    bench.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_epochs_agree_across_engines_and_host_threads() {
+    // re-armed contexts and credit-windowed wakeups produce same-cycle
+    // device traffic; the parallel engine must replay it identically
+    let counts = host_thread_counts();
+    for (name, cfg) in machines() {
+        let global = run(Bench::Trapez, cfg, DesEngine::Global, 1, 3);
+        assert_eq!(global.tsu.epochs, 3, "{name}: epochs did not stream");
+        for &t in &counts {
+            let sharded = run(Bench::Trapez, cfg, DesEngine::Sharded, t, 3);
             assert_eq!(
                 format!("{global:?}"),
                 format!("{sharded:?}"),
-                "{} on {name}: sharded engine report diverged",
-                bench.name()
+                "TRAPEZ/3-epoch on {name} at {t} host threads diverged"
             );
         }
     }
+}
+
+#[test]
+fn parallel_sweep_is_bit_reproducible() {
+    // two identical figures-style sweeps on the parallel engine must
+    // produce byte-identical reports — and match the Global oracle — so
+    // a host-scheduling dependence anywhere in the commit pipeline fails
+    // loudly rather than as a flaky bench number
+    let sweep = |engine: DesEngine, threads: u32| -> Vec<String> {
+        let mut out = Vec::new();
+        for bench in Bench::ALL {
+            for (_, cfg) in machines() {
+                out.push(format!("{:?}", run(bench, cfg, engine, threads, 1)));
+            }
+        }
+        out
+    };
+    let first = sweep(DesEngine::Sharded, 4);
+    let second = sweep(DesEngine::Sharded, 4);
+    assert_eq!(first, second, "parallel sweep is not reproducible");
+    let oracle = sweep(DesEngine::Global, 1);
+    assert_eq!(first, oracle, "parallel sweep diverged from the oracle");
 }
 
 #[test]
@@ -65,7 +141,7 @@ fn numa_machine_actually_pays_numa_costs_in_the_matrix() {
     // guard against the matrix silently degenerating to flat machines:
     // at least one 64-core run must cross nodes
     let t3 = MachineConfig::sparc_t3_4(64).expect("64 kernels fit the T3-4");
-    let r = run(Bench::Mmult, t3, DesEngine::Sharded);
+    let r = run(Bench::Mmult, t3, DesEngine::Sharded, 4, 1);
     assert!(
         r.mem.remote_node > 0,
         "MMULT on the T3-4 never crossed a node boundary"
